@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Ablations and extensions beyond the paper's measured configs:
+ *
+ *  1. Selective vs broadcast downgrades: the private state tables
+ *     are what keep most downgrades at 0-1 messages (Figure 8); the
+ *     broadcast variant models SoftFLASH-style shootdowns to every
+ *     colocated processor (Section 5's comparison).
+ *  2. The invalid-flag load optimization on/off (Section 2.3
+ *     motivates it; off, every load pays the full Figure 1 check).
+ *  3. The shared-directory extension the paper lists as future work
+ *     (Sections 3.1/5): requests whose home is colocated skip the
+ *     internal message hop.
+ *  4. Line-size sensitivity (the companion Shasta papers study 64
+ *     vs 128-byte lines).
+ */
+
+#include "bench_common.hh"
+
+using namespace shasta;
+using namespace shasta::bench;
+
+namespace
+{
+
+AppResult
+runCfg(const std::string &app, DsmConfig cfg, const AppParams &p)
+{
+    return run(app, cfg, p);
+}
+
+void
+downgradeAblation(const std::string &app)
+{
+    const AppParams p = withStandardOptions(
+        app, defaultParams(*createApp(app)));
+    report::Table t({"variant", "time", "downgrade msgs",
+                     "0 msgs", "1", "2", "3"});
+    for (bool broadcast : {false, true}) {
+        DsmConfig cfg = DsmConfig::smp(16, 4);
+        cfg.broadcastDowngrades = broadcast;
+        const AppResult r = runCfg(app, cfg, p);
+        const double total = static_cast<double>(
+            std::max<std::uint64_t>(
+                r.counters.totalDowngradeOps(), 1));
+        const auto &d = r.counters.downgradeOps;
+        t.addRow({broadcast ? "broadcast (SoftFLASH-style)"
+                            : "selective (private tables)",
+                  report::fmtSeconds(r.wallTime),
+                  report::fmtCount(r.net.downgradeMsgs),
+                  report::fmtPercent(d[0] / total),
+                  report::fmtPercent(d[1] / total),
+                  report::fmtPercent(d[2] / total),
+                  report::fmtPercent(d[3] / total)});
+        std::fflush(stdout);
+    }
+    std::printf("\n%s, SMP-Shasta 16 procs clustering 4:\n",
+                app.c_str());
+    t.print();
+}
+
+void
+flagAblation(const std::string &app)
+{
+    const AppParams p = withStandardOptions(
+        app, defaultParams(*createApp(app)));
+    report::Table t({"variant", "seq (1p checks)", "16p time",
+                     "false misses"});
+    for (bool flag : {true, false}) {
+        DsmConfig c1 = DsmConfig::base(1);
+        c1.useInvalidFlag = flag;
+        DsmConfig c16 = DsmConfig::base(16);
+        c16.useInvalidFlag = flag;
+        const AppResult r1 = runCfg(app, c1, p);
+        const AppResult r16 = runCfg(app, c16, p);
+        t.addRow({flag ? "invalid flag (default)"
+                       : "state-table loads only",
+                  report::fmtSeconds(r1.wallTime),
+                  report::fmtSeconds(r16.wallTime),
+                  report::fmtCount(r16.counters.falseMisses)});
+        std::fflush(stdout);
+    }
+    std::printf("\n%s, Base-Shasta, flag ablation:\n", app.c_str());
+    t.print();
+}
+
+void
+sharedDirExtension(const std::string &app)
+{
+    const AppParams p = withStandardOptions(
+        app, defaultParams(*createApp(app)));
+    report::Table t({"variant", "time", "local msgs",
+                     "remote msgs"});
+    for (bool share : {false, true}) {
+        DsmConfig cfg = DsmConfig::smp(16, 4);
+        cfg.shareDirectory = share;
+        const AppResult r = runCfg(app, cfg, p);
+        t.addRow({share ? "shared directory (extension)"
+                        : "message to colocated home (paper)",
+                  report::fmtSeconds(r.wallTime),
+                  report::fmtCount(r.net.localMsgs),
+                  report::fmtCount(r.net.remoteMsgs)});
+        std::fflush(stdout);
+    }
+    std::printf("\n%s, SMP-Shasta 16 procs clustering 4, "
+                "shared-directory extension:\n",
+                app.c_str());
+    t.print();
+}
+
+void
+lineSizeSweep(const std::string &app)
+{
+    const AppParams p = withStandardOptions(
+        app, defaultParams(*createApp(app)));
+    report::Table t({"line size", "16p time", "misses",
+                     "remote msgs"});
+    for (int ls : {32, 64, 128, 256}) {
+        DsmConfig cfg = DsmConfig::base(16);
+        cfg.lineSize = ls;
+        const AppResult r = runCfg(app, cfg, p);
+        t.addRow({std::to_string(ls) + " B",
+                  report::fmtSeconds(r.wallTime),
+                  report::fmtCount(r.counters.totalMisses()),
+                  report::fmtCount(r.net.remoteMsgs)});
+        std::fflush(stdout);
+    }
+    std::printf("\n%s, Base-Shasta, line-size sensitivity:\n",
+                app.c_str());
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablations and extensions (beyond the paper's measured "
+           "configurations)",
+           "Sections 2.3, 3.1, 3.3 and 5");
+
+    // Water migrates heavily: the selective/broadcast contrast is
+    // starkest there; LU shows the flag and line-size effects.
+    downgradeAblation("water-nsq");
+    downgradeAblation("ocean");
+    // The flag matters for UNbatched loads: Raytrace's sphere tests
+    // and Volrend's opacity lookups are load-by-load.
+    flagAblation("raytrace");
+    flagAblation("volrend");
+    sharedDirExtension("ocean");
+    sharedDirExtension("lu");
+    lineSizeSweep("lu");
+    lineSizeSweep("water-nsq");
+    return 0;
+}

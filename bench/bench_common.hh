@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark binaries.
+ *
+ * Problem sizes are the scaled defaults recorded in each app (see
+ * DESIGN.md and EXPERIMENTS.md); set SHASTA_QUICK=1 to shrink them
+ * further for smoke runs.
+ */
+
+#ifndef SHASTA_BENCH_BENCH_COMMON_HH
+#define SHASTA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/app.hh"
+#include "stats/report.hh"
+
+namespace shasta::bench
+{
+
+inline bool
+quickMode()
+{
+    const char *q = std::getenv("SHASTA_QUICK");
+    return q != nullptr && std::strcmp(q, "0") != 0;
+}
+
+/** Default (Table 1) parameters, shrunk in quick mode. */
+inline AppParams
+defaultParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (quickMode()) {
+        p.n = std::max(32, p.n / 2);
+        if (app.name() == "lu" || app.name() == "lu-contig")
+            p.n = (p.n / 32) * 32;
+        if (app.name() == "ocean")
+            p.n = p.n / 2 * 2 + 2;
+    }
+    return p;
+}
+
+/** Run one configuration of one app. */
+inline AppResult
+run(const std::string &name, const DsmConfig &cfg,
+    const AppParams &p)
+{
+    auto app = createApp(name);
+    return runApp(*app, cfg, p);
+}
+
+/** Sequential (uninstrumented) run. */
+inline AppResult
+runSequential(const std::string &name, const AppParams &p)
+{
+    return run(name, DsmConfig::sequential(), p);
+}
+
+/** Announce a bench section. */
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("\n=============================================="
+                "==================\n");
+    std::printf("%s\n", title);
+    std::printf("(reproduces %s of WRL RR 97/3, \"Fine-Grain "
+                "Software Distributed\n Shared Memory on SMP "
+                "Clusters\")\n",
+                paper_ref);
+    std::printf("================================================"
+                "================\n");
+    if (quickMode())
+        std::printf("[SHASTA_QUICK=1: reduced problem sizes]\n");
+}
+
+/** The six Table 2 applications, in the paper's order. */
+inline std::vector<std::string>
+table2Apps()
+{
+    return {"barnes", "fmm", "lu", "lu-contig", "volrend",
+            "water-nsq"};
+}
+
+/** The seven Table 3 applications, in the paper's order. */
+inline std::vector<std::string>
+table3Apps()
+{
+    return {"barnes", "fmm",       "lu",      "lu-contig",
+            "ocean",  "water-nsq", "water-sp"};
+}
+
+/** Apps that use the home placement optimization (Section 4.3). */
+inline bool
+usesHomePlacement(const std::string &name)
+{
+    return name == "fmm" || name == "lu-contig" || name == "ocean";
+}
+
+/** Apply the paper's standard run options to parameters. */
+inline AppParams
+withStandardOptions(const std::string &name, AppParams p)
+{
+    p.homePlacement = usesHomePlacement(name);
+    return p;
+}
+
+} // namespace shasta::bench
+
+#endif // SHASTA_BENCH_BENCH_COMMON_HH

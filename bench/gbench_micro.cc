@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Host-level microbenchmarks (google-benchmark): throughput of the
+ * simulator's building blocks.  These guard against host-side
+ * performance regressions; the paper-facing numbers live in the
+ * per-table/figure binaries.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "check/check_model.hh"
+#include "dsm/runtime.hh"
+#include "mem/node_memory.hh"
+#include "mem/shared_heap.hh"
+#include "proto/state_table.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace shasta
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    EventQueue q;
+    std::int64_t sink = 0;
+    Tick t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            q.schedule(t + (i * 37) % 97, [&] { ++sink; });
+        while (q.step()) {
+        }
+        t = q.now() + 1;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+void
+BM_RngNextDouble(benchmark::State &state)
+{
+    Rng r(1);
+    double sink = 0;
+    for (auto _ : state)
+        sink += r.nextDouble();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextDouble);
+
+void
+BM_NodeMemoryReadWrite(benchmark::State &state)
+{
+    NodeMemory m;
+    Addr a = kSharedBase;
+    double sink = 0;
+    for (auto _ : state) {
+        m.write<double>(a, sink);
+        sink += m.read<double>(a + 8);
+        a = kSharedBase + (a + 64 - kSharedBase) % (1 << 20);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NodeMemoryReadWrite);
+
+void
+BM_SharedHeapBlockLookup(benchmark::State &state)
+{
+    SharedHeap h(64);
+    h.alloc(1 << 20, 2048);
+    LineIdx line = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink += h.blockOf(line).numLines;
+        line = (line + 7) % (1 << 14);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedHeapBlockLookup);
+
+void
+BM_StateTablePrivCheck(benchmark::State &state)
+{
+    NodeStateTable t(4);
+    t.setShared(0, 1024, LState::Exclusive);
+    t.setPriv(0, 1024, 2, PState::Shared);
+    LineIdx line = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink += static_cast<std::uint64_t>(t.priv(line, 2));
+        line = (line + 13) % 1024;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateTablePrivCheck);
+
+Task
+pingPong(Context &c, Addr a, int rounds)
+{
+    for (int r = 0; r < rounds; ++r) {
+        if (r % 2 == static_cast<int>(c.id() != 0))
+            co_await c.storeI64(a, r);
+        co_await c.barrier();
+    }
+}
+
+void
+BM_ProtocolPingPong(benchmark::State &state)
+{
+    // End-to-end: two processors on different machines migrate one
+    // block back and forth (simulated protocol work per host
+    // second).
+    for (auto _ : state) {
+        DsmConfig cfg = DsmConfig::base(8);
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(64, 64, 0);
+        rt.run([&](Context &c) -> Task {
+            if (c.id() == 0 || c.id() == 4)
+                return pingPong(c, a, 50);
+            return [](Context &cc) -> Task {
+                co_await cc.barrier();
+                for (int r = 1; r < 50; ++r)
+                    co_await cc.barrier();
+            }(c);
+        });
+        benchmark::DoNotOptimize(rt.wallTime());
+    }
+    state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_ProtocolPingPong);
+
+} // namespace
+} // namespace shasta
+
+BENCHMARK_MAIN();

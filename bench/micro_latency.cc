@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Microbenchmarks of Sections 4.1 and 4.4:
+ *
+ *  - Base-Shasta 64-byte fetch latency: ~20 us remote (two hops),
+ *    ~11 us from a processor on the same SMP.
+ *  - SMP-Shasta's protocol operations cost a few microseconds more
+ *    (line locking).
+ *  - Downgrade cost: a read that triggers 1 downgrade adds ~10 us;
+ *    each additional downgrade adds ~5 us.
+ */
+
+#include "bench_common.hh"
+
+using namespace shasta;
+using namespace shasta::bench;
+
+namespace
+{
+
+Task
+readerKernel(Context &c, Addr a, ProcId reader, Tick *stall)
+{
+    if (c.id() == reader) {
+        const Tick t0 = c.now();
+        (void)co_await c.loadFp(a);
+        *stall = c.now() - t0;
+    }
+    co_return;
+}
+
+Tick
+fetchLatency(DsmConfig cfg, ProcId reader)
+{
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    Tick stall = 0;
+    rt.run([&](Context &c) {
+        return readerKernel(c, a, reader, &stall);
+    });
+    return stall;
+}
+
+Task
+downgradeKernel(Context &c, Addr a, int touchers, Tick *stall)
+{
+    // Processors 4..4+touchers-1 (node 1) store to the block one
+    // after another (simultaneous stores would merge into one miss
+    // entry without upgrading the other private tables,
+    // Section 3.4.2); processor 0 then reads, forcing touchers-1
+    // downgrade messages (the handling processor downgrades itself
+    // inline).
+    for (int k = 0; k < touchers; ++k) {
+        if (c.id() == 4 + k)
+            co_await c.storeFp(a + static_cast<Addr>(c.id()) * 8,
+                               1.0);
+        co_await c.barrier();
+    }
+    if (c.id() == 0) {
+        const Tick t0 = c.now();
+        (void)co_await c.loadFp(a);
+        *stall = c.now() - t0;
+    }
+    // Keep the node's processors polling at a realistic loop-backedge
+    // cadence (~5 us between polls, like an application inner loop).
+    for (int i = 0; i < 200; ++i) {
+        c.compute(1500);
+        co_await c.poll();
+    }
+    co_await c.barrier();
+}
+
+Tick
+downgradeLatency(int touchers)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    // Home the block away from both the readers and the writers so
+    // every run takes the same 3-hop path.
+    const Addr a = rt.allocHomed(64, 64, 3);
+    Tick stall = 0;
+    rt.run([&](Context &c) {
+        return downgradeKernel(c, a, touchers, &stall);
+    });
+    return stall;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Microbenchmarks: fetch and downgrade latencies",
+           "Sections 4.1 and 4.4");
+
+    report::Table t({"measurement", "measured", "paper"});
+
+    const Tick remote = fetchLatency(DsmConfig::base(8), 4);
+    t.addRow({"Base 64B fetch, remote 2-hop",
+              report::fmtDouble(ticksToUs(remote), 1) + " us",
+              "~20 us"});
+
+    const Tick local = fetchLatency(DsmConfig::base(2), 1);
+    t.addRow({"Base 64B fetch, same SMP",
+              report::fmtDouble(ticksToUs(local), 1) + " us",
+              "~11 us"});
+
+    const Tick smp_remote = fetchLatency(DsmConfig::smp(8, 4), 4);
+    t.addRow({"SMP 64B fetch, remote 2-hop",
+              report::fmtDouble(ticksToUs(smp_remote), 1) + " us",
+              "a few us above Base"});
+
+    Tick base_dg = 0;
+    for (int k = 0; k <= 3; ++k) {
+        // k touchers on the owning node produce k-1 downgrade
+        // messages (k=0: served by the home node path).
+        const Tick lat = downgradeLatency(k + 1);
+        std::string label = "read with " + std::to_string(k) +
+                            " downgrade msg(s)";
+        std::string paper =
+            k == 0 ? "baseline"
+                   : (k == 1 ? "+~10 us vs 0" : "+~5 us per extra");
+        if (k == 0)
+            base_dg = lat;
+        t.addRow({label,
+                  report::fmtDouble(ticksToUs(lat), 1) + " us (+" +
+                      report::fmtDouble(ticksToUs(lat - base_dg),
+                                        1) +
+                      ")",
+                  paper});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Race explorer: exhaustively interleaves the paper's Figure 2
+ * scenarios with the model checker and prints what it finds --
+ * including a concrete witness schedule for each race the naive
+ * protocol exhibits, and the proof (0 violating interleavings) that
+ * the downgrade-message protocol prevents them.
+ */
+
+#include <cstdio>
+
+#include "racecheck/model_checker.hh"
+#include "racecheck/scenarios.hh"
+
+using namespace shasta::racecheck;
+
+int
+main()
+{
+    std::printf("Figure 2 race scenarios under exhaustive "
+                "interleaving\n");
+    std::printf("====================================================="
+                "\n\n");
+
+    ModelChecker mc;
+    for (const Scenario &sc : allScenarios()) {
+        const ExploreResult r =
+            mc.explore(sc.threads, sc.init, sc.violation);
+        std::printf("%-22s %-55s\n", sc.name.c_str(),
+                    sc.description.c_str());
+        std::printf("  interleavings: %llu   violations: %llu   "
+                    "deadlocks: %llu   expected: %s\n",
+                    static_cast<unsigned long long>(r.terminals),
+                    static_cast<unsigned long long>(r.violations),
+                    static_cast<unsigned long long>(r.deadlocks),
+                    sc.expectViolations ? "RACES" : "race-free");
+        if (!r.witness.empty()) {
+            std::printf("  witness schedule:\n");
+            for (const auto &step : r.witness)
+                std::printf("    %s\n", step.c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("The *-naive scenarios downgrade state directly and "
+                "lose updates or\nreturn the invalid flag as data; "
+                "the *-smp scenarios use SMP-Shasta's\ndowngrade "
+                "messages (handled only at poll points) and are "
+                "race-free.\nThe fpflag pair shows why SMP-Shasta "
+                "must make the FP flag check\natomic "
+                "(Section 3.4.1).\n");
+    return 0;
+}

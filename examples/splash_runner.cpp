@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Domain example: run any of the nine bundled SPLASH-2-style
+ * kernels under any protocol configuration from the command line.
+ *
+ *   splash_runner <app> [procs] [mode] [clustering] [flags...]
+ *
+ *   app        one of: barnes fmm lu lu-contig ocean raytrace
+ *              volrend water-nsq water-sp
+ *   procs      1..16 (default 16)
+ *   mode       base | smp | hw (default smp)
+ *   clustering 1 | 2 | 4 (smp only, default 4)
+ *   flags      --gran (Table 2 granularity hint)
+ *              --home (home placement optimization)
+ *              --share-dir / --broadcast / --no-flag (extensions)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/app.hh"
+#include "stats/report.hh"
+
+using namespace shasta;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <app> [procs] [base|smp|hw] "
+                     "[clustering]\napps:",
+                     argv[0]);
+        for (const auto &n : appNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+    const std::string name = argv[1];
+    const int procs = argc > 2 ? std::atoi(argv[2]) : 16;
+    const std::string mode = argc > 3 ? argv[3] : "smp";
+    const int clustering = argc > 4 ? std::atoi(argv[4]) : 4;
+
+    DsmConfig cfg;
+    if (mode == "base")
+        cfg = DsmConfig::base(procs);
+    else if (mode == "hw")
+        cfg = DsmConfig::hardware(procs);
+    else
+        cfg = DsmConfig::smp(procs, clustering);
+
+    auto app = createApp(name);
+    AppParams p = app->defaultParams();
+    for (int i = 5; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--gran")
+            p.variableGranularity = true;
+        else if (flag == "--home")
+            p.homePlacement = true;
+        else if (flag == "--share-dir")
+            cfg.shareDirectory = true;
+        else if (flag == "--broadcast")
+            cfg.broadcastDowngrades = true;
+        else if (flag == "--no-flag")
+            cfg.useInvalidFlag = false;
+        else
+            std::fprintf(stderr, "ignoring unknown flag %s\n",
+                         flag.c_str());
+    }
+    const AppResult r = runApp(*app, cfg, p);
+    const double ref = app->reference(p);
+
+    std::printf("%s on %d procs (%s, clustering %d), n=%d\n",
+                name.c_str(), procs, mode.c_str(),
+                cfg.effectiveClustering(), p.n);
+    std::printf("  simulated time  %.3f s\n",
+                ticksToSeconds(r.wallTime));
+    std::printf("  checksum        %.10g (reference %.10g)\n",
+                r.checksum, ref);
+    std::printf("  misses          %llu\n",
+                static_cast<unsigned long long>(
+                    r.counters.totalMisses()));
+    std::printf("  messages        %llu (%llu remote / %llu local "
+                "/ %llu downgrade)\n",
+                static_cast<unsigned long long>(r.net.total()),
+                static_cast<unsigned long long>(r.net.remoteMsgs),
+                static_cast<unsigned long long>(r.net.localMsgs),
+                static_cast<unsigned long long>(
+                    r.net.downgradeMsgs));
+
+    const TimeBreakdown bd = r.breakdown;
+    std::printf("  breakdown       task %.0f%%  read %.0f%%  write "
+                "%.0f%%  sync %.0f%%  msg %.0f%%  other %.0f%%\n",
+                100.0 * bd.task() / bd.total,
+                100.0 * bd.parts.read / bd.total,
+                100.0 * bd.parts.write / bd.total,
+                100.0 * bd.parts.sync / bd.total,
+                100.0 * bd.parts.msg / bd.total,
+                100.0 * bd.parts.other / bd.total);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Application framework for the SPLASH-2-style workloads.
+ *
+ * The paper evaluates nine SPLASH-2 applications (Table 1).  This
+ * reproduction implements kernels with the same data structures,
+ * partitioning, sharing patterns, and synchronization as the
+ * originals, scaled so a full run takes seconds of host time (the
+ * exact inputs are recorded per app and in EXPERIMENTS.md).  Every
+ * app also provides a host-side sequential reference so the parallel
+ * result can be validated.
+ */
+
+#ifndef SHASTA_APPS_APP_HH
+#define SHASTA_APPS_APP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+
+/** Scale and feature knobs for one application run. */
+struct AppParams
+{
+    /** Primary problem size (matrix dim, bodies, molecules, grid). */
+    int n = 0;
+    /** Time steps / iterations. */
+    int iters = 1;
+    /** Apply the app's Table 2 coherence-granularity hint. */
+    bool variableGranularity = false;
+    /** Apply the home placement optimization (FMM, LU-Contig,
+     *  Ocean; Section 4.3). */
+    bool homePlacement = false;
+    std::uint64_t seed = 12345;
+};
+
+/** Everything measured in one application run. */
+struct AppResult
+{
+    Tick wallTime = 0;
+    TimeBreakdown breakdown;
+    ProtoCounters counters;
+    NetworkCounts net;
+    CheckCounters checks;
+    double checksum = 0.0;
+};
+
+/**
+ * One application.  Instances are single-use: create, setup, run.
+ */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Default problem size (scaled from Table 1). */
+    virtual AppParams defaultParams() const = 0;
+
+    /** Larger problem size (scaled from Table 3; n = 0 if the app is
+     *  not part of the Table 3 experiment). */
+    virtual AppParams largeParams() const = 0;
+
+    /** Block-size hint from Table 2 (0 if not a Table 2 app). */
+    virtual std::size_t granularityHint() const { return 0; }
+
+    /** Allocate and initialize shared data (host-side, pre-run). */
+    virtual void setup(Runtime &rt, const AppParams &p) = 0;
+
+    /** The per-processor kernel. */
+    virtual Task body(Context &ctx, const AppParams &p) = 0;
+
+    /** Result digest, read from the simulated memories post-run. */
+    virtual double checksum(Runtime &rt) = 0;
+
+    /** Host-side sequential reference producing the same digest. */
+    virtual double reference(const AppParams &p) const = 0;
+
+    /** Relative tolerance for checksum-vs-reference comparison
+     *  (larger for apps whose accumulation order is lock-dependent). */
+    virtual double tolerance() const { return 1e-9; }
+};
+
+/** Names of all registered applications, in the paper's order. */
+std::vector<std::string> appNames();
+
+/** Create an application by name (aborts on unknown names). */
+std::unique_ptr<App> createApp(const std::string &name);
+
+/** Set up and execute one run; collects all statistics. */
+AppResult runApp(App &app, const DsmConfig &cfg, const AppParams &p);
+
+} // namespace shasta
+
+#endif // SHASTA_APPS_APP_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Internal factory declarations, one per application kernel.
+ */
+
+#ifndef SHASTA_APPS_APP_FACTORIES_HH
+#define SHASTA_APPS_APP_FACTORIES_HH
+
+#include <memory>
+
+#include "apps/app.hh"
+
+namespace shasta
+{
+
+std::unique_ptr<App> makeBarnes();
+std::unique_ptr<App> makeFmm();
+std::unique_ptr<App> makeLu();
+std::unique_ptr<App> makeLuContig();
+std::unique_ptr<App> makeOcean();
+std::unique_ptr<App> makeRaytrace();
+std::unique_ptr<App> makeVolrend();
+std::unique_ptr<App> makeWaterNsq();
+std::unique_ptr<App> makeWaterSp();
+
+} // namespace shasta
+
+#endif // SHASTA_APPS_APP_FACTORIES_HH

@@ -1,0 +1,78 @@
+#include "apps/app.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/app_factories.hh"
+
+namespace shasta
+{
+
+std::vector<std::string>
+appNames()
+{
+    // Table 1's order.
+    return {"barnes",   "fmm",     "lu",        "lu-contig",
+            "ocean",    "raytrace", "volrend",  "water-nsq",
+            "water-sp"};
+}
+
+std::unique_ptr<App>
+createApp(const std::string &name)
+{
+    if (name == "barnes")
+        return makeBarnes();
+    if (name == "fmm")
+        return makeFmm();
+    if (name == "lu")
+        return makeLu();
+    if (name == "lu-contig")
+        return makeLuContig();
+    if (name == "ocean")
+        return makeOcean();
+    if (name == "raytrace")
+        return makeRaytrace();
+    if (name == "volrend")
+        return makeVolrend();
+    if (name == "water-nsq")
+        return makeWaterNsq();
+    if (name == "water-sp")
+        return makeWaterSp();
+    std::fprintf(stderr, "unknown application '%s'\n", name.c_str());
+    std::abort();
+}
+
+namespace
+{
+
+/** Wrapper giving every run the same shape: init barrier, measured
+ *  region, final barrier. */
+Task
+appMain(Context &c, App &app, const AppParams &p)
+{
+    co_await c.barrier();
+    c.beginMeasure();
+    co_await app.body(c, p);
+    co_await c.barrier();
+}
+
+} // namespace
+
+AppResult
+runApp(App &app, const DsmConfig &cfg, const AppParams &p)
+{
+    Runtime rt(cfg);
+    app.setup(rt, p);
+    rt.run([&](Context &c) { return appMain(c, app, p); });
+
+    AppResult r;
+    r.wallTime = rt.wallTime();
+    r.breakdown = rt.aggregateBreakdown();
+    r.counters = rt.counters();
+    r.net = rt.netCounts();
+    r.checks = rt.checkTotals();
+    r.checksum = app.checksum(rt);
+    return r;
+}
+
+} // namespace shasta

@@ -1,0 +1,710 @@
+/**
+ * @file
+ * Barnes: hierarchical N-body (SPLASH-2 "Barnes").
+ *
+ * An adaptive octree is (re)built over the bodies each step and
+ * forces are computed with the Barnes-Hut opening criterion.  As in
+ * the original, the cell and leaf data are shared read-mostly
+ * structures touched by every processor during the force phase --
+ * Table 2 raises their granularity to 512 bytes.  Tree build is
+ * serialized on processor 0 (the original builds in parallel with
+ * locks; the dominant sharing pattern -- cells written by one
+ * processor, then read by all -- is preserved).  Force computation
+ * and integration are parallel over a static partition of bodies.
+ *
+ * The traversal order is deterministic, so the parallel run matches
+ * the sequential reference bitwise.
+ */
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/app_factories.hh"
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+constexpr double kTheta2 = 0.36;  // opening criterion squared (0.6^2)
+constexpr double kEps2 = 1e-4;    // softening
+constexpr double kG = 1e-4;       // gravitational constant
+constexpr double kDt = 0.05;
+
+/** Body layout: pos[3], vel[3], acc[3], mass = 10 doubles. */
+constexpr int kBodyDoubles = 10;
+constexpr int kBodyBytes = kBodyDoubles * 8;
+
+/** Cell layout: com[3], mass, child[8] = 12 8-byte slots. */
+constexpr int kCellBytes = 96;
+
+/** Child slot encoding. */
+constexpr std::int64_t kEmpty = 0;
+
+std::int64_t
+encodeCell(int c)
+{
+    return c + 1;
+}
+
+std::int64_t
+encodeBody(int b)
+{
+    return -(static_cast<std::int64_t>(b) + 2);
+}
+
+bool isCell(std::int64_t v) { return v > 0; }
+bool isBody(std::int64_t v) { return v < -1; }
+int cellOf(std::int64_t v) { return static_cast<int>(v - 1); }
+int bodyOf(std::int64_t v) { return static_cast<int>(-v - 2); }
+
+/** Pairwise acceleration contribution on @p onto from (@p from_pos,
+ *  @p mass). */
+Vec3
+gravity(const Vec3 &onto, const Vec3 &from_pos, double mass)
+{
+    const Vec3 d = from_pos - onto;
+    const double r2 = d.norm2() + kEps2;
+    const double inv = 1.0 / (r2 * std::sqrt(r2));
+    return d * (kG * mass * inv);
+}
+
+/** Octant of @p p relative to @p center, and the child's center. */
+int
+octant(const Vec3 &p, Vec3 &center, double half)
+{
+    int oct = 0;
+    const double q = half / 2;
+    if (p.x >= center.x) {
+        oct |= 1;
+        center.x += q;
+    } else {
+        center.x -= q;
+    }
+    if (p.y >= center.y) {
+        oct |= 2;
+        center.y += q;
+    } else {
+        center.y -= q;
+    }
+    if (p.z >= center.z) {
+        oct |= 4;
+        center.z += q;
+    } else {
+        center.z -= q;
+    }
+    return oct;
+}
+
+class BarnesApp : public App
+{
+  public:
+    std::string name() const override { return "barnes"; }
+
+    AppParams
+    defaultParams() const override
+    {
+        AppParams p;
+        // Scaled from the paper's 16K particles.
+        p.n = 4096;
+        p.iters = 2;
+        return p;
+    }
+
+    AppParams
+    largeParams() const override
+    {
+        AppParams p;
+        // Scaled from Table 3's 64K particles.
+        p.n = 8192;
+        p.iters = 2;
+        return p;
+    }
+
+    std::size_t granularityHint() const override { return 512; }
+
+    void
+    setup(Runtime &rt, const AppParams &p) override
+    {
+        n_ = p.n;
+        iters_ = p.iters;
+        cellCap_ = 4 * n_ + 64;
+        const std::size_t hint =
+            p.variableGranularity ? granularityHint() : 0;
+        // Homed at processor 0's node: the (serialized) tree build
+        // then runs against local memory, as the original's parallel
+        // build effectively does.
+        bodies_ = rt.alloc(static_cast<std::size_t>(n_) *
+                           kBodyBytes);
+        cells_ = rt.allocHomed(static_cast<std::size_t>(cellCap_) *
+                                   kCellBytes,
+                               hint, 0);
+        bbox_ = rt.allocHomed(64, 0, 0);
+
+        Rng rng(p.seed);
+        for (int b = 0; b < n_; ++b) {
+            const Vec3 v = initPos(b, n_, p.seed);
+            initWrite<double>(rt, bpos(b) + 0, v.x);
+            initWrite<double>(rt, bpos(b) + 8, v.y);
+            initWrite<double>(rt, bpos(b) + 16, v.z);
+            for (int f = 3; f < 9; ++f)
+                initWrite<double>(rt, bfield(b, f), 0.0);
+            initWrite<double>(rt, bfield(b, 9),
+                              0.5 + rng.nextDouble());
+        }
+    }
+
+    Task body(Context &ctx, const AppParams &p) override;
+    double checksum(Runtime &rt) override;
+    double reference(const AppParams &p) const override;
+
+  private:
+    static Vec3
+    initPos(int b, int n, std::uint64_t seed)
+    {
+        // Jittered lattice; jitter derived per body so setup and
+        // reference agree without sharing an Rng stream.
+        Rng rng(seed * 1315423911ULL +
+                static_cast<std::uint64_t>(b));
+        const int side =
+            static_cast<int>(std::ceil(std::cbrt(n)));
+        Vec3 v;
+        v.x = (b % side + 0.2 + 0.6 * rng.nextDouble()) / side;
+        v.y = ((b / side) % side + 0.2 + 0.6 * rng.nextDouble()) /
+              side;
+        v.z = (b / (side * side) + 0.2 + 0.6 * rng.nextDouble()) /
+              side;
+        return v;
+    }
+
+    /** @{ Shared-memory layout helpers. */
+    Addr
+    bfield(int b, int f) const
+    {
+        return bodies_ + static_cast<Addr>(b) * kBodyBytes +
+               static_cast<Addr>(f) * 8;
+    }
+
+    Addr bpos(int b) const { return bfield(b, 0); }
+    Addr bvel(int b) const { return bfield(b, 3); }
+    Addr bacc(int b) const { return bfield(b, 6); }
+    Addr bmass(int b) const { return bfield(b, 9); }
+
+    Addr
+    cfield(int c, int f) const
+    {
+        return cells_ + static_cast<Addr>(c) * kCellBytes +
+               static_cast<Addr>(f) * 8;
+    }
+
+    Addr ccom(int c) const { return cfield(c, 0); }
+    Addr cmass(int c) const { return cfield(c, 3); }
+    Addr cchild(int c, int oct) const { return cfield(c, 4 + oct); }
+    /** @} */
+
+    /** @{ Tree phases (processor 0). */
+    Task buildTree(Context &ctx);
+    Task insertBody(Context &ctx, int b);
+    Task computeCom(Context &ctx, int c);
+    /** @} */
+
+    Task forceOnBody(Context &ctx, int b);
+
+    int n_ = 0;
+    int iters_ = 0;
+    int cellCap_ = 0;
+    Addr bodies_ = 0;
+    Addr cells_ = 0;
+    Addr bbox_ = 0;
+    /** Tree-build scratch (only processor 0 touches these). */
+    int nextCell_ = 0;
+    Vec3 rootCenter_;
+    double rootHalf_ = 0;
+};
+
+Task
+BarnesApp::buildTree(Context &ctx)
+{
+    // Bounding box over all bodies.
+    Vec3 lo{1e30, 1e30, 1e30}, hi{-1e30, -1e30, -1e30};
+    for (int b = 0; b < n_; ++b) {
+        auto br = co_await ctx.batch(bpos(b), 24, false);
+        const Vec3 v{ctx.rawLoad<double>(bpos(b) + 0),
+                     ctx.rawLoad<double>(bpos(b) + 8),
+                     ctx.rawLoad<double>(bpos(b) + 16)};
+        ctx.batchEnd(br);
+        lo.x = std::min(lo.x, v.x);
+        lo.y = std::min(lo.y, v.y);
+        lo.z = std::min(lo.z, v.z);
+        hi.x = std::max(hi.x, v.x);
+        hi.y = std::max(hi.y, v.y);
+        hi.z = std::max(hi.z, v.z);
+        ctx.compute(12);
+        co_await ctx.poll();
+    }
+    rootCenter_ = (lo + hi) * 0.5;
+    rootHalf_ =
+        0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z}) +
+        1e-9;
+    // Publish for the force phase.
+    {
+        auto bw = co_await ctx.batch(bbox_, 32, true);
+        ctx.rawStore<double>(bbox_ + 0, rootCenter_.x);
+        ctx.rawStore<double>(bbox_ + 8, rootCenter_.y);
+        ctx.rawStore<double>(bbox_ + 16, rootCenter_.z);
+        ctx.rawStore<double>(bbox_ + 24, rootHalf_);
+        ctx.batchEnd(bw);
+    }
+
+    // Fresh root.
+    nextCell_ = 1;
+    {
+        auto bw = co_await ctx.batch(cchild(0, 0), 64, true);
+        for (int oct = 0; oct < 8; ++oct)
+            ctx.rawStore<std::int64_t>(cchild(0, oct), kEmpty);
+        ctx.batchEnd(bw);
+    }
+
+    for (int b = 0; b < n_; ++b) {
+        co_await insertBody(ctx, b);
+        co_await ctx.poll();
+    }
+    co_await computeCom(ctx, 0);
+}
+
+Task
+BarnesApp::insertBody(Context &ctx, int b)
+{
+    auto br = co_await ctx.batch(bpos(b), 24, false);
+    const Vec3 p{ctx.rawLoad<double>(bpos(b) + 0),
+                 ctx.rawLoad<double>(bpos(b) + 8),
+                 ctx.rawLoad<double>(bpos(b) + 16)};
+    ctx.batchEnd(br);
+
+    int node = 0;
+    Vec3 center = rootCenter_;
+    double half = rootHalf_;
+    int depth = 0;
+    for (;;) {
+        assert(++depth < 64 && "bodies too close; tree blew up");
+        const int oct = octant(p, center, half);
+        half /= 2;
+        const std::int64_t child =
+            co_await ctx.loadI64(cchild(node, oct));
+        if (child == kEmpty) {
+            co_await ctx.storeI64(cchild(node, oct), encodeBody(b));
+            co_return;
+        }
+        if (isCell(child)) {
+            node = cellOf(child);
+            continue;
+        }
+        // Slot holds a body: split it into a fresh cell and keep
+        // descending (both bodies may share further octants).
+        const int other = bodyOf(child);
+        auto ob = co_await ctx.batch(bpos(other), 24, false);
+        Vec3 op{ctx.rawLoad<double>(bpos(other) + 0),
+                ctx.rawLoad<double>(bpos(other) + 8),
+                ctx.rawLoad<double>(bpos(other) + 16)};
+        ctx.batchEnd(ob);
+
+        const int nc = nextCell_++;
+        assert(nc < cellCap_ && "cell pool exhausted");
+        {
+            auto cw = co_await ctx.batch(cchild(nc, 0), 64, true);
+            for (int o = 0; o < 8; ++o)
+                ctx.rawStore<std::int64_t>(cchild(nc, o), kEmpty);
+            ctx.batchEnd(cw);
+        }
+        co_await ctx.storeI64(cchild(node, oct), encodeCell(nc));
+        // Re-place the displaced body one level down.
+        Vec3 oc = center;
+        const int ooct = octant(op, oc, half);
+        co_await ctx.storeI64(cchild(nc, ooct), encodeBody(other));
+        node = nc;
+        ctx.compute(40);
+    }
+}
+
+Task
+BarnesApp::computeCom(Context &ctx, int c)
+{
+    Vec3 com{};
+    double mass = 0;
+    auto bc = co_await ctx.batch(cchild(c, 0), 64, false);
+    std::array<std::int64_t, 8> kids{};
+    for (int oct = 0; oct < 8; ++oct)
+        kids[static_cast<std::size_t>(oct)] =
+            ctx.rawLoad<std::int64_t>(cchild(c, oct));
+    ctx.batchEnd(bc);
+
+    for (int oct = 0; oct < 8; ++oct) {
+        const std::int64_t kid =
+            kids[static_cast<std::size_t>(oct)];
+        if (kid == kEmpty)
+            continue;
+        if (isCell(kid)) {
+            const int cc = cellOf(kid);
+            co_await computeCom(ctx, cc);
+            auto br = co_await ctx.batch(ccom(cc), 32, false);
+            const double m = ctx.rawLoad<double>(cmass(cc));
+            const Vec3 cm{ctx.rawLoad<double>(ccom(cc) + 0),
+                          ctx.rawLoad<double>(ccom(cc) + 8),
+                          ctx.rawLoad<double>(ccom(cc) + 16)};
+            ctx.batchEnd(br);
+            com += cm * m;
+            mass += m;
+        } else {
+            const int b = bodyOf(kid);
+            auto bs = co_await ctx.batchSet({bpos(b), 24, false},
+                                            {bmass(b), 8, false});
+            const double m = ctx.rawLoad<double>(bmass(b));
+            const Vec3 bp{ctx.rawLoad<double>(bpos(b) + 0),
+                          ctx.rawLoad<double>(bpos(b) + 8),
+                          ctx.rawLoad<double>(bpos(b) + 16)};
+            ctx.batchEnd(bs);
+            com += bp * m;
+            mass += m;
+        }
+        ctx.compute(20);
+    }
+    com = com * (1.0 / mass);
+    auto bw = co_await ctx.batch(ccom(c), 32, true);
+    ctx.rawStore<double>(ccom(c) + 0, com.x);
+    ctx.rawStore<double>(ccom(c) + 8, com.y);
+    ctx.rawStore<double>(ccom(c) + 16, com.z);
+    ctx.rawStore<double>(cmass(c), mass);
+    ctx.batchEnd(bw);
+    co_await ctx.poll();
+}
+
+Task
+BarnesApp::forceOnBody(Context &ctx, int b)
+{
+    auto br = co_await ctx.batch(bpos(b), 24, false);
+    const Vec3 p{ctx.rawLoad<double>(bpos(b) + 0),
+                 ctx.rawLoad<double>(bpos(b) + 8),
+                 ctx.rawLoad<double>(bpos(b) + 16)};
+    ctx.batchEnd(br);
+
+    // Root geometry published by the tree builder.
+    auto bb = co_await ctx.batch(bbox_, 32, false);
+    const double root_half = ctx.rawLoad<double>(bbox_ + 24);
+    ctx.batchEnd(bb);
+
+    Vec3 acc{};
+    std::vector<std::pair<std::int64_t, double>> stack;
+    stack.emplace_back(encodeCell(0), root_half);
+    while (!stack.empty()) {
+        const auto [node, half] = stack.back();
+        stack.pop_back();
+        if (isBody(node)) {
+            const int j = bodyOf(node);
+            if (j == b)
+                continue;
+            auto bs = co_await ctx.batchSet({bpos(j), 24, false},
+                                            {bmass(j), 8, false});
+            const Vec3 jp{ctx.rawLoad<double>(bpos(j) + 0),
+                          ctx.rawLoad<double>(bpos(j) + 8),
+                          ctx.rawLoad<double>(bpos(j) + 16)};
+            const double jm = ctx.rawLoad<double>(bmass(j));
+            ctx.batchEnd(bs);
+            acc += gravity(p, jp, jm);
+            ctx.compute(300);
+            co_await ctx.poll();
+            continue;
+        }
+        const int c = cellOf(node);
+        auto bs = co_await ctx.batch(ccom(c), 32, false);
+        const Vec3 cm{ctx.rawLoad<double>(ccom(c) + 0),
+                      ctx.rawLoad<double>(ccom(c) + 8),
+                      ctx.rawLoad<double>(ccom(c) + 16)};
+        const double m = ctx.rawLoad<double>(cmass(c));
+        ctx.batchEnd(bs);
+        const double d2 = (cm - p).norm2() + kEps2;
+        const double size = 2 * half;
+        if (size * size < kTheta2 * d2) {
+            acc += gravity(p, cm, m);
+            ctx.compute(300);
+        } else {
+            auto bk = co_await ctx.batch(cchild(c, 0), 64, false);
+            // Push in reverse so children pop in octant order,
+            // matching the sequential reference exactly.
+            for (int oct = 7; oct >= 0; --oct) {
+                const std::int64_t kid =
+                    ctx.rawLoad<std::int64_t>(cchild(c, oct));
+                if (kid != kEmpty)
+                    stack.emplace_back(kid, half / 2);
+            }
+            ctx.batchEnd(bk);
+            ctx.compute(20);
+        }
+        co_await ctx.poll();
+    }
+
+    auto bw = co_await ctx.batch(bacc(b), 24, true);
+    ctx.rawStore<double>(bacc(b) + 0, acc.x);
+    ctx.rawStore<double>(bacc(b) + 8, acc.y);
+    ctx.rawStore<double>(bacc(b) + 16, acc.z);
+    ctx.batchEnd(bw);
+}
+
+Task
+BarnesApp::body(Context &ctx, const AppParams &p)
+{
+    (void)p;
+    const Range owned = partition(n_, ctx.numProcs(), ctx.id());
+    for (int it = 0; it < iters_; ++it) {
+        if (ctx.id() == 0)
+            co_await buildTree(ctx);
+        co_await ctx.barrier();
+
+        for (int b = owned.begin; b < owned.end; ++b)
+            co_await forceOnBody(ctx, b);
+        co_await ctx.barrier();
+
+        for (int b = owned.begin; b < owned.end; ++b) {
+            auto bs = co_await ctx.batchSet({bpos(b), 48, true},
+                                            {bacc(b), 24, false});
+            for (int d = 0; d < 3; ++d) {
+                const Addr pa = bpos(b) + static_cast<Addr>(d) * 8;
+                const Addr va = bvel(b) + static_cast<Addr>(d) * 8;
+                const Addr aa = bacc(b) + static_cast<Addr>(d) * 8;
+                const double v = ctx.rawLoad<double>(va) +
+                                 ctx.rawLoad<double>(aa) * kDt;
+                ctx.rawStore<double>(va, v);
+                ctx.rawStore<double>(
+                    pa, ctx.rawLoad<double>(pa) + v * kDt);
+            }
+            ctx.batchEnd(bs);
+            ctx.compute(30);
+            co_await ctx.poll();
+        }
+        co_await ctx.barrier();
+    }
+}
+
+double
+BarnesApp::checksum(Runtime &rt)
+{
+    double sum = 0;
+    for (int b = 0; b < n_; ++b) {
+        sum += finalRead<double>(rt, bpos(b) + 0) +
+               2.0 * finalRead<double>(rt, bpos(b) + 8) +
+               3.0 * finalRead<double>(rt, bpos(b) + 16);
+    }
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+// Host-side reference (mirrors the kernel's arithmetic exactly)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct HostCell
+{
+    Vec3 com;
+    double mass = 0;
+    std::array<std::int64_t, 8> child{};
+};
+
+struct HostTree
+{
+    std::vector<HostCell> cells;
+    Vec3 rootCenter;
+    double rootHalf = 0;
+};
+
+void
+hostInsert(HostTree &t, const std::vector<Vec3> &pos, int b)
+{
+    int node = 0;
+    Vec3 center = t.rootCenter;
+    double half = t.rootHalf;
+    for (;;) {
+        const int oct = octant(pos[static_cast<std::size_t>(b)],
+                               center, half);
+        half /= 2;
+        std::int64_t &slot =
+            t.cells[static_cast<std::size_t>(node)]
+                .child[static_cast<std::size_t>(oct)];
+        if (slot == kEmpty) {
+            slot = encodeBody(b);
+            return;
+        }
+        if (isCell(slot)) {
+            node = cellOf(slot);
+            continue;
+        }
+        const int other = bodyOf(slot);
+        t.cells.emplace_back();
+        const int nc = static_cast<int>(t.cells.size()) - 1;
+        t.cells[static_cast<std::size_t>(node)]
+            .child[static_cast<std::size_t>(oct)] = encodeCell(nc);
+        Vec3 oc = center;
+        const int ooct = octant(
+            pos[static_cast<std::size_t>(other)], oc, half);
+        t.cells[static_cast<std::size_t>(nc)]
+            .child[static_cast<std::size_t>(ooct)] =
+            encodeBody(other);
+        node = nc;
+    }
+}
+
+void
+hostCom(HostTree &t, const std::vector<Vec3> &pos,
+        const std::vector<double> &mass, int c)
+{
+    Vec3 com{};
+    double m = 0;
+    const auto kids = t.cells[static_cast<std::size_t>(c)].child;
+    for (int oct = 0; oct < 8; ++oct) {
+        const std::int64_t kid =
+            kids[static_cast<std::size_t>(oct)];
+        if (kid == kEmpty)
+            continue;
+        if (isCell(kid)) {
+            const int cc = cellOf(kid);
+            hostCom(t, pos, mass, cc);
+            com += t.cells[static_cast<std::size_t>(cc)].com *
+                   t.cells[static_cast<std::size_t>(cc)].mass;
+            m += t.cells[static_cast<std::size_t>(cc)].mass;
+        } else {
+            const int b = bodyOf(kid);
+            com += pos[static_cast<std::size_t>(b)] *
+                   mass[static_cast<std::size_t>(b)];
+            m += mass[static_cast<std::size_t>(b)];
+        }
+    }
+    t.cells[static_cast<std::size_t>(c)].com = com * (1.0 / m);
+    t.cells[static_cast<std::size_t>(c)].mass = m;
+}
+
+Vec3
+hostForce(const HostTree &t, const std::vector<Vec3> &pos,
+          const std::vector<double> &mass, int b)
+{
+    const Vec3 p = pos[static_cast<std::size_t>(b)];
+    Vec3 acc{};
+    std::vector<std::pair<std::int64_t, double>> stack;
+    stack.emplace_back(encodeCell(0), t.rootHalf);
+    while (!stack.empty()) {
+        const auto [node, half] = stack.back();
+        stack.pop_back();
+        if (isBody(node)) {
+            const int j = bodyOf(node);
+            if (j != b) {
+                acc += gravity(p, pos[static_cast<std::size_t>(j)],
+                               mass[static_cast<std::size_t>(j)]);
+            }
+            continue;
+        }
+        const HostCell &c =
+            t.cells[static_cast<std::size_t>(cellOf(node))];
+        const double d2 = (c.com - p).norm2() + kEps2;
+        const double size = 2 * half;
+        if (size * size < kTheta2 * d2) {
+            acc += gravity(p, c.com, c.mass);
+        } else {
+            for (int oct = 7; oct >= 0; --oct) {
+                const std::int64_t kid =
+                    c.child[static_cast<std::size_t>(oct)];
+                if (kid != kEmpty)
+                    stack.emplace_back(kid, half / 2);
+            }
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+double
+BarnesApp::reference(const AppParams &p) const
+{
+    const int n = p.n;
+    std::vector<Vec3> pos(static_cast<std::size_t>(n));
+    std::vector<Vec3> vel(static_cast<std::size_t>(n));
+    std::vector<Vec3> acc(static_cast<std::size_t>(n));
+    std::vector<double> mass(static_cast<std::size_t>(n));
+    Rng rng(p.seed);
+    for (int b = 0; b < n; ++b) {
+        pos[static_cast<std::size_t>(b)] = initPos(b, n, p.seed);
+        mass[static_cast<std::size_t>(b)] = 0.5 + rng.nextDouble();
+    }
+    for (int it = 0; it < p.iters; ++it) {
+        HostTree t;
+        Vec3 lo{1e30, 1e30, 1e30}, hi{-1e30, -1e30, -1e30};
+        for (const auto &v : pos) {
+            lo.x = std::min(lo.x, v.x);
+            lo.y = std::min(lo.y, v.y);
+            lo.z = std::min(lo.z, v.z);
+            hi.x = std::max(hi.x, v.x);
+            hi.y = std::max(hi.y, v.y);
+            hi.z = std::max(hi.z, v.z);
+        }
+        t.rootCenter = (lo + hi) * 0.5;
+        t.rootHalf = 0.5 * std::max({hi.x - lo.x, hi.y - lo.y,
+                                     hi.z - lo.z}) +
+                     1e-9;
+        t.cells.emplace_back();
+        for (int b = 0; b < n; ++b)
+            hostInsert(t, pos, b);
+        hostCom(t, pos, mass, 0);
+        for (int b = 0; b < n; ++b)
+            acc[static_cast<std::size_t>(b)] =
+                hostForce(t, pos, mass, b);
+        for (int b = 0; b < n; ++b) {
+            for (int d = 0; d < 3; ++d) {
+                double *vv = d == 0
+                                 ? &vel[static_cast<std::size_t>(b)].x
+                                 : (d == 1 ? &vel[static_cast<
+                                                 std::size_t>(b)]
+                                                 .y
+                                           : &vel[static_cast<
+                                                 std::size_t>(b)]
+                                                 .z);
+                const double *aa =
+                    d == 0 ? &acc[static_cast<std::size_t>(b)].x
+                           : (d == 1
+                                  ? &acc[static_cast<std::size_t>(b)]
+                                        .y
+                                  : &acc[static_cast<std::size_t>(b)]
+                                        .z);
+                double *pp =
+                    d == 0 ? &pos[static_cast<std::size_t>(b)].x
+                           : (d == 1
+                                  ? &pos[static_cast<std::size_t>(b)]
+                                        .y
+                                  : &pos[static_cast<std::size_t>(b)]
+                                        .z);
+                *vv += *aa * kDt;
+                *pp += *vv * kDt;
+            }
+        }
+    }
+    double sum = 0;
+    for (int b = 0; b < n; ++b) {
+        sum += pos[static_cast<std::size_t>(b)].x +
+               2.0 * pos[static_cast<std::size_t>(b)].y +
+               3.0 * pos[static_cast<std::size_t>(b)].z;
+    }
+    return sum;
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeBarnes()
+{
+    return std::make_unique<BarnesApp>();
+}
+
+} // namespace shasta

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * FMM: fast-multipole-style N-body (SPLASH-2 "FMM", reduced to a
+ * uniform-grid monopole method that preserves the sharing pattern:
+ * a read-mostly box array consulted by every processor -- Table 2
+ * raises its granularity to 256 bytes -- plus neighbour-box particle
+ * reads and owner-only writes).
+ *
+ * Each step: box owners compute their box's centre of mass (upward
+ * pass); every owner then computes forces on its boxes' particles --
+ * direct interactions with particles in the 27 neighbouring boxes,
+ * monopole approximations for all other boxes; owners integrate.
+ * Particles are ordered by box so home placement can put each
+ * owner's slab on its node.
+ */
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/app_factories.hh"
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+constexpr double kEps2 = 1e-4;
+constexpr double kG = 1e-4;
+constexpr double kDt = 0.05;
+
+/** Particle layout: pos[3], vel[3], acc[3], mass. */
+constexpr int kPartDoubles = 10;
+constexpr int kPartBytes = kPartDoubles * 8;
+
+/** Box layout: com[3], mass. */
+constexpr int kBoxBytes = 32;
+
+Vec3
+gravity(const Vec3 &onto, const Vec3 &from, double mass)
+{
+    const Vec3 d = from - onto;
+    const double r2 = d.norm2() + kEps2;
+    const double inv = 1.0 / (r2 * std::sqrt(r2));
+    return d * (kG * mass * inv);
+}
+
+class FmmApp : public App
+{
+  public:
+    std::string name() const override { return "fmm"; }
+
+    AppParams
+    defaultParams() const override
+    {
+        AppParams p;
+        // Scaled from the paper's 32K particles.
+        p.n = 4096;
+        p.iters = 2;
+        return p;
+    }
+
+    AppParams
+    largeParams() const override
+    {
+        AppParams p;
+        // Scaled from Table 3's 64K particles.
+        p.n = 8192;
+        p.iters = 2;
+        return p;
+    }
+
+    std::size_t granularityHint() const override { return 256; }
+
+    void
+    setup(Runtime &rt, const AppParams &p) override
+    {
+        n_ = p.n;
+        iters_ = p.iters;
+        grid_ = std::max(
+            2, static_cast<int>(std::floor(std::cbrt(n_ / 16.0))));
+        const int nboxes = grid_ * grid_ * grid_;
+
+        // Place particles, then order them by box so each box's
+        // particles are contiguous.
+        const std::vector<Vec3> raw = positions(n_, p.seed);
+        boxStart_.assign(static_cast<std::size_t>(nboxes) + 1, 0);
+        order_.resize(static_cast<std::size_t>(n_));
+        std::vector<int> box_of(static_cast<std::size_t>(n_));
+        for (int i = 0; i < n_; ++i) {
+            box_of[static_cast<std::size_t>(i)] =
+                boxOf(raw[static_cast<std::size_t>(i)]);
+            ++boxStart_[static_cast<std::size_t>(
+                box_of[static_cast<std::size_t>(i)] + 1)];
+        }
+        for (int b = 0; b < nboxes; ++b)
+            boxStart_[static_cast<std::size_t>(b + 1)] +=
+                boxStart_[static_cast<std::size_t>(b)];
+        {
+            std::vector<int> cursor(boxStart_.begin(),
+                                    boxStart_.end() - 1);
+            for (int i = 0; i < n_; ++i) {
+                const int b = box_of[static_cast<std::size_t>(i)];
+                order_[static_cast<std::size_t>(
+                    cursor[static_cast<std::size_t>(b)]++)] = i;
+            }
+        }
+
+        const std::size_t hint =
+            p.variableGranularity ? granularityHint() : 0;
+        boxes_ = rt.alloc(
+            static_cast<std::size_t>(nboxes) * kBoxBytes, hint);
+
+        const int procs = rt.numProcs();
+        if (p.homePlacement && rt.config().protocolActive()) {
+            // Slab per processor (its boxes' particles), homed there.
+            partAddr_.resize(static_cast<std::size_t>(n_));
+            for (int q = 0; q < procs; ++q) {
+                std::size_t count = 0;
+                for (int b = q; b < nboxes; b += procs) {
+                    count += static_cast<std::size_t>(
+                        boxStart_[static_cast<std::size_t>(b + 1)] -
+                        boxStart_[static_cast<std::size_t>(b)]);
+                }
+                if (count == 0)
+                    continue;
+                Addr a =
+                    rt.allocHomed(count * kPartBytes, 0, q);
+                for (int b = q; b < nboxes; b += procs) {
+                    for (int s =
+                             boxStart_[static_cast<std::size_t>(b)];
+                         s < boxStart_[static_cast<std::size_t>(
+                                 b + 1)];
+                         ++s) {
+                        partAddr_[static_cast<std::size_t>(s)] = a;
+                        a += kPartBytes;
+                    }
+                }
+            }
+        } else {
+            const Addr a = rt.alloc(static_cast<std::size_t>(n_) *
+                                    kPartBytes);
+            partAddr_.resize(static_cast<std::size_t>(n_));
+            for (int s = 0; s < n_; ++s)
+                partAddr_[static_cast<std::size_t>(s)] =
+                    a + static_cast<Addr>(s) * kPartBytes;
+        }
+
+        Rng rng(p.seed ^ 0xF33D);
+        for (int s = 0; s < n_; ++s) {
+            const Vec3 &v = raw[static_cast<std::size_t>(
+                order_[static_cast<std::size_t>(s)])];
+            initWrite<double>(rt, pf(s, 0), v.x);
+            initWrite<double>(rt, pf(s, 1), v.y);
+            initWrite<double>(rt, pf(s, 2), v.z);
+            for (int f = 3; f < 9; ++f)
+                initWrite<double>(rt, pf(s, f), 0.0);
+            initWrite<double>(rt, pf(s, 9), 0.5 + rng.nextDouble());
+        }
+    }
+
+    Task
+    body(Context &ctx, const AppParams &p) override
+    {
+        (void)p;
+        const int me = ctx.id();
+        const int procs = ctx.numProcs();
+        const int nboxes = grid_ * grid_ * grid_;
+
+        for (int it = 0; it < iters_; ++it) {
+            // Upward pass: owners compute box monopoles.
+            for (int b = me; b < nboxes; b += procs)
+                co_await computeBox(ctx, b);
+            co_await ctx.barrier();
+
+            // Interaction pass.
+            for (int b = me; b < nboxes; b += procs)
+                co_await boxForces(ctx, b, nboxes);
+            co_await ctx.barrier();
+
+            // Integration.
+            for (int b = me; b < nboxes; b += procs) {
+                for (int s =
+                         boxStart_[static_cast<std::size_t>(b)];
+                     s < boxStart_[static_cast<std::size_t>(b + 1)];
+                     ++s) {
+                    auto bs = co_await ctx.batchSet(
+                        {pf(s, 0), 48, true}, {pf(s, 6), 24, false});
+                    for (int d = 0; d < 3; ++d) {
+                        const double v =
+                            ctx.rawLoad<double>(pf(s, 3 + d)) +
+                            ctx.rawLoad<double>(pf(s, 6 + d)) * kDt;
+                        ctx.rawStore<double>(pf(s, 3 + d), v);
+                        ctx.rawStore<double>(
+                            pf(s, d),
+                            ctx.rawLoad<double>(pf(s, d)) + v * kDt);
+                    }
+                    ctx.batchEnd(bs);
+                    ctx.compute(30);
+                    co_await ctx.poll();
+                }
+            }
+            co_await ctx.barrier();
+        }
+    }
+
+    double
+    checksum(Runtime &rt) override
+    {
+        double sum = 0;
+        for (int s = 0; s < n_; ++s) {
+            sum += finalRead<double>(rt, pf(s, 0)) +
+                   2.0 * finalRead<double>(rt, pf(s, 1)) +
+                   3.0 * finalRead<double>(rt, pf(s, 2));
+        }
+        return sum;
+    }
+
+    double reference(const AppParams &p) const override;
+
+  private:
+    static std::vector<Vec3>
+    positions(int n, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<Vec3> out(static_cast<std::size_t>(n));
+        for (auto &v : out) {
+            v.x = rng.nextDouble();
+            v.y = rng.nextDouble();
+            v.z = rng.nextDouble();
+        }
+        return out;
+    }
+
+    int
+    boxOf(const Vec3 &v) const
+    {
+        auto c = [&](double x) {
+            int q = static_cast<int>(x * grid_);
+            return q >= grid_ ? grid_ - 1 : (q < 0 ? 0 : q);
+        };
+        return (c(v.x) * grid_ + c(v.y)) * grid_ + c(v.z);
+    }
+
+    bool
+    adjacent(int a, int b) const
+    {
+        const int ax = a / (grid_ * grid_), ay = (a / grid_) % grid_,
+                  az = a % grid_;
+        const int bx = b / (grid_ * grid_), by = (b / grid_) % grid_,
+                  bz = b % grid_;
+        return std::abs(ax - bx) <= 1 && std::abs(ay - by) <= 1 &&
+               std::abs(az - bz) <= 1;
+    }
+
+    /** Slot address: particle slot @p s, field @p f. */
+    Addr
+    pf(int s, int f) const
+    {
+        return partAddr_[static_cast<std::size_t>(s)] +
+               static_cast<Addr>(f) * 8;
+    }
+
+    Addr
+    boxAddr(int b) const
+    {
+        return boxes_ + static_cast<Addr>(b) * kBoxBytes;
+    }
+
+    Task
+    computeBox(Context &ctx, int b)
+    {
+        Vec3 com{};
+        double mass = 0;
+        for (int s = boxStart_[static_cast<std::size_t>(b)];
+             s < boxStart_[static_cast<std::size_t>(b + 1)]; ++s) {
+            auto bs = co_await ctx.batchSet({pf(s, 0), 24, false},
+                                            {pf(s, 9), 8, false});
+            const double m = ctx.rawLoad<double>(pf(s, 9));
+            com += Vec3{ctx.rawLoad<double>(pf(s, 0)),
+                        ctx.rawLoad<double>(pf(s, 1)),
+                        ctx.rawLoad<double>(pf(s, 2))} *
+                   m;
+            mass += m;
+            ctx.batchEnd(bs);
+            ctx.compute(15);
+            co_await ctx.poll();
+        }
+        if (mass > 0)
+            com = com * (1.0 / mass);
+        auto bw = co_await ctx.batch(boxAddr(b), 32, true);
+        ctx.rawStore<double>(boxAddr(b) + 0, com.x);
+        ctx.rawStore<double>(boxAddr(b) + 8, com.y);
+        ctx.rawStore<double>(boxAddr(b) + 16, com.z);
+        ctx.rawStore<double>(boxAddr(b) + 24, mass);
+        ctx.batchEnd(bw);
+    }
+
+    Task
+    boxForces(Context &ctx, int b, int nboxes)
+    {
+        for (int s = boxStart_[static_cast<std::size_t>(b)];
+             s < boxStart_[static_cast<std::size_t>(b + 1)]; ++s) {
+            auto bp = co_await ctx.batch(pf(s, 0), 24, false);
+            const Vec3 pi{ctx.rawLoad<double>(pf(s, 0)),
+                          ctx.rawLoad<double>(pf(s, 1)),
+                          ctx.rawLoad<double>(pf(s, 2))};
+            ctx.batchEnd(bp);
+            Vec3 acc{};
+            for (int c = 0; c < nboxes; ++c) {
+                if (adjacent(b, c)) {
+                    // Direct interactions with the neighbour box.
+                    for (int t = boxStart_[
+                             static_cast<std::size_t>(c)];
+                         t < boxStart_[static_cast<std::size_t>(
+                                 c + 1)];
+                         ++t) {
+                        if (t == s)
+                            continue;
+                        auto bs = co_await ctx.batchSet(
+                            {pf(t, 0), 24, false},
+                            {pf(t, 9), 8, false});
+                        const Vec3 pj{
+                            ctx.rawLoad<double>(pf(t, 0)),
+                            ctx.rawLoad<double>(pf(t, 1)),
+                            ctx.rawLoad<double>(pf(t, 2))};
+                        const double mj =
+                            ctx.rawLoad<double>(pf(t, 9));
+                        ctx.batchEnd(bs);
+                        acc += gravity(pi, pj, mj);
+                        ctx.compute(300);
+                    }
+                } else {
+                    // Monopole approximation.
+                    auto bs = co_await ctx.batch(boxAddr(c), 32,
+                                                 false);
+                    const Vec3 com{
+                        ctx.rawLoad<double>(boxAddr(c) + 0),
+                        ctx.rawLoad<double>(boxAddr(c) + 8),
+                        ctx.rawLoad<double>(boxAddr(c) + 16)};
+                    const double m =
+                        ctx.rawLoad<double>(boxAddr(c) + 24);
+                    ctx.batchEnd(bs);
+                    if (m > 0)
+                        acc += gravity(pi, com, m);
+                    ctx.compute(300);
+                }
+                co_await ctx.poll();
+            }
+            auto bw = co_await ctx.batch(pf(s, 6), 24, true);
+            ctx.rawStore<double>(pf(s, 6), acc.x);
+            ctx.rawStore<double>(pf(s, 7), acc.y);
+            ctx.rawStore<double>(pf(s, 8), acc.z);
+            ctx.batchEnd(bw);
+        }
+    }
+
+    int n_ = 0;
+    int iters_ = 0;
+    int grid_ = 0;
+    Addr boxes_ = 0;
+    std::vector<Addr> partAddr_;
+    std::vector<int> boxStart_;
+    std::vector<int> order_;
+};
+
+double
+FmmApp::reference(const AppParams &p) const
+{
+    // Mirror setup()'s particle ordering and the kernel's arithmetic.
+    const int n = p.n;
+    const int grid = std::max(
+        2, static_cast<int>(std::floor(std::cbrt(n / 16.0))));
+    const int nboxes = grid * grid * grid;
+
+    const std::vector<Vec3> raw = positions(n, p.seed);
+    std::vector<int> start(static_cast<std::size_t>(nboxes) + 1, 0);
+    std::vector<int> box_of(static_cast<std::size_t>(n));
+    auto box_index = [&](const Vec3 &v) {
+        auto c = [&](double x) {
+            int q = static_cast<int>(x * grid);
+            return q >= grid ? grid - 1 : (q < 0 ? 0 : q);
+        };
+        return (c(v.x) * grid + c(v.y)) * grid + c(v.z);
+    };
+    for (int i = 0; i < n; ++i) {
+        box_of[static_cast<std::size_t>(i)] =
+            box_index(raw[static_cast<std::size_t>(i)]);
+        ++start[static_cast<std::size_t>(
+            box_of[static_cast<std::size_t>(i)] + 1)];
+    }
+    for (int b = 0; b < nboxes; ++b)
+        start[static_cast<std::size_t>(b + 1)] +=
+            start[static_cast<std::size_t>(b)];
+    std::vector<Vec3> pos(static_cast<std::size_t>(n));
+    {
+        std::vector<int> cursor(start.begin(), start.end() - 1);
+        for (int i = 0; i < n; ++i) {
+            const int b = box_of[static_cast<std::size_t>(i)];
+            pos[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(b)]++)] =
+                raw[static_cast<std::size_t>(i)];
+        }
+    }
+    std::vector<double> mass(static_cast<std::size_t>(n));
+    Rng rng(p.seed ^ 0xF33D);
+    for (auto &m : mass)
+        m = 0.5 + rng.nextDouble();
+    std::vector<Vec3> vel(static_cast<std::size_t>(n));
+    std::vector<Vec3> acc(static_cast<std::size_t>(n));
+    std::vector<Vec3> com(static_cast<std::size_t>(nboxes));
+    std::vector<double> bmass(static_cast<std::size_t>(nboxes));
+
+    auto adjacent = [&](int a, int b) {
+        const int ax = a / (grid * grid), ay = (a / grid) % grid,
+                  az = a % grid;
+        const int bx = b / (grid * grid), by = (b / grid) % grid,
+                  bz = b % grid;
+        return std::abs(ax - bx) <= 1 && std::abs(ay - by) <= 1 &&
+               std::abs(az - bz) <= 1;
+    };
+
+    for (int it = 0; it < p.iters; ++it) {
+        for (int b = 0; b < nboxes; ++b) {
+            Vec3 c{};
+            double m = 0;
+            for (int s = start[static_cast<std::size_t>(b)];
+                 s < start[static_cast<std::size_t>(b + 1)]; ++s) {
+                c += pos[static_cast<std::size_t>(s)] *
+                     mass[static_cast<std::size_t>(s)];
+                m += mass[static_cast<std::size_t>(s)];
+            }
+            if (m > 0)
+                c = c * (1.0 / m);
+            com[static_cast<std::size_t>(b)] = c;
+            bmass[static_cast<std::size_t>(b)] = m;
+        }
+        for (int b = 0; b < nboxes; ++b) {
+            for (int s = start[static_cast<std::size_t>(b)];
+                 s < start[static_cast<std::size_t>(b + 1)]; ++s) {
+                Vec3 a{};
+                for (int c = 0; c < nboxes; ++c) {
+                    if (adjacent(b, c)) {
+                        for (int t =
+                                 start[static_cast<std::size_t>(c)];
+                             t < start[static_cast<std::size_t>(
+                                     c + 1)];
+                             ++t) {
+                            if (t != s)
+                                a += gravity(
+                                    pos[static_cast<std::size_t>(s)],
+                                    pos[static_cast<std::size_t>(t)],
+                                    mass[static_cast<std::size_t>(
+                                        t)]);
+                        }
+                    } else if (bmass[static_cast<std::size_t>(c)] >
+                               0) {
+                        a += gravity(
+                            pos[static_cast<std::size_t>(s)],
+                            com[static_cast<std::size_t>(c)],
+                            bmass[static_cast<std::size_t>(c)]);
+                    }
+                }
+                acc[static_cast<std::size_t>(s)] = a;
+            }
+        }
+        for (int s = 0; s < n; ++s) {
+            vel[static_cast<std::size_t>(s)] +=
+                acc[static_cast<std::size_t>(s)] * kDt;
+            pos[static_cast<std::size_t>(s)] +=
+                vel[static_cast<std::size_t>(s)] * kDt;
+        }
+    }
+    double sum = 0;
+    for (int s = 0; s < n; ++s) {
+        sum += pos[static_cast<std::size_t>(s)].x +
+               2.0 * pos[static_cast<std::size_t>(s)].y +
+               3.0 * pos[static_cast<std::size_t>(s)].z;
+    }
+    return sum;
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeFmm()
+{
+    return std::make_unique<FmmApp>();
+}
+
+} // namespace shasta

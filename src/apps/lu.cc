@@ -1,0 +1,394 @@
+#include "apps/lu_app.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "apps/app_factories.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+/** Near-square processor grid for the 2-D block scatter. */
+void
+gridDims(int procs, int &rows, int &cols)
+{
+    rows = 1;
+    for (int r = 1; r * r <= procs; ++r) {
+        if (procs % r == 0)
+            rows = r;
+    }
+    cols = procs / rows;
+}
+
+/** Diagonally dominant pseudo-random matrix entry. */
+double
+initValue(int i, int j, int n, Rng &rng)
+{
+    double v = rng.nextDouble();
+    if (i == j)
+        v += 2.0 * n;
+    return v;
+}
+
+/** Per-inner-iteration compute cost (two flops per element plus
+ *  loop overhead on a dual-issue 300 MHz Alpha). */
+constexpr Tick kDaxpyCost = 18 * LuApp::kBlock;
+
+} // namespace
+
+AppParams
+LuApp::defaultParams() const
+{
+    AppParams p;
+    // Scaled from the paper's 1024x1024 (Table 1).
+    p.n = 512;
+    return p;
+}
+
+AppParams
+LuApp::largeParams() const
+{
+    AppParams p;
+    // Scaled from the paper's 2048x2048 (Table 3): 2x the default
+    // linear dimension, preserving the ratio.
+    p.n = 1024;
+    return p;
+}
+
+std::size_t
+LuApp::granularityHint() const
+{
+    // Table 2: lu 128 bytes on the matrix array; lu-contig 2048
+    // bytes (one block) on the matrix blocks.
+    return contig_ ? 2048 : 128;
+}
+
+Addr
+LuApp::elem(int i, int j) const
+{
+    if (!contig_) {
+        return base_ +
+               static_cast<Addr>(i) * static_cast<Addr>(n_) * 8 +
+               static_cast<Addr>(j) * 8;
+    }
+    const int bi = i / kBlock;
+    const int bj = j / kBlock;
+    const int ii = i % kBlock;
+    const int jj = j % kBlock;
+    return blockAddrs_[static_cast<std::size_t>(bi * nb_ + bj)] +
+           static_cast<Addr>(ii * kBlock + jj) * 8;
+}
+
+int
+LuApp::owner(int bi, int bj) const
+{
+    return (bi % gridRows_) * gridCols_ + (bj % gridCols_);
+}
+
+void
+LuApp::setup(Runtime &rt, const AppParams &p)
+{
+    n_ = p.n;
+    assert(n_ % kBlock == 0);
+    nb_ = n_ / kBlock;
+    procs_ = rt.numProcs();
+    gridDims(procs_, gridRows_, gridCols_);
+
+    const std::size_t block_hint =
+        p.variableGranularity ? granularityHint() : 0;
+
+    if (!contig_) {
+        base_ = rt.alloc(static_cast<std::size_t>(n_) *
+                             static_cast<std::size_t>(n_) * 8,
+                         block_hint);
+    } else {
+        // One contiguous allocation per block, homed at its owner
+        // when home placement is on (the paper applies it to
+        // lu-contig, Section 4.3).
+        blockAddrs_.resize(static_cast<std::size_t>(nb_ * nb_));
+        const std::size_t bytes = kBlock * kBlock * 8;
+        for (int bi = 0; bi < nb_; ++bi) {
+            for (int bj = 0; bj < nb_; ++bj) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(bi * nb_ + bj);
+                if (p.homePlacement) {
+                    blockAddrs_[idx] = rt.allocHomed(
+                        bytes, block_hint, owner(bi, bj));
+                } else {
+                    blockAddrs_[idx] = rt.alloc(bytes, block_hint);
+                }
+            }
+        }
+    }
+
+    Rng rng(p.seed);
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j)
+            initWrite<double>(rt, elem(i, j),
+                              initValue(i, j, n_, rng));
+    }
+}
+
+Task
+LuApp::factorDiag(Context &ctx, int k)
+{
+    // Unblocked LU of the diagonal block.
+    for (int jj = 0; jj < kBlock; ++jj) {
+        for (int ii = jj + 1; ii < kBlock; ++ii) {
+            const int len = kBlock - jj;
+            auto bs = co_await ctx.batchSet(
+                {blockRow(k, k, ii, jj), len * 8, true},
+                {blockRow(k, k, jj, jj), len * 8, false});
+            const Addr row_ii = blockRow(k, k, ii, jj);
+            const Addr row_jj = blockRow(k, k, jj, jj);
+            const double pivot = ctx.rawLoad<double>(row_jj);
+            const double l = ctx.rawLoad<double>(row_ii) / pivot;
+            ctx.rawStore<double>(row_ii, l);
+            for (int kk = 1; kk < len; ++kk) {
+                const Addr a = row_ii + static_cast<Addr>(kk) * 8;
+                ctx.rawStore<double>(
+                    a, ctx.rawLoad<double>(a) -
+                           l * ctx.rawLoad<double>(
+                                   row_jj +
+                                   static_cast<Addr>(kk) * 8));
+            }
+            ctx.batchEnd(bs);
+            ctx.compute(kDaxpyCost);
+            co_await ctx.poll();
+        }
+    }
+}
+
+Task
+LuApp::solveRowBlock(Context &ctx, int k, int bj)
+{
+    // A[k][bj] = L(kk)^-1 * A[k][bj] (unit lower triangular solve).
+    for (int ii = 1; ii < kBlock; ++ii) {
+        for (int kk = 0; kk < ii; ++kk) {
+            auto bs = co_await ctx.batchSet(
+                {blockRow(k, bj, ii, 0), kBlock * 8, true},
+                {blockRow(k, bj, kk, 0), kBlock * 8, false},
+                {blockRow(k, k, ii, kk), 8, false});
+            const double l =
+                ctx.rawLoad<double>(blockRow(k, k, ii, kk));
+            const Addr dst = blockRow(k, bj, ii, 0);
+            const Addr src = blockRow(k, bj, kk, 0);
+            for (int jj = 0; jj < kBlock; ++jj) {
+                const Addr a = dst + static_cast<Addr>(jj) * 8;
+                ctx.rawStore<double>(
+                    a, ctx.rawLoad<double>(a) -
+                           l * ctx.rawLoad<double>(
+                                   src + static_cast<Addr>(jj) * 8));
+            }
+            ctx.batchEnd(bs);
+            ctx.compute(kDaxpyCost);
+            co_await ctx.poll();
+        }
+    }
+}
+
+Task
+LuApp::solveColBlock(Context &ctx, int bi, int k)
+{
+    // A[bi][k] = A[bi][k] * U(kk)^-1.
+    for (int ii = 0; ii < kBlock; ++ii) {
+        for (int jj = 0; jj < kBlock; ++jj) {
+            const int len = kBlock - jj;
+            auto bs = co_await ctx.batchSet(
+                {blockRow(bi, k, ii, jj), len * 8, true},
+                {blockRow(k, k, jj, jj), len * 8, false});
+            const Addr row = blockRow(bi, k, ii, jj);
+            const Addr urow = blockRow(k, k, jj, jj);
+            const double pivot = ctx.rawLoad<double>(urow);
+            const double l = ctx.rawLoad<double>(row) / pivot;
+            ctx.rawStore<double>(row, l);
+            for (int kk = 1; kk < len; ++kk) {
+                const Addr a = row + static_cast<Addr>(kk) * 8;
+                ctx.rawStore<double>(
+                    a, ctx.rawLoad<double>(a) -
+                           l * ctx.rawLoad<double>(
+                                   urow + static_cast<Addr>(kk) * 8));
+            }
+            ctx.batchEnd(bs);
+            ctx.compute(kDaxpyCost);
+            co_await ctx.poll();
+        }
+    }
+}
+
+Task
+LuApp::updateInterior(Context &ctx, int bi, int bj, int k)
+{
+    // A[bi][bj] -= A[bi][k] * A[k][bj].
+    std::array<double, kBlock> aik{};
+    for (int ii = 0; ii < kBlock; ++ii) {
+        // One loads-only batch caches the A[bi][k] row privately.
+        auto br = co_await ctx.batch(blockRow(bi, k, ii, 0),
+                                     kBlock * 8, false);
+        for (int kk = 0; kk < kBlock; ++kk) {
+            aik[kk] = ctx.rawLoad<double>(
+                blockRow(bi, k, ii, 0) + static_cast<Addr>(kk) * 8);
+        }
+        ctx.batchEnd(br);
+
+        for (int kk = 0; kk < kBlock; ++kk) {
+            if (aik[kk] == 0.0)
+                continue;
+            auto bs = co_await ctx.batchSet(
+                {blockRow(bi, bj, ii, 0), kBlock * 8, true},
+                {blockRow(k, bj, kk, 0), kBlock * 8, false});
+            const Addr dst = blockRow(bi, bj, ii, 0);
+            const Addr src = blockRow(k, bj, kk, 0);
+            for (int jj = 0; jj < kBlock; ++jj) {
+                const Addr a = dst + static_cast<Addr>(jj) * 8;
+                ctx.rawStore<double>(
+                    a, ctx.rawLoad<double>(a) -
+                           aik[kk] *
+                               ctx.rawLoad<double>(
+                                   src +
+                                   static_cast<Addr>(jj) * 8));
+            }
+            ctx.batchEnd(bs);
+            ctx.compute(kDaxpyCost);
+            co_await ctx.poll();
+        }
+    }
+}
+
+Task
+LuApp::body(Context &ctx, const AppParams &p)
+{
+    (void)p;
+    const int me = ctx.id();
+    for (int k = 0; k < nb_; ++k) {
+        if (owner(k, k) == me)
+            co_await factorDiag(ctx, k);
+        co_await ctx.barrier();
+
+        for (int bj = k + 1; bj < nb_; ++bj) {
+            if (owner(k, bj) == me)
+                co_await solveRowBlock(ctx, k, bj);
+        }
+        for (int bi = k + 1; bi < nb_; ++bi) {
+            if (owner(bi, k) == me)
+                co_await solveColBlock(ctx, bi, k);
+        }
+        co_await ctx.barrier();
+
+        for (int bi = k + 1; bi < nb_; ++bi) {
+            for (int bj = k + 1; bj < nb_; ++bj) {
+                if (owner(bi, bj) == me)
+                    co_await updateInterior(ctx, bi, bj, k);
+            }
+        }
+        co_await ctx.barrier();
+    }
+}
+
+double
+LuApp::checksum(Runtime &rt)
+{
+    // Weighted sum of the factored matrix; weights break symmetric
+    // cancellation.
+    double sum = 0;
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+            const double v = finalRead<double>(rt, elem(i, j));
+            sum += v / (1.0 + std::abs(i - j));
+        }
+    }
+    return sum;
+}
+
+double
+LuApp::reference(const AppParams &p) const
+{
+    const int n = p.n;
+    std::vector<double> a(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(n));
+    Rng rng(p.seed);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j)
+            a[static_cast<std::size_t>(i * n + j)] =
+                initValue(i, j, n, rng);
+    }
+    auto at = [&](int i, int j) -> double & {
+        return a[static_cast<std::size_t>(i * n + j)];
+    };
+    // Same blocked algorithm as the kernel (identical FP order).
+    const int nb = n / kBlock;
+    for (int k = 0; k < nb; ++k) {
+        const int k0 = k * kBlock;
+        // Diagonal.
+        for (int jj = 0; jj < kBlock; ++jj) {
+            for (int ii = jj + 1; ii < kBlock; ++ii) {
+                const double l =
+                    at(k0 + ii, k0 + jj) / at(k0 + jj, k0 + jj);
+                at(k0 + ii, k0 + jj) = l;
+                for (int kk = jj + 1; kk < kBlock; ++kk)
+                    at(k0 + ii, k0 + kk) -=
+                        l * at(k0 + jj, k0 + kk);
+            }
+        }
+        // Perimeter rows.
+        for (int bj = k + 1; bj < nb; ++bj) {
+            const int j0 = bj * kBlock;
+            for (int ii = 1; ii < kBlock; ++ii) {
+                for (int kk = 0; kk < ii; ++kk) {
+                    const double l = at(k0 + ii, k0 + kk);
+                    for (int jj = 0; jj < kBlock; ++jj)
+                        at(k0 + ii, j0 + jj) -=
+                            l * at(k0 + kk, j0 + jj);
+                }
+            }
+        }
+        // Perimeter columns.
+        for (int bi = k + 1; bi < nb; ++bi) {
+            const int i0 = bi * kBlock;
+            for (int ii = 0; ii < kBlock; ++ii) {
+                for (int jj = 0; jj < kBlock; ++jj) {
+                    const double l = at(i0 + ii, k0 + jj) /
+                                     at(k0 + jj, k0 + jj);
+                    at(i0 + ii, k0 + jj) = l;
+                    for (int kk = jj + 1; kk < kBlock; ++kk)
+                        at(i0 + ii, k0 + kk) -=
+                            l * at(k0 + jj, k0 + kk);
+                }
+            }
+        }
+        // Interior.
+        for (int bi = k + 1; bi < nb; ++bi) {
+            const int i0 = bi * kBlock;
+            for (int bj = k + 1; bj < nb; ++bj) {
+                const int j0 = bj * kBlock;
+                for (int ii = 0; ii < kBlock; ++ii) {
+                    for (int kk = 0; kk < kBlock; ++kk) {
+                        const double l = at(i0 + ii, k0 + kk);
+                        if (l == 0.0)
+                            continue;
+                        for (int jj = 0; jj < kBlock; ++jj)
+                            at(i0 + ii, j0 + jj) -=
+                                l * at(k0 + kk, j0 + jj);
+                    }
+                }
+            }
+        }
+    }
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j)
+            sum += at(i, j) / (1.0 + std::abs(i - j));
+    }
+    return sum;
+}
+
+std::unique_ptr<App>
+makeLu()
+{
+    return std::make_unique<LuApp>(false);
+}
+
+} // namespace shasta

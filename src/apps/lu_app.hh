@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Blocked dense LU factorization (SPLASH-2 "LU", both layouts).
+ *
+ * The matrix is factored in BxB blocks with a 2-D scatter of blocks
+ * to processors, barriers separating the diagonal, perimeter, and
+ * interior phases of each step -- the SPLASH-2 structure.  Two
+ * layouts are provided, as in the paper:
+ *
+ *  - "lu": the matrix is one row-major n*n array, so a block is a
+ *    set of strided row segments (the non-contiguous version);
+ *    Table 2's granularity hint for it is 128-byte blocks.
+ *  - "lu-contig": each block is allocated contiguously (2048 bytes
+ *    for B = 16) and homed at its owner (the home placement
+ *    optimization), with a 2048-byte granularity hint.
+ *
+ * The factorization has no pivoting (the input is made diagonally
+ * dominant), so the parallel and sequential results are bitwise
+ * identical.
+ */
+
+#ifndef SHASTA_APPS_LU_APP_HH
+#define SHASTA_APPS_LU_APP_HH
+
+#include <array>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+/** Shared implementation of both LU variants. */
+class LuApp : public App
+{
+  public:
+    explicit LuApp(bool contiguous) : contig_(contiguous) {}
+
+    std::string
+    name() const override
+    {
+        return contig_ ? "lu-contig" : "lu";
+    }
+
+    AppParams defaultParams() const override;
+    AppParams largeParams() const override;
+    std::size_t granularityHint() const override;
+
+    void setup(Runtime &rt, const AppParams &p) override;
+    Task body(Context &ctx, const AppParams &p) override;
+    double checksum(Runtime &rt) override;
+    double reference(const AppParams &p) const override;
+
+    /** Block size in elements (SPLASH-2 default 16). */
+    static constexpr int kBlock = 16;
+
+  private:
+    /** Address of element (i, j). */
+    Addr elem(int i, int j) const;
+
+    /** Address of row @p ii (0..B) within block (bi, bj), columns
+     *  starting at @p jj (0..B). */
+    Addr
+    blockRow(int bi, int bj, int ii, int jj) const
+    {
+        return elem(bi * kBlock + ii, bj * kBlock + jj);
+    }
+
+    /** Owner of block (bi, bj): 2-D scatter. */
+    int owner(int bi, int bj) const;
+
+    /** @{ Phases (coroutines). */
+    Task factorDiag(Context &ctx, int k);
+    Task solveRowBlock(Context &ctx, int k, int bj);
+    Task solveColBlock(Context &ctx, int bi, int k);
+    Task updateInterior(Context &ctx, int bi, int bj, int k);
+    /** @} */
+
+    bool contig_;
+    int n_ = 0;
+    int nb_ = 0;
+    int procs_ = 0;
+    int gridRows_ = 0;
+    int gridCols_ = 0;
+    Addr base_ = 0;                 ///< non-contiguous layout
+    std::vector<Addr> blockAddrs_;  ///< contiguous layout
+};
+
+} // namespace shasta
+
+#endif // SHASTA_APPS_LU_APP_HH

@@ -1,0 +1,13 @@
+#include "apps/app_factories.hh"
+#include "apps/lu_app.hh"
+
+namespace shasta
+{
+
+std::unique_ptr<App>
+makeLuContig()
+{
+    return std::make_unique<LuApp>(true);
+}
+
+} // namespace shasta

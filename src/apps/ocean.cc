@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Ocean: multigrid nearest-neighbour solver (SPLASH-2 "Ocean").
+ *
+ * Structure mirrors the original:
+ *
+ *  - every iteration works a hierarchy of grids (fine smoothing,
+ *    restriction, coarse smoothing); the coarse levels' poor
+ *    communication-to-computation ratio is what caps Base-Shasta's
+ *    Ocean speedup;
+ *  - the grid is partitioned into 2-D subblocks over a processor
+ *    grid, stored as SPLASH-2's "4-D arrays": each processor's
+ *    subblock is contiguous (and homed at the owner under the home
+ *    placement optimization), so subblock edges do not write-share
+ *    lines and only the true boundary exchanges communicate;
+ *  - with clustering 4 at 16 processors, an SMP node holds one row
+ *    of the processor grid, so every east/west exchange is intra-
+ *    node -- the uniform locality gain behind Ocean being the
+ *    paper's biggest clustering winner (1.9x, Section 4.3).
+ */
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/app_factories.hh"
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+/** Deterministic initial field. */
+double
+initField(int i, int j)
+{
+    return static_cast<double>((i * 31 + j * 17) % 97) / 97.0;
+}
+
+/** Points per batched chunk (one 64-byte line of doubles). */
+constexpr int kChunk = 8;
+
+/** ~40 cycles per point: multigrid smoothing does little arithmetic
+ *  per point touched. */
+constexpr Tick kPointCost = 40;
+
+/** Number of grid levels (fine + two coarse). */
+constexpr int kLevels = 3;
+
+/** Near-square processor grid; cols >= rows so that at 16
+ *  processors a 4-processor SMP node is one processor-grid row. */
+void
+procGrid(int procs, int &rows, int &cols)
+{
+    int r = 1;
+    for (int c = 1; c * c <= procs; ++c) {
+        if (procs % c == 0)
+            r = c;
+    }
+    rows = r;
+    cols = procs / r;
+}
+
+class OceanApp : public App
+{
+  public:
+    std::string name() const override { return "ocean"; }
+
+    AppParams
+    defaultParams() const override
+    {
+        AppParams p;
+        // The paper's 514x514 grid (Table 1).
+        p.n = 514;
+        p.iters = 24;
+        return p;
+    }
+
+    AppParams
+    largeParams() const override
+    {
+        AppParams p;
+        // The paper's 1026x1026 grid (Table 3).
+        p.n = 1026;
+        p.iters = 24;
+        return p;
+    }
+
+    void setup(Runtime &rt, const AppParams &p) override;
+    Task body(Context &ctx, const AppParams &p) override;
+    double checksum(Runtime &rt) override;
+    double reference(const AppParams &p) const override;
+
+  private:
+    /**
+     * One grid level in 4-D layout: per-processor contiguous
+     * subblocks of two arrays (A and B).
+     */
+    struct Level
+    {
+        int n = 0;
+        /** Per global row/col: owning processor-grid row/col and the
+         *  local index inside the owner's subblock. */
+        std::vector<int> rowOwner, rowLocal;
+        std::vector<int> colOwner, colLocal;
+        /** Per processor: subblock base addresses and width. */
+        std::vector<Addr> baseA, baseB;
+        std::vector<int> width;
+
+        Addr
+        at(bool array_a, int i, int j) const
+        {
+            const int q =
+                rowOwner[static_cast<std::size_t>(i)] * gc +
+                colOwner[static_cast<std::size_t>(j)];
+            const Addr base =
+                array_a ? baseA[static_cast<std::size_t>(q)]
+                        : baseB[static_cast<std::size_t>(q)];
+            return base +
+                   (static_cast<Addr>(
+                        rowLocal[static_cast<std::size_t>(i)]) *
+                        static_cast<Addr>(
+                            width[static_cast<std::size_t>(q)]) +
+                    static_cast<Addr>(
+                        colLocal[static_cast<std::size_t>(j)])) *
+                       8;
+        }
+
+        int gr = 1, gc = 1;
+    };
+
+    void buildLevel(Runtime &rt, Level &lv, int n,
+                    bool home_placement);
+
+    /** Five-point Jacobi sweep of one level (src -> dst). */
+    Task relax(Context &ctx, const Level &lv, bool a_to_b);
+
+    /** Restrict: coarse A[i][j] = fine B[2i-1][2j-1]. */
+    Task restrictTo(Context &ctx, const Level &fine,
+                    const Level &coarse);
+
+    int iters_ = 0;
+    Level levels_[kLevels];
+};
+
+void
+OceanApp::buildLevel(Runtime &rt, Level &lv, int n,
+                     bool home_placement)
+{
+    lv.n = n;
+    procGrid(rt.numProcs(), lv.gr, lv.gc);
+    lv.rowOwner.resize(static_cast<std::size_t>(n));
+    lv.rowLocal.resize(static_cast<std::size_t>(n));
+    lv.colOwner.resize(static_cast<std::size_t>(n));
+    lv.colLocal.resize(static_cast<std::size_t>(n));
+    for (int pr = 0; pr < lv.gr; ++pr) {
+        const Range rr = partition(n, lv.gr, pr);
+        for (int i = rr.begin; i < rr.end; ++i) {
+            lv.rowOwner[static_cast<std::size_t>(i)] = pr;
+            lv.rowLocal[static_cast<std::size_t>(i)] = i - rr.begin;
+        }
+    }
+    for (int pc = 0; pc < lv.gc; ++pc) {
+        const Range cr = partition(n, lv.gc, pc);
+        for (int j = cr.begin; j < cr.end; ++j) {
+            lv.colOwner[static_cast<std::size_t>(j)] = pc;
+            lv.colLocal[static_cast<std::size_t>(j)] = j - cr.begin;
+        }
+    }
+    const int procs = rt.numProcs();
+    lv.baseA.resize(static_cast<std::size_t>(procs));
+    lv.baseB.resize(static_cast<std::size_t>(procs));
+    lv.width.resize(static_cast<std::size_t>(procs));
+    for (int q = 0; q < procs; ++q) {
+        const Range rr = partition(n, lv.gr, q / lv.gc);
+        const Range cr = partition(n, lv.gc, q % lv.gc);
+        lv.width[static_cast<std::size_t>(q)] = cr.size();
+        const std::size_t bytes =
+            static_cast<std::size_t>(rr.size()) *
+            static_cast<std::size_t>(cr.size()) * 8;
+        if (bytes == 0)
+            continue;
+        if (home_placement && rt.config().protocolActive()) {
+            lv.baseA[static_cast<std::size_t>(q)] =
+                rt.allocHomed(bytes, 0, q);
+            lv.baseB[static_cast<std::size_t>(q)] =
+                rt.allocHomed(bytes, 0, q);
+        } else {
+            lv.baseA[static_cast<std::size_t>(q)] =
+                rt.alloc(bytes);
+            lv.baseB[static_cast<std::size_t>(q)] =
+                rt.alloc(bytes);
+        }
+    }
+}
+
+void
+OceanApp::setup(Runtime &rt, const AppParams &p)
+{
+    iters_ = p.iters;
+    int n = p.n;
+    for (int lv = 0; lv < kLevels; ++lv) {
+        buildLevel(rt, levels_[lv], n, p.homePlacement);
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                initWrite<double>(rt,
+                                  levels_[lv].at(true, i, j),
+                                  initField(i, j));
+                initWrite<double>(rt,
+                                  levels_[lv].at(false, i, j),
+                                  initField(i, j));
+            }
+        }
+        n = (n - 2) / 2 + 2;
+    }
+}
+
+Task
+OceanApp::relax(Context &ctx, const Level &lv, bool a_to_b)
+{
+    const bool src_a = a_to_b;
+    const int n = lv.n;
+    const Range rows = partition(n, lv.gr, ctx.id() / lv.gc);
+    const Range cols = partition(n, lv.gc, ctx.id() % lv.gc);
+    const int i_lo = std::max(rows.begin, 1);
+    const int i_hi = std::min(rows.end, n - 1);
+    const int j_lo = std::max(cols.begin, 1);
+    const int j_hi = std::min(cols.end, n - 1);
+
+    for (int i = i_lo; i < i_hi; ++i) {
+        for (int j0 = j_lo; j0 < j_hi; j0 += kChunk) {
+            const int len = std::min(kChunk, j_hi - j0);
+            // The west/east halo cells may live in a neighbour's
+            // subblock (discontiguous), so they are fetched with
+            // flag-checked single loads; the four row segments are
+            // contiguous and batch together.
+            const double west =
+                co_await ctx.loadFp(lv.at(src_a, i, j0 - 1));
+            const double east = co_await ctx.loadFp(
+                lv.at(src_a, i, j0 + len));
+            auto bs = co_await ctx.batchSet(
+                {lv.at(src_a, i - 1, j0), len * 8, false},
+                {lv.at(src_a, i, j0), len * 8, false},
+                {lv.at(src_a, i + 1, j0), len * 8, false},
+                {lv.at(!src_a, i, j0), len * 8, true});
+            double w = west;
+            for (int j = j0; j < j0 + len; ++j) {
+                const double centre =
+                    ctx.rawLoad<double>(lv.at(src_a, i, j));
+                const double e =
+                    (j + 1 < j0 + len)
+                        ? ctx.rawLoad<double>(
+                              lv.at(src_a, i, j + 1))
+                        : east;
+                const double v =
+                    0.2 *
+                    (centre +
+                     ctx.rawLoad<double>(lv.at(src_a, i - 1, j)) +
+                     ctx.rawLoad<double>(lv.at(src_a, i + 1, j)) +
+                     w + e);
+                ctx.rawStore<double>(lv.at(!src_a, i, j), v);
+                w = centre;
+            }
+            ctx.batchEnd(bs);
+            ctx.compute(kPointCost * len);
+            co_await ctx.poll();
+        }
+    }
+}
+
+Task
+OceanApp::restrictTo(Context &ctx, const Level &fine,
+                     const Level &coarse)
+{
+    // Injection restriction; the strided fine-grid reads cross
+    // subblock boundaries, so they use flag-checked single loads.
+    const int cn = coarse.n;
+    const Range rows = partition(cn, coarse.gr,
+                                 ctx.id() / coarse.gc);
+    const Range cols = partition(cn, coarse.gc,
+                                 ctx.id() % coarse.gc);
+    const int i_lo = std::max(rows.begin, 1);
+    const int i_hi = std::min(rows.end, cn - 1);
+    const int j_lo = std::max(cols.begin, 1);
+    const int j_hi = std::min(cols.end, cn - 1);
+
+    for (int ci = i_lo; ci < i_hi; ++ci) {
+        const int fi = 2 * ci - 1;
+        for (int cj0 = j_lo; cj0 < j_hi; cj0 += kChunk) {
+            const int len = std::min(kChunk, j_hi - cj0);
+            std::array<double, kChunk> vals{};
+            for (int k = 0; k < len; ++k) {
+                vals[static_cast<std::size_t>(k)] =
+                    co_await ctx.loadFp(
+                        fine.at(false, fi, 2 * (cj0 + k) - 1));
+            }
+            auto bw = co_await ctx.batch(coarse.at(true, ci, cj0),
+                                         len * 8, true);
+            for (int k = 0; k < len; ++k) {
+                ctx.rawStore<double>(
+                    coarse.at(true, ci, cj0 + k),
+                    vals[static_cast<std::size_t>(k)]);
+            }
+            ctx.batchEnd(bw);
+            ctx.compute(kPointCost * len / 2);
+            co_await ctx.poll();
+        }
+    }
+}
+
+Task
+OceanApp::body(Context &ctx, const AppParams &p)
+{
+    (void)p;
+    for (int it = 0; it < iters_; ++it) {
+        co_await relax(ctx, levels_[0], it % 2 == 0);
+        co_await ctx.barrier();
+        for (int lv = 1; lv < kLevels; ++lv) {
+            co_await restrictTo(ctx, levels_[lv - 1], levels_[lv]);
+            co_await ctx.barrier();
+            co_await relax(ctx, levels_[lv], true);
+            co_await ctx.barrier();
+        }
+    }
+}
+
+double
+OceanApp::checksum(Runtime &rt)
+{
+    double sum = 0;
+    double weight = 1.0;
+    for (int lv = 0; lv < kLevels; ++lv) {
+        const Level &l = levels_[lv];
+        const bool array_a = (lv == 0 && iters_ % 2 == 0);
+        for (int i = 1; i < l.n - 1; ++i) {
+            for (int j = 1; j < l.n - 1; ++j) {
+                sum += weight *
+                       finalRead<double>(rt, l.at(array_a, i, j)) *
+                       (1.0 + 0.001 * ((i * 13 + j) % 7));
+            }
+        }
+        weight *= 0.5;
+    }
+    return sum;
+}
+
+double
+OceanApp::reference(const AppParams &p) const
+{
+    struct HostLevel
+    {
+        int n;
+        std::vector<double> a, b;
+    };
+    std::vector<HostLevel> ls;
+    int n = p.n;
+    for (int lv = 0; lv < kLevels; ++lv) {
+        HostLevel h;
+        h.n = n;
+        h.a.resize(static_cast<std::size_t>(n) *
+                   static_cast<std::size_t>(n));
+        h.b = h.a;
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                h.a[static_cast<std::size_t>(i * n + j)] =
+                    initField(i, j);
+                h.b[static_cast<std::size_t>(i * n + j)] =
+                    initField(i, j);
+            }
+        }
+        ls.push_back(std::move(h));
+        n = (n - 2) / 2 + 2;
+    }
+
+    auto relax_host = [](HostLevel &h, bool a_to_b) {
+        const auto &src = a_to_b ? h.a : h.b;
+        auto &dst = a_to_b ? h.b : h.a;
+        for (int i = 1; i < h.n - 1; ++i) {
+            for (int j = 1; j < h.n - 1; ++j) {
+                dst[static_cast<std::size_t>(i * h.n + j)] =
+                    0.2 *
+                    (src[static_cast<std::size_t>(i * h.n + j)] +
+                     src[static_cast<std::size_t>((i - 1) * h.n +
+                                                  j)] +
+                     src[static_cast<std::size_t>((i + 1) * h.n +
+                                                  j)] +
+                     src[static_cast<std::size_t>(i * h.n + j -
+                                                  1)] +
+                     src[static_cast<std::size_t>(i * h.n + j +
+                                                  1)]);
+            }
+        }
+    };
+    auto restrict_host = [](const HostLevel &fine,
+                            HostLevel &coarse) {
+        for (int ci = 1; ci < coarse.n - 1; ++ci) {
+            for (int cj = 1; cj < coarse.n - 1; ++cj) {
+                coarse.a[static_cast<std::size_t>(ci * coarse.n +
+                                                  cj)] =
+                    fine.b[static_cast<std::size_t>(
+                        (2 * ci - 1) * fine.n + (2 * cj - 1))];
+            }
+        }
+    };
+
+    for (int it = 0; it < p.iters; ++it) {
+        relax_host(ls[0], it % 2 == 0);
+        for (int lv = 1; lv < kLevels; ++lv) {
+            restrict_host(ls[static_cast<std::size_t>(lv - 1)],
+                          ls[static_cast<std::size_t>(lv)]);
+            relax_host(ls[static_cast<std::size_t>(lv)], true);
+        }
+    }
+
+    double sum = 0;
+    double weight = 1.0;
+    for (int lv = 0; lv < kLevels; ++lv) {
+        const HostLevel &h = ls[static_cast<std::size_t>(lv)];
+        const auto &fin =
+            (lv == 0 && p.iters % 2 == 0) ? h.a : h.b;
+        for (int i = 1; i < h.n - 1; ++i) {
+            for (int j = 1; j < h.n - 1; ++j) {
+                sum += weight *
+                       fin[static_cast<std::size_t>(i * h.n + j)] *
+                       (1.0 + 0.001 * ((i * 13 + j) % 7));
+            }
+        }
+        weight *= 0.5;
+    }
+    return sum;
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeOcean()
+{
+    return std::make_unique<OceanApp>();
+}
+
+} // namespace shasta

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Raytrace: sphere-scene ray caster (SPLASH-2 "Raytrace").
+ *
+ * The scene (an array of spheres) is read-only shared data touched
+ * by every processor on every ray -- the unbatched floating-point
+ * load pattern that makes Raytrace the application most hurt by
+ * SMP-Shasta's dearer FP checks (Table 1: 8.8% -> 25.5%).  Image
+ * tiles are distributed through a lock-protected work queue (the
+ * original's task queues), so the image rows exhibit scattered write
+ * sharing.  Primary rays are orthographic; one shadow ray is cast
+ * per hit.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/app_factories.hh"
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+/** Sphere layout: center[3], radius, shade = 5 doubles (40 B). */
+constexpr int kSphereBytes = 40;
+constexpr int kTile = 8;
+
+/** Light direction (normalized at use). */
+constexpr double kLx = 0.4, kLy = 0.5, kLz = 0.77;
+
+struct HostSphere
+{
+    Vec3 c;
+    double r;
+    double shade;
+};
+
+std::vector<HostSphere>
+makeScene(int count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<HostSphere> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        HostSphere s;
+        s.c = Vec3{rng.nextDouble(), rng.nextDouble(),
+                   0.5 + rng.nextDouble()};
+        s.r = 0.05 + 0.10 * rng.nextDouble();
+        s.shade = 0.3 + 0.7 * rng.nextDouble();
+        out.push_back(s);
+    }
+    return out;
+}
+
+/** Ray-sphere intersection: nearest positive t, or -1. */
+double
+hitSphere(const Vec3 &origin, const Vec3 &dir, const Vec3 &c,
+          double r)
+{
+    const Vec3 oc = origin - c;
+    const double b = 2.0 * (oc.x * dir.x + oc.y * dir.y +
+                            oc.z * dir.z);
+    const double cc = oc.norm2() - r * r;
+    const double disc = b * b - 4 * cc;
+    if (disc < 0)
+        return -1.0;
+    const double t = (-b - std::sqrt(disc)) / 2.0;
+    return t > 1e-9 ? t : -1.0;
+}
+
+class RaytraceApp : public App
+{
+  public:
+    std::string name() const override { return "raytrace"; }
+
+    AppParams
+    defaultParams() const override
+    {
+        AppParams p;
+        // Scaled from the paper's "balls4" scene.
+        p.n = 128; // image is n x n, 64 spheres
+        p.iters = 1;
+        return p;
+    }
+
+    AppParams
+    largeParams() const override
+    {
+        AppParams p;
+        p.n = 0; // not part of the Table 3 experiment
+        return p;
+    }
+
+    void
+    setup(Runtime &rt, const AppParams &p) override
+    {
+        n_ = p.n;
+        spheres_ = std::max(8, n_ / 2);
+        scene_ = rt.alloc(static_cast<std::size_t>(spheres_) *
+                          kSphereBytes);
+        image_ = rt.alloc(static_cast<std::size_t>(n_) *
+                          static_cast<std::size_t>(n_) * 8);
+        const auto host = makeScene(spheres_, p.seed);
+        for (int i = 0; i < spheres_; ++i) {
+            const Addr s = sphere(i);
+            initWrite<double>(rt, s + 0, host[
+                static_cast<std::size_t>(i)].c.x);
+            initWrite<double>(rt, s + 8, host[
+                static_cast<std::size_t>(i)].c.y);
+            initWrite<double>(rt, s + 16, host[
+                static_cast<std::size_t>(i)].c.z);
+            initWrite<double>(rt, s + 24, host[
+                static_cast<std::size_t>(i)].r);
+            initWrite<double>(rt, s + 32, host[
+                static_cast<std::size_t>(i)].shade);
+        }
+        const int tiles = ((n_ + kTile - 1) / kTile);
+        wq_ = makeWorkQueue(rt, tiles * tiles);
+    }
+
+    Task
+    body(Context &ctx, const AppParams &p) override
+    {
+        (void)p;
+        const int tiles_per_row = (n_ + kTile - 1) / kTile;
+        for (;;) {
+            int tile = -1;
+            co_await grabWork(ctx, wq_, &tile);
+            if (tile < 0)
+                break;
+            const int ty = (tile / tiles_per_row) * kTile;
+            const int tx = (tile % tiles_per_row) * kTile;
+            for (int y = ty; y < std::min(ty + kTile, n_); ++y) {
+                for (int x = tx; x < std::min(tx + kTile, n_);
+                     ++x) {
+                    double v = 0;
+                    co_await shadePixel(ctx, x, y, &v);
+                    co_await ctx.storeFp(pixel(x, y), v);
+                    co_await ctx.poll();
+                }
+            }
+        }
+        co_await ctx.barrier();
+    }
+
+    double
+    checksum(Runtime &rt) override
+    {
+        double sum = 0;
+        for (int y = 0; y < n_; ++y) {
+            for (int x = 0; x < n_; ++x)
+                sum += finalRead<double>(rt, pixel(x, y)) *
+                       (1.0 + 0.0001 * ((x * 7 + y) % 13));
+        }
+        return sum;
+    }
+
+    double
+    reference(const AppParams &p) const override
+    {
+        const int n = p.n;
+        const int count = std::max(8, n / 2);
+        const auto host = makeScene(count, p.seed);
+        double sum = 0;
+        for (int y = 0; y < n; ++y) {
+            for (int x = 0; x < n; ++x) {
+                sum += hostShade(host, x, y, n) *
+                       (1.0 + 0.0001 * ((x * 7 + y) % 13));
+            }
+        }
+        return sum;
+    }
+
+  private:
+    Addr
+    sphere(int i) const
+    {
+        return scene_ + static_cast<Addr>(i) * kSphereBytes;
+    }
+
+    Addr
+    pixel(int x, int y) const
+    {
+        return image_ +
+               (static_cast<Addr>(y) * static_cast<Addr>(n_) +
+                static_cast<Addr>(x)) *
+                   8;
+    }
+
+    static Vec3
+    primaryRay(int x, int y, int n, Vec3 &origin)
+    {
+        origin = Vec3{(x + 0.5) / n, (y + 0.5) / n, 0.0};
+        return Vec3{0, 0, 1};
+    }
+
+    static double
+    lambert(const Vec3 &hit, const Vec3 &center, double shade)
+    {
+        Vec3 nrm = hit - center;
+        const double len = nrm.norm();
+        nrm = nrm * (1.0 / len);
+        const double lnorm =
+            std::sqrt(kLx * kLx + kLy * kLy + kLz * kLz);
+        const double dot =
+            (nrm.x * kLx + nrm.y * kLy + nrm.z * kLz) / lnorm;
+        return 0.1 + (dot > 0 ? 0.9 * dot * shade : 0.0);
+    }
+
+    /** DSM-side shading: every sphere record is fetched with
+     *  unbatched FP loads, as the original's tight intersection
+     *  loop does. */
+    Task
+    shadePixel(Context &ctx, int x, int y, double *out)
+    {
+        Vec3 origin;
+        const Vec3 dir = primaryRay(x, y, n_, origin);
+        double best_t = 1e30;
+        int best = -1;
+        Vec3 best_c{};
+        double best_shade = 0;
+        for (int i = 0; i < spheres_; ++i) {
+            const Addr s = sphere(i);
+            const Vec3 c{co_await ctx.loadFp(s + 0),
+                         co_await ctx.loadFp(s + 8),
+                         co_await ctx.loadFp(s + 16)};
+            const double r = co_await ctx.loadFp(s + 24);
+            const double t = hitSphere(origin, dir, c, r);
+            ctx.compute(160);
+            if (t > 0 && t < best_t) {
+                best_t = t;
+                best = i;
+                best_c = c;
+                best_shade = co_await ctx.loadFp(s + 32);
+            }
+        }
+        if (best < 0) {
+            *out = 0.02; // background
+            co_return;
+        }
+        const Vec3 hit = origin + dir * best_t;
+        double v = lambert(hit, best_c, best_shade);
+        // Shadow ray.
+        const double lnorm =
+            std::sqrt(kLx * kLx + kLy * kLy + kLz * kLz);
+        const Vec3 ldir{kLx / lnorm, kLy / lnorm, kLz / lnorm};
+        for (int i = 0; i < spheres_; ++i) {
+            if (i == best)
+                continue;
+            const Addr s = sphere(i);
+            const Vec3 c{co_await ctx.loadFp(s + 0),
+                         co_await ctx.loadFp(s + 8),
+                         co_await ctx.loadFp(s + 16)};
+            const double r = co_await ctx.loadFp(s + 24);
+            ctx.compute(160);
+            if (hitSphere(hit, ldir, c, r) > 0) {
+                v *= 0.4;
+                break;
+            }
+        }
+        *out = v;
+        co_return;
+    }
+
+    static double
+    hostShade(const std::vector<HostSphere> &scene, int x, int y,
+              int n)
+    {
+        Vec3 origin;
+        const Vec3 dir = primaryRay(x, y, n, origin);
+        double best_t = 1e30;
+        int best = -1;
+        for (std::size_t i = 0; i < scene.size(); ++i) {
+            const double t =
+                hitSphere(origin, dir, scene[i].c, scene[i].r);
+            if (t > 0 && t < best_t) {
+                best_t = t;
+                best = static_cast<int>(i);
+            }
+        }
+        if (best < 0)
+            return 0.02;
+        const Vec3 hit = origin + dir * best_t;
+        double v = lambert(hit,
+                           scene[static_cast<std::size_t>(best)].c,
+                           scene[static_cast<std::size_t>(best)]
+                               .shade);
+        const double lnorm =
+            std::sqrt(kLx * kLx + kLy * kLy + kLz * kLz);
+        const Vec3 ldir{kLx / lnorm, kLy / lnorm, kLz / lnorm};
+        for (std::size_t i = 0; i < scene.size(); ++i) {
+            if (static_cast<int>(i) == best)
+                continue;
+            if (hitSphere(hit, ldir, scene[i].c, scene[i].r) > 0) {
+                v *= 0.4;
+                break;
+            }
+        }
+        return v;
+    }
+
+    int n_ = 0;
+    int spheres_ = 0;
+    Addr scene_ = 0;
+    Addr image_ = 0;
+    WorkQueue wq_;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeRaytrace()
+{
+    return std::make_unique<RaytraceApp>();
+}
+
+} // namespace shasta

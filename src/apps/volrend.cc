@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Volrend: volume renderer (SPLASH-2 "Volrend").
+ *
+ * Rays march through a read-only byte-valued volume; density is
+ * mapped to opacity through a small shared lookup table.  Table 2
+ * raises the map granularity to 1024 bytes.  Voxels are sub-longword
+ * loads, which cannot use the invalid-flag technique and go through
+ * state-table checks (Section 2.3).  Image tiles are distributed
+ * through the lock-protected work queue the original uses.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/app_factories.hh"
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+constexpr int kTile = 8;
+
+/** Density of the synthetic "head": two nested blobs plus noise. */
+std::uint8_t
+densityAt(int x, int y, int z, int v)
+{
+    const double cx = (x + 0.5) / v - 0.5;
+    const double cy = (y + 0.5) / v - 0.5;
+    const double cz = (z + 0.5) / v - 0.5;
+    const double r = std::sqrt(cx * cx + cy * cy + cz * cz);
+    double d = 0;
+    if (r < 0.45)
+        d = 90.0 * (1.0 - r / 0.45);
+    if (r < 0.2)
+        d += 120.0 * (1.0 - r / 0.2);
+    d += 10.0 * (((x * 13 + y * 7 + z * 3) % 11) / 11.0);
+    return static_cast<std::uint8_t>(std::min(255.0, d));
+}
+
+double
+opacityOf(int density)
+{
+    const double t = density / 255.0;
+    return t * t;
+}
+
+class VolrendApp : public App
+{
+  public:
+    std::string name() const override { return "volrend"; }
+
+    AppParams
+    defaultParams() const override
+    {
+        AppParams p;
+        // Scaled from the paper's 256^3 "head" data set.
+        p.n = 48; // volume is n^3, image (2n)^2
+        p.iters = 1;
+        return p;
+    }
+
+    AppParams
+    largeParams() const override
+    {
+        AppParams p;
+        p.n = 0; // not part of the Table 3 experiment
+        return p;
+    }
+
+    std::size_t granularityHint() const override { return 1024; }
+
+    void
+    setup(Runtime &rt, const AppParams &p) override
+    {
+        v_ = p.n;
+        m_ = 2 * v_;
+        const std::size_t hint =
+            p.variableGranularity ? granularityHint() : 0;
+        volume_ = rt.alloc(static_cast<std::size_t>(v_) *
+                           static_cast<std::size_t>(v_) *
+                           static_cast<std::size_t>(v_));
+        opacity_ = rt.alloc(256 * 8, hint);
+        image_ = rt.alloc(static_cast<std::size_t>(m_) *
+                          static_cast<std::size_t>(m_) * 8);
+
+        for (int z = 0; z < v_; ++z) {
+            for (int y = 0; y < v_; ++y) {
+                for (int x = 0; x < v_; ++x)
+                    initWrite<std::uint8_t>(
+                        rt, vox(x, y, z), densityAt(x, y, z, v_));
+            }
+        }
+        for (int d = 0; d < 256; ++d)
+            initWrite<double>(rt,
+                              opacity_ + static_cast<Addr>(d) * 8,
+                              opacityOf(d));
+
+        const int tiles = (m_ + kTile - 1) / kTile;
+        wq_ = makeWorkQueue(rt, tiles * tiles);
+    }
+
+    Task
+    body(Context &ctx, const AppParams &p) override
+    {
+        (void)p;
+        const int tiles_per_row = (m_ + kTile - 1) / kTile;
+        for (;;) {
+            int tile = -1;
+            co_await grabWork(ctx, wq_, &tile);
+            if (tile < 0)
+                break;
+            const int ty = (tile / tiles_per_row) * kTile;
+            const int tx = (tile % tiles_per_row) * kTile;
+            for (int py = ty; py < std::min(ty + kTile, m_);
+                 ++py) {
+                for (int px = tx; px < std::min(tx + kTile, m_);
+                     ++px) {
+                    double bright = 0;
+                    co_await castRay(ctx, px, py, &bright);
+                    co_await ctx.storeFp(pixel(px, py), bright);
+                    co_await ctx.poll();
+                }
+            }
+        }
+        co_await ctx.barrier();
+    }
+
+    double
+    checksum(Runtime &rt) override
+    {
+        double sum = 0;
+        for (int py = 0; py < m_; ++py) {
+            for (int px = 0; px < m_; ++px)
+                sum += finalRead<double>(rt, pixel(px, py)) *
+                       (1.0 + 0.0001 * ((px * 5 + py) % 17));
+        }
+        return sum;
+    }
+
+    double
+    reference(const AppParams &p) const override
+    {
+        const int v = p.n;
+        const int m = 2 * v;
+        double sum = 0;
+        for (int py = 0; py < m; ++py) {
+            for (int px = 0; px < m; ++px) {
+                const int x = px * v / m;
+                const int y = py * v / m;
+                double bright = 0;
+                double trans = 1.0;
+                for (int z = 0; z < v && trans > 0.05; ++z) {
+                    const int d = densityAt(x, y, z, v);
+                    const double op = opacityOf(d);
+                    bright += trans * op * (d / 255.0);
+                    trans *= (1.0 - op);
+                }
+                sum += bright * (1.0 + 0.0001 * ((px * 5 + py) %
+                                                 17));
+            }
+        }
+        return sum;
+    }
+
+  private:
+    Addr
+    vox(int x, int y, int z) const
+    {
+        return volume_ +
+               (static_cast<Addr>(z) * static_cast<Addr>(v_) +
+                static_cast<Addr>(y)) *
+                   static_cast<Addr>(v_) +
+               static_cast<Addr>(x);
+    }
+
+    Addr
+    pixel(int x, int y) const
+    {
+        return image_ +
+               (static_cast<Addr>(y) * static_cast<Addr>(m_) +
+                static_cast<Addr>(x)) *
+                   8;
+    }
+
+    Task
+    castRay(Context &ctx, int px, int py, double *out)
+    {
+        const int x = px * v_ / m_;
+        const int y = py * v_ / m_;
+        double bright = 0;
+        double trans = 1.0;
+        for (int z = 0; z < v_ && trans > 0.05; ++z) {
+            const std::uint8_t d =
+                co_await ctx.loadU8(vox(x, y, z));
+            const double op = co_await ctx.loadFp(
+                opacity_ + static_cast<Addr>(d) * 8);
+            bright += trans * op * (d / 255.0);
+            trans *= (1.0 - op);
+            ctx.compute(140);
+        }
+        *out = bright;
+        co_return;
+    }
+
+    int v_ = 0;
+    int m_ = 0;
+    Addr volume_ = 0;
+    Addr opacity_ = 0;
+    Addr image_ = 0;
+    WorkQueue wq_;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeVolrend()
+{
+    return std::make_unique<VolrendApp>();
+}
+
+} // namespace shasta

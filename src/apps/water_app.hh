@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Water: molecular dynamics (SPLASH-2 "Water-Nsquared" and
+ * "Water-Spatial", reduced to point molecules with a Lennard-Jones
+ * style potential but keeping the originals' sharing structure).
+ *
+ * Each step: owners zero their molecules' forces; processors compute
+ * a partition of the pair interactions into *private* accumulators
+ * (reading molecule positions through loads-only batches); the
+ * accumulated contributions are merged into the shared force arrays
+ * under per-molecule locks (the migratory, lock-heavy pattern that
+ * makes Water emit many 3-message downgrades in Figure 8); owners
+ * then integrate their molecules.
+ *
+ * Nsquared considers all pairs; Spatial only pairs within neighbour
+ * cells of a uniform grid (cell lists are computed from the initial
+ * positions; molecules barely move over the simulated steps).
+ * Table 2's granularity hint for the molecule array is 2048 bytes.
+ */
+
+#ifndef SHASTA_APPS_WATER_APP_HH
+#define SHASTA_APPS_WATER_APP_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+class WaterApp : public App
+{
+  public:
+    explicit WaterApp(bool spatial) : spatial_(spatial) {}
+
+    std::string
+    name() const override
+    {
+        return spatial_ ? "water-sp" : "water-nsq";
+    }
+
+    AppParams defaultParams() const override;
+    AppParams largeParams() const override;
+
+    std::size_t granularityHint() const override { return 2048; }
+
+    void setup(Runtime &rt, const AppParams &p) override;
+    Task body(Context &ctx, const AppParams &p) override;
+    double checksum(Runtime &rt) override;
+    double reference(const AppParams &p) const override;
+
+    /** Lock-order-dependent force summation: loose FP tolerance. */
+    double tolerance() const override { return 1e-6; }
+
+    /** Molecule layout: pos[3], vel[3], force[3], mass. */
+    static constexpr int kDoubles = 10;
+    static constexpr int kBytes = kDoubles * 8;
+
+  private:
+    Addr
+    mol(int m, int field) const
+    {
+        return base_ + static_cast<Addr>(m) * kBytes +
+               static_cast<Addr>(field) * 8;
+    }
+
+    Addr pos(int m) const { return mol(m, 0); }
+    Addr vel(int m) const { return mol(m, 3); }
+    Addr force(int m) const { return mol(m, 6); }
+
+    /** Host-side pair list for this run (i < j) with owning proc. */
+    void buildPairs(int procs);
+
+    /** Deterministic initial placement (shared with reference()). */
+    static std::vector<Vec3> initialPositions(int n,
+                                              std::uint64_t seed);
+
+    bool spatial_;
+    int n_ = 0;
+    int iters_ = 0;
+    Addr base_ = 0;
+    std::vector<Vec3> initPos_;
+    /** pairs_[p] = list of (i, j) computed by processor p. */
+    std::vector<std::vector<std::pair<int, int>>> pairs_;
+    /** Per-molecule-group force-update locks. */
+    std::vector<int> locks_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_APPS_WATER_APP_HH

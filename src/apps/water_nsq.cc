@@ -1,0 +1,307 @@
+#include "apps/water_app.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "apps/app_factories.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+constexpr double kDt = 1e-4;
+constexpr double kSoftening = 0.05;
+
+/** Bounded pair force magnitude (repulsive core, weak attraction). */
+double
+pairForceMag(double r2)
+{
+    const double inv = 1.0 / (r2 + kSoftening);
+    return inv * inv - 0.01 * inv;
+}
+
+/** ~40 flops per pair interaction. */
+constexpr Tick kPairCost = 1200;
+
+} // namespace
+
+AppParams
+WaterApp::defaultParams() const
+{
+    AppParams p;
+    // Scaled from the paper's 1000 (Nsq) / 1728 (Sp) molecules.
+    p.n = spatial_ ? 1000 : 512;
+    p.iters = 2;
+    return p;
+}
+
+AppParams
+WaterApp::largeParams() const
+{
+    AppParams p;
+    // Scaled from Table 3's 4096 molecules.
+    p.n = spatial_ ? 2048 : 1024;
+    p.iters = 2;
+    return p;
+}
+
+std::vector<Vec3>
+WaterApp::initialPositions(int n, std::uint64_t seed)
+{
+    // Jittered lattice in the unit box.
+    Rng rng(seed);
+    const int side = static_cast<int>(std::ceil(std::cbrt(n)));
+    std::vector<Vec3> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int m = 0; m < n; ++m) {
+        const int x = m % side;
+        const int y = (m / side) % side;
+        const int z = m / (side * side);
+        Vec3 v;
+        v.x = (x + 0.3 + 0.4 * rng.nextDouble()) / side;
+        v.y = (y + 0.3 + 0.4 * rng.nextDouble()) / side;
+        v.z = (z + 0.3 + 0.4 * rng.nextDouble()) / side;
+        out.push_back(v);
+    }
+    return out;
+}
+
+void
+WaterApp::buildPairs(int procs)
+{
+    pairs_.assign(static_cast<std::size_t>(procs), {});
+    if (!spatial_) {
+        // Nsquared: every pair, scattered by (i + j) mod P.
+        for (int i = 0; i < n_; ++i) {
+            for (int j = i + 1; j < n_; ++j)
+                pairs_[static_cast<std::size_t>((i + j) % procs)]
+                    .emplace_back(i, j);
+        }
+        return;
+    }
+    // Spatial: uniform cells over the unit box; only pairs within a
+    // cell or between 26-neighbour cells.  A pair belongs to the
+    // owner of the first molecule's cell.
+    const int cells = std::max(
+        2, static_cast<int>(std::floor(std::cbrt(n_ / 8.0))));
+    auto cellOf = [&](const Vec3 &v) {
+        auto clampc = [&](double x) {
+            int c = static_cast<int>(x * cells);
+            if (c < 0)
+                c = 0;
+            if (c >= cells)
+                c = cells - 1;
+            return c;
+        };
+        return (clampc(v.x) * cells + clampc(v.y)) * cells +
+               clampc(v.z);
+    };
+    std::vector<int> cell(static_cast<std::size_t>(n_));
+    for (int m = 0; m < n_; ++m)
+        cell[static_cast<std::size_t>(m)] = cellOf(initPos_[
+            static_cast<std::size_t>(m)]);
+    auto neighbours = [&](int ca, int cb) {
+        const int ax = ca / (cells * cells);
+        const int ay = (ca / cells) % cells;
+        const int az = ca % cells;
+        const int bx = cb / (cells * cells);
+        const int by = (cb / cells) % cells;
+        const int bz = cb % cells;
+        return std::abs(ax - bx) <= 1 && std::abs(ay - by) <= 1 &&
+               std::abs(az - bz) <= 1;
+    };
+    for (int i = 0; i < n_; ++i) {
+        for (int j = i + 1; j < n_; ++j) {
+            if (neighbours(cell[static_cast<std::size_t>(i)],
+                           cell[static_cast<std::size_t>(j)])) {
+                const int owner =
+                    cell[static_cast<std::size_t>(i)] % procs;
+                pairs_[static_cast<std::size_t>(owner)]
+                    .emplace_back(i, j);
+            }
+        }
+    }
+}
+
+void
+WaterApp::setup(Runtime &rt, const AppParams &p)
+{
+    n_ = p.n;
+    iters_ = p.iters;
+    const std::size_t hint =
+        p.variableGranularity ? granularityHint() : 0;
+    base_ = rt.alloc(static_cast<std::size_t>(n_) * kBytes, hint);
+    initPos_ = initialPositions(n_, p.seed);
+    for (int m = 0; m < n_; ++m) {
+        const Vec3 &v = initPos_[static_cast<std::size_t>(m)];
+        initWrite<double>(rt, pos(m) + 0, v.x);
+        initWrite<double>(rt, pos(m) + 8, v.y);
+        initWrite<double>(rt, pos(m) + 16, v.z);
+        for (int f = 3; f < 9; ++f)
+            initWrite<double>(rt, mol(m, f), 0.0);
+        initWrite<double>(rt, mol(m, 9), 1.0);
+    }
+    buildPairs(rt.numProcs());
+    // One lock per molecule group for the force-merge phase.
+    locks_.clear();
+    const int nlocks = std::min(n_, 256);
+    for (int l = 0; l < nlocks; ++l)
+        locks_.push_back(rt.allocLock());
+}
+
+Task
+WaterApp::body(Context &ctx, const AppParams &p)
+{
+    (void)p;
+    const int me = ctx.id();
+    const int procs = ctx.numProcs();
+    const Range owned = partition(n_, procs, me);
+    const auto &my_pairs = pairs_[static_cast<std::size_t>(me)];
+    std::vector<Vec3> local(static_cast<std::size_t>(n_));
+
+    for (int it = 0; it < iters_; ++it) {
+        // Phase 1: owners zero their molecules' forces.
+        for (int m = owned.begin; m < owned.end; ++m) {
+            auto b = co_await ctx.batch(force(m), 24, true);
+            ctx.rawStore<double>(force(m) + 0, 0.0);
+            ctx.rawStore<double>(force(m) + 8, 0.0);
+            ctx.rawStore<double>(force(m) + 16, 0.0);
+            ctx.batchEnd(b);
+            co_await ctx.poll();
+        }
+        co_await ctx.barrier();
+
+        // Phase 2: pair interactions into private accumulators.
+        for (auto &v : local)
+            v = Vec3{};
+        for (const auto &[i, j] : my_pairs) {
+            // The original reads the whole molecule record (672 B
+            // in SPLASH-2); batch the full record of both partners.
+            auto bs = co_await ctx.batchSet({mol(i, 0), kBytes, false},
+                                            {mol(j, 0), kBytes, false});
+            Vec3 pi{ctx.rawLoad<double>(pos(i) + 0),
+                    ctx.rawLoad<double>(pos(i) + 8),
+                    ctx.rawLoad<double>(pos(i) + 16)};
+            Vec3 pj{ctx.rawLoad<double>(pos(j) + 0),
+                    ctx.rawLoad<double>(pos(j) + 8),
+                    ctx.rawLoad<double>(pos(j) + 16)};
+            ctx.batchEnd(bs);
+            const Vec3 d = pi - pj;
+            const double f = pairForceMag(d.norm2());
+            local[static_cast<std::size_t>(i)] += d * f;
+            local[static_cast<std::size_t>(j)] += d * (-f);
+            ctx.compute(kPairCost);
+            co_await ctx.poll();
+        }
+        co_await ctx.barrier();
+
+        // Phase 3: merge contributions under per-molecule locks
+        // (SPLASH-2 Water's force-update locks).  Each processor
+        // starts at its own offset to avoid lock convoys, as the
+        // original does.
+        const int stagger = me * (n_ / procs);
+        for (int k = 0; k < n_; ++k) {
+            const int m = (k + stagger) % n_;
+            const Vec3 &c = local[static_cast<std::size_t>(m)];
+            if (c.x == 0 && c.y == 0 && c.z == 0)
+                continue;
+            const int lk = locks_[static_cast<std::size_t>(
+                m % static_cast<int>(locks_.size()))];
+            co_await ctx.lock(lk);
+            const double fx = co_await ctx.loadFp(force(m) + 0);
+            co_await ctx.storeFp(force(m) + 0, fx + c.x);
+            const double fy = co_await ctx.loadFp(force(m) + 8);
+            co_await ctx.storeFp(force(m) + 8, fy + c.y);
+            const double fz = co_await ctx.loadFp(force(m) + 16);
+            co_await ctx.storeFp(force(m) + 16, fz + c.z);
+            co_await ctx.unlock(lk);
+            ctx.compute(12);
+            co_await ctx.poll();
+        }
+        co_await ctx.barrier();
+
+        // Phase 4: owners integrate.
+        for (int m = owned.begin; m < owned.end; ++m) {
+            auto bs = co_await ctx.batchSet({pos(m), 48, true},
+                                            {force(m), 24, false});
+            for (int d = 0; d < 3; ++d) {
+                const Addr pa = pos(m) + static_cast<Addr>(d) * 8;
+                const Addr va = vel(m) + static_cast<Addr>(d) * 8;
+                const Addr fa = force(m) + static_cast<Addr>(d) * 8;
+                const double f = ctx.rawLoad<double>(fa);
+                const double v =
+                    ctx.rawLoad<double>(va) + f * kDt;
+                ctx.rawStore<double>(va, v);
+                ctx.rawStore<double>(
+                    pa, ctx.rawLoad<double>(pa) + v * kDt);
+            }
+            ctx.batchEnd(bs);
+            ctx.compute(30);
+            co_await ctx.poll();
+        }
+        co_await ctx.barrier();
+    }
+}
+
+double
+WaterApp::checksum(Runtime &rt)
+{
+    double sum = 0;
+    for (int m = 0; m < n_; ++m) {
+        sum += finalRead<double>(rt, pos(m) + 0) +
+               2.0 * finalRead<double>(rt, pos(m) + 8) +
+               3.0 * finalRead<double>(rt, pos(m) + 16);
+    }
+    return sum;
+}
+
+double
+WaterApp::reference(const AppParams &p) const
+{
+    const int n = p.n;
+    std::vector<Vec3> pos_v = initialPositions(n, p.seed);
+    std::vector<Vec3> vel_v(static_cast<std::size_t>(n));
+    std::vector<Vec3> frc(static_cast<std::size_t>(n));
+
+    // Rebuild the same pair set (partition is irrelevant to the
+    // physics; only membership matters).
+    WaterApp clone(spatial_);
+    clone.n_ = n;
+    clone.initPos_ = pos_v;
+    clone.buildPairs(1);
+
+    for (int it = 0; it < p.iters; ++it) {
+        for (auto &f : frc)
+            f = Vec3{};
+        for (const auto &[i, j] : clone.pairs_[0]) {
+            const Vec3 d = pos_v[static_cast<std::size_t>(i)] -
+                           pos_v[static_cast<std::size_t>(j)];
+            const double f = pairForceMag(d.norm2());
+            frc[static_cast<std::size_t>(i)] += d * f;
+            frc[static_cast<std::size_t>(j)] += d * (-f);
+        }
+        for (int m = 0; m < n; ++m) {
+            vel_v[static_cast<std::size_t>(m)] +=
+                frc[static_cast<std::size_t>(m)] * kDt;
+            pos_v[static_cast<std::size_t>(m)] +=
+                vel_v[static_cast<std::size_t>(m)] * kDt;
+        }
+    }
+    double sum = 0;
+    for (int m = 0; m < n; ++m) {
+        sum += pos_v[static_cast<std::size_t>(m)].x +
+               2.0 * pos_v[static_cast<std::size_t>(m)].y +
+               3.0 * pos_v[static_cast<std::size_t>(m)].z;
+    }
+    return sum;
+}
+
+std::unique_ptr<App>
+makeWaterNsq()
+{
+    return std::make_unique<WaterApp>(false);
+}
+
+} // namespace shasta

@@ -1,0 +1,13 @@
+#include "apps/app_factories.hh"
+#include "apps/water_app.hh"
+
+namespace shasta
+{
+
+std::unique_ptr<App>
+makeWaterSp()
+{
+    return std::make_unique<WaterApp>(true);
+}
+
+} // namespace shasta

@@ -1,0 +1,31 @@
+#include "apps/workload_common.hh"
+
+namespace shasta
+{
+
+WorkQueue
+makeWorkQueue(Runtime &rt, int limit)
+{
+    WorkQueue wq;
+    wq.counter = rt.alloc(sizeof(std::int64_t));
+    wq.lock = rt.allocLock();
+    wq.limit = limit;
+    initWrite<std::int64_t>(rt, wq.counter, 0);
+    return wq;
+}
+
+Task
+grabWork(Context &ctx, const WorkQueue &wq, int *out)
+{
+    co_await ctx.lock(wq.lock);
+    const std::int64_t next = co_await ctx.loadI64(wq.counter);
+    if (next >= wq.limit) {
+        *out = -1;
+    } else {
+        co_await ctx.storeI64(wq.counter, next + 1);
+        *out = static_cast<int>(next);
+    }
+    co_await ctx.unlock(wq.lock);
+}
+
+} // namespace shasta

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Shared helpers for the application kernels: typed shared arrays,
+ * host-side initialization, range partitioning, lock-protected work
+ * queues, and small vector math for the particle codes.
+ */
+
+#ifndef SHASTA_APPS_WORKLOAD_COMMON_HH
+#define SHASTA_APPS_WORKLOAD_COMMON_HH
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "dsm/runtime.hh"
+#include "sim/rng.hh"
+
+namespace shasta
+{
+
+/**
+ * A typed view of a shared allocation (address arithmetic only; all
+ * access goes through a Context or the init helpers).
+ */
+template <typename T>
+struct SharedArray
+{
+    Addr base = 0;
+    std::size_t count = 0;
+
+    Addr
+    at(std::size_t i) const
+    {
+        assert(i < count);
+        return base + static_cast<Addr>(i) * sizeof(T);
+    }
+
+    std::size_t bytes() const { return count * sizeof(T); }
+};
+
+/** Allocate a shared array (optionally with a granularity hint). */
+template <typename T>
+SharedArray<T>
+makeShared(Runtime &rt, std::size_t count, std::size_t block_bytes = 0)
+{
+    SharedArray<T> a;
+    a.count = count;
+    a.base = rt.alloc(count * sizeof(T), block_bytes);
+    return a;
+}
+
+/** Allocate with home placement at @p home. */
+template <typename T>
+SharedArray<T>
+makeSharedHomed(Runtime &rt, std::size_t count,
+                std::size_t block_bytes, ProcId home)
+{
+    SharedArray<T> a;
+    a.count = count;
+    a.base = rt.allocHomed(count * sizeof(T), block_bytes, home);
+    return a;
+}
+
+/**
+ * Host-side initialization write: stores directly into the image of
+ * the node that owns the address (the home starts exclusive), or
+ * node 0 when no protocol is active.  Use only before run().
+ */
+template <typename T>
+void
+initWrite(Runtime &rt, Addr a, T v)
+{
+    NodeId node = 0;
+    if (rt.config().protocolActive()) {
+        const LineIdx line = rt.heap().lineOf(a);
+        node = rt.config().topology().nodeOf(
+            rt.protocol().homeProc(line));
+    }
+    rt.protocol().memory(node).write<T>(a, v);
+}
+
+/**
+ * Post-run read: returns the value from any node holding a valid
+ * copy (at least the owner does).
+ */
+template <typename T>
+T
+finalRead(Runtime &rt, Addr a)
+{
+    if (!rt.config().protocolActive())
+        return rt.protocol().memory(0).read<T>(a);
+    const LineIdx line = rt.heap().lineOf(a);
+    const int nodes = rt.config().topology().numNodes();
+    for (NodeId n = 0; n < nodes; ++n) {
+        if (readableState(rt.protocol().nodeState(n, line)))
+            return rt.protocol().memory(n).read<T>(a);
+    }
+    assert(false && "no node holds a valid copy");
+    return T{};
+}
+
+/** Contiguous [begin, end) range of items for processor @p p. */
+struct Range
+{
+    int begin;
+    int end;
+
+    int size() const { return end - begin; }
+};
+
+/** Split @p total items over @p procs, giving remainder to the
+ *  low-numbered processors. */
+inline Range
+partition(int total, int procs, int p)
+{
+    const int base = total / procs;
+    const int extra = total % procs;
+    const int begin = p * base + (p < extra ? p : extra);
+    const int len = base + (p < extra ? 1 : 0);
+    return Range{begin, begin + len};
+}
+
+/**
+ * Lock-protected shared work counter (the task-stealing queue of
+ * Raytrace and Volrend).
+ */
+struct WorkQueue
+{
+    Addr counter = 0;
+    int lock = -1;
+    int limit = 0;
+};
+
+/** Create a work queue over [0, limit). */
+WorkQueue makeWorkQueue(Runtime &rt, int limit);
+
+/**
+ * Grab the next work item (or -1 when exhausted) into *out.
+ * Coroutine: co_await it.
+ */
+Task grabWork(Context &ctx, const WorkQueue &wq, int *out);
+
+/** Tiny 3-vector for the particle codes' host-side math. */
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    double norm2() const { return x * x + y * y + z * z; }
+
+    double norm() const { return std::sqrt(norm2()); }
+};
+
+} // namespace shasta
+
+#endif // SHASTA_APPS_WORKLOAD_COMMON_HH

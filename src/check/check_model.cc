@@ -1,0 +1,8 @@
+#include "check/check_model.hh"
+
+// CheckModel is header-only; see check_model.hh.  This translation
+// unit compiles the header standalone.
+
+namespace shasta
+{
+} // namespace shasta

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cost model of the inline shared-miss checks.
+ *
+ * The real Shasta inserts Alpha code before loads and stores
+ * (Figure 1 of the paper: a 7-instruction state-table check for
+ * stores; a compare-against-the-invalid-flag for loads; batched
+ * checks covering runs of accesses).  The simulator charges each
+ * simulated access the cycle cost of the sequence the binary
+ * rewriter would have inserted.  Costs differ between Base-Shasta
+ * and SMP-Shasta (Section 3.4.1):
+ *
+ *  - A floating-point load's flag check must be made *atomic* in
+ *    SMP-Shasta: the value is stored to the stack and reloaded into
+ *    an integer register instead of issuing a second (non-atomic)
+ *    integer load, adding several cycles.
+ *  - Batched checks in SMP-Shasta must always consult the private
+ *    state table; Base-Shasta may flag-check loads-only batches.
+ *    This is typically the largest source of extra overhead.
+ */
+
+#ifndef SHASTA_CHECK_CHECK_MODEL_HH
+#define SHASTA_CHECK_CHECK_MODEL_HH
+
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Which checking scheme is compiled into the application. */
+enum class CheckMode
+{
+    /** No checks at all: the uninstrumented sequential binary, or a
+     *  hardware-coherent (ANL macro) run. */
+    None,
+    /** Base-Shasta checks (message passing between all processors). */
+    Base,
+    /** SMP-Shasta checks (atomic FP-flag check, private-table
+     *  batches). */
+    Smp,
+};
+
+/** Kind of a single checked access. */
+enum class AccessKind
+{
+    LoadInt,
+    LoadFp,
+    Store,
+};
+
+/** Per-check cycle costs; defaults model the paper's sequences. */
+struct CheckCosts
+{
+    /** Flag-checked integer load: cmp + branch. */
+    Tick loadIntFlag = 2;
+    /** Flag-checked FP load, Base: extra integer load + cmp + branch. */
+    Tick loadFpFlagBase = 5;
+    /** Flag-checked FP load, SMP: store to stack + integer reload +
+     *  cmp + branch (atomic variant). */
+    Tick loadFpFlagSmp = 9;
+    /** Full state-table check (Figure 1): address shifts, table load,
+     *  byte extract, branches. */
+    Tick stateTable = 7;
+    /** Per-line cost of a loads-only batch check via the flag (Base). */
+    Tick batchLineFlag = 3;
+    /** Per-line cost of a batch check via the state table. */
+    Tick batchLineTable = 7;
+    /** Per-line batch check via the *private* state table (SMP); the
+     *  extra indirection costs one more cycle. */
+    Tick batchLineSmp = 8;
+    /** Poll for messages at a loop backedge (three instructions). */
+    Tick poll = 3;
+};
+
+/**
+ * Computes the inline-check cost of each access for a given mode.
+ */
+class CheckModel
+{
+  public:
+    explicit CheckModel(CheckMode mode, CheckCosts costs = CheckCosts{},
+                        bool use_flag = true)
+        : mode_(mode), costs_(costs), useFlag_(use_flag)
+    {}
+
+    CheckMode mode() const { return mode_; }
+
+    bool enabled() const { return mode_ != CheckMode::None; }
+
+    /** Cost of the inline check before a single load/store. */
+    Tick
+    accessCheck(AccessKind kind) const
+    {
+        if (mode_ == CheckMode::None)
+            return 0;
+        switch (kind) {
+          case AccessKind::LoadInt:
+            return useFlag_ ? costs_.loadIntFlag
+                            : costs_.stateTable;
+          case AccessKind::LoadFp:
+            if (!useFlag_)
+                return costs_.stateTable;
+            return mode_ == CheckMode::Smp ? costs_.loadFpFlagSmp
+                                           : costs_.loadFpFlagBase;
+          case AccessKind::Store:
+            return costs_.stateTable;
+        }
+        return 0;
+    }
+
+    /**
+     * Cost of a batched check covering @p lines lines.
+     *
+     * @param loads_only true if the batch contains only loads, which
+     *   lets Base-Shasta use the cheaper flag technique.
+     */
+    Tick
+    batchCheck(int lines, bool loads_only) const
+    {
+        if (mode_ == CheckMode::None)
+            return 0;
+        Tick per_line;
+        if (mode_ == CheckMode::Smp)
+            per_line = costs_.batchLineSmp;
+        else
+            per_line = loads_only ? costs_.batchLineFlag
+                                  : costs_.batchLineTable;
+        return per_line * lines;
+    }
+
+    /** Cost of one poll at a loop backedge. */
+    Tick
+    pollCost() const
+    {
+        return mode_ == CheckMode::None ? 0 : costs_.poll;
+    }
+
+    /**
+     * True if single loads use the invalid-flag technique (both modes
+     * do; the flag combines the load and the check into one atomic
+     * event, Section 2.3).
+     */
+    bool
+    loadsUseFlag() const
+    {
+        return mode_ != CheckMode::None && useFlag_;
+    }
+
+    /**
+     * True if loads-only batches may use the flag technique.  Only
+     * Base-Shasta: the batched loads are not atomic with the batch
+     * check, so SMP-Shasta must use the private state table
+     * (Section 3.4.1).
+     */
+    bool
+    batchesUseFlag() const
+    {
+        return mode_ == CheckMode::Base && useFlag_;
+    }
+
+    const CheckCosts &costs() const { return costs_; }
+
+  private:
+    CheckMode mode_;
+    CheckCosts costs_;
+    bool useFlag_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_CHECK_CHECK_MODEL_HH

@@ -1,0 +1,91 @@
+#include "dsm/config.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace shasta
+{
+
+int
+DsmConfig::effectiveClustering() const
+{
+    if (mode == Mode::Base)
+        return 1;
+    if (mode == Mode::Hardware) {
+        return numProcs < procsPerMachine ? numProcs
+                                          : procsPerMachine;
+    }
+    return clustering;
+}
+
+Topology
+DsmConfig::topology() const
+{
+    return Topology(numProcs, effectiveClustering(), procsPerMachine);
+}
+
+void
+DsmConfig::validate() const
+{
+    auto fail = [](const char *msg) {
+        std::fprintf(stderr, "DsmConfig: %s\n", msg);
+        std::abort();
+    };
+    if (numProcs < 1)
+        fail("numProcs must be >= 1");
+    if (procsPerMachine < 1)
+        fail("procsPerMachine must be >= 1");
+    const int c = effectiveClustering();
+    if (c < 1 || c > procsPerMachine)
+        fail("clustering must be in [1, procsPerMachine]");
+    if (procsPerMachine % c != 0)
+        fail("clustering must tile the machine");
+    if (mode == Mode::Hardware && numProcs > procsPerMachine)
+        fail("hardware-coherent runs fit on one machine");
+    if (lineSize < 16 || (lineSize & (lineSize - 1)) != 0)
+        fail("lineSize must be a power of two >= 16");
+    if (quantum < 16)
+        fail("quantum too small");
+    if (maxOutstandingWrites < 1)
+        fail("maxOutstandingWrites must be >= 1");
+}
+
+DsmConfig
+DsmConfig::sequential()
+{
+    DsmConfig c;
+    c.mode = Mode::Hardware;
+    c.numProcs = 1;
+    return c;
+}
+
+DsmConfig
+DsmConfig::hardware(int num_procs)
+{
+    DsmConfig c;
+    c.mode = Mode::Hardware;
+    c.numProcs = num_procs;
+    return c;
+}
+
+DsmConfig
+DsmConfig::base(int num_procs)
+{
+    DsmConfig c;
+    c.mode = Mode::Base;
+    c.numProcs = num_procs;
+    c.clustering = 1;
+    return c;
+}
+
+DsmConfig
+DsmConfig::smp(int num_procs, int clustering)
+{
+    DsmConfig c;
+    c.mode = Mode::Smp;
+    c.numProcs = num_procs;
+    c.clustering = clustering;
+    return c;
+}
+
+} // namespace shasta

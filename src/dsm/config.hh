@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Run configuration for the DSM runtime.
+ *
+ * A DsmConfig describes one run: the execution mode (uninstrumented
+ * sequential, hardware-coherent "ANL" run, Base-Shasta, SMP-Shasta),
+ * the processor count and logical clustering, the line size, and all
+ * timing parameters of the cost model.
+ */
+
+#ifndef SHASTA_DSM_CONFIG_HH
+#define SHASTA_DSM_CONFIG_HH
+
+#include <cstdint>
+
+#include "check/check_model.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Execution mode of a run. */
+enum class Mode
+{
+    /** Uninstrumented run (the "original sequential application", or
+     *  a hardware-coherent parallel run using the ANL macros,
+     *  Section 4.3); no checks, no software protocol. */
+    Hardware,
+    /** Base-Shasta: message passing between all processors,
+     *  clustering of 1. */
+    Base,
+    /** SMP-Shasta: processors on a node share memory and state. */
+    Smp,
+};
+
+/** Protocol-operation costs (ticks = 300 MHz cycles). */
+struct CostParams
+{
+    /** Enter a miss handler: save registers, range check, dispatch. */
+    Tick protoEntry = usToTicks(1.2);
+    /** Home handler for an incoming request: directory lookup,
+     *  decide, prepare reply or forward. */
+    Tick homeHandler = usToTicks(3.0);
+    /** Owner handler for a forwarded request. */
+    Tick fwdHandler = usToTicks(2.0);
+    /** Requester processing of a data reply: merge, update tables,
+     *  resume waiters. */
+    Tick fillReply = usToTicks(2.0);
+    /** Invalidation handler: state change plus flag fill. */
+    Tick invalHandler = usToTicks(1.2);
+    /** Ack bookkeeping at the requester. */
+    Tick ackHandler = usToTicks(0.3);
+    /** Home processing of writebacks / ownership acks. */
+    Tick wbHandler = usToTicks(1.0);
+    /** Requester processing of a (data-less) upgrade reply. */
+    Tick upgradeReply = usToTicks(0.8);
+    /** Receive dispatch per message, charged at the handler. */
+    Tick recvRemote = usToTicks(1.0);
+    Tick recvLocal = usToTicks(0.7);
+    /** SMP-Shasta line-lock acquire/MB/release per protocol op. */
+    Tick lineLock = usToTicks(0.4);
+    /** Handle one intra-node downgrade message. */
+    Tick downgradeHandler = usToTicks(1.0);
+    /** Upgrade a private state table entry from the shared state. */
+    Tick privUpgrade = usToTicks(0.8);
+    /** Enter the protocol only to merge into a pending entry. */
+    Tick missMerge = usToTicks(0.8);
+    /** Slow-path cost of a false miss (range check, table lookup). */
+    Tick falseMiss = usToTicks(0.5);
+
+    /** @{ Synchronization primitive costs. */
+    /** Software lock/barrier handler at the manager processor. */
+    Tick lockHandler = usToTicks(0.8);
+    Tick barrierHandler = usToTicks(0.5);
+    /** Hardware-mode (ANL macro) primitives. */
+    Tick hwLockAcquire = usToTicks(0.3);
+    Tick hwLockHandoff = usToTicks(1.0);
+    Tick hwBarrier = usToTicks(2.0);
+    /** @} */
+};
+
+/** Full configuration of a run. */
+struct DsmConfig
+{
+    Mode mode = Mode::Base;
+    int numProcs = 1;
+    /** Logical clustering (processors sharing memory per node).
+     *  Forced to 1 in Base mode and to min(numProcs, procsPerMachine)
+     *  in Hardware mode by validate(). */
+    int clustering = 1;
+    int procsPerMachine = 4;
+    int lineSize = 64;
+    /** Max local-clock drift before a processor must yield. */
+    Tick quantum = 512;
+    /** Non-blocking store limit before the processor stalls. */
+    int maxOutstandingWrites = 16;
+    std::uint64_t seed = 1;
+
+    /** @{ Extensions and ablations. */
+    /** Use the invalid-flag load optimization (Section 2.3).  Off,
+     *  every load checks the state table and invalidations skip the
+     *  flag fill -- the ablation quantifies the flag's value. */
+    bool useInvalidFlag = true;
+    /** SoftFLASH-style ablation: send downgrade messages to EVERY
+     *  other processor on the node instead of consulting the private
+     *  state tables (Section 5 contrasts Shasta's selective
+     *  downgrades with SoftFLASH's broadcast TLB shootdowns). */
+    bool broadcastDowngrades = false;
+    /** Future-work extension from Sections 3.1/5: share the
+     *  directory among colocated processors, so a request whose home
+     *  is on the requester's node skips the internal message hop. */
+    bool shareDirectory = false;
+    /** @} */
+
+    NetworkParams net = NetworkParams::defaults();
+    CheckCosts checkCosts{};
+    CostParams costs{};
+
+    /** Checking scheme implied by the mode. */
+    CheckMode
+    checkMode() const
+    {
+        switch (mode) {
+          case Mode::Base: return CheckMode::Base;
+          case Mode::Smp: return CheckMode::Smp;
+          default: return CheckMode::None;
+        }
+    }
+
+    /** True if the software coherence protocol is active. */
+    bool
+    protocolActive() const
+    {
+        return mode == Mode::Base || mode == Mode::Smp;
+    }
+
+    /** Effective clustering after mode rules. */
+    int effectiveClustering() const;
+
+    /** Topology implied by this configuration. */
+    Topology topology() const;
+
+    /** Check invariants; aborts with a message on bad configs. */
+    void validate() const;
+
+    /** @{ Convenience factories for the paper's configurations. */
+    static DsmConfig sequential();
+    static DsmConfig hardware(int num_procs);
+    static DsmConfig base(int num_procs);
+    static DsmConfig smp(int num_procs, int clustering);
+    /** @} */
+};
+
+} // namespace shasta
+
+#endif // SHASTA_DSM_CONFIG_HH

@@ -1,0 +1,491 @@
+#include "dsm/context.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+
+Context::Context(Runtime &rt, Proc &proc)
+    : rt_(rt),
+      proc_(proc),
+      cfg_(rt.config()),
+      heap_(rt.heap()),
+      proto_(rt.protocol()),
+      mem_(&rt.protocol().memory(proc.node)),
+      check_(rt.config().checkMode(), rt.config().checkCosts,
+             rt.config().useInvalidFlag),
+      // Multi-processor runs must interleave at quantum boundaries
+      // even without a protocol (hardware mode), or a work-queue
+      // app would be drained by whichever processor runs first.
+      needYield_(rt.config().numProcs > 1)
+{
+}
+
+int
+Context::numProcs() const
+{
+    return cfg_.numProcs;
+}
+
+void
+Context::PollAwait::await_suspend(std::coroutine_handle<> h)
+{
+    Proc &p = c->proc_;
+    c->rt_.events().schedule(p.now, [this_c = c, h] {
+        Proc &pp = this_c->proc_;
+        pp.lastYield = pp.now;
+        this_c->proto_.drainMailbox(pp);
+        h.resume();
+    });
+}
+
+void
+Context::ReleaseFence::await_suspend(std::coroutine_handle<> h)
+{
+    Context *ctx = c;
+    Proc &p = ctx->proc_;
+    const Tick t0 = p.now;
+    ctx->proto_.noteBlocked(p);
+    ctx->proto_.releaseFence(p, [ctx, h, t0] {
+        Proc &pp = ctx->proc_;
+        pp.now = std::max(pp.now, ctx->rt_.events().now());
+        if (ctx->proto_.measuring())
+            pp.bd.sync += pp.now - t0;
+        pp.status = ProcStatus::Running;
+        h.resume();
+    });
+}
+
+// ---------------------------------------------------------------------
+// Slow paths
+// ---------------------------------------------------------------------
+
+SlowOp
+Context::loadSlow(Addr a, bool flag_checked)
+{
+    Proc &p = proc_;
+    const LineIdx line = heap_.lineOf(a);
+    p.now += cfg_.costs.protoEntry;
+
+    if (flag_checked && readableFast(a)) {
+        // False miss: the application data happened to equal the
+        // flag value.  The slow routine's state lookup detects this
+        // and simply returns (Section 2.3).
+        p.now += cfg_.costs.falseMiss;
+        if (proto_.measuring())
+            ++proto_.counters().falseMisses;
+        co_return;
+    }
+
+    for (;;) {
+        switch (proto_.loadMiss(p, line)) {
+          case MissOutcome::Resolved:
+            co_return;
+          case MissOutcome::WaitData:
+            co_await ParkLoad{this, line};
+            co_return;
+          case MissOutcome::WaitRetry:
+            co_await ParkRetry{this, line, StallKind::Read};
+            continue;
+          default:
+            assert(false && "unexpected load-miss outcome");
+            co_return;
+        }
+    }
+}
+
+SlowOp
+Context::storeSlow(Addr a, int len, std::uint64_t packed)
+{
+    Proc &p = proc_;
+    const LineIdx line = heap_.lineOf(a);
+    p.now += cfg_.costs.protoEntry;
+
+    for (;;) {
+        switch (proto_.storeMiss(p, line, a, len)) {
+          case MissOutcome::Resolved:
+          case MissOutcome::ResolvedPending: {
+            std::uint8_t bytes[8];
+            std::memcpy(bytes, &packed, 8);
+            mem_->copyIn(a, bytes, static_cast<std::size_t>(len));
+            co_return;
+          }
+          case MissOutcome::WaitThrottle:
+            co_await ParkThrottle{this};
+            continue;
+          case MissOutcome::WaitRetry:
+            co_await ParkRetry{this, line, StallKind::Write};
+            continue;
+          default:
+            assert(false && "unexpected store-miss outcome");
+            co_return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batching
+// ---------------------------------------------------------------------
+
+BatchRegion
+Context::makeRegion(Addr base, int bytes, bool write, Addr store_base,
+                    int store_len) const
+{
+    assert(bytes > 0);
+    BatchRegion r;
+    r.firstLine = heap_.lineOf(base);
+    r.numLines = heap_.lineOf(base + static_cast<Addr>(bytes) - 1) -
+                 r.firstLine + 1;
+    r.write = write;
+    if (write) {
+        if (store_len < 0) {
+            r.storeBase = base;
+            r.storeLen = bytes;
+        } else {
+            r.storeBase = store_base;
+            r.storeLen = store_len;
+        }
+    }
+    return r;
+}
+
+Context::BatchAwait
+Context::batch(Addr base, int bytes, bool write, Addr store_base,
+               int store_len)
+{
+    return BatchAwait{
+        this, makeRegion(base, bytes, write, store_base, store_len)};
+}
+
+Context::BatchSetAwait
+Context::batchSet(BatchSpec a, BatchSpec b)
+{
+    BatchSet s;
+    s.r[s.n++] = makeRegion(a.base, a.bytes, a.write, 0, -1);
+    s.r[s.n++] = makeRegion(b.base, b.bytes, b.write, 0, -1);
+    return BatchSetAwait{this, s};
+}
+
+Context::BatchSetAwait
+Context::batchSet(BatchSpec a, BatchSpec b, BatchSpec c)
+{
+    BatchSet s;
+    s.r[s.n++] = makeRegion(a.base, a.bytes, a.write, 0, -1);
+    s.r[s.n++] = makeRegion(b.base, b.bytes, b.write, 0, -1);
+    s.r[s.n++] = makeRegion(c.base, c.bytes, c.write, 0, -1);
+    return BatchSetAwait{this, s};
+}
+
+Context::BatchSetAwait
+Context::batchSet(BatchSpec a, BatchSpec b, BatchSpec c, BatchSpec d)
+{
+    BatchSet s;
+    s.r[s.n++] = makeRegion(a.base, a.bytes, a.write, 0, -1);
+    s.r[s.n++] = makeRegion(b.base, b.bytes, b.write, 0, -1);
+    s.r[s.n++] = makeRegion(c.base, c.bytes, c.write, 0, -1);
+    s.r[s.n++] = makeRegion(d.base, d.bytes, d.write, 0, -1);
+    return BatchSetAwait{this, s};
+}
+
+bool
+Context::batchRegionReady(const BatchRegion &r) const
+{
+    if (!r.write && check_.batchesUseFlag()) {
+        // Base-Shasta loads-only batch: flag technique per line.
+        for (std::uint32_t i = 0; i < r.numLines; ++i) {
+            const Addr la = heap_.lineAddr(r.firstLine + i);
+            if (mem_->longwordIsFlag(la))
+                return false;
+        }
+        return true;
+    }
+    if (cfg_.mode == Mode::Smp) {
+        return proto_.batchLinesReady(proc_, r.firstLine, r.numLines,
+                                      r.write);
+    }
+    // Base-Shasta state-table batch check.
+    for (std::uint32_t i = 0; i < r.numLines; ++i) {
+        const LState s = proto_.nodeState(proc_.node, r.firstLine + i);
+        const bool ok = r.write ? writableState(s) : readableState(s);
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+bool
+Context::BatchAwait::await_ready()
+{
+    Context *ctx = c;
+    Proc &p = ctx->proc_;
+    ++p.checks.batchChecks;
+    const Tick cost = ctx->check_.batchCheck(
+        static_cast<int>(r.numLines), !r.write);
+    p.now += cost;
+    p.checks.checkCycles += cost;
+    if (!ctx->check_.enabled())
+        return true;
+    return ctx->batchRegionReady(r);
+}
+
+bool
+Context::BatchSetAwait::await_ready()
+{
+    Context *ctx = c;
+    Proc &p = ctx->proc_;
+    ++p.checks.batchChecks;
+    int lines = 0;
+    bool loads_only = true;
+    for (int i = 0; i < s.n; ++i) {
+        lines += static_cast<int>(s.r[i].numLines);
+        loads_only = loads_only && !s.r[i].write;
+    }
+    const Tick cost = ctx->check_.batchCheck(lines, loads_only);
+    p.now += cost;
+    p.checks.checkCycles += cost;
+    if (!ctx->check_.enabled())
+        return true;
+    for (int i = 0; i < s.n; ++i) {
+        if (!ctx->batchRegionReady(s.r[i]))
+            return false;
+    }
+    return true;
+}
+
+Task
+Context::resolveBatchRegion(BatchRegion *r)
+{
+    // The batch miss handler sends out requests for *all* missing
+    // blocks first and only then waits for the replies, so the
+    // fetches overlap (Section 3.4.4: "the batch miss handler sends
+    // out requests for any missing blocks").
+    //
+    // Write transactions are only started AFTER a block's data is
+    // locally valid: marking store bytes dirty while a data reply is
+    // still in flight would make the merge skip bytes that the raw
+    // stores have not written yet.
+    Proc &p = proc_;
+    const LineIdx end = r->firstLine + r->numLines;
+
+    // Phase A: issue reads.  A miss on an Invalid block starts its
+    // transaction and returns WaitData without parking.
+    LineIdx line = r->firstLine;
+    while (line < end) {
+        const BlockInfo b = heap_.blockOf(line);
+        const Addr la = heap_.lineAddr(line);
+        if (!readableFast(la)) {
+            for (;;) {
+                const MissOutcome oc = proto_.loadMiss(p, line);
+                if (oc == MissOutcome::Resolved ||
+                    oc == MissOutcome::WaitData) {
+                    break;
+                }
+                assert(oc == MissOutcome::WaitRetry);
+                co_await ParkRetry{this, line, StallKind::Read};
+                if (readableFast(la))
+                    break;
+            }
+        }
+        line = b.firstLine + b.numLines;
+    }
+
+    // Phase B: wait until every block's data is valid, then (for
+    // write regions) start the non-blocking write transaction for
+    // the store overlap.
+    line = r->firstLine;
+    while (line < end) {
+        const BlockInfo b = heap_.blockOf(line);
+        const Addr la = heap_.lineAddr(line);
+        for (;;) {
+            while (!readableFast(la)) {
+                const MissOutcome oc = proto_.loadMiss(p, line);
+                if (oc == MissOutcome::Resolved)
+                    break;
+                if (oc == MissOutcome::WaitData) {
+                    co_await ParkLoad{this, line};
+                    break;
+                }
+                assert(oc == MissOutcome::WaitRetry);
+                co_await ParkRetry{this, line, StallKind::Read};
+            }
+
+            if (!r->write || r->storeLen <= 0)
+                break;
+            const Addr baddr = heap_.lineAddr(b.firstLine);
+            const Addr bend =
+                baddr + static_cast<Addr>(b.numLines) *
+                            static_cast<Addr>(heap_.lineSize());
+            const Addr lo = std::max(r->storeBase, baddr);
+            const Addr hi = std::min(
+                r->storeBase + static_cast<Addr>(r->storeLen), bend);
+            if (lo >= hi || writableFast(la))
+                break;
+
+            // Acquire write permission WITHOUT pre-marking the store
+            // range dirty: the raw stores have not executed yet, so
+            // "dirty" bytes would be garbage in any snapshot or
+            // merge.  If the block loses exclusivity before the raw
+            // stores run, batchEnd() re-issues the write transaction
+            // with the (then real) store values marked dirty.
+            const MissOutcome oc = proto_.storeMiss(p, line, lo, 0);
+            if (oc == MissOutcome::Resolved)
+                break;
+            if (oc == MissOutcome::ResolvedPending) {
+                // A read-exclusive carries data that would overwrite
+                // the raw stores if it landed after them; wait for
+                // the data before returning to the application.
+                while (!writableFast(la)) {
+                    const MissOutcome w = proto_.loadMiss(p, line);
+                    if (w == MissOutcome::Resolved)
+                        break;
+                    if (w == MissOutcome::WaitData) {
+                        co_await ParkLoad{this, line};
+                        continue;
+                    }
+                    assert(w == MissOutcome::WaitRetry);
+                    co_await ParkRetry{this, line,
+                                       StallKind::Write};
+                }
+                break;
+            }
+            if (oc == MissOutcome::WaitThrottle) {
+                co_await ParkThrottle{this};
+                continue;
+            }
+            assert(oc == MissOutcome::WaitRetry);
+            co_await ParkRetry{this, line, StallKind::Write};
+        }
+        line = b.firstLine + b.numLines;
+    }
+}
+
+SlowOp
+Context::batchSlow(BatchRegion *r)
+{
+    Proc &p = proc_;
+    p.now += cfg_.costs.protoEntry;
+    if (proto_.measuring())
+        ++proto_.counters().batchMisses;
+
+    proto_.batchMark(p.node, r->firstLine, r->numLines);
+    r->marked = true;
+    co_await resolveBatchRegion(r);
+}
+
+SlowOp
+Context::batchSetSlow(BatchSet *s)
+{
+    Proc &p = proc_;
+    p.now += cfg_.costs.protoEntry;
+    if (proto_.measuring())
+        ++proto_.counters().batchMisses;
+
+    // Mark every range before the first wait so invalidations of any
+    // of them defer their flag fills for the whole batch.
+    for (int i = 0; i < s->n; ++i) {
+        proto_.batchMark(p.node, s->r[i].firstLine, s->r[i].numLines);
+        s->r[i].marked = true;
+    }
+    for (int i = 0; i < s->n; ++i)
+        co_await resolveBatchRegion(&s->r[i]);
+}
+
+void
+Context::batchEnd(const BatchRegion &r)
+{
+    if (!r.marked)
+        return;
+    proto_.batchUnmark(proc_, r.firstLine, r.numLines, r.write,
+                       r.storeBase, r.storeLen);
+}
+
+void
+Context::batchEnd(const BatchSet &s)
+{
+    for (int i = 0; i < s.n; ++i)
+        batchEnd(s.r[i]);
+}
+
+// ---------------------------------------------------------------------
+// Synchronization
+// ---------------------------------------------------------------------
+
+SlowOp
+Context::syncSlow(int op, int id)
+{
+    Proc &p = proc_;
+    switch (op) {
+      case 0: { // lock acquire
+        // Stall at acquires while a batch is mid-flight on the node
+        // (footnote 3 of the paper).
+        while (proto_.nodeHasMarks(p.node))
+            co_await ParkAcquire{this};
+
+        struct LockPark
+        {
+            Context *c;
+            int id;
+            bool await_ready() { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                c->rt_.lockMgr().park(c->proc_, id, h);
+            }
+            void await_resume() {}
+        };
+
+        if (!rt_.lockMgr().tryAcquire(p, id))
+            co_await LockPark{this, id};
+        co_return;
+      }
+
+      case 1: { // lock release
+        co_await ReleaseFence{this};
+        rt_.lockMgr().release(p, id);
+        co_return;
+      }
+
+      case 2: { // barrier
+        co_await ReleaseFence{this};
+
+        struct BarrierPark
+        {
+            Context *c;
+            bool await_ready() { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                c->rt_.barrierMgr().park(c->proc_, h);
+            }
+            void await_resume() {}
+        };
+
+        if (!rt_.barrierMgr().arrive(p))
+            co_await BarrierPark{this};
+
+        // Barrier exit is an acquire.
+        while (proto_.nodeHasMarks(p.node))
+            co_await ParkAcquire{this};
+        co_return;
+      }
+
+      default:
+        assert(false && "unknown sync op");
+        co_return;
+    }
+}
+
+void
+Context::beginMeasure()
+{
+    rt_.openRegion();
+    proc_.bd = Breakdown{};
+    proc_.checks = CheckCounters{};
+    proc_.regionStart = proc_.now;
+}
+
+} // namespace shasta

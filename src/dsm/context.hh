@@ -1,0 +1,624 @@
+/**
+ * @file
+ * Per-processor application interface to the DSM.
+ *
+ * Application kernels run as coroutines and access shared memory
+ * through a Context.  Each accessor returns an awaitable whose
+ * await_ready() performs the *inline check* of the paper (charging
+ * its cycle cost) and is true on a hit, so the common case never
+ * suspends.  On a miss, the awaitable transfers control into a
+ * detached slow-path coroutine that talks to the protocol, parks on
+ * miss entries, and resumes the application when the access can
+ * complete.
+ *
+ * The accessors mirror what Shasta's binary rewriter produces:
+ *
+ *  - loads of >= 4 bytes are checked against the invalid flag (one
+ *    compare; the load and check form a single atomic event);
+ *  - smaller loads and all stores are checked via the state table;
+ *  - runs of accesses can be *batched*: one check per line covered,
+ *    then unchecked ("raw") accesses inside the region
+ *    (Section 2.3 / 3.4.4).
+ */
+
+#ifndef SHASTA_DSM_CONTEXT_HH
+#define SHASTA_DSM_CONTEXT_HH
+
+#include <array>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+
+#include "check/check_model.hh"
+#include "dsm/config.hh"
+#include "dsm/proc.hh"
+#include "mem/node_memory.hh"
+#include "mem/shared_heap.hh"
+#include "proto/protocol.hh"
+#include "sim/task.hh"
+
+namespace shasta
+{
+
+class Runtime;
+class LockManager;
+class BarrierManager;
+
+/**
+ * Self-destroying slow-path coroutine.
+ *
+ * Created inside an awaitable's await_suspend and symmetric-
+ * transferred into; when it finishes it resumes the application
+ * coroutine and destroys its own frame.
+ */
+class SlowOp
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        SlowOp
+        get_return_object()
+        {
+            return SlowOp{
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<promise_type> h)
+                noexcept
+            {
+                auto cont = h.promise().continuation;
+                h.destroy();
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_void() {}
+
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    explicit SlowOp(std::coroutine_handle<promise_type> h)
+        : handle(h)
+    {}
+
+    std::coroutine_handle<promise_type> handle;
+};
+
+/** Description of one completed batch region. */
+struct BatchRegion
+{
+    LineIdx firstLine = 0;
+    std::uint32_t numLines = 0;
+    bool write = false;
+    Addr storeBase = 0;
+    int storeLen = 0;
+    /** True if the slow path marked the blocks (needs batchEnd
+     *  bookkeeping). */
+    bool marked = false;
+};
+
+/**
+ * A batch covering several address ranges checked together, as the
+ * rewriter does for interleaved accesses via multiple base registers
+ * (Section 2.3).  Fixed capacity keeps the hot path allocation-free.
+ */
+struct BatchSet
+{
+    static constexpr int kMaxRanges = 4;
+    std::array<BatchRegion, kMaxRanges> r{};
+    int n = 0;
+};
+
+/**
+ * The per-processor application interface.
+ */
+class Context
+{
+  public:
+    Context(Runtime &rt, Proc &proc);
+
+    Proc &proc() { return proc_; }
+    ProcId id() const { return proc_.id; }
+    int numProcs() const;
+    const DsmConfig &config() const { return cfg_; }
+
+    /** Advance the local clock by @p cycles of computation. */
+    void compute(Tick cycles) { proc_.now += cycles; }
+
+    /** Current local simulated time. */
+    Tick now() const { return proc_.now; }
+
+    // -----------------------------------------------------------------
+    // Poll (loop backedge)
+    // -----------------------------------------------------------------
+
+    struct PollAwait
+    {
+        Context *c;
+
+        bool
+        await_ready()
+        {
+            Proc &p = c->proc_;
+            p.now += c->check_.pollCost();
+            ++p.checks.polls;
+            if (p.mailbox.hasMail())
+                c->proto_.drainMailbox(p);
+            if (!c->needYield_)
+                return true;
+            return p.now - p.lastYield < c->cfg_.quantum;
+        }
+
+        void await_suspend(std::coroutine_handle<> h);
+
+        void await_resume() {}
+    };
+
+    /** Poll for messages and yield if the quantum is exhausted.  Call
+     *  at loop backedges, as Shasta's rewriter does. */
+    PollAwait poll() { return PollAwait{this}; }
+
+    // -----------------------------------------------------------------
+    // Checked single accesses
+    // -----------------------------------------------------------------
+
+    template <typename T>
+    static bool
+    valueIsFlag(T v)
+    {
+        static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+        if constexpr (sizeof(T) == 8) {
+            std::uint64_t u;
+            std::memcpy(&u, &v, 8);
+            return u == kInvalidFlag64;
+        } else {
+            std::uint32_t u;
+            std::memcpy(&u, &v, 4);
+            return u == kInvalidFlag;
+        }
+    }
+
+    template <typename T, bool Fp>
+    struct LoadAwait
+    {
+        Context *c;
+        Addr a;
+
+        bool
+        await_ready()
+        {
+            Proc &p = c->proc_;
+            ++p.checks.loads;
+            if constexpr (sizeof(T) >= 4) {
+                // Invalid-flag check: load, compare, branch (state
+                // table when the flag optimization is disabled).
+                const Tick cost = c->check_.accessCheck(
+                    Fp ? AccessKind::LoadFp : AccessKind::LoadInt);
+                p.now += cost;
+                p.checks.checkCycles += cost;
+                if (!c->check_.enabled())
+                    return true;
+                if (!c->check_.loadsUseFlag())
+                    return c->readableFast(a);
+                const T v = c->mem_->read<T>(a);
+                return !valueIsFlag(v);
+            } else {
+                // Sub-longword loads cannot use the flag; they check
+                // the state table like stores.
+                const Tick cost = c->check_.enabled()
+                                      ? c->check_.costs().stateTable
+                                      : 0;
+                p.now += cost;
+                p.checks.checkCycles += cost;
+                if (!c->check_.enabled())
+                    return true;
+                return c->readableFast(a);
+            }
+        }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> h)
+        {
+            const bool flag_checked =
+                sizeof(T) >= 4 && c->check_.loadsUseFlag();
+            SlowOp op = c->loadSlow(a, flag_checked);
+            op.handle.promise().continuation = h;
+            return op.handle;
+        }
+
+        T await_resume() { return c->mem_->read<T>(a); }
+    };
+
+    /** Checked floating-point load (flag technique; atomic variant
+     *  in SMP mode). */
+    LoadAwait<double, true> loadFp(Addr a)
+    {
+        return LoadAwait<double, true>{this, a};
+    }
+
+    LoadAwait<float, true> loadFp32(Addr a)
+    {
+        return LoadAwait<float, true>{this, a};
+    }
+
+    /** Checked integer loads. */
+    LoadAwait<std::int64_t, false> loadI64(Addr a)
+    {
+        return LoadAwait<std::int64_t, false>{this, a};
+    }
+
+    LoadAwait<std::int32_t, false> loadI32(Addr a)
+    {
+        return LoadAwait<std::int32_t, false>{this, a};
+    }
+
+    LoadAwait<std::uint64_t, false> loadU64(Addr a)
+    {
+        return LoadAwait<std::uint64_t, false>{this, a};
+    }
+
+    LoadAwait<std::uint8_t, false> loadU8(Addr a)
+    {
+        return LoadAwait<std::uint8_t, false>{this, a};
+    }
+
+    template <typename T>
+    struct StoreAwait
+    {
+        Context *c;
+        Addr a;
+        T v;
+
+        bool
+        await_ready()
+        {
+            Proc &p = c->proc_;
+            ++p.checks.stores;
+            const Tick cost = c->check_.accessCheck(AccessKind::Store);
+            p.now += cost;
+            p.checks.checkCycles += cost;
+            if (!c->check_.enabled() || c->writableFast(a)) {
+                c->mem_->write<T>(a, v);
+                return true;
+            }
+            return false;
+        }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> h)
+        {
+            SlowOp op = c->storeSlow(a, static_cast<int>(sizeof(T)),
+                                     pack(v));
+            op.handle.promise().continuation = h;
+            return op.handle;
+        }
+
+        void await_resume() {}
+
+        static std::uint64_t
+        pack(T value)
+        {
+            std::uint64_t u = 0;
+            std::memcpy(&u, &value, sizeof(T));
+            return u;
+        }
+    };
+
+    /** Checked stores. */
+    StoreAwait<double> storeFp(Addr a, double v)
+    {
+        return StoreAwait<double>{this, a, v};
+    }
+
+    StoreAwait<float> storeFp32(Addr a, float v)
+    {
+        return StoreAwait<float>{this, a, v};
+    }
+
+    StoreAwait<std::int64_t> storeI64(Addr a, std::int64_t v)
+    {
+        return StoreAwait<std::int64_t>{this, a, v};
+    }
+
+    StoreAwait<std::int32_t> storeI32(Addr a, std::int32_t v)
+    {
+        return StoreAwait<std::int32_t>{this, a, v};
+    }
+
+    StoreAwait<std::uint64_t> storeU64(Addr a, std::uint64_t v)
+    {
+        return StoreAwait<std::uint64_t>{this, a, v};
+    }
+
+    StoreAwait<std::uint8_t> storeU8(Addr a, std::uint8_t v)
+    {
+        return StoreAwait<std::uint8_t>{this, a, v};
+    }
+
+    // -----------------------------------------------------------------
+    // Batched accesses
+    // -----------------------------------------------------------------
+
+    struct BatchAwait
+    {
+        Context *c;
+        BatchRegion r;
+
+        bool await_ready();
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> h)
+        {
+            SlowOp op = c->batchSlow(&r);
+            op.handle.promise().continuation = h;
+            return op.handle;
+        }
+
+        BatchRegion await_resume() { return r; }
+    };
+
+    /**
+     * Begin a batch region covering [base, base+bytes).
+     *
+     * @param write true if the region contains stores; the checked
+     *   store range is [store_base, store_base+store_len) (defaults
+     *   to the whole region).
+     *
+     * After the awaitable completes, perform the accesses with
+     * rawLoad/rawStore (no co_await in between!) and then call
+     * batchEnd() with the returned region.
+     */
+    BatchAwait batch(Addr base, int bytes, bool write,
+                     Addr store_base = 0, int store_len = -1);
+
+    /** Finish a batch region (applies deferred invalidation fills and
+     *  re-propagates stores if needed). */
+    void batchEnd(const BatchRegion &r);
+
+    struct BatchSetAwait
+    {
+        Context *c;
+        BatchSet s;
+
+        bool await_ready();
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> h)
+        {
+            SlowOp op = c->batchSetSlow(&s);
+            op.handle.promise().continuation = h;
+            return op.handle;
+        }
+
+        BatchSet await_resume() { return s; }
+    };
+
+    /** One range of a multi-range batch. */
+    struct BatchSpec
+    {
+        Addr base;
+        int bytes;
+        bool write;
+    };
+
+    /** @{ Begin a batch over several ranges, checked together (one
+     *  check per line covered).  Overloads instead of an
+     *  initializer_list: array-backed temporaries may not live
+     *  across a co_await under GCC. */
+    BatchSetAwait batchSet(BatchSpec a, BatchSpec b);
+    BatchSetAwait batchSet(BatchSpec a, BatchSpec b, BatchSpec c);
+    BatchSetAwait batchSet(BatchSpec a, BatchSpec b, BatchSpec c,
+                           BatchSpec d);
+    /** @} */
+
+    /** Finish a multi-range batch. */
+    void batchEnd(const BatchSet &s);
+
+    /** @{ Unchecked accesses for use inside batch regions. */
+    template <typename T>
+    T
+    rawLoad(Addr a) const
+    {
+        ++proc_.checks.batchedAccesses;
+        return mem_->read<T>(a);
+    }
+
+    template <typename T>
+    void
+    rawStore(Addr a, T v)
+    {
+        ++proc_.checks.batchedAccesses;
+        mem_->write<T>(a, v);
+    }
+    /** @} */
+
+    // -----------------------------------------------------------------
+    // Synchronization
+    // -----------------------------------------------------------------
+
+    struct SyncAwait
+    {
+        Context *c;
+        int op; ///< 0 = lock, 1 = unlock, 2 = barrier
+        int id;
+
+        bool await_ready() { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> h)
+        {
+            SlowOp s = c->syncSlow(op, id);
+            s.handle.promise().continuation = h;
+            return s.handle;
+        }
+
+        void await_resume() {}
+    };
+
+    /** Acquire application lock @p id. */
+    SyncAwait lock(int id) { return SyncAwait{this, 0, id}; }
+
+    /** Release application lock @p id (a release point: waits for the
+     *  node's outstanding stores first). */
+    SyncAwait unlock(int id) { return SyncAwait{this, 1, id}; }
+
+    /** Global barrier across all processors (also a release point). */
+    SyncAwait barrier() { return SyncAwait{this, 2, 0}; }
+
+    // -----------------------------------------------------------------
+    // Measurement
+    // -----------------------------------------------------------------
+
+    /** Start the measured region on this processor (call on every
+     *  processor right after a barrier). */
+    void beginMeasure();
+
+  private:
+    friend struct PollAwait;
+
+    /** True if the private (SMP) or node (Base) state allows a read. */
+    bool
+    readableFast(Addr a) const
+    {
+        const LineIdx line = heap_.lineOf(a);
+        if (cfg_.mode == Mode::Smp)
+            return privState_ReadOk(line);
+        return readableState(proto_.nodeState(proc_.node, line));
+    }
+
+    bool
+    writableFast(Addr a) const
+    {
+        const LineIdx line = heap_.lineOf(a);
+        if (cfg_.mode == Mode::Smp) {
+            return proto_.privState(proc_, line) == PState::Exclusive;
+        }
+        return writableState(proto_.nodeState(proc_.node, line));
+    }
+
+    bool
+    privState_ReadOk(LineIdx line) const
+    {
+        return proto_.privState(proc_, line) != PState::Invalid;
+    }
+
+    /** @{ Slow paths (detached coroutines). */
+    SlowOp loadSlow(Addr a, bool flag_checked);
+    SlowOp storeSlow(Addr a, int len, std::uint64_t packed);
+    SlowOp batchSlow(BatchRegion *r);
+    SlowOp batchSetSlow(BatchSet *s);
+    SlowOp syncSlow(int op, int id);
+
+    /** Shared logic: make one region's blocks valid (and writable
+     *  where required), marking them first. */
+    Task resolveBatchRegion(BatchRegion *r);
+
+    /** Fast-path check of one region (no marking). */
+    bool batchRegionReady(const BatchRegion &r) const;
+
+    /** Build a region from a spec. */
+    BatchRegion makeRegion(Addr base, int bytes, bool write,
+                           Addr store_base, int store_len) const;
+    /** @} */
+
+    /** Awaitables used inside the slow paths. */
+    struct ParkLoad
+    {
+        Context *c;
+        LineIdx line;
+        bool await_ready() { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            c->proto_.parkLoad(c->proc_, line, h);
+        }
+        void await_resume() {}
+    };
+
+    struct ParkRetry
+    {
+        Context *c;
+        LineIdx line;
+        StallKind kind;
+        bool await_ready() { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            c->proto_.parkRetry(c->proc_, line, h, kind);
+        }
+        void await_resume() {}
+    };
+
+    struct ParkThrottle
+    {
+        Context *c;
+        bool await_ready() { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            c->proto_.parkThrottle(c->proc_, h);
+        }
+        void await_resume() {}
+    };
+
+    struct ParkAcquire
+    {
+        Context *c;
+        bool await_ready() { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            c->proto_.parkAcquire(c->proc_, h);
+        }
+        void await_resume() {}
+    };
+
+    struct ReleaseFence
+    {
+        Context *c;
+        bool
+        await_ready()
+        {
+            // Quick check: nothing outstanding on the node.
+            auto &ep = c->proto_.epochs(c->proc_.node);
+            if (ep.outstanding() == 0) {
+                ep.release([] {});
+                return true;
+            }
+            return false;
+        }
+
+        void await_suspend(std::coroutine_handle<> h);
+
+        void await_resume() {}
+    };
+
+    Runtime &rt_;
+    Proc &proc_;
+    const DsmConfig &cfg_;
+    SharedHeap &heap_;
+    Protocol &proto_;
+    NodeMemory *mem_;
+    CheckModel check_;
+    bool needYield_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_DSM_CONTEXT_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-processor simulation state.
+ *
+ * Each simulated processor owns a local clock that runs ahead of the
+ * global event queue by at most the configured quantum (processors
+ * only interact at poll points, mirroring Shasta's polling
+ * discipline), a mailbox of delivered messages, and its share of the
+ * statistics.
+ */
+
+#ifndef SHASTA_DSM_PROC_HH
+#define SHASTA_DSM_PROC_HH
+
+#include <coroutine>
+
+#include "net/mailbox.hh"
+#include "net/topology.hh"
+#include "sim/task.hh"
+#include "sim/ticks.hh"
+#include "stats/breakdown.hh"
+#include "stats/counters.hh"
+
+namespace shasta
+{
+
+/** What a processor is doing, as seen by the message layer. */
+enum class ProcStatus
+{
+    /** Executing application code; drains mail at poll points. */
+    Running,
+    /** Stalled in the protocol or at synchronization; polls
+     *  continuously, so deliveries are handled immediately. */
+    Blocked,
+    /** Application coroutine finished; still services protocol
+     *  messages (the real system keeps polling at exit barriers). */
+    Done,
+};
+
+/** One simulated processor. */
+struct Proc
+{
+    ProcId id = 0;
+    NodeId node = 0;
+    /** Index within the node's processors (private table index). */
+    int local = 0;
+    MachineId machine = 0;
+
+    /** Local clock; never behind the event queue when interacting. */
+    Tick now = 0;
+    /** Local time of the last yield to the event queue. */
+    Tick lastYield = 0;
+
+    ProcStatus status = ProcStatus::Running;
+
+    Mailbox mailbox;
+
+    /** Guards against reentrant mailbox draining. */
+    bool draining = false;
+
+    /** Outstanding non-blocking write transactions issued by this
+     *  processor (for the store throttle). */
+    int outstandingWrites = 0;
+    /** Parked coroutine waiting for the throttle to clear. */
+    std::coroutine_handle<> throttleWaiter;
+    Tick throttleStall = 0;
+
+    /** @{ Statistics. */
+    Breakdown bd;
+    CheckCounters checks;
+    /** Start of the measured region on this processor's clock. */
+    Tick regionStart = 0;
+    /** Local time when the application coroutine finished. */
+    Tick finishTime = 0;
+    /** @} */
+};
+
+} // namespace shasta
+
+#endif // SHASTA_DSM_PROC_HH

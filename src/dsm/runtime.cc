@@ -1,0 +1,209 @@
+#include "dsm/runtime.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace shasta
+{
+
+Runtime::Runtime(const DsmConfig &cfg)
+    : cfg_(cfg),
+      heap_(cfg.lineSize),
+      topo_(cfg.topology()),
+      net_(events_, topo_, cfg.net)
+{
+    cfg_.validate();
+    procs_.resize(static_cast<std::size_t>(cfg_.numProcs));
+    for (int i = 0; i < cfg_.numProcs; ++i) {
+        Proc &p = procs_[static_cast<std::size_t>(i)];
+        p.id = i;
+        p.node = topo_.nodeOf(i);
+        p.local = i - topo_.firstProcOf(p.node);
+        p.machine = topo_.machineOf(i);
+    }
+    proto_ = std::make_unique<Protocol>(cfg_, events_, net_, heap_,
+                                        procs_);
+    locks_ = std::make_unique<LockManager>(cfg_, events_, *proto_,
+                                           procs_);
+    barrier_ = std::make_unique<BarrierManager>(cfg_, events_,
+                                                *proto_, procs_);
+    net_.setDeliver([this](Message &&m) {
+        proto_->deliver(std::move(m));
+    });
+    proto_->setSyncHandler([this](Proc &p, Message &&m) {
+        switch (m.type) {
+          case MsgType::LockReq:
+          case MsgType::LockGrant:
+          case MsgType::LockRelease:
+            locks_->handle(p, std::move(m));
+            return;
+          case MsgType::BarrierArrive:
+          case MsgType::BarrierRelease:
+            barrier_->handle(p, std::move(m));
+            return;
+          default:
+            assert(false);
+        }
+    });
+}
+
+Runtime::~Runtime() = default;
+
+Addr
+Runtime::alloc(std::size_t bytes, std::size_t block_bytes)
+{
+    const Addr a = heap_.alloc(bytes, block_bytes);
+    if (cfg_.protocolActive())
+        proto_->onAlloc(a, bytes);
+    return a;
+}
+
+Addr
+Runtime::allocHomed(std::size_t bytes, std::size_t block_bytes,
+                    ProcId home)
+{
+    // Pad the heap to a page boundary so the placement hint does not
+    // capture earlier allocations sharing the page.
+    const Addr brk = heap_.brk();
+    const Addr next_page =
+        (brk + kPageSize - 1) / kPageSize * kPageSize;
+    if (next_page > brk)
+        heap_.alloc(static_cast<std::size_t>(next_page - brk));
+
+    const Addr a = heap_.alloc(bytes, block_bytes);
+    if (cfg_.protocolActive()) {
+        proto_->setPageHome(a, bytes, home);
+        proto_->onAlloc(a, bytes);
+    }
+    return a;
+}
+
+int
+Runtime::allocLock()
+{
+    return locks_->allocLock();
+}
+
+Task
+Runtime::procMain(Context &ctx, const ProcBody &body)
+{
+    Task t = body(ctx);
+    co_await t;
+    Proc &p = ctx.proc();
+    p.finishTime = p.now;
+    p.status = ProcStatus::Done;
+    ++doneCount_;
+}
+
+void
+Runtime::run(const ProcBody &body)
+{
+    assert(!ran_ && "Runtime::run may only be called once");
+    ran_ = true;
+
+    ctxs_.reserve(procs_.size());
+    roots_.reserve(procs_.size());
+    for (auto &p : procs_)
+        ctxs_.push_back(std::make_unique<Context>(*this, p));
+    for (auto &c : ctxs_)
+        roots_.push_back(procMain(*c, body));
+
+    for (auto &r : roots_)
+        r.start();
+
+    // Drive the event queue until every processor's coroutine has
+    // completed.  An empty queue with unfinished processors is a
+    // deadlock (a protocol or synchronization bug).
+    while (doneCount_ < cfg_.numProcs) {
+        if (!events_.step())
+            throw std::runtime_error("simulation deadlock:\n" +
+                                     dumpState());
+    }
+    // Drain in-flight protocol traffic (ownership acks etc.).
+    events_.run();
+
+    for (auto &r : roots_)
+        r.rethrowIfFailed();
+}
+
+Tick
+Runtime::wallTime() const
+{
+    Tick max_finish = 0;
+    Tick min_start = procs_.empty() ? 0 : procs_[0].regionStart;
+    for (const auto &p : procs_) {
+        max_finish = std::max(max_finish, p.finishTime);
+        min_start = std::min(min_start, p.regionStart);
+    }
+    return max_finish - min_start;
+}
+
+TimeBreakdown
+Runtime::aggregateBreakdown() const
+{
+    TimeBreakdown out;
+    for (const auto &p : procs_) {
+        out.total += p.finishTime - p.regionStart;
+        out.parts += p.bd;
+    }
+    return out;
+}
+
+TimeBreakdown
+Runtime::procBreakdown(int i) const
+{
+    const Proc &p = procs_[static_cast<std::size_t>(i)];
+    TimeBreakdown out;
+    out.total = p.finishTime - p.regionStart;
+    out.parts = p.bd;
+    return out;
+}
+
+CheckCounters
+Runtime::checkTotals() const
+{
+    CheckCounters out;
+    for (const auto &p : procs_) {
+        out.loads += p.checks.loads;
+        out.stores += p.checks.stores;
+        out.batchedAccesses += p.checks.batchedAccesses;
+        out.batchChecks += p.checks.batchChecks;
+        out.polls += p.checks.polls;
+        out.checkCycles += p.checks.checkCycles;
+    }
+    return out;
+}
+
+std::string
+Runtime::dumpState() const
+{
+    std::string out;
+    for (const auto &p : procs_) {
+        out += "  proc " + std::to_string(p.id) + " node " +
+               std::to_string(p.node) + " status ";
+        switch (p.status) {
+          case ProcStatus::Running: out += "Running"; break;
+          case ProcStatus::Blocked: out += "Blocked"; break;
+          case ProcStatus::Done: out += "Done"; break;
+        }
+        out += " now=" + std::to_string(p.now) +
+               " outW=" + std::to_string(p.outstandingWrites) +
+               " mail=" + std::to_string(p.mailbox.size()) + "\n";
+    }
+    out += proto_->dumpPending();
+    return out;
+}
+
+void
+Runtime::openRegion()
+{
+    if (regionOpen_)
+        return;
+    regionOpen_ = true;
+    proto_->resetCounters();
+    net_.resetCounts();
+    proto_->setMeasuring(true);
+}
+
+} // namespace shasta

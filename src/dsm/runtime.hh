@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Top-level DSM runtime: owns the simulated cluster for one run.
+ *
+ * Usage:
+ *
+ *   DsmConfig cfg = DsmConfig::smp(16, 4);
+ *   Runtime rt(cfg);
+ *   Addr a = rt.alloc(bytes);           // shared malloc
+ *   int  l = rt.allocLock();
+ *   rt.run([&](Context &c) { return myKernel(c, a, l); });
+ *   auto t = rt.wallTime();
+ */
+
+#ifndef SHASTA_DSM_RUNTIME_HH
+#define SHASTA_DSM_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/context.hh"
+#include "dsm/proc.hh"
+#include "mem/shared_heap.hh"
+#include "net/network.hh"
+#include "proto/protocol.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+#include "stats/breakdown.hh"
+#include "sync/barrier_manager.hh"
+#include "sync/lock_manager.hh"
+
+namespace shasta
+{
+
+/**
+ * One simulated cluster run.
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(const DsmConfig &cfg);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** @{ Shared allocation (before run()). */
+    /** Shared malloc with an optional coherence-granularity hint. */
+    Addr alloc(std::size_t bytes, std::size_t block_bytes = 0);
+
+    /** Shared malloc with home placement: the covered pages are homed
+     *  at @p home (the paper's home placement optimization). */
+    Addr allocHomed(std::size_t bytes, std::size_t block_bytes,
+                    ProcId home);
+
+    /** Create an application lock. */
+    int allocLock();
+    /** @} */
+
+    /** Factory producing the application coroutine per processor. */
+    using ProcBody = std::function<Task(Context &)>;
+
+    /** Spawn one coroutine per processor and simulate to completion.
+     *  Throws on deadlock or if a kernel throws. */
+    void run(const ProcBody &body);
+
+    /** @{ Results. */
+    /** Elapsed simulated time of the measured region. */
+    Tick wallTime() const;
+
+    /** Aggregate breakdown (summed over processors). */
+    TimeBreakdown aggregateBreakdown() const;
+
+    /** Per-processor breakdown. */
+    TimeBreakdown procBreakdown(int i) const;
+
+    const ProtoCounters &counters() const { return proto_->counters(); }
+
+    const NetworkCounts &netCounts() const { return net_.counts(); }
+
+    /** Sum of per-processor check counters. */
+    CheckCounters checkTotals() const;
+    /** @} */
+
+    /** @{ Component access. */
+    const DsmConfig &config() const { return cfg_; }
+    EventQueue &events() { return events_; }
+    SharedHeap &heap() { return heap_; }
+    Protocol &protocol() { return *proto_; }
+    LockManager &lockMgr() { return *locks_; }
+    BarrierManager &barrierMgr() { return *barrier_; }
+    Network &network() { return net_; }
+    Proc &proc(int i) { return procs_[static_cast<std::size_t>(i)]; }
+    int numProcs() const { return cfg_.numProcs; }
+    /** @} */
+
+    /** Global side of Context::beginMeasure() (idempotent). */
+    void openRegion();
+
+    /** Human-readable snapshot of processor and protocol state (used
+     *  in deadlock diagnostics and debugging). */
+    std::string dumpState() const;
+
+  private:
+    Task procMain(Context &ctx, const ProcBody &body);
+
+    DsmConfig cfg_;
+    EventQueue events_;
+    SharedHeap heap_;
+    Topology topo_;
+    Network net_;
+    std::vector<Proc> procs_;
+    std::unique_ptr<Protocol> proto_;
+    std::unique_ptr<LockManager> locks_;
+    std::unique_ptr<BarrierManager> barrier_;
+    std::vector<std::unique_ptr<Context>> ctxs_;
+    std::vector<Task> roots_;
+    int doneCount_ = 0;
+    bool regionOpen_ = false;
+    bool ran_ = false;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_DSM_RUNTIME_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simulated address space layout.
+ *
+ * Shasta divides each processor's virtual address space into private
+ * and shared regions (Section 2 of the paper).  Only the shared region
+ * is modeled here; private (stack/static) data never reaches the
+ * protocol because the binary rewriter skips checks on it.
+ */
+
+#ifndef SHASTA_MEM_ADDR_HH
+#define SHASTA_MEM_ADDR_HH
+
+#include <cstdint>
+
+namespace shasta
+{
+
+/** Simulated virtual address. */
+using Addr = std::uint64_t;
+
+/** Base of the shared heap; everything below is private. */
+constexpr Addr kSharedBase = 0x1000'0000ULL;
+
+/** One past the maximum shared address (256 MB shared heap). */
+constexpr Addr kSharedLimit = kSharedBase + 0x1000'0000ULL;
+
+/** Virtual page size used for home assignment (8 KB, as in Shasta). */
+constexpr std::uint64_t kPageSize = 8192;
+
+/** True if @p a lies in the shared region. */
+constexpr bool
+isShared(Addr a)
+{
+    return a >= kSharedBase && a < kSharedLimit;
+}
+
+/** Page number of a shared address (relative to the heap base). */
+constexpr std::uint64_t
+pageOf(Addr a)
+{
+    return (a - kSharedBase) / kPageSize;
+}
+
+} // namespace shasta
+
+#endif // SHASTA_MEM_ADDR_HH

@@ -1,0 +1,110 @@
+#include "mem/node_memory.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shasta
+{
+
+namespace
+{
+constexpr std::uint64_t kNumPages =
+    (kSharedLimit - kSharedBase) / kPageSize;
+} // namespace
+
+NodeMemory::NodeMemory()
+{
+    pages_.resize(kNumPages);
+}
+
+std::uint8_t *
+NodeMemory::pagePtr(std::uint64_t page) const
+{
+    assert(page < kNumPages);
+    auto &slot = pages_[page];
+    if (!slot) {
+        slot = std::make_unique<std::uint8_t[]>(kPageSize);
+        std::memset(slot.get(), 0, kPageSize);
+        ++pagesAllocated_;
+    }
+    return slot.get();
+}
+
+const std::uint8_t *
+NodeMemory::peek(Addr a, std::size_t len) const
+{
+    assert(isShared(a));
+    const std::uint64_t off = a - kSharedBase;
+    const std::uint64_t page = off / kPageSize;
+    const std::uint64_t in_page = off % kPageSize;
+    assert(in_page + len <= kPageSize && "access crosses a page");
+    (void)len;
+    return pagePtr(page) + in_page;
+}
+
+std::uint8_t *
+NodeMemory::poke(Addr a, std::size_t len)
+{
+    return const_cast<std::uint8_t *>(peek(a, len));
+}
+
+void
+NodeMemory::copyOut(Addr a, std::size_t len,
+                    std::vector<std::uint8_t> &out) const
+{
+    out.resize(len);
+    std::size_t done = 0;
+    while (done < len) {
+        const Addr cur = a + done;
+        const std::uint64_t in_page = (cur - kSharedBase) % kPageSize;
+        const std::size_t chunk =
+            std::min(len - done, static_cast<std::size_t>(
+                                     kPageSize - in_page));
+        std::memcpy(out.data() + done, peek(cur, chunk), chunk);
+        done += chunk;
+    }
+}
+
+void
+NodeMemory::copyIn(Addr a, const std::uint8_t *src, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const Addr cur = a + done;
+        const std::uint64_t in_page = (cur - kSharedBase) % kPageSize;
+        const std::size_t chunk =
+            std::min(len - done, static_cast<std::size_t>(
+                                     kPageSize - in_page));
+        std::memcpy(poke(cur, chunk), src + done, chunk);
+        done += chunk;
+    }
+}
+
+void
+NodeMemory::mergeIn(Addr a, const std::uint8_t *src, std::size_t len,
+                    const std::vector<bool> &dirty)
+{
+    assert(dirty.size() >= len);
+    for (std::size_t i = 0; i < len; ++i) {
+        if (!dirty[i])
+            poke(a + i, 1)[0] = src[i];
+    }
+}
+
+void
+NodeMemory::fillInvalidFlag(Addr a, std::size_t len)
+{
+    assert(a % 4 == 0 && len % 4 == 0 &&
+           "lines are longword aligned");
+    for (std::size_t i = 0; i < len; i += 4)
+        write<std::uint32_t>(a + i, kInvalidFlag);
+}
+
+bool
+NodeMemory::longwordIsFlag(Addr a) const
+{
+    const Addr aligned = a & ~Addr{3};
+    return read<std::uint32_t>(aligned) == kInvalidFlag;
+}
+
+} // namespace shasta

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-node image of the shared heap.
+ *
+ * In SMP-Shasta all processors of a logical node share one copy of
+ * application memory through the SMP's hardware cache coherence; each
+ * node therefore holds its own image of the shared address space, with
+ * copies of a block residing at the same virtual address on every
+ * node (Section 2).  Pages are allocated lazily so a 256 MB address
+ * space costs only what is touched.
+ *
+ * The invalid-flag optimization (Section 2.3) is implemented for
+ * real: when a line is invalidated the protocol writes the flag value
+ * into every longword of the line, and flag-checked loads compare the
+ * loaded value against it.
+ */
+
+#ifndef SHASTA_MEM_NODE_MEMORY_HH
+#define SHASTA_MEM_NODE_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace shasta
+{
+
+/**
+ * The "invalid flag" pattern stored in every longword (4 bytes) of an
+ * invalidated line.  Application data can legitimately contain this
+ * value; such "false misses" are detected by the slow path via the
+ * state table and simply return the value.
+ */
+constexpr std::uint32_t kInvalidFlag = 0xF10AF10Au;
+
+/** The flag pattern widened to a 64-bit load. */
+constexpr std::uint64_t kInvalidFlag64 =
+    (static_cast<std::uint64_t>(kInvalidFlag) << 32) | kInvalidFlag;
+
+/**
+ * Sparse byte image of the shared heap for one logical node.
+ */
+class NodeMemory
+{
+  public:
+    NodeMemory();
+
+    /** Typed read of @p T at @p addr (must lie within one page). */
+    template <typename T>
+    T
+    read(Addr a) const
+    {
+        T v;
+        std::memcpy(&v, peek(a, sizeof(T)), sizeof(T));
+        return v;
+    }
+
+    /** Typed write of @p T at @p addr. */
+    template <typename T>
+    void
+    write(Addr a, T v)
+    {
+        std::memcpy(poke(a, sizeof(T)), &v, sizeof(T));
+    }
+
+    /** Copy @p len bytes starting at @p a into @p out. */
+    void copyOut(Addr a, std::size_t len,
+                 std::vector<std::uint8_t> &out) const;
+
+    /** Copy @p len bytes from @p src into memory at @p a. */
+    void copyIn(Addr a, const std::uint8_t *src, std::size_t len);
+
+    /**
+     * Copy @p len bytes from @p src into memory at @p a, skipping any
+     * byte whose bit is set in @p dirty (dirty bytes hold newer local
+     * stores that must survive the reply merge, Section 2.1).
+     */
+    void mergeIn(Addr a, const std::uint8_t *src, std::size_t len,
+                 const std::vector<bool> &dirty);
+
+    /** Fill [a, a+len) with the invalid-flag longword pattern. */
+    void fillInvalidFlag(Addr a, std::size_t len);
+
+    /** True if the aligned longword containing @p a equals the flag. */
+    bool longwordIsFlag(Addr a) const;
+
+    /** Number of pages materialized so far. */
+    std::size_t pagesAllocated() const { return pagesAllocated_; }
+
+    /** Raw pointer to @p len bytes at @p a (must fit in one page). */
+    const std::uint8_t *peek(Addr a, std::size_t len) const;
+
+    /** Mutable raw pointer to @p len bytes at @p a. */
+    std::uint8_t *poke(Addr a, std::size_t len);
+
+  private:
+    std::uint8_t *pagePtr(std::uint64_t page) const;
+
+    mutable std::vector<std::unique_ptr<std::uint8_t[]>> pages_;
+    mutable std::size_t pagesAllocated_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_MEM_NODE_MEMORY_HH

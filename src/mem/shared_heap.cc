@@ -1,0 +1,64 @@
+#include "mem/shared_heap.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace shasta
+{
+
+SharedHeap::SharedHeap(int line_size) : lineSize_(line_size)
+{
+    assert(line_size >= 16 && line_size <= 4096);
+    assert(std::has_single_bit(static_cast<unsigned>(line_size)));
+    assert(static_cast<std::uint64_t>(line_size) <= kPageSize);
+    lineBits_ = std::countr_zero(static_cast<unsigned>(line_size));
+}
+
+Addr
+SharedHeap::alloc(std::size_t bytes, std::size_t block_bytes)
+{
+    assert(bytes > 0);
+    const auto line_sz = static_cast<std::size_t>(lineSize_);
+
+    // Resolve the block size.
+    std::size_t block = block_bytes;
+    if (block == 0) {
+        // Default policy: small objects become one block; large
+        // objects use single-line blocks.
+        block = (bytes < kSmallObjectLimit) ? bytes : line_sz;
+    }
+    // Round block and allocation size up to whole lines.
+    const auto block_lines = static_cast<std::uint32_t>(
+        (block + line_sz - 1) / line_sz);
+    const auto total_lines = static_cast<std::uint32_t>(
+        (bytes + line_sz - 1) / line_sz);
+
+    const Addr base = lineAddr(nextLine_);
+    assert(base + bytes <= kSharedLimit && "shared heap exhausted");
+
+    // Carve the allocation into blocks of block_lines (the tail block
+    // may be shorter).
+    std::uint32_t done = 0;
+    while (done < total_lines) {
+        const std::uint32_t n =
+            std::min(block_lines, total_lines - done);
+        const LineIdx first = nextLine_ + done;
+        for (std::uint32_t i = 0; i < n; ++i)
+            lineBlocks_.push_back(BlockInfo{first, n});
+        done += n;
+    }
+    nextLine_ += total_lines;
+    bytesAllocated_ += bytes;
+    return base;
+}
+
+BlockInfo
+SharedHeap::blockOf(LineIdx line) const
+{
+    if (line < lineBlocks_.size())
+        return lineBlocks_[line];
+    return BlockInfo{line, 1};
+}
+
+} // namespace shasta

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared heap allocator with variable coherence granularity.
+ *
+ * Shasta divides the shared address space into fixed-size *lines*
+ * (state-table granularity, typically 64 or 128 bytes) and groups
+ * lines into *blocks*, the unit of fetching and coherence.  Uniquely,
+ * the block size may differ across data structures: the application
+ * passes a granularity hint to a modified malloc (Section 2.1 and the
+ * Table 2 experiments).  By default, objects smaller than 1024 bytes
+ * get a block equal to the (line-rounded) object size, larger objects
+ * use single-line blocks (Section 4.3).
+ */
+
+#ifndef SHASTA_MEM_SHARED_HEAP_HH
+#define SHASTA_MEM_SHARED_HEAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace shasta
+{
+
+/** Index of a line within the shared heap. */
+using LineIdx = std::uint32_t;
+
+/** A block: a run of consecutive lines kept coherent as a unit. */
+struct BlockInfo
+{
+    LineIdx firstLine;
+    std::uint32_t numLines;
+};
+
+/**
+ * Bump allocator over the shared region that records, for every
+ * allocated line, which block it belongs to.
+ */
+class SharedHeap
+{
+  public:
+    /** @param line_size line size in bytes (power of two, >= 16). */
+    explicit SharedHeap(int line_size = 64);
+
+    int lineSize() const { return lineSize_; }
+
+    /**
+     * Allocate @p bytes of shared memory.
+     *
+     * @param block_bytes coherence-granularity hint: 0 applies the
+     *   default policy; otherwise it is rounded up to a whole number
+     *   of lines and used as the block size for this object.
+     * @return the (line-aligned) base address.
+     */
+    Addr alloc(std::size_t bytes, std::size_t block_bytes = 0);
+
+    /** Line index containing @p a. */
+    LineIdx
+    lineOf(Addr a) const
+    {
+        return static_cast<LineIdx>((a - kSharedBase) >> lineBits_);
+    }
+
+    /** Base address of line @p line. */
+    Addr
+    lineAddr(LineIdx line) const
+    {
+        return kSharedBase +
+               (static_cast<Addr>(line) << lineBits_);
+    }
+
+    /** Block containing @p line.  Unallocated lines are their own
+     *  single-line block. */
+    BlockInfo blockOf(LineIdx line) const;
+
+    /** Base address of the block containing @p line. */
+    Addr
+    blockAddr(LineIdx line) const
+    {
+        return lineAddr(blockOf(line).firstLine);
+    }
+
+    /** Size in bytes of the block containing @p line. */
+    std::size_t
+    blockBytes(LineIdx line) const
+    {
+        return static_cast<std::size_t>(blockOf(line).numLines) *
+               static_cast<std::size_t>(lineSize_);
+    }
+
+    /** Total lines spanned by allocations so far. */
+    LineIdx linesInUse() const { return nextLine_; }
+
+    /** Total bytes handed out (before line rounding). */
+    std::size_t bytesAllocated() const { return bytesAllocated_; }
+
+    /** First address past the current heap break. */
+    Addr brk() const { return lineAddr(nextLine_); }
+
+    /** Default block policy threshold (Section 4.3). */
+    static constexpr std::size_t kSmallObjectLimit = 1024;
+
+  private:
+    int lineSize_;
+    int lineBits_;
+    LineIdx nextLine_ = 0;
+    std::size_t bytesAllocated_ = 0;
+
+    /** For each allocated line: first line of its block and length. */
+    std::vector<BlockInfo> lineBlocks_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_MEM_SHARED_HEAP_HH

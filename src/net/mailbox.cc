@@ -1,0 +1,33 @@
+#include "net/mailbox.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace shasta
+{
+
+void
+Mailbox::push(Message &&m)
+{
+    queue_.push_back(std::move(m));
+    highWater_ = std::max(highWater_, queue_.size());
+}
+
+Message
+Mailbox::pop()
+{
+    assert(!queue_.empty());
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+}
+
+Tick
+Mailbox::frontArrival() const
+{
+    assert(!queue_.empty());
+    return queue_.front().arriveTime;
+}
+
+} // namespace shasta

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-processor incoming message queue.
+ *
+ * Shasta services messages by polling: a single cachable flag is
+ * tested at loop backedges and while the protocol waits for replies
+ * (Section 2.1).  The mailbox models the per-processor receive side:
+ * delivery events append messages; the owning processor drains them
+ * at its poll points.
+ */
+
+#ifndef SHASTA_NET_MAILBOX_HH
+#define SHASTA_NET_MAILBOX_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "net/message.hh"
+
+namespace shasta
+{
+
+/**
+ * FIFO of delivered-but-unhandled messages for one processor.
+ */
+class Mailbox
+{
+  public:
+    /** True if a poll would find work (the "cachable flag"). */
+    bool hasMail() const { return !queue_.empty(); }
+
+    std::size_t size() const { return queue_.size(); }
+
+    /** Append a delivered message (called from delivery events). */
+    void push(Message &&m);
+
+    /** Remove and return the oldest message.  hasMail() must be true. */
+    Message pop();
+
+    /** Arrival time of the oldest message.  hasMail() must be true. */
+    Tick frontArrival() const;
+
+    /** Highest queue depth ever observed (for reporting). */
+    std::size_t highWater() const { return highWater_; }
+
+  private:
+    std::deque<Message> queue_;
+    std::size_t highWater_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_MAILBOX_HH

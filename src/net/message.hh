@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Protocol message taxonomy.
+ *
+ * Every inter-processor interaction in Shasta — coherence traffic,
+ * intra-node downgrades, and the message-based lock and barrier
+ * primitives — travels as one of these messages.  The network layer
+ * cares only about src/dst/size; the protocol layer dispatches on
+ * type.
+ */
+
+#ifndef SHASTA_NET_MESSAGE_HH
+#define SHASTA_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "net/topology.hh"
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Kinds of protocol messages. */
+enum class MsgType : std::uint8_t
+{
+    // Requests to the home (Section 2.1: read, read-exclusive,
+    // exclusive/upgrade).
+    ReadReq,
+    ReadExReq,
+    UpgradeReq,
+
+    // Home-to-owner forwards.
+    FwdReadReq,
+    FwdReadExReq,
+
+    // Invalidations of sharers and their acknowledgements (acks are
+    // collected by the requester under eager release consistency).
+    InvalReq,
+    InvalAck,
+
+    // Data and permission replies.
+    ReadReply,
+    ReadExReply,
+    UpgradeReply,
+
+    // Owner informs the home of an exclusive-to-shared transition so
+    // the directory can be updated and the transaction closed.
+    SharingWriteback,
+    // Requester informs the home that it received ownership, closing
+    // a read-exclusive/upgrade transaction at the directory.
+    OwnershipAck,
+
+    // Intra-node downgrade of a private state table entry
+    // (Section 3.4.3).  Never crosses machines.
+    Downgrade,
+
+    // Message-based synchronization primitives (Section 4.3 notes the
+    // SMP-Shasta primitives are not SMP-optimized; both protocols use
+    // these).
+    LockReq,
+    LockGrant,
+    LockRelease,
+    BarrierArrive,
+    BarrierRelease,
+
+    NumTypes
+};
+
+/** Human-readable name of a message type (for traces and tests). */
+std::string_view msgTypeName(MsgType t);
+
+/** True for the request types that initiate a coherence transaction. */
+constexpr bool
+isCoherenceRequest(MsgType t)
+{
+    return t == MsgType::ReadReq || t == MsgType::ReadExReq ||
+           t == MsgType::UpgradeReq;
+}
+
+/** Approximate header size of every message, in bytes. */
+constexpr int kMsgHeaderBytes = 32;
+
+/**
+ * A protocol message in flight or queued in a mailbox.
+ *
+ * The data vector carries block contents for data-bearing replies;
+ * it is snapshotted at send time because the sender's copy may be
+ * overwritten (e.g., with the invalid flag) before delivery.
+ */
+struct Message
+{
+    MsgType type = MsgType::ReadReq;
+    ProcId src = -1;
+    ProcId dst = -1;
+
+    /** Block base address for coherence traffic; lock/barrier id for
+     *  synchronization traffic. */
+    Addr addr = 0;
+
+    /** Processor that started the transaction (may differ from src,
+     *  e.g. on a forwarded request). */
+    ProcId requester = -1;
+
+    /** Number of invalidation acks the requester should expect, or a
+     *  generic small-integer argument. */
+    int count = 0;
+
+    /** Block data payload (empty for non-data messages). */
+    std::vector<std::uint8_t> data;
+
+    /** Simulated time the message was handed to the network. */
+    Tick sendTime = 0;
+
+    /** Simulated time the message became visible at the destination. */
+    Tick arriveTime = 0;
+
+    /** Total size on the wire. */
+    int
+    wireBytes() const
+    {
+        return kMsgHeaderBytes + static_cast<int>(data.size());
+    }
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_MESSAGE_HH

@@ -1,0 +1,124 @@
+#include "net/network.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shasta
+{
+
+std::string_view
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq: return "ReadReq";
+      case MsgType::ReadExReq: return "ReadExReq";
+      case MsgType::UpgradeReq: return "UpgradeReq";
+      case MsgType::FwdReadReq: return "FwdReadReq";
+      case MsgType::FwdReadExReq: return "FwdReadExReq";
+      case MsgType::InvalReq: return "InvalReq";
+      case MsgType::InvalAck: return "InvalAck";
+      case MsgType::ReadReply: return "ReadReply";
+      case MsgType::ReadExReply: return "ReadExReply";
+      case MsgType::UpgradeReply: return "UpgradeReply";
+      case MsgType::SharingWriteback: return "SharingWriteback";
+      case MsgType::OwnershipAck: return "OwnershipAck";
+      case MsgType::Downgrade: return "Downgrade";
+      case MsgType::LockReq: return "LockReq";
+      case MsgType::LockGrant: return "LockGrant";
+      case MsgType::LockRelease: return "LockRelease";
+      case MsgType::BarrierArrive: return "BarrierArrive";
+      case MsgType::BarrierRelease: return "BarrierRelease";
+      default: return "?";
+    }
+}
+
+NetworkParams
+NetworkParams::defaults()
+{
+    NetworkParams p;
+    // Memory Channel: ~4 us one-way user-to-user latency, ~35 MB/s
+    // effective bandwidth for block transfers (paper Section 4.1).
+    p.remote.sendOverhead = usToTicks(0.7);
+    p.remote.wireLatency = usToTicks(4.0);
+    p.remote.bytesPerTick = 35.0e6 / kClockHz;
+    // Intra-machine shared-memory message queues: ~45 MB/s, short
+    // latency dominated by cache-to-cache transfers.
+    p.local.sendOverhead = usToTicks(0.5);
+    p.local.wireLatency = usToTicks(0.7);
+    p.local.bytesPerTick = 45.0e6 / kClockHz;
+    return p;
+}
+
+Network::Network(EventQueue &events, const Topology &topo,
+                 const NetworkParams &params)
+    : events_(events), topo_(topo), params_(params)
+{
+    const auto n = static_cast<std::size_t>(topo_.numProcs());
+    pairFree_.assign(n * n, 0);
+    linkFree_.assign(static_cast<std::size_t>(topo_.numMachines()), 0);
+}
+
+Tick
+Network::send(Message msg, Tick send_time)
+{
+    assert(msg.src >= 0 && msg.src < topo_.numProcs());
+    assert(msg.dst >= 0 && msg.dst < topo_.numProcs());
+    assert(msg.src != msg.dst && "self-sends must be handled locally");
+    assert(send_time >= events_.now());
+
+    const bool remote = !topo_.sameMachine(msg.src, msg.dst);
+    const LinkParams &link = remote ? params_.remote : params_.local;
+    const int bytes = msg.wireBytes();
+
+    // Account the message.
+    ++counts_.byType[static_cast<std::size_t>(msg.type)];
+    if (msg.type == MsgType::Downgrade) {
+        assert(!remote && "downgrades never cross machines");
+        ++counts_.downgradeMsgs;
+        counts_.localBytes += static_cast<std::uint64_t>(bytes);
+    } else if (remote) {
+        ++counts_.remoteMsgs;
+        counts_.remoteBytes += static_cast<std::uint64_t>(bytes);
+    } else {
+        ++counts_.localMsgs;
+        counts_.localBytes += static_cast<std::uint64_t>(bytes);
+    }
+
+    // Serialize on the per-pair channel and, for remote traffic, on
+    // the machine's outbound Memory Channel link (processors on a
+    // machine share that link's bandwidth, Section 4.3).
+    Tick start = send_time + link.sendOverhead;
+    const std::size_t pair = pairIndex(msg.src, msg.dst);
+    start = std::max(start, pairFree_[pair]);
+    const auto src_machine =
+        static_cast<std::size_t>(topo_.machineOf(msg.src));
+    if (remote)
+        start = std::max(start, linkFree_[src_machine]);
+
+    const Tick transfer = link.transferTicks(bytes);
+    pairFree_[pair] = start + transfer;
+    if (remote)
+        linkFree_[src_machine] = start + transfer;
+
+    const Tick arrival = start + transfer + link.wireLatency;
+
+    msg.sendTime = send_time;
+    msg.arriveTime = arrival;
+    events_.schedule(arrival,
+                     [this, m = std::move(msg)]() mutable {
+                         assert(deliver_);
+                         deliver_(std::move(m));
+                     });
+    return arrival;
+}
+
+Tick
+Network::unloadedLatency(ProcId src, ProcId dst, int bytes) const
+{
+    const bool remote = !topo_.sameMachine(src, dst);
+    const LinkParams &link = remote ? params_.remote : params_.local;
+    return link.sendOverhead + link.transferTicks(bytes) +
+           link.wireLatency;
+}
+
+} // namespace shasta

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Latency/bandwidth model of the cluster interconnect.
+ *
+ * Two transport classes exist, as in the prototype (Section 4.1):
+ *
+ *  - *Remote* (inter-machine) messages cross the Memory Channel:
+ *    ~4 us one-way latency, ~35 MB/s effective per-link bandwidth,
+ *    with all processors on a machine sharing the outbound link.
+ *  - *Local* (intra-machine) messages go through cache-coherent
+ *    shared-memory queues: sub-microsecond latency, ~45 MB/s.
+ *
+ * The model serializes transfers on per-directed-pair channels (the
+ * real implementation uses separate lock-free buffers per processor
+ * pair) and on the per-machine Memory Channel link, and guarantees
+ * per-pair FIFO delivery.
+ */
+
+#ifndef SHASTA_NET_NETWORK_HH
+#define SHASTA_NET_NETWORK_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/topology.hh"
+#include "sim/event_queue.hh"
+
+namespace shasta
+{
+
+/** Timing parameters of one transport class. */
+struct LinkParams
+{
+    /** Sender-side software overhead before the wire. */
+    Tick sendOverhead;
+    /** One-way wire/fabric latency. */
+    Tick wireLatency;
+    /** Transfer rate in bytes per tick. */
+    double bytesPerTick;
+
+    /** Ticks needed to push @p bytes through the link. */
+    Tick
+    transferTicks(int bytes) const
+    {
+        return static_cast<Tick>(static_cast<double>(bytes) /
+                                 bytesPerTick + 0.5);
+    }
+};
+
+/** Parameters for both transport classes. */
+struct NetworkParams
+{
+    LinkParams remote;
+    LinkParams local;
+
+    /** Defaults calibrated to the paper's measured latencies. */
+    static NetworkParams defaults();
+};
+
+/** Per-class message counters (Figure 7's categories). */
+struct NetworkCounts
+{
+    std::uint64_t remoteMsgs = 0;
+    std::uint64_t localMsgs = 0;     ///< intra-machine, excl. downgrades
+    std::uint64_t downgradeMsgs = 0; ///< always intra-machine
+    std::uint64_t remoteBytes = 0;
+    std::uint64_t localBytes = 0;
+    /** Messages by type (coherence + sync + downgrade). */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(MsgType::NumTypes)>
+        byType{};
+
+    std::uint64_t
+    total() const
+    {
+        return remoteMsgs + localMsgs + downgradeMsgs;
+    }
+};
+
+/**
+ * The cluster interconnect.
+ *
+ * send() computes the arrival time of a message and schedules a
+ * delivery event that invokes the runtime-provided deliver callback.
+ */
+class Network
+{
+  public:
+    using Deliver = std::function<void(Message &&)>;
+
+    Network(EventQueue &events, const Topology &topo,
+            const NetworkParams &params);
+
+    /** Install the delivery callback (runtime wires this to mailboxes). */
+    void setDeliver(Deliver d) { deliver_ = std::move(d); }
+
+    /**
+     * Send @p msg at simulated time @p send_time (the sender's local
+     * clock, which may be slightly ahead of the event queue).
+     * @return the arrival tick at the destination.
+     */
+    Tick send(Message msg, Tick send_time);
+
+    /** Pure latency query: arrival time if sent now with no queuing. */
+    Tick unloadedLatency(ProcId src, ProcId dst, int bytes) const;
+
+    const NetworkCounts &counts() const { return counts_; }
+
+    /** Reset counters (used between measurement phases). */
+    void resetCounts() { counts_ = NetworkCounts{}; }
+
+    const Topology &topology() const { return topo_; }
+
+  private:
+    /** Index into the per-pair channel table. */
+    std::size_t
+    pairIndex(ProcId src, ProcId dst) const
+    {
+        return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(topo_.numProcs()) +
+               static_cast<std::size_t>(dst);
+    }
+
+    EventQueue &events_;
+    Topology topo_;
+    NetworkParams params_;
+    Deliver deliver_;
+
+    /** Earliest time each directed pair channel is free. */
+    std::vector<Tick> pairFree_;
+    /** Earliest time each machine's outbound Memory Channel link is
+     *  free (remote messages only). */
+    std::vector<Tick> linkFree_;
+
+    NetworkCounts counts_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_NETWORK_HH

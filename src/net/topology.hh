@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cluster topology: physical machines versus logical nodes.
+ *
+ * The paper's prototype is 4 AlphaServer 4100s with 4 processors each.
+ * Physical placement (which machine a processor lives on) determines
+ * message latency; *logical clustering* (how many processors share
+ * memory and state tables) is an independent knob: Base-Shasta is
+ * clustering 1 even though 4 processes share each physical machine,
+ * and SMP-Shasta runs with clustering 1, 2, or 4 (Section 4.3).
+ */
+
+#ifndef SHASTA_NET_TOPOLOGY_HH
+#define SHASTA_NET_TOPOLOGY_HH
+
+#include <cassert>
+
+namespace shasta
+{
+
+/** Global processor id, 0 .. numProcs-1. */
+using ProcId = int;
+
+/** Logical node id (a clustering group sharing memory). */
+using NodeId = int;
+
+/** Physical machine id. */
+using MachineId = int;
+
+/**
+ * Static description of a cluster run.
+ *
+ * Processors are packed onto machines in order, as in the paper: a
+ * 2- or 4-processor run fits on one machine, an 8-processor run uses
+ * two machines, 16 uses four.  A logical node never spans machines.
+ */
+class Topology
+{
+  public:
+    Topology(int num_procs, int clustering, int procs_per_machine = 4)
+        : numProcs_(num_procs),
+          clustering_(clustering),
+          procsPerMachine_(procs_per_machine)
+    {
+        assert(numProcs_ >= 1);
+        assert(clustering_ >= 1);
+        assert(procsPerMachine_ >= 1);
+        // A logical node must fit within one machine and tile it.
+        assert(clustering_ <= procsPerMachine_);
+        assert(procsPerMachine_ % clustering_ == 0);
+    }
+
+    int numProcs() const { return numProcs_; }
+
+    int clustering() const { return clustering_; }
+
+    int procsPerMachine() const { return procsPerMachine_; }
+
+    int
+    numNodes() const
+    {
+        return (numProcs_ + clustering_ - 1) / clustering_;
+    }
+
+    int
+    numMachines() const
+    {
+        return (numProcs_ + procsPerMachine_ - 1) / procsPerMachine_;
+    }
+
+    MachineId
+    machineOf(ProcId p) const
+    {
+        assert(p >= 0 && p < numProcs_);
+        return p / procsPerMachine_;
+    }
+
+    NodeId
+    nodeOf(ProcId p) const
+    {
+        assert(p >= 0 && p < numProcs_);
+        return p / clustering_;
+    }
+
+    /** First (lowest-numbered) processor of a logical node. */
+    ProcId
+    firstProcOf(NodeId n) const
+    {
+        assert(n >= 0 && n < numNodes());
+        return n * clustering_;
+    }
+
+    /** Number of processors on logical node @p n. */
+    int
+    procsOn(NodeId n) const
+    {
+        const int first = firstProcOf(n);
+        const int last = first + clustering_;
+        return (last <= numProcs_ ? clustering_ : numProcs_ - first);
+    }
+
+    bool
+    sameMachine(ProcId a, ProcId b) const
+    {
+        return machineOf(a) == machineOf(b);
+    }
+
+    bool
+    sameNode(ProcId a, ProcId b) const
+    {
+        return nodeOf(a) == nodeOf(b);
+    }
+
+  private:
+    int numProcs_;
+    int clustering_;
+    int procsPerMachine_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_TOPOLOGY_HH

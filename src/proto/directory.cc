@@ -1,0 +1,8 @@
+#include "proto/directory.hh"
+
+// HomeDirectory is header-only; this translation unit compiles the
+// header standalone.
+
+namespace shasta
+{
+} // namespace shasta

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Directory state kept at each home processor.
+ *
+ * A home processor is associated with each virtual page of shared
+ * data; the directory entry for a block records the current *owner*
+ * (the last processor that held an exclusive copy) and a full bit
+ * vector of sharers (Section 2.1).  The home is only aware of the one
+ * processor per node that requested the data, which keeps protocol
+ * requests for a block serialized at one processor per node
+ * (Section 3.4.2).
+ *
+ * Transactions are serialized per block at the home: while a
+ * transaction is in flight the entry is *busy* and later requests
+ * queue behind it (see DESIGN.md for how this relates to the real
+ * Shasta protocol).
+ */
+
+#ifndef SHASTA_PROTO_DIRECTORY_HH
+#define SHASTA_PROTO_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/shared_heap.hh"
+#include "net/message.hh"
+#include "net/topology.hh"
+
+namespace shasta
+{
+
+/** Directory entry for one block. */
+struct DirEntry
+{
+    /** Last processor to hold the block exclusively. */
+    ProcId owner = -1;
+    /** Bit per processor: nodes holding a copy, via the one
+     *  representative processor per node known to the home. */
+    std::uint32_t sharers = 0;
+    /** A transaction is in flight; queue new requests. */
+    bool busy = false;
+    /** Requests waiting for the entry to become free. */
+    std::deque<Message> waiting;
+
+    bool
+    isSharer(ProcId p) const
+    {
+        return (sharers >> p) & 1u;
+    }
+
+    void addSharer(ProcId p) { sharers |= (1u << p); }
+
+    void removeSharer(ProcId p) { sharers &= ~(1u << p); }
+
+    void clearSharers() { sharers = 0; }
+
+    /** All sharers except @p except (pass -1 to keep everyone). */
+    std::vector<ProcId>
+    sharerList(ProcId except = -1) const
+    {
+        std::vector<ProcId> out;
+        for (int p = 0; p < 32; ++p) {
+            if (((sharers >> p) & 1u) && p != except)
+                out.push_back(p);
+        }
+        return out;
+    }
+
+    int
+    sharerCount() const
+    {
+        return __builtin_popcount(sharers);
+    }
+};
+
+/**
+ * The directory fragment homed at one processor.
+ *
+ * Entries are created lazily; a block's initial owner and sole sharer
+ * is its home processor (the home node starts with an exclusive copy
+ * of freshly allocated, zero-filled memory).
+ */
+class HomeDirectory
+{
+  public:
+    explicit HomeDirectory(ProcId home) : home_(home) {}
+
+    ProcId home() const { return home_; }
+
+    /** Entry for the block starting at @p block_first (created lazily
+     *  with the home as initial owner). */
+    DirEntry &
+    entry(LineIdx block_first)
+    {
+        auto [it, inserted] = entries_.try_emplace(block_first);
+        if (inserted) {
+            it->second.owner = home_;
+            it->second.addSharer(home_);
+        }
+        return it->second;
+    }
+
+    bool
+    known(LineIdx block_first) const
+    {
+        return entries_.count(block_first) > 0;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** Iteration for diagnostics. */
+    const std::unordered_map<LineIdx, DirEntry> &
+    entriesMap() const
+    {
+        return entries_;
+    }
+
+  private:
+    ProcId home_;
+    std::unordered_map<LineIdx, DirEntry> entries_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_DIRECTORY_HH

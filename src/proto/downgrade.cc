@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Downgrade machinery and batch markers (Sections 3.3, 3.4.3, 3.4.4).
+ *
+ * Incoming requests that reduce a node's rights to a block may not
+ * simply flip the state table: a colocated processor might be between
+ * its inline check and the checked access.  Instead, the handling
+ * processor downgrades its own private entry, consults the other
+ * private tables, and sends explicit downgrade messages to exactly
+ * the processors that have accessed the block.  Each recipient
+ * downgrades its private entry at a poll point; the one that handles
+ * the *last* message executes the saved protocol action (snapshot the
+ * data, write the invalid flag, send the reply).  Processors are
+ * never stalled during a downgrade.
+ */
+
+#include "proto/protocol.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/trace.hh"
+
+namespace shasta
+{
+
+void
+Protocol::applyInvalidFill(NodeId node, LineIdx first)
+{
+    auto &tab = *tables_[node];
+    if (!cfg_.useInvalidFlag) {
+        // Without the flag optimization no handler compares memory
+        // against the flag, so the fill is unnecessary (Section 3.2
+        // notes such protocols avoid the write entirely).
+        return;
+    }
+    if (tab.marked(first)) {
+        // A batch on this node is mid-flight: defer the fill so the
+        // batched loads still read pre-invalidation data
+        // (Section 3.4.4).
+        tab.deferFlagFill(first);
+        return;
+    }
+    const BlockInfo b = blockOf(first);
+    const Addr base = blockAddr(b);
+    const int bytes = blockBytes(b);
+    NodeMemory &mem = *memories_[node];
+    MissEntry *e = missTables_[node]->find(first);
+    if (e && e->dirtyAny) {
+        // Skip longwords holding locally stored (pending) data; they
+        // carry values newer than the invalidation.
+        for (int off = 0; off < bytes; off += 4) {
+            bool dirty = false;
+            for (int i = 0; i < 4; ++i)
+                dirty = dirty || e->dirty[static_cast<std::size_t>(
+                                      off + i)];
+            if (!dirty) {
+                mem.write<std::uint32_t>(base +
+                                             static_cast<Addr>(off),
+                                         kInvalidFlag);
+            }
+        }
+    } else {
+        mem.fillInvalidFlag(base, static_cast<std::size_t>(bytes));
+    }
+}
+
+void
+Protocol::downgradeNode(Proc &p, LineIdx first, bool to_invalid,
+                        DowngradeAction action)
+{
+    const NodeId node = p.node;
+    const BlockInfo b = blockOf(first);
+    auto &tab = *tables_[node];
+
+    std::vector<int> targets;
+    if (cfg_.broadcastDowngrades) {
+        // SoftFLASH-style: shoot down every other local processor on
+        // every downgrade transition, ignoring the private tables.
+        for (int t = 0; t < tab.procsOnNode(); ++t) {
+            if (t != p.local)
+                targets.push_back(t);
+        }
+    } else {
+        targets = tab.downgradeTargets(first, to_invalid, p.local);
+    }
+    tab.downgradePriv(first, b.numLines, p.local, to_invalid);
+    if (measuring_) {
+        const std::size_t bucket =
+            std::min<std::size_t>(targets.size(), 3);
+        ++counters_.downgradeOps[bucket];
+    }
+
+    SHASTA_TRACE_EVENT(trace::Flag::Downgrade, p.now, p.id,
+                       "downgrade line %u to %s: %d message(s)",
+                       static_cast<unsigned>(first),
+                       to_invalid ? "Invalid" : "Shared",
+                       static_cast<int>(targets.size()));
+    if (targets.empty()) {
+        completeDowngrade(p, first, to_invalid, action);
+        return;
+    }
+
+    MissEntry &e = missTables_[node]->ensure(first, b.numLines,
+                                             blockBytes(b));
+    assert(e.downgradesLeft == 0 && "overlapping downgrades");
+    e.downgradesLeft = static_cast<int>(targets.size());
+    const LState s = tab.shared(first);
+    if (!isPendingMiss(s)) {
+        // Pure downgrade of a stable block: remember the prior state
+        // so accesses during the window can be serviced from it.
+        e.prior = s;
+        tab.setShared(first, b.numLines,
+                      to_invalid ? LState::PendDownInvalid
+                                 : LState::PendDownShared);
+    }
+    e.savedAction = [this, first, to_invalid,
+                     action = std::move(action)](Proc &q) {
+        completeDowngrade(q, first, to_invalid, action);
+    };
+    const ProcId base_proc = topo_.firstProcOf(node);
+    for (int t : targets) {
+        sendMsg(p, MsgType::Downgrade, base_proc + t, first, p.id,
+                to_invalid ? 1 : 0);
+    }
+}
+
+void
+Protocol::completeDowngrade(Proc &p, LineIdx first, bool to_invalid,
+                            const DowngradeAction &action)
+{
+    const NodeId node = p.node;
+    const BlockInfo b = blockOf(first);
+    auto &tab = *tables_[node];
+
+    // Snapshot the data before the invalid flag clobbers it; the
+    // snapshot includes every local store serviced during the window,
+    // which are ordered before the remote request.
+    std::vector<std::uint8_t> snapshot;
+    memories_[node]->copyOut(blockAddr(b),
+                             static_cast<std::size_t>(blockBytes(b)),
+                             snapshot);
+
+    if (to_invalid)
+        applyInvalidFill(node, first);
+
+    const LState s = tab.shared(first);
+    if (!isPendingMiss(s)) {
+        tab.setShared(first, b.numLines,
+                      to_invalid ? LState::Invalid : LState::Shared);
+    }
+
+    action(p, std::move(snapshot));
+
+    MissEntry *e = missTables_[node]->find(first);
+    if (e) {
+        resumeWaiters(*e, false, true, p.now);
+        std::deque<Message> queued;
+        queued.swap(e->queuedRemote);
+        for (auto &qm : queued) {
+            const ProcId dst = qm.dst;
+            reinject(dst, std::move(qm));
+        }
+        maybeErase(first);
+    }
+}
+
+void
+Protocol::onDowngrade(Proc &q, Message &&m)
+{
+    const LineIdx first = heap_.lineOf(m.addr);
+    chargeHandler(q, m, cfg_.costs.downgradeHandler, true, first);
+    const BlockInfo b = blockOf(first);
+    const bool to_invalid = (m.count != 0);
+
+    tables_[q.node]->downgradePriv(first, b.numLines, q.local,
+                                   to_invalid);
+    MissEntry *e = missTables_[q.node]->find(first);
+    assert(e && e->downgradesLeft > 0 &&
+           "downgrade message without an active downgrade");
+    if (--e->downgradesLeft == 0) {
+        // The last downgrader executes the saved protocol action
+        // (Section 3.4.3).
+        auto act = std::move(e->savedAction);
+        e->savedAction = nullptr;
+        act(q);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch markers (Section 3.4.4)
+// ---------------------------------------------------------------------
+
+bool
+Protocol::batchLinesReady(const Proc &p, LineIdx first,
+                          std::uint32_t n, bool is_write) const
+{
+    auto &tab = *tables_[p.node];
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!privateSufficient(tab.priv(first + i, p.local), is_write))
+            return false;
+    }
+    return true;
+}
+
+void
+Protocol::batchMark(NodeId node, LineIdx first, std::uint32_t n)
+{
+    SHASTA_TRACE_EVENT(trace::Flag::Batch, events_.now(), -1,
+                       "node %d marks lines %u+%u", node,
+                       static_cast<unsigned>(first),
+                       static_cast<unsigned>(n));
+    auto &tab = *tables_[node];
+    LineIdx line = first;
+    while (line < first + n) {
+        const BlockInfo b = blockOf(line);
+        tab.mark(b.firstLine);
+        line = b.firstLine + b.numLines;
+    }
+}
+
+void
+Protocol::batchUnmark(Proc &p, LineIdx first, std::uint32_t n,
+                      bool is_write, Addr store_base, int store_len)
+{
+    const NodeId node = p.node;
+    auto &tab = *tables_[node];
+    auto &mt = *missTables_[node];
+
+    LineIdx line = first;
+    while (line < first + n) {
+        const BlockInfo b = blockOf(line);
+        const LineIdx bf = b.firstLine;
+        tab.unmark(bf);
+
+        if (is_write && store_len > 0) {
+            // Re-propagate batched stores if the block lost its
+            // exclusivity while the batch handler was waiting.
+            const Addr baddr = blockAddr(b);
+            const Addr lo = std::max(store_base, baddr);
+            const Addr hi =
+                std::min(store_base + static_cast<Addr>(store_len),
+                         baddr + static_cast<Addr>(blockBytes(b)));
+            if (lo < hi) {
+                const LState s = tab.shared(bf);
+                MissEntry *e = mt.find(bf);
+                switch (s) {
+                  case LState::Exclusive:
+                  case LState::PendDownShared:
+                  case LState::PendDownInvalid:
+                    // Still writable, or mid-downgrade (the
+                    // completion snapshot will carry the stores).
+                    break;
+                  case LState::PendEx:
+                    assert(e && e->wantWrite);
+                    e->markDirty(lo - baddr,
+                                 static_cast<std::size_t>(hi - lo));
+                    break;
+                  case LState::PendRead:
+                    assert(e);
+                    if (!e->wantWrite) {
+                        e->wantWrite = true;
+                        e->writeInitiator = p.id;
+                        e->epoch = epochs_[node]->startWrite();
+                        ++p.outstandingWrites;
+                    }
+                    e->markDirty(lo - baddr,
+                                 static_cast<std::size_t>(hi - lo));
+                    break;
+                  case LState::Shared:
+                  case LState::Invalid:
+                    // The store throttle is bypassed here: this is
+                    // a synchronous cleanup path that cannot park.
+                    startWrite(p, bf, s == LState::Shared, lo,
+                               static_cast<int>(hi - lo));
+                    break;
+                }
+            }
+        }
+        if (tab.flagFillDeferred(bf) && !tab.marked(bf)) {
+            tab.clearDeferredFill(bf);
+            const LState s = tab.shared(bf);
+            // Apply the deferred fill AFTER the store re-propagation
+            // above has marked its bytes dirty (the fill skips dirty
+            // bytes), and only if the node still has no
+            // valid data: a refetch may have completed during the
+            // batch (possibly followed by an upgrade, leaving
+            // PendEx with a Shared prior), and filling then would
+            // plant the flag inside a valid copy.
+            const MissEntry *fe = mt.find(bf);
+            const bool no_valid_data =
+                s == LState::Invalid || s == LState::PendRead ||
+                (s == LState::PendEx && fe &&
+                 fe->prior == LState::Invalid);
+            if (no_valid_data)
+                applyInvalidFill(node, bf);
+        }
+
+        line = bf + b.numLines;
+    }
+
+    if (tab.markedCount() == 0 &&
+        !acquireWaiters_[static_cast<std::size_t>(node)].empty()) {
+        std::vector<Waiter> waiters;
+        waiters.swap(acquireWaiters_[static_cast<std::size_t>(node)]);
+        for (auto &w : waiters) {
+            Proc &wp = procs_[static_cast<std::size_t>(w.proc)];
+            wp.now = std::max({wp.now, w.stallStart, p.now});
+            if (measuring_)
+                wp.bd.sync += wp.now - w.stallStart;
+            wp.status = ProcStatus::Running;
+            w.handle.resume();
+        }
+    }
+}
+
+bool
+Protocol::nodeHasMarks(NodeId node) const
+{
+    return tables_[static_cast<std::size_t>(node)]->markedCount() > 0;
+}
+
+void
+Protocol::parkAcquire(Proc &p, std::coroutine_handle<> h)
+{
+    acquireWaiters_[static_cast<std::size_t>(p.node)].push_back(
+        Waiter{h, p.id, p.now, StallKind::Sync});
+    noteBlocked(p);
+}
+
+} // namespace shasta

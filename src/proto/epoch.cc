@@ -1,0 +1,66 @@
+#include "proto/epoch.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace shasta
+{
+
+std::uint64_t
+EpochTracker::startWrite()
+{
+    ++perEpoch_[current_];
+    ++totalOutstanding_;
+    return current_;
+}
+
+void
+EpochTracker::completeWrite(std::uint64_t epoch)
+{
+    auto it = perEpoch_.find(epoch);
+    assert(it != perEpoch_.end() && it->second > 0);
+    if (--it->second == 0)
+        perEpoch_.erase(it);
+    --totalOutstanding_;
+    checkWaiters();
+}
+
+bool
+EpochTracker::quiescentThrough(std::uint64_t up_to) const
+{
+    auto it = perEpoch_.begin();
+    return it == perEpoch_.end() || it->first > up_to;
+}
+
+void
+EpochTracker::release(Ready ready)
+{
+    const std::uint64_t up_to = current_;
+    ++current_;
+    if (quiescentThrough(up_to)) {
+        ready();
+    } else {
+        waiters_.push_back(ReleaseWaiter{up_to, std::move(ready)});
+    }
+}
+
+void
+EpochTracker::checkWaiters()
+{
+    // Resume every release whose prior epochs have drained.  Swap out
+    // the list first: a resumed release may start new writes or new
+    // releases reentrantly.
+    std::vector<ReleaseWaiter> still;
+    std::vector<ReleaseWaiter> ready;
+    for (auto &w : waiters_) {
+        if (quiescentThrough(w.upTo))
+            ready.push_back(std::move(w));
+        else
+            still.push_back(std::move(w));
+    }
+    waiters_ = std::move(still);
+    for (auto &w : ready)
+        w.ready();
+}
+
+} // namespace shasta

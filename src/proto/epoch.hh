@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Node-level epochs for eager release consistency.
+ *
+ * Shasta lets a processor use data returned by a read-exclusive
+ * before all invalidation acknowledgements arrive.  On an SMP node,
+ * *other* processors may also touch that data (even without entering
+ * the protocol, via the invalid-flag load), so a releasing processor
+ * cannot simply wait for its own stores.  SMP-Shasta uses an
+ * epoch-based scheme like SoftFLASH (Section 3.4.2): each release
+ * starts a new epoch on the node and waits until every write
+ * transaction the node issued in *previous* epochs has completed.
+ */
+
+#ifndef SHASTA_PROTO_EPOCH_HH
+#define SHASTA_PROTO_EPOCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace shasta
+{
+
+/**
+ * Tracks outstanding write transactions per epoch for one node.
+ */
+class EpochTracker
+{
+  public:
+    using Ready = std::function<void()>;
+
+    /** Epoch that a write issued right now would belong to. */
+    std::uint64_t current() const { return current_; }
+
+    /** Record the start of a write transaction; returns its epoch. */
+    std::uint64_t startWrite();
+
+    /** Record completion (data + all acks) of a write transaction. */
+    void completeWrite(std::uint64_t epoch);
+
+    /** Writes still outstanding in any epoch. */
+    int outstanding() const { return totalOutstanding_; }
+
+    /**
+     * Perform a release: start a new epoch and invoke @p ready once
+     * all writes from epochs before the new one have completed
+     * (immediately if already quiescent).
+     */
+    void release(Ready ready);
+
+    /** True if no write from an epoch <= @p up_to is outstanding. */
+    bool quiescentThrough(std::uint64_t up_to) const;
+
+  private:
+    void checkWaiters();
+
+    std::uint64_t current_ = 0;
+    int totalOutstanding_ = 0;
+    /** epoch -> incomplete write transactions. */
+    std::map<std::uint64_t, int> perEpoch_;
+
+    struct ReleaseWaiter
+    {
+        std::uint64_t upTo;
+        Ready ready;
+    };
+
+    std::vector<ReleaseWaiter> waiters_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_EPOCH_HH

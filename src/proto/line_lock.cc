@@ -1,0 +1,32 @@
+#include "proto/line_lock.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace shasta
+{
+
+LineLockPool::LineLockPool(bool enabled, Tick cost, int pool_size)
+    : enabled_(enabled), cost_(cost)
+{
+    assert(pool_size > 0 &&
+           std::has_single_bit(static_cast<unsigned>(pool_size)));
+    shift_ = 64 - std::countr_zero(static_cast<unsigned>(pool_size));
+    perLock_.assign(static_cast<std::size_t>(pool_size), 0);
+}
+
+double
+LineLockPool::poolUtilization() const
+{
+    if (perLock_.empty())
+        return 0.0;
+    std::size_t used = 0;
+    for (auto c : perLock_) {
+        if (c > 0)
+            ++used;
+    }
+    return static_cast<double>(used) /
+           static_cast<double>(perLock_.size());
+}
+
+} // namespace shasta

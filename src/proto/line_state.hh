@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Coherence states for lines/blocks.
+ *
+ * The node-level ("shared") state table holds the basic
+ * invalid/shared/exclusive states of Section 2.1 plus the transient
+ * pending states used while a request or an intra-node downgrade is
+ * outstanding (Sections 2.1 and 3.4.3).  The per-processor
+ * ("private") state table holds only the three basic states; it is a
+ * conservative summary of what that processor has actually accessed
+ * and is the key to sending downgrade messages selectively
+ * (Section 3.3).
+ */
+
+#ifndef SHASTA_PROTO_LINE_STATE_HH
+#define SHASTA_PROTO_LINE_STATE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace shasta
+{
+
+/** Node-level (shared state table) line state. */
+enum class LState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    /** Read request outstanding (was Invalid). */
+    PendRead,
+    /** Read-exclusive or upgrade outstanding; the pre-miss state is
+     *  recorded in the miss entry. */
+    PendEx,
+    /** Downgrading Exclusive -> Shared; downgrade messages are in
+     *  flight to local processors. */
+    PendDownShared,
+    /** Downgrading Exclusive or Shared -> Invalid. */
+    PendDownInvalid,
+};
+
+/** Per-processor (private state table) line state. */
+enum class PState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+};
+
+/** Human-readable names for traces and test failures. */
+std::string_view lstateName(LState s);
+std::string_view pstateName(PState s);
+
+/** True if the state is one of the three stable states. */
+constexpr bool
+isStable(LState s)
+{
+    return s == LState::Invalid || s == LState::Shared ||
+           s == LState::Exclusive;
+}
+
+/** True if a request is outstanding for the line. */
+constexpr bool
+isPendingMiss(LState s)
+{
+    return s == LState::PendRead || s == LState::PendEx;
+}
+
+/** True if an intra-node downgrade is in progress. */
+constexpr bool
+isPendingDowngrade(LState s)
+{
+    return s == LState::PendDownShared || s == LState::PendDownInvalid;
+}
+
+/** True if a node in state @p s can satisfy a load locally. */
+constexpr bool
+readableState(LState s)
+{
+    return s == LState::Shared || s == LState::Exclusive;
+}
+
+/** True if a node in state @p s can satisfy a store locally. */
+constexpr bool
+writableState(LState s)
+{
+    return s == LState::Exclusive;
+}
+
+/** True if private state @p s suffices for the given access. */
+constexpr bool
+privateSufficient(PState s, bool is_write)
+{
+    return is_write ? (s == PState::Exclusive) : (s != PState::Invalid);
+}
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_LINE_STATE_HH

@@ -1,0 +1,8 @@
+#include "proto/miss_table.hh"
+
+// MissTable is header-only; this translation unit compiles the header
+// standalone.
+
+namespace shasta
+{
+} // namespace shasta

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Per-node miss table.
+ *
+ * Information about a pending request for a block is kept in a miss
+ * entry (Section 2.1).  The entry supports Shasta's aggressive
+ * memory-system emulation: non-blocking stores record the bytes they
+ * wrote so the eventual reply can be merged around them; stalled
+ * loads park as waiters; requests from multiple processors on a node
+ * are merged into one entry (Section 3.4.2).  The entry also carries
+ * the downgrade bookkeeping of Section 3.4.3: how many downgrade
+ * messages are outstanding and the protocol action the *last*
+ * downgrading processor must execute.
+ */
+
+#ifndef SHASTA_PROTO_MISS_TABLE_HH
+#define SHASTA_PROTO_MISS_TABLE_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/shared_heap.hh"
+#include "net/message.hh"
+#include "net/topology.hh"
+#include "proto/line_state.hh"
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Which stall bucket a parked coroutine charges on resume. */
+enum class StallKind
+{
+    Read,
+    Write,
+    Sync,
+};
+
+/** A coroutine parked on a miss entry. */
+struct Waiter
+{
+    std::coroutine_handle<> handle;
+    ProcId proc = -1;
+    /** Local time the processor stalled (for stall attribution). */
+    Tick stallStart = 0;
+    StallKind kind = StallKind::Read;
+};
+
+/** Pending-request state for one block on one node. */
+struct MissEntry
+{
+    LineIdx firstLine = 0;
+    std::uint32_t numLines = 0;
+
+    /** Node state before the outstanding request (Invalid or Shared);
+     *  meaningful while the node state is PendEx. */
+    LState prior = LState::Invalid;
+
+    /** A write (read-exclusive or upgrade) has been requested. */
+    bool wantWrite = false;
+    /** The write request has actually been sent (it may be deferred
+     *  behind an outstanding read for the same block). */
+    bool writeIssued = false;
+    /** A read request has been sent. */
+    bool readIssued = false;
+
+    /** Local processor that sent the outstanding request. */
+    ProcId initiator = -1;
+    /** Local processor whose store created the write transaction
+     *  (may differ from the read initiator when a store lands on a
+     *  block whose read is still outstanding). */
+    ProcId writeInitiator = -1;
+
+    /** Loads stalled until data arrives. */
+    std::vector<Waiter> loadWaiters;
+    /** Accesses stalled until the current transient resolves; they
+     *  re-execute their inline check when resumed. */
+    std::vector<Waiter> retryWaiters;
+
+    /** Byte mask of locally stored (newer-than-reply) data. */
+    std::vector<bool> dirty;
+    bool dirtyAny = false;
+
+    /** @{ Write-transaction completion tracking (eager release
+     *  consistency: data may be used before all acks arrive). */
+    int acksExpected = -1; ///< -1 until the reply tells us
+    int acksReceived = 0;
+    bool dataArrived = false;
+    /** Epoch in which the write was issued (Section 3.4.2). */
+    std::uint64_t epoch = 0;
+    /** @} */
+
+    /** @{ Downgrade bookkeeping (Section 3.4.3). */
+    int downgradesLeft = 0;
+    /** Action executed by the processor handling the last downgrade
+     *  message, on that processor's clock. */
+    std::function<void(struct Proc &)> savedAction;
+    /** Remote requests that arrived during the downgrade. */
+    std::deque<Message> queuedRemote;
+    /** @} */
+
+    /** When the outstanding request was issued (latency stats). */
+    Tick issueTime = 0;
+
+    bool downgradeActive() const { return downgradesLeft > 0; }
+
+    void
+    markDirty(std::size_t offset, std::size_t len)
+    {
+        const std::size_t line_bytes = dirty.size();
+        (void)line_bytes;
+        for (std::size_t i = 0; i < len; ++i)
+            dirty[offset + i] = true;
+        dirtyAny = true;
+    }
+};
+
+/**
+ * Map from block (first line) to miss entry for one node.
+ */
+class MissTable
+{
+  public:
+    /** Get or create the entry for a block. */
+    MissEntry &
+    ensure(LineIdx first, std::uint32_t num_lines, int block_bytes)
+    {
+        auto [it, inserted] = entries_.try_emplace(first);
+        MissEntry &e = it->second;
+        if (inserted) {
+            e.firstLine = first;
+            e.numLines = num_lines;
+            e.dirty.assign(static_cast<std::size_t>(block_bytes),
+                           false);
+        }
+        return e;
+    }
+
+    MissEntry *
+    find(LineIdx first)
+    {
+        auto it = entries_.find(first);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    const MissEntry *
+    find(LineIdx first) const
+    {
+        auto it = entries_.find(first);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    void
+    erase(LineIdx first)
+    {
+        entries_.erase(first);
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+    bool empty() const { return entries_.empty(); }
+
+    /** Iteration for diagnostics and drain checks. */
+    const std::unordered_map<LineIdx, MissEntry> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::unordered_map<LineIdx, MissEntry> entries_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_MISS_TABLE_HH

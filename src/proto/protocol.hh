@@ -1,0 +1,359 @@
+/**
+ * @file
+ * The Shasta / SMP-Shasta coherence protocol engine.
+ *
+ * One Protocol instance drives all coherence in a run.  It owns the
+ * per-node memory images, shared and private state tables, miss
+ * tables, epochs and line-lock pools, and the per-processor home
+ * directories.  The DSM Context layer calls into it on inline-check
+ * misses; the message layer calls into it to dispatch delivered
+ * messages.
+ *
+ * Protocol summary (Sections 2.1 and 3.4 of the paper):
+ *
+ *  - Directory-based invalidation protocol with three request types
+ *    (read, read-exclusive, upgrade).  A home processor per page
+ *    keeps the owner pointer and sharer bit vector; requests that
+ *    cannot be served at the home are forwarded to the owner.
+ *    Transactions are serialized per block at the home (busy entries
+ *    queue later requests).
+ *  - Non-blocking stores: a write miss records its bytes in the miss
+ *    entry's dirty mask and the processor continues; the eventual
+ *    data reply is merged around the dirty bytes.
+ *  - Eager release consistency: read-exclusive data may be used
+ *    before all invalidation acks arrive; releases wait for the
+ *    node's earlier-epoch writes (EpochTracker).
+ *  - SMP extensions: processors on a node share the memory image and
+ *    the shared state table; inline checks read per-processor private
+ *    tables.  Incoming requests that downgrade the node's state send
+ *    explicit downgrade messages to exactly the local processors
+ *    whose private state shows they accessed the block; the processor
+ *    that handles the last downgrade message executes the saved
+ *    protocol action (data snapshot, flag fill, reply).
+ */
+
+#ifndef SHASTA_PROTO_PROTOCOL_HH
+#define SHASTA_PROTO_PROTOCOL_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/proc.hh"
+#include "mem/node_memory.hh"
+#include "mem/shared_heap.hh"
+#include "net/network.hh"
+#include "proto/directory.hh"
+#include "proto/epoch.hh"
+#include "proto/line_lock.hh"
+#include "proto/miss_table.hh"
+#include "proto/state_table.hh"
+#include "stats/counters.hh"
+
+namespace shasta
+{
+
+/** Result of attempting to resolve a miss without suspending. */
+enum class MissOutcome
+{
+    /** The access may proceed against valid local data. */
+    Resolved,
+    /** A write may proceed non-blocking; the caller must store the
+     *  bytes and the protocol has marked them dirty. */
+    ResolvedPending,
+    /** The caller must park as a load waiter (resumed when the data
+     *  becomes valid; the load is then guaranteed to succeed). */
+    WaitData,
+    /** The caller must park as a retry waiter and re-run its check. */
+    WaitRetry,
+    /** The caller must park until the store throttle clears. */
+    WaitThrottle,
+};
+
+/**
+ * The coherence protocol engine.
+ */
+class Protocol
+{
+  public:
+    Protocol(const DsmConfig &cfg, EventQueue &events, Network &net,
+             SharedHeap &heap, std::vector<Proc> &procs);
+
+    /** @{ Infrastructure accessors. */
+    NodeMemory &memory(NodeId n) { return *memories_[n]; }
+    NodeStateTable &table(NodeId n) { return *tables_[n]; }
+    EpochTracker &epochs(NodeId n) { return *epochs_[n]; }
+    ProtoCounters &counters() { return counters_; }
+    const ProtoCounters &counters() const { return counters_; }
+    const Topology &topology() const { return topo_; }
+    /** @} */
+
+    /** Home processor of @p line (page-granular, round-robin unless
+     *  overridden by placement hints). */
+    ProcId homeProc(LineIdx line) const;
+
+    /** Override the home of the pages covering [base, base+len). */
+    void setPageHome(Addr base, std::size_t len, ProcId home);
+
+    /**
+     * Register a fresh allocation: the home node of each line starts
+     * with an exclusive, zero-filled copy; all other nodes start
+     * invalid with the invalid flag written into their images.
+     */
+    void onAlloc(Addr base, std::size_t bytes);
+
+    /** @{ Fast-path queries for the inline checks (no cost). */
+    PState
+    privState(const Proc &p, LineIdx line) const
+    {
+        return tables_[p.node]->priv(line, p.local);
+    }
+
+    LState
+    nodeState(NodeId n, LineIdx line) const
+    {
+        return tables_[n]->shared(line);
+    }
+    /** @} */
+
+    /**
+     * Slow path of a load whose inline check failed.  Charges
+     * protocol costs on @p p's clock.  On WaitData/WaitRetry the
+     * caller parks via parkLoad()/parkRetry().
+     */
+    MissOutcome loadMiss(Proc &p, LineIdx line);
+
+    /**
+     * Slow path of a store whose inline check failed.  On
+     * ResolvedPending the protocol has recorded [addr, addr+len) as
+     * dirty; the caller then performs the store.
+     */
+    MissOutcome storeMiss(Proc &p, LineIdx line, Addr addr, int len);
+
+    /** Park @p h on the block's miss entry until data is valid. */
+    void parkLoad(Proc &p, LineIdx line, std::coroutine_handle<> h);
+
+    /** Park @p h until the block's transient resolves; the caller
+     *  re-runs its check on resume.  @p kind selects the stall
+     *  bucket. */
+    void parkRetry(Proc &p, LineIdx line, std::coroutine_handle<> h,
+                   StallKind kind);
+
+    /** Park @p h until the processor's store throttle clears. */
+    void parkThrottle(Proc &p, std::coroutine_handle<> h);
+
+    /**
+     * Mark @p p blocked.  A blocked processor polls continuously, so
+     * any mail already queued must still be handled: if the mailbox
+     * is non-empty a drain event is scheduled at the processor's
+     * current time.  Every transition to Blocked must go through
+     * here.
+     */
+    void noteBlocked(Proc &p);
+
+    /** @{ Batch support (Section 3.4.4). */
+    /** True if every line in [first, first+n) is sufficient for the
+     *  given access kind on @p p's private table. */
+    bool batchLinesReady(const Proc &p, LineIdx first,
+                         std::uint32_t n, bool is_write) const;
+
+    /** Mark the blocks covering [first, first+n): invalidations of
+     *  marked blocks defer their flag fill. */
+    void batchMark(NodeId node, LineIdx first, std::uint32_t n);
+
+    /** Unmark and apply any deferred flag fills; re-issues a write
+     *  transaction for store ranges whose block lost exclusivity
+     *  while the batch was waiting. */
+    void batchUnmark(Proc &p, LineIdx first, std::uint32_t n,
+                     bool is_write, Addr store_base, int store_len);
+
+    /** Park @p h until the node has no marked blocks (acquires stall
+     *  while a batch is mid-flight on the node, footnote 3). */
+    bool nodeHasMarks(NodeId node) const;
+    void parkAcquire(Proc &p, std::coroutine_handle<> h);
+    /** @} */
+
+    /**
+     * Perform the release half of a synchronization operation: start
+     * a new epoch and invoke @p done once all earlier-epoch writes of
+     * the node have completed.
+     */
+    void releaseFence(Proc &p, std::function<void()> done);
+
+    /** Dispatch one delivered message on processor @p p's clock. */
+    void handleMessage(Proc &p, Message &&m);
+
+    /**
+     * Drain @p p's mailbox (used on delivery to non-running
+     * processors and at poll points).  Reentrancy-safe.
+     */
+    void drainMailbox(Proc &p);
+
+    /** Deliver callback installed on the network. */
+    void deliver(Message &&m);
+
+    /** Install a handler for synchronization message types. */
+    using SyncHandler = std::function<void(Proc &, Message &&)>;
+    void setSyncHandler(SyncHandler h) { syncHandler_ = std::move(h); }
+
+    /** Send an arbitrary message (used by the synchronization
+     *  managers); self-sends dispatch inline without a message. */
+    void sendRaw(Proc &from, Message &&m);
+
+    /** Whether stats are currently being accumulated. */
+    void setMeasuring(bool on) { measuring_ = on; }
+    bool measuring() const { return measuring_; }
+
+    /** Zero all protocol counters. */
+    void resetCounters() { counters_ = ProtoCounters{}; }
+
+    /** Pending transactions across all nodes (for drain checks). */
+    std::size_t pendingTransactions() const;
+
+    /** Human-readable dump of every pending miss entry and busy
+     *  directory entry (deadlock diagnostics). */
+    std::string dumpPending() const;
+
+  private:
+    /** @{ Message handlers, one per type. */
+    void onReadReq(Proc &home, Message &&m);
+    void onReadExReq(Proc &home, Message &&m);
+    void onUpgradeReq(Proc &home, Message &&m);
+    void onFwdReadReq(Proc &owner, Message &&m);
+    void onFwdReadExReq(Proc &owner, Message &&m);
+    void onInvalReq(Proc &p, Message &&m);
+    void onInvalAck(Proc &p, Message &&m);
+    void onReadReply(Proc &p, Message &&m);
+    void onReadExReply(Proc &p, Message &&m);
+    void onUpgradeReply(Proc &p, Message &&m);
+    void onSharingWriteback(Proc &home, Message &&m);
+    void onOwnershipAck(Proc &home, Message &&m);
+    void onDowngrade(Proc &p, Message &&m);
+    /** @} */
+
+    /** Send a message from @p from (handles accounting). */
+    void sendMsg(Proc &from, MsgType type, ProcId dst, LineIdx block,
+                 ProcId requester, int count = 0,
+                 std::vector<std::uint8_t> data = {});
+
+    /** Re-inject a message into @p dst's mailbox at the current time
+     *  (used to replay queued requests). */
+    void reinject(ProcId dst, Message &&m);
+
+    /**
+     * Downgrade the node's copy of a block, sending downgrade
+     * messages to local processors whose private state requires it.
+     * @p action runs (possibly on another local processor) once all
+     * downgrades complete, receiving a pre-fill snapshot of the block
+     * data.  Section 3.4.3.
+     */
+    using DowngradeAction =
+        std::function<void(Proc &, std::vector<std::uint8_t> &&)>;
+    void downgradeNode(Proc &p, LineIdx first, bool to_invalid,
+                       DowngradeAction action);
+
+    /** Final step of a downgrade: snapshot, state change, flag fill
+     *  (deferred if the block is batch-marked), then the action. */
+    void completeDowngrade(Proc &p, LineIdx first, bool to_invalid,
+                           const DowngradeAction &action);
+
+    /** Apply the invalid flag to a block, skipping dirty bytes and
+     *  honoring batch markers. */
+    void applyInvalidFill(NodeId node, LineIdx first);
+
+    /** Start a read transaction (node state must be Invalid). */
+    void startRead(Proc &p, LineIdx first);
+
+    /** Start a write transaction; @p had_shared selects upgrade vs
+     *  read-exclusive.  [dirty_addr, dirty_addr+dirty_len) is marked
+     *  dirty *before* the request is sent, because a same-processor
+     *  home can complete an ack-free upgrade synchronously. */
+    void startWrite(Proc &p, LineIdx first, bool had_shared,
+                    Addr dirty_addr, int dirty_len);
+
+    /** Issue the deferred upgrade recorded in @p e (a store landed on
+     *  a block whose read was still outstanding). */
+    void issueDeferredWrite(Proc &p, MissEntry &e);
+
+    /** Handle reply bookkeeping common to data replies. */
+    void finishReadData(Proc &p, MissEntry &e, const Message &m);
+
+    /** Complete the write transaction if data and all acks are in. */
+    void checkWriteComplete(Proc &p, LineIdx first);
+
+    /** Replay requests that arrived before the data reply. */
+    void drainQueuedRemote(Proc &p, LineIdx first);
+
+    /** Resume every load/retry waiter of an entry. */
+    void resumeWaiters(MissEntry &e, bool loads, bool retries,
+                       Tick when);
+
+    /** Erase the entry if nothing references it anymore. */
+    void maybeErase(LineIdx first);
+
+    /** Classify and count a completed miss. */
+    void countMissReply(Proc &p, const Message &m, bool is_read,
+                        bool is_upgrade);
+
+    /** Unbusy the directory entry and replay one queued request. */
+    void unbusyAndPump(Proc &p, LineIdx first);
+
+    /** Replay queued requests at the home while the entry is idle
+     *  (needed after a serve that never set busy). */
+    void pumpQueued(Proc &home, LineIdx first);
+
+    /** Charge receive-dispatch plus @p handler cost (and the line
+     *  lock when @p locked) on @p p's clock. */
+    void chargeHandler(Proc &p, const Message &m, Tick handler,
+                       bool locked, LineIdx line);
+
+    /** Representative sharer of @p node in @p e, or -1. */
+    ProcId sharerRepOf(const DirEntry &e, NodeId node) const;
+
+    /** Block info helpers. */
+    BlockInfo blockOf(LineIdx line) const { return heap_.blockOf(line); }
+    int
+    blockBytes(const BlockInfo &b) const
+    {
+        return static_cast<int>(b.numLines) * heap_.lineSize();
+    }
+    Addr
+    blockAddr(const BlockInfo &b) const
+    {
+        return heap_.lineAddr(b.firstLine);
+    }
+
+    const DsmConfig &cfg_;
+    EventQueue &events_;
+    Network &net_;
+    SharedHeap &heap_;
+    std::vector<Proc> &procs_;
+    Topology topo_;
+    bool smp_;
+
+    std::vector<std::unique_ptr<NodeMemory>> memories_;
+    std::vector<std::unique_ptr<NodeStateTable>> tables_;
+    std::vector<std::unique_ptr<MissTable>> missTables_;
+    std::vector<std::unique_ptr<EpochTracker>> epochs_;
+    std::vector<std::unique_ptr<LineLockPool>> locks_;
+    std::vector<std::unique_ptr<HomeDirectory>> dirs_;
+
+    /** Page home overrides (page number -> processor). */
+    std::unordered_map<std::uint64_t, ProcId> pageHomes_;
+
+    /** Per-node waiters for "no marked blocks" (acquire stalls). */
+    std::vector<std::vector<Waiter>> acquireWaiters_;
+
+    SyncHandler syncHandler_;
+    ProtoCounters counters_;
+    bool measuring_ = true;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_PROTOCOL_HH

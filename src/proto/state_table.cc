@@ -1,0 +1,178 @@
+#include "proto/state_table.hh"
+
+#include <cassert>
+
+namespace shasta
+{
+
+std::string_view
+lstateName(LState s)
+{
+    switch (s) {
+      case LState::Invalid: return "Invalid";
+      case LState::Shared: return "Shared";
+      case LState::Exclusive: return "Exclusive";
+      case LState::PendRead: return "PendRead";
+      case LState::PendEx: return "PendEx";
+      case LState::PendDownShared: return "PendDownShared";
+      case LState::PendDownInvalid: return "PendDownInvalid";
+      default: return "?";
+    }
+}
+
+std::string_view
+pstateName(PState s)
+{
+    switch (s) {
+      case PState::Invalid: return "Invalid";
+      case PState::Shared: return "Shared";
+      case PState::Exclusive: return "Exclusive";
+      default: return "?";
+    }
+}
+
+NodeStateTable::NodeStateTable(int procs_on_node)
+    : procsOnNode_(procs_on_node)
+{
+    assert(procs_on_node >= 1);
+    priv_.resize(static_cast<std::size_t>(procs_on_node));
+}
+
+void
+NodeStateTable::growTo(LineIdx line) const
+{
+    if (line < shared_.size())
+        return;
+    const std::size_t want = static_cast<std::size_t>(line) + 1;
+    // Grow geometrically to amortize, but never shrink.
+    std::size_t cap = shared_.capacity() ? shared_.capacity() : 1024;
+    while (cap < want)
+        cap *= 2;
+    shared_.reserve(cap);
+    shared_.resize(want, LState::Invalid);
+    for (auto &p : priv_) {
+        p.reserve(cap);
+        p.resize(want, PState::Invalid);
+    }
+    markCount_.reserve(cap);
+    markCount_.resize(want, 0);
+    deferredFill_.resize(want, false);
+}
+
+LState
+NodeStateTable::shared(LineIdx line) const
+{
+    growTo(line);
+    return shared_[line];
+}
+
+void
+NodeStateTable::setShared(LineIdx first, std::uint32_t n, LState s)
+{
+    assert(n >= 1);
+    growTo(first + n - 1);
+    for (std::uint32_t i = 0; i < n; ++i)
+        shared_[first + i] = s;
+}
+
+PState
+NodeStateTable::priv(LineIdx line, int local) const
+{
+    assert(local >= 0 && local < procsOnNode_);
+    growTo(line);
+    return priv_[static_cast<std::size_t>(local)][line];
+}
+
+void
+NodeStateTable::setPriv(LineIdx line, std::uint32_t n, int local,
+                        PState s)
+{
+    assert(local >= 0 && local < procsOnNode_);
+    assert(n >= 1);
+    growTo(line + n - 1);
+    auto &tab = priv_[static_cast<std::size_t>(local)];
+    for (std::uint32_t i = 0; i < n; ++i)
+        tab[line + i] = s;
+}
+
+std::vector<int>
+NodeStateTable::downgradeTargets(LineIdx line, bool to_invalid,
+                                 int except_local) const
+{
+    growTo(line);
+    std::vector<int> out;
+    for (int p = 0; p < procsOnNode_; ++p) {
+        if (p == except_local)
+            continue;
+        const PState s = priv_[static_cast<std::size_t>(p)][line];
+        const bool needs = to_invalid ? (s != PState::Invalid)
+                                      : (s == PState::Exclusive);
+        if (needs)
+            out.push_back(p);
+    }
+    return out;
+}
+
+void
+NodeStateTable::downgradePriv(LineIdx first, std::uint32_t n, int local,
+                              bool to_invalid)
+{
+    assert(local >= 0 && local < procsOnNode_);
+    growTo(first + n - 1);
+    auto &tab = priv_[static_cast<std::size_t>(local)];
+    for (std::uint32_t i = 0; i < n; ++i) {
+        PState &s = tab[first + i];
+        if (to_invalid)
+            s = PState::Invalid;
+        else if (s == PState::Exclusive)
+            s = PState::Shared;
+    }
+}
+
+void
+NodeStateTable::mark(LineIdx line)
+{
+    growTo(line);
+    if (markCount_[line]++ == 0)
+        ++markedCount_;
+    assert(markCount_[line] != 0 && "marker overflow");
+}
+
+void
+NodeStateTable::unmark(LineIdx line)
+{
+    growTo(line);
+    assert(markCount_[line] > 0);
+    if (--markCount_[line] == 0)
+        --markedCount_;
+}
+
+bool
+NodeStateTable::marked(LineIdx line) const
+{
+    growTo(line);
+    return markCount_[line] > 0;
+}
+
+void
+NodeStateTable::deferFlagFill(LineIdx line)
+{
+    growTo(line);
+    deferredFill_[line] = true;
+}
+
+bool
+NodeStateTable::flagFillDeferred(LineIdx line) const
+{
+    growTo(line);
+    return deferredFill_[line];
+}
+
+void
+NodeStateTable::clearDeferredFill(LineIdx line)
+{
+    growTo(line);
+    deferredFill_[line] = false;
+}
+
+} // namespace shasta

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared (node-level) and private (per-processor) state tables.
+ *
+ * One NodeStateTable exists per logical node.  The shared table is
+ * what the protocol consults and updates under line locks; the
+ * private tables are what the inline checks read without any
+ * synchronization (Section 3.3).  The table also tracks the batch
+ * markers of Section 3.4.4: while a block is marked by an in-progress
+ * batch, invalidations defer storing the invalid flag until the batch
+ * ends.
+ */
+
+#ifndef SHASTA_PROTO_STATE_TABLE_HH
+#define SHASTA_PROTO_STATE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/shared_heap.hh"
+#include "proto/line_state.hh"
+
+namespace shasta
+{
+
+/**
+ * State tables for one logical node.
+ *
+ * Lines are indexed by LineIdx.  Tables grow on demand as the heap
+ * grows; untouched lines are Invalid everywhere.
+ */
+class NodeStateTable
+{
+  public:
+    /** @param procs_on_node number of processors sharing this node. */
+    explicit NodeStateTable(int procs_on_node);
+
+    int procsOnNode() const { return procsOnNode_; }
+
+    /** Shared (node-level) state of @p line. */
+    LState shared(LineIdx line) const;
+
+    /** Set the shared state of lines [first, first+n). */
+    void setShared(LineIdx first, std::uint32_t n, LState s);
+
+    /** Private state of @p line for local processor @p local. */
+    PState priv(LineIdx line, int local) const;
+
+    /** Set the private state for one local processor. */
+    void setPriv(LineIdx line, std::uint32_t n, int local, PState s);
+
+    /**
+     * Local processors (other than @p except_local, pass -1 for none)
+     * whose private state makes a downgrade message necessary: for a
+     * downgrade to Shared, processors holding Exclusive; for a
+     * downgrade to Invalid, processors holding Shared or Exclusive
+     * (Section 3.3).
+     */
+    std::vector<int> downgradeTargets(LineIdx line, bool to_invalid,
+                                      int except_local) const;
+
+    /** Downgrade one processor's private entry for a whole block. */
+    void downgradePriv(LineIdx first, std::uint32_t n, int local,
+                       bool to_invalid);
+
+    /** @{ Batch markers (Section 3.4.4). */
+    void mark(LineIdx line);
+    void unmark(LineIdx line);
+    bool marked(LineIdx line) const;
+    /** Total marked blocks on the node (acquires stall while > 0). */
+    int markedCount() const { return markedCount_; }
+    /** @} */
+
+    /** @{ Deferred invalid-flag fills for marked blocks. */
+    void deferFlagFill(LineIdx line);
+    bool flagFillDeferred(LineIdx line) const;
+    void clearDeferredFill(LineIdx line);
+    /** @} */
+
+  private:
+    void growTo(LineIdx line) const;
+
+    int procsOnNode_;
+    mutable std::vector<LState> shared_;
+    /** Private tables, one vector per local processor. */
+    mutable std::vector<std::vector<PState>> priv_;
+    mutable std::vector<std::uint8_t> markCount_;
+    mutable std::vector<bool> deferredFill_;
+    int markedCount_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_STATE_TABLE_HH

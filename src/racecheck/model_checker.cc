@@ -1,0 +1,73 @@
+#include "racecheck/model_checker.hh"
+
+#include <cassert>
+
+namespace shasta::racecheck
+{
+
+ExploreResult
+ModelChecker::explore(const std::vector<Thread> &threads,
+                      const MiniState &initial,
+                      const Predicate &violation) const
+{
+    ExploreResult out;
+    Frame frame;
+    frame.state = initial;
+    frame.pc.assign(threads.size(), 0);
+    std::vector<std::string> trace;
+    dfs(threads, std::move(frame), trace, violation, out);
+    return out;
+}
+
+void
+ModelChecker::dfs(const std::vector<Thread> &threads, Frame frame,
+                  std::vector<std::string> &trace,
+                  const Predicate &violation,
+                  ExploreResult &out) const
+{
+    if (out.paths >= kMaxPaths)
+        return;
+
+    bool any_ran = false;
+    bool any_unfinished = false;
+
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        const int pc = frame.pc[t];
+        if (pc >= static_cast<int>(threads[t].size()))
+            continue;
+        any_unfinished = true;
+        const Step &step = threads[t][static_cast<std::size_t>(pc)];
+        if (step.enabled && !step.enabled(frame.state))
+            continue;
+        any_ran = true;
+
+        Frame next = frame;
+        step.action(next.state);
+        int target = -1;
+        if (step.branch)
+            target = step.branch(next.state);
+        next.pc[t] = (target >= 0) ? target : pc + 1;
+
+        trace.push_back("T" + std::to_string(t) + ":" + step.label);
+        dfs(threads, std::move(next), trace, violation, out);
+        trace.pop_back();
+    }
+
+    if (!any_unfinished) {
+        ++out.paths;
+        ++out.terminals;
+        if (violation(frame.state)) {
+            ++out.violations;
+            if (out.witness.empty())
+                out.witness = trace;
+        }
+        return;
+    }
+    if (!any_ran) {
+        ++out.paths;
+        ++out.deadlocks;
+        return;
+    }
+}
+
+} // namespace shasta::racecheck

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A small explicit-state model checker for inline-check races.
+ *
+ * The main simulator respects Shasta's polling discipline, so the
+ * instruction-level races of Section 3.2 cannot occur there by
+ * construction.  This module reproduces the paper's *argument*
+ * directly: tiny programs (a few atomic steps per thread) are run
+ * under every possible interleaving, and a violation predicate is
+ * evaluated in every terminal state.  The scenarios of Figure 2 are
+ * encoded in scenarios.hh, each in a "naive" variant (downgrade by
+ * directly flipping the state) and in the SMP-Shasta variant
+ * (explicit downgrade messages handled only at poll points): the
+ * checker shows the naive variants lose updates or return the flag
+ * value as data, and the message-based variants never do.
+ */
+
+#ifndef SHASTA_RACECHECK_MODEL_CHECKER_HH
+#define SHASTA_RACECHECK_MODEL_CHECKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace shasta::racecheck
+{
+
+/** Tiny shared state the scenario threads operate on. */
+struct MiniState
+{
+    /** One shared longword of application data. */
+    std::uint32_t memory = 0;
+    /** Second word (used by the two-load FP check scenario). */
+    std::uint32_t memory2 = 0;
+    /** Node-level line state (0 invalid, 1 shared, 2 exclusive). */
+    int sharedState = 0;
+    /** Per-thread private line state. */
+    int privState[2] = {0, 0};
+    /** Per-thread downgrade mailboxes (payload: target state). */
+    std::deque<int> mailbox[2];
+    /** Scratch registers per thread. */
+    std::uint32_t reg[2][4] = {{0, 0, 0, 0}, {0, 0, 0, 0}};
+    /** Generic flags for scenario bookkeeping. */
+    bool flag[4] = {false, false, false, false};
+
+    bool operator==(const MiniState &) const = default;
+};
+
+/** One atomic step of a thread. */
+struct Step
+{
+    std::string label;
+    /** May this step run in the given state?  Unready steps block
+     *  the thread (used for "wait for downgrade ack"). */
+    std::function<bool(const MiniState &)> enabled;
+    /** Execute the step. */
+    std::function<void(MiniState &)> action;
+    /**
+     * Optional branch: return the next pc, or -1 to fall through to
+     * pc+1.  Used to encode the "if state sufficient" inline check.
+     */
+    std::function<int(const MiniState &)> branch;
+};
+
+/** A thread: an ordered list of steps. */
+using Thread = std::vector<Step>;
+
+/** Outcome of exploring a scenario. */
+struct ExploreResult
+{
+    /** Total terminal states reached. */
+    std::uint64_t terminals = 0;
+    /** Distinct interleavings explored (paths). */
+    std::uint64_t paths = 0;
+    /** Terminal states violating the predicate. */
+    std::uint64_t violations = 0;
+    /** States where no thread could run but some were unfinished. */
+    std::uint64_t deadlocks = 0;
+    /** One concrete violating trace (step labels), if any. */
+    std::vector<std::string> witness;
+};
+
+/**
+ * Exhaustive DFS over all interleavings of the given threads.
+ */
+class ModelChecker
+{
+  public:
+    using Predicate = std::function<bool(const MiniState &)>;
+
+    /**
+     * @param violation returns true when a terminal state is bad.
+     */
+    ExploreResult explore(const std::vector<Thread> &threads,
+                          const MiniState &initial,
+                          const Predicate &violation) const;
+
+    /** Safety limit on explored paths (guards scenario bugs). */
+    static constexpr std::uint64_t kMaxPaths = 5'000'000;
+
+  private:
+    struct Frame
+    {
+        MiniState state;
+        std::vector<int> pc;
+    };
+
+    void dfs(const std::vector<Thread> &threads, Frame frame,
+             std::vector<std::string> &trace,
+             const Predicate &violation, ExploreResult &out) const;
+};
+
+} // namespace shasta::racecheck
+
+#endif // SHASTA_RACECHECK_MODEL_CHECKER_HH

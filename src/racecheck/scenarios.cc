@@ -1,0 +1,373 @@
+#include "racecheck/scenarios.hh"
+
+namespace shasta::racecheck
+{
+
+namespace
+{
+
+/** Flag indices in MiniState::flag. */
+constexpr int kStoreDone = 0;  ///< P1 performed the checked access
+constexpr int kMissPath = 1;   ///< P1's inline check failed
+constexpr int kAcked = 2;      ///< P1 handled the downgrade message
+
+/** P1 poll step: handle a pending downgrade message, if any. */
+Step
+pollStep(const char *label)
+{
+    return Step{
+        label, nullptr,
+        [](MiniState &s) {
+            if (!s.mailbox[0].empty()) {
+                s.privState[0] = s.mailbox[0].front();
+                s.mailbox[0].pop_front();
+                s.flag[kAcked] = true;
+            }
+        },
+        nullptr};
+}
+
+/**
+ * P1's final poll: the real processor polls at every loop backedge
+ * forever, so model "keep polling until the downgrade is handled".
+ * Enabled only when there is mail (or it was already handled), which
+ * keeps the DFS finite and deadlock-free.
+ */
+Step
+pollUntilDowngraded()
+{
+    return Step{
+        "poll-until-downgraded",
+        [](const MiniState &s) {
+            return !s.mailbox[0].empty() || s.flag[kAcked];
+        },
+        [](MiniState &s) {
+            if (!s.mailbox[0].empty()) {
+                s.privState[0] = s.mailbox[0].front();
+                s.mailbox[0].pop_front();
+                s.flag[kAcked] = true;
+            }
+        },
+        nullptr};
+}
+
+/**
+ * P1's inline-checked *store* sequence.
+ * @param via_priv true: check the private state table (SMP); false:
+ *   check the shared state table directly (naive).
+ * @param with_polls bracket the sequence with poll points.
+ */
+Thread
+checkedStore(bool via_priv, bool with_polls)
+{
+    Thread t;
+    if (with_polls)
+        t.push_back(pollStep("poll-before"));
+    const int check_pc = static_cast<int>(t.size());
+    const int store_pc = check_pc + 1;
+    const int skip_pc = store_pc + 1; // the trailing poll (or end)
+    t.push_back(Step{
+        "check-state", nullptr,
+        [via_priv](MiniState &s) {
+            s.reg[0][0] = static_cast<std::uint32_t>(
+                via_priv ? s.privState[0] : s.sharedState);
+        },
+        [store_pc, skip_pc](const MiniState &s) {
+            // Exclusive? fall into the store; else take the miss
+            // path (the protocol would merge the store correctly).
+            return s.reg[0][0] == 2 ? store_pc : skip_pc;
+        }});
+    t.push_back(Step{"store", nullptr,
+                     [](MiniState &s) {
+                         s.memory = kNewValue;
+                         s.flag[kStoreDone] = true;
+                     },
+                     nullptr});
+    if (with_polls)
+        t.push_back(pollUntilDowngraded());
+    return t;
+}
+
+/** P1's state-table-checked *load* sequence (Figure 2(c)). */
+Thread
+checkedLoad(bool via_priv, bool with_polls)
+{
+    Thread t;
+    if (with_polls)
+        t.push_back(pollStep("poll-before"));
+    const int check_pc = static_cast<int>(t.size());
+    const int load_pc = check_pc + 1;
+    const int skip_pc = load_pc + 1; // the trailing poll (or end)
+    t.push_back(Step{
+        "check-state", nullptr,
+        [via_priv](MiniState &s) {
+            s.reg[0][0] = static_cast<std::uint32_t>(
+                via_priv ? s.privState[0] : s.sharedState);
+        },
+        [load_pc, skip_pc](const MiniState &s) {
+            return s.reg[0][0] >= 1 ? load_pc : skip_pc;
+        }});
+    t.push_back(Step{"load", nullptr,
+                     [](MiniState &s) {
+                         s.reg[0][1] = s.memory;
+                         s.flag[kStoreDone] = true; // "access done"
+                     },
+                     nullptr});
+    if (with_polls)
+        t.push_back(pollUntilDowngraded());
+    return t;
+}
+
+/**
+ * P2 servicing the remote request.
+ * @param target downgraded state (0 invalid, 1 shared).
+ * @param smp send a downgrade message and wait for the ack before
+ *   completing; naive otherwise.
+ * @param flag_first naive only: write the flag before the state.
+ */
+Thread
+downgrader(int target, bool smp, bool flag_first)
+{
+    Thread t;
+    if (smp) {
+        t.push_back(Step{"send-downgrade", nullptr,
+                         [target](MiniState &s) {
+                             s.mailbox[0].push_back(target);
+                         },
+                         nullptr});
+        t.push_back(Step{"wait-ack",
+                         [](const MiniState &s) {
+                             return s.flag[kAcked];
+                         },
+                         [](MiniState &) {}, nullptr});
+    }
+    Step read_data{"read-data", nullptr,
+                   [](MiniState &s) { s.reg[1][0] = s.memory; },
+                   nullptr};
+    Step set_state{"set-state", nullptr,
+                   [target](MiniState &s) {
+                       s.sharedState = target;
+                   },
+                   nullptr};
+    Step write_flag{"write-flag", nullptr,
+                    [](MiniState &s) { s.memory = kFlagValue; },
+                    nullptr};
+    if (target == 0) {
+        if (flag_first) {
+            t.push_back(read_data);
+            t.push_back(write_flag);
+            t.push_back(set_state);
+        } else {
+            t.push_back(read_data);
+            t.push_back(set_state);
+            t.push_back(write_flag);
+        }
+    } else {
+        // Exclusive-to-shared: data is read for the reply; no flag.
+        t.push_back(read_data);
+        t.push_back(set_state);
+    }
+    return t;
+}
+
+MiniState
+initialState(int shared_state, int p1_priv)
+{
+    MiniState s;
+    s.memory = kOldValue;
+    s.sharedState = shared_state;
+    s.privState[0] = p1_priv;
+    return s;
+}
+
+} // namespace
+
+Scenario
+figure2a(bool smp_protocol)
+{
+    Scenario sc;
+    sc.name = smp_protocol ? "fig2a-smp" : "fig2a-naive";
+    sc.description =
+        "store vs exclusive-to-invalid downgrade (incoming write)";
+    sc.init = initialState(2, 2);
+    sc.threads = {checkedStore(smp_protocol, smp_protocol),
+                  downgrader(0, smp_protocol, false)};
+    // Lost update: P1 stored under an exclusive check, yet the data
+    // shipped to the new owner misses the store.
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[1][0] != kNewValue;
+    };
+    sc.expectViolations = !smp_protocol;
+    return sc;
+}
+
+Scenario
+figure2b(bool smp_protocol)
+{
+    Scenario sc;
+    sc.name = smp_protocol ? "fig2b-smp" : "fig2b-naive";
+    sc.description =
+        "store vs exclusive-to-shared downgrade (incoming read)";
+    sc.init = initialState(2, 2);
+    sc.threads = {checkedStore(smp_protocol, smp_protocol),
+                  downgrader(1, smp_protocol, false)};
+    // Incoherent copies: the new sharer received data without P1's
+    // store even though P1's check saw exclusive.
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[1][0] != kNewValue;
+    };
+    sc.expectViolations = !smp_protocol;
+    return sc;
+}
+
+Scenario
+figure2c(bool smp_protocol, bool flag_first)
+{
+    Scenario sc;
+    sc.name = std::string(smp_protocol ? "fig2c-smp"
+                                       : "fig2c-naive") +
+              (flag_first ? "-flagfirst" : "");
+    sc.description = "state-checked load vs shared-to-invalid "
+                     "downgrade (flag returned as data)";
+    sc.init = initialState(1, 1);
+    sc.threads = {checkedLoad(smp_protocol, smp_protocol),
+                  downgrader(0, smp_protocol, flag_first)};
+    // The load returned the invalid-flag pattern as application
+    // data.
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[0][1] == kFlagValue;
+    };
+    sc.expectViolations = !smp_protocol;
+    return sc;
+}
+
+Scenario
+fpFlagCheck(bool atomic_variant)
+{
+    Scenario sc;
+    sc.name = atomic_variant ? "fpflag-atomic" : "fpflag-two-load";
+    sc.description =
+        "floating-point flag check vs invalidation; flag-checked "
+        "loads never update the private table, so no downgrade "
+        "message protects them";
+    sc.init = initialState(1, /*p1_priv=*/0);
+
+    Thread p1;
+    if (atomic_variant) {
+        // SMP-Shasta: FP value stored to the stack and reloaded into
+        // an integer register -- one atomic load+compare.
+        p1.push_back(Step{"fp-load-atomic", nullptr,
+                          [](MiniState &s) {
+                              s.reg[0][0] = s.memory; // FP value
+                              s.reg[0][1] = s.reg[0][0]; // compare
+                          },
+                          nullptr});
+    } else {
+        // Base-Shasta: the inserted integer load (the check) and the
+        // FP load are separate instructions.
+        p1.push_back(Step{"int-load-check", nullptr,
+                          [](MiniState &s) {
+                              s.reg[0][1] = s.memory;
+                          },
+                          nullptr});
+        p1.push_back(Step{"fp-load", nullptr,
+                          [](MiniState &s) {
+                              s.reg[0][0] = s.memory;
+                          },
+                          nullptr});
+    }
+    const int end_pc = static_cast<int>(p1.size()) + 2;
+    p1.push_back(Step{
+        "compare", nullptr, [](MiniState &) {},
+        [end_pc](const MiniState &s) {
+            return s.reg[0][1] == kFlagValue
+                       ? end_pc       // miss path: protocol handles
+                       : -1;          // proceed: consume reg[0][0]
+        }});
+    p1.push_back(Step{"consume", nullptr,
+                      [](MiniState &s) {
+                          s.flag[kStoreDone] = true;
+                      },
+                      nullptr});
+
+    // P2 legitimately completes without a downgrade message to P1:
+    // P1's private state is Invalid (flag loads do not upgrade it).
+    Thread p2;
+    p2.push_back(Step{"set-state", nullptr,
+                      [](MiniState &s) { s.sharedState = 0; },
+                      nullptr});
+    p2.push_back(Step{"write-flag", nullptr,
+                      [](MiniState &s) { s.memory = kFlagValue; },
+                      nullptr});
+
+    sc.threads = {std::move(p1), std::move(p2)};
+    // P1 consumed the flag pattern as application data.
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[0][0] == kFlagValue;
+    };
+    sc.expectViolations = !atomic_variant;
+    return sc;
+}
+
+Scenario
+pollPlacement(bool poll_between)
+{
+    Scenario sc;
+    sc.name = poll_between ? "poll-between-check-and-store"
+                           : "poll-at-backedges-only";
+    sc.description =
+        "downgrade-message protocol with a poll point inserted "
+        "between the inline check and the checked store";
+    sc.init = initialState(2, 2);
+
+    Thread p1;
+    p1.push_back(pollStep("poll-before"));
+    const int check_pc = 1;
+    const int store_pc = poll_between ? 3 : 2;
+    const int skip_pc = store_pc + 1;
+    p1.push_back(Step{
+        "check-state", nullptr,
+        [](MiniState &s) {
+            s.reg[0][0] =
+                static_cast<std::uint32_t>(s.privState[0]);
+        },
+        [store_pc, skip_pc](const MiniState &s) {
+            return s.reg[0][0] == 2 ? (store_pc == 3 ? 2 : store_pc)
+                                    : skip_pc;
+        }});
+    (void)check_pc;
+    if (poll_between) {
+        // The illegal poll point: the downgrade may be handled (and
+        // acknowledged) after the check already succeeded.
+        p1.push_back(pollStep("poll-ILLEGAL"));
+    }
+    p1.push_back(Step{"store", nullptr,
+                      [](MiniState &s) {
+                          s.memory = kNewValue;
+                          s.flag[kStoreDone] = true;
+                      },
+                      nullptr});
+    p1.push_back(pollUntilDowngraded());
+
+    sc.threads = {std::move(p1), downgrader(0, true, false)};
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[1][0] != kNewValue;
+    };
+    sc.expectViolations = poll_between;
+    return sc;
+}
+
+std::vector<Scenario>
+allScenarios()
+{
+    return {
+        figure2a(false),    figure2a(true),
+        figure2b(false),    figure2b(true),
+        figure2c(false),    figure2c(false, true),
+        figure2c(true),     fpFlagCheck(false),
+        fpFlagCheck(true),  pollPlacement(false),
+        pollPlacement(true),
+    };
+}
+
+} // namespace shasta::racecheck

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Encodings of the paper's Figure 2 race conditions.
+ *
+ * Each scenario pits P1 (an application processor executing an
+ * inline check followed by the checked load or store) against P2 (a
+ * colocated processor servicing an incoming remote request that
+ * downgrades the node's state).  The "naive" variants downgrade
+ * state and write the invalid flag directly, as a protocol without
+ * Section 3.3's machinery would; the "smp" variants send an explicit
+ * downgrade message that P1 only handles at poll points, and P2
+ * waits for it before completing.  The checker proves the naive
+ * variants have violating interleavings and the smp variants none.
+ */
+
+#ifndef SHASTA_RACECHECK_SCENARIOS_HH
+#define SHASTA_RACECHECK_SCENARIOS_HH
+
+#include <string>
+#include <vector>
+
+#include "racecheck/model_checker.hh"
+
+namespace shasta::racecheck
+{
+
+/** A named, ready-to-explore scenario. */
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    std::vector<Thread> threads;
+    MiniState init;
+    ModelChecker::Predicate violation;
+    /** Whether the paper predicts violating interleavings. */
+    bool expectViolations;
+};
+
+/** Application data values used by the scenarios. */
+constexpr std::uint32_t kOldValue = 0xAAAA5555u;
+constexpr std::uint32_t kNewValue = 0xBBBB7777u;
+/** Must equal the protocol's invalid-flag pattern. */
+constexpr std::uint32_t kFlagValue = 0xF10AF10Au;
+
+/** Figure 2(a): store vs exclusive-to-invalid downgrade. */
+Scenario figure2a(bool smp_protocol);
+
+/** Figure 2(b): store vs exclusive-to-shared downgrade. */
+Scenario figure2b(bool smp_protocol);
+
+/**
+ * Figure 2(c): state-table-checked load vs shared-to-invalid
+ * downgrade (the flag value is returned as data).
+ * @param flag_first if true, P2 writes the flag before the state --
+ *   the paper notes reordering P2 does not remove the race.
+ */
+Scenario figure2c(bool smp_protocol, bool flag_first = false);
+
+/**
+ * Section 3.4.1: the floating-point flag check.  In Base-Shasta the
+ * compare uses a second integer load, which is not atomic with the
+ * FP load; because flag-checked loads never update the private state
+ * table, the invalidating processor may legitimately proceed without
+ * sending P1 a downgrade message, and the flag write can land
+ * between the two loads.  The SMP variant (store to stack, reload)
+ * is atomic.
+ */
+Scenario fpFlagCheck(bool atomic_variant);
+
+/**
+ * Why the polling discipline matters: SMP-Shasta's correctness rests
+ * on messages never being handled between a successful inline check
+ * and its access (Section 2.1/3.3).  This scenario runs the
+ * downgrade-message protocol but inserts a poll *between* P1's check
+ * and its store; handling the downgrade there acknowledges it, the
+ * remote request completes, and P1's store is lost.
+ * @param poll_between insert the illegal poll point.
+ */
+Scenario pollPlacement(bool poll_between);
+
+/** Every scenario, for exhaustive sweeps and the demo binary. */
+std::vector<Scenario> allScenarios();
+
+} // namespace shasta::racecheck
+
+#endif // SHASTA_RACECHECK_SCENARIOS_HH

@@ -1,0 +1,57 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace shasta
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    assert(when >= now_ && "event scheduled in the simulated past");
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    assert(delay >= 0);
+    schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never compare the moved-from
+    // entry again.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    ++processed_;
+    entry.cb();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+bool
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty()) {
+        if (heap_.top().when > limit)
+            return false;
+        step();
+    }
+    return true;
+}
+
+} // namespace shasta

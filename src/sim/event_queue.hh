@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Global discrete-event queue driving the cluster simulation.
+ *
+ * Everything that happens "between" processor poll points — message
+ * deliveries, processor resumptions after a quantum yield, timeouts in
+ * tests — is an event.  Events at equal ticks fire in insertion order
+ * so the simulation is deterministic.
+ */
+
+#ifndef SHASTA_SIM_EVENT_QUEUE_HH
+#define SHASTA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/**
+ * Deterministic priority queue of timed callbacks.
+ *
+ * Equal-time events fire in the order they were scheduled (FIFO
+ * tie-break via a monotonically increasing sequence number).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time; advances as events are processed. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to fire at absolute time @p when.
+     *
+     * Scheduling in the past is a programming error and asserts.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to fire @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Total number of events processed so far. */
+    std::uint64_t processed() const { return processed_; }
+
+    /**
+     * Pop and run the earliest event.  @return false if queue empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run until the queue drains or simulated time would exceed
+     * @p limit.  Events at exactly @p limit still run.
+     * @return true if the queue drained.
+     */
+    bool runUntil(Tick limit);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SIM_EVENT_QUEUE_HH

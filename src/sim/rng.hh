@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * The simulator must be bit-reproducible across runs, so every
+ * stochastic component (workload generators, hash seeds) draws from
+ * this explicitly-seeded generator rather than from std::random_device
+ * or global state.  The core is xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef SHASTA_SIM_RNG_HH
+#define SHASTA_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace shasta
+{
+
+/**
+ * Deterministic xoshiro256** generator.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can be
+ * used with standard distributions, though the helpers below are
+ * preferred because their results are identical across platforms.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct with a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x5A57A5EEDULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t operator()();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SIM_RNG_HH

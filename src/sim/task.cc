@@ -1,0 +1,9 @@
+#include "sim/task.hh"
+
+// Task and Suspender are header-only; this translation unit exists so
+// the build has a home for any future out-of-line helpers and so the
+// header is compiled standalone at least once.
+
+namespace shasta
+{
+} // namespace shasta

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Coroutine task type for simulated processors.
+ *
+ * Every simulated processor runs its application program as a C++20
+ * coroutine of type Task.  Shared-memory accessors return awaitables
+ * whose await_ready() is true on a hit, so the common case never
+ * suspends; on a miss the coroutine parks in the protocol's miss table
+ * and is resumed by the reply handler at the correct simulated time.
+ *
+ * Task supports nesting (a Task may co_await another Task) with
+ * symmetric transfer, so application kernels can be decomposed into
+ * ordinary-looking helper coroutines without stack growth.
+ */
+
+#ifndef SHASTA_SIM_TASK_HH
+#define SHASTA_SIM_TASK_HH
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace shasta
+{
+
+/**
+ * Lazily-started coroutine task with void result.
+ *
+ * A Task does not run until it is either co_awaited by another Task or
+ * explicitly start()ed as a root task.  The Task object owns the
+ * coroutine frame; a root task's frame stays alive (suspended at its
+ * final suspend point) until the Task is destroyed, so completion can
+ * be observed via done().
+ */
+class Task
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type
+    {
+        /** Coroutine to resume when this task completes (may be null). */
+        std::coroutine_handle<> continuation;
+        std::exception_ptr exception;
+
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                auto &p = h.promise();
+                if (p.continuation)
+                    return p.continuation;
+                return std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    Task() = default;
+
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True if this Task owns a coroutine frame. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /** True once the coroutine has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /**
+     * Start a root task: runs until its first suspension point.
+     * Must not be used on a task that will also be co_awaited.
+     */
+    void
+    start()
+    {
+        assert(handle_ && !handle_.done());
+        handle_.resume();
+    }
+
+    /**
+     * Rethrow any exception that escaped the coroutine body.  Call
+     * after done() becomes true on a root task.
+     */
+    void
+    rethrowIfFailed() const
+    {
+        if (handle_ && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+    /** Awaiter used when a Task is co_awaited by a parent Task. */
+    struct Awaiter
+    {
+        Handle handle;
+
+        bool await_ready() const noexcept { return !handle; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            handle.promise().continuation = parent;
+            return handle;
+        }
+
+        void
+        await_resume() const
+        {
+            if (handle && handle.promise().exception)
+                std::rethrow_exception(handle.promise().exception);
+        }
+    };
+
+    Awaiter operator co_await() const noexcept { return Awaiter{handle_}; }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_;
+};
+
+/**
+ * One-shot suspension point resumable by external code.
+ *
+ * A coroutine does `co_await suspender.wait()`; protocol code later
+ * calls resume() (inside an event, at the proper simulated time) to
+ * continue it.  Exactly one waiter at a time.
+ */
+class Suspender
+{
+  public:
+    Suspender() = default;
+    Suspender(const Suspender &) = delete;
+    Suspender &operator=(const Suspender &) = delete;
+
+    /** True while a coroutine is parked here. */
+    bool pending() const { return static_cast<bool>(waiter_); }
+
+    /** Resume the parked coroutine (must be pending). */
+    void
+    resume()
+    {
+        assert(waiter_);
+        auto h = std::exchange(waiter_, nullptr);
+        h.resume();
+    }
+
+    struct Awaiter
+    {
+        Suspender *self;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            assert(!self->waiter_ && "Suspender already has a waiter");
+            self->waiter_ = h;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    Awaiter wait() { return Awaiter{this}; }
+
+  private:
+    std::coroutine_handle<> waiter_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SIM_TASK_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulated time base for the SMP-Shasta cluster model.
+ *
+ * All simulated time is counted in processor cycles of the 300 MHz
+ * Alpha 21164 used in the paper's prototype cluster (WRL 97/3,
+ * Section 4.1).  One microsecond is therefore exactly 300 ticks,
+ * which keeps every latency parameter in the paper integral.
+ */
+
+#ifndef SHASTA_SIM_TICKS_HH
+#define SHASTA_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace shasta
+{
+
+/** Simulated time in 300 MHz processor cycles. */
+using Tick = std::int64_t;
+
+/** Clock frequency of the modeled processors, in Hz. */
+constexpr double kClockHz = 300.0e6;
+
+/** Ticks per microsecond (300 cycles at 300 MHz). */
+constexpr Tick kTicksPerUs = 300;
+
+/** Convert microseconds to ticks (rounding to nearest cycle). */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs) + 0.5);
+}
+
+/** Convert ticks to microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / kClockHz;
+}
+
+/** Convert seconds to ticks. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * kClockHz + 0.5);
+}
+
+} // namespace shasta
+
+#endif // SHASTA_SIM_TICKS_HH

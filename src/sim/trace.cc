@@ -1,0 +1,117 @@
+#include "sim/trace.hh"
+
+#include <array>
+#include <cstdarg>
+#include <string>
+#include <cstdlib>
+#include <cstring>
+
+namespace shasta::trace
+{
+
+namespace
+{
+
+std::array<bool, static_cast<std::size_t>(Flag::NumFlags)> flags{};
+std::FILE *sink = nullptr;
+bool envApplied = false;
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(Flag::NumFlags)>
+    kNames{"proto", "net", "sync", "downgrade", "batch"};
+
+} // namespace
+
+std::string_view
+flagName(Flag f)
+{
+    return kNames[static_cast<std::size_t>(f)];
+}
+
+bool
+parseFlag(std::string_view name, Flag &out)
+{
+    for (std::size_t i = 0; i < kNames.size(); ++i) {
+        if (kNames[i] == name) {
+            out = static_cast<Flag>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+enable(Flag f)
+{
+    flags[static_cast<std::size_t>(f)] = true;
+}
+
+void
+disable(Flag f)
+{
+    flags[static_cast<std::size_t>(f)] = false;
+}
+
+void
+disableAll()
+{
+    flags.fill(false);
+}
+
+void
+enableList(std::string_view list)
+{
+    while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        const std::string_view name = list.substr(0, comma);
+        if (name == "all") {
+            flags.fill(true);
+        } else {
+            Flag f;
+            if (parseFlag(name, f))
+                enable(f);
+        }
+        if (comma == std::string_view::npos)
+            break;
+        list.remove_prefix(comma + 1);
+    }
+}
+
+void
+initFromEnv()
+{
+    if (envApplied)
+        return;
+    envApplied = true;
+    if (const char *env = std::getenv("SHASTA_TRACE"))
+        enableList(env);
+}
+
+bool
+enabled(Flag f)
+{
+    initFromEnv();
+    return flags[static_cast<std::size_t>(f)];
+}
+
+void
+setSink(std::FILE *s)
+{
+    sink = s;
+}
+
+void
+out(Flag f, Tick when, int proc, const char *fmt, ...)
+{
+    std::FILE *dst = sink ? sink : stderr;
+    std::fprintf(dst, "[%12lld] P%-2d %-9s: ",
+                 static_cast<long long>(when), proc,
+                 std::string(flagName(f)).c_str());
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(dst, fmt, args);
+    va_end(args);
+    std::fputc('\n', dst);
+}
+
+} // namespace shasta::trace

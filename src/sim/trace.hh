@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lightweight categorized tracing (gem5's DPRINTF, in miniature).
+ *
+ * Trace categories are enabled via the SHASTA_TRACE environment
+ * variable (comma-separated: e.g. SHASTA_TRACE=proto,downgrade) or
+ * programmatically.  Disabled categories cost one branch.  Output
+ * goes to a configurable sink (stderr by default) as
+ *
+ *   [tick] P<proc> <category>: <message>
+ */
+
+#ifndef SHASTA_SIM_TRACE_HH
+#define SHASTA_SIM_TRACE_HH
+
+#include <cstdio>
+#include <string_view>
+
+#include "sim/ticks.hh"
+
+namespace shasta::trace
+{
+
+/** Trace categories. */
+enum class Flag
+{
+    Proto,     ///< protocol transactions and handlers
+    Net,       ///< message sends and deliveries
+    Sync,      ///< locks and barriers
+    Downgrade, ///< intra-node downgrade machinery
+    Batch,     ///< batch miss handling and markers
+    NumFlags
+};
+
+/** Name of a category (lower-case, as used in SHASTA_TRACE). */
+std::string_view flagName(Flag f);
+
+/** Parse a category name; returns false if unknown. */
+bool parseFlag(std::string_view name, Flag &out);
+
+/** @{ Enable / disable categories. */
+void enable(Flag f);
+void disable(Flag f);
+void disableAll();
+/** Parse a comma-separated list ("proto,net"); unknown names are
+ *  ignored.  "all" enables everything. */
+void enableList(std::string_view list);
+/** Apply SHASTA_TRACE from the environment (called lazily on first
+ *  query; safe to call again). */
+void initFromEnv();
+/** @} */
+
+/** True if @p f is enabled. */
+bool enabled(Flag f);
+
+/** Redirect output (tests use a tmpfile); null restores stderr. */
+void setSink(std::FILE *sink);
+
+/** Emit one trace line (printf-style). */
+void out(Flag f, Tick when, int proc, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace shasta::trace
+
+/** Convenience macro: evaluates arguments only when enabled. */
+#define SHASTA_TRACE_EVENT(flag, when, proc, ...)                     \
+    do {                                                              \
+        if (shasta::trace::enabled(flag))                             \
+            shasta::trace::out(flag, when, proc, __VA_ARGS__);        \
+    } while (0)
+
+#endif // SHASTA_SIM_TRACE_HH

@@ -1,0 +1,8 @@
+#include "stats/breakdown.hh"
+
+// Breakdown is header-only; this translation unit compiles the header
+// standalone.
+
+namespace shasta
+{
+} // namespace shasta

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution-time breakdown, mirroring Figure 4 of the paper.
+ *
+ * Task time is everything the processor does for the application,
+ * including inline miss checks and the code to enter the protocol;
+ * read/write time is stall time for misses satisfied through the
+ * software protocol; synchronization time is stall for application
+ * locks and barriers (including waiting for outstanding stores at
+ * releases); message time is time spent handling messages when the
+ * processor is not already stalled (handling while stalled is hidden
+ * inside the stall categories); "other" covers non-blocking store
+ * bookkeeping, private state table upgrades, and pending-downgrade
+ * servicing.
+ */
+
+#ifndef SHASTA_STATS_BREAKDOWN_HH
+#define SHASTA_STATS_BREAKDOWN_HH
+
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Stacked execution-time components for one processor. */
+struct Breakdown
+{
+    Tick read = 0;
+    Tick write = 0;
+    Tick sync = 0;
+    Tick msg = 0;
+    Tick other = 0;
+
+    /** Sum of the non-task components. */
+    Tick
+    nonTask() const
+    {
+        return read + write + sync + msg + other;
+    }
+
+    Breakdown &
+    operator+=(const Breakdown &o)
+    {
+        read += o.read;
+        write += o.write;
+        sync += o.sync;
+        msg += o.msg;
+        other += o.other;
+        return *this;
+    }
+};
+
+/** A full per-run breakdown: total elapsed plus the components. */
+struct TimeBreakdown
+{
+    Tick total = 0;
+    Breakdown parts;
+
+    /** Task time is derived so the components always sum to total. */
+    Tick
+    task() const
+    {
+        return total - parts.nonTask();
+    }
+};
+
+} // namespace shasta
+
+#endif // SHASTA_STATS_BREAKDOWN_HH

@@ -1,0 +1,8 @@
+#include "stats/counters.hh"
+
+// Counters are header-only; this translation unit compiles the header
+// standalone.
+
+namespace shasta
+{
+} // namespace shasta

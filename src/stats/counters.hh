@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Protocol event counters for the paper's Figures 6-8.
+ */
+
+#ifndef SHASTA_STATS_COUNTERS_HH
+#define SHASTA_STATS_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Classification of a completed miss (Figure 6's six segments). */
+enum class MissClass
+{
+    Read2Hop,
+    Read3Hop,
+    Write2Hop,
+    Write3Hop,
+    Upgrade2Hop,
+    Upgrade3Hop,
+    NumClasses
+};
+
+/** Protocol-level counters, aggregated over all processors. */
+struct ProtoCounters
+{
+    /** Misses by class (request type x hops). */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(MissClass::NumClasses)>
+        misses{};
+
+    /** Downgrade operations by number of downgrade messages sent
+     *  (index min(n, 3); Figure 8 plots 0..3). */
+    std::array<std::uint64_t, 4> downgradeOps{};
+
+    /** Misses on the private table satisfied from the node's shared
+     *  state without any message (the clustering win). */
+    std::uint64_t privateUpgrades = 0;
+
+    /** Misses merged into an already-pending entry (no new request). */
+    std::uint64_t mergedMisses = 0;
+
+    /** Flag-checked loads whose data happened to equal the flag. */
+    std::uint64_t falseMisses = 0;
+
+    /** Batch checks that required the batch miss handler. */
+    std::uint64_t batchMisses = 0;
+
+    /** Write misses that stalled on the outstanding-store limit. */
+    std::uint64_t writeThrottles = 0;
+
+    /** Accesses serviced during a pending-downgrade window from the
+     *  pre-downgrade state (Section 3.4.3). */
+    std::uint64_t pendDownServices = 0;
+
+    /** Remote requests that arrived during a downgrade and had to be
+     *  queued. */
+    std::uint64_t queuedDuringDowngrade = 0;
+
+    /** @{ Read-miss latency accumulation (Section 4.4). */
+    std::uint64_t readMissSamples = 0;
+    Tick readMissLatency = 0;
+    /** @} */
+
+    void
+    countMiss(MissClass c)
+    {
+        ++misses[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    missCount(MissClass c) const
+    {
+        return misses[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    totalMisses() const
+    {
+        std::uint64_t s = 0;
+        for (auto m : misses)
+            s += m;
+        return s;
+    }
+
+    std::uint64_t
+    totalDowngradeOps() const
+    {
+        std::uint64_t s = 0;
+        for (auto d : downgradeOps)
+            s += d;
+        return s;
+    }
+
+    double
+    avgReadMissUs() const
+    {
+        if (readMissSamples == 0)
+            return 0.0;
+        return ticksToUs(readMissLatency) /
+               static_cast<double>(readMissSamples);
+    }
+};
+
+/** Per-access counters from the checking layer. */
+struct CheckCounters
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t batchedAccesses = 0;
+    std::uint64_t batchChecks = 0;
+    std::uint64_t polls = 0;
+    Tick checkCycles = 0; ///< total cycles spent in inline checks
+};
+
+} // namespace shasta
+
+#endif // SHASTA_STATS_COUNTERS_HH

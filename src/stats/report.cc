@@ -1,0 +1,185 @@
+#include "stats/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shasta::report
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.push_back({});
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < width.size();
+             ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            std::fputc('+', out);
+            for (std::size_t i = 0; i < width[c] + 2; ++i)
+                std::fputc('-', out);
+        }
+        std::fputs("+\n", out);
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &v =
+                c < cells.size() ? cells[c] : std::string();
+            std::fprintf(out, "| %-*s ",
+                         static_cast<int>(width[c]), v.c_str());
+        }
+        std::fputs("|\n", out);
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            line(row);
+    }
+    rule();
+}
+
+void
+Table::printCsv(std::FILE *out) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                std::fputc(',', out);
+            // Quote cells containing commas.
+            if (cells[c].find(',') != std::string::npos)
+                std::fprintf(out, "\"%s\"", cells[c].c_str());
+            else
+                std::fputs(cells[c].c_str(), out);
+        }
+        std::fputc('\n', out);
+    };
+    line(headers_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            line(row);
+    }
+}
+
+std::string
+fmtSeconds(Tick t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fs", ticksToSeconds(t));
+    return buf;
+}
+
+std::string
+fmtPercent(double frac)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * frac);
+    return buf;
+}
+
+std::string
+fmtDouble(double v, int prec)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+namespace
+{
+
+void
+emitSegments(const std::vector<std::pair<double, char>> &segs,
+             double norm, int width, std::FILE *out)
+{
+    double total = 0;
+    for (const auto &[v, g] : segs)
+        total += v;
+    int emitted = 0;
+    for (const auto &[v, g] : segs) {
+        const int chars = static_cast<int>(
+            std::lround(v / norm * width));
+        for (int i = 0; i < chars; ++i)
+            std::fputc(g, out);
+        emitted += chars;
+    }
+    (void)emitted;
+    (void)total;
+}
+
+} // namespace
+
+void
+printBreakdownBar(const std::string &label, const TimeBreakdown &bd,
+                  Tick norm, int width, std::FILE *out)
+{
+    std::fprintf(out, "  %-14s |", label.c_str());
+    emitSegments({{static_cast<double>(bd.task()), 't'},
+                  {static_cast<double>(bd.parts.read), 'r'},
+                  {static_cast<double>(bd.parts.write), 'w'},
+                  {static_cast<double>(bd.parts.sync), 's'},
+                  {static_cast<double>(bd.parts.msg), 'm'},
+                  {static_cast<double>(bd.parts.other), 'o'}},
+                 static_cast<double>(norm), width, out);
+    std::fprintf(out, "  %.0f%%\n",
+                 100.0 * static_cast<double>(bd.total) /
+                     static_cast<double>(norm));
+}
+
+void
+printBarLegend(std::FILE *out)
+{
+    std::fputs("  legend: t=task r=read w=write s=sync m=message "
+               "o=other (bar length = time, normalized)\n",
+               out);
+}
+
+void
+printSegmentBar(const std::string &label,
+                const std::vector<std::pair<double, char>> &segs,
+                double norm, int width, std::FILE *out)
+{
+    std::fprintf(out, "  %-14s |", label.c_str());
+    emitSegments(segs, norm, width, out);
+    double total = 0;
+    for (const auto &[v, g] : segs)
+        total += v;
+    std::fprintf(out, "  %.0f%%\n", 100.0 * total / norm);
+}
+
+} // namespace shasta::report

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Text reporting helpers for the benchmark harness: fixed-width
+ * tables and ASCII stacked bars matching the paper's figures.
+ */
+
+#ifndef SHASTA_STATS_REPORT_HH
+#define SHASTA_STATS_REPORT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/breakdown.hh"
+
+namespace shasta::report
+{
+
+/** Simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal rule before the next row. */
+    void addRule();
+
+    void print(std::FILE *out = stdout) const;
+
+    /** Comma-separated output for post-processing. */
+    void printCsv(std::FILE *out = stdout) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** @{ Cell formatting. */
+std::string fmtSeconds(Tick t);
+std::string fmtPercent(double frac);
+std::string fmtDouble(double v, int prec = 2);
+std::string fmtCount(std::uint64_t v);
+/** @} */
+
+/**
+ * Print one stacked horizontal bar of an execution-time breakdown,
+ * normalized so that @p norm ticks correspond to @p width chars.
+ * Legend: t = task, r = read, w = write, s = sync, m = message,
+ * o = other.
+ */
+void printBreakdownBar(const std::string &label,
+                       const TimeBreakdown &bd, Tick norm,
+                       int width = 60, std::FILE *out = stdout);
+
+/** Print the bar legend once. */
+void printBarLegend(std::FILE *out = stdout);
+
+/**
+ * Print a segmented percentage bar (for the miss / message count
+ * figures): segments are (value, glyph) pairs, normalized so that
+ * @p norm corresponds to @p width chars.
+ */
+void printSegmentBar(const std::string &label,
+                     const std::vector<std::pair<double, char>> &segs,
+                     double norm, int width = 60,
+                     std::FILE *out = stdout);
+
+} // namespace shasta::report
+
+#endif // SHASTA_STATS_REPORT_HH

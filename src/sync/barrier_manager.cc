@@ -1,0 +1,138 @@
+#include "sync/barrier_manager.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "proto/protocol.hh"
+
+namespace shasta
+{
+
+BarrierManager::BarrierManager(const DsmConfig &cfg,
+                               EventQueue &events, Protocol &proto,
+                               std::vector<Proc> &procs)
+    : cfg_(cfg),
+      events_(events),
+      proto_(proto),
+      procs_(procs),
+      expected_(cfg.numProcs)
+{
+    parked_.resize(procs_.size());
+}
+
+bool
+BarrierManager::arrive(Proc &p)
+{
+    if (hardware()) {
+        if (++arrived_ < expected_)
+            return false; // caller parks
+        // Last arriver: release everyone.
+        arrived_ = 0;
+        ++episodes_;
+        const Tick release = p.now + cfg_.costs.hwBarrier;
+        for (ProcId q = 0; q < cfg_.numProcs; ++q) {
+            if (q != p.id)
+                resumeParked(q, release);
+        }
+        if (proto_.measuring())
+            p.bd.sync += release - p.now;
+        p.now = release;
+        return true;
+    }
+
+    Message m;
+    m.type = MsgType::BarrierArrive;
+    m.dst = 0;
+    m.requester = p.id;
+    proto_.sendRaw(p, std::move(m));
+
+    ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
+    if (pk.pendingRelease) {
+        // Release arrived synchronously (single processor, or this
+        // processor was the last arriver and is also the manager).
+        pk.pendingRelease = false;
+        p.now = std::max(p.now, pk.releaseTime);
+        return true;
+    }
+    return false;
+}
+
+void
+BarrierManager::park(Proc &p, std::coroutine_handle<> h)
+{
+    ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
+    assert(!pk.handle && !pk.pendingRelease);
+    pk.handle = h;
+    pk.stallStart = p.now;
+    proto_.noteBlocked(p);
+}
+
+void
+BarrierManager::resumeParked(ProcId who, Tick when)
+{
+    events_.schedule(std::max(when, events_.now()),
+                     [this, who, when] {
+                         ParkedProc &pk =
+                             parked_[static_cast<std::size_t>(who)];
+                         assert(pk.handle);
+                         Proc &wp =
+                             procs_[static_cast<std::size_t>(who)];
+                         wp.now = std::max(wp.now, when);
+                         if (proto_.measuring())
+                             wp.bd.sync += wp.now - pk.stallStart;
+                         auto h = pk.handle;
+                         pk.handle = nullptr;
+                         wp.status = ProcStatus::Running;
+                         h.resume();
+                     });
+}
+
+void
+BarrierManager::handle(Proc &p, Message &&m)
+{
+    Tick recv = 0;
+    if (m.src != p.id) {
+        recv = proto_.topology().sameMachine(m.src, p.id)
+                   ? cfg_.costs.recvLocal
+                   : cfg_.costs.recvRemote;
+    }
+    p.now += recv + cfg_.costs.barrierHandler;
+
+    switch (m.type) {
+      case MsgType::BarrierArrive:
+        assert(p.id == 0 && "barrier manager lives on processor 0");
+        if (++arrived_ == expected_) {
+            arrived_ = 0;
+            ++episodes_;
+            for (ProcId q = 0; q < cfg_.numProcs; ++q) {
+                Message rel;
+                rel.type = MsgType::BarrierRelease;
+                rel.dst = q;
+                rel.requester = q;
+                proto_.sendRaw(p, std::move(rel));
+            }
+        }
+        return;
+
+      case MsgType::BarrierRelease: {
+        ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
+        if (pk.handle) {
+            if (proto_.measuring())
+                p.bd.sync += p.now - pk.stallStart;
+            auto h = pk.handle;
+            pk.handle = nullptr;
+            p.status = ProcStatus::Running;
+            h.resume();
+        } else {
+            pk.pendingRelease = true;
+            pk.releaseTime = p.now;
+        }
+        return;
+      }
+
+      default:
+        assert(false && "not a barrier message");
+    }
+}
+
+} // namespace shasta

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Global application barrier.
+ *
+ * Software mode: a centralized, message-based barrier managed at
+ * processor 0 (arrivals counted there; a release message is sent to
+ * every processor), matching the unoptimized primitives the paper
+ * describes.  Hardware (ANL) mode: a shared-memory barrier with a
+ * fixed release cost.
+ */
+
+#ifndef SHASTA_SYNC_BARRIER_MANAGER_HH
+#define SHASTA_SYNC_BARRIER_MANAGER_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/proc.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+
+namespace shasta
+{
+
+class Protocol;
+
+/**
+ * Central manager for the global barrier.
+ */
+class BarrierManager
+{
+  public:
+    BarrierManager(const DsmConfig &cfg, EventQueue &events,
+                   Protocol &proto, std::vector<Proc> &procs);
+
+    /**
+     * Arrive at the barrier.
+     * @return true if the processor may continue without parking.
+     */
+    bool arrive(Proc &p);
+
+    /** Park until released. */
+    void park(Proc &p, std::coroutine_handle<> h);
+
+    /** Handle a barrier protocol message (wired via Protocol). */
+    void handle(Proc &p, Message &&m);
+
+    /** Barrier episodes completed. */
+    std::uint64_t episodes() const { return episodes_; }
+
+  private:
+    struct ParkedProc
+    {
+        std::coroutine_handle<> handle;
+        Tick stallStart = 0;
+        bool pendingRelease = false;
+        Tick releaseTime = 0;
+    };
+
+    void resumeParked(ProcId who, Tick when);
+    bool hardware() const { return !cfg_.protocolActive(); }
+
+    const DsmConfig &cfg_;
+    EventQueue &events_;
+    Protocol &proto_;
+    std::vector<Proc> &procs_;
+
+    int expected_;
+    int arrived_ = 0;
+    std::uint64_t episodes_ = 0;
+    std::vector<ParkedProc> parked_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SYNC_BARRIER_MANAGER_HH

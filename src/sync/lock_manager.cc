@@ -1,0 +1,203 @@
+#include "sync/lock_manager.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "proto/protocol.hh"
+#include "sim/trace.hh"
+
+namespace shasta
+{
+
+LockManager::LockManager(const DsmConfig &cfg, EventQueue &events,
+                         Protocol &proto, std::vector<Proc> &procs)
+    : cfg_(cfg), events_(events), proto_(proto), procs_(procs)
+{
+    parked_.resize(procs_.size());
+}
+
+int
+LockManager::allocLock()
+{
+    locks_.emplace_back();
+    parked_.resize(procs_.size());
+    return static_cast<int>(locks_.size()) - 1;
+}
+
+ProcId
+LockManager::homeOf(int id) const
+{
+    return id % cfg_.numProcs;
+}
+
+bool
+LockManager::tryAcquire(Proc &p, int id)
+{
+    assert(id >= 0 && id < numLocks());
+    ++acquires_;
+
+    if (hardware()) {
+        LockState &l = locks_[static_cast<std::size_t>(id)];
+        if (!l.held) {
+            l.held = true;
+            l.holder = p.id;
+            p.now += cfg_.costs.hwLockAcquire;
+            return true;
+        }
+        ++contended_;
+        l.queue.push_back(p.id);
+        return false;
+    }
+
+    Message m;
+    m.type = MsgType::LockReq;
+    m.dst = homeOf(id);
+    m.addr = static_cast<Addr>(id);
+    m.requester = p.id;
+    proto_.sendRaw(p, std::move(m));
+
+    ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
+    if (pk.pendingGrant) {
+        // The grant arrived synchronously (this processor is the
+        // lock's home and the lock was free).
+        pk.pendingGrant = false;
+        p.now = std::max(p.now, pk.grantTime);
+        return true;
+    }
+    return false;
+}
+
+void
+LockManager::park(Proc &p, int id, std::coroutine_handle<> h)
+{
+    (void)id;
+    ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
+    assert(!pk.handle && !pk.pendingGrant);
+    pk.handle = h;
+    pk.stallStart = p.now;
+    proto_.noteBlocked(p);
+}
+
+void
+LockManager::release(Proc &p, int id)
+{
+    assert(id >= 0 && id < numLocks());
+    LockState &l = locks_[static_cast<std::size_t>(id)];
+
+    if (hardware()) {
+        assert(l.held && l.holder == p.id);
+        p.now += cfg_.costs.hwLockAcquire;
+        if (!l.queue.empty()) {
+            const ProcId next = l.queue.front();
+            l.queue.pop_front();
+            l.holder = next;
+            resumeGranted(next, p.now + cfg_.costs.hwLockHandoff);
+        } else {
+            l.held = false;
+            l.holder = -1;
+        }
+        return;
+    }
+
+    Message m;
+    m.type = MsgType::LockRelease;
+    m.dst = homeOf(id);
+    m.addr = static_cast<Addr>(id);
+    m.requester = p.id;
+    proto_.sendRaw(p, std::move(m));
+}
+
+void
+LockManager::grant(Proc &granter, int id, ProcId to)
+{
+    Message m;
+    m.type = MsgType::LockGrant;
+    m.dst = to;
+    m.addr = static_cast<Addr>(id);
+    m.requester = to;
+    proto_.sendRaw(granter, std::move(m));
+}
+
+void
+LockManager::resumeGranted(ProcId to, Tick when)
+{
+    // Hardware handoff: the waiter resumes at the grant time.
+    events_.schedule(when, [this, to, when] {
+        ParkedProc &pk = parked_[static_cast<std::size_t>(to)];
+        assert(pk.handle);
+        Proc &wp = procs_[static_cast<std::size_t>(to)];
+        wp.now = std::max(wp.now, when);
+        if (proto_.measuring())
+            wp.bd.sync += wp.now - pk.stallStart;
+        auto h = pk.handle;
+        pk.handle = nullptr;
+        wp.status = ProcStatus::Running;
+        h.resume();
+    });
+}
+
+void
+LockManager::handle(Proc &p, Message &&m)
+{
+    Tick recv = 0;
+    if (m.src != p.id) {
+        recv = proto_.topology().sameMachine(m.src, p.id)
+                   ? cfg_.costs.recvLocal
+                   : cfg_.costs.recvRemote;
+    }
+    p.now += recv + cfg_.costs.lockHandler;
+
+    const int id = static_cast<int>(m.addr);
+    LockState &l = locks_[static_cast<std::size_t>(id)];
+
+    switch (m.type) {
+      case MsgType::LockReq:
+        SHASTA_TRACE_EVENT(trace::Flag::Sync, p.now, p.id,
+                           "lock %d requested by P%d (%s)", id,
+                           m.requester,
+                           l.held ? "queued" : "granted");
+        if (!l.held) {
+            l.held = true;
+            l.holder = m.requester;
+            grant(p, id, m.requester);
+        } else {
+            ++contended_;
+            l.queue.push_back(m.requester);
+        }
+        return;
+
+      case MsgType::LockGrant: {
+        ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
+        if (pk.handle) {
+            if (proto_.measuring())
+                p.bd.sync += p.now - pk.stallStart;
+            auto h = pk.handle;
+            pk.handle = nullptr;
+            p.status = ProcStatus::Running;
+            h.resume();
+        } else {
+            pk.pendingGrant = true;
+            pk.grantTime = p.now;
+        }
+        return;
+      }
+
+      case MsgType::LockRelease:
+        assert(l.held);
+        if (!l.queue.empty()) {
+            const ProcId next = l.queue.front();
+            l.queue.pop_front();
+            l.holder = next;
+            grant(p, id, next);
+        } else {
+            l.held = false;
+            l.holder = -1;
+        }
+        return;
+
+      default:
+        assert(false && "not a lock message");
+    }
+}
+
+} // namespace shasta

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Application-level locks.
+ *
+ * Shasta implements application locks with explicit messages to a
+ * manager (home) processor per lock; the paper notes the SMP-Shasta
+ * primitives are deliberately *not* SMP-optimized (Section 4.3), so
+ * both protocols use the same message-based queue lock here.  In
+ * Hardware (ANL) mode the lock is a hardware spinlock modeled with
+ * small fixed costs and a handoff latency.
+ */
+
+#ifndef SHASTA_SYNC_LOCK_MANAGER_HH
+#define SHASTA_SYNC_LOCK_MANAGER_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/proc.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+
+namespace shasta
+{
+
+class Protocol;
+
+/**
+ * Central manager for all application locks in a run.
+ */
+class LockManager
+{
+  public:
+    LockManager(const DsmConfig &cfg, EventQueue &events,
+                Protocol &proto, std::vector<Proc> &procs);
+
+    /** Create a new lock; returns its id. */
+    int allocLock();
+
+    /** Number of locks allocated. */
+    int numLocks() const { return static_cast<int>(locks_.size()); }
+
+    /**
+     * Try to acquire @p id for processor @p p.
+     * @return true if acquired synchronously; false if the caller
+     *   must park via park().
+     */
+    bool tryAcquire(Proc &p, int id);
+
+    /** Park @p h until the lock is granted. */
+    void park(Proc &p, int id, std::coroutine_handle<> h);
+
+    /** Release @p id (release-consistency fence already done). */
+    void release(Proc &p, int id);
+
+    /** Handle a lock protocol message (wired via Protocol). */
+    void handle(Proc &p, Message &&m);
+
+    /** Total acquires observed (statistic). */
+    std::uint64_t acquires() const { return acquires_; }
+
+    /** Acquires that found the lock contended. */
+    std::uint64_t contended() const { return contended_; }
+
+  private:
+    struct LockState
+    {
+        bool held = false;
+        ProcId holder = -1;
+        std::deque<ProcId> queue;
+    };
+
+    struct ParkedProc
+    {
+        std::coroutine_handle<> handle;
+        Tick stallStart = 0;
+        bool pendingGrant = false;
+        Tick grantTime = 0;
+    };
+
+    ProcId homeOf(int id) const;
+    void grant(Proc &granter, int id, ProcId to);
+    void resumeGranted(ProcId to, Tick when);
+    bool hardware() const { return !cfg_.protocolActive(); }
+
+    const DsmConfig &cfg_;
+    EventQueue &events_;
+    Protocol &proto_;
+    std::vector<Proc> &procs_;
+
+    std::vector<LockState> locks_;
+    std::vector<ParkedProc> parked_;
+
+    std::uint64_t acquires_ = 0;
+    std::uint64_t contended_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SYNC_LOCK_MANAGER_HH

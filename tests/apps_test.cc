@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Application kernel validation: every app's parallel result matches
+ * its host-side sequential reference across execution modes, and the
+ * protocol statistics behave as the paper describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/** Small problem sizes for fast validation runs. */
+AppParams
+tinyParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (app.name() == "lu" || app.name() == "lu-contig")
+        p.n = 64;
+    else if (app.name() == "ocean")
+        p.n = 34;
+    else if (app.name() == "barnes" || app.name() == "fmm")
+        p.n = 128;
+    else if (app.name() == "raytrace")
+        p.n = 32;
+    else if (app.name() == "volrend")
+        p.n = 16;
+    else if (app.name() == "water-nsq" || app.name() == "water-sp")
+        p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+struct AppCase
+{
+    std::string app;
+    DsmConfig cfg;
+};
+
+class AppValidation : public ::testing::TestWithParam<AppCase>
+{
+};
+
+TEST_P(AppValidation, MatchesSequentialReference)
+{
+    const AppCase &tc = GetParam();
+    auto app = createApp(tc.app);
+    const AppParams p = tinyParams(*app);
+    const AppResult r = runApp(*app, tc.cfg, p);
+    const double ref = app->reference(p);
+    const double tol =
+        app->tolerance() * std::max(1.0, std::abs(ref));
+    EXPECT_NEAR(r.checksum, ref, tol)
+        << tc.app << " diverged from its sequential reference";
+    EXPECT_GT(r.wallTime, 0);
+}
+
+std::vector<AppCase>
+validationCases()
+{
+    std::vector<AppCase> out;
+    const std::vector<std::string> ready = appNames();
+    for (const auto &name : ready) {
+        for (DsmConfig cfg :
+             {DsmConfig::sequential(), DsmConfig::hardware(4),
+              DsmConfig::base(4), DsmConfig::base(16),
+              DsmConfig::smp(8, 4), DsmConfig::smp(16, 4)}) {
+            out.push_back(AppCase{name, cfg});
+        }
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, AppValidation, ::testing::ValuesIn(validationCases()),
+    [](const ::testing::TestParamInfo<AppCase> &info) {
+        const auto &tc = info.param;
+        std::string name = tc.app;
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        name += tc.cfg.mode == Mode::Hardware
+                    ? "_hw"
+                    : (tc.cfg.mode == Mode::Base ? "_base" : "_smp");
+        name += std::to_string(tc.cfg.numProcs);
+        name += "c" + std::to_string(tc.cfg.effectiveClustering());
+        return name;
+    });
+
+TEST(AppFramework, RegistryHasNineApps)
+{
+    EXPECT_EQ(appNames().size(), 9u);
+}
+
+TEST(AppFramework, GranularityHintsMatchTable2)
+{
+    // Table 2's specified block sizes.
+    EXPECT_EQ(createApp("lu")->granularityHint(), 128u);
+    EXPECT_EQ(createApp("lu-contig")->granularityHint(), 2048u);
+}
+
+TEST(AppStats, ClusteringReducesMisses)
+{
+    // Figure 6's headline effect on a real kernel: total software
+    // misses drop when processors share memory on a node.
+    auto app_b = createApp("lu");
+    const AppParams p = tinyParams(*app_b);
+    const AppResult base = runApp(*app_b, DsmConfig::base(8), p);
+    auto app_s = createApp("lu");
+    const AppResult smp = runApp(*app_s, DsmConfig::smp(8, 4), p);
+    EXPECT_LT(smp.counters.totalMisses(),
+              base.counters.totalMisses());
+    EXPECT_LT(smp.net.total(), base.net.total());
+}
+
+TEST(AppStats, VariableGranularityReducesMisses)
+{
+    // Table 2's effect: a larger block size on the main array cuts
+    // the miss count in Base-Shasta.
+    auto app1 = createApp("lu-contig");
+    AppParams p = tinyParams(*app1);
+    const AppResult def = runApp(*app1, DsmConfig::base(8), p);
+    auto app2 = createApp("lu-contig");
+    p.variableGranularity = true;
+    const AppResult var = runApp(*app2, DsmConfig::base(8), p);
+    EXPECT_LT(var.counters.totalMisses(),
+              def.counters.totalMisses());
+}
+
+} // namespace
+} // namespace shasta

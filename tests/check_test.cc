@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the inline-check cost model (Section 3.4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/check_model.hh"
+
+namespace shasta
+{
+namespace
+{
+
+TEST(CheckModel, NoneModeIsFree)
+{
+    CheckModel m(CheckMode::None);
+    EXPECT_FALSE(m.enabled());
+    EXPECT_EQ(m.accessCheck(AccessKind::LoadInt), 0);
+    EXPECT_EQ(m.accessCheck(AccessKind::LoadFp), 0);
+    EXPECT_EQ(m.accessCheck(AccessKind::Store), 0);
+    EXPECT_EQ(m.batchCheck(8, true), 0);
+    EXPECT_EQ(m.pollCost(), 0);
+    EXPECT_FALSE(m.loadsUseFlag());
+}
+
+TEST(CheckModel, FpLoadDearerInSmp)
+{
+    // Section 3.4.1: the SMP FP-load check stores to the stack and
+    // reloads to make the flag compare atomic.
+    CheckModel base(CheckMode::Base), smp(CheckMode::Smp);
+    EXPECT_GT(smp.accessCheck(AccessKind::LoadFp),
+              base.accessCheck(AccessKind::LoadFp));
+    EXPECT_EQ(base.accessCheck(AccessKind::LoadInt),
+              smp.accessCheck(AccessKind::LoadInt));
+    EXPECT_EQ(base.accessCheck(AccessKind::Store),
+              smp.accessCheck(AccessKind::Store));
+}
+
+TEST(CheckModel, SmpBatchesMustUseStateTable)
+{
+    CheckModel base(CheckMode::Base), smp(CheckMode::Smp);
+    EXPECT_TRUE(base.batchesUseFlag());
+    EXPECT_FALSE(smp.batchesUseFlag());
+    // Loads-only batches: Base can flag-check, which is cheaper.
+    EXPECT_LT(base.batchCheck(4, true), smp.batchCheck(4, true));
+    // Mixed batches use the table in both; SMP still slightly dearer
+    // (private-table indirection).
+    EXPECT_LE(base.batchCheck(4, false), smp.batchCheck(4, false));
+}
+
+TEST(CheckModel, BatchCostScalesWithLines)
+{
+    CheckModel m(CheckMode::Smp);
+    EXPECT_EQ(m.batchCheck(2, false) * 2, m.batchCheck(4, false));
+}
+
+TEST(CheckModel, StoreUsesStateTableCost)
+{
+    CheckCosts costs;
+    CheckModel m(CheckMode::Base, costs);
+    EXPECT_EQ(m.accessCheck(AccessKind::Store), costs.stateTable);
+}
+
+TEST(CheckModel, PollIsThreeInstructions)
+{
+    CheckModel m(CheckMode::Base);
+    EXPECT_EQ(m.pollCost(), 3);
+}
+
+TEST(CheckModel, CustomCostsRespected)
+{
+    CheckCosts c;
+    c.loadIntFlag = 10;
+    c.batchLineSmp = 20;
+    CheckModel m(CheckMode::Smp, c);
+    EXPECT_EQ(m.accessCheck(AccessKind::LoadInt), 10);
+    EXPECT_EQ(m.batchCheck(3, true), 60);
+}
+
+TEST(CheckModel, BothInstrumentedModesUseFlagLoads)
+{
+    EXPECT_TRUE(CheckModel(CheckMode::Base).loadsUseFlag());
+    EXPECT_TRUE(CheckModel(CheckMode::Smp).loadsUseFlag());
+}
+
+} // namespace
+} // namespace shasta

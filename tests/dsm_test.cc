@@ -1,0 +1,820 @@
+/**
+ * @file
+ * Integration tests: full runtime + protocol + sync, across modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// Sequential / hardware mode
+// --------------------------------------------------------------------
+
+Task
+seqKernel(Context &c, Addr a, double *out)
+{
+    co_await c.storeFp(a, 1.5);
+    co_await c.storeFp(a + 8, 2.5);
+    const double x = co_await c.loadFp(a);
+    const double y = co_await c.loadFp(a + 8);
+    *out = x + y;
+    c.compute(1000);
+}
+
+TEST(DsmSequential, StoresAndLoadsWork)
+{
+    Runtime rt(DsmConfig::sequential());
+    const Addr a = rt.alloc(64);
+    double out = 0;
+    rt.run([&](Context &c) { return seqKernel(c, a, &out); });
+    EXPECT_DOUBLE_EQ(out, 4.0);
+    EXPECT_GE(rt.wallTime(), 1000);
+    EXPECT_EQ(rt.counters().totalMisses(), 0u);
+    EXPECT_EQ(rt.netCounts().total(), 0u);
+}
+
+TEST(DsmSequential, ChecksAddMeasurableOverhead)
+{
+    // The Table 1 mechanism: the same kernel under Base / SMP checks
+    // takes longer than uninstrumented, and SMP FP checks cost more
+    // than Base.
+    auto timeOf = [](DsmConfig cfg) {
+        Runtime rt(cfg);
+        const Addr a = rt.alloc(8192);
+        double sink = 0;
+        rt.run([&](Context &c) -> Task {
+            return [](Context &cc, Addr base, double *s) -> Task {
+                for (int i = 0; i < 1000; ++i) {
+                    *s += co_await cc.loadFp(base +
+                                             static_cast<Addr>(
+                                                 (i % 64) * 8));
+                    cc.compute(10);
+                    co_await cc.poll();
+                }
+            }(c, a, &sink);
+        });
+        return rt.wallTime();
+    };
+
+    DsmConfig seq = DsmConfig::sequential();
+    DsmConfig base = DsmConfig::base(1);
+    DsmConfig smp = DsmConfig::smp(1, 1);
+
+    const Tick t_seq = timeOf(seq);
+    const Tick t_base = timeOf(base);
+    const Tick t_smp = timeOf(smp);
+    EXPECT_LT(t_seq, t_base);
+    EXPECT_LT(t_base, t_smp) << "SMP FP-load checks are dearer";
+}
+
+// --------------------------------------------------------------------
+// Remote miss latency (paper Section 4.1: ~20 us remote, ~11 us
+// within an SMP for a 64-byte fetch in Base-Shasta)
+// --------------------------------------------------------------------
+
+Task
+latencyReader(Context &c, Addr a, ProcId reader, Tick *stall)
+{
+    if (c.id() == reader) {
+        const Tick t0 = c.now();
+        (void)co_await c.loadFp(a);
+        *stall = c.now() - t0;
+    }
+    co_return;
+}
+
+TEST(DsmLatency, RemoteTwoHopReadNearTwentyMicros)
+{
+    DsmConfig cfg = DsmConfig::base(8);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    Tick stall = 0;
+    rt.run([&](Context &c) {
+        return latencyReader(c, a, 4, &stall);
+    });
+    EXPECT_GE(stall, usToTicks(16.0));
+    EXPECT_LE(stall, usToTicks(25.0));
+}
+
+TEST(DsmLatency, LocalReadNearElevenMicros)
+{
+    DsmConfig cfg = DsmConfig::base(2);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    Tick stall = 0;
+    rt.run([&](Context &c) {
+        return latencyReader(c, a, 1, &stall);
+    });
+    EXPECT_GE(stall, usToTicks(8.0));
+    EXPECT_LE(stall, usToTicks(14.0));
+}
+
+TEST(DsmLatency, SmpProtocolOpsDearer)
+{
+    // Locking makes individual SMP-Shasta operations a few
+    // microseconds more expensive (Section 4.4).
+    auto measure = [](DsmConfig cfg) {
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(64, 64, 0);
+        Tick stall = 0;
+        rt.run([&](Context &c) {
+            return latencyReader(c, a, 4, &stall);
+        });
+        return stall;
+    };
+    const Tick base = measure(DsmConfig::base(8));
+    const Tick smp = measure(DsmConfig::smp(8, 4));
+    EXPECT_GT(smp, base);
+    EXPECT_LT(smp, base + usToTicks(5.0));
+}
+
+// --------------------------------------------------------------------
+// Coherence across nodes
+// --------------------------------------------------------------------
+
+Task
+producerConsumer(Context &c, Addr a, std::vector<double> *seen)
+{
+    if (c.id() == 0)
+        co_await c.storeFp(a, 7.25);
+    co_await c.barrier();
+    (*seen)[static_cast<std::size_t>(c.id())] =
+        co_await c.loadFp(a);
+}
+
+class Modes : public ::testing::TestWithParam<DsmConfig>
+{
+};
+
+TEST_P(Modes, ProducerConsumerVisibility)
+{
+    DsmConfig cfg = GetParam();
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64);
+    std::vector<double> seen(static_cast<std::size_t>(cfg.numProcs),
+                             0.0);
+    rt.run([&](Context &c) {
+        return producerConsumer(c, a, &seen);
+    });
+    for (double v : seen)
+        EXPECT_DOUBLE_EQ(v, 7.25);
+}
+
+Task
+migratory(Context &c, Addr a, int rounds)
+{
+    for (int r = 0; r < rounds; ++r) {
+        if (r % c.numProcs() == c.id()) {
+            const std::int64_t v = co_await c.loadI64(a);
+            co_await c.storeI64(a, v + 1);
+        }
+        co_await c.barrier();
+    }
+}
+
+TEST_P(Modes, MigratoryCounter)
+{
+    DsmConfig cfg = GetParam();
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64);
+    const int rounds = 24;
+    rt.run([&](Context &c) { return migratory(c, a, rounds); });
+    if (!cfg.protocolActive()) {
+        EXPECT_EQ(rt.protocol().memory(0).read<std::int64_t>(a),
+                  rounds);
+        return;
+    }
+    // The last writer's node holds the data; every node with a valid
+    // copy must agree on the final count.
+    bool found = false;
+    for (NodeId n = 0; n < cfg.topology().numNodes(); ++n) {
+        if (readableState(rt.protocol().nodeState(
+                n, rt.heap().lineOf(a)))) {
+            EXPECT_EQ(rt.protocol().memory(n).read<std::int64_t>(a),
+                      rounds);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+Task
+lockedIncrements(Context &c, Addr a, int lk, int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await c.lock(lk);
+        const std::int64_t v = co_await c.loadI64(a);
+        c.compute(50);
+        co_await c.storeI64(a, v + 1);
+        co_await c.unlock(lk);
+        co_await c.poll();
+    }
+    co_await c.barrier();
+}
+
+TEST_P(Modes, LockedCounterIsExact)
+{
+    DsmConfig cfg = GetParam();
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64);
+    const int lk = rt.allocLock();
+    const int iters = 20;
+    rt.run([&](Context &c) {
+        return lockedIncrements(c, a, lk, iters);
+    });
+    // After the final barrier every node with a copy agrees.
+    std::int64_t expect =
+        static_cast<std::int64_t>(cfg.numProcs) * iters;
+    bool found = false;
+    for (NodeId n = 0; n < cfg.topology().numNodes(); ++n) {
+        if (readableState(rt.protocol().nodeState(
+                n, rt.heap().lineOf(a)))) {
+            EXPECT_EQ(rt.protocol().memory(n).read<std::int64_t>(a),
+                      expect);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found || !cfg.protocolActive());
+    if (!cfg.protocolActive()) {
+        EXPECT_EQ(rt.protocol().memory(0).read<std::int64_t>(a),
+                  expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, Modes,
+    ::testing::Values(DsmConfig::hardware(4), DsmConfig::base(4),
+                      DsmConfig::base(8), DsmConfig::base(16),
+                      DsmConfig::smp(4, 4), DsmConfig::smp(8, 2),
+                      DsmConfig::smp(8, 4), DsmConfig::smp(16, 4)),
+    [](const ::testing::TestParamInfo<DsmConfig> &info) {
+        const DsmConfig &c = info.param;
+        std::string name =
+            c.mode == Mode::Hardware
+                ? "hw"
+                : (c.mode == Mode::Base ? "base" : "smp");
+        name += std::to_string(c.numProcs);
+        name += "c" + std::to_string(c.effectiveClustering());
+        return name;
+    });
+
+// --------------------------------------------------------------------
+// Clustering effects (the heart of SMP-Shasta)
+// --------------------------------------------------------------------
+
+Task
+clusteredReaders(Context &c, Addr a, std::vector<double> *vals)
+{
+    // Processor 4 fetches remote data; 5-7 then read it.
+    if (c.id() == 4)
+        (*vals)[4] = co_await c.loadFp(a);
+    co_await c.barrier();
+    if (c.id() > 4)
+        (*vals)[static_cast<std::size_t>(c.id())] =
+            co_await c.loadFp(a);
+    co_await c.barrier();
+}
+
+TEST(DsmClustering, SecondReaderHitsNodeCache)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    // Seed a value at the home.
+    rt.protocol().memory(0).write<double>(a, 9.5);
+    std::vector<double> vals(8, 0.0);
+    rt.run([&](Context &c) {
+        return clusteredReaders(c, a, &vals);
+    });
+    for (int i = 4; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(vals[static_cast<std::size_t>(i)], 9.5);
+    // Exactly one software read miss; the other readers succeed via
+    // the flag check on the node's now-valid copy without even
+    // touching their private tables (Section 3.3).
+    EXPECT_EQ(rt.counters().missCount(MissClass::Read2Hop) +
+                  rt.counters().missCount(MissClass::Read3Hop),
+              1u);
+}
+
+Task
+clusteredWriters(Context &c, Addr a)
+{
+    // Processor 4 fetches the block exclusively; 5-7's stores then
+    // only need private state table upgrades.
+    if (c.id() == 4)
+        co_await c.storeFp(a, 1.0);
+    co_await c.barrier();
+    if (c.id() > 4)
+        co_await c.storeFp(a + static_cast<Addr>(c.id()) * 8,
+                           static_cast<double>(c.id()));
+    co_await c.barrier();
+}
+
+TEST(DsmClustering, SecondWriterUpgradesPrivateTableOnly)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    rt.run([&](Context &c) { return clusteredWriters(c, a); });
+    // One software write miss (proc 4's read-exclusive); the other
+    // three stores were private upgrades on the exclusive node copy.
+    EXPECT_EQ(rt.counters().missCount(MissClass::Write2Hop) +
+                  rt.counters().missCount(MissClass::Write3Hop),
+              1u);
+    EXPECT_GE(rt.counters().privateUpgrades, 3u);
+}
+
+TEST(DsmClustering, BaseShastaRefetchesPerProcessor)
+{
+    DsmConfig cfg = DsmConfig::base(8);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    rt.protocol().memory(0).write<double>(a, 9.5);
+    std::vector<double> vals(8, 0.0);
+    rt.run([&](Context &c) {
+        return clusteredReaders(c, a, &vals);
+    });
+    EXPECT_EQ(rt.counters().missCount(MissClass::Read2Hop) +
+                  rt.counters().missCount(MissClass::Read3Hop),
+              4u);
+}
+
+Task
+downgradeScenario(Context &c, Addr a, std::vector<double> *out)
+{
+    // Processors 4 and 5 (node 1) both write; processor 0 then
+    // reads, forcing an exclusive-to-shared downgrade on node 1 with
+    // one downgrade message (to the non-handling writer).
+    if (c.id() == 4)
+        co_await c.storeFp(a, 10.0);
+    co_await c.barrier();
+    if (c.id() == 5)
+        co_await c.storeFp(a, 20.0);
+    co_await c.barrier();
+    if (c.id() == 0)
+        (*out)[0] = co_await c.loadFp(a);
+    co_await c.barrier();
+}
+
+TEST(DsmClustering, DowngradeMessagesSelective)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    std::vector<double> out(1, 0.0);
+    rt.run([&](Context &c) {
+        return downgradeScenario(c, a, &out);
+    });
+    EXPECT_DOUBLE_EQ(out[0], 20.0);
+    // At least one downgrade op needed exactly one message (both
+    // writers held the block in their private tables).
+    EXPECT_GE(rt.counters().downgradeOps[1], 1u);
+    EXPECT_GE(rt.netCounts().downgradeMsgs, 1u);
+}
+
+TEST(DsmClustering, NoDowngradeMessagesWhenUntouched)
+{
+    // Only one processor on the node touched the block: the private
+    // state table lets the downgrade complete with zero messages.
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    std::vector<double> out(1, 0.0);
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr aa,
+                  std::vector<double> *o) -> Task {
+            if (cc.id() == 4)
+                co_await cc.storeFp(aa, 10.0);
+            co_await cc.barrier();
+            if (cc.id() == 0)
+                (*o)[0] = co_await cc.loadFp(aa);
+            co_await cc.barrier();
+        }(c, a, &out);
+    });
+    EXPECT_DOUBLE_EQ(out[0], 10.0);
+    EXPECT_EQ(rt.netCounts().downgradeMsgs, 0u);
+    EXPECT_GE(rt.counters().downgradeOps[0], 1u);
+}
+
+// --------------------------------------------------------------------
+// Invalid flag semantics
+// --------------------------------------------------------------------
+
+Task
+falseMissKernel(Context &c, Addr a, double *out)
+{
+    if (c.id() == 0) {
+        // Store the flag pattern as *data*.
+        std::uint64_t flag_bits = kInvalidFlag64;
+        double as_double;
+        std::memcpy(&as_double, &flag_bits, 8);
+        co_await c.storeFp(a, as_double);
+    }
+    co_await c.barrier();
+    if (c.id() == 1) {
+        const double v = co_await c.loadFp(a);
+        *out = v;
+        // Load it twice: both should be false misses after fetch.
+        (void)co_await c.loadFp(a);
+    }
+    co_await c.barrier();
+}
+
+TEST(DsmInvalidFlag, FalseMissReturnsFlagValueAsData)
+{
+    DsmConfig cfg = DsmConfig::base(2);
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64);
+    double out = 0;
+    rt.run([&](Context &c) {
+        return falseMissKernel(c, a, &out);
+    });
+    std::uint64_t bits;
+    std::memcpy(&bits, &out, 8);
+    EXPECT_EQ(bits, kInvalidFlag64);
+    EXPECT_GE(rt.counters().falseMisses, 1u);
+}
+
+// --------------------------------------------------------------------
+// Non-blocking stores / write throttle
+// --------------------------------------------------------------------
+
+Task
+scatterWrites(Context &c, Addr a, int n)
+{
+    if (c.id() == 0) {
+        for (int i = 0; i < n; ++i) {
+            co_await c.storeI64(a + static_cast<Addr>(i) * 64,
+                                i + 1);
+            co_await c.poll();
+        }
+    }
+    co_await c.barrier();
+    if (c.id() == 4) {
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t v = co_await c.loadI64(
+                a + static_cast<Addr>(i) * 64);
+            if (v != i + 1)
+                throw std::runtime_error("bad scatter value");
+        }
+    }
+    co_await c.barrier();
+}
+
+TEST(DsmStores, NonBlockingStoresMergeCorrectly)
+{
+    DsmConfig cfg = DsmConfig::base(8);
+    cfg.maxOutstandingWrites = 2; // force throttling
+    Runtime rt(cfg);
+    const int n = 32;
+    // Home lines away from the writer so every store misses.
+    const Addr a = rt.allocHomed(static_cast<std::size_t>(n) * 64,
+                                 64, 7);
+    rt.run([&](Context &c) { return scatterWrites(c, a, n); });
+    EXPECT_GT(rt.counters().writeThrottles, 0u);
+}
+
+Task
+partialLineWrite(Context &c, Addr a, std::vector<std::int64_t> *out)
+{
+    // Proc 0 owns the line with values; proc 4 overwrites only the
+    // middle longwords; merging must keep 0's data elsewhere.
+    if (c.id() == 0) {
+        for (int i = 0; i < 8; ++i)
+            co_await c.storeI64(a + static_cast<Addr>(i) * 8,
+                                100 + i);
+    }
+    co_await c.barrier();
+    if (c.id() == 4)
+        co_await c.storeI64(a + 24, 999);
+    co_await c.barrier();
+    if (c.id() == 1) {
+        for (int i = 0; i < 8; ++i)
+            (*out)[static_cast<std::size_t>(i)] =
+                co_await c.loadI64(a + static_cast<Addr>(i) * 8);
+    }
+    co_await c.barrier();
+}
+
+TEST(DsmStores, ReplyMergesAroundDirtyBytes)
+{
+    DsmConfig cfg = DsmConfig::base(8);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 2);
+    std::vector<std::int64_t> out(8, -1);
+    rt.run([&](Context &c) {
+        return partialLineWrite(c, a, &out);
+    });
+    for (int i = 0; i < 8; ++i) {
+        if (i == 3)
+            EXPECT_EQ(out[static_cast<std::size_t>(i)], 999);
+        else
+            EXPECT_EQ(out[static_cast<std::size_t>(i)], 100 + i);
+    }
+}
+
+// --------------------------------------------------------------------
+// Upgrades
+// --------------------------------------------------------------------
+
+Task
+upgradePath(Context &c, Addr a)
+{
+    // Everyone reads (Shared everywhere), then proc 4 writes
+    // (upgrade), then everyone re-reads.
+    (void)co_await c.loadI64(a);
+    co_await c.barrier();
+    if (c.id() == 4)
+        co_await c.storeI64(a, 42);
+    co_await c.barrier();
+    const std::int64_t v = co_await c.loadI64(a);
+    if (v != 42)
+        throw std::runtime_error("upgrade lost the store");
+    co_await c.barrier();
+}
+
+TEST(DsmUpgrade, SharedToExclusiveWithInvalidations)
+{
+    DsmConfig cfg = DsmConfig::base(8);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    rt.protocol().memory(0).write<std::int64_t>(a, 0);
+    rt.run([&](Context &c) { return upgradePath(c, a); });
+    EXPECT_GE(rt.counters().missCount(MissClass::Upgrade2Hop), 1u);
+}
+
+// --------------------------------------------------------------------
+// Variable granularity
+// --------------------------------------------------------------------
+
+Task
+granularityKernel(Context &c, Addr a, int lines)
+{
+    if (c.id() == 4) {
+        // One load; with a multi-line block the whole block arrives.
+        (void)co_await c.loadFp(a);
+        // These should now be hits:
+        for (int i = 1; i < lines; ++i)
+            (void)co_await c.loadFp(a + static_cast<Addr>(i) * 64);
+    }
+    co_await c.barrier();
+}
+
+TEST(DsmGranularity, LargerBlockFetchesMoreData)
+{
+    DsmConfig cfg = DsmConfig::base(8);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(1024, 1024, 0); // one 16-line block
+    rt.run([&](Context &c) {
+        return granularityKernel(c, a, 16);
+    });
+    EXPECT_EQ(rt.counters().totalMisses(), 1u);
+}
+
+TEST(DsmGranularity, DefaultLineBlocksMissPerLine)
+{
+    DsmConfig cfg = DsmConfig::base(8);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(1024, 64, 0);
+    rt.run([&](Context &c) {
+        return granularityKernel(c, a, 16);
+    });
+    EXPECT_EQ(rt.counters().totalMisses(), 16u);
+}
+
+// --------------------------------------------------------------------
+// Batching
+// --------------------------------------------------------------------
+
+Task
+batchKernel(Context &c, Addr a, int n, double *sum)
+{
+    if (c.id() == 4) {
+        auto r = co_await c.batch(a, n * 8, false);
+        double s = 0;
+        for (int i = 0; i < n; ++i)
+            s += c.rawLoad<double>(a + static_cast<Addr>(i) * 8);
+        c.batchEnd(r);
+        *sum = s;
+    }
+    co_await c.barrier();
+}
+
+class BatchModes
+    : public ::testing::TestWithParam<DsmConfig>
+{
+};
+
+TEST_P(BatchModes, BatchLoadsSeeRemoteData)
+{
+    DsmConfig cfg = GetParam();
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(512, 64, 0);
+    for (int i = 0; i < 64; ++i)
+        rt.protocol().memory(0).write<double>(
+            a + static_cast<Addr>(i) * 8, i);
+    double sum = -1;
+    rt.run([&](Context &c) {
+        return batchKernel(c, a, 16, &sum);
+    });
+    EXPECT_DOUBLE_EQ(sum, 120.0); // 0+1+...+15
+    EXPECT_GE(rt.counters().batchMisses, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Both, BatchModes,
+    ::testing::Values(DsmConfig::base(8), DsmConfig::smp(8, 4)),
+    [](const ::testing::TestParamInfo<DsmConfig> &info) {
+        return info.param.mode == Mode::Base ? "base" : "smp";
+    });
+
+Task
+batchWriteKernel(Context &c, Addr a, int n)
+{
+    if (c.id() == 4) {
+        auto r = co_await c.batch(a, n * 8, true);
+        for (int i = 0; i < n; ++i)
+            c.rawStore<double>(a + static_cast<Addr>(i) * 8,
+                               i * 2.0);
+        c.batchEnd(r);
+    }
+    co_await c.barrier();
+    if (c.id() == 0) {
+        for (int i = 0; i < n; ++i) {
+            const double v = co_await c.loadFp(
+                a + static_cast<Addr>(i) * 8);
+            if (v != i * 2.0)
+                throw std::runtime_error("batched store lost");
+        }
+    }
+    co_await c.barrier();
+}
+
+TEST(DsmBatch, BatchedStoresPropagate)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(512, 64, 0);
+    rt.run([&](Context &c) {
+        return batchWriteKernel(c, a, 16);
+    });
+}
+
+// --------------------------------------------------------------------
+// Randomized phase-verified property test
+// --------------------------------------------------------------------
+
+struct PhaseParams
+{
+    DsmConfig cfg;
+    int slots;      // per processor
+    int phases;
+};
+
+double
+phaseValue(int phase, int owner, int slot)
+{
+    return phase * 1000.0 + owner * 100.0 + slot;
+}
+
+Task
+phaseKernel(Context &c, Addr base, int slots, int phases,
+            std::atomic<int> *errors)
+{
+    const int np = c.numProcs();
+    for (int ph = 1; ph <= phases; ++ph) {
+        // Write my slots.
+        for (int s = 0; s < slots; ++s) {
+            const Addr a =
+                base + static_cast<Addr>((c.id() * slots + s) * 8);
+            co_await c.storeFp(a, phaseValue(ph, c.id(), s));
+            co_await c.poll();
+        }
+        co_await c.barrier();
+        // Read everyone's slots.
+        for (int p = 0; p < np; ++p) {
+            for (int s = 0; s < slots; ++s) {
+                const Addr a =
+                    base + static_cast<Addr>((p * slots + s) * 8);
+                const double v = co_await c.loadFp(a);
+                if (v != phaseValue(ph, p, s))
+                    errors->fetch_add(1);
+                co_await c.poll();
+            }
+        }
+        co_await c.barrier();
+    }
+}
+
+class PhaseProperty
+    : public ::testing::TestWithParam<PhaseParams>
+{
+};
+
+TEST_P(PhaseProperty, AllValuesCoherent)
+{
+    const PhaseParams &pp = GetParam();
+    DsmConfig cfg = pp.cfg;
+    Runtime rt(cfg);
+    const std::size_t bytes =
+        static_cast<std::size_t>(cfg.numProcs) *
+        static_cast<std::size_t>(pp.slots) * 8;
+    const Addr base = rt.alloc(bytes);
+    std::atomic<int> errors{0};
+    rt.run([&](Context &c) {
+        return phaseKernel(c, base, pp.slots, pp.phases, &errors);
+    });
+    EXPECT_EQ(errors.load(), 0);
+}
+
+std::vector<PhaseParams>
+phaseCases()
+{
+    std::vector<PhaseParams> out;
+    for (DsmConfig cfg :
+         {DsmConfig::base(4), DsmConfig::base(8),
+          DsmConfig::base(16), DsmConfig::smp(8, 2),
+          DsmConfig::smp(8, 4), DsmConfig::smp(16, 4)}) {
+        for (int ls : {64, 128}) {
+            PhaseParams p;
+            p.cfg = cfg;
+            p.cfg.lineSize = ls;
+            p.slots = 13; // odd: slots straddle lines -> false sharing
+            p.phases = 4;
+            out.push_back(p);
+        }
+    }
+    // A couple of stress variants with tiny write throttle.
+    PhaseParams t;
+    t.cfg = DsmConfig::smp(16, 4);
+    t.cfg.maxOutstandingWrites = 1;
+    t.slots = 7;
+    t.phases = 3;
+    out.push_back(t);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PhaseProperty, ::testing::ValuesIn(phaseCases()),
+    [](const ::testing::TestParamInfo<PhaseParams> &info) {
+        const auto &p = info.param;
+        std::string name =
+            p.cfg.mode == Mode::Base ? "base" : "smp";
+        name += std::to_string(p.cfg.numProcs);
+        name += "c" + std::to_string(p.cfg.effectiveClustering());
+        name += "l" + std::to_string(p.cfg.lineSize);
+        name += "w" + std::to_string(p.cfg.maxOutstandingWrites);
+        return name;
+    });
+
+// --------------------------------------------------------------------
+// Breakdown sanity
+// --------------------------------------------------------------------
+
+TEST(DsmStats, BreakdownComponentsSumToTotal)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64 * 64);
+    std::atomic<int> errors{0};
+    rt.run([&](Context &c) {
+        return phaseKernel(c, a, 8, 2, &errors);
+    });
+    EXPECT_EQ(errors.load(), 0);
+    const TimeBreakdown bd = rt.aggregateBreakdown();
+    EXPECT_GT(bd.total, 0);
+    EXPECT_GE(bd.task(), 0) << "components exceed total";
+    EXPECT_GT(bd.parts.read + bd.parts.write + bd.parts.sync, 0);
+}
+
+TEST(DsmStats, MeasuredRegionExcludesInit)
+{
+    DsmConfig cfg = DsmConfig::base(4);
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64);
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr aa) -> Task {
+            // Init phase: lots of traffic.
+            for (int i = 0; i < 10; ++i)
+                (void)co_await cc.loadFp(aa);
+            co_await cc.barrier();
+            cc.beginMeasure();
+            cc.compute(100);
+            co_await cc.barrier();
+        }(c, a);
+    });
+    // After reset, there were no data misses in the region.
+    EXPECT_EQ(rt.counters().totalMisses(), 0u);
+}
+
+} // namespace
+} // namespace shasta

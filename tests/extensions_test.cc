@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the extension and ablation knobs: the no-invalid-flag
+ * ablation, SoftFLASH-style broadcast downgrades, and the
+ * shared-directory (colocated requester/home) extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+namespace
+{
+
+Task
+touchThenRead(Context &c, Addr a, int touchers)
+{
+    for (int k = 0; k < touchers; ++k) {
+        if (c.id() == 4 + k)
+            co_await c.storeFp(a + static_cast<Addr>(8 * k), 1.0);
+        co_await c.barrier();
+    }
+    if (c.id() == 0)
+        (void)co_await c.loadFp(a);
+    co_await c.barrier();
+}
+
+TEST(BroadcastDowngrades, ShootsDownEveryLocalProcessor)
+{
+    // One toucher on the node: selective downgrade needs 0 messages,
+    // the SoftFLASH-style broadcast sends 3 (everyone else).
+    for (bool broadcast : {false, true}) {
+        DsmConfig cfg = DsmConfig::smp(8, 4);
+        cfg.broadcastDowngrades = broadcast;
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(64, 64, 0);
+        rt.run([&](Context &c) { return touchThenRead(c, a, 1); });
+        if (broadcast) {
+            // Two downgrade transitions happen (the home node's
+            // initial exclusivity on the store's read-exclusive,
+            // then the owner node on the read), each shooting down
+            // all 3 other local processors.
+            EXPECT_EQ(rt.netCounts().downgradeMsgs, 6u);
+        } else {
+            EXPECT_EQ(rt.netCounts().downgradeMsgs, 0u);
+        }
+    }
+}
+
+Task
+flagKernel(Context &c, Addr a, double *out)
+{
+    if (c.id() == 0)
+        co_await c.storeFp(a, 5.5);
+    co_await c.barrier();
+    if (c.id() == 1)
+        *out = co_await c.loadFp(a);
+    co_await c.barrier();
+}
+
+TEST(NoInvalidFlag, LoadsStillCoherent)
+{
+    DsmConfig cfg = DsmConfig::base(4);
+    cfg.useInvalidFlag = false;
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 2);
+    double out = 0;
+    rt.run([&](Context &c) { return flagKernel(c, a, &out); });
+    EXPECT_DOUBLE_EQ(out, 5.5);
+    // No false misses are possible without the flag technique.
+    EXPECT_EQ(rt.counters().falseMisses, 0u);
+}
+
+TEST(NoInvalidFlag, ChecksCostStateTableRates)
+{
+    // Without the flag, every load pays the full Figure 1 sequence.
+    CheckModel with(CheckMode::Base, CheckCosts{}, true);
+    CheckModel without(CheckMode::Base, CheckCosts{}, false);
+    EXPECT_LT(with.accessCheck(AccessKind::LoadInt),
+              without.accessCheck(AccessKind::LoadInt));
+    EXPECT_EQ(without.accessCheck(AccessKind::LoadInt),
+              CheckCosts{}.stateTable);
+    EXPECT_FALSE(without.loadsUseFlag());
+    EXPECT_FALSE(without.batchesUseFlag());
+}
+
+TEST(SharedDirectory, ElidesColocatedHomeMessages)
+{
+    std::uint64_t msgs_with = 0, msgs_without = 0;
+    for (bool share : {false, true}) {
+        DsmConfig cfg = DsmConfig::smp(8, 4);
+        cfg.shareDirectory = share;
+        Runtime rt(cfg);
+        // Homed at proc 0; the block's data lives on node 1 so the
+        // request cannot be satisfied locally.
+        const Addr a = rt.allocHomed(64, 64, 0);
+        rt.run([&](Context &c) -> Task {
+            return [](Context &cc, Addr aa) -> Task {
+                if (cc.id() == 4)
+                    co_await cc.storeFp(aa, 2.0);
+                co_await cc.barrier();
+                if (cc.id() == 1)
+                    (void)co_await cc.loadFp(aa);
+                co_await cc.barrier();
+            }(c, a);
+        });
+        (share ? msgs_with : msgs_without) =
+            rt.netCounts().localMsgs;
+    }
+    EXPECT_LT(msgs_with, msgs_without);
+}
+
+TEST(SharedDirectory, CoherenceStillHolds)
+{
+    // The phase-verified pattern from the DSM tests, with the
+    // extension on.
+    DsmConfig cfg = DsmConfig::smp(16, 4);
+    cfg.shareDirectory = true;
+    Runtime rt(cfg);
+    const int slots = 9;
+    const Addr base = rt.alloc(static_cast<std::size_t>(16 * slots) * 8);
+    std::atomic<int> errors{0};
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr b, int s,
+                  std::atomic<int> *errs) -> Task {
+            const int np = cc.numProcs();
+            for (int ph = 1; ph <= 3; ++ph) {
+                for (int k = 0; k < s; ++k) {
+                    co_await cc.storeFp(
+                        b + static_cast<Addr>(
+                                (cc.id() * s + k) * 8),
+                        ph * 100.0 + cc.id() + 0.25 * k);
+                    co_await cc.poll();
+                }
+                co_await cc.barrier();
+                for (int q = 0; q < np; ++q) {
+                    for (int k = 0; k < s; ++k) {
+                        const double v = co_await cc.loadFp(
+                            b + static_cast<Addr>(
+                                    (q * s + k) * 8));
+                        if (v != ph * 100.0 + q + 0.25 * k)
+                            errs->fetch_add(1);
+                        co_await cc.poll();
+                    }
+                }
+                co_await cc.barrier();
+            }
+        }(c, base, slots, &errors);
+    });
+    EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(BroadcastDowngrades, CoherenceStillHolds)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.broadcastDowngrades = true;
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64 * 8);
+    std::atomic<int> errors{0};
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr b,
+                  std::atomic<int> *errs) -> Task {
+            for (int ph = 1; ph <= 4; ++ph) {
+                co_await cc.storeI64(
+                    b + static_cast<Addr>(cc.id()) * 64,
+                    ph * 10 + cc.id());
+                co_await cc.barrier();
+                for (int q = 0; q < cc.numProcs(); ++q) {
+                    const std::int64_t v = co_await cc.loadI64(
+                        b + static_cast<Addr>(q) * 64);
+                    if (v != ph * 10 + q)
+                        errs->fetch_add(1);
+                }
+                co_await cc.barrier();
+            }
+        }(c, a, &errors);
+    });
+    EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(NoInvalidFlag, PhaseCoherenceHolds)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.useInvalidFlag = false;
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(64 * 8);
+    std::atomic<int> errors{0};
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr b,
+                  std::atomic<int> *errs) -> Task {
+            for (int ph = 1; ph <= 4; ++ph) {
+                co_await cc.storeFp(
+                    b + static_cast<Addr>(cc.id()) * 64,
+                    ph + 0.5 * cc.id());
+                co_await cc.barrier();
+                for (int q = 0; q < cc.numProcs(); ++q) {
+                    const double v = co_await cc.loadFp(
+                        b + static_cast<Addr>(q) * 64);
+                    if (v != ph + 0.5 * q)
+                        errs->fetch_add(1);
+                }
+                co_await cc.barrier();
+            }
+        }(c, a, &errors);
+    });
+    EXPECT_EQ(errors.load(), 0);
+}
+
+} // namespace
+} // namespace shasta

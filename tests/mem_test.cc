@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for node memory images and the variable-granularity
+ * shared heap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/node_memory.hh"
+#include "mem/shared_heap.hh"
+
+namespace shasta
+{
+namespace
+{
+
+TEST(NodeMemory, TypedReadWriteRoundTrip)
+{
+    NodeMemory m;
+    const Addr a = kSharedBase + 128;
+    m.write<std::uint64_t>(a, 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(m.read<std::uint64_t>(a), 0xDEADBEEFCAFEF00DULL);
+    m.write<double>(a + 8, 3.25);
+    EXPECT_DOUBLE_EQ(m.read<double>(a + 8), 3.25);
+    m.write<std::uint8_t>(a + 16, 0xAB);
+    EXPECT_EQ(m.read<std::uint8_t>(a + 16), 0xAB);
+}
+
+TEST(NodeMemory, ZeroInitialized)
+{
+    NodeMemory m;
+    EXPECT_EQ(m.read<std::uint64_t>(kSharedBase + 4096), 0u);
+}
+
+TEST(NodeMemory, LazyPageAllocation)
+{
+    NodeMemory m;
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+    m.write<int>(kSharedBase, 1);
+    EXPECT_EQ(m.pagesAllocated(), 1u);
+    m.write<int>(kSharedBase + 3 * kPageSize, 1);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+    // Reads also materialize (zero) pages.
+    (void)m.read<int>(kSharedBase + 10 * kPageSize);
+    EXPECT_EQ(m.pagesAllocated(), 3u);
+}
+
+TEST(NodeMemory, CopyOutCopyInAcrossPages)
+{
+    NodeMemory m;
+    const Addr a = kSharedBase + kPageSize - 64;
+    std::vector<std::uint8_t> src(128);
+    for (int i = 0; i < 128; ++i)
+        src[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i);
+    m.copyIn(a, src.data(), src.size());
+    std::vector<std::uint8_t> dst;
+    m.copyOut(a, 128, dst);
+    EXPECT_EQ(dst, src);
+}
+
+TEST(NodeMemory, MergeInSkipsDirtyBytes)
+{
+    NodeMemory m;
+    const Addr a = kSharedBase;
+    // Locally stored (newer) data at bytes 4..7.
+    m.write<std::uint32_t>(a + 4, 0x11111111u);
+    std::vector<std::uint8_t> reply(16, 0xFF);
+    std::vector<bool> dirty(16, false);
+    for (int i = 4; i < 8; ++i)
+        dirty[static_cast<std::size_t>(i)] = true;
+    m.mergeIn(a, reply.data(), reply.size(), dirty);
+    EXPECT_EQ(m.read<std::uint32_t>(a), 0xFFFFFFFFu);
+    EXPECT_EQ(m.read<std::uint32_t>(a + 4), 0x11111111u);
+    EXPECT_EQ(m.read<std::uint32_t>(a + 8), 0xFFFFFFFFu);
+}
+
+TEST(NodeMemory, InvalidFlagFillAndDetect)
+{
+    NodeMemory m;
+    const Addr a = kSharedBase + 256;
+    m.write<std::uint64_t>(a, 123);
+    m.fillInvalidFlag(a, 64);
+    for (int off = 0; off < 64; off += 4)
+        ASSERT_TRUE(m.longwordIsFlag(a + static_cast<Addr>(off)));
+    EXPECT_EQ(m.read<std::uint64_t>(a), kInvalidFlag64);
+    // Unaligned query checks the containing longword.
+    EXPECT_TRUE(m.longwordIsFlag(a + 5));
+}
+
+TEST(SharedHeap, LineMapping)
+{
+    SharedHeap h(64);
+    const Addr a = h.alloc(1024);
+    EXPECT_EQ(a, kSharedBase);
+    EXPECT_EQ(h.lineOf(a), 0u);
+    EXPECT_EQ(h.lineOf(a + 63), 0u);
+    EXPECT_EQ(h.lineOf(a + 64), 1u);
+    EXPECT_EQ(h.lineAddr(2), kSharedBase + 128);
+}
+
+TEST(SharedHeap, DefaultPolicySmallObjectIsOneBlock)
+{
+    SharedHeap h(64);
+    // A 512-byte object (< 1024) becomes a single 8-line block.
+    const Addr a = h.alloc(512);
+    const BlockInfo b = h.blockOf(h.lineOf(a + 300));
+    EXPECT_EQ(b.firstLine, h.lineOf(a));
+    EXPECT_EQ(b.numLines, 8u);
+}
+
+TEST(SharedHeap, DefaultPolicyLargeObjectUsesLineBlocks)
+{
+    SharedHeap h(64);
+    const Addr a = h.alloc(4096);
+    const BlockInfo b = h.blockOf(h.lineOf(a + 1000));
+    EXPECT_EQ(b.numLines, 1u);
+}
+
+TEST(SharedHeap, ExplicitGranularityHint)
+{
+    SharedHeap h(64);
+    // Table 2 style: 2048-byte blocks over a large array.
+    const Addr a = h.alloc(8192, 2048);
+    const BlockInfo b = h.blockOf(h.lineOf(a + 5000));
+    EXPECT_EQ(b.numLines, 32u);
+    EXPECT_EQ(b.firstLine, h.lineOf(a) + 64); // second 2 KB block
+    // Every line in the block maps to the same block.
+    for (std::uint32_t i = 0; i < b.numLines; ++i) {
+        const BlockInfo c = h.blockOf(b.firstLine + i);
+        EXPECT_EQ(c.firstLine, b.firstLine);
+        EXPECT_EQ(c.numLines, b.numLines);
+    }
+}
+
+TEST(SharedHeap, TailBlockShorter)
+{
+    SharedHeap h(64);
+    // 3 lines allocated with 2-line blocks: blocks of 2 and 1.
+    const Addr a = h.alloc(192, 128);
+    const BlockInfo b0 = h.blockOf(h.lineOf(a));
+    EXPECT_EQ(b0.numLines, 2u);
+    const BlockInfo b1 = h.blockOf(h.lineOf(a) + 2);
+    EXPECT_EQ(b1.numLines, 1u);
+}
+
+TEST(SharedHeap, AllocationsDontShareLines)
+{
+    SharedHeap h(64);
+    const Addr a = h.alloc(10); // rounds to one line
+    const Addr b = h.alloc(10);
+    EXPECT_NE(h.lineOf(a), h.lineOf(b));
+}
+
+TEST(SharedHeap, UnallocatedLineIsItsOwnBlock)
+{
+    SharedHeap h(64);
+    const BlockInfo b = h.blockOf(1234);
+    EXPECT_EQ(b.firstLine, 1234u);
+    EXPECT_EQ(b.numLines, 1u);
+}
+
+TEST(SharedHeap, LineSizeVariants)
+{
+    for (int ls : {32, 64, 128, 256}) {
+        SharedHeap h(ls);
+        const Addr a = h.alloc(1024, static_cast<std::size_t>(ls) * 2);
+        const BlockInfo b = h.blockOf(h.lineOf(a));
+        EXPECT_EQ(b.numLines, 2u) << "line size " << ls;
+    }
+}
+
+TEST(SharedHeap, BytesAllocatedTracked)
+{
+    SharedHeap h(64);
+    h.alloc(100);
+    h.alloc(200);
+    EXPECT_EQ(h.bytesAllocated(), 300u);
+    EXPECT_EQ(h.linesInUse(), 2u + 4u);
+}
+
+TEST(AddrHelpers, SharedRangeAndPages)
+{
+    EXPECT_TRUE(isShared(kSharedBase));
+    EXPECT_FALSE(isShared(kSharedBase - 1));
+    EXPECT_FALSE(isShared(kSharedLimit));
+    EXPECT_EQ(pageOf(kSharedBase), 0u);
+    EXPECT_EQ(pageOf(kSharedBase + kPageSize), 1u);
+}
+
+} // namespace
+} // namespace shasta

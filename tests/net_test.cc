@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for topology, message model, network timing, mailboxes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/mailbox.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "sim/event_queue.hh"
+
+namespace shasta
+{
+namespace
+{
+
+TEST(Topology, PaperCluster)
+{
+    // 16 processors, clustering 4, 4 per machine: the paper's setup.
+    Topology t(16, 4, 4);
+    EXPECT_EQ(t.numNodes(), 4);
+    EXPECT_EQ(t.numMachines(), 4);
+    EXPECT_EQ(t.machineOf(0), 0);
+    EXPECT_EQ(t.machineOf(5), 1);
+    EXPECT_EQ(t.machineOf(15), 3);
+    EXPECT_EQ(t.nodeOf(7), 1);
+    EXPECT_TRUE(t.sameNode(4, 7));
+    EXPECT_FALSE(t.sameNode(3, 4));
+    EXPECT_TRUE(t.sameMachine(4, 7));
+}
+
+TEST(Topology, BaseShastaClusteringOne)
+{
+    Topology t(16, 1, 4);
+    EXPECT_EQ(t.numNodes(), 16);
+    EXPECT_EQ(t.numMachines(), 4);
+    // Logical nodes are single processors, but machines still group
+    // four: Base-Shasta gets fast local messaging without sharing.
+    EXPECT_FALSE(t.sameNode(0, 1));
+    EXPECT_TRUE(t.sameMachine(0, 1));
+    EXPECT_FALSE(t.sameMachine(3, 4));
+}
+
+TEST(Topology, ClusteringTwo)
+{
+    Topology t(8, 2, 4);
+    EXPECT_EQ(t.numNodes(), 4);
+    EXPECT_EQ(t.numMachines(), 2);
+    EXPECT_EQ(t.nodeOf(2), 1);
+    EXPECT_EQ(t.firstProcOf(1), 2);
+    EXPECT_EQ(t.procsOn(1), 2);
+}
+
+TEST(Topology, PartialLastNode)
+{
+    Topology t(6, 4, 4);
+    EXPECT_EQ(t.numNodes(), 2);
+    EXPECT_EQ(t.procsOn(0), 4);
+    EXPECT_EQ(t.procsOn(1), 2);
+}
+
+class NetworkTest : public ::testing::Test
+{
+  protected:
+    NetworkTest()
+        : topo_(16, 4, 4), net_(events_, topo_,
+                                NetworkParams::defaults())
+    {
+        net_.setDeliver([this](Message &&m) {
+            delivered_.push_back(std::move(m));
+        });
+    }
+
+    Message
+    makeMsg(ProcId src, ProcId dst, int data_bytes = 0)
+    {
+        Message m;
+        m.type = MsgType::ReadReq;
+        m.src = src;
+        m.dst = dst;
+        m.data.resize(static_cast<std::size_t>(data_bytes));
+        return m;
+    }
+
+    EventQueue events_;
+    Topology topo_;
+    Network net_;
+    std::vector<Message> delivered_;
+};
+
+TEST_F(NetworkTest, RemoteLatencyMatchesParameters)
+{
+    // Header-only message, machine 0 -> machine 1.
+    const Tick arrival = net_.send(makeMsg(0, 4), 0);
+    const auto p = NetworkParams::defaults();
+    const Tick expect = p.remote.sendOverhead +
+                        p.remote.transferTicks(kMsgHeaderBytes) +
+                        p.remote.wireLatency;
+    EXPECT_EQ(arrival, expect);
+    events_.run();
+    ASSERT_EQ(delivered_.size(), 1u);
+    EXPECT_EQ(delivered_[0].arriveTime, arrival);
+}
+
+TEST_F(NetworkTest, LocalFasterThanRemote)
+{
+    const Tick local = net_.send(makeMsg(0, 1), 0);
+    const Tick remote = net_.send(makeMsg(0, 4), 0);
+    EXPECT_LT(local, remote);
+    events_.run();
+    EXPECT_EQ(delivered_.size(), 2u);
+}
+
+TEST_F(NetworkTest, BandwidthSerializesPair)
+{
+    // Two 1024-byte messages on the same pair: the second's transfer
+    // starts after the first finishes.
+    const Tick a1 = net_.send(makeMsg(0, 4, 1024), 0);
+    const Tick a2 = net_.send(makeMsg(0, 4, 1024), 0);
+    const auto p = NetworkParams::defaults();
+    const Tick xfer = p.remote.transferTicks(1024 + kMsgHeaderBytes);
+    EXPECT_EQ(a2 - a1, xfer);
+    events_.run();
+}
+
+TEST_F(NetworkTest, MachineLinkSharedAcrossSenders)
+{
+    // Two senders on machine 0 to different remote machines still
+    // share the outbound Memory Channel link.
+    const Tick a1 = net_.send(makeMsg(0, 4, 2048), 0);
+    const Tick a2 = net_.send(makeMsg(1, 8, 2048), 0);
+    const auto p = NetworkParams::defaults();
+    const Tick xfer = p.remote.transferTicks(2048 + kMsgHeaderBytes);
+    EXPECT_GE(a2 - a1, xfer - p.remote.sendOverhead);
+    events_.run();
+}
+
+TEST_F(NetworkTest, LocalTrafficDoesNotUseLink)
+{
+    // Saturate machine 0's link, then check a local message is
+    // unaffected.
+    net_.send(makeMsg(0, 4, 65536), 0);
+    const Tick local = net_.send(makeMsg(0, 1), 0);
+    const auto p = NetworkParams::defaults();
+    EXPECT_EQ(local, p.local.sendOverhead +
+                         p.local.transferTicks(kMsgHeaderBytes) +
+                         p.local.wireLatency);
+    events_.run();
+}
+
+TEST_F(NetworkTest, PairFifoPreserved)
+{
+    // A large message followed by a small one on the same pair must
+    // not be overtaken.
+    net_.send(makeMsg(0, 4, 8192), 0);
+    net_.send(makeMsg(0, 4, 0), 10);
+    events_.run();
+    ASSERT_EQ(delivered_.size(), 2u);
+    EXPECT_EQ(delivered_[0].data.size(), 8192u);
+    EXPECT_LE(delivered_[0].arriveTime, delivered_[1].arriveTime);
+}
+
+TEST_F(NetworkTest, CountsByCategory)
+{
+    net_.send(makeMsg(0, 4), 0);  // remote
+    net_.send(makeMsg(0, 1), 0);  // local
+    Message d = makeMsg(0, 2);
+    d.type = MsgType::Downgrade;
+    net_.send(std::move(d), 0);   // downgrade
+    EXPECT_EQ(net_.counts().remoteMsgs, 1u);
+    EXPECT_EQ(net_.counts().localMsgs, 1u);
+    EXPECT_EQ(net_.counts().downgradeMsgs, 1u);
+    EXPECT_EQ(net_.counts().total(), 3u);
+    net_.resetCounts();
+    EXPECT_EQ(net_.counts().total(), 0u);
+    events_.run();
+}
+
+TEST_F(NetworkTest, UnloadedLatencyQuery)
+{
+    const auto p = NetworkParams::defaults();
+    EXPECT_EQ(net_.unloadedLatency(0, 4, 64),
+              p.remote.sendOverhead + p.remote.transferTicks(64) +
+                  p.remote.wireLatency);
+    EXPECT_EQ(net_.unloadedLatency(0, 1, 64),
+              p.local.sendOverhead + p.local.transferTicks(64) +
+                  p.local.wireLatency);
+}
+
+TEST(NetworkParams, PaperBandwidths)
+{
+    const auto p = NetworkParams::defaults();
+    // 35 MB/s remote, 45 MB/s local at 300 MHz.
+    EXPECT_NEAR(p.remote.bytesPerTick, 35.0e6 / 300.0e6, 1e-9);
+    EXPECT_NEAR(p.local.bytesPerTick, 45.0e6 / 300.0e6, 1e-9);
+    EXPECT_EQ(p.remote.wireLatency, usToTicks(4.0));
+}
+
+TEST(Mailbox, FifoAndHighWater)
+{
+    Mailbox mb;
+    EXPECT_FALSE(mb.hasMail());
+    for (int i = 0; i < 5; ++i) {
+        Message m;
+        m.count = i;
+        m.arriveTime = 100 + i;
+        mb.push(std::move(m));
+    }
+    EXPECT_EQ(mb.size(), 5u);
+    EXPECT_EQ(mb.highWater(), 5u);
+    EXPECT_EQ(mb.frontArrival(), 100);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_EQ(mb.pop().count, i);
+    EXPECT_FALSE(mb.hasMail());
+    EXPECT_EQ(mb.highWater(), 5u);
+}
+
+TEST(Message, WireBytesIncludesHeader)
+{
+    Message m;
+    EXPECT_EQ(m.wireBytes(), kMsgHeaderBytes);
+    m.data.resize(64);
+    EXPECT_EQ(m.wireBytes(), kMsgHeaderBytes + 64);
+}
+
+TEST_F(NetworkTest, PerTypeCounters)
+{
+    Message a = makeMsg(0, 4);
+    a.type = MsgType::ReadReq;
+    net_.send(std::move(a), 0);
+    Message b = makeMsg(0, 4);
+    b.type = MsgType::ReadReply;
+    net_.send(std::move(b), 0);
+    Message d = makeMsg(0, 2);
+    d.type = MsgType::Downgrade;
+    net_.send(std::move(d), 0);
+    EXPECT_EQ(net_.counts().byType[static_cast<std::size_t>(
+                  MsgType::ReadReq)],
+              1u);
+    EXPECT_EQ(net_.counts().byType[static_cast<std::size_t>(
+                  MsgType::ReadReply)],
+              1u);
+    EXPECT_EQ(net_.counts().byType[static_cast<std::size_t>(
+                  MsgType::Downgrade)],
+              1u);
+    events_.run();
+}
+
+TEST(Message, TypeNames)
+{
+    EXPECT_EQ(msgTypeName(MsgType::ReadReq), "ReadReq");
+    EXPECT_EQ(msgTypeName(MsgType::Downgrade), "Downgrade");
+    EXPECT_EQ(msgTypeName(MsgType::BarrierRelease),
+              "BarrierRelease");
+}
+
+} // namespace
+} // namespace shasta

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit tests for the protocol's building blocks: state tables,
+ * directory entries, miss table, line locks, epochs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto/directory.hh"
+#include "proto/epoch.hh"
+#include "proto/line_lock.hh"
+#include "proto/miss_table.hh"
+#include "proto/state_table.hh"
+
+namespace shasta
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// NodeStateTable
+// --------------------------------------------------------------------
+
+TEST(StateTable, DefaultsInvalid)
+{
+    NodeStateTable t(4);
+    EXPECT_EQ(t.shared(1000), LState::Invalid);
+    EXPECT_EQ(t.priv(1000, 3), PState::Invalid);
+}
+
+TEST(StateTable, SharedBlockUpdates)
+{
+    NodeStateTable t(4);
+    t.setShared(10, 4, LState::Exclusive);
+    for (LineIdx l = 10; l < 14; ++l)
+        EXPECT_EQ(t.shared(l), LState::Exclusive);
+    EXPECT_EQ(t.shared(9), LState::Invalid);
+    EXPECT_EQ(t.shared(14), LState::Invalid);
+}
+
+TEST(StateTable, PrivatePerProcessor)
+{
+    NodeStateTable t(4);
+    t.setPriv(5, 1, 2, PState::Exclusive);
+    EXPECT_EQ(t.priv(5, 2), PState::Exclusive);
+    EXPECT_EQ(t.priv(5, 0), PState::Invalid);
+    EXPECT_EQ(t.priv(5, 1), PState::Invalid);
+    EXPECT_EQ(t.priv(5, 3), PState::Invalid);
+}
+
+TEST(StateTable, DowngradeTargetsToShared)
+{
+    // Downgrade to Shared needs messages only to Exclusive holders
+    // (Section 3.3).
+    NodeStateTable t(4);
+    t.setPriv(7, 1, 0, PState::Exclusive);
+    t.setPriv(7, 1, 1, PState::Shared);
+    t.setPriv(7, 1, 2, PState::Exclusive);
+    auto targets = t.downgradeTargets(7, false, 2);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], 0);
+}
+
+TEST(StateTable, DowngradeTargetsToInvalid)
+{
+    // Downgrade to Invalid needs messages to Shared and Exclusive
+    // holders.
+    NodeStateTable t(4);
+    t.setPriv(7, 1, 0, PState::Exclusive);
+    t.setPriv(7, 1, 1, PState::Shared);
+    auto targets = t.downgradeTargets(7, true, -1);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], 0);
+    EXPECT_EQ(targets[1], 1);
+}
+
+TEST(StateTable, DowngradeTargetsEmptyWhenUntouched)
+{
+    // The private-table optimization: processors that never accessed
+    // the block need no downgrade message.
+    NodeStateTable t(4);
+    EXPECT_TRUE(t.downgradeTargets(3, true, 0).empty());
+}
+
+TEST(StateTable, DowngradePrivClamps)
+{
+    NodeStateTable t(2);
+    t.setPriv(0, 2, 0, PState::Exclusive);
+    t.downgradePriv(0, 2, 0, false);
+    EXPECT_EQ(t.priv(0, 0), PState::Shared);
+    EXPECT_EQ(t.priv(1, 0), PState::Shared);
+    // To-Shared downgrade leaves Invalid alone.
+    t.downgradePriv(0, 2, 1, false);
+    EXPECT_EQ(t.priv(0, 1), PState::Invalid);
+    t.downgradePriv(0, 2, 0, true);
+    EXPECT_EQ(t.priv(0, 0), PState::Invalid);
+}
+
+TEST(StateTable, BatchMarkersNest)
+{
+    NodeStateTable t(4);
+    EXPECT_FALSE(t.marked(9));
+    t.mark(9);
+    t.mark(9);
+    EXPECT_TRUE(t.marked(9));
+    EXPECT_EQ(t.markedCount(), 1);
+    t.mark(12);
+    EXPECT_EQ(t.markedCount(), 2);
+    t.unmark(9);
+    EXPECT_TRUE(t.marked(9));
+    t.unmark(9);
+    EXPECT_FALSE(t.marked(9));
+    EXPECT_EQ(t.markedCount(), 1);
+    t.unmark(12);
+    EXPECT_EQ(t.markedCount(), 0);
+}
+
+TEST(StateTable, DeferredFillFlags)
+{
+    NodeStateTable t(1);
+    EXPECT_FALSE(t.flagFillDeferred(4));
+    t.deferFlagFill(4);
+    EXPECT_TRUE(t.flagFillDeferred(4));
+    t.clearDeferredFill(4);
+    EXPECT_FALSE(t.flagFillDeferred(4));
+}
+
+TEST(StateTable, StateNames)
+{
+    EXPECT_EQ(lstateName(LState::PendDownShared), "PendDownShared");
+    EXPECT_EQ(pstateName(PState::Exclusive), "Exclusive");
+}
+
+TEST(LineStateHelpers, Predicates)
+{
+    EXPECT_TRUE(isStable(LState::Invalid));
+    EXPECT_FALSE(isStable(LState::PendRead));
+    EXPECT_TRUE(isPendingMiss(LState::PendEx));
+    EXPECT_FALSE(isPendingMiss(LState::PendDownShared));
+    EXPECT_TRUE(isPendingDowngrade(LState::PendDownInvalid));
+    EXPECT_TRUE(readableState(LState::Shared));
+    EXPECT_TRUE(readableState(LState::Exclusive));
+    EXPECT_FALSE(readableState(LState::PendRead));
+    EXPECT_TRUE(writableState(LState::Exclusive));
+    EXPECT_FALSE(writableState(LState::Shared));
+    EXPECT_TRUE(privateSufficient(PState::Shared, false));
+    EXPECT_FALSE(privateSufficient(PState::Shared, true));
+    EXPECT_TRUE(privateSufficient(PState::Exclusive, true));
+}
+
+// --------------------------------------------------------------------
+// Directory
+// --------------------------------------------------------------------
+
+TEST(Directory, LazyEntryStartsAtHome)
+{
+    HomeDirectory d(3);
+    EXPECT_FALSE(d.known(42));
+    DirEntry &e = d.entry(42);
+    EXPECT_TRUE(d.known(42));
+    EXPECT_EQ(e.owner, 3);
+    EXPECT_TRUE(e.isSharer(3));
+    EXPECT_EQ(e.sharerCount(), 1);
+}
+
+TEST(Directory, SharerBitOps)
+{
+    DirEntry e;
+    e.addSharer(0);
+    e.addSharer(5);
+    e.addSharer(15);
+    EXPECT_TRUE(e.isSharer(5));
+    EXPECT_EQ(e.sharerCount(), 3);
+    auto list = e.sharerList();
+    EXPECT_EQ(list, (std::vector<ProcId>{0, 5, 15}));
+    auto except = e.sharerList(5);
+    EXPECT_EQ(except, (std::vector<ProcId>{0, 15}));
+    e.removeSharer(5);
+    EXPECT_FALSE(e.isSharer(5));
+    e.clearSharers();
+    EXPECT_EQ(e.sharerCount(), 0);
+}
+
+TEST(Directory, EntryPersistence)
+{
+    HomeDirectory d(0);
+    d.entry(7).owner = 9;
+    EXPECT_EQ(d.entry(7).owner, 9);
+    EXPECT_EQ(d.size(), 1u);
+}
+
+// --------------------------------------------------------------------
+// MissTable
+// --------------------------------------------------------------------
+
+TEST(MissTable, EnsureCreatesSizedDirtyMask)
+{
+    MissTable mt;
+    MissEntry &e = mt.ensure(4, 2, 128);
+    EXPECT_EQ(e.firstLine, 4u);
+    EXPECT_EQ(e.numLines, 2u);
+    EXPECT_EQ(e.dirty.size(), 128u);
+    EXPECT_FALSE(e.dirtyAny);
+    // ensure() is idempotent.
+    e.markDirty(10, 4);
+    MissEntry &e2 = mt.ensure(4, 2, 128);
+    EXPECT_TRUE(e2.dirtyAny);
+    EXPECT_TRUE(e2.dirty[12]);
+    EXPECT_FALSE(e2.dirty[14]);
+}
+
+TEST(MissTable, FindAndErase)
+{
+    MissTable mt;
+    EXPECT_EQ(mt.find(9), nullptr);
+    mt.ensure(9, 1, 64);
+    EXPECT_NE(mt.find(9), nullptr);
+    EXPECT_EQ(mt.size(), 1u);
+    mt.erase(9);
+    EXPECT_EQ(mt.find(9), nullptr);
+    EXPECT_TRUE(mt.empty());
+}
+
+TEST(MissTable, DowngradeActiveFlag)
+{
+    MissTable mt;
+    MissEntry &e = mt.ensure(1, 1, 64);
+    EXPECT_FALSE(e.downgradeActive());
+    e.downgradesLeft = 2;
+    EXPECT_TRUE(e.downgradeActive());
+}
+
+// --------------------------------------------------------------------
+// LineLockPool
+// --------------------------------------------------------------------
+
+TEST(LineLock, DisabledPoolIsFree)
+{
+    LineLockPool pool(false, 120);
+    EXPECT_EQ(pool.chargeOp(5), 0);
+    EXPECT_EQ(pool.acquires(), 0u);
+}
+
+TEST(LineLock, EnabledPoolCharges)
+{
+    LineLockPool pool(true, 120);
+    EXPECT_EQ(pool.chargeOp(5), 120);
+    EXPECT_EQ(pool.chargeOp(6), 120);
+    EXPECT_EQ(pool.acquires(), 2u);
+}
+
+TEST(LineLock, HashSpreadsLines)
+{
+    LineLockPool pool(true, 1, 4096);
+    for (LineIdx l = 0; l < 10000; ++l)
+        pool.chargeOp(l);
+    // Consecutive lines should use a good fraction of the pool.
+    EXPECT_GT(pool.poolUtilization(), 0.5);
+}
+
+TEST(LineLock, SameLineSameLock)
+{
+    LineLockPool pool(true, 1);
+    EXPECT_EQ(pool.lockFor(77), pool.lockFor(77));
+}
+
+// --------------------------------------------------------------------
+// EpochTracker
+// --------------------------------------------------------------------
+
+TEST(Epoch, ReleaseImmediateWhenQuiescent)
+{
+    EpochTracker t;
+    bool fired = false;
+    t.release([&] { fired = true; });
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(t.current(), 1u);
+}
+
+TEST(Epoch, ReleaseWaitsForPriorEpochWrites)
+{
+    EpochTracker t;
+    const auto e0 = t.startWrite();
+    bool fired = false;
+    t.release([&] { fired = true; });
+    EXPECT_FALSE(fired);
+    t.completeWrite(e0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Epoch, LaterEpochWritesDoNotBlockRelease)
+{
+    // The SoftFLASH-style property: a release waits only for writes
+    // from *previous* epochs (Section 3.4.2).
+    EpochTracker t;
+    const auto e0 = t.startWrite();
+    bool r1 = false;
+    t.release([&] { r1 = true; });     // waits for e0
+    const auto e1 = t.startWrite();    // new epoch, after the release
+    EXPECT_FALSE(r1);
+    t.completeWrite(e0);
+    EXPECT_TRUE(r1) << "e1 must not block the earlier release";
+    bool r2 = false;
+    t.release([&] { r2 = true; });
+    EXPECT_FALSE(r2);
+    t.completeWrite(e1);
+    EXPECT_TRUE(r2);
+}
+
+TEST(Epoch, MultipleWritesPerEpoch)
+{
+    EpochTracker t;
+    const auto a = t.startWrite();
+    const auto b = t.startWrite();
+    EXPECT_EQ(a, b);
+    bool fired = false;
+    t.release([&] { fired = true; });
+    t.completeWrite(a);
+    EXPECT_FALSE(fired);
+    t.completeWrite(b);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(t.outstanding(), 0);
+}
+
+TEST(Epoch, StackedReleases)
+{
+    EpochTracker t;
+    const auto e0 = t.startWrite();
+    int order = 0, r1 = 0, r2 = 0;
+    t.release([&] { r1 = ++order; });
+    const auto e1 = t.startWrite();
+    t.release([&] { r2 = ++order; });
+    t.completeWrite(e1);
+    EXPECT_EQ(r1, 0);
+    EXPECT_EQ(r2, 0) << "r2 waits for e0 too (earlier epoch)";
+    t.completeWrite(e0);
+    EXPECT_EQ(r1, 1);
+    EXPECT_EQ(r2, 2);
+}
+
+TEST(Epoch, QuiescentThrough)
+{
+    EpochTracker t;
+    EXPECT_TRUE(t.quiescentThrough(100));
+    const auto e0 = t.startWrite();
+    EXPECT_FALSE(t.quiescentThrough(0));
+    t.completeWrite(e0);
+    EXPECT_TRUE(t.quiescentThrough(0));
+}
+
+} // namespace
+} // namespace shasta

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for config validation/factories and the report formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "dsm/config.hh"
+#include "stats/report.hh"
+
+namespace shasta
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// DsmConfig
+// --------------------------------------------------------------------
+
+TEST(Config, Factories)
+{
+    EXPECT_EQ(DsmConfig::sequential().numProcs, 1);
+    EXPECT_EQ(DsmConfig::sequential().mode, Mode::Hardware);
+    EXPECT_EQ(DsmConfig::base(8).effectiveClustering(), 1);
+    EXPECT_EQ(DsmConfig::smp(16, 4).effectiveClustering(), 4);
+    EXPECT_EQ(DsmConfig::hardware(4).effectiveClustering(), 4);
+    EXPECT_EQ(DsmConfig::hardware(2).effectiveClustering(), 2);
+}
+
+TEST(Config, CheckModeFollowsMode)
+{
+    EXPECT_EQ(DsmConfig::base(4).checkMode(), CheckMode::Base);
+    EXPECT_EQ(DsmConfig::smp(4, 4).checkMode(), CheckMode::Smp);
+    EXPECT_EQ(DsmConfig::hardware(4).checkMode(), CheckMode::None);
+    EXPECT_TRUE(DsmConfig::base(4).protocolActive());
+    EXPECT_FALSE(DsmConfig::hardware(4).protocolActive());
+}
+
+TEST(Config, TopologyMatchesPaperPlacement)
+{
+    // 8-processor runs use two machines; 16 use four (Section 4.3).
+    EXPECT_EQ(DsmConfig::base(8).topology().numMachines(), 2);
+    EXPECT_EQ(DsmConfig::base(16).topology().numMachines(), 4);
+    EXPECT_EQ(DsmConfig::smp(16, 4).topology().numNodes(), 4);
+    EXPECT_EQ(DsmConfig::smp(16, 2).topology().numNodes(), 8);
+    EXPECT_EQ(DsmConfig::base(16).topology().numNodes(), 16);
+}
+
+TEST(Config, ValidateAcceptsPaperConfigs)
+{
+    for (DsmConfig c :
+         {DsmConfig::sequential(), DsmConfig::hardware(4),
+          DsmConfig::base(1), DsmConfig::base(16),
+          DsmConfig::smp(2, 2), DsmConfig::smp(16, 4)}) {
+        c.validate(); // aborts on failure
+    }
+    SUCCEED();
+}
+
+// --------------------------------------------------------------------
+// Report formatting
+// --------------------------------------------------------------------
+
+std::string
+captureTable(report::Table &t)
+{
+    std::FILE *f = std::tmpfile();
+    t.print(f);
+    std::rewind(f);
+    std::string out;
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), f))
+        out += buf;
+    std::fclose(f);
+    return out;
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    report::Table t({"app", "time"});
+    t.addRow({"lu", "1.234s"});
+    t.addRow({"water-nsq", "0.5s"});
+    const std::string out = captureTable(t);
+    EXPECT_NE(out.find("| app       |"), std::string::npos);
+    EXPECT_NE(out.find("| lu        |"), std::string::npos);
+    EXPECT_NE(out.find("| water-nsq |"), std::string::npos);
+}
+
+TEST(Report, TableRuleInsertsSeparator)
+{
+    report::Table t({"a"});
+    t.addRow({"x"});
+    t.addRule();
+    t.addRow({"y"});
+    const std::string out = captureTable(t);
+    // header rule + top + bottom + mid-rule = 4 dashed lines.
+    int rules = 0;
+    for (std::size_t pos = 0;
+         (pos = out.find("+--", pos)) != std::string::npos; ++pos)
+        ++rules;
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(report::fmtSeconds(secondsToTicks(1.5)), "1.500s");
+    EXPECT_EQ(report::fmtPercent(0.147), "14.7%");
+    EXPECT_EQ(report::fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(report::fmtCount(42), "42");
+}
+
+TEST(Report, BreakdownBarNormalizes)
+{
+    TimeBreakdown bd;
+    bd.total = 1000;
+    bd.parts.read = 250;
+    bd.parts.sync = 250;
+    std::FILE *f = std::tmpfile();
+    report::printBreakdownBar("B", bd, 1000, 40, f);
+    std::rewind(f);
+    char buf[256];
+    ASSERT_TRUE(std::fgets(buf, sizeof(buf), f));
+    std::fclose(f);
+    const std::string line = buf;
+    // 50% task, 25% read, 25% sync of 40 chars.
+    EXPECT_EQ(std::count(line.begin(), line.end(), 't'), 20);
+    EXPECT_EQ(std::count(line.begin(), line.end(), 'r'), 10);
+    EXPECT_EQ(std::count(line.begin(), line.end(), 's'), 10);
+    EXPECT_NE(line.find("100%"), std::string::npos);
+}
+
+TEST(Report, SegmentBarEmitsGlyphs)
+{
+    std::FILE *f = std::tmpfile();
+    report::printSegmentBar("SMP", {{30.0, 'x'}, {10.0, 'l'}}, 80.0,
+                            40, f);
+    std::rewind(f);
+    char buf[256];
+    ASSERT_TRUE(std::fgets(buf, sizeof(buf), f));
+    std::fclose(f);
+    const std::string line = buf;
+    EXPECT_EQ(std::count(line.begin(), line.end(), 'x'), 15);
+    EXPECT_EQ(std::count(line.begin(), line.end(), 'l'), 5);
+    EXPECT_NE(line.find("50%"), std::string::npos);
+}
+
+} // namespace
+} // namespace shasta

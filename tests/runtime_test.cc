@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Runtime-level tests: deadlock diagnostics, page-straddling block
+ * homes (regression), allocation padding, state dumps, and the CSV
+ * table output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "dsm/runtime.hh"
+#include "stats/report.hh"
+
+namespace shasta
+{
+namespace
+{
+
+Task
+selfDeadlock(Context &c, int lk)
+{
+    if (c.id() == 0) {
+        co_await c.lock(lk);
+        co_await c.lock(lk); // non-reentrant: parks forever
+    }
+    co_await c.barrier();
+}
+
+TEST(RuntimeDiagnostics, DeadlockThrowsWithStateDump)
+{
+    Runtime rt(DsmConfig::base(2));
+    const int lk = rt.allocLock();
+    try {
+        rt.run([&](Context &c) { return selfDeadlock(c, lk); });
+        FAIL() << "expected a deadlock";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("deadlock"), std::string::npos);
+        EXPECT_NE(what.find("proc 0"), std::string::npos);
+        EXPECT_NE(what.find("Blocked"), std::string::npos);
+    }
+}
+
+TEST(RuntimeDiagnostics, DumpStateListsProcessors)
+{
+    Runtime rt(DsmConfig::smp(8, 4));
+    const std::string dump = rt.dumpState();
+    EXPECT_NE(dump.find("proc 0"), std::string::npos);
+    EXPECT_NE(dump.find("proc 7"), std::string::npos);
+}
+
+TEST(PageStraddle, BlockHomedAsUnit)
+{
+    // Offset the heap so a default small-object block (5 lines for a
+    // 300-byte object) straddles an 8 KB page boundary, then check
+    // every line agrees on the home (regression for the split-
+    // ownership bug).
+    Runtime rt(DsmConfig::base(8));
+    rt.alloc(kPageSize - 2 * 64); // leave two lines before the page
+    const Addr a = rt.alloc(300); // 5-line block crossing the page
+    const LineIdx first = rt.heap().lineOf(a);
+    const BlockInfo b = rt.heap().blockOf(first);
+    ASSERT_GT(b.numLines, 1u);
+    // The block spans the page boundary.
+    ASSERT_NE(pageOf(rt.heap().lineAddr(b.firstLine)),
+              pageOf(rt.heap().lineAddr(b.firstLine + b.numLines -
+                                        1)));
+    const ProcId home = rt.protocol().homeProc(b.firstLine);
+    for (std::uint32_t i = 0; i < b.numLines; ++i) {
+        EXPECT_EQ(rt.protocol().homeProc(b.firstLine + i), home);
+    }
+    // And only the home node starts with a valid copy of any line.
+    const NodeId hn = rt.config().topology().nodeOf(home);
+    for (std::uint32_t i = 0; i < b.numLines; ++i) {
+        for (NodeId n = 0; n < rt.config().topology().numNodes();
+             ++n) {
+            const LState s =
+                rt.protocol().nodeState(n, b.firstLine + i);
+            if (n == hn)
+                EXPECT_EQ(s, LState::Exclusive);
+            else
+                EXPECT_EQ(s, LState::Invalid);
+        }
+    }
+}
+
+Task
+straddleKernel(Context &c, Addr a, std::int64_t *sum)
+{
+    // Write the whole straddling block from one remote processor,
+    // read it from another.
+    if (c.id() == 4) {
+        for (int i = 0; i < 36; ++i)
+            co_await c.storeI64(a + static_cast<Addr>(i) * 8,
+                                i + 1);
+    }
+    co_await c.barrier();
+    if (c.id() == 6) {
+        std::int64_t s = 0;
+        for (int i = 0; i < 36; ++i)
+            s += co_await c.loadI64(a + static_cast<Addr>(i) * 8);
+        *sum = s;
+    }
+    co_await c.barrier();
+}
+
+TEST(PageStraddle, CoherentAcrossTheBoundary)
+{
+    Runtime rt(DsmConfig::smp(8, 4));
+    rt.alloc(kPageSize - 2 * 64);
+    const Addr a = rt.alloc(300); // 36 longwords + padding
+    std::int64_t sum = 0;
+    rt.run([&](Context &c) { return straddleKernel(c, a, &sum); });
+    EXPECT_EQ(sum, 36 * 37 / 2);
+}
+
+TEST(RuntimeAlloc, HomedAllocationsArePageAligned)
+{
+    Runtime rt(DsmConfig::base(8));
+    rt.alloc(100); // misalign the heap
+    const Addr a = rt.allocHomed(256, 0, 5);
+    EXPECT_EQ((a - kSharedBase) % kPageSize, 0u);
+    EXPECT_EQ(rt.protocol().homeProc(rt.heap().lineOf(a)), 5);
+}
+
+TEST(Report, CsvOutput)
+{
+    report::Table t({"app", "time"});
+    t.addRow({"lu", "1.2s"});
+    t.addRow({"a,b", "3"});
+    std::FILE *f = std::tmpfile();
+    t.printCsv(f);
+    std::rewind(f);
+    std::string out;
+    char buf[128];
+    while (std::fgets(buf, sizeof(buf), f))
+        out += buf;
+    std::fclose(f);
+    EXPECT_EQ(out, "app,time\nlu,1.2s\n\"a,b\",3\n");
+}
+
+} // namespace
+} // namespace shasta

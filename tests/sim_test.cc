@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for the simulation core: ticks, RNG, event queue, tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/task.hh"
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+namespace
+{
+
+TEST(Ticks, UsConversionRoundTrips)
+{
+    EXPECT_EQ(usToTicks(1.0), 300);
+    EXPECT_EQ(usToTicks(4.0), 1200);
+    EXPECT_EQ(usToTicks(20.0), 6000);
+    EXPECT_DOUBLE_EQ(ticksToUs(300), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(300'000'000), 1.0);
+    EXPECT_EQ(secondsToTicks(1.0), 300'000'000);
+}
+
+TEST(Ticks, SubCycleRounding)
+{
+    // 0.7 us = 210 cycles exactly at 300 MHz.
+    EXPECT_EQ(usToTicks(0.7), 210);
+    // Rounds to nearest cycle.
+    EXPECT_EQ(usToTicks(0.0051), 2);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedSchedulingFromCallback)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(15, [&] { order.push_back(2); });
+        q.scheduleAfter(10, [&] { order.push_back(3); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 20);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    EXPECT_FALSE(q.runUntil(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.runUntil(100));
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ProcessedCountAdvances)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(q.processed(), 5u);
+    EXPECT_TRUE(q.empty());
+}
+
+// --------------------------------------------------------------------
+// Task / Suspender
+// --------------------------------------------------------------------
+
+Task
+trivial(int &x)
+{
+    x = 42;
+    co_return;
+}
+
+TEST(Task, RunsOnStart)
+{
+    int x = 0;
+    Task t = trivial(x);
+    EXPECT_EQ(x, 0) << "lazy start";
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(x, 42);
+}
+
+Task
+child(std::vector<int> &log)
+{
+    log.push_back(2);
+    co_return;
+}
+
+Task
+parent(std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await child(log);
+    log.push_back(3);
+}
+
+TEST(Task, NestedAwaitRunsInOrder)
+{
+    std::vector<int> log;
+    Task t = parent(log);
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+Task
+waiter(Suspender &s, std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await s.wait();
+    log.push_back(2);
+}
+
+TEST(Task, SuspenderParksAndResumes)
+{
+    Suspender s;
+    std::vector<int> log;
+    Task t = waiter(s, log);
+    t.start();
+    EXPECT_FALSE(t.done());
+    EXPECT_TRUE(s.pending());
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    s.resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+Task
+thrower()
+{
+    throw std::runtime_error("boom");
+    co_return; // unreachable but required for coroutine-ness
+}
+
+TEST(Task, ExceptionSurfacesViaRethrow)
+{
+    Task t = thrower();
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_THROW(t.rethrowIfFailed(), std::runtime_error);
+}
+
+Task
+nestedThrower(std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await thrower();
+    log.push_back(99); // must not run
+}
+
+TEST(Task, ExceptionPropagatesThroughAwait)
+{
+    std::vector<int> log;
+    Task t = nestedThrower(log);
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_THROW(t.rethrowIfFailed(), std::runtime_error);
+}
+
+Task
+deepNest(int depth, int &sum)
+{
+    if (depth == 0)
+        co_return;
+    sum += 1;
+    co_await deepNest(depth - 1, sum);
+}
+
+TEST(Task, DeepNestingViaSymmetricTransfer)
+{
+    int sum = 0;
+    Task t = deepNest(5000, sum);
+    t.start();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(sum, 5000);
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    int x = 0;
+    Task a = trivial(x);
+    Task b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.start();
+    EXPECT_EQ(x, 42);
+}
+
+} // namespace
+} // namespace shasta

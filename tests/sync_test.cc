@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Synchronization tests: lock mutual exclusion and FIFO handoff,
+ * barrier episodes, release-consistency fences, hardware variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+namespace
+{
+
+Task
+criticalSection(Context &c, Addr flag, Addr log, int lk, int iters,
+                std::atomic<int> *violations)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await c.lock(lk);
+        const std::int64_t in = co_await c.loadI64(flag);
+        if (in != 0)
+            violations->fetch_add(1);
+        co_await c.storeI64(flag, 1);
+        c.compute(500);
+        co_await c.poll();
+        co_await c.storeI64(flag, 0);
+        const std::int64_t n = co_await c.loadI64(log);
+        co_await c.storeI64(log, n + 1);
+        co_await c.unlock(lk);
+        co_await c.poll();
+    }
+    co_await c.barrier();
+}
+
+class SyncModes : public ::testing::TestWithParam<DsmConfig>
+{
+};
+
+TEST_P(SyncModes, MutualExclusionHolds)
+{
+    DsmConfig cfg = GetParam();
+    Runtime rt(cfg);
+    const Addr flag = rt.alloc(8);
+    const Addr log = rt.alloc(64);
+    const int lk = rt.allocLock();
+    std::atomic<int> violations{0};
+    const int iters = 10;
+    rt.run([&](Context &c) {
+        return criticalSection(c, flag, log, lk, iters, &violations);
+    });
+    EXPECT_EQ(violations.load(), 0);
+    // Every entry incremented the log exactly once.
+    std::int64_t total = -1;
+    for (NodeId n = 0; n < cfg.topology().numNodes(); ++n) {
+        if (readableState(rt.protocol().nodeState(
+                n, rt.heap().lineOf(log)))) {
+            total = rt.protocol().memory(n).read<std::int64_t>(log);
+            break;
+        }
+    }
+    if (!cfg.protocolActive())
+        total = rt.protocol().memory(0).read<std::int64_t>(log);
+    EXPECT_EQ(total, cfg.numProcs * iters);
+}
+
+TEST_P(SyncModes, BarriersSeparatePhases)
+{
+    DsmConfig cfg = GetParam();
+    Runtime rt(cfg);
+    const Addr arr = rt.alloc(
+        static_cast<std::size_t>(cfg.numProcs) * 8);
+    std::atomic<int> errors{0};
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr a,
+                  std::atomic<int> *errs) -> Task {
+            const int np = cc.numProcs();
+            for (int phase = 1; phase <= 5; ++phase) {
+                co_await cc.storeI64(
+                    a + static_cast<Addr>(cc.id()) * 8, phase);
+                co_await cc.barrier();
+                for (int q = 0; q < np; ++q) {
+                    const std::int64_t v = co_await cc.loadI64(
+                        a + static_cast<Addr>(q) * 8);
+                    if (v != phase)
+                        errs->fetch_add(1);
+                }
+                co_await cc.barrier();
+            }
+        }(c, arr, &errors);
+    });
+    EXPECT_EQ(errors.load(), 0);
+    EXPECT_GE(rt.barrierMgr().episodes(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SyncModes,
+    ::testing::Values(DsmConfig::hardware(4), DsmConfig::base(4),
+                      DsmConfig::base(8), DsmConfig::smp(8, 4),
+                      DsmConfig::smp(16, 4)),
+    [](const ::testing::TestParamInfo<DsmConfig> &info) {
+        const DsmConfig &c = info.param;
+        std::string n = c.mode == Mode::Hardware
+                            ? "hw"
+                            : (c.mode == Mode::Base ? "base"
+                                                    : "smp");
+        return n + std::to_string(c.numProcs) + "c" +
+               std::to_string(c.effectiveClustering());
+    });
+
+TEST(SyncStats, ContendedLocksCounted)
+{
+    Runtime rt(DsmConfig::base(8));
+    const Addr flag = rt.alloc(8);
+    const Addr log = rt.alloc(64);
+    const int lk = rt.allocLock();
+    std::atomic<int> violations{0};
+    rt.run([&](Context &c) {
+        return criticalSection(c, flag, log, lk, 5, &violations);
+    });
+    EXPECT_EQ(rt.lockMgr().acquires(), 40u);
+    EXPECT_GT(rt.lockMgr().contended(), 0u);
+}
+
+Task
+releaseOrdering(Context &c, Addr data, Addr ready, int n,
+                std::atomic<int> *errors)
+{
+    // Release consistency end to end: the producer writes n values
+    // then raises a flag under a lock; consumers that see the flag
+    // must see every value.  The release fence must have drained the
+    // producer's non-blocking stores.
+    if (c.id() == 0) {
+        for (int i = 0; i < n; ++i) {
+            co_await c.storeI64(data + static_cast<Addr>(i) * 64,
+                                i + 1);
+            co_await c.poll();
+        }
+        co_await c.lock(0);
+        co_await c.storeI64(ready, 1);
+        co_await c.unlock(0);
+    } else {
+        for (;;) {
+            co_await c.lock(0);
+            const std::int64_t r = co_await c.loadI64(ready);
+            co_await c.unlock(0);
+            if (r == 1)
+                break;
+            c.compute(2000);
+            co_await c.poll();
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t v = co_await c.loadI64(
+                data + static_cast<Addr>(i) * 64);
+            if (v != i + 1)
+                errors->fetch_add(1);
+        }
+    }
+    co_await c.barrier();
+}
+
+TEST(SyncSemantics, ReleaseFenceDrainsStores)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.maxOutstandingWrites = 16;
+    Runtime rt(cfg);
+    const int n = 24;
+    const Addr data = rt.allocHomed(static_cast<std::size_t>(n) * 64,
+                                    64, 7);
+    const Addr ready = rt.allocHomed(64, 64, 7);
+    rt.allocLock();
+    std::atomic<int> errors{0};
+    rt.run([&](Context &c) {
+        return releaseOrdering(c, data, ready, n, &errors);
+    });
+    EXPECT_EQ(errors.load(), 0);
+}
+
+} // namespace
+} // namespace shasta

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Protocol torture test: randomized mixed workloads with invariant
+ * checking.
+ *
+ * Each processor performs a random sequence of operations on a small
+ * shared array: lock-protected read-modify-writes (each cell carries
+ * a (tag, value) pair that must always satisfy value == f(tag)),
+ * unprotected reads of a phase-stable region, and batched
+ * region reads.  This drives every protocol path -- misses, merges,
+ * upgrades, invalidation-ack races, downgrades, reply overtakes --
+ * through many interleavings while remaining verifiable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "dsm/runtime.hh"
+#include "sim/rng.hh"
+
+namespace shasta
+{
+namespace
+{
+
+constexpr int kCells = 24;
+constexpr int kOpsPerProc = 60;
+
+/** Invariant: a cell's value is always tag * 37 + 11. */
+std::int64_t
+valueFor(std::int64_t tag)
+{
+    return tag * 37 + 11;
+}
+
+struct TortureParams
+{
+    DsmConfig cfg;
+    std::uint64_t seed;
+    int lineSize;
+};
+
+Addr
+cellAddr(Addr base, int cell)
+{
+    // Two longwords per cell (tag, value), spread across lines.
+    return base + static_cast<Addr>(cell) * 16;
+}
+
+Task
+tortureKernel(Context &c, Addr cells, Addr stable, int nlocks,
+              std::uint64_t seed, std::atomic<int> *errors,
+              std::atomic<long> *increments)
+{
+    Rng rng(seed * 7919 + static_cast<std::uint64_t>(c.id()));
+    for (int op = 0; op < kOpsPerProc; ++op) {
+        const int kind = static_cast<int>(rng.nextBounded(4));
+        const int cell = static_cast<int>(rng.nextBounded(kCells));
+        switch (kind) {
+          case 0:
+          case 1: { // lock-protected RMW (the invariant carrier)
+            co_await c.lock(cell % nlocks);
+            const std::int64_t tag =
+                co_await c.loadI64(cellAddr(cells, cell));
+            const std::int64_t val =
+                co_await c.loadI64(cellAddr(cells, cell) + 8);
+            if (val != valueFor(tag))
+                errors->fetch_add(1);
+            co_await c.storeI64(cellAddr(cells, cell), tag + 1);
+            co_await c.storeI64(cellAddr(cells, cell) + 8,
+                                valueFor(tag + 1));
+            co_await c.unlock(cell % nlocks);
+            increments->fetch_add(1);
+            break;
+          }
+          case 2: { // unprotected read of the stable region
+            const std::int64_t v = co_await c.loadI64(
+                stable + static_cast<Addr>(cell) * 8);
+            if (v != 1000 + cell)
+                errors->fetch_add(1);
+            break;
+          }
+          case 3: { // batched read over several cells
+            auto b = co_await c.batch(cells, kCells * 16, false);
+            // Raw loads inside a batch: each (tag, value) pair must
+            // be internally consistent (pairs live on one line).
+            const int probe =
+                static_cast<int>(rng.nextBounded(kCells));
+            const std::int64_t tag =
+                c.rawLoad<std::int64_t>(cellAddr(cells, probe));
+            const std::int64_t val = c.rawLoad<std::int64_t>(
+                cellAddr(cells, probe) + 8);
+            c.batchEnd(b);
+            if (val != valueFor(tag))
+                errors->fetch_add(1);
+            break;
+          }
+        }
+        c.compute(static_cast<Tick>(rng.nextBounded(400)));
+        co_await c.poll();
+    }
+    co_await c.barrier();
+}
+
+// Host-side helpers.
+void
+initWriteHelper(Runtime &rt, Addr a, std::int64_t v)
+{
+    NodeId node = 0;
+    if (rt.config().protocolActive()) {
+        node = rt.config().topology().nodeOf(
+            rt.protocol().homeProc(rt.heap().lineOf(a)));
+    }
+    rt.protocol().memory(node).write<std::int64_t>(a, v);
+}
+
+std::int64_t
+finalReadHelper(Runtime &rt, Addr a)
+{
+    if (!rt.config().protocolActive())
+        return rt.protocol().memory(0).read<std::int64_t>(a);
+    for (NodeId n = 0; n < rt.config().topology().numNodes(); ++n) {
+        if (readableState(rt.protocol().nodeState(
+                n, rt.heap().lineOf(a)))) {
+            return rt.protocol().memory(n).read<std::int64_t>(a);
+        }
+    }
+    ADD_FAILURE() << "no valid copy";
+    return -1;
+}
+
+class Torture : public ::testing::TestWithParam<TortureParams>
+{
+};
+
+TEST_P(Torture, InvariantsHoldUnderRandomLoad)
+{
+    const TortureParams &tp = GetParam();
+    DsmConfig cfg = tp.cfg;
+    cfg.lineSize = tp.lineSize;
+    Runtime rt(cfg);
+
+    const Addr cells = rt.alloc(kCells * 16);
+    const Addr stable = rt.alloc(kCells * 8);
+    const int nlocks = 6;
+    for (int l = 0; l < nlocks; ++l)
+        rt.allocLock();
+    for (int i = 0; i < kCells; ++i) {
+        initWriteHelper(rt, cellAddr(cells, i), std::int64_t{0});
+        initWriteHelper(rt, cellAddr(cells, i) + 8, valueFor(0));
+        initWriteHelper(rt, stable + static_cast<Addr>(i) * 8,
+                        std::int64_t{1000 + i});
+    }
+
+    std::atomic<int> errors{0};
+    std::atomic<long> increments{0};
+    rt.run([&](Context &c) {
+        return tortureKernel(c, cells, stable, nlocks, tp.seed,
+                             &errors, &increments);
+    });
+
+    EXPECT_EQ(errors.load(), 0);
+    EXPECT_GT(increments.load(), 0);
+    // Every cell's final pair is consistent, and the tags sum to the
+    // number of increments.
+    long tag_sum = 0;
+    for (int i = 0; i < kCells; ++i) {
+        const auto tag = finalReadHelper(rt, cellAddr(cells, i));
+        const auto val =
+            finalReadHelper(rt, cellAddr(cells, i) + 8);
+        EXPECT_EQ(val, valueFor(tag)) << "cell " << i;
+        tag_sum += tag;
+    }
+    EXPECT_EQ(tag_sum, increments.load());
+}
+
+std::vector<TortureParams>
+tortureCases()
+{
+    std::vector<TortureParams> out;
+    for (DsmConfig cfg :
+         {DsmConfig::base(8), DsmConfig::base(16),
+          DsmConfig::smp(8, 2), DsmConfig::smp(8, 4),
+          DsmConfig::smp(16, 4)}) {
+        for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+            for (int ls : {64, 128})
+                out.push_back(TortureParams{cfg, seed, ls});
+        }
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Torture, ::testing::ValuesIn(tortureCases()),
+    [](const ::testing::TestParamInfo<TortureParams> &info) {
+        const auto &t = info.param;
+        std::string n =
+            t.cfg.mode == Mode::Base ? "base" : "smp";
+        n += std::to_string(t.cfg.numProcs);
+        n += "c" + std::to_string(t.cfg.effectiveClustering());
+        n += "s" + std::to_string(t.seed);
+        n += "l" + std::to_string(t.lineSize);
+        return n;
+    });
+
+} // namespace
+} // namespace shasta

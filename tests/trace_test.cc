@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the trace facility and its protocol integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dsm/runtime.hh"
+#include "sim/trace.hh"
+
+namespace shasta
+{
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::disableAll();
+        sink_ = std::tmpfile();
+        trace::setSink(sink_);
+    }
+
+    void
+    TearDown() override
+    {
+        trace::setSink(nullptr);
+        trace::disableAll();
+        std::fclose(sink_);
+    }
+
+    std::string
+    captured()
+    {
+        std::rewind(sink_);
+        std::string out;
+        char buf[512];
+        while (std::fgets(buf, sizeof(buf), sink_))
+            out += buf;
+        return out;
+    }
+
+    std::FILE *sink_;
+};
+
+TEST_F(TraceTest, FlagNamesRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(trace::Flag::NumFlags);
+         ++i) {
+        const auto f = static_cast<trace::Flag>(i);
+        trace::Flag parsed;
+        ASSERT_TRUE(trace::parseFlag(trace::flagName(f), parsed));
+        EXPECT_EQ(parsed, f);
+    }
+    trace::Flag dummy;
+    EXPECT_FALSE(trace::parseFlag("nonsense", dummy));
+}
+
+TEST_F(TraceTest, DisabledCategoriesEmitNothing)
+{
+    SHASTA_TRACE_EVENT(trace::Flag::Proto, 100, 1, "hidden");
+    EXPECT_TRUE(captured().empty());
+}
+
+TEST_F(TraceTest, EnabledCategoryEmitsFormattedLine)
+{
+    trace::enable(trace::Flag::Proto);
+    SHASTA_TRACE_EVENT(trace::Flag::Proto, 12345, 3,
+                       "read miss line %u", 42u);
+    const std::string out = captured();
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    EXPECT_NE(out.find("P3"), std::string::npos);
+    EXPECT_NE(out.find("proto"), std::string::npos);
+    EXPECT_NE(out.find("read miss line 42"), std::string::npos);
+}
+
+TEST_F(TraceTest, EnableListParsesNamesAndAll)
+{
+    trace::enableList("proto,downgrade");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Proto));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Downgrade));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Net));
+    trace::disableAll();
+    trace::enableList("all");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Batch));
+}
+
+Task
+missKernel(Context &c, Addr a)
+{
+    if (c.id() == 1)
+        (void)co_await c.loadFp(a);
+    co_await c.barrier();
+}
+
+TEST_F(TraceTest, ProtocolEmitsMissAndMessageEvents)
+{
+    trace::enable(trace::Flag::Proto);
+    trace::enable(trace::Flag::Net);
+    DsmConfig cfg = DsmConfig::base(4);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    rt.run([&](Context &c) { return missKernel(c, a); });
+    const std::string out = captured();
+    EXPECT_NE(out.find("read miss line"), std::string::npos);
+    EXPECT_NE(out.find("handle ReadReq"), std::string::npos);
+    EXPECT_NE(out.find("handle ReadReply"), std::string::npos);
+}
+
+TEST_F(TraceTest, DowngradeEventsTraced)
+{
+    trace::enable(trace::Flag::Downgrade);
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr aa) -> Task {
+            if (cc.id() == 4)
+                co_await cc.storeFp(aa, 1.0);
+            co_await cc.barrier();
+            if (cc.id() == 5)
+                co_await cc.storeFp(aa + 8, 2.0);
+            co_await cc.barrier();
+            if (cc.id() == 0)
+                (void)co_await cc.loadFp(aa);
+            co_await cc.barrier();
+        }(c, a);
+    });
+    const std::string out = captured();
+    EXPECT_NE(out.find("downgrade line"), std::string::npos);
+    EXPECT_NE(out.find("1 message(s)"), std::string::npos);
+}
+
+} // namespace
+} // namespace shasta

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Protocol transparency: Shasta's key property is that it "will
+ * correctly execute any Alpha program" (Section 5) -- coherence
+ * granularity, home placement, line size, store throttling, and the
+ * extension knobs are performance tuning only and must never change
+ * an application's result.  The simulation is also fully
+ * deterministic: identical configurations produce bitwise-identical
+ * results and simulated times.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app.hh"
+
+namespace shasta
+{
+namespace
+{
+
+AppParams
+tinyParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (app.name() == "lu" || app.name() == "lu-contig")
+        p.n = 64;
+    else if (app.name() == "ocean")
+        p.n = 34;
+    else if (app.name() == "barnes" || app.name() == "fmm")
+        p.n = 128;
+    else if (app.name() == "raytrace")
+        p.n = 32;
+    else if (app.name() == "volrend")
+        p.n = 16;
+    else if (app.name() == "water-nsq" || app.name() == "water-sp")
+        p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+double
+runChecksum(const std::string &name, DsmConfig cfg, AppParams p)
+{
+    auto app = createApp(name);
+    return runApp(*app, cfg, p).checksum;
+}
+
+class Transparency
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(Transparency, DeterministicAcrossRuns)
+{
+    const std::string name = GetParam();
+    const AppParams p = tinyParams(*createApp(name));
+    auto a1 = createApp(name);
+    const AppResult r1 = runApp(*a1, DsmConfig::smp(8, 4), p);
+    auto a2 = createApp(name);
+    const AppResult r2 = runApp(*a2, DsmConfig::smp(8, 4), p);
+    EXPECT_EQ(r1.checksum, r2.checksum) << "bitwise determinism";
+    EXPECT_EQ(r1.wallTime, r2.wallTime);
+    EXPECT_EQ(r1.counters.totalMisses(),
+              r2.counters.totalMisses());
+    EXPECT_EQ(r1.net.total(), r2.net.total());
+}
+
+TEST_P(Transparency, ResultInvariantUnderTuningKnobs)
+{
+    const std::string name = GetParam();
+    auto base_app = createApp(name);
+    const AppParams p = tinyParams(*base_app);
+    const double tol = base_app->tolerance() * 100.0;
+
+    const double reference =
+        runChecksum(name, DsmConfig::base(8), p);
+
+    std::vector<std::pair<std::string, DsmConfig>> variants;
+    {
+        DsmConfig c = DsmConfig::base(8);
+        c.lineSize = 128;
+        variants.emplace_back("lineSize=128", c);
+    }
+    {
+        DsmConfig c = DsmConfig::base(8);
+        c.maxOutstandingWrites = 1;
+        variants.emplace_back("throttle=1", c);
+    }
+    {
+        DsmConfig c = DsmConfig::base(8);
+        c.useInvalidFlag = false;
+        variants.emplace_back("no-flag", c);
+    }
+    {
+        DsmConfig c = DsmConfig::smp(8, 4);
+        variants.emplace_back("smp-c4", c);
+    }
+    {
+        DsmConfig c = DsmConfig::smp(8, 4);
+        c.shareDirectory = true;
+        variants.emplace_back("shared-dir", c);
+    }
+    {
+        DsmConfig c = DsmConfig::smp(8, 4);
+        c.broadcastDowngrades = true;
+        variants.emplace_back("broadcast-downgrades", c);
+    }
+
+    for (const auto &[label, cfg] : variants) {
+        const double v = runChecksum(name, cfg, p);
+        EXPECT_NEAR(v, reference,
+                    tol * std::max(1.0, std::abs(reference)))
+            << name << " result changed under " << label;
+    }
+
+    // Granularity and placement hints.
+    AppParams pg = p;
+    pg.variableGranularity = true;
+    EXPECT_NEAR(runChecksum(name, DsmConfig::base(8), pg),
+                reference,
+                tol * std::max(1.0, std::abs(reference)))
+        << name << " result changed under variable granularity";
+    AppParams ph = p;
+    ph.homePlacement = true;
+    EXPECT_NEAR(runChecksum(name, DsmConfig::base(8), ph),
+                reference,
+                tol * std::max(1.0, std::abs(reference)))
+        << name << " result changed under home placement";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, Transparency, ::testing::ValuesIn(appNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (auto &ch : n) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace shasta
