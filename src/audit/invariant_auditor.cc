@@ -1,0 +1,335 @@
+#include "audit/invariant_auditor.hh"
+
+#include <utility>
+
+namespace shasta
+{
+namespace
+{
+
+/** Cap on violation strings kept per sweep (counters track all). */
+constexpr std::size_t kMaxReported = 64;
+
+int
+stableStrength(LState s)
+{
+    switch (s) {
+      case LState::Exclusive: return 2;
+      case LState::Shared: return 1;
+      default: return 0;
+    }
+}
+
+int
+privStrength(PState s)
+{
+    switch (s) {
+      case PState::Exclusive: return 2;
+      case PState::Shared: return 1;
+      default: return 0;
+    }
+}
+
+std::string
+blockTag(NodeId n, LineIdx first)
+{
+    return "node " + std::to_string(n) + " block " +
+           std::to_string(first);
+}
+
+} // namespace
+
+std::string
+AuditReport::str() const
+{
+    std::string out;
+    for (const auto &v : violations)
+        out += "  " + v + "\n";
+    return out;
+}
+
+InvariantAuditor::InvariantAuditor(const Protocol &proto,
+                                   const std::vector<Proc> &procs)
+    : proto_(proto), procs_(procs)
+{
+}
+
+void
+InvariantAuditor::violation(AuditReport &r, std::string msg)
+{
+    ++counters_.violations;
+    if (r.violations.size() < kMaxReported)
+        r.violations.push_back(std::move(msg));
+}
+
+AuditReport
+InvariantAuditor::sweep()
+{
+    AuditReport r;
+    ++counters_.sweeps;
+    const SharedHeap &heap = proto_.heap();
+    const LineIdx in_use = heap.linesInUse();
+    for (LineIdx line = 0; line < in_use;) {
+        const BlockInfo b = heap.blockOf(line);
+        checkBlock(b.firstLine, b.numLines, r);
+        ++r.blocksChecked;
+        line = b.firstLine + b.numLines;
+    }
+    const int nodes = proto_.topology().numNodes();
+    for (NodeId n = 0; n < nodes; ++n) {
+        checkEntries(n, r);
+        checkNodeAggregates(n, r);
+    }
+    counters_.blocksChecked += r.blocksChecked;
+    counters_.entriesChecked += r.entriesChecked;
+    return r;
+}
+
+void
+InvariantAuditor::checkBlock(LineIdx first, std::uint32_t num_lines,
+                             AuditReport &r)
+{
+    const Topology &topo = proto_.topology();
+    const int nodes = topo.numNodes();
+    int exclusive_ish = 0;
+    bool quiescent = true;
+
+    for (NodeId n = 0; n < nodes; ++n) {
+        const NodeStateTable &tab = proto_.table(n);
+        const LState s = tab.peekShared(first);
+        for (std::uint32_t i = 1; i < num_lines; ++i) {
+            if (tab.peekShared(first + i) != s) {
+                violation(r, blockTag(n, first) +
+                                 ": non-uniform shared state (" +
+                                 std::string(lstateName(s)) +
+                                 " vs " +
+                                 std::string(lstateName(
+                                     tab.peekShared(first + i))) +
+                                 " at line " +
+                                 std::to_string(first + i) + ")");
+                break;
+            }
+        }
+
+        const MissEntry *e = proto_.missTable(n).find(first);
+        if (e || !isStable(s))
+            quiescent = false;
+
+        if (!isStable(s) && !e) {
+            violation(r, blockTag(n, first) + ": transient state " +
+                             std::string(lstateName(s)) +
+                             " without a miss entry");
+        }
+        if (isPendingDowngrade(s) && e && !e->downgradeActive()) {
+            violation(r, blockTag(n, first) +
+                             ": pending-downgrade state with no "
+                             "downgrades outstanding");
+        }
+        if (s == LState::PendRead && e && !e->readIssued) {
+            violation(r, blockTag(n, first) +
+                             ": PendRead without an issued read");
+        }
+        if (s == LState::PendEx && e && !e->wantWrite) {
+            violation(r, blockTag(n, first) +
+                             ": PendEx without a pending write");
+        }
+
+        // Private states may never be stronger than what the node
+        // holds.  During transients the node effectively holds the
+        // pre-transient state recorded in the miss entry.
+        const int allowed =
+            isStable(s)
+                ? stableStrength(s)
+                : stableStrength(e ? e->prior : LState::Invalid);
+        for (int l = 0; l < tab.procsOnNode(); ++l) {
+            const PState ps = tab.peekPriv(first, l);
+            if (privStrength(ps) > allowed) {
+                violation(r, blockTag(n, first) + " local " +
+                                 std::to_string(l) +
+                                 ": private state " +
+                                 std::string(pstateName(ps)) +
+                                 " stronger than node state " +
+                                 std::string(lstateName(s)));
+            }
+        }
+
+        if (tab.peekDeferredFill(first) && !tab.peekMarked(first)) {
+            violation(r, blockTag(n, first) +
+                             ": deferred flag fill on an unmarked "
+                             "block");
+        }
+
+        if (s == LState::Exclusive ||
+            (isPendingDowngrade(s) && e &&
+             e->prior == LState::Exclusive)) {
+            ++exclusive_ish;
+        }
+    }
+
+    if (exclusive_ish > 1) {
+        violation(r, "block " + std::to_string(first) + ": " +
+                         std::to_string(exclusive_ish) +
+                         " nodes hold (or are downgrading from) an "
+                         "exclusive copy");
+    }
+
+    // Directory cross-checks apply only to quiescent blocks: with a
+    // transaction in flight, sharer bits legitimately run ahead of
+    // the node states (eager release consistency).
+    const ProcId home = proto_.homeProc(first);
+    const HomeDirectory &dir = proto_.directory(home);
+    const auto &entries = dir.entriesMap();
+    const auto it = entries.find(first);
+    const DirEntry *de = it == entries.end() ? nullptr : &it->second;
+    if (de && (de->busy || !de->waiting.empty()))
+        quiescent = false;
+    if (!quiescent)
+        return;
+
+    const NodeId home_node = topo.nodeOf(home);
+    if (!de) {
+        // Never requested: only the home node can hold the data.
+        for (NodeId n = 0; n < nodes; ++n) {
+            const LState s = proto_.table(n).peekShared(first);
+            if (n != home_node && s != LState::Invalid) {
+                violation(r, blockTag(n, first) + ": state " +
+                                 std::string(lstateName(s)) +
+                                 " but the home directory has no "
+                                 "entry");
+            }
+        }
+        return;
+    }
+
+    std::vector<bool> node_shares(static_cast<std::size_t>(nodes),
+                                  false);
+    for (ProcId q : de->sharerList())
+        node_shares[static_cast<std::size_t>(topo.nodeOf(q))] = true;
+    for (NodeId n = 0; n < nodes; ++n) {
+        const LState s = proto_.table(n).peekShared(first);
+        const bool shares = node_shares[static_cast<std::size_t>(n)];
+        if (readableState(s) != shares) {
+            violation(r, blockTag(n, first) + ": node state " +
+                             std::string(lstateName(s)) +
+                             (shares ? " but the directory lists a "
+                                       "sharer on the node"
+                                     : " but the directory lists no "
+                                       "sharer on the node"));
+        }
+        if (s == LState::Exclusive) {
+            if (de->owner < 0 || topo.nodeOf(de->owner) != n) {
+                violation(r, blockTag(n, first) +
+                                 ": exclusive but directory owner "
+                                 "is proc " +
+                                 std::to_string(de->owner));
+            }
+            for (ProcId q : de->sharerList()) {
+                if (topo.nodeOf(q) != n) {
+                    violation(r, blockTag(n, first) +
+                                     ": exclusive but proc " +
+                                     std::to_string(q) +
+                                     " on another node is a sharer");
+                }
+            }
+        }
+    }
+}
+
+void
+InvariantAuditor::checkEntries(NodeId n, AuditReport &r)
+{
+    const NodeStateTable &tab = proto_.table(n);
+    for (const auto &[first, e] : proto_.missTable(n).entries()) {
+        ++r.entriesChecked;
+        const LState s = tab.peekShared(first);
+        const bool live = e.readIssued || e.wantWrite ||
+                          e.downgradeActive() ||
+                          !e.loadWaiters.empty() ||
+                          !e.retryWaiters.empty() ||
+                          !e.queuedRemote.empty();
+        if (!live) {
+            violation(r, blockTag(n, first) +
+                             ": zombie miss entry (no request, "
+                             "downgrade, waiter, or queued message)");
+        }
+        if (e.dirtyAny && !e.wantWrite) {
+            violation(r, blockTag(n, first) +
+                             ": dirty mask without a pending write");
+        }
+        if (e.acksExpected >= 0 && e.acksReceived > e.acksExpected) {
+            violation(r, blockTag(n, first) + ": " +
+                             std::to_string(e.acksReceived) +
+                             " acks received, only " +
+                             std::to_string(e.acksExpected) +
+                             " expected");
+        }
+        if (e.readIssued && s != LState::PendRead) {
+            violation(r, blockTag(n, first) +
+                             ": read issued but node state is " +
+                             std::string(lstateName(s)));
+        }
+        if (e.writeIssued && !e.dataArrived && s != LState::PendEx) {
+            violation(r, blockTag(n, first) +
+                             ": write issued (no data yet) but node "
+                             "state is " +
+                             std::string(lstateName(s)));
+        }
+        if (e.downgradeActive() && !e.savedAction) {
+            violation(r, blockTag(n, first) +
+                             ": active downgrade without a saved "
+                             "action");
+        }
+    }
+}
+
+void
+InvariantAuditor::checkNodeAggregates(NodeId n, AuditReport &r)
+{
+    const MissTable &mt = proto_.missTable(n);
+    int want_writes = 0;
+    for (const auto &[first, e] : mt.entries()) {
+        if (e.wantWrite)
+            ++want_writes;
+    }
+    if (proto_.epochs(n).outstanding() != want_writes) {
+        violation(r, "node " + std::to_string(n) + ": epoch tracker "
+                         "reports " +
+                         std::to_string(proto_.epochs(n).outstanding()) +
+                         " outstanding writes, miss table holds " +
+                         std::to_string(want_writes));
+    }
+
+    for (const Proc &p : procs_) {
+        if (p.node != n)
+            continue;
+        int mine = 0;
+        for (const auto &[first, e] : mt.entries()) {
+            if (e.wantWrite && e.writeInitiator == p.id)
+                ++mine;
+        }
+        if (p.outstandingWrites != mine) {
+            violation(r, "proc " + std::to_string(p.id) +
+                             ": outstandingWrites=" +
+                             std::to_string(p.outstandingWrites) +
+                             " but the miss table holds " +
+                             std::to_string(mine) +
+                             " of its write transactions");
+        }
+    }
+
+    const NodeStateTable &tab = proto_.table(n);
+    int marked = 0;
+    for (LineIdx l = 0; l < tab.knownLines(); ++l) {
+        if (tab.peekMarked(l))
+            ++marked;
+    }
+    if (marked != tab.markedCount()) {
+        violation(r, "node " + std::to_string(n) +
+                         ": markedCount=" +
+                         std::to_string(tab.markedCount()) + " but " +
+                         std::to_string(marked) +
+                         " lines carry marks");
+    }
+}
+
+} // namespace shasta

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Runtime invariant auditor for the coherence engine.
+ *
+ * The protocol's correctness argument rests on a set of cross-
+ * structure invariants (directory vs. state tables vs. miss tables
+ * vs. epochs) that asserts only spot-check at individual transition
+ * sites.  The auditor sweeps every structure between events — at
+ * configurable event-count intervals and at every barrier episode —
+ * and reports any state the protocol should never be able to reach.
+ *
+ * The sweep runs at a point where no handler is mid-flight, so
+ * *transient* states (PendRead/PendEx/PendDown*, in-flight acks under
+ * eager release consistency) are legal and the invariants are phrased
+ * to accommodate them; see the individual checks in the .cc.
+ */
+
+#ifndef SHASTA_AUDIT_INVARIANT_AUDITOR_HH
+#define SHASTA_AUDIT_INVARIANT_AUDITOR_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dsm/proc.hh"
+#include "proto/protocol.hh"
+#include "stats/counters.hh"
+
+namespace shasta
+{
+
+/** Thrown by the runtime when a sweep finds violations. */
+class AuditError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Result of one invariant sweep. */
+struct AuditReport
+{
+    /** Human-readable violation descriptions (capped; the full count
+     *  is in the auditor's totals). */
+    std::vector<std::string> violations;
+    std::uint64_t blocksChecked = 0;
+    std::uint64_t entriesChecked = 0;
+
+    bool clean() const { return violations.empty(); }
+
+    /** All violations joined, one per line. */
+    std::string str() const;
+};
+
+/**
+ * Read-only sweeper over the protocol's state.
+ *
+ * Uses only non-growing accessors (peekShared/peekPriv/entriesMap),
+ * so a sweep never mutates the structures it audits.
+ */
+class InvariantAuditor
+{
+  public:
+    InvariantAuditor(const Protocol &proto,
+                     const std::vector<Proc> &procs);
+
+    /** Run one full sweep; never throws, never mutates protocol
+     *  state. */
+    AuditReport sweep();
+
+    /** Counters accumulated over all sweeps. */
+    const AuditCounters &totals() const { return counters_; }
+
+  private:
+    void checkBlock(LineIdx first, std::uint32_t num_lines,
+                    AuditReport &r);
+    void checkEntries(NodeId n, AuditReport &r);
+    void checkNodeAggregates(NodeId n, AuditReport &r);
+    void violation(AuditReport &r, std::string msg);
+
+    const Protocol &proto_;
+    const std::vector<Proc> &procs_;
+    AuditCounters counters_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_AUDIT_INVARIANT_AUDITOR_HH

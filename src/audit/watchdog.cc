@@ -1,0 +1,111 @@
+#include "audit/watchdog.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace shasta
+{
+
+Watchdog::Watchdog(const EventQueue &events, const Protocol &proto,
+                   Tick stall_limit, DumpFn dump)
+    : events_(events), proto_(proto), stallLimit_(stall_limit),
+      dump_(std::move(dump))
+{
+}
+
+void
+Watchdog::fail(const std::string &msg)
+{
+    ++counters_.stallsDetected;
+    std::string full = "watchdog: " + msg;
+    if (dump_)
+        full += "\n" + dump_();
+    throw WatchdogError(full);
+}
+
+bool
+Watchdog::oldestPending(Tick &out, std::string &what) const
+{
+    Tick oldest = std::numeric_limits<Tick>::max();
+    std::string tag;
+    auto consider = [&](Tick t, NodeId n, LineIdx first,
+                        const char *kind) {
+        if (t < oldest) {
+            oldest = t;
+            tag = std::string(kind) + " (node " + std::to_string(n) +
+                  " block " + std::to_string(first) + ")";
+        }
+    };
+
+    const Topology &topo = proto_.topology();
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        for (const auto &[first, e] : proto_.missTable(n).entries()) {
+            if (e.readIssued || e.writeIssued || e.wantWrite)
+                consider(e.issueTime, n, first, "pending request");
+            if (e.downgradeActive())
+                consider(e.downgradeStart, n, first,
+                         "pending downgrade");
+            for (const Waiter &w : e.loadWaiters)
+                consider(w.stallStart, n, first, "parked load");
+            for (const Waiter &w : e.retryWaiters)
+                consider(w.stallStart, n, first, "parked retry");
+            for (const Message &m : e.queuedRemote)
+                consider(m.arriveTime, n, first,
+                         "queued remote request");
+        }
+    }
+    for (ProcId p = 0; p < topo.numProcs(); ++p) {
+        for (const auto &[first, de] :
+             proto_.directory(p).entriesMap()) {
+            for (const Message &m : de.waiting) {
+                consider(m.arriveTime, topo.nodeOf(p), first,
+                         "request queued at busy directory entry");
+            }
+        }
+    }
+
+    if (oldest == std::numeric_limits<Tick>::max())
+        return false;
+    out = oldest;
+    what = std::move(tag);
+    return true;
+}
+
+void
+Watchdog::check()
+{
+    ++counters_.watchdogChecks;
+    if (proto_.pendingTransactions() == 0) {
+        sameNowChecks_ = 0;
+        lastNow_ = events_.now();
+        return;
+    }
+
+    // Livelock: events keep firing but simulated time is pinned.
+    if (events_.now() == lastNow_) {
+        if (++sameNowChecks_ >= kLivelockChecks) {
+            fail("simulated time stuck at tick " +
+                 std::to_string(events_.now()) + " across " +
+                 std::to_string(sameNowChecks_) +
+                 " progress checks with " +
+                 std::to_string(proto_.pendingTransactions()) +
+                 " pending transaction(s)");
+        }
+    } else {
+        lastNow_ = events_.now();
+        sameNowChecks_ = 0;
+    }
+
+    // Stall: the oldest pending work item is too old.
+    Tick oldest = 0;
+    std::string what;
+    if (oldestPending(oldest, what) && events_.now() > oldest &&
+        events_.now() - oldest > stallLimit_) {
+        fail("no progress on " + what + " for " +
+             std::to_string(events_.now() - oldest) +
+             " ticks (limit " + std::to_string(stallLimit_) + ")");
+    }
+}
+
+} // namespace shasta

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * No-progress watchdog for the simulation.
+ *
+ * A wedged protocol historically spun until the test timeout with no
+ * diagnosis: the event queue keeps processing (pollers reschedule
+ * themselves) so the deadlock check in Runtime::run never trips.  The
+ * watchdog piggybacks on the event queue's progress hook and fails
+ * fast in two situations while transactions are pending:
+ *
+ *  - *livelock*: simulated time stops advancing across several
+ *    consecutive checks (events fire but only at one tick);
+ *  - *stall*: the oldest pending transaction (miss entry, parked
+ *    waiter, or queued directory request) has made no progress for
+ *    longer than the configured stall limit.
+ *
+ * On detection it throws WatchdogError carrying the runtime's full
+ * state dump (pending transactions, per-processor park states,
+ * mailbox depths).
+ */
+
+#ifndef SHASTA_AUDIT_WATCHDOG_HH
+#define SHASTA_AUDIT_WATCHDOG_HH
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "proto/protocol.hh"
+#include "sim/event_queue.hh"
+#include "stats/counters.hh"
+
+namespace shasta
+{
+
+/** Thrown when the watchdog detects a stall or livelock. */
+class WatchdogError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class Watchdog
+{
+  public:
+    /** Produces the state dump attached to a failure. */
+    using DumpFn = std::function<std::string()>;
+
+    Watchdog(const EventQueue &events, const Protocol &proto,
+             Tick stall_limit, DumpFn dump);
+
+    /**
+     * One progress check (call from the event queue's progress hook).
+     * Throws WatchdogError on a detected stall or livelock; cheap
+     * no-op while nothing is pending.
+     */
+    void check();
+
+    const AuditCounters &totals() const { return counters_; }
+
+  private:
+    /** Reference tick of the oldest pending work item; returns false
+     *  if nothing carries a usable timestamp. */
+    bool oldestPending(Tick &out, std::string &what) const;
+
+    [[noreturn]] void fail(const std::string &msg);
+
+    const EventQueue &events_;
+    const Protocol &proto_;
+    Tick stallLimit_;
+    DumpFn dump_;
+
+    AuditCounters counters_;
+    Tick lastNow_ = 0;
+    int sameNowChecks_ = 0;
+
+    /** Consecutive same-tick checks (interval events apart each)
+     *  before declaring a livelock. */
+    static constexpr int kLivelockChecks = 4;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_AUDIT_WATCHDOG_HH

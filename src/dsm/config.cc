@@ -2,9 +2,38 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 namespace shasta
 {
+
+void
+AuditConfig::applyEnv()
+{
+    const char *env = std::getenv("SHASTA_AUDIT");
+    if (!env)
+        return;
+    std::string_view rest(env);
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string_view tok = rest.substr(0, comma);
+        rest = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : rest.substr(comma + 1);
+        if (tok == "1" || tok == "on" || tok == "all") {
+            invariants = true;
+            watchdog = true;
+        } else if (tok == "invariants") {
+            invariants = true;
+        } else if (tok == "watchdog") {
+            watchdog = true;
+        } else if (tok == "0" || tok == "off") {
+            invariants = false;
+            watchdog = false;
+        }
+        // Unknown tokens are ignored, mirroring SHASTA_TRACE.
+    }
+}
 
 int
 DsmConfig::effectiveClustering() const

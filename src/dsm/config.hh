@@ -81,6 +81,49 @@ struct CostParams
     /** @} */
 };
 
+/**
+ * Runtime self-checking knobs (the audit subsystem, src/audit/).
+ *
+ * Defaults are all-off: auditing costs a full state sweep per
+ * interval, so production/benchmark runs leave it disabled while
+ * torture and CI runs switch it on.  The SHASTA_AUDIT environment
+ * variable overrides these per-process (see applyEnv()).
+ */
+struct AuditConfig
+{
+    /** Sweep coherence invariants at every interval and barrier. */
+    bool invariants = false;
+    /** Detect no-progress (stalled transactions, livelock). */
+    bool watchdog = false;
+    /** Processed-event count between periodic checks. */
+    std::uint64_t interval = 8192;
+    /** A pending transaction older than this many ticks with no
+     *  progress is reported as a stall. */
+    Tick stallLimit = usToTicks(500000.0); // 0.5 simulated seconds
+
+    bool enabled() const { return invariants || watchdog; }
+
+    /** Everything off (the default). */
+    static AuditConfig off() { return AuditConfig{}; }
+    /** Invariants + watchdog at the default interval. */
+    static AuditConfig
+    full()
+    {
+        AuditConfig a;
+        a.invariants = true;
+        a.watchdog = true;
+        return a;
+    }
+
+    /**
+     * Apply the SHASTA_AUDIT environment variable, if set.
+     * Comma-separated tokens: "1"/"on"/"all" (both checkers),
+     * "invariants", "watchdog", "0"/"off" (force-disable).
+     * Unknown tokens are ignored.
+     */
+    void applyEnv();
+};
+
 /** Full configuration of a run. */
 struct DsmConfig
 {
@@ -117,6 +160,8 @@ struct DsmConfig
     NetworkParams net = NetworkParams::defaults();
     CheckCosts checkCosts{};
     CostParams costs{};
+    /** Runtime self-checking (invariant sweeps + watchdog). */
+    AuditConfig audit{};
 
     /** Checking scheme implied by the mode. */
     CheckMode

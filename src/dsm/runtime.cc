@@ -4,6 +4,10 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "audit/invariant_auditor.hh"
+#include "audit/watchdog.hh"
+#include "stats/report.hh"
+
 namespace shasta
 {
 
@@ -46,6 +50,36 @@ Runtime::Runtime(const DsmConfig &cfg)
             assert(false);
         }
     });
+
+    cfg_.audit.applyEnv();
+    if (cfg_.protocolActive() && cfg_.audit.enabled()) {
+        if (cfg_.audit.invariants)
+            auditor_ = std::make_unique<InvariantAuditor>(*proto_,
+                                                          procs_);
+        if (cfg_.audit.watchdog) {
+            watchdog_ = std::make_unique<Watchdog>(
+                events_, *proto_, cfg_.audit.stallLimit,
+                [this] { return dumpState(); });
+        }
+        // The progress hook fires at event-queue top level, where a
+        // throw propagates straight out of run() without crossing a
+        // coroutine frame.
+        events_.setProgressHook(cfg_.audit.interval, [this] {
+            if (watchdog_)
+                watchdog_->check();
+            if (auditor_)
+                runAuditSweep();
+        });
+        // The barrier episode hook, by contrast, can fire inside an
+        // application coroutine (a poll draining the manager's
+        // mailbox), so the sweep is deferred to a same-tick event.
+        barrier_->setEpisodeHook([this] {
+            if (auditor_) {
+                events_.schedule(events_.now(),
+                                 [this] { runAuditSweep(); });
+            }
+        });
+    }
 }
 
 Runtime::~Runtime() = default;
@@ -175,6 +209,36 @@ Runtime::checkTotals() const
     return out;
 }
 
+void
+Runtime::runAuditSweep()
+{
+    const AuditReport r = auditor_->sweep();
+    if (!r.clean()) {
+        throw AuditError("protocol invariant violation(s) at tick " +
+                         std::to_string(events_.now()) + ":\n" +
+                         r.str() + dumpState());
+    }
+}
+
+AuditCounters
+Runtime::auditTotals() const
+{
+    AuditCounters out;
+    if (auditor_) {
+        const AuditCounters &a = auditor_->totals();
+        out.sweeps = a.sweeps;
+        out.blocksChecked = a.blocksChecked;
+        out.entriesChecked = a.entriesChecked;
+        out.violations = a.violations;
+    }
+    if (watchdog_) {
+        const AuditCounters &w = watchdog_->totals();
+        out.watchdogChecks = w.watchdogChecks;
+        out.stallsDetected = w.stallsDetected;
+    }
+    return out;
+}
+
 std::string
 Runtime::dumpState() const
 {
@@ -192,6 +256,9 @@ Runtime::dumpState() const
                " mail=" + std::to_string(p.mailbox.size()) + "\n";
     }
     out += proto_->dumpPending();
+    const std::string audit = report::auditSummary(auditTotals());
+    if (!audit.empty())
+        out += "  " + audit + "\n";
     return out;
 }
 
@@ -201,9 +268,20 @@ Runtime::openRegion()
     if (regionOpen_)
         return;
     regionOpen_ = true;
+    resetMeasurement();
+}
+
+void
+Runtime::resetMeasurement()
+{
     proto_->resetCounters();
     net_.resetCounts();
     proto_->setMeasuring(true);
+    for (auto &p : procs_) {
+        p.bd = Breakdown{};
+        p.checks = CheckCounters{};
+        p.regionStart = p.now;
+    }
 }
 
 } // namespace shasta

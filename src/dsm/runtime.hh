@@ -35,6 +35,9 @@
 namespace shasta
 {
 
+class InvariantAuditor;
+class Watchdog;
+
 /**
  * One simulated cluster run.
  */
@@ -94,18 +97,36 @@ class Runtime
     BarrierManager &barrierMgr() { return *barrier_; }
     Network &network() { return net_; }
     Proc &proc(int i) { return procs_[static_cast<std::size_t>(i)]; }
+    const std::vector<Proc> &procs() const { return procs_; }
     int numProcs() const { return cfg_.numProcs; }
     /** @} */
 
     /** Global side of Context::beginMeasure() (idempotent). */
     void openRegion();
 
+    /**
+     * Reset every measured statistic in one place: protocol counters,
+     * network counts, per-processor breakdowns and check counters,
+     * and the measurement window start.  A reset mid-run yields the
+     * same measured numbers as starting measurement fresh at that
+     * point.
+     */
+    void resetMeasurement();
+
     /** Human-readable snapshot of processor and protocol state (used
      *  in deadlock diagnostics and debugging). */
     std::string dumpState() const;
 
+    /** Aggregated audit/watchdog counters (zeros when auditing is
+     *  disabled). */
+    AuditCounters auditTotals() const;
+
   private:
     Task procMain(Context &ctx, const ProcBody &body);
+
+    /** Run one invariant sweep; throws AuditError on violations.
+     *  Only called from event-queue top level. */
+    void runAuditSweep();
 
     DsmConfig cfg_;
     EventQueue events_;
@@ -116,6 +137,8 @@ class Runtime
     std::unique_ptr<Protocol> proto_;
     std::unique_ptr<LockManager> locks_;
     std::unique_ptr<BarrierManager> barrier_;
+    std::unique_ptr<InvariantAuditor> auditor_;
+    std::unique_ptr<Watchdog> watchdog_;
     std::vector<std::unique_ptr<Context>> ctxs_;
     std::vector<Task> roots_;
     int doneCount_ = 0;

@@ -105,6 +105,7 @@ Protocol::downgradeNode(Proc &p, LineIdx first, bool to_invalid,
                                              blockBytes(b));
     assert(e.downgradesLeft == 0 && "overlapping downgrades");
     e.downgradesLeft = static_cast<int>(targets.size());
+    e.downgradeStart = p.now;
     const LState s = tab.shared(first);
     if (!isPendingMiss(s)) {
         // Pure downgrade of a stable block: remember the prior state

@@ -105,6 +105,10 @@ struct MissEntry
 
     /** When the outstanding request was issued (latency stats). */
     Tick issueTime = 0;
+    /** When the current downgrade round started.  Pure-downgrade
+     *  entries (no request outstanding) have issueTime == 0, so the
+     *  watchdog ages them from this timestamp instead. */
+    Tick downgradeStart = 0;
 
     bool downgradeActive() const { return downgradesLeft > 0; }
 

@@ -587,6 +587,14 @@ Protocol::drainMailbox(Proc &p)
 {
     if (p.draining)
         return;
+    // Scope guard, not a manual reset: if a handler throws, a stuck
+    // draining flag would silently stop all future drains for this
+    // processor.
+    struct DrainGuard
+    {
+        bool &flag;
+        ~DrainGuard() { flag = false; }
+    } guard{p.draining};
     p.draining = true;
     while (p.mailbox.hasMail()) {
         Message m = p.mailbox.pop();
@@ -598,7 +606,6 @@ Protocol::drainMailbox(Proc &p)
         if (count_as_msg)
             p.bd.msg += p.now - t0;
     }
-    p.draining = false;
 }
 
 void

@@ -87,10 +87,28 @@ class Protocol
     /** @{ Infrastructure accessors. */
     NodeMemory &memory(NodeId n) { return *memories_[n]; }
     NodeStateTable &table(NodeId n) { return *tables_[n]; }
+    const NodeStateTable &table(NodeId n) const { return *tables_[n]; }
     EpochTracker &epochs(NodeId n) { return *epochs_[n]; }
+    const EpochTracker &epochs(NodeId n) const { return *epochs_[n]; }
     ProtoCounters &counters() { return counters_; }
     const ProtoCounters &counters() const { return counters_; }
     const Topology &topology() const { return topo_; }
+    const SharedHeap &heap() const { return heap_; }
+    /** @} */
+
+    /** @{ Audit accessors: the invariant auditor sweeps these
+     *  structures read-only; the non-const variants exist for
+     *  fault-injection tests. */
+    MissTable &missTable(NodeId n) { return *missTables_[n]; }
+    const MissTable &missTable(NodeId n) const
+    {
+        return *missTables_[n];
+    }
+    HomeDirectory &directory(ProcId p) { return *dirs_[p]; }
+    const HomeDirectory &directory(ProcId p) const
+    {
+        return *dirs_[p];
+    }
     /** @} */
 
     /** Home processor of @p line (page-granular, round-robin unless

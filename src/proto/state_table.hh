@@ -77,6 +77,44 @@ class NodeStateTable
     void clearDeferredFill(LineIdx line);
     /** @} */
 
+    /** @{ Non-growing accessors for audit sweeps.  shared()/priv()
+     *  lazily grow the (mutable) tables, so an auditor iterating
+     *  "every known line" must not use them: peek variants return
+     *  Invalid beyond the grown range and never allocate. */
+    /** Number of lines the shared table has grown to cover. */
+    LineIdx
+    knownLines() const
+    {
+        return static_cast<LineIdx>(shared_.size());
+    }
+
+    LState
+    peekShared(LineIdx line) const
+    {
+        return line < shared_.size() ? shared_[line]
+                                     : LState::Invalid;
+    }
+
+    PState
+    peekPriv(LineIdx line, int local) const
+    {
+        const auto &t = priv_[static_cast<std::size_t>(local)];
+        return line < t.size() ? t[line] : PState::Invalid;
+    }
+
+    bool
+    peekMarked(LineIdx line) const
+    {
+        return line < markCount_.size() && markCount_[line] > 0;
+    }
+
+    bool
+    peekDeferredFill(LineIdx line) const
+    {
+        return line < deferredFill_.size() && deferredFill_[line];
+    }
+    /** @} */
+
   private:
     void growTo(LineIdx line) const;
 

@@ -1,6 +1,8 @@
 #include "sim/event_queue.hh"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace shasta
@@ -9,7 +11,12 @@ namespace shasta
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    assert(when >= now_ && "event scheduled in the simulated past");
+    if (when < now_) {
+        throw std::logic_error(
+            "EventQueue::schedule: event at tick " +
+            std::to_string(when) + " is before now=" +
+            std::to_string(now_));
+    }
     heap_.push(Entry{when, nextSeq_++, std::move(cb)});
 }
 
@@ -33,7 +40,21 @@ EventQueue::step()
     now_ = entry.when;
     ++processed_;
     entry.cb();
+    if (hook_ && ++sinceHook_ >= hookEvery_) {
+        sinceHook_ = 0;
+        hook_();
+    }
     return true;
+}
+
+void
+EventQueue::setProgressHook(std::uint64_t every_events,
+                            ProgressHook hook)
+{
+    assert(every_events > 0 || !hook);
+    hook_ = std::move(hook);
+    hookEvery_ = every_events;
+    sinceHook_ = 0;
 }
 
 void

@@ -31,6 +31,7 @@ class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+    using ProgressHook = std::function<void()>;
 
     EventQueue() = default;
 
@@ -40,7 +41,10 @@ class EventQueue
     /**
      * Schedule @p cb to fire at absolute time @p when.
      *
-     * Scheduling in the past is a programming error and asserts.
+     * Scheduling in the past is a programming error; it throws
+     * std::logic_error naming both ticks (always on, even in
+     * Release -- a past-time event would silently break simulated-
+     * time monotonicity).
      */
     void schedule(Tick when, Callback cb);
 
@@ -71,6 +75,15 @@ class EventQueue
      */
     bool runUntil(Tick limit);
 
+    /**
+     * Install a hook that fires after every @p every_events processed
+     * events (the audit subsystem's heartbeat).  The hook runs at top
+     * level in step(), after the event's callback returns, so it may
+     * throw: the exception propagates out of step()/run() rather than
+     * through any coroutine frame.  Pass an empty hook to uninstall.
+     */
+    void setProgressHook(std::uint64_t every_events, ProgressHook hook);
+
   private:
     struct Entry
     {
@@ -94,6 +107,10 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
+
+    ProgressHook hook_;
+    std::uint64_t hookEvery_ = 0;
+    std::uint64_t sinceHook_ = 0;
 };
 
 } // namespace shasta

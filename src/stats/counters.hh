@@ -107,6 +107,23 @@ struct ProtoCounters
     }
 };
 
+/** Counters from the runtime audit subsystem (src/audit/). */
+struct AuditCounters
+{
+    /** Invariant sweeps performed (periodic + barrier-triggered). */
+    std::uint64_t sweeps = 0;
+    /** Blocks examined across all sweeps. */
+    std::uint64_t blocksChecked = 0;
+    /** Miss entries examined across all sweeps. */
+    std::uint64_t entriesChecked = 0;
+    /** Invariant violations found (a clean run reports 0). */
+    std::uint64_t violations = 0;
+    /** Watchdog progress checks performed. */
+    std::uint64_t watchdogChecks = 0;
+    /** Stalls / livelocks detected (a clean run reports 0). */
+    std::uint64_t stallsDetected = 0;
+};
+
 /** Per-access counters from the checking layer. */
 struct CheckCounters
 {

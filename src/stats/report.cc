@@ -182,4 +182,22 @@ printSegmentBar(const std::string &label,
     std::fprintf(out, "  %.0f%%\n", 100.0 * total / norm);
 }
 
+std::string
+auditSummary(const AuditCounters &a)
+{
+    if (a.sweeps == 0 && a.watchdogChecks == 0)
+        return {};
+    std::string s = "audit: " + std::to_string(a.sweeps) +
+                    " sweep(s), " + std::to_string(a.blocksChecked) +
+                    " block(s), " + std::to_string(a.entriesChecked) +
+                    " entr(ies), " + std::to_string(a.violations) +
+                    " violation(s)";
+    if (a.watchdogChecks > 0) {
+        s += "; watchdog: " + std::to_string(a.watchdogChecks) +
+             " check(s), " + std::to_string(a.stallsDetected) +
+             " stall(s)";
+    }
+    return s;
+}
+
 } // namespace shasta::report

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "stats/breakdown.hh"
+#include "stats/counters.hh"
 
 namespace shasta::report
 {
@@ -58,6 +59,10 @@ void printBreakdownBar(const std::string &label,
 
 /** Print the bar legend once. */
 void printBarLegend(std::FILE *out = stdout);
+
+/** One-line audit summary ("audit: N sweeps, M blocks, 0
+ *  violations..."); empty string when no sweeps or checks ran. */
+std::string auditSummary(const AuditCounters &a);
 
 /**
  * Print a segmented percentage bar (for the miss / message count

@@ -29,6 +29,8 @@ BarrierManager::arrive(Proc &p)
         // Last arriver: release everyone.
         arrived_ = 0;
         ++episodes_;
+        if (episodeHook_)
+            episodeHook_();
         const Tick release = p.now + cfg_.costs.hwBarrier;
         for (ProcId q = 0; q < cfg_.numProcs; ++q) {
             if (q != p.id)
@@ -104,6 +106,8 @@ BarrierManager::handle(Proc &p, Message &&m)
         if (++arrived_ == expected_) {
             arrived_ = 0;
             ++episodes_;
+            if (episodeHook_)
+                episodeHook_();
             for (ProcId q = 0; q < cfg_.numProcs; ++q) {
                 Message rel;
                 rel.type = MsgType::BarrierRelease;

@@ -14,6 +14,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dsm/config.hh"
@@ -50,6 +51,17 @@ class BarrierManager
     /** Barrier episodes completed. */
     std::uint64_t episodes() const { return episodes_; }
 
+    /**
+     * Install a hook invoked once per completed barrier episode (the
+     * audit subsystem sweeps at barriers).  The hook may run inside a
+     * coroutine frame, so it must not throw directly — defer any
+     * throwing work via the event queue.
+     */
+    void setEpisodeHook(std::function<void()> hook)
+    {
+        episodeHook_ = std::move(hook);
+    }
+
   private:
     struct ParkedProc
     {
@@ -70,6 +82,7 @@ class BarrierManager
     int expected_;
     int arrived_ = 0;
     std::uint64_t episodes_ = 0;
+    std::function<void()> episodeHook_;
     std::vector<ParkedProc> parked_;
 };
 

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Tests of the audit subsystem (src/audit/): clean runs sweep without
+ * violations, injected state corruption is flagged, the no-progress
+ * watchdog fires on induced stalls and livelocks, and the mailbox
+ * drain guard survives a throwing handler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "apps/app.hh"
+#include "audit/invariant_auditor.hh"
+#include "audit/watchdog.hh"
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/** A runtime plus the first line of one 64-byte homed block. */
+struct Fixture
+{
+    Runtime rt;
+    Addr a;
+    LineIdx first;
+    std::uint32_t numLines;
+
+    explicit Fixture(DsmConfig cfg = DsmConfig::smp(8, 4),
+                     ProcId home = 0)
+        : rt(cfg), a(rt.allocHomed(64, 64, home)),
+          first(rt.heap().lineOf(a)),
+          numLines(rt.heap().blockOf(first).numLines)
+    {
+    }
+
+    AuditReport
+    sweepOnce()
+    {
+        InvariantAuditor aud(rt.protocol(), rt.procs());
+        return aud.sweep();
+    }
+};
+
+bool
+mentions(const AuditReport &r, const std::string &needle)
+{
+    return r.str().find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------
+// Invariant sweeps
+// ---------------------------------------------------------------
+
+TEST(Auditor, FreshRuntimeIsClean)
+{
+    Fixture f;
+    const AuditReport r = f.sweepOnce();
+    EXPECT_TRUE(r.clean()) << r.str();
+    EXPECT_GT(r.blocksChecked, 0u);
+}
+
+TEST(Auditor, FlagsTwoExclusiveNodes)
+{
+    Fixture f;
+    // Node 0 (home) already holds the block exclusively; forge a
+    // second exclusive copy on node 1.
+    f.rt.protocol().table(1).setShared(f.first, f.numLines,
+                                       LState::Exclusive);
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "exclusive copy")) << r.str();
+}
+
+TEST(Auditor, FlagsPrivateStrongerThanNode)
+{
+    Fixture f;
+    // Node 1 is Invalid; give one of its processors a private
+    // Shared entry anyway.
+    f.rt.protocol().table(1).setPriv(f.first, f.numLines, 0,
+                                     PState::Shared);
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "stronger than node state")) << r.str();
+}
+
+TEST(Auditor, FlagsZombieMissEntry)
+{
+    Fixture f;
+    // An entry with no request, downgrade, waiter, or queued message
+    // should have been erased.
+    f.rt.protocol().missTable(0).ensure(f.first, f.numLines, 64);
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "zombie miss entry")) << r.str();
+}
+
+TEST(Auditor, FlagsDirtyMaskWithoutPendingWrite)
+{
+    Fixture f;
+    MissEntry &e =
+        f.rt.protocol().missTable(0).ensure(f.first, f.numLines, 64);
+    e.readIssued = true;
+    e.prior = LState::Exclusive;
+    e.dirtyAny = true;
+    f.rt.protocol().table(0).setShared(f.first, f.numLines,
+                                       LState::PendRead);
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "dirty mask without a pending write"))
+        << r.str();
+}
+
+TEST(Auditor, FlagsEpochTrackerMismatch)
+{
+    Fixture f;
+    // A write transaction the epoch tracker (and the initiating
+    // processor's outstanding-write count) never heard about.
+    MissEntry &e =
+        f.rt.protocol().missTable(0).ensure(f.first, f.numLines, 64);
+    e.wantWrite = true;
+    e.writeInitiator = 0;
+    e.prior = LState::Exclusive;
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "epoch tracker")) << r.str();
+    EXPECT_TRUE(mentions(r, "outstandingWrites")) << r.str();
+}
+
+TEST(Auditor, FlagsTransientWithoutMissEntry)
+{
+    Fixture f;
+    f.rt.protocol().table(1).setShared(f.first, f.numLines,
+                                       LState::PendRead);
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "without a miss entry")) << r.str();
+}
+
+TEST(Auditor, FlagsDeferredFillOnUnmarkedBlock)
+{
+    Fixture f;
+    f.rt.protocol().table(1).deferFlagFill(f.first);
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "deferred flag fill")) << r.str();
+}
+
+TEST(Auditor, FlagsDirectoryStateTableDisagreement)
+{
+    Fixture f;
+    // Quiescent block whose directory entry lists no sharer on a
+    // node that claims a readable copy.
+    f.rt.protocol().directory(0).entry(f.first); // home owner/sharer
+    f.rt.protocol().table(1).setShared(f.first, f.numLines,
+                                       LState::Shared);
+    const AuditReport r = f.sweepOnce();
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(mentions(r, "directory lists no sharer")) << r.str();
+}
+
+// ---------------------------------------------------------------
+// Audited end-to-end runs (periodic + barrier sweeps)
+// ---------------------------------------------------------------
+
+Task
+sharingKernel(Context &c, Addr arr)
+{
+    const int n = c.numProcs();
+    for (int round = 0; round < 3; ++round) {
+        co_await c.storeI64(
+            arr + static_cast<Addr>(8 * ((c.id() + round) % n)),
+            c.id() + round);
+        co_await c.barrier();
+        std::int64_t sum = 0;
+        for (int i = 0; i < n; ++i) {
+            sum += co_await c.loadI64(arr +
+                                      static_cast<Addr>(8 * i));
+            co_await c.poll();
+        }
+        (void)sum;
+        co_await c.barrier();
+    }
+}
+
+TEST(AuditedRun, SweepsRunAndFindNothing)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.audit = AuditConfig::full();
+    cfg.audit.interval = 64; // sweep often
+    Runtime rt(cfg);
+    const Addr arr = rt.alloc(8 * 8);
+    rt.run([&](Context &c) { return sharingKernel(c, arr); });
+    const AuditCounters t = rt.auditTotals();
+    EXPECT_GT(t.sweeps, 0u);
+    EXPECT_GT(t.blocksChecked, 0u);
+    EXPECT_EQ(t.violations, 0u);
+    EXPECT_GT(t.watchdogChecks, 0u);
+    EXPECT_EQ(t.stallsDetected, 0u);
+}
+
+TEST(AuditedRun, InjectedCorruptionThrowsAuditError)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.audit.invariants = true;
+    cfg.audit.interval = 64;
+    Runtime rt(cfg);
+    const Addr arr = rt.alloc(8 * 8);
+    const LineIdx line = rt.heap().lineOf(arr);
+    const std::uint32_t n = rt.heap().blockOf(line).numLines;
+    // Corrupt before the run even starts: the first periodic sweep
+    // flags it.
+    rt.protocol().table(1).setShared(line, n, LState::Exclusive);
+    try {
+        rt.run([&](Context &c) -> Task {
+            return [](Context &cc) -> Task {
+                for (int i = 0; i < 2000; ++i) {
+                    cc.compute(600);
+                    co_await cc.poll();
+                }
+                co_await cc.barrier();
+            }(c);
+        });
+        FAIL() << "expected AuditError";
+    } catch (const AuditError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("invariant violation"),
+                  std::string::npos);
+        EXPECT_NE(what.find("exclusive copy"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------
+
+Task
+stuckKernel(Context &c, Addr a)
+{
+    if (c.id() == 1)
+        co_await c.storeI64(a, 1); // queues behind the stuck entry
+    // Keep the event queue busy so progress checks keep firing.
+    for (int i = 0; i < 20000; ++i) {
+        c.compute(600);
+        co_await c.poll();
+    }
+    co_await c.barrier();
+}
+
+TEST(Watchdog, FiresOnStuckBusyDirectoryEntry)
+{
+    DsmConfig cfg = DsmConfig::base(2);
+    cfg.audit.watchdog = true;
+    cfg.audit.interval = 256;
+    cfg.audit.stallLimit = usToTicks(100.0);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    const LineIdx first = rt.heap().lineOf(a);
+    // Fault injection: the home's directory entry is stuck busy, as
+    // if a transaction's completion message was dropped.  Proc 1's
+    // write request queues behind it forever.
+    rt.protocol().directory(0).entry(first).busy = true;
+    try {
+        rt.run([&](Context &c) { return stuckKernel(c, a); });
+        FAIL() << "expected WatchdogError";
+    } catch (const WatchdogError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("watchdog"), std::string::npos);
+        EXPECT_NE(what.find("no progress"), std::string::npos);
+        // The failure carries the state dump.
+        EXPECT_NE(what.find("proc 0"), std::string::npos);
+    }
+    EXPECT_EQ(rt.auditTotals().stallsDetected, 1u);
+}
+
+TEST(Watchdog, FiresOnSameTickLivelock)
+{
+    Runtime rt(DsmConfig::base(2)); // auditing off; drive by hand
+    const Addr a = rt.alloc(64);
+    const LineIdx first = rt.heap().lineOf(a);
+    // A pending transaction that never progresses...
+    MissEntry &e = rt.protocol().missTable(1).ensure(
+        first, rt.heap().blockOf(first).numLines, 64);
+    e.readIssued = true;
+    Watchdog wd(rt.events(), rt.protocol(), usToTicks(1e9),
+                [] { return std::string("(dump)"); });
+    EventQueue &q = rt.events();
+    q.setProgressHook(1, [&] { wd.check(); });
+    // ...while events fire forever at one tick.
+    std::function<void()> spin = [&] { q.schedule(q.now(), spin); };
+    q.schedule(0, spin);
+    try {
+        q.run();
+        FAIL() << "expected WatchdogError";
+    } catch (const WatchdogError &err) {
+        EXPECT_NE(std::string(err.what()).find("stuck at tick"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(wd.totals().stallsDetected, 1u);
+    EXPECT_GE(wd.totals().watchdogChecks, 4u);
+}
+
+TEST(Watchdog, QuietWhileNothingIsPending)
+{
+    Runtime rt(DsmConfig::base(2));
+    Watchdog wd(rt.events(), rt.protocol(), usToTicks(1.0),
+                [] { return std::string(); });
+    for (int i = 0; i < 10; ++i)
+        wd.check(); // same tick, zero pending: never a livelock
+    EXPECT_EQ(wd.totals().stallsDetected, 0u);
+    EXPECT_EQ(wd.totals().watchdogChecks, 10u);
+}
+
+// ---------------------------------------------------------------
+// Mailbox drain guard (regression: the draining flag used to stay
+// set when a handler threw, silently disabling all future drains)
+// ---------------------------------------------------------------
+
+Message
+barrierArriveFrom(ProcId src)
+{
+    Message m;
+    m.type = MsgType::BarrierArrive;
+    m.src = src;
+    m.dst = 0;
+    m.requester = src;
+    return m;
+}
+
+TEST(DrainGuard, FlagClearedWhenHandlerThrows)
+{
+    Runtime rt(DsmConfig::base(2));
+    Proc &p = rt.proc(0);
+    rt.protocol().setSyncHandler([](Proc &, Message &&) {
+        throw std::runtime_error("injected handler failure");
+    });
+    p.mailbox.push(barrierArriveFrom(1));
+    EXPECT_THROW(rt.protocol().drainMailbox(p), std::runtime_error);
+    EXPECT_FALSE(p.draining)
+        << "drain guard failed to clear the reentrancy flag";
+
+    // The drain path must still work afterwards.
+    bool handled = false;
+    rt.protocol().setSyncHandler(
+        [&](Proc &, Message &&) { handled = true; });
+    p.mailbox.push(barrierArriveFrom(1));
+    rt.protocol().drainMailbox(p);
+    EXPECT_TRUE(handled);
+    EXPECT_FALSE(p.draining);
+    EXPECT_FALSE(p.mailbox.hasMail());
+}
+
+// ---------------------------------------------------------------
+// SHASTA_AUDIT environment knob
+// ---------------------------------------------------------------
+
+TEST(AuditConfigEnv, ParsesTokens)
+{
+    ::setenv("SHASTA_AUDIT", "invariants", 1);
+    AuditConfig a;
+    a.applyEnv();
+    EXPECT_TRUE(a.invariants);
+    EXPECT_FALSE(a.watchdog);
+
+    ::setenv("SHASTA_AUDIT", "1", 1);
+    AuditConfig b;
+    b.applyEnv();
+    EXPECT_TRUE(b.invariants);
+    EXPECT_TRUE(b.watchdog);
+
+    ::setenv("SHASTA_AUDIT", "watchdog", 1);
+    AuditConfig c;
+    c.applyEnv();
+    EXPECT_FALSE(c.invariants);
+    EXPECT_TRUE(c.watchdog);
+
+    ::setenv("SHASTA_AUDIT", "off", 1);
+    AuditConfig d = AuditConfig::full();
+    d.applyEnv();
+    EXPECT_FALSE(d.enabled());
+
+    ::unsetenv("SHASTA_AUDIT");
+    AuditConfig e = AuditConfig::full();
+    e.applyEnv(); // no variable: config untouched
+    EXPECT_TRUE(e.invariants);
+    EXPECT_TRUE(e.watchdog);
+}
+
+// ---------------------------------------------------------------
+// All registered apps under full auditing (acceptance sweep)
+// ---------------------------------------------------------------
+
+AppParams
+tinyAuditParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (app.name() == "lu" || app.name() == "lu-contig")
+        p.n = 64;
+    else if (app.name() == "ocean")
+        p.n = 34;
+    else if (app.name() == "barnes" || app.name() == "fmm")
+        p.n = 128;
+    else if (app.name() == "raytrace")
+        p.n = 32;
+    else if (app.name() == "volrend")
+        p.n = 16;
+    else if (app.name() == "water-nsq" || app.name() == "water-sp")
+        p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+TEST(AuditedApps, AllAppsRunCleanUnderFullAudit)
+{
+    for (const auto &name : appNames()) {
+        for (DsmConfig cfg :
+             {DsmConfig::base(8), DsmConfig::smp(8, 4)}) {
+            cfg.audit = AuditConfig::full();
+            cfg.audit.interval = 4096;
+            auto app = createApp(name);
+            const AppParams p = tinyAuditParams(*app);
+            Runtime rt(cfg);
+            app->setup(rt, p);
+            // A violation or stall would throw out of run().
+            rt.run([&](Context &c) { return app->body(c, p); });
+            const double ref = app->reference(p);
+            const double tol = app->tolerance() *
+                               std::max(1.0, std::abs(ref));
+            EXPECT_NEAR(app->checksum(rt), ref, tol) << name;
+            const AuditCounters t = rt.auditTotals();
+            EXPECT_GT(t.sweeps, 0u) << name;
+            EXPECT_EQ(t.violations, 0u) << name;
+            EXPECT_EQ(t.stallsDetected, 0u) << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace shasta

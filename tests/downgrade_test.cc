@@ -200,6 +200,89 @@ TEST(Downgrade, BatchMarkersDeferFlagFill)
     EXPECT_NE(bits, kInvalidFlag64);
 }
 
+Task
+batchWriteReissueKernel(Context &c, Addr a, Addr slow, bool *ended)
+{
+    // Proc 4 opens a WRITE batch over the first longword of `a` plus
+    // a block that misses remotely, so the batch parks mid-flight
+    // with `a` marked and already writable; proc 0 then writes a
+    // different longword of `a`, invalidating node 1 during the
+    // window.  batchEnd must re-issue the write transaction for the
+    // store range (exclusivity was lost while the batch waited) and
+    // apply the deferred invalid-flag fill around the dirty bytes --
+    // both stores must survive (Sections 3.4.3/3.4.4).
+    if (c.id() == 4) {
+        auto bs = co_await c.batchSet({a, 8, true},
+                                      {slow, 8, false});
+        c.rawStore<double>(a, 1.5);
+        c.batchEnd(bs);
+        *ended = true;
+    }
+    if (c.id() == 0) {
+        c.compute(700); // aim for proc 4's batch window
+        co_await c.storeFp(a + 8, 99.0);
+    }
+    co_await c.barrier();
+}
+
+TEST(Downgrade, BatchWriteReissuedWhenExclusivityLostMidBatch)
+{
+    Runtime rt(cfg84());
+    const Addr a = rt.allocHomed(64, 64, 4);    // owned by node 1
+    const Addr slow = rt.allocHomed(64, 64, 0); // remote for proc 4
+    rt.protocol().memory(1).write<double>(a, 7.0);
+    bool ended = false;
+    rt.run([&](Context &c) {
+        return batchWriteReissueKernel(c, a, slow, &ended);
+    });
+    EXPECT_TRUE(ended);
+    // Whatever the interleaving, the final memory must hold both
+    // stores: proc 4's batched store at a, proc 0's at a+8.
+    int readable = 0;
+    for (NodeId n = 0; n < 2; ++n) {
+        if (!readableState(rt.protocol().nodeState(
+                n, rt.heap().lineOf(a))))
+            continue;
+        ++readable;
+        EXPECT_DOUBLE_EQ(rt.protocol().memory(n).read<double>(a),
+                         1.5)
+            << "batched store lost on node " << n;
+        EXPECT_DOUBLE_EQ(
+            rt.protocol().memory(n).read<double>(a + 8), 99.0)
+            << "concurrent store lost on node " << n;
+    }
+    EXPECT_GT(readable, 0);
+    // Both write transactions really happened.
+    EXPECT_GE(rt.counters().totalMisses(), 2u);
+}
+
+TEST(Downgrade, DeferredFillAppliedWhenBatchEnds)
+{
+    // Same scenario as BatchMarkersDeferFlagFill, but verify the
+    // *write path* of batchUnmark: once the batch ends, a node that
+    // lost the block mid-batch must end up with the invalid flag
+    // actually written (the deferral is a postponement, not a skip).
+    Runtime rt(cfg84());
+    const Addr a = rt.allocHomed(64, 64, 4);
+    const Addr slow = rt.allocHomed(64, 64, 0);
+    rt.protocol().memory(1).write<double>(a, 7.0);
+    double got = 0;
+    rt.run([&](Context &c) {
+        return deferredFillKernel(c, a, slow, &got);
+    });
+    const LineIdx line = rt.heap().lineOf(a);
+    if (!readableState(rt.protocol().nodeState(1, line))) {
+        // Node 1 ended the run invalidated: the deferred fill must
+        // have landed when the batch unmarked the block.
+        const auto bits =
+            rt.protocol().memory(1).read<std::uint64_t>(a);
+        EXPECT_EQ(bits, kInvalidFlag64)
+            << "deferred invalid-flag fill was dropped";
+    }
+    // Regardless of interleaving, no marks may outlive the run.
+    EXPECT_EQ(rt.protocol().table(1).markedCount(), 0);
+}
+
 TEST(Downgrade, BaseModeNeverSendsDowngrades)
 {
     Runtime rt(DsmConfig::base(8));

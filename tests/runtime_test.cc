@@ -125,6 +125,93 @@ TEST(RuntimeAlloc, HomedAllocationsArePageAligned)
     EXPECT_EQ(rt.protocol().homeProc(rt.heap().lineOf(a)), 5);
 }
 
+Task
+measuredPhase(Context &c, Addr m)
+{
+    const int n = c.numProcs();
+    co_await c.storeI64(m + static_cast<Addr>(8 * c.id()), c.id());
+    co_await c.barrier();
+    std::int64_t s = 0;
+    for (int i = 0; i < n; ++i)
+        s += co_await c.loadI64(m + static_cast<Addr>(8 * i));
+    (void)s;
+    co_await c.barrier();
+}
+
+Task
+resetKernel(Context &c, Addr warm, Addr m)
+{
+    // Optional warmup traffic on a separate array, then quiesce
+    // behind two barriers, reset measurement, and run an identical
+    // measured phase.
+    if (warm != 0)
+        (void)co_await c.loadI64(warm +
+                                 static_cast<Addr>(8 * c.id()));
+    co_await c.barrier();
+    co_await c.barrier();
+    c.beginMeasure();
+    co_await measuredPhase(c, m);
+}
+
+struct MeasuredNumbers
+{
+    std::uint64_t misses, msgs, loads, stores;
+    Tick wall, total;
+};
+
+MeasuredNumbers
+runMeasured(bool with_warmup)
+{
+    Runtime rt(DsmConfig::base(4));
+    const Addr warm = with_warmup ? rt.allocHomed(64, 64, 0) : 0;
+    const Addr m = rt.allocHomed(64, 64, 1);
+    rt.run([&](Context &c) { return resetKernel(c, warm, m); });
+    return MeasuredNumbers{rt.counters().totalMisses(),
+                           rt.netCounts().total(),
+                           rt.checkTotals().loads,
+                           rt.checkTotals().stores,
+                           rt.wallTime(),
+                           rt.aggregateBreakdown().total};
+}
+
+TEST(MeasurementReset, MidRunResetMatchesFreshRun)
+{
+    // The reset must cover every statistic in one place: after the
+    // warmup's misses and messages are discarded, the measured
+    // numbers of the warmed-up run equal those of a run that never
+    // had a warmup (the warmup only shifts all clocks uniformly
+    // after the barriers resynchronize).
+    const MeasuredNumbers warmed = runMeasured(true);
+    const MeasuredNumbers fresh = runMeasured(false);
+    EXPECT_EQ(warmed.misses, fresh.misses);
+    EXPECT_EQ(warmed.msgs, fresh.msgs);
+    EXPECT_EQ(warmed.stores, fresh.stores);
+    EXPECT_EQ(warmed.wall, fresh.wall);
+    EXPECT_EQ(warmed.total, fresh.total);
+    // The warmup's extra checked loads must not leak into the
+    // measured window.
+    EXPECT_EQ(warmed.loads, fresh.loads);
+}
+
+TEST(MeasurementReset, RuntimeApiResetsCountersDirectly)
+{
+    Runtime rt(DsmConfig::base(2));
+    const Addr a = rt.allocHomed(64, 64, 0);
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr aa) -> Task {
+            if (cc.id() == 1)
+                (void)co_await cc.loadI64(aa); // one remote miss
+            co_await cc.barrier();
+        }(c, a);
+    });
+    EXPECT_GT(rt.counters().totalMisses(), 0u);
+    EXPECT_GT(rt.netCounts().total(), 0u);
+    rt.resetMeasurement();
+    EXPECT_EQ(rt.counters().totalMisses(), 0u);
+    EXPECT_EQ(rt.netCounts().total(), 0u);
+    EXPECT_EQ(rt.checkTotals().loads, 0u);
+}
+
 TEST(Report, CsvOutput)
 {
     report::Table t({"app", "time"});

@@ -147,6 +147,78 @@ TEST(EventQueue, ProcessedCountAdvances)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, SchedulingInThePastThrows)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    ASSERT_EQ(q.now(), 10);
+    // Same-tick scheduling is fine...
+    EXPECT_NO_THROW(q.schedule(10, [] {}));
+    // ...but the past is an error naming both ticks, in every build
+    // configuration (this used to be an assert that vanished in
+    // Release).
+    try {
+        q.schedule(5, [] {});
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("tick 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("now=10"), std::string::npos) << what;
+    }
+}
+
+TEST(EventQueue, PastTimeCheckFromInsideCallback)
+{
+    EventQueue q;
+    bool threw = false;
+    q.schedule(20, [&] {
+        try {
+            q.schedule(19, [] {});
+        } catch (const std::logic_error &) {
+            threw = true;
+        }
+    });
+    q.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST(EventQueue, ProgressHookFiresEveryN)
+{
+    EventQueue q;
+    int fired = 0;
+    q.setProgressHook(2, [&] { ++fired; });
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(fired, 3); // after events 2, 4, 6
+}
+
+TEST(EventQueue, ProgressHookMayThrowOutOfRun)
+{
+    EventQueue q;
+    q.setProgressHook(1, [] {
+        throw std::runtime_error("progress hook abort");
+    });
+    q.schedule(0, [] {});
+    q.schedule(1, [] {});
+    EXPECT_THROW(q.run(), std::runtime_error);
+}
+
+TEST(EventQueue, ProgressHookUninstalls)
+{
+    EventQueue q;
+    int fired = 0;
+    q.setProgressHook(1, [&] { ++fired; });
+    q.schedule(0, [] {});
+    q.run();
+    EXPECT_EQ(fired, 1);
+    q.setProgressHook(0, nullptr);
+    q.schedule(1, [] {});
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
 // --------------------------------------------------------------------
 // Task / Suspender
 // --------------------------------------------------------------------

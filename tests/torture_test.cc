@@ -174,6 +174,12 @@ TEST_P(Torture, InvariantsHoldUnderRandomLoad)
         tag_sum += tag;
     }
     EXPECT_EQ(tag_sum, increments.load());
+    if (tp.cfg.audit.enabled()) {
+        const AuditCounters a = rt.auditTotals();
+        EXPECT_GT(a.sweeps, 0u);
+        EXPECT_EQ(a.violations, 0u);
+        EXPECT_EQ(a.stallsDetected, 0u);
+    }
 }
 
 std::vector<TortureParams>
@@ -189,6 +195,16 @@ tortureCases()
                 out.push_back(TortureParams{cfg, seed, ls});
         }
     }
+    // Audited variants: the invariant auditor and watchdog ride
+    // along (violations or stalls throw, failing the test).
+    for (DsmConfig cfg :
+         {DsmConfig::base(8), DsmConfig::smp(8, 4),
+          DsmConfig::smp(16, 4)}) {
+        cfg.audit = AuditConfig::full();
+        cfg.audit.interval = 1024;
+        for (std::uint64_t seed : {1ull, 2ull})
+            out.push_back(TortureParams{cfg, seed, 64});
+    }
     return out;
 }
 
@@ -202,6 +218,8 @@ INSTANTIATE_TEST_SUITE_P(
         n += "c" + std::to_string(t.cfg.effectiveClustering());
         n += "s" + std::to_string(t.seed);
         n += "l" + std::to_string(t.lineSize);
+        if (t.cfg.audit.enabled())
+            n += "_audited";
         return n;
     });
 
