@@ -53,6 +53,12 @@ NodeMemory::copyOut(Addr a, std::size_t len,
                     std::vector<std::uint8_t> &out) const
 {
     out.resize(len);
+    copyOut(a, len, out.data());
+}
+
+void
+NodeMemory::copyOut(Addr a, std::size_t len, std::uint8_t *out) const
+{
     std::size_t done = 0;
     while (done < len) {
         const Addr cur = a + done;
@@ -60,7 +66,7 @@ NodeMemory::copyOut(Addr a, std::size_t len,
         const std::size_t chunk =
             std::min(len - done, static_cast<std::size_t>(
                                      kPageSize - in_page));
-        std::memcpy(out.data() + done, peek(cur, chunk), chunk);
+        std::memcpy(out + done, peek(cur, chunk), chunk);
         done += chunk;
     }
 }

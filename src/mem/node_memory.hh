@@ -70,6 +70,10 @@ class NodeMemory
     void copyOut(Addr a, std::size_t len,
                  std::vector<std::uint8_t> &out) const;
 
+    /** Copy @p len bytes starting at @p a into the raw buffer
+     *  @p out (which must hold at least @p len bytes). */
+    void copyOut(Addr a, std::size_t len, std::uint8_t *out) const;
+
     /** Copy @p len bytes from @p src into memory at @p a. */
     void copyIn(Addr a, const std::uint8_t *src, std::size_t len);
 

@@ -8,26 +8,41 @@ namespace shasta
 {
 
 void
+Mailbox::grow()
+{
+    const std::size_t old_cap = slots_.size();
+    std::vector<Message> bigger(std::max<std::size_t>(8, old_cap * 2));
+    for (std::size_t i = 0; i < count_; ++i)
+        bigger[i] = std::move(slots_[(head_ + i) % old_cap]);
+    slots_ = std::move(bigger);
+    head_ = 0;
+}
+
+void
 Mailbox::push(Message &&m)
 {
-    queue_.push_back(std::move(m));
-    highWater_ = std::max(highWater_, queue_.size());
+    if (count_ == slots_.size())
+        grow();
+    slots_[(head_ + count_) % slots_.size()] = std::move(m);
+    ++count_;
+    highWater_ = std::max(highWater_, count_);
 }
 
 Message
 Mailbox::pop()
 {
-    assert(!queue_.empty());
-    Message m = std::move(queue_.front());
-    queue_.pop_front();
+    assert(count_ != 0);
+    Message m = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
     return m;
 }
 
 Tick
 Mailbox::frontArrival() const
 {
-    assert(!queue_.empty());
-    return queue_.front().arriveTime;
+    assert(count_ != 0);
+    return slots_[head_].arriveTime;
 }
 
 } // namespace shasta

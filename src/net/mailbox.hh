@@ -7,13 +7,18 @@
  * (Section 2.1).  The mailbox models the per-processor receive side:
  * delivery events append messages; the owning processor drains them
  * at its poll points.
+ *
+ * Storage is a growable ring of recycled Message slots — it expands
+ * to the peak queue depth and never shrinks or reallocates after
+ * that, so the steady-state push/pop cycle is allocation-free (a
+ * deque would churn block allocations as the ring walks).
  */
 
 #ifndef SHASTA_NET_MAILBOX_HH
 #define SHASTA_NET_MAILBOX_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "net/message.hh"
 
@@ -27,9 +32,9 @@ class Mailbox
 {
   public:
     /** True if a poll would find work (the "cachable flag"). */
-    bool hasMail() const { return !queue_.empty(); }
+    bool hasMail() const { return count_ != 0; }
 
-    std::size_t size() const { return queue_.size(); }
+    std::size_t size() const { return count_; }
 
     /** Append a delivered message (called from delivery events). */
     void push(Message &&m);
@@ -44,7 +49,12 @@ class Mailbox
     std::size_t highWater() const { return highWater_; }
 
   private:
-    std::deque<Message> queue_;
+    /** Double the ring, re-linearizing the queued messages. */
+    void grow();
+
+    std::vector<Message> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::size_t highWater_ = 0;
 };
 

@@ -6,17 +6,23 @@
  * intra-node downgrades, and the message-based lock and barrier
  * primitives — travels as one of these messages.  The network layer
  * cares only about src/dst/size; the protocol layer dispatches on
- * type.
+ * type through a static per-type handler table (see proto_core.cc).
+ *
+ * Adding a MsgType requires three things, all enforced at compile
+ * time: a name and cost class here (msgTypeInfoFor's switch is
+ * exhaustive — a missing enumerator fails constant evaluation) and a
+ * dispatch entry in the protocol's handler table (same technique).
  */
 
 #ifndef SHASTA_NET_MESSAGE_HH
 #define SHASTA_NET_MESSAGE_HH
 
+#include <array>
 #include <cstdint>
 #include <string_view>
-#include <vector>
 
 #include "mem/addr.hh"
+#include "net/payload.hh"
 #include "net/topology.hh"
 #include "sim/ticks.hh"
 
@@ -69,8 +75,108 @@ enum class MsgType : std::uint8_t
     NumTypes
 };
 
+/**
+ * Handler-cost class of a message type: which CostParams field the
+ * receive dispatch charges (sync messages charge inside the sync
+ * managers).
+ */
+enum class MsgCostClass : std::uint8_t
+{
+    HomeRequest,  ///< CostParams::homeHandler
+    Forward,      ///< CostParams::fwdHandler
+    Invalidation, ///< CostParams::invalHandler
+    Ack,          ///< CostParams::ackHandler
+    DataReply,    ///< CostParams::fillReply
+    UpgradeReply, ///< CostParams::upgradeReply
+    HomeClose,    ///< CostParams::wbHandler
+    Downgrade,    ///< CostParams::downgradeHandler
+    Sync,         ///< charged by the sync managers
+};
+
+/** Static per-type attributes. */
+struct MsgTypeInfo
+{
+    std::string_view name;
+    MsgCostClass cost;
+};
+
+/**
+ * Attributes of one message type.  The switch is exhaustive and the
+ * function is consteval: adding a MsgType without extending it makes
+ * every use a constant-evaluation failure (flowing off the end of a
+ * consteval function is ill-formed), i.e. a compile error.
+ */
+consteval MsgTypeInfo
+msgTypeInfoFor(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+        return {"ReadReq", MsgCostClass::HomeRequest};
+      case MsgType::ReadExReq:
+        return {"ReadExReq", MsgCostClass::HomeRequest};
+      case MsgType::UpgradeReq:
+        return {"UpgradeReq", MsgCostClass::HomeRequest};
+      case MsgType::FwdReadReq:
+        return {"FwdReadReq", MsgCostClass::Forward};
+      case MsgType::FwdReadExReq:
+        return {"FwdReadExReq", MsgCostClass::Forward};
+      case MsgType::InvalReq:
+        return {"InvalReq", MsgCostClass::Invalidation};
+      case MsgType::InvalAck:
+        return {"InvalAck", MsgCostClass::Ack};
+      case MsgType::ReadReply:
+        return {"ReadReply", MsgCostClass::DataReply};
+      case MsgType::ReadExReply:
+        return {"ReadExReply", MsgCostClass::DataReply};
+      case MsgType::UpgradeReply:
+        return {"UpgradeReply", MsgCostClass::UpgradeReply};
+      case MsgType::SharingWriteback:
+        return {"SharingWriteback", MsgCostClass::HomeClose};
+      case MsgType::OwnershipAck:
+        return {"OwnershipAck", MsgCostClass::HomeClose};
+      case MsgType::Downgrade:
+        return {"Downgrade", MsgCostClass::Downgrade};
+      case MsgType::LockReq:
+        return {"LockReq", MsgCostClass::Sync};
+      case MsgType::LockGrant:
+        return {"LockGrant", MsgCostClass::Sync};
+      case MsgType::LockRelease:
+        return {"LockRelease", MsgCostClass::Sync};
+      case MsgType::BarrierArrive:
+        return {"BarrierArrive", MsgCostClass::Sync};
+      case MsgType::BarrierRelease:
+        return {"BarrierRelease", MsgCostClass::Sync};
+      case MsgType::NumTypes:
+        break;
+    }
+    // Unreached for valid types; reaching it (a new enumerator
+    // missing above) fails constant evaluation.
+}
+
+/** Table of all message-type attributes, indexed by MsgType. */
+inline constexpr auto kMsgTypeInfo = []() consteval {
+    std::array<MsgTypeInfo,
+               static_cast<std::size_t>(MsgType::NumTypes)>
+        a{};
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = msgTypeInfoFor(static_cast<MsgType>(i));
+    return a;
+}();
+
 /** Human-readable name of a message type (for traces and tests). */
-std::string_view msgTypeName(MsgType t);
+constexpr std::string_view
+msgTypeName(MsgType t)
+{
+    const auto i = static_cast<std::size_t>(t);
+    return i < kMsgTypeInfo.size() ? kMsgTypeInfo[i].name : "?";
+}
+
+/** Cost class of a message type. */
+constexpr MsgCostClass
+msgCostClass(MsgType t)
+{
+    return kMsgTypeInfo[static_cast<std::size_t>(t)].cost;
+}
 
 /** True for the request types that initiate a coherence transaction. */
 constexpr bool
@@ -81,13 +187,13 @@ isCoherenceRequest(MsgType t)
 }
 
 /** Approximate header size of every message, in bytes. */
-constexpr int kMsgHeaderBytes = 32;
+constexpr std::uint32_t kMsgHeaderBytes = 32;
 
 /**
  * A protocol message in flight or queued in a mailbox.
  *
- * The data vector carries block contents for data-bearing replies;
- * it is snapshotted at send time because the sender's copy may be
+ * The payload carries block contents for data-bearing replies; it is
+ * snapshotted at send time because the sender's copy may be
  * overwritten (e.g., with the invalid flag) before delivery.
  */
 struct Message
@@ -109,7 +215,7 @@ struct Message
     int count = 0;
 
     /** Block data payload (empty for non-data messages). */
-    std::vector<std::uint8_t> data;
+    Payload data;
 
     /** Simulated time the message was handed to the network. */
     Tick sendTime = 0;
@@ -117,11 +223,15 @@ struct Message
     /** Simulated time the message became visible at the destination. */
     Tick arriveTime = 0;
 
-    /** Total size on the wire. */
-    int
+    /**
+     * Total size on the wire.  One unsigned 32-bit type end-to-end:
+     * the network's bandwidth charging and the stats byte counters
+     * both consume this value unchanged.
+     */
+    std::uint32_t
     wireBytes() const
     {
-        return kMsgHeaderBytes + static_cast<int>(data.size());
+        return kMsgHeaderBytes + data.size();
     }
 };
 

@@ -6,32 +6,6 @@
 namespace shasta
 {
 
-std::string_view
-msgTypeName(MsgType t)
-{
-    switch (t) {
-      case MsgType::ReadReq: return "ReadReq";
-      case MsgType::ReadExReq: return "ReadExReq";
-      case MsgType::UpgradeReq: return "UpgradeReq";
-      case MsgType::FwdReadReq: return "FwdReadReq";
-      case MsgType::FwdReadExReq: return "FwdReadExReq";
-      case MsgType::InvalReq: return "InvalReq";
-      case MsgType::InvalAck: return "InvalAck";
-      case MsgType::ReadReply: return "ReadReply";
-      case MsgType::ReadExReply: return "ReadExReply";
-      case MsgType::UpgradeReply: return "UpgradeReply";
-      case MsgType::SharingWriteback: return "SharingWriteback";
-      case MsgType::OwnershipAck: return "OwnershipAck";
-      case MsgType::Downgrade: return "Downgrade";
-      case MsgType::LockReq: return "LockReq";
-      case MsgType::LockGrant: return "LockGrant";
-      case MsgType::LockRelease: return "LockRelease";
-      case MsgType::BarrierArrive: return "BarrierArrive";
-      case MsgType::BarrierRelease: return "BarrierRelease";
-      default: return "?";
-    }
-}
-
 NetworkParams
 NetworkParams::defaults()
 {
@@ -58,6 +32,33 @@ Network::Network(EventQueue &events, const Topology &topo,
     linkFree_.assign(static_cast<std::size_t>(topo_.numMachines()), 0);
 }
 
+std::uint32_t
+Network::parkMessage(Message &&msg)
+{
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(pending_.size());
+        pending_.emplace_back();
+    }
+    pending_[slot] = std::move(msg);
+    return slot;
+}
+
+void
+Network::deliverSlot(std::uint32_t slot)
+{
+    // Take the message and recycle the slot before invoking the
+    // callback: delivery can reenter send() (a handler replying
+    // inline), which may park new messages.
+    Message m = std::move(pending_[slot]);
+    freeSlots_.push_back(slot);
+    assert(deliver_);
+    deliver_(std::move(m));
+}
+
 Tick
 Network::send(Message msg, Tick send_time)
 {
@@ -68,20 +69,20 @@ Network::send(Message msg, Tick send_time)
 
     const bool remote = !topo_.sameMachine(msg.src, msg.dst);
     const LinkParams &link = remote ? params_.remote : params_.local;
-    const int bytes = msg.wireBytes();
+    const std::uint32_t bytes = msg.wireBytes();
 
     // Account the message.
     ++counts_.byType[static_cast<std::size_t>(msg.type)];
     if (msg.type == MsgType::Downgrade) {
         assert(!remote && "downgrades never cross machines");
         ++counts_.downgradeMsgs;
-        counts_.localBytes += static_cast<std::uint64_t>(bytes);
+        counts_.localBytes += bytes;
     } else if (remote) {
         ++counts_.remoteMsgs;
-        counts_.remoteBytes += static_cast<std::uint64_t>(bytes);
+        counts_.remoteBytes += bytes;
     } else {
         ++counts_.localMsgs;
-        counts_.localBytes += static_cast<std::uint64_t>(bytes);
+        counts_.localBytes += bytes;
     }
 
     // Serialize on the per-pair channel and, for remote traffic, on
@@ -104,16 +105,16 @@ Network::send(Message msg, Tick send_time)
 
     msg.sendTime = send_time;
     msg.arriveTime = arrival;
-    events_.schedule(arrival,
-                     [this, m = std::move(msg)]() mutable {
-                         assert(deliver_);
-                         deliver_(std::move(m));
-                     });
+    // The closure is {this, slot}: small enough for std::function's
+    // inline buffer, so scheduling allocates nothing.
+    const std::uint32_t slot = parkMessage(std::move(msg));
+    events_.schedule(arrival, [this, slot] { deliverSlot(slot); });
     return arrival;
 }
 
 Tick
-Network::unloadedLatency(ProcId src, ProcId dst, int bytes) const
+Network::unloadedLatency(ProcId src, ProcId dst,
+                         std::uint32_t bytes) const
 {
     const bool remote = !topo_.sameMachine(src, dst);
     const LinkParams &link = remote ? params_.remote : params_.local;

@@ -14,6 +14,11 @@
  * real implementation uses separate lock-free buffers per processor
  * pair) and on the per-machine Memory Channel link, and guarantees
  * per-pair FIFO delivery.
+ *
+ * In-flight messages are parked in a recycled slot pool so the
+ * delivery closure captures only {network, slot index}: it fits
+ * std::function's small buffer and scheduling a delivery performs no
+ * heap allocation in the steady state.
  */
 
 #ifndef SHASTA_NET_NETWORK_HH
@@ -43,7 +48,7 @@ struct LinkParams
 
     /** Ticks needed to push @p bytes through the link. */
     Tick
-    transferTicks(int bytes) const
+    transferTicks(std::uint32_t bytes) const
     {
         return static_cast<Tick>(static_cast<double>(bytes) /
                                  bytesPerTick + 0.5);
@@ -105,7 +110,8 @@ class Network
     Tick send(Message msg, Tick send_time);
 
     /** Pure latency query: arrival time if sent now with no queuing. */
-    Tick unloadedLatency(ProcId src, ProcId dst, int bytes) const;
+    Tick unloadedLatency(ProcId src, ProcId dst,
+                         std::uint32_t bytes) const;
 
     const NetworkCounts &counts() const { return counts_; }
 
@@ -124,6 +130,13 @@ class Network
                static_cast<std::size_t>(dst);
     }
 
+    /** Park @p msg in a recycled slot until its delivery event. */
+    std::uint32_t parkMessage(Message &&msg);
+
+    /** Run by the delivery event: free the slot, hand over the
+     *  message. */
+    void deliverSlot(std::uint32_t slot);
+
     EventQueue &events_;
     Topology topo_;
     NetworkParams params_;
@@ -134,6 +147,12 @@ class Network
     /** Earliest time each machine's outbound Memory Channel link is
      *  free (remote messages only). */
     std::vector<Tick> linkFree_;
+
+    /** In-flight messages, indexed by the slot captured in their
+     *  delivery closures.  Slots are recycled via freeSlots_; the
+     *  vectors grow to the peak in-flight count and stay there. */
+    std::vector<Message> pending_;
+    std::vector<std::uint32_t> freeSlots_;
 
     NetworkCounts counts_;
 };

@@ -1,0 +1,140 @@
+#include "net/payload.hh"
+
+#include <cassert>
+
+namespace shasta
+{
+namespace
+{
+
+/**
+ * Free lists of power-of-two chunks, 128 bytes .. 1 MB.  Class i
+ * holds chunks of 128 << i bytes.  Process-wide: the simulator is
+ * single-threaded and payloads outlive any one Network instance
+ * (messages sit in event-queue closures and mailboxes).
+ */
+constexpr std::uint32_t kMinChunk = 128;
+constexpr int kNumClasses = 14; // 128 << 13 = 1 MB
+
+struct ChunkPool
+{
+    /** Singly linked free lists threaded through the chunks. */
+    std::uint8_t *freeHead[kNumClasses] = {};
+    std::uint64_t heapAllocs = 0;
+    std::uint64_t poolReuses = 0;
+    std::uint64_t chunksFree = 0;
+};
+
+ChunkPool &
+pool()
+{
+    static ChunkPool p;
+    return p;
+}
+
+int
+classFor(std::uint32_t n)
+{
+    int cls = 0;
+    std::uint32_t cap = kMinChunk;
+    while (cap < n) {
+        cap <<= 1;
+        ++cls;
+    }
+    assert(cls < kNumClasses && "payload larger than max pool class");
+    return cls;
+}
+
+std::uint32_t
+classBytes(int cls)
+{
+    return kMinChunk << cls;
+}
+
+std::uint8_t *
+acquireChunk(int cls)
+{
+    ChunkPool &p = pool();
+    if (std::uint8_t *head = p.freeHead[cls]) {
+        std::memcpy(&p.freeHead[cls], head, sizeof(std::uint8_t *));
+        ++p.poolReuses;
+        --p.chunksFree;
+        return head;
+    }
+    ++p.heapAllocs;
+    return new std::uint8_t[classBytes(cls)];
+}
+
+void
+releaseChunk(std::uint8_t *chunk, int cls)
+{
+    ChunkPool &p = pool();
+    std::memcpy(chunk, &p.freeHead[cls], sizeof(std::uint8_t *));
+    p.freeHead[cls] = chunk;
+    ++p.chunksFree;
+}
+
+} // namespace
+
+void
+Payload::reserve(std::uint32_t n)
+{
+    if (n <= cap_)
+        return;
+    const int cls = classFor(n);
+    std::uint8_t *chunk = acquireChunk(cls);
+    std::memcpy(chunk, data(), size_);
+    release();
+    chunk_ = chunk;
+    cap_ = classBytes(cls);
+}
+
+void
+Payload::resize(std::uint32_t n)
+{
+    reserve(n);
+    if (n > size_)
+        std::memset(data() + size_, 0, n - size_);
+    size_ = n;
+}
+
+void
+Payload::assign(const std::uint8_t *src, std::uint32_t n)
+{
+    reserve(n);
+    std::memcpy(data(), src, n);
+    size_ = n;
+}
+
+void
+Payload::release()
+{
+    if (!isInline())
+        releaseChunk(chunk_, classFor(cap_));
+}
+
+Payload::PoolStats
+Payload::poolStats()
+{
+    const ChunkPool &p = pool();
+    return PoolStats{p.heapAllocs, p.poolReuses, p.chunksFree};
+}
+
+void
+Payload::trimPool()
+{
+    ChunkPool &p = pool();
+    for (int cls = 0; cls < kNumClasses; ++cls) {
+        std::uint8_t *head = p.freeHead[cls];
+        while (head) {
+            std::uint8_t *next;
+            std::memcpy(&next, head, sizeof(std::uint8_t *));
+            delete[] head;
+            --p.chunksFree;
+            head = next;
+        }
+        p.freeHead[cls] = nullptr;
+    }
+}
+
+} // namespace shasta

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Pooled message payload buffer.
+ *
+ * Every data-bearing protocol message snapshots a block's bytes at
+ * send time (the sender's copy may be overwritten — e.g. with the
+ * invalid flag — before delivery).  With std::vector that snapshot
+ * was a heap allocation per message, on the hottest path of the whole
+ * simulator.  Payload removes it:
+ *
+ *  - payloads up to kInlineCapacity bytes (one default line) live
+ *    inline in the message;
+ *  - larger payloads borrow a chunk from a process-wide free list of
+ *    power-of-two size classes, returned on destruction, so the
+ *    steady state recycles a bounded set of chunks and never calls
+ *    operator new.
+ *
+ * The simulator is single-threaded, so the pool needs no locking.
+ */
+
+#ifndef SHASTA_NET_PAYLOAD_HH
+#define SHASTA_NET_PAYLOAD_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace shasta
+{
+
+class Payload
+{
+  public:
+    /** Largest payload stored inline (the default line size). */
+    static constexpr std::uint32_t kInlineCapacity = 64;
+
+    Payload() = default;
+
+    Payload(const Payload &o) { assign(o.data(), o.size_); }
+
+    Payload &
+    operator=(const Payload &o)
+    {
+        if (this != &o)
+            assign(o.data(), o.size_);
+        return *this;
+    }
+
+    Payload(Payload &&o) noexcept
+        : size_(o.size_), cap_(o.cap_)
+    {
+        if (isInline())
+            std::memcpy(inline_, o.inline_, size_);
+        else
+            chunk_ = o.chunk_;
+        o.size_ = 0;
+        o.cap_ = kInlineCapacity;
+    }
+
+    Payload &
+    operator=(Payload &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            size_ = o.size_;
+            cap_ = o.cap_;
+            if (isInline())
+                std::memcpy(inline_, o.inline_, size_);
+            else
+                chunk_ = o.chunk_;
+            o.size_ = 0;
+            o.cap_ = kInlineCapacity;
+        }
+        return *this;
+    }
+
+    ~Payload() { release(); }
+
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    std::uint8_t *
+    data()
+    {
+        return isInline() ? inline_ : chunk_;
+    }
+
+    const std::uint8_t *
+    data() const
+    {
+        return isInline() ? inline_ : chunk_;
+    }
+
+    /**
+     * Set the size to @p n bytes.  Newly exposed bytes are
+     * zero-filled; bytes kept from the old size are preserved.
+     */
+    void resize(std::uint32_t n);
+
+    /** Set the size to @p n bytes without initializing the newly
+     *  exposed bytes (for callers that overwrite them immediately,
+     *  e.g. a memory copy-out). */
+    void
+    resizeForOverwrite(std::uint32_t n)
+    {
+        reserve(n);
+        size_ = n;
+    }
+
+    /** Replace the contents with a copy of [src, src+n). */
+    void assign(const std::uint8_t *src, std::uint32_t n);
+
+    /** Drop the contents, returning any pooled chunk. */
+    void
+    clear()
+    {
+        release();
+        size_ = 0;
+        cap_ = kInlineCapacity;
+    }
+
+    /** @{ Pool observability (allocation tests and benchmarks). */
+    struct PoolStats
+    {
+        /** Chunks obtained with operator new (pool misses). */
+        std::uint64_t heapAllocs = 0;
+        /** Chunks served from a free list (pool hits). */
+        std::uint64_t poolReuses = 0;
+        /** Chunks currently parked on free lists. */
+        std::uint64_t chunksFree = 0;
+    };
+
+    static PoolStats poolStats();
+
+    /** Free every pooled chunk (leak-checker hygiene in tests). */
+    static void trimPool();
+    /** @} */
+
+  private:
+    bool isInline() const { return cap_ <= kInlineCapacity; }
+
+    /** Reserve storage for @p n bytes without changing size. */
+    void reserve(std::uint32_t n);
+
+    void release();
+
+    std::uint32_t size_ = 0;
+    /** Capacity of the active storage; kInlineCapacity selects the
+     *  inline buffer, anything larger is a pooled chunk. */
+    std::uint32_t cap_ = kInlineCapacity;
+    union {
+        std::uint8_t inline_[kInlineCapacity];
+        std::uint8_t *chunk_;
+    };
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_PAYLOAD_HH

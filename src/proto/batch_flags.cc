@@ -1,0 +1,170 @@
+/**
+ * @file
+ * DowngradeEngine batch-marker methods (Section 3.4.4): marking
+ * blocks covered by an in-flight batch so invalid-flag fills are
+ * deferred, re-propagating batched stores on unmark, and resuming
+ * acquires parked behind outstanding marks.  Split from
+ * downgrade_engine.cc to keep each protocol TU focused and small.
+ */
+
+#include "proto/downgrade_engine.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "proto/requester_agent.hh"
+#include "sim/trace.hh"
+
+namespace shasta
+{
+
+// ---------------------------------------------------------------------
+// Batch markers (Section 3.4.4)
+// ---------------------------------------------------------------------
+
+bool
+DowngradeEngine::batchLinesReady(const Proc &p, LineIdx first,
+                                 std::uint32_t n, bool is_write) const
+{
+    auto &tab = *c_.tables[p.node];
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!privateSufficient(tab.priv(first + i, p.local),
+                               is_write))
+            return false;
+    }
+    return true;
+}
+
+void
+DowngradeEngine::batchMark(NodeId node, LineIdx first,
+                           std::uint32_t n)
+{
+    SHASTA_TRACE_EVENT(trace::Flag::Batch, c_.events.now(), -1,
+                       "node %d marks lines %u+%u", node,
+                       static_cast<unsigned>(first),
+                       static_cast<unsigned>(n));
+    auto &tab = *c_.tables[node];
+    LineIdx line = first;
+    while (line < first + n) {
+        const BlockInfo b = c_.blockOf(line);
+        tab.mark(b.firstLine);
+        line = b.firstLine + b.numLines;
+    }
+}
+
+void
+DowngradeEngine::batchUnmark(Proc &p, LineIdx first, std::uint32_t n,
+                             bool is_write, Addr store_base,
+                             int store_len)
+{
+    const NodeId node = p.node;
+    auto &tab = *c_.tables[node];
+    auto &mt = *c_.missTables[node];
+
+    LineIdx line = first;
+    while (line < first + n) {
+        const BlockInfo b = c_.blockOf(line);
+        const LineIdx bf = b.firstLine;
+        tab.unmark(bf);
+
+        if (is_write && store_len > 0) {
+            // Re-propagate batched stores if the block lost its
+            // exclusivity while the batch handler was waiting.
+            const Addr baddr = c_.blockAddr(b);
+            const Addr lo = std::max(store_base, baddr);
+            const Addr hi =
+                std::min(store_base + static_cast<Addr>(store_len),
+                         baddr + static_cast<Addr>(c_.blockBytes(b)));
+            if (lo < hi) {
+                const LState s = tab.shared(bf);
+                MissEntry *e = mt.find(bf);
+                switch (s) {
+                  case LState::Exclusive:
+                  case LState::PendDownShared:
+                  case LState::PendDownInvalid:
+                    // Still writable, or mid-downgrade (the
+                    // completion snapshot will carry the stores).
+                    break;
+                  case LState::PendEx:
+                    assert(e && e->wantWrite);
+                    e->markDirty(lo - baddr,
+                                 static_cast<std::size_t>(hi - lo));
+                    break;
+                  case LState::PendRead:
+                    assert(e);
+                    if (!e->wantWrite) {
+                        e->wantWrite = true;
+                        e->writeInitiator = p.id;
+                        e->epoch = c_.epochs[node]->startWrite();
+                        ++p.outstandingWrites;
+                    }
+                    e->markDirty(lo - baddr,
+                                 static_cast<std::size_t>(hi - lo));
+                    break;
+                  case LState::Shared:
+                  case LState::Invalid:
+                    // The store throttle is bypassed here: this is
+                    // a synchronous cleanup path that cannot park.
+                    c_.requester->startWrite(p, bf,
+                                             s == LState::Shared, lo,
+                                             static_cast<int>(hi -
+                                                             lo));
+                    break;
+                }
+            }
+        }
+        if (tab.flagFillDeferred(bf) && !tab.marked(bf)) {
+            tab.clearDeferredFill(bf);
+            const LState s = tab.shared(bf);
+            // Apply the deferred fill AFTER the store re-propagation
+            // above has marked its bytes dirty (the fill skips dirty
+            // bytes), and only if the node still has no
+            // valid data: a refetch may have completed during the
+            // batch (possibly followed by an upgrade, leaving
+            // PendEx with a Shared prior), and filling then would
+            // plant the flag inside a valid copy.
+            const MissEntry *fe = mt.find(bf);
+            const bool no_valid_data =
+                s == LState::Invalid || s == LState::PendRead ||
+                (s == LState::PendEx && fe &&
+                 fe->prior == LState::Invalid);
+            if (no_valid_data)
+                applyInvalidFill(node, bf);
+        }
+
+        line = bf + b.numLines;
+    }
+
+    if (tab.markedCount() == 0 &&
+        !c_.acquireWaiters[static_cast<std::size_t>(node)].empty()) {
+        std::vector<Waiter> waiters;
+        waiters.swap(
+            c_.acquireWaiters[static_cast<std::size_t>(node)]);
+        for (auto &w : waiters) {
+            Proc &wp = c_.procs[static_cast<std::size_t>(w.proc)];
+            wp.now = std::max({wp.now, w.stallStart, p.now});
+            if (c_.measuring)
+                wp.bd.sync += wp.now - w.stallStart;
+            wp.status = ProcStatus::Running;
+            w.handle.resume();
+        }
+    }
+}
+
+bool
+DowngradeEngine::nodeHasMarks(NodeId node) const
+{
+    return c_.tables[static_cast<std::size_t>(node)]->markedCount() >
+           0;
+}
+
+void
+DowngradeEngine::parkAcquire(Proc &p, std::coroutine_handle<> h)
+{
+    c_.acquireWaiters[static_cast<std::size_t>(p.node)].push_back(
+        Waiter{h, p.id, p.now, StallKind::Sync});
+    c_.noteBlocked(p);
+}
+
+
+} // namespace shasta

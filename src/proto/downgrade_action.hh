@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The protocol action deferred across an intra-node downgrade.
+ *
+ * When a node's rights to a block are reduced, the handling processor
+ * sends downgrade messages to the colocated processors whose private
+ * state requires it, and the processor that handles the *last*
+ * message executes the saved protocol action — snapshot the data,
+ * write the invalid flag, send the reply (Section 3.4.3).
+ *
+ * The action is a plain value, not a callable: the protocol has
+ * exactly five reply shapes, so saving one costs a few bytes in the
+ * miss entry instead of a heap-allocated closure per downgrade.
+ */
+
+#ifndef SHASTA_PROTO_DOWNGRADE_ACTION_HH
+#define SHASTA_PROTO_DOWNGRADE_ACTION_HH
+
+#include <cstdint>
+
+#include "net/topology.hh"
+
+namespace shasta
+{
+
+struct DowngradeAction
+{
+    enum class Kind : std::uint8_t
+    {
+        None,
+        /** Home served a read from its own exclusive copy: send
+         *  ReadReply, then unbusy the directory entry and pump. */
+        HomeReadServe,
+        /** Home served a read-exclusive from its readable copy: send
+         *  ReadExReply carrying the ack count. */
+        HomeReadExReply,
+        /** Owner serves a forwarded read: ReadReply to the requester
+         *  plus a SharingWriteback copy to the home. */
+        FwdReadServe,
+        /** Owner surrenders to a forwarded read-exclusive: send
+         *  ReadExReply carrying the ack count. */
+        FwdReadExReply,
+        /** Sharer invalidated: acknowledge to the requester. */
+        InvalAck,
+    };
+
+    Kind kind = Kind::None;
+    /** A racing local upgrade loses its Shared copy: clear the miss
+     *  entry's prior state so the home's conversion to read-exclusive
+     *  finds it Invalid (Section 3.4.2). */
+    bool clearPrior = false;
+    /** Requester the reply is addressed to. */
+    ProcId req = -1;
+    /** Invalidation acks the requester should expect. */
+    int acks = 0;
+
+    explicit operator bool() const { return kind != Kind::None; }
+
+    /** Whether completing the downgrade must snapshot the block data
+     *  before the invalid-flag fill clobbers it. */
+    bool
+    needsData() const
+    {
+        return kind == Kind::HomeReadServe ||
+               kind == Kind::HomeReadExReply ||
+               kind == Kind::FwdReadServe ||
+               kind == Kind::FwdReadExReply;
+    }
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_DOWNGRADE_ACTION_HH

@@ -1,0 +1,391 @@
+#include "proto/downgrade_engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "proto/home_agent.hh"
+#include "proto/requester_agent.hh"
+#include "sim/trace.hh"
+
+namespace shasta
+{
+
+void
+DowngradeEngine::applyInvalidFill(NodeId node, LineIdx first)
+{
+    auto &tab = *c_.tables[node];
+    if (!c_.cfg.useInvalidFlag) {
+        // Without the flag optimization no handler compares memory
+        // against the flag, so the fill is unnecessary (Section 3.2
+        // notes such protocols avoid the write entirely).
+        return;
+    }
+    if (tab.marked(first)) {
+        // A batch on this node is mid-flight: defer the fill so the
+        // batched loads still read pre-invalidation data
+        // (Section 3.4.4).
+        tab.deferFlagFill(first);
+        return;
+    }
+    const BlockInfo b = c_.blockOf(first);
+    const Addr base = c_.blockAddr(b);
+    const int bytes = c_.blockBytes(b);
+    NodeMemory &mem = *c_.memories[node];
+    MissEntry *e = c_.missTables[node]->find(first);
+    if (e && e->dirtyAny) {
+        // Skip longwords holding locally stored (pending) data; they
+        // carry values newer than the invalidation.
+        for (int off = 0; off < bytes; off += 4) {
+            bool dirty = false;
+            for (int i = 0; i < 4; ++i)
+                dirty = dirty || e->dirty[static_cast<std::size_t>(
+                                      off + i)];
+            if (!dirty) {
+                mem.write<std::uint32_t>(base +
+                                             static_cast<Addr>(off),
+                                         kInvalidFlag);
+            }
+        }
+    } else {
+        mem.fillInvalidFlag(base, static_cast<std::size_t>(bytes));
+    }
+}
+
+void
+DowngradeEngine::downgradeNode(Proc &p, LineIdx first,
+                               bool to_invalid,
+                               DowngradeAction action)
+{
+    const NodeId node = p.node;
+    const BlockInfo b = c_.blockOf(first);
+    auto &tab = *c_.tables[node];
+
+    // At most procsOnNode targets; 32 bounds the whole machine.
+    int targets[32];
+    int n_targets = 0;
+    if (c_.cfg.broadcastDowngrades) {
+        // SoftFLASH-style: shoot down every other local processor on
+        // every downgrade transition, ignoring the private tables.
+        for (int t = 0; t < tab.procsOnNode(); ++t) {
+            if (t != p.local)
+                targets[n_targets++] = t;
+        }
+    } else {
+        n_targets =
+            tab.downgradeTargets(first, to_invalid, p.local, targets);
+    }
+    tab.downgradePriv(first, b.numLines, p.local, to_invalid);
+    if (c_.measuring) {
+        const std::size_t bucket = std::min<std::size_t>(
+            static_cast<std::size_t>(n_targets), 3);
+        ++c_.counters.downgradeOps[bucket];
+    }
+
+    SHASTA_TRACE_EVENT(trace::Flag::Downgrade, p.now, p.id,
+                       "downgrade line %u to %s: %d message(s)",
+                       static_cast<unsigned>(first),
+                       to_invalid ? "Invalid" : "Shared", n_targets);
+    if (n_targets == 0) {
+        completeDowngrade(p, first, to_invalid, action);
+        return;
+    }
+
+    MissEntry &e = c_.missTables[node]->ensure(first, b.numLines,
+                                               c_.blockBytes(b));
+    assert(e.downgradesLeft == 0 && "overlapping downgrades");
+    e.downgradesLeft = n_targets;
+    e.downgradeStart = p.now;
+    const LState s = tab.shared(first);
+    if (!isPendingMiss(s)) {
+        // Pure downgrade of a stable block: remember the prior state
+        // so accesses during the window can be serviced from it.
+        e.prior = s;
+        tab.setShared(first, b.numLines,
+                      to_invalid ? LState::PendDownInvalid
+                                 : LState::PendDownShared);
+    }
+    e.savedAction = action;
+    e.savedToInvalid = to_invalid;
+    const ProcId base_proc = c_.topo.firstProcOf(node);
+    for (int i = 0; i < n_targets; ++i) {
+        c_.sendMsg(p, MsgType::Downgrade, base_proc + targets[i],
+                   first, p.id, to_invalid ? 1 : 0);
+    }
+}
+
+void
+DowngradeEngine::completeDowngrade(Proc &p, LineIdx first,
+                                   bool to_invalid,
+                                   const DowngradeAction &action)
+{
+    const NodeId node = p.node;
+    const BlockInfo b = c_.blockOf(first);
+    auto &tab = *c_.tables[node];
+
+    // Snapshot the data before the invalid flag clobbers it; the
+    // snapshot includes every local store serviced during the window,
+    // which are ordered before the remote request.  Ack-only actions
+    // carry no data, so they skip the copy.
+    Payload snapshot;
+    if (action.needsData()) {
+        const std::uint32_t bytes =
+            static_cast<std::uint32_t>(c_.blockBytes(b));
+        snapshot.resizeForOverwrite(bytes);
+        c_.memories[node]->copyOut(c_.blockAddr(b), bytes,
+                                   snapshot.data());
+    }
+
+    if (to_invalid)
+        applyInvalidFill(node, first);
+
+    const LState s = tab.shared(first);
+    if (!isPendingMiss(s)) {
+        tab.setShared(first, b.numLines,
+                      to_invalid ? LState::Invalid : LState::Shared);
+    }
+
+    runAction(p, first, action, std::move(snapshot));
+
+    // runAction can erase the entry via a synchronous self-send, so
+    // re-find it rather than holding a reference across the call.
+    MissEntry *e = c_.missTables[node]->find(first);
+    if (e) {
+        c_.resumeWaiters(*e, false, true, p.now);
+        std::deque<Message> queued;
+        queued.swap(e->queuedRemote);
+        for (auto &qm : queued) {
+            const ProcId dst = qm.dst;
+            c_.reinject(dst, std::move(qm));
+        }
+        c_.maybeErase(first);
+    }
+}
+
+void
+DowngradeEngine::runAction(Proc &p, LineIdx first,
+                           const DowngradeAction &action,
+                           Payload &&snapshot)
+{
+    const ProcId req = action.req;
+    switch (action.kind) {
+      case DowngradeAction::Kind::HomeReadServe:
+        c_.sendMsg(p, MsgType::ReadReply, req, first, req, 0,
+                   std::move(snapshot));
+        c_.home->unbusyAndPump(p, first);
+        return;
+
+      case DowngradeAction::Kind::HomeReadExReply:
+        c_.sendMsg(p, MsgType::ReadExReply, req, first, req,
+                   action.acks, std::move(snapshot));
+        return;
+
+      case DowngradeAction::Kind::FwdReadServe: {
+        Payload copy = snapshot;
+        c_.sendMsg(p, MsgType::ReadReply, req, first, req, 0,
+                   std::move(snapshot));
+        c_.sendMsg(p, MsgType::SharingWriteback, c_.homeProc(first),
+                   first, req, 0, std::move(copy));
+        return;
+      }
+
+      case DowngradeAction::Kind::FwdReadExReply:
+        if (action.clearPrior) {
+            // The node's own in-flight upgrade loses its Shared
+            // copy; the home will convert it to a read-exclusive
+            // (Section 3.4.2).
+            MissEntry *e = c_.missTables[p.node]->find(first);
+            assert(e);
+            e->prior = LState::Invalid;
+        }
+        c_.sendMsg(p, MsgType::ReadExReply, req, first, req,
+                   action.acks, std::move(snapshot));
+        return;
+
+      case DowngradeAction::Kind::InvalAck:
+        if (action.clearPrior) {
+            MissEntry *e = c_.missTables[p.node]->find(first);
+            assert(e);
+            e->prior = LState::Invalid;
+            // Parked readers of the old Shared copy no longer have
+            // valid data; they re-park as data waiters via retry.
+        }
+        c_.sendMsg(p, MsgType::InvalAck, req, first, req);
+        return;
+
+      case DowngradeAction::Kind::None:
+        break;
+    }
+    assert(false && "downgrade completed without a saved action");
+}
+
+void
+DowngradeEngine::onDowngrade(Proc &q, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(q, m, first);
+    const BlockInfo b = c_.blockOf(first);
+    const bool to_invalid = (m.count != 0);
+
+    c_.tables[q.node]->downgradePriv(first, b.numLines, q.local,
+                                     to_invalid);
+    MissEntry *e = c_.missTables[q.node]->find(first);
+    assert(e && e->downgradesLeft > 0 &&
+           "downgrade message without an active downgrade");
+    if (--e->downgradesLeft == 0) {
+        // The last downgrader executes the saved protocol action
+        // (Section 3.4.3).
+        const DowngradeAction act = e->savedAction;
+        const bool saved_to_invalid = e->savedToInvalid;
+        e->savedAction = DowngradeAction{};
+        completeDowngrade(q, first, saved_to_invalid, act);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Downgrade-triggering request handlers
+// ---------------------------------------------------------------------
+
+bool
+DowngradeEngine::queueIfTransient(Proc &p, LineIdx first, Message &m)
+{
+    MissEntry *me = c_.missTables[p.node]->find(first);
+    if (!me)
+        return false;
+    if (me->downgradeActive()) {
+        if (c_.measuring)
+            ++c_.counters.queuedDuringDowngrade;
+        me->queuedRemote.push_back(std::move(m));
+        return true;
+    }
+    if (me->readIssued ||
+        (me->writeIssued && !me->dataArrived &&
+         me->prior == LState::Invalid)) {
+        // The node's data reply is still in flight and may have been
+        // overtaken by this request (replies and invalidations travel
+        // on different channels); hold it until the data lands.
+        me->queuedRemote.push_back(std::move(m));
+        return true;
+    }
+    return false;
+}
+
+void
+DowngradeEngine::onFwdReadReq(Proc &owner, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(owner, m, first);
+    const BlockInfo b = c_.blockOf(first);
+    const NodeId on = owner.node;
+    const LState s = c_.tables[on]->shared(first);
+    const ProcId req = m.requester;
+    const ProcId home = c_.homeProc(first);
+
+    if (queueIfTransient(owner, first, m))
+        return;
+
+    if (s == LState::Exclusive) {
+        downgradeNode(owner, first, false,
+                      DowngradeAction{
+                          DowngradeAction::Kind::FwdReadServe, false,
+                          req, 0});
+        return;
+    }
+
+    // The owner may legitimately be Shared (the home served reads
+    // after this owner's exclusivity was downgraded) or mid-upgrade
+    // with a still-valid Shared copy; serve from memory.
+    const MissEntry *me = c_.missTables[on]->find(first);
+    assert(readableState(s) ||
+           (s == LState::PendEx && me &&
+            me->prior == LState::Shared));
+    (void)me;
+    Payload data;
+    data.resizeForOverwrite(
+        static_cast<std::uint32_t>(c_.blockBytes(b)));
+    c_.memories[on]->copyOut(
+        c_.blockAddr(b), static_cast<std::size_t>(c_.blockBytes(b)),
+        data.data());
+    Payload copy = data;
+    c_.sendMsg(owner, MsgType::ReadReply, req, first, req, 0,
+               std::move(data));
+    c_.sendMsg(owner, MsgType::SharingWriteback, home, first, req, 0,
+               std::move(copy));
+}
+
+void
+DowngradeEngine::onFwdReadExReq(Proc &owner, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(owner, m, first);
+    const NodeId on = owner.node;
+    const ProcId req = m.requester;
+    const int acks = m.count;
+
+    if (queueIfTransient(owner, first, m))
+        return;
+
+    // The owner usually still holds the block exclusively, but it
+    // may have been downgraded to Shared by an intervening read, or
+    // be mid-upgrade itself (its request queued behind this one at
+    // the home) with a still-valid Shared copy.  In every case the
+    // owner's copy is current: invalidate the node and ship the
+    // pre-fill snapshot.
+    const LState s = c_.tables[on]->shared(first);
+    const MissEntry *me = c_.missTables[on]->find(first);
+    assert(s == LState::Exclusive || s == LState::Shared ||
+           (s == LState::PendEx && me &&
+            me->prior == LState::Shared));
+    (void)me;
+    const bool racing_upgrade = (s == LState::PendEx);
+    downgradeNode(owner, first, true,
+                  DowngradeAction{
+                      DowngradeAction::Kind::FwdReadExReply,
+                      racing_upgrade, req, acks});
+}
+
+void
+DowngradeEngine::onInvalReq(Proc &p, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(p, m, first);
+    const NodeId n = p.node;
+    const LState s = c_.tables[n]->shared(first);
+    const ProcId req = m.requester;
+
+    if (queueIfTransient(p, first, m))
+        return;
+
+    if (s == LState::Shared) {
+        downgradeNode(p, first, true,
+                      DowngradeAction{DowngradeAction::Kind::InvalAck,
+                                      false, req, 0});
+        return;
+    }
+
+    // Invalidation racing a local upgrade that is queued at the home:
+    // the node loses its Shared copy; the in-flight upgrade will be
+    // converted to a read-exclusive by the home.
+    const MissEntry *me = c_.missTables[n]->find(first);
+    if (!(s == LState::PendEx && me &&
+          me->prior == LState::Shared)) {
+        std::fprintf(stderr,
+                     "onInvalReq: proc %d node %d line %u state %s "
+                     "entry=%p prior=%s rd=%d wW=%d wI=%d dg=%d\n",
+                     p.id, p.node, first,
+                     std::string(lstateName(s)).c_str(),
+                     static_cast<const void *>(me),
+                     me ? std::string(lstateName(me->prior)).c_str()
+                        : "-",
+                     me ? me->readIssued : 0, me ? me->wantWrite : 0,
+                     me ? me->writeIssued : 0,
+                     me ? me->downgradesLeft : 0);
+        std::fflush(stderr);
+        assert(false && "unexpected state for incoming invalidation");
+    }
+    downgradeNode(p, first, true,
+                  DowngradeAction{DowngradeAction::Kind::InvalAck,
+                                  true, req, 0});
+}
+
+} // namespace shasta

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Intra-node downgrades and batch markers (Sections 3.3, 3.4.3,
+ * 3.4.4).
+ *
+ * Incoming requests that reduce a node's rights to a block may not
+ * simply flip the state table: a colocated processor might be between
+ * its inline check and the checked access.  Instead, the handling
+ * processor downgrades its own private entry, consults the other
+ * private tables, and sends explicit downgrade messages to exactly
+ * the processors that have accessed the block.  Each recipient
+ * downgrades its private entry at a poll point; the one that handles
+ * the *last* message executes the saved protocol action (snapshot the
+ * data, write the invalid flag, send the reply).  Processors are
+ * never stalled during a downgrade.
+ *
+ * The engine also owns the handlers for the request types that
+ * *trigger* downgrades on a non-home node (forwarded reads,
+ * forwarded read-exclusives, invalidations) and the batch-marker
+ * machinery that defers invalid-flag fills while a batch is
+ * mid-flight.
+ */
+
+#ifndef SHASTA_PROTO_DOWNGRADE_ENGINE_HH
+#define SHASTA_PROTO_DOWNGRADE_ENGINE_HH
+
+#include <coroutine>
+
+#include "proto/downgrade_action.hh"
+#include "proto/proto_core.hh"
+
+namespace shasta
+{
+
+class DowngradeEngine
+{
+  public:
+    explicit DowngradeEngine(ProtocolCore &core) : c_(core) {}
+
+    /**
+     * Downgrade the node's copy of a block, sending downgrade
+     * messages to local processors whose private state requires it.
+     * @p action runs (possibly on another local processor) once all
+     * downgrades complete, against a pre-fill snapshot of the block
+     * data.  Section 3.4.3.
+     */
+    void downgradeNode(Proc &p, LineIdx first, bool to_invalid,
+                       DowngradeAction action);
+
+    /** @{ Message handlers (dispatched via the core's table). */
+    void onDowngrade(Proc &q, Message &&m);
+    void onFwdReadReq(Proc &owner, Message &&m);
+    void onFwdReadExReq(Proc &owner, Message &&m);
+    void onInvalReq(Proc &p, Message &&m);
+    /** @} */
+
+    /** @{ Batch support (Section 3.4.4). */
+    bool batchLinesReady(const Proc &p, LineIdx first,
+                         std::uint32_t n, bool is_write) const;
+    void batchMark(NodeId node, LineIdx first, std::uint32_t n);
+    void batchUnmark(Proc &p, LineIdx first, std::uint32_t n,
+                     bool is_write, Addr store_base, int store_len);
+    bool nodeHasMarks(NodeId node) const;
+    void parkAcquire(Proc &p, std::coroutine_handle<> h);
+    /** @} */
+
+  private:
+    /** If the block has a transient that must defer @p m (an active
+     *  downgrade, or an in-flight data reply this request may have
+     *  overtaken), queue it on the miss entry and return true. */
+    bool queueIfTransient(Proc &p, LineIdx first, Message &m);
+
+    /** Final step of a downgrade: snapshot, state change, flag fill
+     *  (deferred if the block is batch-marked), then the action. */
+    void completeDowngrade(Proc &p, LineIdx first, bool to_invalid,
+                           const DowngradeAction &action);
+
+    /** Execute a completed downgrade's saved protocol action with
+     *  the pre-fill data snapshot. */
+    void runAction(Proc &p, LineIdx first,
+                   const DowngradeAction &action, Payload &&snapshot);
+
+    /** Apply the invalid flag to a block, skipping dirty bytes and
+     *  honoring batch markers. */
+    void applyInvalidFill(NodeId node, LineIdx first);
+
+    ProtocolCore &c_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_DOWNGRADE_ENGINE_HH

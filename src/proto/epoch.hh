@@ -16,9 +16,10 @@
 #define SHASTA_PROTO_EPOCH_HH
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <vector>
+
+#include "sim/inplace_fn.hh"
 
 namespace shasta
 {
@@ -29,7 +30,9 @@ namespace shasta
 class EpochTracker
 {
   public:
-    using Ready = std::function<void()>;
+    /** Release continuations are stored inline (every release of a
+     *  busy node would otherwise heap-allocate a closure). */
+    using Ready = InplaceFn<void()>;
 
     /** Epoch that a write issued right now would belong to. */
     std::uint64_t current() const { return current_; }

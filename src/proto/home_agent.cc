@@ -1,0 +1,268 @@
+#include "proto/home_agent.hh"
+
+#include <cassert>
+
+#include "proto/downgrade_engine.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+/**
+ * Collect the set bits of a sharer vector that pass @p keep into
+ * @p out (ascending processor order, matching the directory's
+ * representative-per-node invariant).  Bounded by the 32-processor
+ * sharer vector, so a fixed array replaces the per-request
+ * std::vector the old engine allocated.
+ */
+template <typename Keep>
+int
+collectSharers(std::uint32_t sharers, Keep keep, ProcId *out)
+{
+    int n = 0;
+    for (std::uint32_t bits = sharers; bits != 0; bits &= bits - 1) {
+        const ProcId q =
+            static_cast<ProcId>(__builtin_ctz(bits));
+        if (keep(q))
+            out[n++] = q;
+    }
+    return n;
+}
+
+} // namespace
+
+ProcId
+HomeAgent::sharerRepOf(const DirEntry &e, NodeId node) const
+{
+    for (int q = 0; q < c_.topo.numProcs(); ++q) {
+        if (e.isSharer(q) && c_.topo.nodeOf(q) == node)
+            return q;
+    }
+    return -1;
+}
+
+void
+HomeAgent::onReadReq(Proc &home, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(home, m, first);
+    DirEntry &e =
+        c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
+            first);
+    if (e.busy) {
+        e.waiting.push_back(std::move(m));
+        return;
+    }
+    const BlockInfo b = c_.blockOf(first);
+    const NodeId hn = home.node;
+    const LState s = c_.tables[hn]->shared(first);
+    const ProcId req = m.requester;
+
+    if (s == LState::Shared) {
+        // Home has a clean copy: serve directly (Section 3.1).
+        Payload data;
+        data.resizeForOverwrite(
+            static_cast<std::uint32_t>(c_.blockBytes(b)));
+        c_.memories[hn]->copyOut(
+            c_.blockAddr(b),
+            static_cast<std::size_t>(c_.blockBytes(b)), data.data());
+        e.addSharer(req);
+        c_.sendMsg(home, MsgType::ReadReply, req, first, req, 0,
+                   std::move(data));
+        // This serve never set busy, so a queued request (left by a
+        // prior transaction) must be pumped here or it is stranded.
+        pumpQueued(home, first);
+        return;
+    }
+
+    if (s == LState::Exclusive) {
+        // Home node owns the block exclusively: downgrade the node
+        // (possibly via downgrade messages to colocated processors),
+        // then serve.
+        e.busy = true;
+        e.addSharer(req);
+        c_.downgrade->downgradeNode(
+            home, first, false,
+            DowngradeAction{DowngradeAction::Kind::HomeReadServe,
+                            false, req, 0});
+        return;
+    }
+
+    // Home node has no usable copy: forward to the owner.
+    assert(e.owner >= 0);
+    assert(c_.topo.nodeOf(e.owner) != c_.topo.nodeOf(req) &&
+           "requester's node should have hit locally");
+    e.busy = true;
+    c_.sendMsg(home, MsgType::FwdReadReq, e.owner, first, req);
+}
+
+void
+HomeAgent::onReadExReq(Proc &home, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(home, m, first);
+    DirEntry &e =
+        c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
+            first);
+    if (e.busy) {
+        e.waiting.push_back(std::move(m));
+        return;
+    }
+    const NodeId hn = home.node;
+    const ProcId req = m.requester;
+    const NodeId req_node = c_.topo.nodeOf(req);
+    assert(sharerRepOf(e, req_node) == -1 &&
+           "read-exclusive from a node that still has a copy");
+
+    const LState s = c_.tables[hn]->shared(first);
+    e.busy = true;
+
+    if (readableState(s)) {
+        // Home supplies the data.  Invalidate every other sharing
+        // node; their acks go to the requester.
+        ProcId invals[32];
+        const int n_invals = collectSharers(
+            e.sharers,
+            [&](ProcId q) { return c_.topo.nodeOf(q) != hn; },
+            invals);
+        e.owner = req;
+        e.clearSharers();
+        e.addSharer(req);
+        for (int i = 0; i < n_invals; ++i)
+            c_.sendMsg(home, MsgType::InvalReq, invals[i], first, req);
+        c_.downgrade->downgradeNode(
+            home, first, true,
+            DowngradeAction{DowngradeAction::Kind::HomeReadExReply,
+                            false, req, n_invals});
+        return;
+    }
+
+    // Home node invalid: the owner (sole copy) supplies data and
+    // ownership.  (Invariant: home invalid implies sharers == {owner}
+    // -- reads always leave a copy at the home.)
+    assert(e.owner >= 0);
+    ProcId invals[32];
+    const int n_invals = collectSharers(
+        e.sharers,
+        [&](ProcId q) {
+            return c_.topo.nodeOf(q) != c_.topo.nodeOf(e.owner) &&
+                   c_.topo.nodeOf(q) != req_node;
+        },
+        invals);
+    for (int i = 0; i < n_invals; ++i)
+        c_.sendMsg(home, MsgType::InvalReq, invals[i], first, req);
+    const ProcId owner = e.owner;
+    e.owner = req;
+    e.clearSharers();
+    e.addSharer(req);
+    c_.sendMsg(home, MsgType::FwdReadExReq, owner, first, req,
+               n_invals);
+}
+
+void
+HomeAgent::onUpgradeReq(Proc &home, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    DirEntry &e =
+        c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
+            first);
+    if (e.busy) {
+        c_.chargeHandler(home, m, first);
+        e.waiting.push_back(std::move(m));
+        return;
+    }
+    const ProcId req = m.requester;
+    const NodeId req_node = c_.topo.nodeOf(req);
+    const ProcId rep = sharerRepOf(e, req_node);
+    if (rep == -1) {
+        // The requester's copy was invalidated while the upgrade was
+        // in flight: treat as a read-exclusive (Section 3.4.2).
+        // onReadExReq charges the handler (same cost class), so this
+        // path must not charge first.
+        m.type = MsgType::ReadExReq;
+        onReadExReq(home, std::move(m));
+        return;
+    }
+    c_.chargeHandler(home, m, first);
+    ProcId invals[32];
+    const int n_invals = collectSharers(
+        e.sharers,
+        [&](ProcId q) { return c_.topo.nodeOf(q) != req_node; },
+        invals);
+    e.busy = true;
+    e.owner = req;
+    e.clearSharers();
+    e.addSharer(req);
+    for (int i = 0; i < n_invals; ++i)
+        c_.sendMsg(home, MsgType::InvalReq, invals[i], first, req);
+    c_.sendMsg(home, MsgType::UpgradeReply, req, first, req,
+               n_invals);
+}
+
+void
+HomeAgent::onSharingWriteback(Proc &home, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(home, m, first);
+    DirEntry &e =
+        c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
+            first);
+    const BlockInfo b = c_.blockOf(first);
+    const NodeId hn = home.node;
+
+    if (c_.tables[hn]->shared(first) == LState::Invalid) {
+        c_.memories[hn]->copyIn(c_.blockAddr(b), m.data.data(),
+                                m.data.size());
+        c_.tables[hn]->setShared(first, b.numLines, LState::Shared);
+        e.addSharer(home.id);
+    }
+    e.addSharer(m.requester);
+    unbusyAndPump(home, first);
+}
+
+void
+HomeAgent::onOwnershipAck(Proc &home, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(home, m, first);
+    unbusyAndPump(home, first);
+}
+
+void
+HomeAgent::unbusyAndPump(Proc &p, LineIdx first)
+{
+    const ProcId home = c_.homeProc(first);
+    DirEntry &e =
+        c_.dirs[static_cast<std::size_t>(home)]->entry(first);
+    assert(e.busy);
+    e.busy = false;
+    if (!e.waiting.empty()) {
+        Message next = std::move(e.waiting.front());
+        e.waiting.pop_front();
+        if (home == p.id) {
+            c_.handleMessage(p, std::move(next));
+        } else {
+            c_.reinject(home, std::move(next));
+        }
+    }
+}
+
+void
+HomeAgent::pumpQueued(Proc &home, LineIdx first)
+{
+    assert(c_.topo.sameNode(home.id, c_.homeProc(first)));
+    for (;;) {
+        DirEntry &e = c_.dirs[static_cast<std::size_t>(
+                                  c_.homeProc(first))]
+                          ->entry(first);
+        if (e.busy || e.waiting.empty())
+            return;
+        Message next = std::move(e.waiting.front());
+        e.waiting.pop_front();
+        c_.handleMessage(home, std::move(next));
+    }
+}
+
+} // namespace shasta

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Directory-side agent of the coherence protocol.
+ *
+ * The HomeAgent runs on the home processor of a block and handles the
+ * three request types (read, read-exclusive, upgrade), the messages
+ * that close a transaction at the home (sharing writeback, ownership
+ * ack), and the busy-entry queue pumping that serializes transactions
+ * per block (Sections 2.1 and 3.4.2).
+ */
+
+#ifndef SHASTA_PROTO_HOME_AGENT_HH
+#define SHASTA_PROTO_HOME_AGENT_HH
+
+#include "proto/proto_core.hh"
+
+namespace shasta
+{
+
+class HomeAgent
+{
+  public:
+    explicit HomeAgent(ProtocolCore &core) : c_(core) {}
+
+    /** @{ Message handlers (dispatched via the core's table). */
+    void onReadReq(Proc &home, Message &&m);
+    void onReadExReq(Proc &home, Message &&m);
+    void onUpgradeReq(Proc &home, Message &&m);
+    void onSharingWriteback(Proc &home, Message &&m);
+    void onOwnershipAck(Proc &home, Message &&m);
+    /** @} */
+
+    /** Unbusy the directory entry and replay one queued request.
+     *  Public: the DowngradeEngine's home-read-serve action closes
+     *  the transaction through here. */
+    void unbusyAndPump(Proc &p, LineIdx first);
+
+  private:
+    /** Replay queued requests at the home while the entry is idle
+     *  (needed after a serve that never set busy). */
+    void pumpQueued(Proc &home, LineIdx first);
+
+    /** Representative sharer of @p node in @p e, or -1. */
+    ProcId sharerRepOf(const DirEntry &e, NodeId node) const;
+
+    ProtocolCore &c_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_HOME_AGENT_HH

@@ -19,13 +19,13 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "mem/shared_heap.hh"
 #include "net/message.hh"
 #include "net/topology.hh"
+#include "proto/downgrade_action.hh"
 #include "proto/line_state.hh"
 #include "sim/ticks.hh"
 
@@ -98,7 +98,9 @@ struct MissEntry
     int downgradesLeft = 0;
     /** Action executed by the processor handling the last downgrade
      *  message, on that processor's clock. */
-    std::function<void(struct Proc &)> savedAction;
+    DowngradeAction savedAction;
+    /** Whether the active downgrade is to Invalid (vs Shared). */
+    bool savedToInvalid = false;
     /** Remote requests that arrived during the downgrade. */
     std::deque<Message> queuedRemote;
     /** @} */

@@ -1,0 +1,488 @@
+#include "proto/proto_core.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "proto/downgrade_engine.hh"
+#include "proto/home_agent.hh"
+#include "proto/requester_agent.hh"
+#include "sim/trace.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/**
+ * Static per-type dispatch table.
+ *
+ * handlerFor's switch is exhaustive and consteval, mirroring
+ * msgTypeInfoFor in message.hh: adding a MsgType without routing it
+ * to an agent handler fails to compile (flowing off the end of a
+ * consteval function is a constant-evaluation error), instead of
+ * asserting at runtime on the first message of the new type.
+ */
+using Handler = void (*)(ProtocolCore &, Proc &, Message &&);
+
+consteval Handler
+handlerFor(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.home->onReadReq(p, std::move(m));
+        };
+      case MsgType::ReadExReq:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.home->onReadExReq(p, std::move(m));
+        };
+      case MsgType::UpgradeReq:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.home->onUpgradeReq(p, std::move(m));
+        };
+      case MsgType::FwdReadReq:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.downgrade->onFwdReadReq(p, std::move(m));
+        };
+      case MsgType::FwdReadExReq:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.downgrade->onFwdReadExReq(p, std::move(m));
+        };
+      case MsgType::InvalReq:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.downgrade->onInvalReq(p, std::move(m));
+        };
+      case MsgType::InvalAck:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.requester->onInvalAck(p, std::move(m));
+        };
+      case MsgType::ReadReply:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.requester->onReadReply(p, std::move(m));
+        };
+      case MsgType::ReadExReply:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.requester->onReadExReply(p, std::move(m));
+        };
+      case MsgType::UpgradeReply:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.requester->onUpgradeReply(p, std::move(m));
+        };
+      case MsgType::SharingWriteback:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.home->onSharingWriteback(p, std::move(m));
+        };
+      case MsgType::OwnershipAck:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.home->onOwnershipAck(p, std::move(m));
+        };
+      case MsgType::Downgrade:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.downgrade->onDowngrade(p, std::move(m));
+        };
+      case MsgType::LockReq:
+      case MsgType::LockGrant:
+      case MsgType::LockRelease:
+      case MsgType::BarrierArrive:
+      case MsgType::BarrierRelease:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            assert(c.syncHandler);
+            c.syncHandler(p, std::move(m));
+        };
+      case MsgType::NumTypes:
+        break;
+    }
+    // Unreached for valid types; reaching it (a new enumerator
+    // missing above) fails constant evaluation.
+}
+
+constexpr auto kDispatch = []() consteval {
+    std::array<Handler,
+               static_cast<std::size_t>(MsgType::NumTypes)>
+        a{};
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = handlerFor(static_cast<MsgType>(i));
+    return a;
+}();
+
+static_assert(kDispatch.size() ==
+                  static_cast<std::size_t>(MsgType::NumTypes),
+              "every message type needs a dispatch entry");
+
+} // namespace
+
+ProtocolCore::ProtocolCore(const DsmConfig &cfg_in,
+                           EventQueue &events_in, Network &net_in,
+                           SharedHeap &heap_in,
+                           std::vector<Proc> &procs_in)
+    : cfg(cfg_in),
+      events(events_in),
+      net(net_in),
+      heap(heap_in),
+      procs(procs_in),
+      topo(cfg_in.topology()),
+      smp(cfg_in.mode == Mode::Smp)
+{
+    const int nodes = topo.numNodes();
+    memories.reserve(static_cast<std::size_t>(nodes));
+    tables.reserve(static_cast<std::size_t>(nodes));
+    missTables.reserve(static_cast<std::size_t>(nodes));
+    epochs.reserve(static_cast<std::size_t>(nodes));
+    locks.reserve(static_cast<std::size_t>(nodes));
+    acquireWaiters.resize(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+        memories.push_back(std::make_unique<NodeMemory>());
+        tables.push_back(
+            std::make_unique<NodeStateTable>(topo.procsOn(n)));
+        missTables.push_back(std::make_unique<MissTable>());
+        epochs.push_back(std::make_unique<EpochTracker>());
+        locks.push_back(std::make_unique<LineLockPool>(
+            smp, cfg.costs.lineLock));
+    }
+    dirs.reserve(static_cast<std::size_t>(topo.numProcs()));
+    for (int p = 0; p < topo.numProcs(); ++p)
+        dirs.push_back(std::make_unique<HomeDirectory>(p));
+}
+
+ProcId
+ProtocolCore::homeProc(LineIdx line) const
+{
+    // Blocks are homed as units: normalize to the block's first
+    // line so every line of a page-straddling block agrees.
+    line = heap.blockOf(line).firstLine;
+    const Addr a = heap.lineAddr(line);
+    const std::uint64_t page = pageOf(a);
+    auto it = pageHomes.find(page);
+    if (it != pageHomes.end())
+        return it->second;
+    return static_cast<ProcId>(page %
+                               static_cast<std::uint64_t>(
+                                   topo.numProcs()));
+}
+
+void
+ProtocolCore::setPageHome(Addr base, std::size_t len,
+                          ProcId home_proc)
+{
+    assert(home_proc >= 0 && home_proc < topo.numProcs());
+    const std::uint64_t first = pageOf(base);
+    const std::uint64_t last = pageOf(base + len - 1);
+    for (std::uint64_t p = first; p <= last; ++p)
+        pageHomes[p] = home_proc;
+}
+
+void
+ProtocolCore::onAlloc(Addr base, std::size_t bytes)
+{
+    // Ownership is per *block*: a multi-line block may straddle a
+    // page boundary, and its home is the home of its first line
+    // (that is also where its directory entry lives), so the whole
+    // block must start exclusive on that one node.
+    const LineIdx first = heap.lineOf(base);
+    const LineIdx last = heap.lineOf(base + bytes - 1);
+    const int line_sz = heap.lineSize();
+    LineIdx line = first;
+    while (line <= last) {
+        const BlockInfo b = blockOf(line);
+        const NodeId home_node = topo.nodeOf(homeProc(b.firstLine));
+        tables[home_node]->setShared(b.firstLine, b.numLines,
+                                     LState::Exclusive);
+        const Addr ba = heap.lineAddr(b.firstLine);
+        const std::size_t bbytes =
+            static_cast<std::size_t>(b.numLines) *
+            static_cast<std::size_t>(line_sz);
+        for (int n = 0; n < topo.numNodes(); ++n) {
+            if (n != home_node) {
+                memories[static_cast<std::size_t>(n)]
+                    ->fillInvalidFlag(ba, bbytes);
+            }
+        }
+        line = b.firstLine + b.numLines;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message plumbing
+// ---------------------------------------------------------------------
+
+void
+ProtocolCore::sendMsg(Proc &from, MsgType type, ProcId dst,
+                      LineIdx block, ProcId requester_id, int count,
+                      Payload data)
+{
+    Message m;
+    m.type = type;
+    m.src = from.id;
+    m.dst = dst;
+    m.addr = heap.lineAddr(block);
+    m.requester = requester_id;
+    m.count = count;
+    m.data = std::move(data);
+    if (dst == from.id ||
+        (cfg.shareDirectory && topo.sameNode(from.id, dst) &&
+         (isCoherenceRequest(m.type) ||
+          m.type == MsgType::OwnershipAck ||
+          m.type == MsgType::SharingWriteback))) {
+        // A processor that is its own destination just performs the
+        // work: no message exists (and none is counted).  With the
+        // shared-directory extension (Sections 3.1/5), directory
+        // operations whose home is colocated are also performed
+        // directly, skipping the internal hop; the line lock charged
+        // by the handler covers the required synchronization.
+        m.sendTime = from.now;
+        m.arriveTime = from.now;
+        handleMessage(from, std::move(m));
+        return;
+    }
+    net.send(std::move(m), from.now);
+}
+
+void
+ProtocolCore::sendRaw(Proc &from, Message &&m)
+{
+    m.src = from.id;
+    if (m.dst == from.id) {
+        m.sendTime = from.now;
+        m.arriveTime = from.now;
+        handleMessage(from, std::move(m));
+        return;
+    }
+    net.send(std::move(m), from.now);
+}
+
+void
+ProtocolCore::reinject(ProcId dst, Message &&m)
+{
+    Proc &d = procs[static_cast<std::size_t>(dst)];
+    m.dst = dst;
+    m.arriveTime = std::max(events.now(), m.arriveTime);
+    d.mailbox.push(std::move(m));
+    if (d.status != ProcStatus::Running)
+        drainMailbox(d);
+}
+
+void
+ProtocolCore::deliver(Message &&m)
+{
+    Proc &d = procs[static_cast<std::size_t>(m.dst)];
+    d.mailbox.push(std::move(m));
+    if (d.status != ProcStatus::Running)
+        drainMailbox(d);
+}
+
+void
+ProtocolCore::drainMailbox(Proc &p)
+{
+    if (p.draining)
+        return;
+    // Scope guard, not a manual reset: if a handler throws, a stuck
+    // draining flag would silently stop all future drains for this
+    // processor.
+    struct DrainGuard
+    {
+        bool &flag;
+        ~DrainGuard() { flag = false; }
+    } guard{p.draining};
+    p.draining = true;
+    while (p.mailbox.hasMail()) {
+        Message m = p.mailbox.pop();
+        p.now = std::max(p.now, m.arriveTime);
+        const bool count_as_msg =
+            (p.status == ProcStatus::Running) && measuring;
+        const Tick t0 = p.now;
+        handleMessage(p, std::move(m));
+        if (count_as_msg)
+            p.bd.msg += p.now - t0;
+    }
+}
+
+void
+ProtocolCore::handleMessage(Proc &p, Message &&m)
+{
+    SHASTA_TRACE_EVENT(trace::Flag::Net, p.now, p.id,
+                       "handle %s from P%d line %u",
+                       std::string(msgTypeName(m.type)).c_str(),
+                       m.src,
+                       static_cast<unsigned>(heap.lineOf(m.addr)));
+    kDispatch[static_cast<std::size_t>(m.type)](*this, p,
+                                                std::move(m));
+}
+
+Tick
+ProtocolCore::handlerCost(MsgCostClass c) const
+{
+    switch (c) {
+      case MsgCostClass::HomeRequest: return cfg.costs.homeHandler;
+      case MsgCostClass::Forward: return cfg.costs.fwdHandler;
+      case MsgCostClass::Invalidation: return cfg.costs.invalHandler;
+      case MsgCostClass::Ack: return cfg.costs.ackHandler;
+      case MsgCostClass::DataReply: return cfg.costs.fillReply;
+      case MsgCostClass::UpgradeReply: return cfg.costs.upgradeReply;
+      case MsgCostClass::HomeClose: return cfg.costs.wbHandler;
+      case MsgCostClass::Downgrade:
+        return cfg.costs.downgradeHandler;
+      case MsgCostClass::Sync:
+        break; // charged by the sync managers, never here
+    }
+    assert(false && "no handler cost for this class");
+    return 0;
+}
+
+void
+ProtocolCore::chargeHandler(Proc &p, const Message &m, LineIdx line)
+{
+    Tick recv = 0;
+    if (m.src != p.id) {
+        recv = topo.sameMachine(m.src, p.id) ? cfg.costs.recvLocal
+                                             : cfg.costs.recvRemote;
+    }
+    p.now += recv + handlerCost(msgCostClass(m.type));
+    p.now += locks[p.node]->chargeOp(line);
+}
+
+void
+ProtocolCore::noteBlocked(Proc &p)
+{
+    p.status = ProcStatus::Blocked;
+    if (p.mailbox.hasMail() && !p.draining) {
+        // The processor polls while it waits; mail that arrived
+        // before it blocked must still be serviced.  Handle it in a
+        // fresh event so the coroutine suspension completes first.
+        events.schedule(std::max(p.now, events.now()),
+                        [this, id = p.id] {
+                            Proc &pp =
+                                procs[static_cast<std::size_t>(id)];
+                            if (pp.status != ProcStatus::Running)
+                                drainMailbox(pp);
+                        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-agent helpers
+// ---------------------------------------------------------------------
+
+void
+ProtocolCore::resumeWaiters(MissEntry &e, bool loads, bool retries,
+                            Tick when)
+{
+    // Move the lists out first: resumed coroutines may park again on
+    // the same entry.
+    std::vector<Waiter> to_resume;
+    if (loads) {
+        to_resume.insert(to_resume.end(), e.loadWaiters.begin(),
+                         e.loadWaiters.end());
+        e.loadWaiters.clear();
+    }
+    if (retries) {
+        to_resume.insert(to_resume.end(), e.retryWaiters.begin(),
+                         e.retryWaiters.end());
+        e.retryWaiters.clear();
+    }
+    for (auto &w : to_resume) {
+        Proc &wp = procs[static_cast<std::size_t>(w.proc)];
+        wp.now = std::max({wp.now, w.stallStart, when});
+        if (measuring) {
+            const Tick stall = wp.now - w.stallStart;
+            switch (w.kind) {
+              case StallKind::Read: wp.bd.read += stall; break;
+              case StallKind::Write: wp.bd.write += stall; break;
+              case StallKind::Sync: wp.bd.sync += stall; break;
+            }
+        }
+        wp.status = ProcStatus::Running;
+        w.handle.resume();
+    }
+}
+
+void
+ProtocolCore::drainQueuedRemote(Proc &p, LineIdx first)
+{
+    MissEntry *e = missTables[p.node]->find(first);
+    if (!e || e->queuedRemote.empty())
+        return;
+    std::deque<Message> queued;
+    queued.swap(e->queuedRemote);
+    for (auto &qm : queued) {
+        const ProcId dst = qm.dst;
+        reinject(dst, std::move(qm));
+    }
+}
+
+void
+ProtocolCore::maybeErase(LineIdx first)
+{
+    // The entry lives on any node; scan is avoided because callers
+    // always operate on the node owning the entry.  Find it on every
+    // node that could hold it: entries are per-node, so search the
+    // node whose table points at a transient; cheaper: try all nodes.
+    for (auto &mt : missTables) {
+        MissEntry *e = mt->find(first);
+        if (!e)
+            continue;
+        const NodeId n = static_cast<NodeId>(&mt - &missTables[0]);
+        const LState s =
+            tables[static_cast<std::size_t>(n)]->shared(first);
+        if (isStable(s) && !e->wantWrite && !e->readIssued &&
+            !e->downgradeActive() && e->loadWaiters.empty() &&
+            e->retryWaiters.empty() && e->queuedRemote.empty()) {
+            mt->erase(first);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------
+
+std::size_t
+ProtocolCore::pendingTransactions() const
+{
+    std::size_t n = 0;
+    for (const auto &mt : missTables)
+        n += mt->size();
+    return n;
+}
+
+std::string
+ProtocolCore::dumpPending() const
+{
+    std::string out;
+    for (std::size_t n = 0; n < missTables.size(); ++n) {
+        for (const auto &[line, e] : missTables[n]->entries()) {
+            out += "  node " + std::to_string(n) + " line " +
+                   std::to_string(line) + " state " +
+                   std::string(lstateName(
+                       tables[n]->shared(line))) +
+                   " prior " + std::string(lstateName(e.prior)) +
+                   " rd=" + std::to_string(e.readIssued) +
+                   " wW=" + std::to_string(e.wantWrite) +
+                   " wI=" + std::to_string(e.writeIssued) +
+                   " data=" + std::to_string(e.dataArrived) +
+                   " acks=" + std::to_string(e.acksReceived) + "/" +
+                   std::to_string(e.acksExpected) +
+                   " dg=" + std::to_string(e.downgradesLeft) +
+                   " lw=" + std::to_string(e.loadWaiters.size()) +
+                   " rw=" + std::to_string(e.retryWaiters.size()) +
+                   " q=" + std::to_string(e.queuedRemote.size()) +
+                   "\n";
+        }
+    }
+    for (std::size_t d = 0; d < dirs.size(); ++d) {
+        for (const auto &[line, e] : dirs[d]->entriesMap()) {
+            if (!e.busy && e.waiting.empty())
+                continue;
+            out += "  dir@" + std::to_string(d) + " line " +
+                   std::to_string(line) +
+                   " busy=" + std::to_string(e.busy) +
+                   " owner=" + std::to_string(e.owner) +
+                   " sharers=" + std::to_string(e.sharers) +
+                   " waiting=" + std::to_string(e.waiting.size()) +
+                   "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace shasta

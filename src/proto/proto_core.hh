@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Shared context of the coherence protocol agents.
+ *
+ * The protocol engine is split into three agents — HomeAgent
+ * (directory side), RequesterAgent (miss side) and DowngradeEngine
+ * (intra-node downgrades and batch markers) — that all operate on
+ * one ProtocolCore.  The core owns the per-node infrastructure
+ * (memory images, state tables, miss tables, epochs, line locks,
+ * home directories) and the message plumbing: sending, delivery,
+ * mailbox draining, and the static per-type dispatch table that
+ * routes a received message to the owning agent's handler.
+ *
+ * The Protocol facade (protocol.hh) wires the agents to the core and
+ * re-exports the public API; nothing outside src/proto should need
+ * this header.
+ */
+
+#ifndef SHASTA_PROTO_PROTO_CORE_HH
+#define SHASTA_PROTO_PROTO_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/proc.hh"
+#include "mem/node_memory.hh"
+#include "mem/shared_heap.hh"
+#include "net/network.hh"
+#include "proto/directory.hh"
+#include "proto/epoch.hh"
+#include "proto/line_lock.hh"
+#include "proto/miss_table.hh"
+#include "proto/state_table.hh"
+#include "stats/counters.hh"
+
+namespace shasta
+{
+
+class HomeAgent;
+class RequesterAgent;
+class DowngradeEngine;
+
+struct ProtocolCore
+{
+    ProtocolCore(const DsmConfig &cfg, EventQueue &events,
+                 Network &net, SharedHeap &heap,
+                 std::vector<Proc> &procs);
+
+    /** @{ Shared infrastructure. */
+    const DsmConfig &cfg;
+    EventQueue &events;
+    Network &net;
+    SharedHeap &heap;
+    std::vector<Proc> &procs;
+    Topology topo;
+    bool smp;
+
+    std::vector<std::unique_ptr<NodeMemory>> memories;
+    std::vector<std::unique_ptr<NodeStateTable>> tables;
+    std::vector<std::unique_ptr<MissTable>> missTables;
+    std::vector<std::unique_ptr<EpochTracker>> epochs;
+    std::vector<std::unique_ptr<LineLockPool>> locks;
+    std::vector<std::unique_ptr<HomeDirectory>> dirs;
+
+    /** Page home overrides (page number -> processor). */
+    std::unordered_map<std::uint64_t, ProcId> pageHomes;
+
+    /** Per-node waiters for "no marked blocks" (acquire stalls). */
+    std::vector<std::vector<Waiter>> acquireWaiters;
+
+    using SyncHandler = std::function<void(Proc &, Message &&)>;
+    SyncHandler syncHandler;
+    ProtoCounters counters;
+    bool measuring = true;
+    /** @} */
+
+    /** @{ Agents, wired by the Protocol facade (non-owning). */
+    HomeAgent *home = nullptr;
+    RequesterAgent *requester = nullptr;
+    DowngradeEngine *downgrade = nullptr;
+    /** @} */
+
+    /** @{ Address and geometry helpers. */
+    ProcId homeProc(LineIdx line) const;
+    void setPageHome(Addr base, std::size_t len, ProcId home_proc);
+    void onAlloc(Addr base, std::size_t bytes);
+
+    BlockInfo blockOf(LineIdx line) const { return heap.blockOf(line); }
+
+    int
+    blockBytes(const BlockInfo &b) const
+    {
+        return static_cast<int>(b.numLines) * heap.lineSize();
+    }
+
+    Addr
+    blockAddr(const BlockInfo &b) const
+    {
+        return heap.lineAddr(b.firstLine);
+    }
+    /** @} */
+
+    /** @{ Message plumbing. */
+    /** Send a protocol message from @p from (handles accounting;
+     *  self-sends and colocated directory ops dispatch inline). */
+    void sendMsg(Proc &from, MsgType type, ProcId dst, LineIdx block,
+                 ProcId requester_id, int count = 0,
+                 Payload data = {});
+
+    /** Send an arbitrary message (synchronization managers). */
+    void sendRaw(Proc &from, Message &&m);
+
+    /** Re-inject a message into @p dst's mailbox at the current time
+     *  (used to replay queued requests). */
+    void reinject(ProcId dst, Message &&m);
+
+    /** Deliver callback installed on the network. */
+    void deliver(Message &&m);
+
+    /** Drain @p p's mailbox.  Reentrancy-safe. */
+    void drainMailbox(Proc &p);
+
+    /** Dispatch one delivered message through the handler table on
+     *  processor @p p's clock. */
+    void handleMessage(Proc &p, Message &&m);
+
+    /** Charge receive-dispatch plus the handler cost of @p m's cost
+     *  class, plus the line lock for @p line, on @p p's clock. */
+    void chargeHandler(Proc &p, const Message &m, LineIdx line);
+
+    /** Simulated cost of the handler for cost class @p c. */
+    Tick handlerCost(MsgCostClass c) const;
+
+    /** Mark @p p blocked; schedules a drain if mail is queued. */
+    void noteBlocked(Proc &p);
+    /** @} */
+
+    /** @{ Cross-agent protocol helpers. */
+    /** Resume every load/retry waiter of an entry. */
+    void resumeWaiters(MissEntry &e, bool loads, bool retries,
+                       Tick when);
+
+    /** Replay requests that arrived before the data reply. */
+    void drainQueuedRemote(Proc &p, LineIdx first);
+
+    /** Erase the entry if nothing references it anymore. */
+    void maybeErase(LineIdx first);
+    /** @} */
+
+    /** @{ Diagnostics. */
+    std::size_t pendingTransactions() const;
+    std::string dumpPending() const;
+    /** @} */
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_PROTO_CORE_HH

@@ -1,1264 +1,19 @@
 #include "proto/protocol.hh"
 
-#include <algorithm>
-#include <cassert>
-#include <cstdio>
-
-#include "sim/trace.hh"
-
 namespace shasta
 {
 
 Protocol::Protocol(const DsmConfig &cfg, EventQueue &events,
                    Network &net, SharedHeap &heap,
                    std::vector<Proc> &procs)
-    : cfg_(cfg),
-      events_(events),
-      net_(net),
-      heap_(heap),
-      procs_(procs),
-      topo_(cfg.topology()),
-      smp_(cfg.mode == Mode::Smp)
+    : core_(cfg, events, net, heap, procs),
+      home_(core_),
+      requester_(core_),
+      downgrade_(core_)
 {
-    const int nodes = topo_.numNodes();
-    memories_.reserve(nodes);
-    tables_.reserve(nodes);
-    missTables_.reserve(nodes);
-    epochs_.reserve(nodes);
-    locks_.reserve(nodes);
-    acquireWaiters_.resize(static_cast<std::size_t>(nodes));
-    for (int n = 0; n < nodes; ++n) {
-        memories_.push_back(std::make_unique<NodeMemory>());
-        tables_.push_back(
-            std::make_unique<NodeStateTable>(topo_.procsOn(n)));
-        missTables_.push_back(std::make_unique<MissTable>());
-        epochs_.push_back(std::make_unique<EpochTracker>());
-        locks_.push_back(std::make_unique<LineLockPool>(
-            smp_, cfg.costs.lineLock));
-    }
-    dirs_.reserve(static_cast<std::size_t>(topo_.numProcs()));
-    for (int p = 0; p < topo_.numProcs(); ++p)
-        dirs_.push_back(std::make_unique<HomeDirectory>(p));
-}
-
-ProcId
-Protocol::homeProc(LineIdx line) const
-{
-    // Blocks are homed as units: normalize to the block's first
-    // line so every line of a page-straddling block agrees.
-    line = heap_.blockOf(line).firstLine;
-    const Addr a = heap_.lineAddr(line);
-    const std::uint64_t page = pageOf(a);
-    auto it = pageHomes_.find(page);
-    if (it != pageHomes_.end())
-        return it->second;
-    return static_cast<ProcId>(page %
-                               static_cast<std::uint64_t>(
-                                   topo_.numProcs()));
-}
-
-void
-Protocol::setPageHome(Addr base, std::size_t len, ProcId home)
-{
-    assert(home >= 0 && home < topo_.numProcs());
-    const std::uint64_t first = pageOf(base);
-    const std::uint64_t last = pageOf(base + len - 1);
-    for (std::uint64_t p = first; p <= last; ++p)
-        pageHomes_[p] = home;
-}
-
-void
-Protocol::onAlloc(Addr base, std::size_t bytes)
-{
-    // Ownership is per *block*: a multi-line block may straddle a
-    // page boundary, and its home is the home of its first line
-    // (that is also where its directory entry lives), so the whole
-    // block must start exclusive on that one node.
-    const LineIdx first = heap_.lineOf(base);
-    const LineIdx last = heap_.lineOf(base + bytes - 1);
-    const int line_sz = heap_.lineSize();
-    LineIdx line = first;
-    while (line <= last) {
-        const BlockInfo b = blockOf(line);
-        const NodeId home_node =
-            topo_.nodeOf(homeProc(b.firstLine));
-        tables_[home_node]->setShared(b.firstLine, b.numLines,
-                                      LState::Exclusive);
-        const Addr ba = heap_.lineAddr(b.firstLine);
-        const std::size_t bbytes =
-            static_cast<std::size_t>(b.numLines) *
-            static_cast<std::size_t>(line_sz);
-        for (int n = 0; n < topo_.numNodes(); ++n) {
-            if (n != home_node) {
-                memories_[static_cast<std::size_t>(n)]
-                    ->fillInvalidFlag(ba, bbytes);
-            }
-        }
-        line = b.firstLine + b.numLines;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Inline-check slow paths
-// ---------------------------------------------------------------------
-
-MissOutcome
-Protocol::loadMiss(Proc &p, LineIdx line)
-{
-    const BlockInfo b = blockOf(line);
-    const LineIdx first = b.firstLine;
-    auto &tab = *tables_[p.node];
-    p.now += locks_[p.node]->chargeOp(first);
-
-    const LState s = tab.shared(first);
-    switch (s) {
-      case LState::Shared:
-      case LState::Exclusive:
-        // The node has the data; only this processor's private table
-        // was behind.  Upgrade it to Shared (a store will upgrade it
-        // further, Section 3.3).
-        tab.setPriv(first, b.numLines, p.local, PState::Shared);
-        p.now += cfg_.costs.privUpgrade;
-        if (measuring_) {
-            ++counters_.privateUpgrades;
-            p.bd.other += cfg_.costs.privUpgrade;
-        }
-        return MissOutcome::Resolved;
-
-      case LState::PendRead:
-        if (measuring_)
-            ++counters_.mergedMisses;
-        p.now += cfg_.costs.missMerge;
-        return MissOutcome::WaitData;
-
-      case LState::PendEx: {
-        MissEntry *e = missTables_[p.node]->find(first);
-        assert(e && "PendEx without a miss entry");
-        p.now += cfg_.costs.missMerge;
-        if (measuring_)
-            ++counters_.mergedMisses;
-        if (e->prior == LState::Shared) {
-            // The pre-miss Shared copy (plus any local pending
-            // stores) is still valid for reading.
-            return MissOutcome::Resolved;
-        }
-        return MissOutcome::WaitData;
-      }
-
-      case LState::PendDownShared:
-        // Prior state was Exclusive: readable.  Service from the
-        // pre-downgrade state under the line lock (Section 3.4.3).
-        p.now += cfg_.costs.missMerge;
-        if (measuring_) {
-            ++counters_.pendDownServices;
-            p.bd.other += cfg_.costs.missMerge;
-        }
-        return MissOutcome::Resolved;
-
-      case LState::PendDownInvalid: {
-        MissEntry *e = missTables_[p.node]->find(first);
-        assert(e && "downgrade without a miss entry");
-        p.now += cfg_.costs.missMerge;
-        if (readableState(e->prior)) {
-            if (measuring_) {
-                ++counters_.pendDownServices;
-                p.bd.other += cfg_.costs.missMerge;
-            }
-            return MissOutcome::Resolved;
-        }
-        return MissOutcome::WaitRetry;
-      }
-
-      case LState::Invalid:
-        startRead(p, first);
-        return MissOutcome::WaitData;
-    }
-    assert(false);
-    return MissOutcome::WaitRetry;
-}
-
-MissOutcome
-Protocol::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
-{
-    const BlockInfo b = blockOf(line);
-    const LineIdx first = b.firstLine;
-    auto &tab = *tables_[p.node];
-    auto &mt = *missTables_[p.node];
-    p.now += locks_[p.node]->chargeOp(first);
-
-    const LState s = tab.shared(first);
-    switch (s) {
-      case LState::Exclusive:
-        tab.setPriv(first, b.numLines, p.local, PState::Exclusive);
-        p.now += cfg_.costs.privUpgrade;
-        if (measuring_) {
-            ++counters_.privateUpgrades;
-            p.bd.other += cfg_.costs.privUpgrade;
-        }
-        return MissOutcome::Resolved;
-
-      case LState::Shared:
-      case LState::Invalid: {
-        if (p.outstandingWrites >= cfg_.maxOutstandingWrites) {
-            if (measuring_)
-                ++counters_.writeThrottles;
-            return MissOutcome::WaitThrottle;
-        }
-        startWrite(p, first, s == LState::Shared, addr, len);
-        return MissOutcome::ResolvedPending;
-      }
-
-      case LState::PendEx: {
-        MissEntry *e = mt.find(first);
-        assert(e && e->wantWrite);
-        p.now += cfg_.costs.missMerge;
-        if (measuring_)
-            ++counters_.mergedMisses;
-        e->markDirty(addr - blockAddr(b), static_cast<std::size_t>(len));
-        return MissOutcome::ResolvedPending;
-      }
-
-      case LState::PendRead: {
-        MissEntry *e = mt.find(first);
-        assert(e);
-        if (!e->wantWrite) {
-            if (p.outstandingWrites >= cfg_.maxOutstandingWrites) {
-                if (measuring_)
-                    ++counters_.writeThrottles;
-                return MissOutcome::WaitThrottle;
-            }
-            // Record the write; the upgrade is issued once the
-            // outstanding read completes.
-            e->wantWrite = true;
-            e->writeInitiator = p.id;
-            e->epoch = epochs_[p.node]->startWrite();
-            ++p.outstandingWrites;
-        }
-        p.now += cfg_.costs.missMerge;
-        if (measuring_)
-            ++counters_.mergedMisses;
-        e->markDirty(addr - blockAddr(b), static_cast<std::size_t>(len));
-        return MissOutcome::ResolvedPending;
-      }
-
-      case LState::PendDownShared:
-        // Prior state Exclusive: the store is ordered before the
-        // downgrade completes, so it may simply be performed; the
-        // completion snapshot will include it.
-        p.now += cfg_.costs.missMerge;
-        if (measuring_) {
-            ++counters_.pendDownServices;
-            p.bd.other += cfg_.costs.missMerge;
-        }
-        return MissOutcome::Resolved;
-
-      case LState::PendDownInvalid: {
-        MissEntry *e = mt.find(first);
-        assert(e);
-        p.now += cfg_.costs.missMerge;
-        if (e->prior == LState::Exclusive) {
-            if (measuring_) {
-                ++counters_.pendDownServices;
-                p.bd.other += cfg_.costs.missMerge;
-            }
-            return MissOutcome::Resolved;
-        }
-        return MissOutcome::WaitRetry;
-      }
-    }
-    assert(false);
-    return MissOutcome::WaitRetry;
-}
-
-void
-Protocol::noteBlocked(Proc &p)
-{
-    p.status = ProcStatus::Blocked;
-    if (p.mailbox.hasMail() && !p.draining) {
-        // The processor polls while it waits; mail that arrived
-        // before it blocked must still be serviced.  Handle it in a
-        // fresh event so the coroutine suspension completes first.
-        events_.schedule(std::max(p.now, events_.now()),
-                         [this, id = p.id] {
-                             Proc &pp = procs_[
-                                 static_cast<std::size_t>(id)];
-                             if (pp.status != ProcStatus::Running)
-                                 drainMailbox(pp);
-                         });
-    }
-}
-
-void
-Protocol::parkLoad(Proc &p, LineIdx line, std::coroutine_handle<> h)
-{
-    const LineIdx first = blockOf(line).firstLine;
-    MissEntry *e = missTables_[p.node]->find(first);
-    assert(e && "parkLoad without a pending entry");
-    e->loadWaiters.push_back(
-        Waiter{h, p.id, p.now, StallKind::Read});
-    noteBlocked(p);
-}
-
-void
-Protocol::parkRetry(Proc &p, LineIdx line, std::coroutine_handle<> h,
-                    StallKind kind)
-{
-    const LineIdx first = blockOf(line).firstLine;
-    MissEntry *e = missTables_[p.node]->find(first);
-    assert(e && "parkRetry without a pending entry");
-    e->retryWaiters.push_back(Waiter{h, p.id, p.now, kind});
-    noteBlocked(p);
-}
-
-void
-Protocol::parkThrottle(Proc &p, std::coroutine_handle<> h)
-{
-    assert(!p.throttleWaiter);
-    p.throttleWaiter = h;
-    p.throttleStall = p.now;
-    noteBlocked(p);
-}
-
-// ---------------------------------------------------------------------
-// Transactions
-// ---------------------------------------------------------------------
-
-void
-Protocol::startRead(Proc &p, LineIdx first)
-{
-    const BlockInfo b = blockOf(first);
-    MissEntry &e = missTables_[p.node]->ensure(first, b.numLines,
-                                               blockBytes(b));
-    assert(!e.readIssued && !e.wantWrite);
-    e.prior = LState::Invalid;
-    e.readIssued = true;
-    e.initiator = p.id;
-    e.issueTime = p.now;
-    tables_[p.node]->setShared(first, b.numLines, LState::PendRead);
-    SHASTA_TRACE_EVENT(trace::Flag::Proto, p.now, p.id,
-                       "read miss line %u -> home P%d",
-                       static_cast<unsigned>(first),
-                       homeProc(first));
-    sendMsg(p, MsgType::ReadReq, homeProc(first), first, p.id);
-}
-
-void
-Protocol::startWrite(Proc &p, LineIdx first, bool had_shared,
-                     Addr dirty_addr, int dirty_len)
-{
-    const BlockInfo b = blockOf(first);
-    MissEntry &e = missTables_[p.node]->ensure(first, b.numLines,
-                                               blockBytes(b));
-    assert(!e.readIssued && !e.wantWrite);
-    e.prior = had_shared ? LState::Shared : LState::Invalid;
-    e.wantWrite = true;
-    e.writeIssued = true;
-    e.initiator = p.id;
-    e.writeInitiator = p.id;
-    e.issueTime = p.now;
-    e.epoch = epochs_[p.node]->startWrite();
-    ++p.outstandingWrites;
-    tables_[p.node]->setShared(first, b.numLines, LState::PendEx);
-    if (dirty_len > 0) {
-        // Mark before sending: a same-processor home can complete an
-        // ack-free upgrade synchronously, clearing the mask.
-        e.markDirty(dirty_addr - blockAddr(b),
-                    static_cast<std::size_t>(dirty_len));
-    }
-    SHASTA_TRACE_EVENT(trace::Flag::Proto, p.now, p.id,
-                       "%s miss line %u -> home P%d",
-                       had_shared ? "upgrade" : "write",
-                       static_cast<unsigned>(first),
-                       homeProc(first));
-    sendMsg(p,
-            had_shared ? MsgType::UpgradeReq : MsgType::ReadExReq,
-            homeProc(first), first, p.id);
-}
-
-void
-Protocol::issueDeferredWrite(Proc &p, MissEntry &e)
-{
-    assert(e.wantWrite && !e.writeIssued);
-    const BlockInfo b = blockOf(e.firstLine);
-    e.writeIssued = true;
-    e.prior = LState::Shared;
-    e.issueTime = p.now;
-    tables_[p.node]->setShared(e.firstLine, b.numLines,
-                               LState::PendEx);
-    sendMsg(p, MsgType::UpgradeReq, homeProc(e.firstLine),
-            e.firstLine, e.writeInitiator);
-}
-
-void
-Protocol::checkWriteComplete(Proc &p, LineIdx first)
-{
-    MissEntry *e = missTables_[p.node]->find(first);
-    if (!e || !e->wantWrite || !e->writeIssued || !e->dataArrived)
-        return;
-    if (e->acksExpected < 0 || e->acksReceived < e->acksExpected)
-        return;
-
-    // Transaction complete: clear the entry's write tracking FIRST --
-    // the ownership ack below may (when this processor is the home)
-    // synchronously pump a queued request that re-examines this very
-    // entry, and a stale dirty mask would corrupt its flag fill.
-    const ProcId write_initiator = e->writeInitiator;
-    const std::uint64_t epoch = e->epoch;
-    e->wantWrite = false;
-    e->writeIssued = false;
-    e->dataArrived = false;
-    e->acksExpected = -1;
-    e->acksReceived = 0;
-    std::fill(e->dirty.begin(), e->dirty.end(), false);
-    e->dirtyAny = false;
-    e->writeInitiator = -1;
-    epochs_[p.node]->completeWrite(epoch);
-    Proc &ini = procs_[static_cast<std::size_t>(write_initiator)];
-    assert(ini.outstandingWrites > 0);
-    --ini.outstandingWrites;
-    sendMsg(p, MsgType::OwnershipAck, homeProc(first), first,
-            write_initiator);
-    if (ini.throttleWaiter &&
-        ini.outstandingWrites < cfg_.maxOutstandingWrites) {
-        auto h = ini.throttleWaiter;
-        ini.throttleWaiter = nullptr;
-        ini.now = std::max(ini.now, p.now);
-        if (measuring_)
-            ini.bd.write += ini.now - ini.throttleStall;
-        ini.status = ProcStatus::Running;
-        h.resume();
-    }
-    maybeErase(first);
-}
-
-void
-Protocol::finishReadData(Proc &p, MissEntry &e, const Message &m)
-{
-    const BlockInfo b = blockOf(e.firstLine);
-    const Addr base = blockAddr(b);
-    NodeMemory &mem = *memories_[p.node];
-    assert(static_cast<int>(m.data.size()) == blockBytes(b));
-    if (e.dirtyAny)
-        mem.mergeIn(base, m.data.data(), m.data.size(), e.dirty);
-    else
-        mem.copyIn(base, m.data.data(), m.data.size());
-}
-
-void
-Protocol::drainQueuedRemote(Proc &p, LineIdx first)
-{
-    MissEntry *e = missTables_[p.node]->find(first);
-    if (!e || e->queuedRemote.empty())
-        return;
-    std::deque<Message> queued;
-    queued.swap(e->queuedRemote);
-    for (auto &qm : queued) {
-        const ProcId dst = qm.dst;
-        reinject(dst, std::move(qm));
-    }
-}
-
-void
-Protocol::resumeWaiters(MissEntry &e, bool loads, bool retries,
-                        Tick when)
-{
-    // Move the lists out first: resumed coroutines may park again on
-    // the same entry.
-    std::vector<Waiter> to_resume;
-    if (loads) {
-        to_resume.insert(to_resume.end(), e.loadWaiters.begin(),
-                         e.loadWaiters.end());
-        e.loadWaiters.clear();
-    }
-    if (retries) {
-        to_resume.insert(to_resume.end(), e.retryWaiters.begin(),
-                         e.retryWaiters.end());
-        e.retryWaiters.clear();
-    }
-    for (auto &w : to_resume) {
-        Proc &wp = procs_[static_cast<std::size_t>(w.proc)];
-        wp.now = std::max({wp.now, w.stallStart, when});
-        if (measuring_) {
-            const Tick stall = wp.now - w.stallStart;
-            switch (w.kind) {
-              case StallKind::Read: wp.bd.read += stall; break;
-              case StallKind::Write: wp.bd.write += stall; break;
-              case StallKind::Sync: wp.bd.sync += stall; break;
-            }
-        }
-        wp.status = ProcStatus::Running;
-        w.handle.resume();
-    }
-}
-
-void
-Protocol::maybeErase(LineIdx first)
-{
-    // The entry lives on any node; scan is avoided because callers
-    // always operate on the node owning the entry.  Find it on every
-    // node that could hold it: entries are per-node, so search the
-    // node whose table points at a transient; cheaper: try all nodes.
-    for (auto &mt : missTables_) {
-        MissEntry *e = mt->find(first);
-        if (!e)
-            continue;
-        const NodeId n = static_cast<NodeId>(&mt - &missTables_[0]);
-        const LState s = tables_[static_cast<std::size_t>(n)]
-                             ->shared(first);
-        if (isStable(s) && !e->wantWrite && !e->readIssued &&
-            !e->downgradeActive() && e->loadWaiters.empty() &&
-            e->retryWaiters.empty() && e->queuedRemote.empty()) {
-            mt->erase(first);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Message plumbing
-// ---------------------------------------------------------------------
-
-void
-Protocol::sendMsg(Proc &from, MsgType type, ProcId dst, LineIdx block,
-                  ProcId requester, int count,
-                  std::vector<std::uint8_t> data)
-{
-    Message m;
-    m.type = type;
-    m.src = from.id;
-    m.dst = dst;
-    m.addr = heap_.lineAddr(block);
-    m.requester = requester;
-    m.count = count;
-    m.data = std::move(data);
-    if (dst == from.id ||
-        (cfg_.shareDirectory && topo_.sameNode(from.id, dst) &&
-         (isCoherenceRequest(m.type) ||
-          m.type == MsgType::OwnershipAck ||
-          m.type == MsgType::SharingWriteback))) {
-        // A processor that is its own destination just performs the
-        // work: no message exists (and none is counted).  With the
-        // shared-directory extension (Sections 3.1/5), directory
-        // operations whose home is colocated are also performed
-        // directly, skipping the internal hop; the line lock charged
-        // by the handler covers the required synchronization.
-        m.sendTime = from.now;
-        m.arriveTime = from.now;
-        handleMessage(from, std::move(m));
-        return;
-    }
-    net_.send(std::move(m), from.now);
-}
-
-void
-Protocol::sendRaw(Proc &from, Message &&m)
-{
-    m.src = from.id;
-    if (m.dst == from.id) {
-        m.sendTime = from.now;
-        m.arriveTime = from.now;
-        handleMessage(from, std::move(m));
-        return;
-    }
-    net_.send(std::move(m), from.now);
-}
-
-void
-Protocol::reinject(ProcId dst, Message &&m)
-{
-    Proc &d = procs_[static_cast<std::size_t>(dst)];
-    m.dst = dst;
-    m.arriveTime = std::max(events_.now(), m.arriveTime);
-    d.mailbox.push(std::move(m));
-    if (d.status != ProcStatus::Running)
-        drainMailbox(d);
-}
-
-void
-Protocol::deliver(Message &&m)
-{
-    Proc &d = procs_[static_cast<std::size_t>(m.dst)];
-    d.mailbox.push(std::move(m));
-    if (d.status != ProcStatus::Running)
-        drainMailbox(d);
-}
-
-void
-Protocol::drainMailbox(Proc &p)
-{
-    if (p.draining)
-        return;
-    // Scope guard, not a manual reset: if a handler throws, a stuck
-    // draining flag would silently stop all future drains for this
-    // processor.
-    struct DrainGuard
-    {
-        bool &flag;
-        ~DrainGuard() { flag = false; }
-    } guard{p.draining};
-    p.draining = true;
-    while (p.mailbox.hasMail()) {
-        Message m = p.mailbox.pop();
-        p.now = std::max(p.now, m.arriveTime);
-        const bool count_as_msg =
-            (p.status == ProcStatus::Running) && measuring_;
-        const Tick t0 = p.now;
-        handleMessage(p, std::move(m));
-        if (count_as_msg)
-            p.bd.msg += p.now - t0;
-    }
-}
-
-void
-Protocol::chargeHandler(Proc &p, const Message &m, Tick handler,
-                        bool locked, LineIdx line)
-{
-    Tick recv = 0;
-    if (m.src != p.id) {
-        recv = topo_.sameMachine(m.src, p.id) ? cfg_.costs.recvLocal
-                                              : cfg_.costs.recvRemote;
-    }
-    p.now += recv + handler;
-    if (locked)
-        p.now += locks_[p.node]->chargeOp(line);
-}
-
-void
-Protocol::handleMessage(Proc &p, Message &&m)
-{
-    SHASTA_TRACE_EVENT(trace::Flag::Net, p.now, p.id,
-                       "handle %s from P%d line %u",
-                       std::string(msgTypeName(m.type)).c_str(),
-                       m.src,
-                       static_cast<unsigned>(heap_.lineOf(m.addr)));
-    switch (m.type) {
-      case MsgType::ReadReq: onReadReq(p, std::move(m)); return;
-      case MsgType::ReadExReq: onReadExReq(p, std::move(m)); return;
-      case MsgType::UpgradeReq: onUpgradeReq(p, std::move(m)); return;
-      case MsgType::FwdReadReq: onFwdReadReq(p, std::move(m)); return;
-      case MsgType::FwdReadExReq:
-        onFwdReadExReq(p, std::move(m));
-        return;
-      case MsgType::InvalReq: onInvalReq(p, std::move(m)); return;
-      case MsgType::InvalAck: onInvalAck(p, std::move(m)); return;
-      case MsgType::ReadReply: onReadReply(p, std::move(m)); return;
-      case MsgType::ReadExReply:
-        onReadExReply(p, std::move(m));
-        return;
-      case MsgType::UpgradeReply:
-        onUpgradeReply(p, std::move(m));
-        return;
-      case MsgType::SharingWriteback:
-        onSharingWriteback(p, std::move(m));
-        return;
-      case MsgType::OwnershipAck:
-        onOwnershipAck(p, std::move(m));
-        return;
-      case MsgType::Downgrade: onDowngrade(p, std::move(m)); return;
-      case MsgType::LockReq:
-      case MsgType::LockGrant:
-      case MsgType::LockRelease:
-      case MsgType::BarrierArrive:
-      case MsgType::BarrierRelease:
-        assert(syncHandler_);
-        syncHandler_(p, std::move(m));
-        return;
-      default:
-        assert(false && "unhandled message type");
-    }
-}
-
-// ---------------------------------------------------------------------
-// Home-side handlers
-// ---------------------------------------------------------------------
-
-ProcId
-Protocol::sharerRepOf(const DirEntry &e, NodeId node) const
-{
-    for (int q = 0; q < topo_.numProcs(); ++q) {
-        if (e.isSharer(q) && topo_.nodeOf(q) == node)
-            return q;
-    }
-    return -1;
-}
-
-void
-Protocol::onReadReq(Proc &home, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(home, m, cfg_.costs.homeHandler, true, first);
-    DirEntry &e = dirs_[static_cast<std::size_t>(homeProc(first))]
-                      ->entry(first);
-    if (e.busy) {
-        e.waiting.push_back(std::move(m));
-        return;
-    }
-    const BlockInfo b = blockOf(first);
-    const NodeId hn = home.node;
-    const LState s = tables_[hn]->shared(first);
-    const ProcId req = m.requester;
-
-    if (s == LState::Shared) {
-        // Home has a clean copy: serve directly (Section 3.1).
-        std::vector<std::uint8_t> data;
-        memories_[hn]->copyOut(blockAddr(b),
-                               static_cast<std::size_t>(
-                                   blockBytes(b)),
-                               data);
-        e.addSharer(req);
-        sendMsg(home, MsgType::ReadReply, req, first, req, 0,
-                std::move(data));
-        // This serve never set busy, so a queued request (left by a
-        // prior transaction) must be pumped here or it is stranded.
-        pumpQueued(home, first);
-        return;
-    }
-
-    if (s == LState::Exclusive) {
-        // Home node owns the block exclusively: downgrade the node
-        // (possibly via downgrade messages to colocated processors),
-        // then serve.
-        e.busy = true;
-        e.addSharer(req);
-        downgradeNode(home, first, false,
-                      [this, first, req](Proc &px,
-                                         std::vector<std::uint8_t>
-                                             &&data) {
-                          sendMsg(px, MsgType::ReadReply, req, first,
-                                  req, 0, std::move(data));
-                          unbusyAndPump(px, first);
-                      });
-        return;
-    }
-
-    // Home node has no usable copy: forward to the owner.
-    assert(e.owner >= 0);
-    assert(topo_.nodeOf(e.owner) != topo_.nodeOf(req) &&
-           "requester's node should have hit locally");
-    e.busy = true;
-    sendMsg(home, MsgType::FwdReadReq, e.owner, first, req);
-}
-
-void
-Protocol::onReadExReq(Proc &home, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(home, m, cfg_.costs.homeHandler, true, first);
-    DirEntry &e = dirs_[static_cast<std::size_t>(homeProc(first))]
-                      ->entry(first);
-    if (e.busy) {
-        e.waiting.push_back(std::move(m));
-        return;
-    }
-    const BlockInfo b = blockOf(first);
-    const NodeId hn = home.node;
-    const ProcId req = m.requester;
-    const NodeId req_node = topo_.nodeOf(req);
-    assert(sharerRepOf(e, req_node) == -1 &&
-           "read-exclusive from a node that still has a copy");
-
-    const LState s = tables_[hn]->shared(first);
-    e.busy = true;
-
-    if (readableState(s)) {
-        // Home supplies the data.  Invalidate every other sharing
-        // node; their acks go to the requester.
-        std::vector<ProcId> invals;
-        for (ProcId q : e.sharerList()) {
-            if (topo_.nodeOf(q) != hn)
-                invals.push_back(q);
-        }
-        const int acks = static_cast<int>(invals.size());
-        e.owner = req;
-        e.clearSharers();
-        e.addSharer(req);
-        for (ProcId q : invals)
-            sendMsg(home, MsgType::InvalReq, q, first, req);
-        downgradeNode(home, first, true,
-                      [this, first, req, acks](
-                          Proc &px,
-                          std::vector<std::uint8_t> &&data) {
-                          sendMsg(px, MsgType::ReadExReply, req,
-                                  first, req, acks,
-                                  std::move(data));
-                      });
-        (void)b;
-        return;
-    }
-
-    // Home node invalid: the owner (sole copy) supplies data and
-    // ownership.  (Invariant: home invalid implies sharers == {owner}
-    // -- reads always leave a copy at the home.)
-    assert(e.owner >= 0);
-    std::vector<ProcId> invals;
-    for (ProcId q : e.sharerList()) {
-        if (topo_.nodeOf(q) != topo_.nodeOf(e.owner) &&
-            topo_.nodeOf(q) != req_node) {
-            invals.push_back(q);
-        }
-    }
-    const int acks = static_cast<int>(invals.size());
-    for (ProcId q : invals)
-        sendMsg(home, MsgType::InvalReq, q, first, req);
-    const ProcId owner = e.owner;
-    e.owner = req;
-    e.clearSharers();
-    e.addSharer(req);
-    sendMsg(home, MsgType::FwdReadExReq, owner, first, req, acks);
-}
-
-void
-Protocol::onUpgradeReq(Proc &home, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    DirEntry &e = dirs_[static_cast<std::size_t>(homeProc(first))]
-                      ->entry(first);
-    if (e.busy) {
-        chargeHandler(home, m, cfg_.costs.homeHandler, true, first);
-        e.waiting.push_back(std::move(m));
-        return;
-    }
-    const ProcId req = m.requester;
-    const NodeId req_node = topo_.nodeOf(req);
-    const ProcId rep = sharerRepOf(e, req_node);
-    if (rep == -1) {
-        // The requester's copy was invalidated while the upgrade was
-        // in flight: treat as a read-exclusive (Section 3.4.2).
-        m.type = MsgType::ReadExReq;
-        onReadExReq(home, std::move(m));
-        return;
-    }
-    chargeHandler(home, m, cfg_.costs.homeHandler, true, first);
-    std::vector<ProcId> invals;
-    for (ProcId q : e.sharerList()) {
-        if (topo_.nodeOf(q) != req_node)
-            invals.push_back(q);
-    }
-    const int acks = static_cast<int>(invals.size());
-    e.busy = true;
-    e.owner = req;
-    e.clearSharers();
-    e.addSharer(req);
-    for (ProcId q : invals)
-        sendMsg(home, MsgType::InvalReq, q, first, req);
-    sendMsg(home, MsgType::UpgradeReply, req, first, req, acks);
-}
-
-void
-Protocol::onFwdReadReq(Proc &owner, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(owner, m, cfg_.costs.fwdHandler, true, first);
-    const BlockInfo b = blockOf(first);
-    const NodeId on = owner.node;
-    const LState s = tables_[on]->shared(first);
-    const ProcId req = m.requester;
-    const ProcId home = homeProc(first);
-
-    MissEntry *me = missTables_[on]->find(first);
-    if (me && me->downgradeActive()) {
-        if (measuring_)
-            ++counters_.queuedDuringDowngrade;
-        me->queuedRemote.push_back(std::move(m));
-        return;
-    }
-    if (me && (me->readIssued ||
-               (me->writeIssued && !me->dataArrived &&
-                me->prior == LState::Invalid))) {
-        // The node's data reply is still in flight and may have been
-        // overtaken by this request (replies and invalidations travel
-        // on different channels); hold it until the data lands.
-        me->queuedRemote.push_back(std::move(m));
-        return;
-    }
-
-    if (s == LState::Exclusive) {
-        downgradeNode(owner, first, false,
-                      [this, first, req, home](
-                          Proc &px,
-                          std::vector<std::uint8_t> &&data) {
-                          auto copy = data;
-                          sendMsg(px, MsgType::ReadReply, req, first,
-                                  req, 0, std::move(data));
-                          sendMsg(px, MsgType::SharingWriteback,
-                                  home, first, req, 0,
-                                  std::move(copy));
-                      });
-        return;
-    }
-
-    // The owner may legitimately be Shared (the home served reads
-    // after this owner's exclusivity was downgraded) or mid-upgrade
-    // with a still-valid Shared copy; serve from memory.
-    assert(readableState(s) ||
-           (s == LState::PendEx && me && me->prior == LState::Shared));
-    std::vector<std::uint8_t> data;
-    memories_[on]->copyOut(blockAddr(b),
-                           static_cast<std::size_t>(blockBytes(b)),
-                           data);
-    auto copy = data;
-    sendMsg(owner, MsgType::ReadReply, req, first, req, 0,
-            std::move(data));
-    sendMsg(owner, MsgType::SharingWriteback, home, first, req, 0,
-            std::move(copy));
-}
-
-void
-Protocol::onFwdReadExReq(Proc &owner, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(owner, m, cfg_.costs.fwdHandler, true, first);
-    const NodeId on = owner.node;
-    const ProcId req = m.requester;
-    const int acks = m.count;
-
-    MissEntry *me = missTables_[on]->find(first);
-    if (me && me->downgradeActive()) {
-        if (measuring_)
-            ++counters_.queuedDuringDowngrade;
-        me->queuedRemote.push_back(std::move(m));
-        return;
-    }
-    if (me && (me->readIssued ||
-               (me->writeIssued && !me->dataArrived &&
-                me->prior == LState::Invalid))) {
-        // This node's own data reply is still in flight and may
-        // have been overtaken by this forward (replies and forwards
-        // travel on different channels); hold it until the data
-        // lands.
-        me->queuedRemote.push_back(std::move(m));
-        return;
-    }
-
-    // The owner usually still holds the block exclusively, but it
-    // may have been downgraded to Shared by an intervening read, or
-    // be mid-upgrade itself (its request queued behind this one at
-    // the home) with a still-valid Shared copy.  In every case the
-    // owner's copy is current: invalidate the node and ship the
-    // pre-fill snapshot.
-    const LState s = tables_[on]->shared(first);
-    assert(s == LState::Exclusive || s == LState::Shared ||
-           (s == LState::PendEx && me &&
-            me->prior == LState::Shared));
-    const bool racing_upgrade = (s == LState::PendEx);
-    downgradeNode(
-        owner, first, true,
-        [this, first, req, acks, racing_upgrade](
-            Proc &px, std::vector<std::uint8_t> &&data) {
-            if (racing_upgrade) {
-                // The node's own in-flight upgrade loses its Shared
-                // copy; the home will convert it to a
-                // read-exclusive (Section 3.4.2).
-                MissEntry *e2 = missTables_[px.node]->find(first);
-                assert(e2);
-                e2->prior = LState::Invalid;
-            }
-            sendMsg(px, MsgType::ReadExReply, req, first, req, acks,
-                    std::move(data));
-        });
-}
-
-void
-Protocol::onInvalReq(Proc &p, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(p, m, cfg_.costs.invalHandler, true, first);
-    const NodeId n = p.node;
-    const LState s = tables_[n]->shared(first);
-    const ProcId req = m.requester;
-
-    MissEntry *me = missTables_[n]->find(first);
-    if (me && me->downgradeActive()) {
-        if (measuring_)
-            ++counters_.queuedDuringDowngrade;
-        me->queuedRemote.push_back(std::move(m));
-        return;
-    }
-    if (me && (me->readIssued ||
-               (me->writeIssued && !me->dataArrived &&
-                me->prior == LState::Invalid))) {
-        // The node's data reply is still in flight and may have been
-        // overtaken by this request (replies and invalidations travel
-        // on different channels); hold it until the data lands.
-        me->queuedRemote.push_back(std::move(m));
-        return;
-    }
-
-    if (s == LState::Shared) {
-        downgradeNode(p, first, true,
-                      [this, first, req](Proc &px,
-                                         std::vector<std::uint8_t>
-                                             &&) {
-                          sendMsg(px, MsgType::InvalAck, req, first,
-                                  req);
-                      });
-        return;
-    }
-
-    // Invalidation racing a local upgrade that is queued at the home:
-    // the node loses its Shared copy; the in-flight upgrade will be
-    // converted to a read-exclusive by the home.
-    if (!(s == LState::PendEx && me && me->prior == LState::Shared)) {
-        std::fprintf(stderr,
-                     "onInvalReq: proc %d node %d line %u state %s "
-                     "entry=%p prior=%s rd=%d wW=%d wI=%d dg=%d\n",
-                     p.id, p.node, first,
-                     std::string(lstateName(s)).c_str(),
-                     static_cast<void *>(me),
-                     me ? std::string(lstateName(me->prior)).c_str()
-                        : "-",
-                     me ? me->readIssued : 0, me ? me->wantWrite : 0,
-                     me ? me->writeIssued : 0,
-                     me ? me->downgradesLeft : 0);
-        std::fflush(stderr);
-        assert(false && "unexpected state for incoming invalidation");
-    }
-    downgradeNode(p, first, true,
-                  [this, first, req](Proc &px,
-                                     std::vector<std::uint8_t> &&) {
-                      MissEntry *e2 =
-                          missTables_[px.node]->find(first);
-                      assert(e2);
-                      e2->prior = LState::Invalid;
-                      // Parked readers of the old Shared copy no
-                      // longer have valid data; they re-park as data
-                      // waiters via retry.
-                      sendMsg(px, MsgType::InvalAck, req, first, req);
-                  });
-}
-
-void
-Protocol::onInvalAck(Proc &p, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(p, m, cfg_.costs.ackHandler, true, first);
-    MissEntry *e = missTables_[p.node]->find(first);
-    assert(e && e->wantWrite);
-    ++e->acksReceived;
-    checkWriteComplete(p, first);
-}
-
-// ---------------------------------------------------------------------
-// Replies
-// ---------------------------------------------------------------------
-
-void
-Protocol::countMissReply(Proc &p, const Message &m, bool is_read,
-                         bool is_upgrade)
-{
-    if (!measuring_)
-        return;
-    const LineIdx first = heap_.lineOf(m.addr);
-    const bool three_hop = (m.src != homeProc(first));
-    MissClass c;
-    if (is_upgrade) {
-        c = three_hop ? MissClass::Upgrade3Hop
-                      : MissClass::Upgrade2Hop;
-    } else if (is_read) {
-        c = three_hop ? MissClass::Read3Hop : MissClass::Read2Hop;
-    } else {
-        c = three_hop ? MissClass::Write3Hop : MissClass::Write2Hop;
-    }
-    counters_.countMiss(c);
-    (void)p;
-}
-
-void
-Protocol::onReadReply(Proc &p, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(p, m, cfg_.costs.fillReply, true, first);
-    MissEntry *e = missTables_[p.node]->find(first);
-    assert(e && e->readIssued);
-    const BlockInfo b = blockOf(first);
-
-    finishReadData(p, *e, m);
-    tables_[p.node]->setShared(first, b.numLines, LState::Shared);
-    const Proc &ini = procs_[static_cast<std::size_t>(e->initiator)];
-    tables_[p.node]->setPriv(first, b.numLines, ini.local,
-                             PState::Shared);
-    countMissReply(p, m, true, false);
-    if (measuring_) {
-        ++counters_.readMissSamples;
-        counters_.readMissLatency += m.arriveTime - e->issueTime;
-    }
-    e->readIssued = false;
-
-    if (e->wantWrite && !e->writeIssued) {
-        // A store landed while the read was outstanding; promote it
-        // now that we have a Shared copy.  The upgrade can complete
-        // synchronously (same-processor home, no acks), so re-find
-        // the entry afterwards.
-        issueDeferredWrite(p, *e);
-        e = missTables_[p.node]->find(first);
-        assert(e);
-    }
-    resumeWaiters(*e, true, true, p.now);
-    drainQueuedRemote(p, first);
-    maybeErase(first);
-}
-
-void
-Protocol::onReadExReply(Proc &p, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(p, m, cfg_.costs.fillReply, true, first);
-    MissEntry *e = missTables_[p.node]->find(first);
-    assert(e && e->wantWrite && e->writeIssued);
-    const BlockInfo b = blockOf(first);
-
-    finishReadData(p, *e, m);
-    tables_[p.node]->setShared(first, b.numLines, LState::Exclusive);
-    const Proc &wi =
-        procs_[static_cast<std::size_t>(e->writeInitiator)];
-    tables_[p.node]->setPriv(first, b.numLines, wi.local,
-                             PState::Exclusive);
-    e->dataArrived = true;
-    e->acksExpected = m.count;
-    countMissReply(p, m, false, false);
-    resumeWaiters(*e, true, true, p.now);
-    checkWriteComplete(p, first);
-    drainQueuedRemote(p, first);
-}
-
-void
-Protocol::onUpgradeReply(Proc &p, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(p, m, cfg_.costs.upgradeReply, true, first);
-    MissEntry *e = missTables_[p.node]->find(first);
-    assert(e && e->wantWrite && e->writeIssued);
-    assert(e->loadWaiters.empty() &&
-           "loads cannot be parked across an upgrade");
-    const BlockInfo b = blockOf(first);
-
-    tables_[p.node]->setShared(first, b.numLines, LState::Exclusive);
-    const Proc &wi =
-        procs_[static_cast<std::size_t>(e->writeInitiator)];
-    tables_[p.node]->setPriv(first, b.numLines, wi.local,
-                             PState::Exclusive);
-    e->dataArrived = true;
-    e->acksExpected = m.count;
-    countMissReply(p, m, false, true);
-    resumeWaiters(*e, false, true, p.now);
-    checkWriteComplete(p, first);
-    drainQueuedRemote(p, first);
-}
-
-void
-Protocol::onSharingWriteback(Proc &home, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(home, m, cfg_.costs.wbHandler, true, first);
-    DirEntry &e = dirs_[static_cast<std::size_t>(homeProc(first))]
-                      ->entry(first);
-    const BlockInfo b = blockOf(first);
-    const NodeId hn = home.node;
-
-    if (tables_[hn]->shared(first) == LState::Invalid) {
-        memories_[hn]->copyIn(blockAddr(b), m.data.data(),
-                              m.data.size());
-        tables_[hn]->setShared(first, b.numLines, LState::Shared);
-        e.addSharer(home.id);
-    }
-    e.addSharer(m.requester);
-    unbusyAndPump(home, first);
-}
-
-void
-Protocol::onOwnershipAck(Proc &home, Message &&m)
-{
-    const LineIdx first = heap_.lineOf(m.addr);
-    chargeHandler(home, m, cfg_.costs.wbHandler, true, first);
-    unbusyAndPump(home, first);
-}
-
-void
-Protocol::unbusyAndPump(Proc &p, LineIdx first)
-{
-    const ProcId home = homeProc(first);
-    DirEntry &e = dirs_[static_cast<std::size_t>(home)]->entry(first);
-    assert(e.busy);
-    e.busy = false;
-    if (!e.waiting.empty()) {
-        Message next = std::move(e.waiting.front());
-        e.waiting.pop_front();
-        if (home == p.id) {
-            handleMessage(p, std::move(next));
-        } else {
-            reinject(home, std::move(next));
-        }
-    }
-}
-
-void
-Protocol::pumpQueued(Proc &home, LineIdx first)
-{
-    assert(topo_.sameNode(home.id, homeProc(first)));
-    for (;;) {
-        DirEntry &e = dirs_[static_cast<std::size_t>(
-                                homeProc(first))]
-                          ->entry(first);
-        if (e.busy || e.waiting.empty())
-            return;
-        Message next = std::move(e.waiting.front());
-        e.waiting.pop_front();
-        handleMessage(home, std::move(next));
-    }
-}
-
-void
-Protocol::releaseFence(Proc &p, std::function<void()> done)
-{
-    epochs_[p.node]->release(std::move(done));
-}
-
-std::string
-Protocol::dumpPending() const
-{
-    std::string out;
-    for (std::size_t n = 0; n < missTables_.size(); ++n) {
-        for (const auto &[line, e] : missTables_[n]->entries()) {
-            out += "  node " + std::to_string(n) + " line " +
-                   std::to_string(line) + " state " +
-                   std::string(lstateName(
-                       tables_[n]->shared(line))) +
-                   " prior " + std::string(lstateName(e.prior)) +
-                   " rd=" + std::to_string(e.readIssued) +
-                   " wW=" + std::to_string(e.wantWrite) +
-                   " wI=" + std::to_string(e.writeIssued) +
-                   " data=" + std::to_string(e.dataArrived) +
-                   " acks=" + std::to_string(e.acksReceived) + "/" +
-                   std::to_string(e.acksExpected) +
-                   " dg=" + std::to_string(e.downgradesLeft) +
-                   " lw=" + std::to_string(e.loadWaiters.size()) +
-                   " rw=" + std::to_string(e.retryWaiters.size()) +
-                   " q=" + std::to_string(e.queuedRemote.size()) +
-                   "\n";
-        }
-    }
-    for (std::size_t d = 0; d < dirs_.size(); ++d) {
-        for (const auto &[line, e] : dirs_[d]->entriesMap()) {
-            if (!e.busy && e.waiting.empty())
-                continue;
-            out += "  dir@" + std::to_string(d) + " line " +
-                   std::to_string(line) +
-                   " busy=" + std::to_string(e.busy) +
-                   " owner=" + std::to_string(e.owner) +
-                   " sharers=" + std::to_string(e.sharers) +
-                   " waiting=" + std::to_string(e.waiting.size()) +
-                   "\n";
-        }
-    }
-    return out;
-}
-
-std::size_t
-Protocol::pendingTransactions() const
-{
-    std::size_t n = 0;
-    for (const auto &mt : missTables_)
-        n += mt->size();
-    return n;
+    core_.home = &home_;
+    core_.requester = &requester_;
+    core_.downgrade = &downgrade_;
 }
 
 } // namespace shasta

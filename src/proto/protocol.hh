@@ -1,13 +1,23 @@
 /**
  * @file
- * The Shasta / SMP-Shasta coherence protocol engine.
+ * The Shasta / SMP-Shasta coherence protocol engine (facade).
  *
- * One Protocol instance drives all coherence in a run.  It owns the
- * per-node memory images, shared and private state tables, miss
- * tables, epochs and line-lock pools, and the per-processor home
- * directories.  The DSM Context layer calls into it on inline-check
- * misses; the message layer calls into it to dispatch delivered
- * messages.
+ * One Protocol instance drives all coherence in a run.  Since the
+ * agent decomposition it is a thin facade over three agents that
+ * share a ProtocolCore context:
+ *
+ *  - HomeAgent (home_agent.hh): directory-side request handling and
+ *    per-block transaction serialization (busy entries, queue
+ *    pumping).
+ *  - RequesterAgent (requester_agent.hh): inline-check slow paths,
+ *    transaction issue, reply handling, write-completion tracking.
+ *  - DowngradeEngine (downgrade_engine.hh): intra-node selective
+ *    downgrades, the handlers that trigger them (forwards and
+ *    invalidations), and batch markers.
+ *
+ * The core (proto_core.hh) owns the per-node infrastructure and the
+ * message plumbing, including the static per-type dispatch table that
+ * routes a delivered message to the right agent handler.
  *
  * Protocol summary (Sections 2.1 and 3.4 of the paper):
  *
@@ -37,43 +47,16 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "dsm/config.hh"
-#include "dsm/proc.hh"
-#include "mem/node_memory.hh"
-#include "mem/shared_heap.hh"
-#include "net/network.hh"
-#include "proto/directory.hh"
-#include "proto/epoch.hh"
-#include "proto/line_lock.hh"
-#include "proto/miss_table.hh"
-#include "proto/state_table.hh"
-#include "stats/counters.hh"
+#include "proto/downgrade_engine.hh"
+#include "proto/home_agent.hh"
+#include "proto/proto_core.hh"
+#include "proto/requester_agent.hh"
 
 namespace shasta
 {
-
-/** Result of attempting to resolve a miss without suspending. */
-enum class MissOutcome
-{
-    /** The access may proceed against valid local data. */
-    Resolved,
-    /** A write may proceed non-blocking; the caller must store the
-     *  bytes and the protocol has marked them dirty. */
-    ResolvedPending,
-    /** The caller must park as a load waiter (resumed when the data
-     *  becomes valid; the load is then guaranteed to succeed). */
-    WaitData,
-    /** The caller must park as a retry waiter and re-run its check. */
-    WaitRetry,
-    /** The caller must park until the store throttle clears. */
-    WaitThrottle,
-};
 
 /**
  * The coherence protocol engine.
@@ -85,57 +68,78 @@ class Protocol
              SharedHeap &heap, std::vector<Proc> &procs);
 
     /** @{ Infrastructure accessors. */
-    NodeMemory &memory(NodeId n) { return *memories_[n]; }
-    NodeStateTable &table(NodeId n) { return *tables_[n]; }
-    const NodeStateTable &table(NodeId n) const { return *tables_[n]; }
-    EpochTracker &epochs(NodeId n) { return *epochs_[n]; }
-    const EpochTracker &epochs(NodeId n) const { return *epochs_[n]; }
-    ProtoCounters &counters() { return counters_; }
-    const ProtoCounters &counters() const { return counters_; }
-    const Topology &topology() const { return topo_; }
-    const SharedHeap &heap() const { return heap_; }
+    NodeMemory &memory(NodeId n) { return *core_.memories[n]; }
+    NodeStateTable &table(NodeId n) { return *core_.tables[n]; }
+    const NodeStateTable &
+    table(NodeId n) const
+    {
+        return *core_.tables[n];
+    }
+    EpochTracker &epochs(NodeId n) { return *core_.epochs[n]; }
+    const EpochTracker &
+    epochs(NodeId n) const
+    {
+        return *core_.epochs[n];
+    }
+    ProtoCounters &counters() { return core_.counters; }
+    const ProtoCounters &counters() const { return core_.counters; }
+    const Topology &topology() const { return core_.topo; }
+    const SharedHeap &heap() const { return core_.heap; }
     /** @} */
 
     /** @{ Audit accessors: the invariant auditor sweeps these
      *  structures read-only; the non-const variants exist for
      *  fault-injection tests. */
-    MissTable &missTable(NodeId n) { return *missTables_[n]; }
-    const MissTable &missTable(NodeId n) const
+    MissTable &missTable(NodeId n) { return *core_.missTables[n]; }
+    const MissTable &
+    missTable(NodeId n) const
     {
-        return *missTables_[n];
+        return *core_.missTables[n];
     }
-    HomeDirectory &directory(ProcId p) { return *dirs_[p]; }
-    const HomeDirectory &directory(ProcId p) const
+    HomeDirectory &directory(ProcId p) { return *core_.dirs[p]; }
+    const HomeDirectory &
+    directory(ProcId p) const
     {
-        return *dirs_[p];
+        return *core_.dirs[p];
     }
     /** @} */
 
     /** Home processor of @p line (page-granular, round-robin unless
      *  overridden by placement hints). */
-    ProcId homeProc(LineIdx line) const;
+    ProcId homeProc(LineIdx line) const
+    {
+        return core_.homeProc(line);
+    }
 
     /** Override the home of the pages covering [base, base+len). */
-    void setPageHome(Addr base, std::size_t len, ProcId home);
+    void
+    setPageHome(Addr base, std::size_t len, ProcId home)
+    {
+        core_.setPageHome(base, len, home);
+    }
 
     /**
      * Register a fresh allocation: the home node of each line starts
      * with an exclusive, zero-filled copy; all other nodes start
      * invalid with the invalid flag written into their images.
      */
-    void onAlloc(Addr base, std::size_t bytes);
+    void
+    onAlloc(Addr base, std::size_t bytes)
+    {
+        core_.onAlloc(base, bytes);
+    }
 
     /** @{ Fast-path queries for the inline checks (no cost). */
     PState
     privState(const Proc &p, LineIdx line) const
     {
-        return tables_[p.node]->priv(line, p.local);
+        return core_.tables[p.node]->priv(line, p.local);
     }
 
     LState
     nodeState(NodeId n, LineIdx line) const
     {
-        return tables_[n]->shared(line);
+        return core_.tables[n]->shared(line);
     }
     /** @} */
 
@@ -144,26 +148,46 @@ class Protocol
      * protocol costs on @p p's clock.  On WaitData/WaitRetry the
      * caller parks via parkLoad()/parkRetry().
      */
-    MissOutcome loadMiss(Proc &p, LineIdx line);
+    MissOutcome
+    loadMiss(Proc &p, LineIdx line)
+    {
+        return requester_.loadMiss(p, line);
+    }
 
     /**
      * Slow path of a store whose inline check failed.  On
      * ResolvedPending the protocol has recorded [addr, addr+len) as
      * dirty; the caller then performs the store.
      */
-    MissOutcome storeMiss(Proc &p, LineIdx line, Addr addr, int len);
+    MissOutcome
+    storeMiss(Proc &p, LineIdx line, Addr addr, int len)
+    {
+        return requester_.storeMiss(p, line, addr, len);
+    }
 
     /** Park @p h on the block's miss entry until data is valid. */
-    void parkLoad(Proc &p, LineIdx line, std::coroutine_handle<> h);
+    void
+    parkLoad(Proc &p, LineIdx line, std::coroutine_handle<> h)
+    {
+        requester_.parkLoad(p, line, h);
+    }
 
     /** Park @p h until the block's transient resolves; the caller
      *  re-runs its check on resume.  @p kind selects the stall
      *  bucket. */
-    void parkRetry(Proc &p, LineIdx line, std::coroutine_handle<> h,
-                   StallKind kind);
+    void
+    parkRetry(Proc &p, LineIdx line, std::coroutine_handle<> h,
+              StallKind kind)
+    {
+        requester_.parkRetry(p, line, h, kind);
+    }
 
     /** Park @p h until the processor's store throttle clears. */
-    void parkThrottle(Proc &p, std::coroutine_handle<> h);
+    void
+    parkThrottle(Proc &p, std::coroutine_handle<> h)
+    {
+        requester_.parkThrottle(p, h);
+    }
 
     /**
      * Mark @p p blocked.  A blocked processor polls continuously, so
@@ -172,28 +196,50 @@ class Protocol
      * current time.  Every transition to Blocked must go through
      * here.
      */
-    void noteBlocked(Proc &p);
+    void noteBlocked(Proc &p) { core_.noteBlocked(p); }
 
     /** @{ Batch support (Section 3.4.4). */
     /** True if every line in [first, first+n) is sufficient for the
      *  given access kind on @p p's private table. */
-    bool batchLinesReady(const Proc &p, LineIdx first,
-                         std::uint32_t n, bool is_write) const;
+    bool
+    batchLinesReady(const Proc &p, LineIdx first, std::uint32_t n,
+                    bool is_write) const
+    {
+        return downgrade_.batchLinesReady(p, first, n, is_write);
+    }
 
     /** Mark the blocks covering [first, first+n): invalidations of
      *  marked blocks defer their flag fill. */
-    void batchMark(NodeId node, LineIdx first, std::uint32_t n);
+    void
+    batchMark(NodeId node, LineIdx first, std::uint32_t n)
+    {
+        downgrade_.batchMark(node, first, n);
+    }
 
     /** Unmark and apply any deferred flag fills; re-issues a write
      *  transaction for store ranges whose block lost exclusivity
      *  while the batch was waiting. */
-    void batchUnmark(Proc &p, LineIdx first, std::uint32_t n,
-                     bool is_write, Addr store_base, int store_len);
+    void
+    batchUnmark(Proc &p, LineIdx first, std::uint32_t n,
+                bool is_write, Addr store_base, int store_len)
+    {
+        downgrade_.batchUnmark(p, first, n, is_write, store_base,
+                               store_len);
+    }
 
     /** Park @p h until the node has no marked blocks (acquires stall
      *  while a batch is mid-flight on the node, footnote 3). */
-    bool nodeHasMarks(NodeId node) const;
-    void parkAcquire(Proc &p, std::coroutine_handle<> h);
+    bool
+    nodeHasMarks(NodeId node) const
+    {
+        return downgrade_.nodeHasMarks(node);
+    }
+
+    void
+    parkAcquire(Proc &p, std::coroutine_handle<> h)
+    {
+        downgrade_.parkAcquire(p, h);
+    }
     /** @} */
 
     /**
@@ -201,175 +247,67 @@ class Protocol
      * a new epoch and invoke @p done once all earlier-epoch writes of
      * the node have completed.
      */
-    void releaseFence(Proc &p, std::function<void()> done);
+    void
+    releaseFence(Proc &p, EpochTracker::Ready done)
+    {
+        core_.epochs[p.node]->release(std::move(done));
+    }
 
     /** Dispatch one delivered message on processor @p p's clock. */
-    void handleMessage(Proc &p, Message &&m);
+    void
+    handleMessage(Proc &p, Message &&m)
+    {
+        core_.handleMessage(p, std::move(m));
+    }
 
     /**
      * Drain @p p's mailbox (used on delivery to non-running
      * processors and at poll points).  Reentrancy-safe.
      */
-    void drainMailbox(Proc &p);
+    void drainMailbox(Proc &p) { core_.drainMailbox(p); }
 
     /** Deliver callback installed on the network. */
-    void deliver(Message &&m);
+    void deliver(Message &&m) { core_.deliver(std::move(m)); }
 
     /** Install a handler for synchronization message types. */
-    using SyncHandler = std::function<void(Proc &, Message &&)>;
-    void setSyncHandler(SyncHandler h) { syncHandler_ = std::move(h); }
+    using SyncHandler = ProtocolCore::SyncHandler;
+    void
+    setSyncHandler(SyncHandler h)
+    {
+        core_.syncHandler = std::move(h);
+    }
 
     /** Send an arbitrary message (used by the synchronization
      *  managers); self-sends dispatch inline without a message. */
-    void sendRaw(Proc &from, Message &&m);
+    void
+    sendRaw(Proc &from, Message &&m)
+    {
+        core_.sendRaw(from, std::move(m));
+    }
 
     /** Whether stats are currently being accumulated. */
-    void setMeasuring(bool on) { measuring_ = on; }
-    bool measuring() const { return measuring_; }
+    void setMeasuring(bool on) { core_.measuring = on; }
+    bool measuring() const { return core_.measuring; }
 
     /** Zero all protocol counters. */
-    void resetCounters() { counters_ = ProtoCounters{}; }
+    void resetCounters() { core_.counters = ProtoCounters{}; }
 
     /** Pending transactions across all nodes (for drain checks). */
-    std::size_t pendingTransactions() const;
+    std::size_t
+    pendingTransactions() const
+    {
+        return core_.pendingTransactions();
+    }
 
     /** Human-readable dump of every pending miss entry and busy
      *  directory entry (deadlock diagnostics). */
-    std::string dumpPending() const;
+    std::string dumpPending() const { return core_.dumpPending(); }
 
   private:
-    /** @{ Message handlers, one per type. */
-    void onReadReq(Proc &home, Message &&m);
-    void onReadExReq(Proc &home, Message &&m);
-    void onUpgradeReq(Proc &home, Message &&m);
-    void onFwdReadReq(Proc &owner, Message &&m);
-    void onFwdReadExReq(Proc &owner, Message &&m);
-    void onInvalReq(Proc &p, Message &&m);
-    void onInvalAck(Proc &p, Message &&m);
-    void onReadReply(Proc &p, Message &&m);
-    void onReadExReply(Proc &p, Message &&m);
-    void onUpgradeReply(Proc &p, Message &&m);
-    void onSharingWriteback(Proc &home, Message &&m);
-    void onOwnershipAck(Proc &home, Message &&m);
-    void onDowngrade(Proc &p, Message &&m);
-    /** @} */
-
-    /** Send a message from @p from (handles accounting). */
-    void sendMsg(Proc &from, MsgType type, ProcId dst, LineIdx block,
-                 ProcId requester, int count = 0,
-                 std::vector<std::uint8_t> data = {});
-
-    /** Re-inject a message into @p dst's mailbox at the current time
-     *  (used to replay queued requests). */
-    void reinject(ProcId dst, Message &&m);
-
-    /**
-     * Downgrade the node's copy of a block, sending downgrade
-     * messages to local processors whose private state requires it.
-     * @p action runs (possibly on another local processor) once all
-     * downgrades complete, receiving a pre-fill snapshot of the block
-     * data.  Section 3.4.3.
-     */
-    using DowngradeAction =
-        std::function<void(Proc &, std::vector<std::uint8_t> &&)>;
-    void downgradeNode(Proc &p, LineIdx first, bool to_invalid,
-                       DowngradeAction action);
-
-    /** Final step of a downgrade: snapshot, state change, flag fill
-     *  (deferred if the block is batch-marked), then the action. */
-    void completeDowngrade(Proc &p, LineIdx first, bool to_invalid,
-                           const DowngradeAction &action);
-
-    /** Apply the invalid flag to a block, skipping dirty bytes and
-     *  honoring batch markers. */
-    void applyInvalidFill(NodeId node, LineIdx first);
-
-    /** Start a read transaction (node state must be Invalid). */
-    void startRead(Proc &p, LineIdx first);
-
-    /** Start a write transaction; @p had_shared selects upgrade vs
-     *  read-exclusive.  [dirty_addr, dirty_addr+dirty_len) is marked
-     *  dirty *before* the request is sent, because a same-processor
-     *  home can complete an ack-free upgrade synchronously. */
-    void startWrite(Proc &p, LineIdx first, bool had_shared,
-                    Addr dirty_addr, int dirty_len);
-
-    /** Issue the deferred upgrade recorded in @p e (a store landed on
-     *  a block whose read was still outstanding). */
-    void issueDeferredWrite(Proc &p, MissEntry &e);
-
-    /** Handle reply bookkeeping common to data replies. */
-    void finishReadData(Proc &p, MissEntry &e, const Message &m);
-
-    /** Complete the write transaction if data and all acks are in. */
-    void checkWriteComplete(Proc &p, LineIdx first);
-
-    /** Replay requests that arrived before the data reply. */
-    void drainQueuedRemote(Proc &p, LineIdx first);
-
-    /** Resume every load/retry waiter of an entry. */
-    void resumeWaiters(MissEntry &e, bool loads, bool retries,
-                       Tick when);
-
-    /** Erase the entry if nothing references it anymore. */
-    void maybeErase(LineIdx first);
-
-    /** Classify and count a completed miss. */
-    void countMissReply(Proc &p, const Message &m, bool is_read,
-                        bool is_upgrade);
-
-    /** Unbusy the directory entry and replay one queued request. */
-    void unbusyAndPump(Proc &p, LineIdx first);
-
-    /** Replay queued requests at the home while the entry is idle
-     *  (needed after a serve that never set busy). */
-    void pumpQueued(Proc &home, LineIdx first);
-
-    /** Charge receive-dispatch plus @p handler cost (and the line
-     *  lock when @p locked) on @p p's clock. */
-    void chargeHandler(Proc &p, const Message &m, Tick handler,
-                       bool locked, LineIdx line);
-
-    /** Representative sharer of @p node in @p e, or -1. */
-    ProcId sharerRepOf(const DirEntry &e, NodeId node) const;
-
-    /** Block info helpers. */
-    BlockInfo blockOf(LineIdx line) const { return heap_.blockOf(line); }
-    int
-    blockBytes(const BlockInfo &b) const
-    {
-        return static_cast<int>(b.numLines) * heap_.lineSize();
-    }
-    Addr
-    blockAddr(const BlockInfo &b) const
-    {
-        return heap_.lineAddr(b.firstLine);
-    }
-
-    const DsmConfig &cfg_;
-    EventQueue &events_;
-    Network &net_;
-    SharedHeap &heap_;
-    std::vector<Proc> &procs_;
-    Topology topo_;
-    bool smp_;
-
-    std::vector<std::unique_ptr<NodeMemory>> memories_;
-    std::vector<std::unique_ptr<NodeStateTable>> tables_;
-    std::vector<std::unique_ptr<MissTable>> missTables_;
-    std::vector<std::unique_ptr<EpochTracker>> epochs_;
-    std::vector<std::unique_ptr<LineLockPool>> locks_;
-    std::vector<std::unique_ptr<HomeDirectory>> dirs_;
-
-    /** Page home overrides (page number -> processor). */
-    std::unordered_map<std::uint64_t, ProcId> pageHomes_;
-
-    /** Per-node waiters for "no marked blocks" (acquire stalls). */
-    std::vector<std::vector<Waiter>> acquireWaiters_;
-
-    SyncHandler syncHandler_;
-    ProtoCounters counters_;
-    bool measuring_ = true;
+    ProtocolCore core_;
+    HomeAgent home_;
+    RequesterAgent requester_;
+    DowngradeEngine downgrade_;
 };
 
 } // namespace shasta

@@ -1,0 +1,459 @@
+#include "proto/requester_agent.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/trace.hh"
+
+namespace shasta
+{
+
+MissOutcome
+RequesterAgent::loadMiss(Proc &p, LineIdx line)
+{
+    const BlockInfo b = c_.blockOf(line);
+    const LineIdx first = b.firstLine;
+    auto &tab = *c_.tables[p.node];
+    p.now += c_.locks[p.node]->chargeOp(first);
+
+    const LState s = tab.shared(first);
+    switch (s) {
+      case LState::Shared:
+      case LState::Exclusive:
+        // The node has the data; only this processor's private table
+        // was behind.  Upgrade it to Shared (a store will upgrade it
+        // further, Section 3.3).
+        tab.setPriv(first, b.numLines, p.local, PState::Shared);
+        p.now += c_.cfg.costs.privUpgrade;
+        if (c_.measuring) {
+            ++c_.counters.privateUpgrades;
+            p.bd.other += c_.cfg.costs.privUpgrade;
+        }
+        return MissOutcome::Resolved;
+
+      case LState::PendRead:
+        if (c_.measuring)
+            ++c_.counters.mergedMisses;
+        p.now += c_.cfg.costs.missMerge;
+        return MissOutcome::WaitData;
+
+      case LState::PendEx: {
+        MissEntry *e = c_.missTables[p.node]->find(first);
+        assert(e && "PendEx without a miss entry");
+        p.now += c_.cfg.costs.missMerge;
+        if (c_.measuring)
+            ++c_.counters.mergedMisses;
+        if (e->prior == LState::Shared) {
+            // The pre-miss Shared copy (plus any local pending
+            // stores) is still valid for reading.
+            return MissOutcome::Resolved;
+        }
+        return MissOutcome::WaitData;
+      }
+
+      case LState::PendDownShared:
+        // Prior state was Exclusive: readable.  Service from the
+        // pre-downgrade state under the line lock (Section 3.4.3).
+        p.now += c_.cfg.costs.missMerge;
+        if (c_.measuring) {
+            ++c_.counters.pendDownServices;
+            p.bd.other += c_.cfg.costs.missMerge;
+        }
+        return MissOutcome::Resolved;
+
+      case LState::PendDownInvalid: {
+        MissEntry *e = c_.missTables[p.node]->find(first);
+        assert(e && "downgrade without a miss entry");
+        p.now += c_.cfg.costs.missMerge;
+        if (readableState(e->prior)) {
+            if (c_.measuring) {
+                ++c_.counters.pendDownServices;
+                p.bd.other += c_.cfg.costs.missMerge;
+            }
+            return MissOutcome::Resolved;
+        }
+        return MissOutcome::WaitRetry;
+      }
+
+      case LState::Invalid:
+        startRead(p, first);
+        return MissOutcome::WaitData;
+    }
+    assert(false);
+    return MissOutcome::WaitRetry;
+}
+
+MissOutcome
+RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
+{
+    const BlockInfo b = c_.blockOf(line);
+    const LineIdx first = b.firstLine;
+    auto &tab = *c_.tables[p.node];
+    auto &mt = *c_.missTables[p.node];
+    p.now += c_.locks[p.node]->chargeOp(first);
+
+    const LState s = tab.shared(first);
+    switch (s) {
+      case LState::Exclusive:
+        tab.setPriv(first, b.numLines, p.local, PState::Exclusive);
+        p.now += c_.cfg.costs.privUpgrade;
+        if (c_.measuring) {
+            ++c_.counters.privateUpgrades;
+            p.bd.other += c_.cfg.costs.privUpgrade;
+        }
+        return MissOutcome::Resolved;
+
+      case LState::Shared:
+      case LState::Invalid: {
+        if (p.outstandingWrites >= c_.cfg.maxOutstandingWrites) {
+            if (c_.measuring)
+                ++c_.counters.writeThrottles;
+            return MissOutcome::WaitThrottle;
+        }
+        startWrite(p, first, s == LState::Shared, addr, len);
+        return MissOutcome::ResolvedPending;
+      }
+
+      case LState::PendEx: {
+        MissEntry *e = mt.find(first);
+        assert(e && e->wantWrite);
+        p.now += c_.cfg.costs.missMerge;
+        if (c_.measuring)
+            ++c_.counters.mergedMisses;
+        e->markDirty(addr - c_.blockAddr(b),
+                     static_cast<std::size_t>(len));
+        return MissOutcome::ResolvedPending;
+      }
+
+      case LState::PendRead: {
+        MissEntry *e = mt.find(first);
+        assert(e);
+        if (!e->wantWrite) {
+            if (p.outstandingWrites >= c_.cfg.maxOutstandingWrites) {
+                if (c_.measuring)
+                    ++c_.counters.writeThrottles;
+                return MissOutcome::WaitThrottle;
+            }
+            // Record the write; the upgrade is issued once the
+            // outstanding read completes.
+            e->wantWrite = true;
+            e->writeInitiator = p.id;
+            e->epoch = c_.epochs[p.node]->startWrite();
+            ++p.outstandingWrites;
+        }
+        p.now += c_.cfg.costs.missMerge;
+        if (c_.measuring)
+            ++c_.counters.mergedMisses;
+        e->markDirty(addr - c_.blockAddr(b),
+                     static_cast<std::size_t>(len));
+        return MissOutcome::ResolvedPending;
+      }
+
+      case LState::PendDownShared:
+        // Prior state Exclusive: the store is ordered before the
+        // downgrade completes, so it may simply be performed; the
+        // completion snapshot will include it.
+        p.now += c_.cfg.costs.missMerge;
+        if (c_.measuring) {
+            ++c_.counters.pendDownServices;
+            p.bd.other += c_.cfg.costs.missMerge;
+        }
+        return MissOutcome::Resolved;
+
+      case LState::PendDownInvalid: {
+        MissEntry *e = mt.find(first);
+        assert(e);
+        p.now += c_.cfg.costs.missMerge;
+        if (e->prior == LState::Exclusive) {
+            if (c_.measuring) {
+                ++c_.counters.pendDownServices;
+                p.bd.other += c_.cfg.costs.missMerge;
+            }
+            return MissOutcome::Resolved;
+        }
+        return MissOutcome::WaitRetry;
+      }
+    }
+    assert(false);
+    return MissOutcome::WaitRetry;
+}
+
+void
+RequesterAgent::parkLoad(Proc &p, LineIdx line,
+                         std::coroutine_handle<> h)
+{
+    const LineIdx first = c_.blockOf(line).firstLine;
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    assert(e && "parkLoad without a pending entry");
+    e->loadWaiters.push_back(Waiter{h, p.id, p.now, StallKind::Read});
+    c_.noteBlocked(p);
+}
+
+void
+RequesterAgent::parkRetry(Proc &p, LineIdx line,
+                          std::coroutine_handle<> h, StallKind kind)
+{
+    const LineIdx first = c_.blockOf(line).firstLine;
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    assert(e && "parkRetry without a pending entry");
+    e->retryWaiters.push_back(Waiter{h, p.id, p.now, kind});
+    c_.noteBlocked(p);
+}
+
+void
+RequesterAgent::parkThrottle(Proc &p, std::coroutine_handle<> h)
+{
+    assert(!p.throttleWaiter);
+    p.throttleWaiter = h;
+    p.throttleStall = p.now;
+    c_.noteBlocked(p);
+}
+
+// ---------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------
+
+void
+RequesterAgent::startRead(Proc &p, LineIdx first)
+{
+    const BlockInfo b = c_.blockOf(first);
+    MissEntry &e = c_.missTables[p.node]->ensure(first, b.numLines,
+                                                 c_.blockBytes(b));
+    assert(!e.readIssued && !e.wantWrite);
+    e.prior = LState::Invalid;
+    e.readIssued = true;
+    e.initiator = p.id;
+    e.issueTime = p.now;
+    c_.tables[p.node]->setShared(first, b.numLines, LState::PendRead);
+    SHASTA_TRACE_EVENT(trace::Flag::Proto, p.now, p.id,
+                       "read miss line %u -> home P%d",
+                       static_cast<unsigned>(first),
+                       c_.homeProc(first));
+    c_.sendMsg(p, MsgType::ReadReq, c_.homeProc(first), first, p.id);
+}
+
+void
+RequesterAgent::startWrite(Proc &p, LineIdx first, bool had_shared,
+                           Addr dirty_addr, int dirty_len)
+{
+    const BlockInfo b = c_.blockOf(first);
+    MissEntry &e = c_.missTables[p.node]->ensure(first, b.numLines,
+                                                 c_.blockBytes(b));
+    assert(!e.readIssued && !e.wantWrite);
+    e.prior = had_shared ? LState::Shared : LState::Invalid;
+    e.wantWrite = true;
+    e.writeIssued = true;
+    e.initiator = p.id;
+    e.writeInitiator = p.id;
+    e.issueTime = p.now;
+    e.epoch = c_.epochs[p.node]->startWrite();
+    ++p.outstandingWrites;
+    c_.tables[p.node]->setShared(first, b.numLines, LState::PendEx);
+    if (dirty_len > 0) {
+        // Mark before sending: a same-processor home can complete an
+        // ack-free upgrade synchronously, clearing the mask.
+        e.markDirty(dirty_addr - c_.blockAddr(b),
+                    static_cast<std::size_t>(dirty_len));
+    }
+    SHASTA_TRACE_EVENT(trace::Flag::Proto, p.now, p.id,
+                       "%s miss line %u -> home P%d",
+                       had_shared ? "upgrade" : "write",
+                       static_cast<unsigned>(first),
+                       c_.homeProc(first));
+    c_.sendMsg(p,
+               had_shared ? MsgType::UpgradeReq : MsgType::ReadExReq,
+               c_.homeProc(first), first, p.id);
+}
+
+void
+RequesterAgent::issueDeferredWrite(Proc &p, MissEntry &e)
+{
+    assert(e.wantWrite && !e.writeIssued);
+    const BlockInfo b = c_.blockOf(e.firstLine);
+    e.writeIssued = true;
+    e.prior = LState::Shared;
+    e.issueTime = p.now;
+    c_.tables[p.node]->setShared(e.firstLine, b.numLines,
+                                 LState::PendEx);
+    c_.sendMsg(p, MsgType::UpgradeReq, c_.homeProc(e.firstLine),
+               e.firstLine, e.writeInitiator);
+}
+
+void
+RequesterAgent::checkWriteComplete(Proc &p, LineIdx first)
+{
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    if (!e || !e->wantWrite || !e->writeIssued || !e->dataArrived)
+        return;
+    if (e->acksExpected < 0 || e->acksReceived < e->acksExpected)
+        return;
+
+    // Transaction complete: clear the entry's write tracking FIRST --
+    // the ownership ack below may (when this processor is the home)
+    // synchronously pump a queued request that re-examines this very
+    // entry, and a stale dirty mask would corrupt its flag fill.
+    const ProcId write_initiator = e->writeInitiator;
+    const std::uint64_t epoch = e->epoch;
+    e->wantWrite = false;
+    e->writeIssued = false;
+    e->dataArrived = false;
+    e->acksExpected = -1;
+    e->acksReceived = 0;
+    std::fill(e->dirty.begin(), e->dirty.end(), false);
+    e->dirtyAny = false;
+    e->writeInitiator = -1;
+    c_.epochs[p.node]->completeWrite(epoch);
+    Proc &ini = c_.procs[static_cast<std::size_t>(write_initiator)];
+    assert(ini.outstandingWrites > 0);
+    --ini.outstandingWrites;
+    c_.sendMsg(p, MsgType::OwnershipAck, c_.homeProc(first), first,
+               write_initiator);
+    if (ini.throttleWaiter &&
+        ini.outstandingWrites < c_.cfg.maxOutstandingWrites) {
+        auto h = ini.throttleWaiter;
+        ini.throttleWaiter = nullptr;
+        ini.now = std::max(ini.now, p.now);
+        if (c_.measuring)
+            ini.bd.write += ini.now - ini.throttleStall;
+        ini.status = ProcStatus::Running;
+        h.resume();
+    }
+    c_.maybeErase(first);
+}
+
+void
+RequesterAgent::finishReadData(Proc &p, MissEntry &e,
+                               const Message &m)
+{
+    const BlockInfo b = c_.blockOf(e.firstLine);
+    const Addr base = c_.blockAddr(b);
+    NodeMemory &mem = *c_.memories[p.node];
+    assert(static_cast<int>(m.data.size()) == c_.blockBytes(b));
+    if (e.dirtyAny)
+        mem.mergeIn(base, m.data.data(), m.data.size(), e.dirty);
+    else
+        mem.copyIn(base, m.data.data(), m.data.size());
+}
+
+// ---------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------
+
+void
+RequesterAgent::countMissReply(Proc &p, const Message &m,
+                               bool is_read, bool is_upgrade)
+{
+    if (!c_.measuring)
+        return;
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    const bool three_hop = (m.src != c_.homeProc(first));
+    MissClass cl;
+    if (is_upgrade) {
+        cl = three_hop ? MissClass::Upgrade3Hop
+                       : MissClass::Upgrade2Hop;
+    } else if (is_read) {
+        cl = three_hop ? MissClass::Read3Hop : MissClass::Read2Hop;
+    } else {
+        cl = three_hop ? MissClass::Write3Hop : MissClass::Write2Hop;
+    }
+    c_.counters.countMiss(cl);
+    (void)p;
+}
+
+void
+RequesterAgent::onInvalAck(Proc &p, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(p, m, first);
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    assert(e && e->wantWrite);
+    ++e->acksReceived;
+    checkWriteComplete(p, first);
+}
+
+void
+RequesterAgent::onReadReply(Proc &p, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(p, m, first);
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    assert(e && e->readIssued);
+    const BlockInfo b = c_.blockOf(first);
+
+    finishReadData(p, *e, m);
+    c_.tables[p.node]->setShared(first, b.numLines, LState::Shared);
+    const Proc &ini =
+        c_.procs[static_cast<std::size_t>(e->initiator)];
+    c_.tables[p.node]->setPriv(first, b.numLines, ini.local,
+                               PState::Shared);
+    countMissReply(p, m, true, false);
+    if (c_.measuring) {
+        ++c_.counters.readMissSamples;
+        c_.counters.readMissLatency += m.arriveTime - e->issueTime;
+    }
+    e->readIssued = false;
+
+    if (e->wantWrite && !e->writeIssued) {
+        // A store landed while the read was outstanding; promote it
+        // now that we have a Shared copy.  The upgrade can complete
+        // synchronously (same-processor home, no acks), so re-find
+        // the entry afterwards.
+        issueDeferredWrite(p, *e);
+        e = c_.missTables[p.node]->find(first);
+        assert(e);
+    }
+    c_.resumeWaiters(*e, true, true, p.now);
+    c_.drainQueuedRemote(p, first);
+    c_.maybeErase(first);
+}
+
+void
+RequesterAgent::onReadExReply(Proc &p, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(p, m, first);
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    assert(e && e->wantWrite && e->writeIssued);
+    const BlockInfo b = c_.blockOf(first);
+
+    finishReadData(p, *e, m);
+    c_.tables[p.node]->setShared(first, b.numLines,
+                                 LState::Exclusive);
+    const Proc &wi =
+        c_.procs[static_cast<std::size_t>(e->writeInitiator)];
+    c_.tables[p.node]->setPriv(first, b.numLines, wi.local,
+                               PState::Exclusive);
+    e->dataArrived = true;
+    e->acksExpected = m.count;
+    countMissReply(p, m, false, false);
+    c_.resumeWaiters(*e, true, true, p.now);
+    checkWriteComplete(p, first);
+    c_.drainQueuedRemote(p, first);
+}
+
+void
+RequesterAgent::onUpgradeReply(Proc &p, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(p, m, first);
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    assert(e && e->wantWrite && e->writeIssued);
+    assert(e->loadWaiters.empty() &&
+           "loads cannot be parked across an upgrade");
+    const BlockInfo b = c_.blockOf(first);
+
+    c_.tables[p.node]->setShared(first, b.numLines,
+                                 LState::Exclusive);
+    const Proc &wi =
+        c_.procs[static_cast<std::size_t>(e->writeInitiator)];
+    c_.tables[p.node]->setPriv(first, b.numLines, wi.local,
+                               PState::Exclusive);
+    e->dataArrived = true;
+    e->acksExpected = m.count;
+    countMissReply(p, m, false, true);
+    c_.resumeWaiters(*e, false, true, p.now);
+    checkWriteComplete(p, first);
+    c_.drainQueuedRemote(p, first);
+}
+
+} // namespace shasta

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Miss-side agent of the coherence protocol.
+ *
+ * The RequesterAgent runs on the processor that missed: it implements
+ * the inline-check slow paths (load and store miss resolution, miss
+ * merging, the store throttle), issues the read / read-exclusive /
+ * upgrade transactions, parks and resumes waiters, and handles the
+ * reply messages that complete them — including the eager-release
+ * write-completion tracking (data plus invalidation acks).
+ */
+
+#ifndef SHASTA_PROTO_REQUESTER_AGENT_HH
+#define SHASTA_PROTO_REQUESTER_AGENT_HH
+
+#include <coroutine>
+
+#include "proto/proto_core.hh"
+
+namespace shasta
+{
+
+/** Result of attempting to resolve a miss without suspending. */
+enum class MissOutcome
+{
+    /** The access may proceed against valid local data. */
+    Resolved,
+    /** A write may proceed non-blocking; the caller must store the
+     *  bytes and the protocol has marked them dirty. */
+    ResolvedPending,
+    /** The caller must park as a load waiter (resumed when the data
+     *  becomes valid; the load is then guaranteed to succeed). */
+    WaitData,
+    /** The caller must park as a retry waiter and re-run its check. */
+    WaitRetry,
+    /** The caller must park until the store throttle clears. */
+    WaitThrottle,
+};
+
+class RequesterAgent
+{
+  public:
+    explicit RequesterAgent(ProtocolCore &core) : c_(core) {}
+
+    /** @{ Inline-check slow paths. */
+    MissOutcome loadMiss(Proc &p, LineIdx line);
+    MissOutcome storeMiss(Proc &p, LineIdx line, Addr addr, int len);
+    /** @} */
+
+    /** @{ Parking (see Protocol facade for contracts). */
+    void parkLoad(Proc &p, LineIdx line, std::coroutine_handle<> h);
+    void parkRetry(Proc &p, LineIdx line, std::coroutine_handle<> h,
+                   StallKind kind);
+    void parkThrottle(Proc &p, std::coroutine_handle<> h);
+    /** @} */
+
+    /** @{ Message handlers (dispatched via the core's table). */
+    void onInvalAck(Proc &p, Message &&m);
+    void onReadReply(Proc &p, Message &&m);
+    void onReadExReply(Proc &p, Message &&m);
+    void onUpgradeReply(Proc &p, Message &&m);
+    /** @} */
+
+    /** Start a write transaction; @p had_shared selects upgrade vs
+     *  read-exclusive.  [dirty_addr, dirty_addr+dirty_len) is marked
+     *  dirty *before* the request is sent, because a same-processor
+     *  home can complete an ack-free upgrade synchronously.  Public:
+     *  batch cleanup (DowngradeEngine::batchUnmark) re-issues writes
+     *  through here. */
+    void startWrite(Proc &p, LineIdx first, bool had_shared,
+                    Addr dirty_addr, int dirty_len);
+
+  private:
+    /** Start a read transaction (node state must be Invalid). */
+    void startRead(Proc &p, LineIdx first);
+
+    /** Issue the deferred upgrade recorded in @p e (a store landed on
+     *  a block whose read was still outstanding). */
+    void issueDeferredWrite(Proc &p, MissEntry &e);
+
+    /** Handle reply bookkeeping common to data replies. */
+    void finishReadData(Proc &p, MissEntry &e, const Message &m);
+
+    /** Complete the write transaction if data and all acks are in. */
+    void checkWriteComplete(Proc &p, LineIdx first);
+
+    /** Classify and count a completed miss. */
+    void countMissReply(Proc &p, const Message &m, bool is_read,
+                        bool is_upgrade);
+
+    ProtocolCore &c_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_REQUESTER_AGENT_HH

@@ -99,8 +99,18 @@ std::vector<int>
 NodeStateTable::downgradeTargets(LineIdx line, bool to_invalid,
                                  int except_local) const
 {
+    std::vector<int> out(static_cast<std::size_t>(procsOnNode_));
+    out.resize(static_cast<std::size_t>(
+        downgradeTargets(line, to_invalid, except_local, out.data())));
+    return out;
+}
+
+int
+NodeStateTable::downgradeTargets(LineIdx line, bool to_invalid,
+                                 int except_local, int *out) const
+{
     growTo(line);
-    std::vector<int> out;
+    int n = 0;
     for (int p = 0; p < procsOnNode_; ++p) {
         if (p == except_local)
             continue;
@@ -108,9 +118,9 @@ NodeStateTable::downgradeTargets(LineIdx line, bool to_invalid,
         const bool needs = to_invalid ? (s != PState::Invalid)
                                       : (s == PState::Exclusive);
         if (needs)
-            out.push_back(p);
+            out[n++] = p;
     }
-    return out;
+    return n;
 }
 
 void

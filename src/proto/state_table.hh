@@ -59,6 +59,12 @@ class NodeStateTable
     std::vector<int> downgradeTargets(LineIdx line, bool to_invalid,
                                       int except_local) const;
 
+    /** Hot-path variant of downgradeTargets(): writes the targets
+     *  into @p out (the caller provides at least procsOnNode()
+     *  slots) and returns the count, allocating nothing. */
+    int downgradeTargets(LineIdx line, bool to_invalid,
+                         int except_local, int *out) const;
+
     /** Downgrade one processor's private entry for a whole block. */
     void downgradePriv(LineIdx first, std::uint32_t n, int local,
                        bool to_invalid);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fixed-capacity, non-allocating callable wrapper.
+ *
+ * std::function heap-allocates any callable larger than its small-
+ * buffer (two pointers on libstdc++), which puts an allocation on
+ * every protocol transaction that stores a continuation — release
+ * fences, epoch waiters.  InplaceFn stores the callable inline in a
+ * fixed buffer and refuses (at compile time) anything that does not
+ * fit, so storing and invoking one never touches the heap.
+ *
+ * Move-only, like the coroutine handles it typically captures.
+ */
+
+#ifndef SHASTA_SIM_INPLACE_FN_HH
+#define SHASTA_SIM_INPLACE_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace shasta
+{
+
+template <typename Sig, std::size_t Cap = 48>
+class InplaceFn;
+
+template <typename R, typename... Args, std::size_t Cap>
+class InplaceFn<R(Args...), Cap>
+{
+  public:
+    InplaceFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceFn>>>
+    InplaceFn(F f) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Cap,
+                      "callable too large for InplaceFn buffer");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t));
+        static_assert(
+            std::is_nothrow_move_constructible_v<Fn>,
+            "InplaceFn requires nothrow-movable callables");
+        ::new (static_cast<void *>(buf_)) Fn(std::move(f));
+        vt_ = &vtableFor<Fn>;
+    }
+
+    InplaceFn(InplaceFn &&o) noexcept
+    {
+        if (o.vt_) {
+            o.vt_->relocate(o.buf_, buf_);
+            vt_ = o.vt_;
+            o.vt_ = nullptr;
+        }
+    }
+
+    InplaceFn &
+    operator=(InplaceFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            if (o.vt_) {
+                o.vt_->relocate(o.buf_, buf_);
+                vt_ = o.vt_;
+                o.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InplaceFn(const InplaceFn &) = delete;
+    InplaceFn &operator=(const InplaceFn &) = delete;
+
+    ~InplaceFn() { reset(); }
+
+    void
+    reset()
+    {
+        if (vt_) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return vt_->call(buf_, std::forward<Args>(args)...);
+    }
+
+  private:
+    struct VTable
+    {
+        R (*call)(void *, Args &&...);
+        /** Move-construct into @p dst, destroy the source. */
+        void (*relocate)(void *src, void *dst);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr VTable vtableFor = {
+        [](void *p, Args &&...args) -> R {
+            return (*static_cast<Fn *>(p))(
+                std::forward<Args>(args)...);
+        },
+        [](void *src, void *dst) {
+            Fn *s = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[Cap];
+    const VTable *vt_ = nullptr;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SIM_INPLACE_FN_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Golden-determinism regression test for the coherence engine.
+ *
+ * The simulator is fully deterministic: for a fixed application,
+ * problem size, and configuration, the simulated cycle count and
+ * every protocol statistic are exact integers that must not change
+ * unless the protocol's *behaviour* changes.  This test pins two
+ * small applications (`lu` and `water-nsq`) at 8 processors in Base
+ * and SMP modes against checked-in golden values, so a refactor that
+ * silently perturbs protocol behaviour — a reordered message send, a
+ * dropped cost charge, a changed handler path — fails CI instead of
+ * quietly skewing every figure in the paper.
+ *
+ * Refresh procedure (ONLY after an intentional behaviour change):
+ *
+ *   1. Re-run with the refresh knob to print the new table:
+ *        SHASTA_GOLDEN_REFRESH=1 ./test_golden
+ *   2. Paste the printed initializer over kGolden below.
+ *   3. Record in the commit message *why* the behaviour changed;
+ *      golden churn without a protocol rationale is a bug report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/** One pinned configuration and its expected exact statistics. */
+struct GoldenCase
+{
+    const char *app;
+    Mode mode;         ///< Base or Smp (8 procs; Smp clusters by 4)
+    std::uint64_t wallTime;
+    std::uint64_t totalMessages;  ///< NetworkCounts::total()
+    std::uint64_t remoteMessages;
+    std::uint64_t downgradeMessages;
+    std::uint64_t totalMisses;    ///< ProtoCounters::totalMisses()
+    std::uint64_t downgradeOps;
+};
+
+/** Small problem sizes (match apps_test tinyParams scale). */
+AppParams
+goldenParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (app.name() == "lu")
+        p.n = 64;
+    else if (app.name() == "water-nsq")
+        p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+DsmConfig
+goldenConfig(Mode mode)
+{
+    return mode == Mode::Base ? DsmConfig::base(8)
+                              : DsmConfig::smp(8, 4);
+}
+
+// Golden values captured from the seed protocol engine (PR 1 tree)
+// and unchanged by the agent-decomposition refactor (PR 2), which is
+// behaviour-preserving by construction.
+constexpr GoldenCase kGolden[] = {
+    // app, mode, wallTime, totalMsgs, remoteMsgs, downgradeMsgs,
+    // totalMisses, downgradeOps
+    {"lu", Mode::Base, 3672609u, 5286u, 3055u, 0u, 1725u, 1364u},
+    {"lu", Mode::Smp, 3102358u, 2527u, 2260u, 122u, 776u, 776u},
+    {"water-nsq", Mode::Base, 8242017u, 19391u, 10176u, 0u, 3870u,
+     4940u},
+    {"water-nsq", Mode::Smp, 4880581u, 9097u, 4492u, 2340u, 1040u,
+     1040u},
+};
+
+class GoldenDeterminism
+    : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenDeterminism, ExactStatsMatchGolden)
+{
+    const GoldenCase &g = GetParam();
+    auto app = createApp(g.app);
+    const AppResult r =
+        runApp(*app, goldenConfig(g.mode), goldenParams(*app));
+
+    if (std::getenv("SHASTA_GOLDEN_REFRESH")) {
+        std::printf(
+            "    {\"%s\", Mode::%s, %lluu, %lluu, %lluu, %lluu, "
+            "%lluu, %lluu},\n",
+            g.app, g.mode == Mode::Base ? "Base" : "Smp",
+            static_cast<unsigned long long>(r.wallTime),
+            static_cast<unsigned long long>(r.net.total()),
+            static_cast<unsigned long long>(r.net.remoteMsgs),
+            static_cast<unsigned long long>(r.net.downgradeMsgs),
+            static_cast<unsigned long long>(r.counters.totalMisses()),
+            static_cast<unsigned long long>(
+                r.counters.totalDowngradeOps()));
+        GTEST_SKIP() << "refresh mode: printing, not asserting";
+    }
+
+    EXPECT_EQ(static_cast<std::uint64_t>(r.wallTime), g.wallTime);
+    EXPECT_EQ(r.net.total(), g.totalMessages);
+    EXPECT_EQ(r.net.remoteMsgs, g.remoteMessages);
+    EXPECT_EQ(r.net.downgradeMsgs, g.downgradeMessages);
+    EXPECT_EQ(r.counters.totalMisses(), g.totalMisses);
+    EXPECT_EQ(r.counters.totalDowngradeOps(), g.downgradeOps);
+}
+
+/** A second identical run must reproduce the first bit-for-bit
+ *  (determinism within a process, independent of golden values). */
+TEST(GoldenDeterminism, RepeatRunsAreIdentical)
+{
+    auto app1 = createApp("lu");
+    auto app2 = createApp("lu");
+    const AppParams p = goldenParams(*app1);
+    const AppResult a = runApp(*app1, goldenConfig(Mode::Smp), p);
+    const AppResult b = runApp(*app2, goldenConfig(Mode::Smp), p);
+    EXPECT_EQ(a.wallTime, b.wallTime);
+    EXPECT_EQ(a.net.total(), b.net.total());
+    EXPECT_EQ(a.counters.totalMisses(), b.counters.totalMisses());
+    EXPECT_EQ(a.checksum, b.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, GoldenDeterminism, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        std::string name = info.param.app;
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return name + (info.param.mode == Mode::Base ? "_base"
+                                                     : "_smp");
+    });
+
+} // namespace
+} // namespace shasta

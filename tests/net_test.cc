@@ -81,7 +81,7 @@ class NetworkTest : public ::testing::Test
         m.type = MsgType::ReadReq;
         m.src = src;
         m.dst = dst;
-        m.data.resize(static_cast<std::size_t>(data_bytes));
+        m.data.resize(static_cast<std::uint32_t>(data_bytes));
         return m;
     }
 
