@@ -133,8 +133,9 @@ lineSizeSweep(const std::string &app)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Ablations and extensions (beyond the paper's measured "
            "configurations)",
            "Sections 2.3, 3.1, 3.3 and 5");

@@ -15,8 +15,9 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("ANL comparison: hardware coherence vs SMP-Shasta on "
            "one 4-processor node",
            "Section 4.3");
@@ -26,6 +27,8 @@ main()
     double sum = 0;
     int count = 0;
     for (const auto &name : appNames()) {
+        if (!appSelected(name))
+            continue;
         const AppParams p = withStandardOptions(
             name, defaultParams(*createApp(name)));
         const AppResult seq = runSequential(name, p);

@@ -14,8 +14,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "apps/app.hh"
+#include "obs/stats_json.hh"
 #include "stats/report.hh"
 
 namespace shasta::bench
@@ -26,6 +28,117 @@ quickMode()
 {
     const char *q = std::getenv("SHASTA_QUICK");
     return q != nullptr && std::strcmp(q, "0") != 0;
+}
+
+/** Harness options shared by every bench binary. */
+struct Options
+{
+    /** `--stats-json=FILE` (or SHASTA_STATS_JSON): accumulate one
+     *  RunSummary per run() and write {"runs": [...]} at exit. */
+    std::string statsJsonPath;
+    /** `--app=NAME`: restrict the app sweep to one application. */
+    std::string appFilter;
+};
+
+inline Options &
+options()
+{
+    static Options o;
+    return o;
+}
+
+inline std::vector<obs::RunSummary> &
+recordedRuns()
+{
+    static std::vector<obs::RunSummary> runs;
+    return runs;
+}
+
+/** Write every recorded summary to the --stats-json file.  Installed
+ *  via atexit by parseArgs; safe to call repeatedly. */
+inline void
+flushStatsJson()
+{
+    const Options &o = options();
+    if (o.statsJsonPath.empty())
+        return;
+    std::FILE *f = std::fopen(o.statsJsonPath.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot write %s\n",
+                     o.statsJsonPath.c_str());
+        return;
+    }
+    std::fputs("{\"runs\": [\n", f);
+    const auto &runs = recordedRuns();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        std::fputs(obs::toJson(runs[i], 2).c_str(), f);
+        std::fputs(i + 1 < runs.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+}
+
+/** Parse the standard bench arguments; unknown arguments abort with
+ *  a usage message.  Every bench main calls this first. */
+inline void
+parseArgs(int argc, char **argv)
+{
+    Options &o = options();
+    if (const char *env = std::getenv("SHASTA_STATS_JSON");
+        env != nullptr && *env != '\0')
+        o.statsJsonPath = env;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--stats-json=", 13) == 0) {
+            o.statsJsonPath = a + 13;
+        } else if (std::strcmp(a, "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            o.statsJsonPath = argv[++i];
+        } else if (std::strncmp(a, "--app=", 6) == 0) {
+            o.appFilter = a + 6;
+        } else if (std::strcmp(a, "--app") == 0 && i + 1 < argc) {
+            o.appFilter = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--stats-json=FILE] "
+                         "[--app=NAME]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    if (!o.statsJsonPath.empty()) {
+        // Construct the recording vector before registering the
+        // flush handler: exit() unwinds local statics and atexit
+        // handlers in reverse order, so anything constructed after
+        // the registration would be destroyed before the flush runs
+        // and the handler would serialize freed memory.
+        recordedRuns();
+        std::atexit(flushStatsJson);
+    }
+}
+
+/** True when @p name passes the --app filter. */
+inline bool
+appSelected(const std::string &name)
+{
+    return options().appFilter.empty() ||
+           options().appFilter == name;
+}
+
+/** Short configuration label for run summaries, e.g. "smp-16x4". */
+inline std::string
+configLabel(const DsmConfig &cfg)
+{
+    switch (cfg.mode) {
+      case Mode::Hardware:
+        return "hw-" + std::to_string(cfg.numProcs) + "p";
+      case Mode::Base:
+        return "base-" + std::to_string(cfg.numProcs) + "p";
+      case Mode::Smp:
+        return "smp-" + std::to_string(cfg.numProcs) + "x" +
+               std::to_string(cfg.clustering);
+    }
+    return "?";
 }
 
 /** Default (Table 1) parameters, shrunk in quick mode. */
@@ -43,13 +156,34 @@ defaultParams(const App &app)
     return p;
 }
 
-/** Run one configuration of one app. */
+/** Run one configuration of one app.  With --stats-json active the
+ *  run's full statistics are recorded for the exit-time flush. */
 inline AppResult
 run(const std::string &name, const DsmConfig &cfg,
     const AppParams &p)
 {
     auto app = createApp(name);
-    return runApp(*app, cfg, p);
+    AppResult r = runApp(*app, cfg, p);
+    if (!options().statsJsonPath.empty()) {
+        obs::RunSummary s;
+        s.app = name;
+        s.config = configLabel(cfg);
+        switch (cfg.mode) {
+          case Mode::Hardware: s.mode = "hardware"; break;
+          case Mode::Base: s.mode = "base"; break;
+          case Mode::Smp: s.mode = "smp"; break;
+        }
+        s.numProcs = cfg.numProcs;
+        s.clustering = cfg.clustering;
+        s.wallTime = r.wallTime;
+        s.breakdown = r.breakdown;
+        s.counters = r.counters;
+        s.lat = r.lat;
+        s.net = r.net;
+        s.checks = r.checks;
+        recordedRuns().push_back(std::move(s));
+    }
+    return r;
 }
 
 /** Sequential (uninstrumented) run. */

@@ -15,8 +15,9 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Figure 3: Base-Shasta and SMP-Shasta speedups",
            "Figure 3");
 
@@ -37,6 +38,8 @@ main()
     report::Table t(headers);
 
     for (const auto &name : appNames()) {
+        if (!appSelected(name))
+            continue;
         const AppParams p = withStandardOptions(
             name, defaultParams(*createApp(name)));
         const AppResult seq = runSequential(name, p);

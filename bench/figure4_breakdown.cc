@@ -47,16 +47,20 @@ breakdownFor(const std::string &name, int np)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Figure 4: execution time breakdowns (8 and 16 procs)",
            "Figure 4");
     report::printBarLegend();
 
     for (int np : {8, 16}) {
         std::printf("\n----- %d-processor runs -----\n", np);
-        for (const auto &name : appNames())
+        for (const auto &name : appNames()) {
+            if (!appSelected(name))
+                continue;
             breakdownFor(name, np);
+        }
     }
 
     std::printf("\npaper: C1 is always worse than B (extra check "

@@ -11,8 +11,9 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Figure 5: breakdowns with variable granularity",
            "Figure 5");
     report::printBarLegend();
@@ -20,6 +21,8 @@ main()
     for (int np : {8, 16}) {
         std::printf("\n----- %d-processor runs -----\n", np);
         for (const auto &name : table2Apps()) {
+            if (!appSelected(name))
+                continue;
             AppParams p = withStandardOptions(
                 name, defaultParams(*createApp(name)));
             p.variableGranularity = true;

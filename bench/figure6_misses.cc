@@ -36,8 +36,9 @@ segments(const ProtoCounters &c)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Figure 6: misses by type and hops vs clustering",
            "Figure 6");
     std::printf("  legend: r/R read 2/3-hop, w/W write 2/3-hop, "
@@ -48,6 +49,8 @@ main()
                     "Base total) -----\n",
                     np);
         for (const auto &name : appNames()) {
+            if (!appSelected(name))
+                continue;
             const AppParams p = withStandardOptions(
                 name, defaultParams(*createApp(name)));
             std::printf("\n%s:\n", name.c_str());

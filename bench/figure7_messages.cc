@@ -11,8 +11,9 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Figure 7: messages (remote / local / downgrade) vs "
            "clustering",
            "Figure 7");
@@ -23,6 +24,8 @@ main()
                     "Base total) -----\n",
                     np);
         for (const auto &name : appNames()) {
+            if (!appSelected(name))
+                continue;
             const AppParams p = withStandardOptions(
                 name, defaultParams(*createApp(name)));
             std::printf("\n%s:\n", name.c_str());

@@ -12,8 +12,9 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Figure 8: downgrade messages per block downgrade "
            "(clustering 4)",
            "Figure 8");
@@ -21,6 +22,8 @@ main()
     report::Table t({"app", "procs", "0 msgs", "1 msg", "2 msgs",
                      "3 msgs", "avg", "downgrades"});
     for (const auto &name : appNames()) {
+        if (!appSelected(name))
+            continue;
         for (int np : {8, 16}) {
             const AppParams p = withStandardOptions(
                 name, defaultParams(*createApp(name)));

@@ -88,8 +88,9 @@ downgradeLatency(int touchers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Microbenchmarks: fetch and downgrade latencies",
            "Sections 4.1 and 4.4");
 

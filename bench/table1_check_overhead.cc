@@ -16,8 +16,9 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Table 1: sequential times and checking overheads",
            "Table 1");
 
@@ -26,6 +27,8 @@ main()
     double sum_base = 0, sum_smp = 0;
     int count = 0;
     for (const auto &name : appNames()) {
+        if (!appSelected(name))
+            continue;
         const AppParams p = defaultParams(*createApp(name));
         const AppResult seq = runSequential(name, p);
         const AppResult base = run(name, DsmConfig::base(1), p);

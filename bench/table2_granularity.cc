@@ -13,8 +13,9 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Table 2: variable block size in Base-Shasta (16 procs)",
            "Table 2");
 
@@ -23,6 +24,8 @@ main()
                      "misses specified"});
 
     for (const auto &name : table2Apps()) {
+        if (!appSelected(name))
+            continue;
         auto app = createApp(name);
         AppParams p = withStandardOptions(name, defaultParams(*app));
         const AppResult seq = runSequential(name, p);

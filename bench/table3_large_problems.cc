@@ -11,14 +11,17 @@ using namespace shasta;
 using namespace shasta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseArgs(argc, argv);
     banner("Table 3: larger problem sizes (16 procs)", "Table 3");
 
     report::Table t({"app", "problem", "sequential", "Base ovh",
                      "SMP ovh", "Base speedup", "SMP speedup"});
 
     for (const auto &name : table3Apps()) {
+        if (!appSelected(name))
+            continue;
         auto app = createApp(name);
         AppParams p = app->largeParams();
         if (quickMode())

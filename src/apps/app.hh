@@ -44,6 +44,7 @@ struct AppResult
     Tick wallTime = 0;
     TimeBreakdown breakdown;
     ProtoCounters counters;
+    LatencyStats lat;
     NetworkCounts net;
     CheckCounters checks;
     double checksum = 0.0;

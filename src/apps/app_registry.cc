@@ -69,6 +69,7 @@ runApp(App &app, const DsmConfig &cfg, const AppParams &p)
     r.wallTime = rt.wallTime();
     r.breakdown = rt.aggregateBreakdown();
     r.counters = rt.counters();
+    r.lat = rt.latency();
     r.net = rt.netCounts();
     r.checks = rt.checkTotals();
     r.checksum = app.checksum(rt);

@@ -6,6 +6,8 @@
 
 #include "audit/invariant_auditor.hh"
 #include "audit/watchdog.hh"
+#include "obs/stats_json.hh"
+#include "obs/trace_json.hh"
 #include "stats/report.hh"
 
 namespace shasta
@@ -18,6 +20,7 @@ Runtime::Runtime(const DsmConfig &cfg)
       net_(events_, topo_, cfg.net)
 {
     cfg_.validate();
+    obs::initTraceJsonFromEnv();
     procs_.resize(static_cast<std::size_t>(cfg_.numProcs));
     for (int i = 0; i < cfg_.numProcs; ++i) {
         Proc &p = procs_[static_cast<std::size_t>(i)];
@@ -207,6 +210,38 @@ Runtime::checkTotals() const
         out.checkCycles += p.checks.checkCycles;
     }
     return out;
+}
+
+obs::RunSummary
+Runtime::runSummary() const
+{
+    obs::RunSummary s;
+    switch (cfg_.mode) {
+      case Mode::Hardware:
+        s.mode = "hardware";
+        break;
+      case Mode::Base:
+        s.mode = "base";
+        break;
+      case Mode::Smp:
+        s.mode = "smp";
+        break;
+    }
+    s.numProcs = cfg_.numProcs;
+    s.clustering = cfg_.clustering;
+    s.wallTime = wallTime();
+    s.breakdown = aggregateBreakdown();
+    s.counters = counters();
+    s.lat = latency();
+    s.net = netCounts();
+    s.checks = checkTotals();
+    return s;
+}
+
+std::string
+Runtime::statsJson() const
+{
+    return obs::toJson(runSummary()) + "\n";
 }
 
 void

@@ -25,6 +25,7 @@
 #include "dsm/proc.hh"
 #include "mem/shared_heap.hh"
 #include "net/network.hh"
+#include "obs/stats_json.hh"
 #include "proto/protocol.hh"
 #include "sim/event_queue.hh"
 #include "sim/task.hh"
@@ -82,10 +83,20 @@ class Runtime
 
     const ProtoCounters &counters() const { return proto_->counters(); }
 
+    /** Latency histograms recorded by the protocol and sync layers. */
+    const LatencyStats &latency() const { return proto_->latency(); }
+
     const NetworkCounts &netCounts() const { return net_.counts(); }
 
     /** Sum of per-processor check counters. */
     CheckCounters checkTotals() const;
+
+    /** All measured statistics of this run in one structure (the
+     *  JSON run-summary schema; labels left empty). */
+    obs::RunSummary runSummary() const;
+
+    /** runSummary() rendered as a JSON object (trailing newline). */
+    std::string statsJson() const;
     /** @} */
 
     /** @{ Component access. */

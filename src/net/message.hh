@@ -202,6 +202,14 @@ struct Message
     ProcId src = -1;
     ProcId dst = -1;
 
+    /** Send-to-delivery correlation id for the trace-JSON exporter
+     *  (0 = untraced; assigned by Network::send only when the
+     *  exporter is active).  A uint32 in the padding hole after
+     *  `dst`: it must not grow sizeof(Message) -- the message is
+     *  copied through mailboxes and the in-flight slot pool on the
+     *  simulator's hottest path. */
+    std::uint32_t flowId = 0;
+
     /** Block base address for coherence traffic; lock/barrier id for
      *  synchronization traffic. */
     Addr addr = 0;

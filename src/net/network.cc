@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_json.hh"
+
 namespace shasta
 {
 
@@ -105,6 +107,11 @@ Network::send(Message msg, Tick send_time)
 
     msg.sendTime = send_time;
     msg.arriveTime = arrival;
+    if (obs::traceJsonEnabled()) {
+        msg.flowId = obs::nextFlowId();
+        obs::emitFlowStart(msg.flowId, msg.src, send_time,
+                           msgTypeName(msg.type).data());
+    }
     // The closure is {this, slot}: small enough for std::function's
     // inline buffer, so scheduling allocates nothing.
     const std::uint32_t slot = parkMessage(std::move(msg));

@@ -1,0 +1,224 @@
+#include "obs/stats_json.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace shasta::obs
+{
+
+namespace
+{
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+/** Fixed-point microsecond rendering keeps the output deterministic
+ *  across libc float formatting quirks. */
+void
+appendUs(std::string &out, double v)
+{
+    appendf(out, "%.4f", v);
+}
+
+} // namespace
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                appendf(out, "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(ch)));
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+toJson(const RunSummary &s, int indent)
+{
+    const std::string in0(static_cast<std::size_t>(indent), ' ');
+    const std::string in1 = in0 + "  ";
+    const std::string in2 = in1 + "  ";
+    std::string o;
+    o += "{\n";
+
+    if (!s.app.empty())
+        o += in1 + "\"app\": \"" + jsonEscape(s.app) + "\",\n";
+    if (!s.config.empty())
+        o += in1 + "\"config\": \"" + jsonEscape(s.config) + "\",\n";
+    o += in1 + "\"mode\": \"" + jsonEscape(s.mode) + "\",\n";
+    appendf(o, "%s\"numProcs\": %d,\n", in1.c_str(), s.numProcs);
+    appendf(o, "%s\"clustering\": %d,\n", in1.c_str(), s.clustering);
+    appendf(o, "%s\"wallTimeTicks\": %lld,\n", in1.c_str(),
+            static_cast<long long>(s.wallTime));
+    o += in1 + "\"wallTimeSeconds\": ";
+    appendf(o, "%.9f", ticksToSeconds(s.wallTime));
+    o += ",\n";
+
+    const Breakdown &b = s.breakdown.parts;
+    o += in1 + "\"breakdown\": {\n";
+    appendf(o, "%s\"taskTicks\": %lld,\n", in2.c_str(),
+            static_cast<long long>(s.breakdown.task()));
+    appendf(o, "%s\"readTicks\": %lld,\n", in2.c_str(),
+            static_cast<long long>(b.read));
+    appendf(o, "%s\"writeTicks\": %lld,\n", in2.c_str(),
+            static_cast<long long>(b.write));
+    appendf(o, "%s\"syncTicks\": %lld,\n", in2.c_str(),
+            static_cast<long long>(b.sync));
+    appendf(o, "%s\"msgTicks\": %lld,\n", in2.c_str(),
+            static_cast<long long>(b.msg));
+    appendf(o, "%s\"otherTicks\": %lld,\n", in2.c_str(),
+            static_cast<long long>(b.other));
+    appendf(o, "%s\"totalTicks\": %lld\n", in2.c_str(),
+            static_cast<long long>(s.breakdown.total));
+    o += in1 + "},\n";
+
+    const ProtoCounters &c = s.counters;
+    o += in1 + "\"misses\": {\n";
+    static constexpr const char *kMissKeys[] = {
+        "read2Hop",    "read3Hop",    "write2Hop",
+        "write3Hop",   "upgrade2Hop", "upgrade3Hop",
+    };
+    for (std::size_t i = 0; i < c.misses.size(); ++i) {
+        appendf(o, "%s\"%s\": %llu,\n", in2.c_str(), kMissKeys[i],
+                static_cast<unsigned long long>(c.misses[i]));
+    }
+    appendf(o, "%s\"total\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.totalMisses()));
+    appendf(o, "%s\"merged\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.mergedMisses));
+    appendf(o, "%s\"false\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.falseMisses));
+    appendf(o, "%s\"batch\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.batchMisses));
+    appendf(o, "%s\"privateUpgrades\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.privateUpgrades));
+    appendf(o, "%s\"writeThrottles\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.writeThrottles));
+    appendf(o, "%s\"pendDownServices\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.pendDownServices));
+    appendf(o, "%s\"queuedDuringDowngrade\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(c.queuedDuringDowngrade));
+    o += in2 + "\"avgReadMissUs\": ";
+    appendUs(o, c.avgReadMissUs());
+    o += "\n" + in1 + "},\n";
+
+    o += in1 + "\"downgrades\": {\n";
+    o += in2 + "\"ops\": [";
+    for (std::size_t i = 0; i < c.downgradeOps.size(); ++i) {
+        appendf(o, "%s%llu", i == 0 ? "" : ", ",
+                static_cast<unsigned long long>(c.downgradeOps[i]));
+    }
+    o += "],\n";
+    appendf(o, "%s\"total\": %llu\n", in2.c_str(),
+            static_cast<unsigned long long>(c.totalDowngradeOps()));
+    o += in1 + "},\n";
+
+    const NetworkCounts &n = s.net;
+    o += in1 + "\"messages\": {\n";
+    appendf(o, "%s\"remote\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(n.remoteMsgs));
+    appendf(o, "%s\"local\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(n.localMsgs));
+    appendf(o, "%s\"downgrade\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(n.downgradeMsgs));
+    appendf(o, "%s\"remoteBytes\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(n.remoteBytes));
+    appendf(o, "%s\"localBytes\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(n.localBytes));
+    appendf(o, "%s\"total\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(n.total()));
+    o += in2 + "\"byType\": {";
+    bool firstType = true;
+    for (std::size_t i = 0; i < n.byType.size(); ++i) {
+        if (n.byType[i] == 0)
+            continue;
+        appendf(o, "%s\"%s\": %llu", firstType ? "" : ", ",
+                std::string(msgTypeName(static_cast<MsgType>(i)))
+                    .c_str(),
+                static_cast<unsigned long long>(n.byType[i]));
+        firstType = false;
+    }
+    o += "}\n" + in1 + "},\n";
+
+    const CheckCounters &k = s.checks;
+    o += in1 + "\"checks\": {\n";
+    appendf(o, "%s\"loads\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(k.loads));
+    appendf(o, "%s\"stores\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(k.stores));
+    appendf(o, "%s\"batchedAccesses\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(k.batchedAccesses));
+    appendf(o, "%s\"batchChecks\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(k.batchChecks));
+    appendf(o, "%s\"polls\": %llu,\n", in2.c_str(),
+            static_cast<unsigned long long>(k.polls));
+    appendf(o, "%s\"checkCycles\": %lld\n", in2.c_str(),
+            static_cast<long long>(k.checkCycles));
+    o += in1 + "},\n";
+
+    o += in1 + "\"latency\": {\n";
+    const auto classes =
+        static_cast<std::size_t>(LatencyClass::NumClasses);
+    for (std::size_t i = 0; i < classes; ++i) {
+        const auto cls = static_cast<LatencyClass>(i);
+        const Log2Histogram &h = s.lat.of(cls);
+        appendf(o, "%s\"%s\": {\"count\": %llu, \"p50Us\": ",
+                in2.c_str(), latencyClassName(cls),
+                static_cast<unsigned long long>(h.count()));
+        appendUs(o, ticksToUs(h.percentile(0.50)));
+        o += ", \"p90Us\": ";
+        appendUs(o, ticksToUs(h.percentile(0.90)));
+        o += ", \"p99Us\": ";
+        appendUs(o, ticksToUs(h.percentile(0.99)));
+        o += ", \"maxUs\": ";
+        appendUs(o, ticksToUs(h.max()));
+        o += ", \"meanUs\": ";
+        appendUs(o, h.mean() / kTicksPerUs);
+        o += i + 1 < classes ? "},\n" : "}\n";
+    }
+    o += in1 + "}\n";
+
+    o += in0 + "}";
+    return o;
+}
+
+} // namespace shasta::obs

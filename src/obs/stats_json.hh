@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Machine-readable run summaries.
+ *
+ * One RunSummary captures everything the text reports print --
+ * Figure 4's execution-time breakdown, Figure 6's miss classes,
+ * Figure 7's message counts, Figure 8's downgrade distribution, the
+ * checking-overhead counters, and the log2 latency percentiles --
+ * and toJson() renders it as a self-contained JSON object.  The
+ * bench harness (bench/bench_common.hh, `--stats-json=FILE`)
+ * accumulates one summary per run; `Runtime::statsJson()` exports a
+ * single run programmatically.
+ */
+
+#ifndef SHASTA_OBS_STATS_JSON_HH
+#define SHASTA_OBS_STATS_JSON_HH
+
+#include <string>
+#include <string_view>
+
+#include "net/network.hh"
+#include "stats/breakdown.hh"
+#include "stats/counters.hh"
+
+namespace shasta::obs
+{
+
+/** The full statistics of one completed run, plus identifying
+ *  labels (empty labels are omitted from the JSON). */
+struct RunSummary
+{
+    std::string app;    ///< application name, e.g. "lu"
+    std::string config; ///< configuration label, e.g. "smp-16x4"
+    std::string mode;   ///< "hardware" / "base" / "smp"
+    int numProcs = 0;
+    int clustering = 1;
+
+    Tick wallTime = 0;
+    TimeBreakdown breakdown;
+    ProtoCounters counters;
+    LatencyStats lat;
+    NetworkCounts net;
+    CheckCounters checks;
+};
+
+/** RFC 8259 string escaping (quotes, backslash, control chars). */
+std::string jsonEscape(std::string_view s);
+
+/** Render @p s as one JSON object.  @p indent is the indentation of
+ *  the opening brace; members are indented two further spaces. */
+std::string toJson(const RunSummary &s, int indent = 0);
+
+} // namespace shasta::obs
+
+#endif // SHASTA_OBS_STATS_JSON_HH

@@ -1,0 +1,216 @@
+#include "obs/trace_json.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace shasta::obs
+{
+
+namespace detail
+{
+bool traceJsonOn = false;
+} // namespace detail
+
+namespace
+{
+
+FILE *out = nullptr;
+bool firstEvent = true;
+bool envApplied = false;
+bool atexitInstalled = false;
+std::uint32_t flowCounter = 0;
+
+/** Tracks which processors have had their track metadata emitted. */
+constexpr std::size_t kMaxProcs = 1024;
+std::array<bool, kMaxProcs> procSeen{};
+
+void
+sep()
+{
+    std::fputs(firstEvent ? "\n" : ",\n", out);
+    firstEvent = false;
+}
+
+double
+us(Tick t)
+{
+    return ticksToUs(t);
+}
+
+/** Lazily name each processor's track the first time it appears. */
+void
+noteProc(int proc)
+{
+    if (proc < 0 || static_cast<std::size_t>(proc) >= kMaxProcs ||
+        procSeen[static_cast<std::size_t>(proc)])
+        return;
+    procSeen[static_cast<std::size_t>(proc)] = true;
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                 "\"name\":\"thread_name\","
+                 "\"args\":{\"name\":\"P%d\"}}",
+                 proc, proc);
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                 "\"name\":\"thread_sort_index\","
+                 "\"args\":{\"sort_index\":%d}}",
+                 proc, proc);
+}
+
+} // namespace
+
+std::uint32_t
+nextFlowId()
+{
+    return ++flowCounter;
+}
+
+void
+initTraceJsonFromEnv()
+{
+    if (envApplied)
+        return;
+    envApplied = true;
+    const char *path = std::getenv("SHASTA_TRACE_JSON");
+    if (path == nullptr || *path == '\0')
+        return;
+    if (openTraceJson(path) && !atexitInstalled) {
+        atexitInstalled = true;
+        std::atexit(closeTraceJson);
+    }
+}
+
+bool
+openTraceJson(const char *path)
+{
+    closeTraceJson();
+    out = std::fopen(path, "w");
+    if (out == nullptr)
+        return false;
+    firstEvent = true;
+    flowCounter = 0;
+    procSeen.fill(false);
+    std::fputs("{\"traceEvents\":[", out);
+    sep();
+    std::fputs("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+               "\"args\":{\"name\":\"shasta-sim\"}}",
+               out);
+    detail::traceJsonOn = true;
+    return true;
+}
+
+void
+closeTraceJson()
+{
+    if (out == nullptr)
+        return;
+    std::fputs("\n]}\n", out);
+    std::fclose(out);
+    out = nullptr;
+    detail::traceJsonOn = false;
+}
+
+void
+emitComplete(int proc, Tick start, Tick dur, const char *name,
+             const char *cat)
+{
+    if (out == nullptr)
+        return;
+    noteProc(proc);
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.4f,"
+                 "\"dur\":%.4f,\"name\":\"%s\",\"cat\":\"%s\"}",
+                 proc, us(start), us(dur), name, cat);
+}
+
+void
+emitAsyncBegin(std::uint64_t id, int proc, Tick ts, const char *name,
+               const char *cat)
+{
+    if (out == nullptr)
+        return;
+    noteProc(proc);
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"b\",\"pid\":0,\"tid\":%d,"
+                 "\"id\":\"0x%llx\",\"ts\":%.4f,"
+                 "\"name\":\"%s\",\"cat\":\"%s\"}",
+                 proc, static_cast<unsigned long long>(id), us(ts),
+                 name, cat);
+}
+
+void
+emitAsyncEnd(std::uint64_t id, int proc, Tick ts, const char *name,
+             const char *cat)
+{
+    if (out == nullptr)
+        return;
+    noteProc(proc);
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"e\",\"pid\":0,\"tid\":%d,"
+                 "\"id\":\"0x%llx\",\"ts\":%.4f,"
+                 "\"name\":\"%s\",\"cat\":\"%s\"}",
+                 proc, static_cast<unsigned long long>(id), us(ts),
+                 name, cat);
+}
+
+void
+emitFlowStart(std::uint64_t id, int proc, Tick ts, const char *name)
+{
+    if (out == nullptr)
+        return;
+    noteProc(proc);
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"s\",\"pid\":0,\"tid\":%d,"
+                 "\"id\":\"0x%llx\",\"ts\":%.4f,"
+                 "\"name\":\"%s\",\"cat\":\"net\"}",
+                 proc, static_cast<unsigned long long>(id), us(ts),
+                 name);
+}
+
+void
+emitFlowEnd(std::uint64_t id, int proc, Tick ts, const char *name)
+{
+    if (out == nullptr)
+        return;
+    noteProc(proc);
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":%d,"
+                 "\"id\":\"0x%llx\",\"ts\":%.4f,"
+                 "\"name\":\"%s\",\"cat\":\"net\"}",
+                 proc, static_cast<unsigned long long>(id), us(ts),
+                 name);
+}
+
+void
+emitInstant(int proc, Tick ts, const char *name, const char *cat,
+            std::int64_t arg)
+{
+    if (out == nullptr)
+        return;
+    noteProc(proc);
+    sep();
+    if (arg >= 0) {
+        std::fprintf(out,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                     "\"tid\":%d,\"ts\":%.4f,\"name\":\"%s\","
+                     "\"cat\":\"%s\",\"args\":{\"n\":%lld}}",
+                     proc, us(ts), name, cat,
+                     static_cast<long long>(arg));
+    } else {
+        std::fprintf(out,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                     "\"tid\":%d,\"ts\":%.4f,\"name\":\"%s\","
+                     "\"cat\":\"%s\"}",
+                     proc, us(ts), name, cat);
+    }
+}
+
+} // namespace shasta::obs

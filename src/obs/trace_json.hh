@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Chrome-trace-event / Perfetto JSON exporter.
+ *
+ * When enabled (`SHASTA_TRACE_JSON=<file>` or openTraceJson()), the
+ * protocol agents, network, and sync managers emit a timeline that
+ * loads directly in ui.perfetto.dev or chrome://tracing:
+ *
+ *  - one track per simulated processor (pid 0 / tid = proc id);
+ *  - complete events ("X") for every protocol message handler;
+ *  - async spans ("b"/"e") for protocol transactions: read miss,
+ *    write miss, intra-node downgrade fan-out, lock and barrier
+ *    waits -- from issue to transaction close;
+ *  - flow arrows ("s"/"f") from every network send to its delivery;
+ *  - instant events ("i") for downgrade fan-outs and requests queued
+ *    behind a busy directory entry.
+ *
+ * Simulated Ticks are converted to microseconds (the trace-event
+ * "ts" unit) via ticksToUs.  Every hook in the simulator costs one
+ * predictable branch on `traceJsonEnabled()` when the exporter is
+ * off; the exporter itself never runs during benchmark or golden
+ * runs unless explicitly requested.  Emission is purely an
+ * accounting side channel: it never touches simulated clocks or
+ * message flow, so enabling it cannot perturb results.
+ */
+
+#ifndef SHASTA_OBS_TRACE_JSON_HH
+#define SHASTA_OBS_TRACE_JSON_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace shasta::obs
+{
+
+namespace detail
+{
+extern bool traceJsonOn;
+} // namespace detail
+
+/** The single hot-path gate: false unless an output file is open. */
+inline bool
+traceJsonEnabled()
+{
+    return detail::traceJsonOn;
+}
+
+/** Apply `SHASTA_TRACE_JSON=<file>` (idempotent; called by the
+ *  Runtime constructor so every binary honors the variable). */
+void initTraceJsonFromEnv();
+
+/** Open @p path for writing and start the trace-event envelope.
+ *  Returns false (and stays disabled) if the file cannot be opened.
+ *  Closes any previously open trace first. */
+bool openTraceJson(const char *path);
+
+/** Finish the JSON envelope and close the file.  Safe to call when
+ *  nothing is open; also installed via atexit on env activation. */
+void closeTraceJson();
+
+/** Async-span id space: kind tag in the top bits keeps concurrent
+ *  transactions on different lines/locks from colliding. */
+enum class SpanKind : std::uint64_t
+{
+    ReadMiss = 1,
+    WriteMiss = 2,
+    Downgrade = 3,
+    Lock = 4,
+    Barrier = 5,
+};
+
+constexpr std::uint64_t
+spanId(SpanKind k, std::uint64_t scope, std::uint64_t key)
+{
+    return (static_cast<std::uint64_t>(k) << 56) | (scope << 40) |
+           (key & ((std::uint64_t{1} << 40) - 1));
+}
+
+/** Next message-flow correlation id: monotonic per trace file (the
+ *  counter resets when a file is opened), so ids stay unique when
+ *  several Runtime instances write into one file, and identical runs
+ *  produce byte-identical traces.  32 bits so it packs into a
+ *  padding hole of Message; a trace long enough to wrap would be
+ *  hundreds of gigabytes. */
+std::uint32_t nextFlowId();
+
+/** @{ Event emitters.  Callers must check traceJsonEnabled() first
+ *  (the emitters re-check defensively, so a missed gate is a
+ *  performance bug, not a crash). */
+void emitComplete(int proc, Tick start, Tick dur, const char *name,
+                  const char *cat);
+void emitAsyncBegin(std::uint64_t id, int proc, Tick ts,
+                    const char *name, const char *cat);
+void emitAsyncEnd(std::uint64_t id, int proc, Tick ts,
+                  const char *name, const char *cat);
+void emitFlowStart(std::uint64_t id, int proc, Tick ts,
+                   const char *name);
+void emitFlowEnd(std::uint64_t id, int proc, Tick ts,
+                 const char *name);
+void emitInstant(int proc, Tick ts, const char *name,
+                 const char *cat, std::int64_t arg = -1);
+/** @} */
+
+} // namespace shasta::obs
+
+#endif // SHASTA_OBS_TRACE_JSON_HH

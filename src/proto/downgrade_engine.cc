@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "obs/trace_json.hh"
 #include "proto/home_agent.hh"
 #include "proto/requester_agent.hh"
 #include "sim/trace.hh"
@@ -86,6 +87,10 @@ DowngradeEngine::downgradeNode(Proc &p, LineIdx first,
                        "downgrade line %u to %s: %d message(s)",
                        static_cast<unsigned>(first),
                        to_invalid ? "Invalid" : "Shared", n_targets);
+    if (obs::traceJsonEnabled()) {
+        obs::emitInstant(p.id, p.now, "downgrade-fanout", "downgrade",
+                         n_targets);
+    }
     if (n_targets == 0) {
         completeDowngrade(p, first, to_invalid, action);
         return;
@@ -96,6 +101,12 @@ DowngradeEngine::downgradeNode(Proc &p, LineIdx first,
     assert(e.downgradesLeft == 0 && "overlapping downgrades");
     e.downgradesLeft = n_targets;
     e.downgradeStart = p.now;
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncBegin(
+            obs::spanId(obs::SpanKind::Downgrade,
+                        static_cast<std::uint64_t>(node), first),
+            p.id, p.now, "downgrade", "downgrade");
+    }
     const LState s = tab.shared(first);
     if (!isPendingMiss(s)) {
         // Pure downgrade of a stable block: remember the prior state
@@ -235,6 +246,17 @@ DowngradeEngine::onDowngrade(Proc &q, Message &&m)
     if (--e->downgradesLeft == 0) {
         // The last downgrader executes the saved protocol action
         // (Section 3.4.3).
+        if (c_.measuring) {
+            c_.lat->record(LatencyClass::DowngradeService,
+                           q.now - e->downgradeStart);
+        }
+        if (obs::traceJsonEnabled()) {
+            obs::emitAsyncEnd(
+                obs::spanId(obs::SpanKind::Downgrade,
+                            static_cast<std::uint64_t>(q.node),
+                            first),
+                q.id, q.now, "downgrade", "downgrade");
+        }
         const DowngradeAction act = e->savedAction;
         const bool saved_to_invalid = e->savedToInvalid;
         e->savedAction = DowngradeAction{};

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace_json.hh"
 #include "proto/downgrade_engine.hh"
 
 namespace shasta
@@ -52,6 +53,10 @@ HomeAgent::onReadReq(Proc &home, Message &&m)
         c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
             first);
     if (e.busy) {
+        if (obs::traceJsonEnabled()) {
+            obs::emitInstant(home.id, home.now, "dir-busy-queued",
+                             "proto", first);
+        }
         e.waiting.push_back(std::move(m));
         return;
     }
@@ -107,6 +112,10 @@ HomeAgent::onReadExReq(Proc &home, Message &&m)
         c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
             first);
     if (e.busy) {
+        if (obs::traceJsonEnabled()) {
+            obs::emitInstant(home.id, home.now, "dir-busy-queued",
+                             "proto", first);
+        }
         e.waiting.push_back(std::move(m));
         return;
     }
@@ -170,6 +179,10 @@ HomeAgent::onUpgradeReq(Proc &home, Message &&m)
             first);
     if (e.busy) {
         c_.chargeHandler(home, m, first);
+        if (obs::traceJsonEnabled()) {
+            obs::emitInstant(home.id, home.now, "dir-busy-queued",
+                             "proto", first);
+        }
         e.waiting.push_back(std::move(m));
         return;
     }

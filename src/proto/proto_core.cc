@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 
+#include "obs/trace_json.hh"
 #include "proto/downgrade_engine.hh"
 #include "proto/home_agent.hh"
 #include "proto/requester_agent.hh"
@@ -122,7 +123,8 @@ ProtocolCore::ProtocolCore(const DsmConfig &cfg_in,
       heap(heap_in),
       procs(procs_in),
       topo(cfg_in.topology()),
-      smp(cfg_in.mode == Mode::Smp)
+      smp(cfg_in.mode == Mode::Smp),
+      lat(std::make_unique<LatencyStats>())
 {
     const int nodes = topo.numNodes();
     memories.reserve(static_cast<std::size_t>(nodes));
@@ -305,6 +307,14 @@ ProtocolCore::handleMessage(Proc &p, Message &&m)
                        std::string(msgTypeName(m.type)).c_str(),
                        m.src,
                        static_cast<unsigned>(heap.lineOf(m.addr)));
+    if (obs::traceJsonEnabled() && m.flowId != 0) {
+        obs::emitFlowEnd(m.flowId, p.id, p.now,
+                         msgTypeName(m.type).data());
+        // Clear the id: a message queued at the directory or behind
+        // a downgrade is re-dispatched later, and its delivery arrow
+        // must not be emitted twice.
+        m.flowId = 0;
+    }
     kDispatch[static_cast<std::size_t>(m.type)](*this, p,
                                                 std::move(m));
 }
@@ -332,6 +342,7 @@ ProtocolCore::handlerCost(MsgCostClass c) const
 void
 ProtocolCore::chargeHandler(Proc &p, const Message &m, LineIdx line)
 {
+    const Tick t0 = p.now;
     Tick recv = 0;
     if (m.src != p.id) {
         recv = topo.sameMachine(m.src, p.id) ? cfg.costs.recvLocal
@@ -339,6 +350,10 @@ ProtocolCore::chargeHandler(Proc &p, const Message &m, LineIdx line)
     }
     p.now += recv + handlerCost(msgCostClass(m.type));
     p.now += locks[p.node]->chargeOp(line);
+    if (obs::traceJsonEnabled()) {
+        obs::emitComplete(p.id, t0, p.now - t0,
+                          msgTypeName(m.type).data(), "proto");
+    }
 }
 
 void

@@ -156,6 +156,16 @@ struct ProtocolCore
     std::size_t pendingTransactions() const;
     std::string dumpPending() const;
     /** @} */
+
+    /** Latency histograms (miss classes, downgrade service,
+     *  lock/barrier wait).  Heap-indirect and declared last: the
+     *  histograms are several KB of cold bucket storage, and keeping
+     *  them out of ProtoCounters keeps the hot counters small and
+     *  cheap to snapshot and reset by value.  Allocated once in the
+     *  constructor (from dedicated pages -- see
+     *  LatencyStats::operator new), so the steady-state hot path
+     *  stays allocation-free. */
+    std::unique_ptr<LatencyStats> lat;
 };
 
 } // namespace shasta

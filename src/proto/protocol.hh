@@ -83,6 +83,8 @@ class Protocol
     }
     ProtoCounters &counters() { return core_.counters; }
     const ProtoCounters &counters() const { return core_.counters; }
+    LatencyStats &latency() { return *core_.lat; }
+    const LatencyStats &latency() const { return *core_.lat; }
     const Topology &topology() const { return core_.topo; }
     const SharedHeap &heap() const { return core_.heap; }
     /** @} */
@@ -289,8 +291,13 @@ class Protocol
     void setMeasuring(bool on) { core_.measuring = on; }
     bool measuring() const { return core_.measuring; }
 
-    /** Zero all protocol counters. */
-    void resetCounters() { core_.counters = ProtoCounters{}; }
+    /** Zero all protocol counters and latency histograms. */
+    void
+    resetCounters()
+    {
+        core_.counters = ProtoCounters{};
+        *core_.lat = LatencyStats{};
+    }
 
     /** Pending transactions across all nodes (for drain checks). */
     std::size_t

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_json.hh"
 #include "sim/trace.hh"
 
 namespace shasta
@@ -224,6 +225,12 @@ RequesterAgent::startRead(Proc &p, LineIdx first)
     e.readIssued = true;
     e.initiator = p.id;
     e.issueTime = p.now;
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncBegin(
+            obs::spanId(obs::SpanKind::ReadMiss,
+                        static_cast<std::uint64_t>(p.node), first),
+            p.id, p.now, "read-miss", "miss");
+    }
     c_.tables[p.node]->setShared(first, b.numLines, LState::PendRead);
     SHASTA_TRACE_EVENT(trace::Flag::Proto, p.now, p.id,
                        "read miss line %u -> home P%d",
@@ -248,6 +255,12 @@ RequesterAgent::startWrite(Proc &p, LineIdx first, bool had_shared,
     e.issueTime = p.now;
     e.epoch = c_.epochs[p.node]->startWrite();
     ++p.outstandingWrites;
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncBegin(
+            obs::spanId(obs::SpanKind::WriteMiss,
+                        static_cast<std::uint64_t>(p.node), first),
+            p.id, p.now, "write-miss", "miss");
+    }
     c_.tables[p.node]->setShared(first, b.numLines, LState::PendEx);
     if (dirty_len > 0) {
         // Mark before sending: a same-processor home can complete an
@@ -273,6 +286,13 @@ RequesterAgent::issueDeferredWrite(Proc &p, MissEntry &e)
     e.writeIssued = true;
     e.prior = LState::Shared;
     e.issueTime = p.now;
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncBegin(
+            obs::spanId(obs::SpanKind::WriteMiss,
+                        static_cast<std::uint64_t>(p.node),
+                        e.firstLine),
+            p.id, p.now, "write-miss", "miss");
+    }
     c_.tables[p.node]->setShared(e.firstLine, b.numLines,
                                  LState::PendEx);
     c_.sendMsg(p, MsgType::UpgradeReq, c_.homeProc(e.firstLine),
@@ -287,6 +307,13 @@ RequesterAgent::checkWriteComplete(Proc &p, LineIdx first)
         return;
     if (e->acksExpected < 0 || e->acksReceived < e->acksExpected)
         return;
+
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncEnd(
+            obs::spanId(obs::SpanKind::WriteMiss,
+                        static_cast<std::uint64_t>(p.node), first),
+            p.id, p.now, "write-miss", "miss");
+    }
 
     // Transaction complete: clear the entry's write tracking FIRST --
     // the ownership ack below may (when this processor is the home)
@@ -341,7 +368,8 @@ RequesterAgent::finishReadData(Proc &p, MissEntry &e,
 
 void
 RequesterAgent::countMissReply(Proc &p, const Message &m,
-                               bool is_read, bool is_upgrade)
+                               bool is_read, bool is_upgrade,
+                               Tick latency)
 {
     if (!c_.measuring)
         return;
@@ -357,6 +385,7 @@ RequesterAgent::countMissReply(Proc &p, const Message &m,
         cl = three_hop ? MissClass::Write3Hop : MissClass::Write2Hop;
     }
     c_.counters.countMiss(cl);
+    c_.lat->record(ProtoCounters::latencyClassFor(cl), latency);
     (void)p;
 }
 
@@ -386,10 +415,16 @@ RequesterAgent::onReadReply(Proc &p, Message &&m)
         c_.procs[static_cast<std::size_t>(e->initiator)];
     c_.tables[p.node]->setPriv(first, b.numLines, ini.local,
                                PState::Shared);
-    countMissReply(p, m, true, false);
+    countMissReply(p, m, true, false, m.arriveTime - e->issueTime);
     if (c_.measuring) {
         ++c_.counters.readMissSamples;
         c_.counters.readMissLatency += m.arriveTime - e->issueTime;
+    }
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncEnd(
+            obs::spanId(obs::SpanKind::ReadMiss,
+                        static_cast<std::uint64_t>(p.node), first),
+            p.id, p.now, "read-miss", "miss");
     }
     e->readIssued = false;
 
@@ -425,7 +460,7 @@ RequesterAgent::onReadExReply(Proc &p, Message &&m)
                                PState::Exclusive);
     e->dataArrived = true;
     e->acksExpected = m.count;
-    countMissReply(p, m, false, false);
+    countMissReply(p, m, false, false, m.arriveTime - e->issueTime);
     c_.resumeWaiters(*e, true, true, p.now);
     checkWriteComplete(p, first);
     c_.drainQueuedRemote(p, first);
@@ -450,7 +485,7 @@ RequesterAgent::onUpgradeReply(Proc &p, Message &&m)
                                PState::Exclusive);
     e->dataArrived = true;
     e->acksExpected = m.count;
-    countMissReply(p, m, false, true);
+    countMissReply(p, m, false, true, m.arriveTime - e->issueTime);
     c_.resumeWaiters(*e, false, true, p.now);
     checkWriteComplete(p, first);
     c_.drainQueuedRemote(p, first);

@@ -84,9 +84,10 @@ class RequesterAgent
     /** Complete the write transaction if data and all acks are in. */
     void checkWriteComplete(Proc &p, LineIdx first);
 
-    /** Classify and count a completed miss. */
+    /** Classify and count a completed miss; @p latency is issue to
+     *  reply arrival, recorded into the class's histogram. */
     void countMissReply(Proc &p, const Message &m, bool is_read,
-                        bool is_upgrade);
+                        bool is_upgrade, Tick latency);
 
     ProtocolCore &c_;
 };

@@ -61,10 +61,23 @@ disableAll()
 void
 enableList(std::string_view list)
 {
+    constexpr std::string_view ws = " \t\r\n";
     while (!list.empty()) {
         const std::size_t comma = list.find(',');
-        const std::string_view name = list.substr(0, comma);
-        if (name == "all") {
+        std::string_view name = list.substr(0, comma);
+        // Trim whitespace and tolerate empty segments so lists like
+        // "proto, downgrade" or "proto,,net" behave as expected.
+        if (const auto b = name.find_first_not_of(ws);
+            b == std::string_view::npos) {
+            name = {};
+        } else {
+            name.remove_suffix(name.size() - 1 -
+                               name.find_last_not_of(ws));
+            name.remove_prefix(b);
+        }
+        if (name.empty()) {
+            // Skip the empty segment.
+        } else if (name == "all") {
             flags.fill(true);
         } else {
             Flag f;
@@ -103,6 +116,12 @@ setSink(std::FILE *s)
 void
 out(Flag f, Tick when, int proc, const char *fmt, ...)
 {
+    // The SHASTA_TRACE_EVENT macro checks enabled() before paying
+    // for argument evaluation, but out() is also callable directly;
+    // honor the flag gate here too instead of writing untraced
+    // categories to the sink.
+    if (!enabled(f))
+        return;
     std::FILE *dst = sink ? sink : stderr;
     std::fprintf(dst, "[%12lld] P%-2d %-9s: ",
                  static_cast<long long>(when), proc,

@@ -17,6 +17,8 @@
 #ifndef SHASTA_STATS_BREAKDOWN_HH
 #define SHASTA_STATS_BREAKDOWN_HH
 
+#include <cassert>
+
 #include "sim/ticks.hh"
 
 namespace shasta
@@ -56,11 +58,19 @@ struct TimeBreakdown
     Tick total = 0;
     Breakdown parts;
 
-    /** Task time is derived so the components always sum to total. */
+    /** Task time is derived so the components always sum to total.
+     *  Component attribution can overshoot `total` by a few ticks
+     *  (overlapping stalls round up independently), which would make
+     *  the derived task time negative; clamp to zero, and treat a
+     *  large overshoot as an accounting bug in debug builds. */
     Tick
     task() const
     {
-        return total - parts.nonTask();
+        const Tick t = total - parts.nonTask();
+        assert(t >= -kTicksPerUs &&
+               "breakdown components exceed total by more than "
+               "rounding slack");
+        return t < 0 ? 0 : t;
     }
 };
 

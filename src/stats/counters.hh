@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "sim/ticks.hh"
+#include "stats/histogram.hh"
 
 namespace shasta
 {
@@ -66,6 +67,13 @@ struct ProtoCounters
     std::uint64_t readMissSamples = 0;
     Tick readMissLatency = 0;
     /** @} */
+
+    /** LatencyClass mirroring a completed miss's MissClass. */
+    static LatencyClass
+    latencyClassFor(MissClass c)
+    {
+        return static_cast<LatencyClass>(static_cast<int>(c));
+    }
 
     void
     countMiss(MissClass c)

@@ -1,0 +1,111 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define SHASTA_LATENCY_STATS_MMAP 1
+#endif
+
+namespace shasta
+{
+
+#ifdef SHASTA_LATENCY_STATS_MMAP
+namespace
+{
+/** Recycled LatencyStats mappings.  Workloads that construct many
+ *  Runtimes in sequence (benchmarks, sweeps) reuse the same pages,
+ *  so the steady state pays neither mmap traffic nor fresh page
+ *  faults.  The simulator is single-threaded by design, so a plain
+ *  array suffices. */
+constexpr int kMaxFreeBlocks = 8;
+void *freeBlocks[kMaxFreeBlocks];
+int numFreeBlocks = 0;
+} // namespace
+#endif
+
+void *
+LatencyStats::operator new(std::size_t n)
+{
+#ifdef SHASTA_LATENCY_STATS_MMAP
+    if (n == sizeof(LatencyStats) && numFreeBlocks > 0)
+        return freeBlocks[--numFreeBlocks];
+    void *p = ::mmap(nullptr, n, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED)
+        throw std::bad_alloc{};
+    return p;
+#else
+    return ::operator new(n);
+#endif
+}
+
+void
+LatencyStats::operator delete(void *p, std::size_t n) noexcept
+{
+#ifdef SHASTA_LATENCY_STATS_MMAP
+    if (p == nullptr)
+        return;
+    if (n == sizeof(LatencyStats) && numFreeBlocks < kMaxFreeBlocks) {
+        freeBlocks[numFreeBlocks++] = p;
+        return;
+    }
+    ::munmap(p, n);
+#else
+    ::operator delete(p, n);
+#endif
+}
+
+Tick
+Log2Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= target) {
+            const Tick ub =
+                i == 0 ? 0 : (Tick{1} << i) - 1;
+            return std::min(ub, max_);
+        }
+    }
+    return max_;
+}
+
+const char *
+latencyClassName(LatencyClass c)
+{
+    switch (c) {
+      case LatencyClass::ReadMiss2Hop:
+        return "readMiss2Hop";
+      case LatencyClass::ReadMiss3Hop:
+        return "readMiss3Hop";
+      case LatencyClass::WriteMiss2Hop:
+        return "writeMiss2Hop";
+      case LatencyClass::WriteMiss3Hop:
+        return "writeMiss3Hop";
+      case LatencyClass::UpgradeMiss2Hop:
+        return "upgradeMiss2Hop";
+      case LatencyClass::UpgradeMiss3Hop:
+        return "upgradeMiss3Hop";
+      case LatencyClass::DowngradeService:
+        return "downgradeService";
+      case LatencyClass::LockWait:
+        return "lockWait";
+      case LatencyClass::BarrierWait:
+        return "barrierWait";
+      case LatencyClass::NumClasses:
+        break;
+    }
+    return "?";
+}
+
+} // namespace shasta

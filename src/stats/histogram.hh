@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fixed-bucket log2 latency histograms.
+ *
+ * Each bucket i holds samples whose value v satisfies
+ * bit_width(v) == i, i.e. the half-open power-of-two range
+ * [2^(i-1), 2^i).  The bucket upper bound is (2^i)-1 ticks, so a
+ * percentile query answers "at most this many ticks", clamped to the
+ * largest value actually observed.  Recording is an array increment
+ * and two adds -- cheap enough to stay on even in benchmark runs --
+ * and the storage is a fixed array, so the steady-state hot path
+ * stays allocation-free.
+ */
+
+#ifndef SHASTA_STATS_HISTOGRAM_HH
+#define SHASTA_STATS_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Power-of-two bucketed histogram of Tick-valued samples. */
+class Log2Histogram
+{
+  public:
+    /** bit_width(Tick) tops out at 63 for positive ticks; 48 buckets
+     *  cover ~15 simulated minutes, far beyond any run here. */
+    static constexpr std::size_t kBuckets = 48;
+
+    void
+    record(Tick v)
+    {
+        if (v < 0)
+            v = 0;
+        const auto u = static_cast<std::uint64_t>(v);
+        std::size_t i = static_cast<std::size_t>(std::bit_width(u));
+        if (i >= kBuckets)
+            i = kBuckets - 1;
+        ++buckets_[i];
+        ++count_;
+        sum_ += u;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    Tick max() const { return max_; }
+    std::uint64_t sum() const { return sum_; }
+
+    double
+    mean() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        return static_cast<double>(sum_) / static_cast<double>(count_);
+    }
+
+    /** Upper bound on the q-quantile (0 <= q <= 1): the smallest
+     *  bucket boundary covering at least ceil(q * count) samples,
+     *  clamped to the observed maximum.  Returns 0 when empty. */
+    Tick percentile(double q) const;
+
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets_[i];
+    }
+
+    Log2Histogram &
+    operator+=(const Log2Histogram &o)
+    {
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += o.buckets_[i];
+        count_ += o.count_;
+        sum_ += o.sum_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+        return *this;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    Tick max_ = 0;
+};
+
+/** Latency populations tracked by the observability layer.  The
+ *  first six mirror MissClass one-to-one (same order). */
+enum class LatencyClass
+{
+    ReadMiss2Hop,
+    ReadMiss3Hop,
+    WriteMiss2Hop,
+    WriteMiss3Hop,
+    UpgradeMiss2Hop,
+    UpgradeMiss3Hop,
+    DowngradeService,
+    LockWait,
+    BarrierWait,
+    NumClasses
+};
+
+/** Stable lower-camel name for JSON keys and reports. */
+const char *latencyClassName(LatencyClass c);
+
+/** One histogram per latency class.  Several KB of fixed storage, so
+ *  it lives behind a pointer in ProtocolCore rather than inside
+ *  ProtoCounters, which is snapshotted and reset by value; the
+ *  RunSummary / AppResult snapshots copy it once per completed run. */
+struct LatencyStats
+{
+    std::array<Log2Histogram,
+               static_cast<std::size_t>(LatencyClass::NumClasses)>
+        hist{};
+
+    void
+    record(LatencyClass c, Tick v)
+    {
+        hist[static_cast<std::size_t>(c)].record(v);
+    }
+
+    /** The histograms are a multi-KB cold block allocated while the
+     *  simulator's data structures are being laid out.  Heap
+     *  instances come from their own anonymous pages instead of the
+     *  malloc arena, so every later allocation lands at the same
+     *  address it would have without statistics and attaching them
+     *  cannot shift the hot structures' cache layout. */
+    static void *operator new(std::size_t n);
+    static void operator delete(void *p, std::size_t n) noexcept;
+
+    const Log2Histogram &
+    of(LatencyClass c) const
+    {
+        return hist[static_cast<std::size_t>(c)];
+    }
+};
+
+} // namespace shasta
+
+#endif // SHASTA_STATS_HISTOGRAM_HH

@@ -26,12 +26,17 @@ Table::addRule()
 void
 Table::print(std::FILE *out) const
 {
-    std::vector<std::size_t> width(headers_.size());
+    // Size to the widest row, not just the headers: a row may carry
+    // more cells than the header line, and printCsv emits them, so
+    // dropping them here would silently desynchronize the formats.
+    std::size_t cols = headers_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    std::vector<std::size_t> width(cols, 0);
     for (std::size_t c = 0; c < headers_.size(); ++c)
         width[c] = headers_[c].size();
     for (const auto &row : rows_) {
-        for (std::size_t c = 0; c < row.size() && c < width.size();
-             ++c)
+        for (std::size_t c = 0; c < row.size(); ++c)
             width[c] = std::max(width[c], row[c].size());
     }
 
@@ -68,15 +73,26 @@ Table::print(std::FILE *out) const
 void
 Table::printCsv(std::FILE *out) const
 {
+    // RFC 4180: quote any cell containing a comma, quote, CR or LF,
+    // and double embedded quotes.
+    auto field = [&](const std::string &v) {
+        if (v.find_first_of(",\"\r\n") == std::string::npos) {
+            std::fputs(v.c_str(), out);
+            return;
+        }
+        std::fputc('"', out);
+        for (const char ch : v) {
+            if (ch == '"')
+                std::fputc('"', out);
+            std::fputc(ch, out);
+        }
+        std::fputc('"', out);
+    };
     auto line = [&](const std::vector<std::string> &cells) {
         for (std::size_t c = 0; c < cells.size(); ++c) {
             if (c)
                 std::fputc(',', out);
-            // Quote cells containing commas.
-            if (cells[c].find(',') != std::string::npos)
-                std::fprintf(out, "\"%s\"", cells[c].c_str());
-            else
-                std::fputs(cells[c].c_str(), out);
+            field(cells[c]);
         }
         std::fputc('\n', out);
     };

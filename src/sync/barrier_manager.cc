@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_json.hh"
 #include "proto/protocol.hh"
 
 namespace shasta
@@ -66,6 +67,12 @@ BarrierManager::park(Proc &p, std::coroutine_handle<> h)
     assert(!pk.handle && !pk.pendingRelease);
     pk.handle = h;
     pk.stallStart = p.now;
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncBegin(
+            obs::spanId(obs::SpanKind::Barrier, 0,
+                        static_cast<std::uint64_t>(p.id)),
+            p.id, p.now, "barrier-wait", "sync");
+    }
     proto_.noteBlocked(p);
 }
 
@@ -80,8 +87,19 @@ BarrierManager::resumeParked(ProcId who, Tick when)
                          Proc &wp =
                              procs_[static_cast<std::size_t>(who)];
                          wp.now = std::max(wp.now, when);
-                         if (proto_.measuring())
+                         if (proto_.measuring()) {
                              wp.bd.sync += wp.now - pk.stallStart;
+                             proto_.latency().record(
+                                 LatencyClass::BarrierWait,
+                                 wp.now - pk.stallStart);
+                         }
+                         if (obs::traceJsonEnabled()) {
+                             obs::emitAsyncEnd(
+                                 obs::spanId(
+                                     obs::SpanKind::Barrier, 0,
+                                     static_cast<std::uint64_t>(who)),
+                                 who, wp.now, "barrier-wait", "sync");
+                         }
                          auto h = pk.handle;
                          pk.handle = nullptr;
                          wp.status = ProcStatus::Running;
@@ -121,8 +139,17 @@ BarrierManager::handle(Proc &p, Message &&m)
       case MsgType::BarrierRelease: {
         ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
         if (pk.handle) {
-            if (proto_.measuring())
+            if (proto_.measuring()) {
                 p.bd.sync += p.now - pk.stallStart;
+                proto_.latency().record(LatencyClass::BarrierWait,
+                                        p.now - pk.stallStart);
+            }
+            if (obs::traceJsonEnabled()) {
+                obs::emitAsyncEnd(
+                    obs::spanId(obs::SpanKind::Barrier, 0,
+                                static_cast<std::uint64_t>(p.id)),
+                    p.id, p.now, "barrier-wait", "sync");
+            }
             auto h = pk.handle;
             pk.handle = nullptr;
             p.status = ProcStatus::Running;

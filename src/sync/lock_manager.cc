@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_json.hh"
 #include "proto/protocol.hh"
 #include "sim/trace.hh"
 
@@ -75,6 +76,12 @@ LockManager::park(Proc &p, int id, std::coroutine_handle<> h)
     assert(!pk.handle && !pk.pendingGrant);
     pk.handle = h;
     pk.stallStart = p.now;
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncBegin(
+            obs::spanId(obs::SpanKind::Lock, 0,
+                        static_cast<std::uint64_t>(p.id)),
+            p.id, p.now, "lock-wait", "sync");
+    }
     proto_.noteBlocked(p);
 }
 
@@ -127,8 +134,17 @@ LockManager::resumeGranted(ProcId to, Tick when)
         assert(pk.handle);
         Proc &wp = procs_[static_cast<std::size_t>(to)];
         wp.now = std::max(wp.now, when);
-        if (proto_.measuring())
+        if (proto_.measuring()) {
             wp.bd.sync += wp.now - pk.stallStart;
+            proto_.latency().record(LatencyClass::LockWait,
+                                    wp.now - pk.stallStart);
+        }
+        if (obs::traceJsonEnabled()) {
+            obs::emitAsyncEnd(
+                obs::spanId(obs::SpanKind::Lock, 0,
+                            static_cast<std::uint64_t>(to)),
+                to, wp.now, "lock-wait", "sync");
+        }
         auto h = pk.handle;
         pk.handle = nullptr;
         wp.status = ProcStatus::Running;
@@ -169,8 +185,17 @@ LockManager::handle(Proc &p, Message &&m)
       case MsgType::LockGrant: {
         ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
         if (pk.handle) {
-            if (proto_.measuring())
+            if (proto_.measuring()) {
                 p.bd.sync += p.now - pk.stallStart;
+                proto_.latency().record(LatencyClass::LockWait,
+                                        p.now - pk.stallStart);
+            }
+            if (obs::traceJsonEnabled()) {
+                obs::emitAsyncEnd(
+                    obs::spanId(obs::SpanKind::Lock, 0,
+                                static_cast<std::uint64_t>(p.id)),
+                    p.id, p.now, "lock-wait", "sync");
+            }
             auto h = pk.handle;
             pk.handle = nullptr;
             p.status = ProcStatus::Running;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the shared bench harness (bench/bench_common.hh),
+ * specifically the exit-time --stats-json flush.  The flush runs from
+ * an atexit handler, so the recorded-runs vector must be constructed
+ * before the handler is registered: exit() unwinds local statics and
+ * atexit registrations in reverse order, and a vector constructed
+ * after the registration would be destroyed before the flush reads
+ * it.  The test forks a child that behaves like a bench main and
+ * validates the file the child's exit path wrote (regression: the
+ * flush used to serialize freed memory, which crashed or silently
+ * emitted garbage depending on heap layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define SHASTA_HAVE_FORK 1
+#endif
+
+#include "../bench/bench_common.hh"
+
+namespace shasta
+{
+namespace
+{
+
+#ifdef SHASTA_HAVE_FORK
+
+TEST(BenchHarness, ExitTimeStatsFlushSeesRecordedRuns)
+{
+    const std::string path = "bench_harness_stats_flush.json";
+    std::remove(path.c_str());
+
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: the life of a bench main.  parseArgs registers the
+        // atexit flush; summaries are recorded afterwards, exactly as
+        // run() does; exit(0) must write them all out intact.  Names
+        // are longer than the small-string buffer so corruption of
+        // freed heap chunks cannot go unnoticed.
+        const std::string arg = "--stats-json=" + path;
+        const char *argv[] = {"bench_harness_test", arg.c_str()};
+        bench::parseArgs(2, const_cast<char **>(argv));
+        for (int i = 0; i < 6; ++i) {
+            obs::RunSummary s;
+            s.app = "synthetic-application-number-" + std::to_string(i);
+            s.config = "synthetic-configuration-" + std::to_string(i);
+            s.mode = "base";
+            s.numProcs = 8;
+            s.wallTime = 1000 * (i + 1);
+            s.lat.record(LatencyClass::ReadMiss2Hop, 300 * (i + 1));
+            bench::recordedRuns().push_back(std::move(s));
+        }
+        std::exit(0);
+    }
+
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status))
+        << "child died during the exit-time stats flush";
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "child wrote no stats file";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string json = buf.str();
+
+    EXPECT_EQ(json.rfind("{\"runs\": [", 0), 0u);
+    EXPECT_NE(json.find("]}"), std::string::npos);
+    for (int i = 0; i < 6; ++i) {
+        const std::string name =
+            "\"synthetic-application-number-" + std::to_string(i) +
+            "\"";
+        EXPECT_NE(json.find(name), std::string::npos)
+            << "run " << i << " missing from exit-time flush";
+    }
+    std::remove(path.c_str());
+}
+
+#endif // SHASTA_HAVE_FORK
+
+} // namespace
+} // namespace shasta

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Tests for the observability layer: log2 latency histograms, the
+ * Chrome-trace-event JSON exporter, and the JSON run-summary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "dsm/runtime.hh"
+#include "obs/stats_json.hh"
+#include "obs/trace_json.hh"
+#include "stats/counters.hh"
+#include "stats/histogram.hh"
+
+namespace shasta
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// Minimal JSON validator (RFC 8259 structure, no semantics): enough
+// to prove the exporters emit well-formed documents without pulling
+// in a parser dependency.
+// --------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char ch = s_[pos_];
+            if (ch == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(ch) < 0x20)
+                return false; // raw control char: must be escaped
+            if (ch == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    if (pos_ + 4 >= s_.size())
+                        return false;
+                    for (int i = 1; i <= 4; ++i) {
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + static_cast<std::size_t>(
+                                              i)])))
+                            return false;
+                    }
+                    pos_ += 4;
+                } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                           std::string_view::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (s_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+};
+
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = 0;
+         (pos = hay.find(needle, pos)) != std::string::npos;
+         pos += needle.size())
+        ++n;
+    return n;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+// --------------------------------------------------------------------
+// Log2Histogram
+// --------------------------------------------------------------------
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0);
+    EXPECT_EQ(h.percentile(0.99), 0);
+}
+
+TEST(Histogram, SingleValueClampsToObservedMax)
+{
+    Log2Histogram h;
+    h.record(100); // bucket 7 (upper bound 127), clamped to 100
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.percentile(0.50), 100);
+    EXPECT_EQ(h.percentile(0.90), 100);
+    EXPECT_EQ(h.percentile(0.99), 100);
+    EXPECT_EQ(h.max(), 100);
+    EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(Histogram, PercentilesPickBucketUpperBounds)
+{
+    Log2Histogram h;
+    h.record(10);   // bucket 4, upper bound 15
+    h.record(1000); // bucket 10, upper bound 1023 -> clamped to 1000
+    EXPECT_EQ(h.percentile(0.50), 15);
+    EXPECT_EQ(h.percentile(0.99), 1000);
+    EXPECT_EQ(h.max(), 1000);
+    EXPECT_EQ(h.sum(), 1010u);
+}
+
+TEST(Histogram, ZeroAndNegativeGoToBucketZero)
+{
+    Log2Histogram h;
+    h.record(0);
+    h.record(-5); // clamped to 0
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.percentile(0.99), 0);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Log2Histogram a, b;
+    a.record(10);
+    b.record(1000);
+    a += b;
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.max(), 1000);
+    EXPECT_EQ(a.percentile(0.50), 15);
+    EXPECT_EQ(a.percentile(1.0), 1000);
+}
+
+TEST(Histogram, LatencyClassMirrorsMissClass)
+{
+    EXPECT_EQ(ProtoCounters::latencyClassFor(MissClass::Read2Hop),
+              LatencyClass::ReadMiss2Hop);
+    EXPECT_EQ(ProtoCounters::latencyClassFor(MissClass::Upgrade3Hop),
+              LatencyClass::UpgradeMiss3Hop);
+    for (int i = 0; i < static_cast<int>(LatencyClass::NumClasses);
+         ++i) {
+        EXPECT_STRNE(
+            latencyClassName(static_cast<LatencyClass>(i)), "?");
+    }
+    EXPECT_STREQ(latencyClassName(LatencyClass::DowngradeService),
+                 "downgradeService");
+}
+
+// --------------------------------------------------------------------
+// JSON string escaping
+// --------------------------------------------------------------------
+
+TEST(StatsJson, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+    EXPECT_EQ(obs::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(obs::jsonEscape(std::string_view("\x01", 1)),
+              "\\u0001");
+}
+
+// --------------------------------------------------------------------
+// End-to-end: tiny 2-node run through the exporters
+// --------------------------------------------------------------------
+
+Task
+obsKernel(Context &c, Addr a, int lk)
+{
+    co_await c.lock(lk);
+    const double v = co_await c.loadFp(a);
+    co_await c.storeFp(a, v + 1.0);
+    co_await c.unlock(lk);
+    co_await c.barrier();
+}
+
+/** One deterministic 4-proc / 2-node run with the trace exporter
+ *  writing to @p tracePath (empty = exporter untouched). */
+std::string
+runTinyApp(const std::string &tracePath)
+{
+    if (!tracePath.empty()) {
+        EXPECT_TRUE(obs::openTraceJson(tracePath.c_str()));
+    }
+    DsmConfig cfg = DsmConfig::smp(4, 2);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    const int lk = rt.allocLock();
+    rt.run([&](Context &c) { return obsKernel(c, a, lk); });
+    const std::string stats = rt.statsJson();
+    if (!tracePath.empty())
+        obs::closeTraceJson();
+    return stats;
+}
+
+TEST(StatsJson, RunSummaryIsValidAndComplete)
+{
+    const std::string json = runTinyApp("");
+    ASSERT_FALSE(json.empty());
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    for (const char *key :
+         {"\"mode\"", "\"breakdown\"", "\"misses\"", "\"messages\"",
+          "\"downgrades\"", "\"checks\"", "\"latency\"",
+          "\"readMiss2Hop\"", "\"downgradeService\"",
+          "\"lockWait\"", "\"barrierWait\"", "\"p50Us\"",
+          "\"p99Us\""}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing " << key;
+    }
+}
+
+TEST(StatsJson, TinyRunRecordsMissAndSyncLatencies)
+{
+    DsmConfig cfg = DsmConfig::smp(4, 2);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    const int lk = rt.allocLock();
+    rt.run([&](Context &c) { return obsKernel(c, a, lk); });
+    const LatencyStats &lat = rt.latency();
+    std::uint64_t missSamples = 0;
+    for (int i = 0;
+         i <= static_cast<int>(LatencyClass::UpgradeMiss3Hop); ++i)
+        missSamples += lat.of(static_cast<LatencyClass>(i)).count();
+    EXPECT_EQ(missSamples, rt.counters().totalMisses());
+    EXPECT_GT(missSamples, 0u);
+    EXPECT_GT(lat.of(LatencyClass::BarrierWait).count(), 0u);
+    EXPECT_GT(lat.of(LatencyClass::LockWait).count(), 0u);
+}
+
+TEST(TraceJson, DisabledByDefaultAndEmittersAreNoOps)
+{
+    EXPECT_FALSE(obs::traceJsonEnabled());
+    // Emitters must tolerate being called with no file open.
+    obs::emitComplete(0, 0, 10, "x", "test");
+    obs::emitAsyncBegin(1, 0, 0, "x", "test");
+    obs::emitFlowStart(1, 0, 0, "x");
+    obs::closeTraceJson(); // idempotent
+    SUCCEED();
+}
+
+TEST(TraceJson, ExporterEmitsBalancedWellFormedTrace)
+{
+    const std::string path =
+        ::testing::TempDir() + "shasta_obs_trace.json";
+    const std::string stats = runTinyApp(path);
+    EXPECT_FALSE(obs::traceJsonEnabled()); // closed again
+    EXPECT_TRUE(JsonChecker(stats).valid());
+
+    const std::string trace = readFile(path);
+    ASSERT_FALSE(trace.empty());
+    EXPECT_TRUE(JsonChecker(trace).valid());
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(trace.find("\"read-miss\""), std::string::npos);
+    EXPECT_NE(trace.find("\"lock-wait\""), std::string::npos);
+    EXPECT_NE(trace.find("\"barrier-wait\""), std::string::npos);
+
+    // Every async span that opens must close, and every network
+    // flow arrow must start exactly once and finish exactly once
+    // (queued messages re-dispatched later must not re-emit).
+    const std::size_t begins =
+        countOccurrences(trace, "\"ph\":\"b\"");
+    const std::size_t ends = countOccurrences(trace, "\"ph\":\"e\"");
+    const std::size_t flowS =
+        countOccurrences(trace, "\"ph\":\"s\"");
+    const std::size_t flowF =
+        countOccurrences(trace, "\"ph\":\"f\"");
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+    EXPECT_GT(flowS, 0u);
+    EXPECT_EQ(flowS, flowF);
+
+    std::remove(path.c_str());
+}
+
+TEST(TraceJson, IdenticalRunsProduceByteIdenticalTraces)
+{
+    const std::string p1 =
+        ::testing::TempDir() + "shasta_obs_det1.json";
+    const std::string p2 =
+        ::testing::TempDir() + "shasta_obs_det2.json";
+    runTinyApp(p1);
+    runTinyApp(p2);
+    const std::string t1 = readFile(p1);
+    const std::string t2 = readFile(p2);
+    ASSERT_FALSE(t1.empty());
+    EXPECT_EQ(t1, t2);
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+}
+
+// --------------------------------------------------------------------
+// Breakdown clamp (satellite fix)
+// --------------------------------------------------------------------
+
+TEST(Breakdown, TaskClampsRoundingOvershootToZero)
+{
+    TimeBreakdown bd;
+    bd.total = 1000;
+    bd.parts.read = 600;
+    bd.parts.sync = 401; // components overshoot total by 1 tick
+    EXPECT_EQ(bd.task(), 0);
+    bd.parts.sync = 300;
+    EXPECT_EQ(bd.task(), 100);
+}
+
+} // namespace
+} // namespace shasta

@@ -104,6 +104,57 @@ TEST(Report, TableRuleInsertsSeparator)
     EXPECT_EQ(rules, 4);
 }
 
+std::string
+captureCsv(report::Table &t)
+{
+    std::FILE *f = std::tmpfile();
+    t.printCsv(f);
+    std::rewind(f);
+    std::string out;
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), f))
+        out += buf;
+    std::fclose(f);
+    return out;
+}
+
+TEST(Report, TableSizesColumnsOverWideRows)
+{
+    // Rows may carry more cells than the header (e.g. appended
+    // annotations); print must size and render every column.
+    report::Table t({"app"});
+    t.addRow({"lu", "extra", "wider-cell"});
+    const std::string out = captureTable(t);
+    EXPECT_NE(out.find("extra"), std::string::npos);
+    EXPECT_NE(out.find("wider-cell"), std::string::npos);
+    // The header row is padded out to the full column count.
+    EXPECT_NE(out.find("| app |"), std::string::npos);
+}
+
+TEST(Report, CsvQuotesSpecialCharacters)
+{
+    report::Table t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    t.addRow({"line\nbreak", "plain"});
+    const std::string out = captureCsv(t);
+    // RFC 4180: fields with commas, quotes, or newlines are quoted,
+    // and embedded quotes are doubled.
+    EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+    EXPECT_NE(out.find("plain"), std::string::npos);
+}
+
+TEST(Report, CsvLeavesPlainFieldsUnquoted)
+{
+    report::Table t({"a", "b"});
+    t.addRow({"x", "1.5"});
+    const std::string out = captureCsv(t);
+    EXPECT_NE(out.find("a,b"), std::string::npos);
+    EXPECT_NE(out.find("x,1.5"), std::string::npos);
+    EXPECT_EQ(out.find('"'), std::string::npos);
+}
+
 TEST(Report, Formatters)
 {
     EXPECT_EQ(report::fmtSeconds(secondsToTicks(1.5)), "1.500s");

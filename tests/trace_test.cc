@@ -90,6 +90,29 @@ TEST_F(TraceTest, EnableListParsesNamesAndAll)
     EXPECT_TRUE(trace::enabled(trace::Flag::Batch));
 }
 
+TEST_F(TraceTest, DirectOutHonorsEnableGate)
+{
+    // Callers bypassing the SHASTA_TRACE_EVENT macro must still get
+    // the category filter.
+    trace::out(trace::Flag::Proto, 100, 1, "should not appear");
+    EXPECT_TRUE(captured().empty());
+    trace::enable(trace::Flag::Proto);
+    trace::out(trace::Flag::Proto, 100, 1, "should appear");
+    EXPECT_NE(captured().find("should appear"), std::string::npos);
+}
+
+TEST_F(TraceTest, EnableListTrimsWhitespaceAndSkipsEmpties)
+{
+    trace::enableList(" proto , downgrade ,, \tnet\n");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Proto));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Downgrade));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Net));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Batch));
+    trace::disableAll();
+    trace::enableList("  ,  ");
+    EXPECT_FALSE(trace::enabled(trace::Flag::Proto));
+}
+
 Task
 missKernel(Context &c, Addr a)
 {
