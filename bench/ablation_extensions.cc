@@ -17,117 +17,133 @@
 
 #include "bench_common.hh"
 
+#include <memory>
+
 using namespace shasta;
 using namespace shasta::bench;
 
 namespace
 {
 
-AppResult
-runCfg(const std::string &app, DsmConfig cfg, const AppParams &p)
-{
-    return run(app, cfg, p);
-}
-
 void
-downgradeAblation(const std::string &app)
+downgradeAblation(SweepRunner &sweep, const std::string &app)
 {
     const AppParams p = withStandardOptions(
         app, defaultParams(*createApp(app)));
-    report::Table t({"variant", "time", "downgrade msgs",
-                     "0 msgs", "1", "2", "3"});
+    auto t = std::make_shared<report::Table>(
+        report::Table({"variant", "time", "downgrade msgs",
+                       "0 msgs", "1", "2", "3"}));
     for (bool broadcast : {false, true}) {
         DsmConfig cfg = DsmConfig::smp(16, 4);
         cfg.broadcastDowngrades = broadcast;
-        const AppResult r = runCfg(app, cfg, p);
-        const double total = static_cast<double>(
-            std::max<std::uint64_t>(
-                r.counters.totalDowngradeOps(), 1));
-        const auto &d = r.counters.downgradeOps;
-        t.addRow({broadcast ? "broadcast (SoftFLASH-style)"
-                            : "selective (private tables)",
-                  report::fmtSeconds(r.wallTime),
-                  report::fmtCount(r.net.downgradeMsgs),
-                  report::fmtPercent(d[0] / total),
-                  report::fmtPercent(d[1] / total),
-                  report::fmtPercent(d[2] / total),
-                  report::fmtPercent(d[3] / total)});
-        std::fflush(stdout);
+        sweep.add(app, cfg, p, [t, broadcast](const AppResult &r) {
+            const double total = static_cast<double>(
+                std::max<std::uint64_t>(
+                    r.counters.totalDowngradeOps(), 1));
+            const auto &d = r.counters.downgradeOps;
+            t->addRow({broadcast ? "broadcast (SoftFLASH-style)"
+                                 : "selective (private tables)",
+                       report::fmtSeconds(r.wallTime),
+                       report::fmtCount(r.net.downgradeMsgs),
+                       report::fmtPercent(d[0] / total),
+                       report::fmtPercent(d[1] / total),
+                       report::fmtPercent(d[2] / total),
+                       report::fmtPercent(d[3] / total)});
+            std::fflush(stdout);
+        });
     }
-    std::printf("\n%s, SMP-Shasta 16 procs clustering 4:\n",
-                app.c_str());
-    t.print();
+    sweep.then([t, app] {
+        std::printf("\n%s, SMP-Shasta 16 procs clustering 4:\n",
+                    app.c_str());
+        t->print();
+    });
 }
 
 void
-flagAblation(const std::string &app)
+flagAblation(SweepRunner &sweep, const std::string &app)
 {
     const AppParams p = withStandardOptions(
         app, defaultParams(*createApp(app)));
-    report::Table t({"variant", "seq (1p checks)", "16p time",
-                     "false misses"});
+    auto t = std::make_shared<report::Table>(
+        report::Table({"variant", "seq (1p checks)", "16p time",
+                       "false misses"}));
     for (bool flag : {true, false}) {
         DsmConfig c1 = DsmConfig::base(1);
         c1.useInvalidFlag = flag;
         DsmConfig c16 = DsmConfig::base(16);
         c16.useInvalidFlag = flag;
-        const AppResult r1 = runCfg(app, c1, p);
-        const AppResult r16 = runCfg(app, c16, p);
-        t.addRow({flag ? "invalid flag (default)"
-                       : "state-table loads only",
-                  report::fmtSeconds(r1.wallTime),
-                  report::fmtSeconds(r16.wallTime),
-                  report::fmtCount(r16.counters.falseMisses)});
-        std::fflush(stdout);
+        auto t1 = std::make_shared<Tick>(0);
+        sweep.add(app, c1, p, [t1](const AppResult &r) {
+            *t1 = r.wallTime;
+        });
+        sweep.add(app, c16, p, [t, t1, flag](const AppResult &r16) {
+            t->addRow({flag ? "invalid flag (default)"
+                            : "state-table loads only",
+                       report::fmtSeconds(*t1),
+                       report::fmtSeconds(r16.wallTime),
+                       report::fmtCount(r16.counters.falseMisses)});
+            std::fflush(stdout);
+        });
     }
-    std::printf("\n%s, Base-Shasta, flag ablation:\n", app.c_str());
-    t.print();
+    sweep.then([t, app] {
+        std::printf("\n%s, Base-Shasta, flag ablation:\n",
+                    app.c_str());
+        t->print();
+    });
 }
 
 void
-sharedDirExtension(const std::string &app)
+sharedDirExtension(SweepRunner &sweep, const std::string &app)
 {
     const AppParams p = withStandardOptions(
         app, defaultParams(*createApp(app)));
-    report::Table t({"variant", "time", "local msgs",
-                     "remote msgs"});
+    auto t = std::make_shared<report::Table>(
+        report::Table({"variant", "time", "local msgs",
+                       "remote msgs"}));
     for (bool share : {false, true}) {
         DsmConfig cfg = DsmConfig::smp(16, 4);
         cfg.shareDirectory = share;
-        const AppResult r = runCfg(app, cfg, p);
-        t.addRow({share ? "shared directory (extension)"
-                        : "message to colocated home (paper)",
-                  report::fmtSeconds(r.wallTime),
-                  report::fmtCount(r.net.localMsgs),
-                  report::fmtCount(r.net.remoteMsgs)});
-        std::fflush(stdout);
+        sweep.add(app, cfg, p, [t, share](const AppResult &r) {
+            t->addRow({share ? "shared directory (extension)"
+                             : "message to colocated home (paper)",
+                       report::fmtSeconds(r.wallTime),
+                       report::fmtCount(r.net.localMsgs),
+                       report::fmtCount(r.net.remoteMsgs)});
+            std::fflush(stdout);
+        });
     }
-    std::printf("\n%s, SMP-Shasta 16 procs clustering 4, "
-                "shared-directory extension:\n",
-                app.c_str());
-    t.print();
+    sweep.then([t, app] {
+        std::printf("\n%s, SMP-Shasta 16 procs clustering 4, "
+                    "shared-directory extension:\n",
+                    app.c_str());
+        t->print();
+    });
 }
 
 void
-lineSizeSweep(const std::string &app)
+lineSizeSweep(SweepRunner &sweep, const std::string &app)
 {
     const AppParams p = withStandardOptions(
         app, defaultParams(*createApp(app)));
-    report::Table t({"line size", "16p time", "misses",
-                     "remote msgs"});
+    auto t = std::make_shared<report::Table>(
+        report::Table({"line size", "16p time", "misses",
+                       "remote msgs"}));
     for (int ls : {32, 64, 128, 256}) {
         DsmConfig cfg = DsmConfig::base(16);
         cfg.lineSize = ls;
-        const AppResult r = runCfg(app, cfg, p);
-        t.addRow({std::to_string(ls) + " B",
-                  report::fmtSeconds(r.wallTime),
-                  report::fmtCount(r.counters.totalMisses()),
-                  report::fmtCount(r.net.remoteMsgs)});
-        std::fflush(stdout);
+        sweep.add(app, cfg, p, [t, ls](const AppResult &r) {
+            t->addRow({std::to_string(ls) + " B",
+                       report::fmtSeconds(r.wallTime),
+                       report::fmtCount(r.counters.totalMisses()),
+                       report::fmtCount(r.net.remoteMsgs)});
+            std::fflush(stdout);
+        });
     }
-    std::printf("\n%s, Base-Shasta, line-size sensitivity:\n",
-                app.c_str());
-    t.print();
+    sweep.then([t, app] {
+        std::printf("\n%s, Base-Shasta, line-size sensitivity:\n",
+                    app.c_str());
+        t->print();
+    });
 }
 
 } // namespace
@@ -140,17 +156,19 @@ main(int argc, char **argv)
            "configurations)",
            "Sections 2.3, 3.1, 3.3 and 5");
 
+    SweepRunner sweep;
     // Water migrates heavily: the selective/broadcast contrast is
     // starkest there; LU shows the flag and line-size effects.
-    downgradeAblation("water-nsq");
-    downgradeAblation("ocean");
+    downgradeAblation(sweep, "water-nsq");
+    downgradeAblation(sweep, "ocean");
     // The flag matters for UNbatched loads: Raytrace's sphere tests
     // and Volrend's opacity lookups are load-by-load.
-    flagAblation("raytrace");
-    flagAblation("volrend");
-    sharedDirExtension("ocean");
-    sharedDirExtension("lu");
-    lineSizeSweep("lu");
-    lineSizeSweep("water-nsq");
+    flagAblation(sweep, "raytrace");
+    flagAblation(sweep, "volrend");
+    sharedDirExtension(sweep, "ocean");
+    sharedDirExtension(sweep, "lu");
+    lineSizeSweep(sweep, "lu");
+    lineSizeSweep(sweep, "water-nsq");
+    sweep.finish();
     return 0;
 }

@@ -26,27 +26,35 @@ main(int argc, char **argv)
                      "slowdown", "hw speedup (4p)"});
     double sum = 0;
     int count = 0;
+    SweepRunner sweep;
     for (const auto &name : appNames()) {
         if (!appSelected(name))
             continue;
         const AppParams p = withStandardOptions(
             name, defaultParams(*createApp(name)));
-        const AppResult seq = runSequential(name, p);
-        const AppResult hw = run(name, DsmConfig::hardware(4), p);
-        const AppResult smp = run(name, DsmConfig::smp(4, 4), p);
-        const double slow =
-            static_cast<double>(smp.wallTime - hw.wallTime) /
-            static_cast<double>(hw.wallTime);
-        sum += slow;
-        ++count;
-        t.addRow({name, report::fmtSeconds(hw.wallTime),
-                  report::fmtSeconds(smp.wallTime),
-                  report::fmtPercent(slow),
-                  report::fmtDouble(
-                      static_cast<double>(seq.wallTime) /
-                      static_cast<double>(hw.wallTime))});
-        std::fflush(stdout);
+        auto seqT = std::make_shared<Tick>(0);
+        auto hwT = std::make_shared<Tick>(0);
+        sweep.add(name, DsmConfig::sequential(), p,
+                  [seqT](const AppResult &r) { *seqT = r.wallTime; });
+        sweep.add(name, DsmConfig::hardware(4), p,
+                  [hwT](const AppResult &r) { *hwT = r.wallTime; });
+        sweep.add(name, DsmConfig::smp(4, 4), p,
+                  [&, name, seqT, hwT](const AppResult &smp) {
+                      const double slow = static_cast<double>(
+                                              smp.wallTime - *hwT) /
+                                          static_cast<double>(*hwT);
+                      sum += slow;
+                      ++count;
+                      t.addRow({name, report::fmtSeconds(*hwT),
+                                report::fmtSeconds(smp.wallTime),
+                                report::fmtPercent(slow),
+                                report::fmtDouble(
+                                    static_cast<double>(*seqT) /
+                                    static_cast<double>(*hwT))});
+                      std::fflush(stdout);
+                  });
     }
+    sweep.finish();
     t.addRule();
     t.addRow({"average", "", "", report::fmtPercent(sum / count),
               ""});

@@ -10,14 +10,22 @@
 #ifndef SHASTA_BENCH_BENCH_COMMON_HH
 #define SHASTA_BENCH_BENCH_COMMON_HH
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "apps/app.hh"
 #include "obs/stats_json.hh"
+#include "obs/trace_json.hh"
+#include "sim/trace.hh"
 #include "stats/report.hh"
 
 namespace shasta::bench
@@ -38,6 +46,9 @@ struct Options
     std::string statsJsonPath;
     /** `--app=NAME`: restrict the app sweep to one application. */
     std::string appFilter;
+    /** `--jobs=N` (or SHASTA_JOBS): worker threads for SweepRunner
+     *  sweeps.  1 = serial (the default). */
+    int jobs = 1;
 };
 
 inline Options &
@@ -45,6 +56,15 @@ options()
 {
     static Options o;
     return o;
+}
+
+/** Guards recordedRuns(): sweep workers run concurrently, and run()
+ *  remains callable from any thread. */
+inline std::mutex &
+recordedRunsMutex()
+{
+    static std::mutex m;
+    return m;
 }
 
 inline std::vector<obs::RunSummary> &
@@ -69,6 +89,7 @@ flushStatsJson()
         return;
     }
     std::fputs("{\"runs\": [\n", f);
+    const std::lock_guard<std::mutex> lock(recordedRunsMutex());
     const auto &runs = recordedRuns();
     for (std::size_t i = 0; i < runs.size(); ++i) {
         std::fputs(obs::toJson(runs[i], 2).c_str(), f);
@@ -87,6 +108,9 @@ parseArgs(int argc, char **argv)
     if (const char *env = std::getenv("SHASTA_STATS_JSON");
         env != nullptr && *env != '\0')
         o.statsJsonPath = env;
+    if (const char *env = std::getenv("SHASTA_JOBS");
+        env != nullptr && *env != '\0')
+        o.jobs = std::atoi(env);
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--stats-json=", 13) == 0) {
@@ -98,14 +122,20 @@ parseArgs(int argc, char **argv)
             o.appFilter = a + 6;
         } else if (std::strcmp(a, "--app") == 0 && i + 1 < argc) {
             o.appFilter = argv[++i];
+        } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+            o.jobs = std::atoi(a + 7);
+        } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+            o.jobs = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--stats-json=FILE] "
-                         "[--app=NAME]\n",
+                         "[--app=NAME] [--jobs=N]\n",
                          argv[0]);
             std::exit(2);
         }
     }
+    if (o.jobs < 1)
+        o.jobs = 1;
     if (!o.statsJsonPath.empty()) {
         // Construct the recording vector before registering the
         // flush handler: exit() unwinds local statics and atexit
@@ -156,6 +186,34 @@ defaultParams(const App &app)
     return p;
 }
 
+/** Record one run's statistics for the exit-time --stats-json flush
+ *  (no-op when --stats-json is inactive). */
+inline void
+recordRun(const std::string &name, const DsmConfig &cfg,
+          const AppResult &r)
+{
+    if (options().statsJsonPath.empty())
+        return;
+    obs::RunSummary s;
+    s.app = name;
+    s.config = configLabel(cfg);
+    switch (cfg.mode) {
+      case Mode::Hardware: s.mode = "hardware"; break;
+      case Mode::Base: s.mode = "base"; break;
+      case Mode::Smp: s.mode = "smp"; break;
+    }
+    s.numProcs = cfg.numProcs;
+    s.clustering = cfg.clustering;
+    s.wallTime = r.wallTime;
+    s.breakdown = r.breakdown;
+    s.counters = r.counters;
+    s.lat = r.lat;
+    s.net = r.net;
+    s.checks = r.checks;
+    const std::lock_guard<std::mutex> lock(recordedRunsMutex());
+    recordedRuns().push_back(std::move(s));
+}
+
 /** Run one configuration of one app.  With --stats-json active the
  *  run's full statistics are recorded for the exit-time flush. */
 inline AppResult
@@ -164,25 +222,7 @@ run(const std::string &name, const DsmConfig &cfg,
 {
     auto app = createApp(name);
     AppResult r = runApp(*app, cfg, p);
-    if (!options().statsJsonPath.empty()) {
-        obs::RunSummary s;
-        s.app = name;
-        s.config = configLabel(cfg);
-        switch (cfg.mode) {
-          case Mode::Hardware: s.mode = "hardware"; break;
-          case Mode::Base: s.mode = "base"; break;
-          case Mode::Smp: s.mode = "smp"; break;
-        }
-        s.numProcs = cfg.numProcs;
-        s.clustering = cfg.clustering;
-        s.wallTime = r.wallTime;
-        s.breakdown = r.breakdown;
-        s.counters = r.counters;
-        s.lat = r.lat;
-        s.net = r.net;
-        s.checks = r.checks;
-        recordedRuns().push_back(std::move(s));
-    }
+    recordRun(name, cfg, r);
     return r;
 }
 
@@ -192,6 +232,215 @@ runSequential(const std::string &name, const AppParams &p)
 {
     return run(name, DsmConfig::sequential(), p);
 }
+
+/**
+ * Runs independent (app x config) simulations on worker threads
+ * while keeping every observable output byte-identical to a serial
+ * sweep.
+ *
+ * Usage: enqueue jobs with add() in the order their results should
+ * appear, then call finish().  Each job's done-callback runs on the
+ * calling thread, strictly in enqueue order, after that job's
+ * simulation completes — so callbacks may print rows, accumulate
+ * normalization baselines from earlier rows, and touch shared state
+ * without locks.  Statistics recording for --stats-json also happens
+ * at commit time, so the runs array keeps enqueue order.
+ *
+ * With jobs=1 (the default) each job executes and commits inside
+ * add(), preserving the incremental output of a serial sweep
+ * exactly.  With jobs=N the simulations themselves run on N workers
+ * (each Runtime is confined to one thread; every process-global sink
+ * it touches is thread-safe or thread-local) and commits stream on
+ * the caller as their turn comes up.  Simulations are deterministic
+ * regardless of which thread runs them, so the committed results --
+ * and therefore stdout, tables, CSV, and --stats-json -- match the
+ * serial run byte for byte.
+ */
+class SweepRunner
+{
+  public:
+    using Done = std::function<void(const AppResult &)>;
+
+    SweepRunner() : jobs_(options().jobs) {}
+    explicit SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+    /** Enqueue one run of @p name under @p cfg.  @p done (optional)
+     *  commits the result: it runs on the finish()-calling thread in
+     *  enqueue order. */
+    void
+    add(std::string name, DsmConfig cfg, AppParams p, Done done = {})
+    {
+        auto result = std::make_shared<AppResult>();
+        std::string label = name + "/" + configLabel(cfg);
+        addWork(
+            [name, cfg, p, result] {
+                auto app = createApp(name);
+                *result = runApp(*app, cfg, p);
+            },
+            [name, cfg, result, done = std::move(done)] {
+                recordRun(name, cfg, *result);
+                if (done)
+                    done(*result);
+            },
+            std::move(label));
+    }
+
+    /**
+     * Enqueue an arbitrary simulation: @p work runs on a worker
+     * thread (it must confine everything it touches to that thread,
+     * like a Runtime), then @p commitFn runs on the finish()-calling
+     * thread in enqueue order.  @p label attributes the worker's
+     * trace output.  Used by benches whose runs are hand-built
+     * kernels rather than registered apps.
+     */
+    void
+    addWork(std::function<void()> work,
+            std::function<void()> commitFn = {},
+            std::string label = {})
+    {
+        if (jobs_ == 1) {
+            // Serial fast path: execute and commit inline, keeping
+            // the incremental output of a serial sweep exactly.
+            if (work) {
+                setLabels(label);
+                work();
+                setLabels({});
+            }
+            if (commitFn)
+                commitFn();
+            return;
+        }
+        Job j;
+        j.work = std::move(work);
+        j.commitFn = std::move(commitFn);
+        j.label = std::move(label);
+        j.ran = !j.work; // commit-only steps never execute
+        pending_.push_back(std::move(j));
+    }
+
+    /** Enqueue a commit-only step: @p f runs on the finish()-calling
+     *  thread after every earlier job has committed and before any
+     *  later one does (no simulation attached).  Sweeps use this to
+     *  flush an assembled table row once its runs are in. */
+    void
+    then(std::function<void()> f)
+    {
+        addWork({}, std::move(f));
+    }
+
+    /** Run every pending job and commit all results in order.  A job
+     *  that threw has its exception rethrown here, at its commit
+     *  slot, after the worker pool is drained. */
+    void
+    finish()
+    {
+        if (pending_.empty())
+            return;
+        const std::size_t n = pending_.size();
+        const std::size_t workers =
+            static_cast<std::size_t>(jobs_) < n
+                ? static_cast<std::size_t>(jobs_)
+                : n;
+        nextJob_ = 0;
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t) {
+            pool.emplace_back([this] { workerLoop(); });
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_.wait(lk, [&] { return pending_[i].ran; });
+            }
+            Job &j = pending_[i];
+            if (j.error) {
+                // Stop handing out work and drain before rethrowing
+                // so no worker outlives the runner.
+                {
+                    const std::lock_guard<std::mutex> lk(mu_);
+                    nextJob_ = n;
+                }
+                for (auto &t : pool)
+                    t.join();
+                const std::exception_ptr e = j.error;
+                pending_.clear();
+                std::rethrow_exception(e);
+            }
+            if (j.commitFn)
+                j.commitFn();
+        }
+        for (auto &t : pool)
+            t.join();
+        pending_.clear();
+    }
+
+    ~SweepRunner()
+    {
+        // Convenience flush for sweeps that never throw; prefer an
+        // explicit finish() so commit-time exceptions propagate
+        // normally.
+        if (!pending_.empty())
+            finish();
+    }
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+  private:
+    struct Job
+    {
+        std::function<void()> work;
+        std::function<void()> commitFn;
+        std::string label;
+        std::exception_ptr error;
+        bool ran = false;
+    };
+
+    /** Attribute the calling thread's trace output (text and JSON)
+     *  to the configuration it is about to run. */
+    static void
+    setLabels(const std::string &label)
+    {
+        trace::setThreadLabel(label);
+        obs::setTraceRunLabel(label);
+    }
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::size_t i;
+            {
+                const std::lock_guard<std::mutex> lk(mu_);
+                while (nextJob_ < pending_.size() &&
+                       !pending_[nextJob_].work)
+                    ++nextJob_; // commit-only steps never execute
+                if (nextJob_ >= pending_.size())
+                    return;
+                i = nextJob_++;
+            }
+            Job &j = pending_[i];
+            setLabels(j.label);
+            try {
+                j.work();
+            } catch (...) {
+                j.error = std::current_exception();
+            }
+            setLabels({});
+            {
+                const std::lock_guard<std::mutex> lk(mu_);
+                j.ran = true;
+            }
+            cv_.notify_all();
+        }
+    }
+
+    int jobs_;
+    std::vector<Job> pending_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t nextJob_ = 0;
+};
 
 /** Announce a bench section. */
 inline void

@@ -37,33 +37,42 @@ main(int argc, char **argv)
     }
     report::Table t(headers);
 
+    SweepRunner sweep;
     for (const auto &name : appNames()) {
         if (!appSelected(name))
             continue;
         const AppParams p = withStandardOptions(
             name, defaultParams(*createApp(name)));
-        const AppResult seq = runSequential(name, p);
-        std::vector<std::string> row{
-            name, report::fmtSeconds(seq.wallTime)};
-
-        for (int np : procs) {
-            const AppResult r = run(name, DsmConfig::base(np), p);
-            row.push_back(report::fmtDouble(
-                static_cast<double>(seq.wallTime) /
+        // Shared per-app row state: only touched by the ordered
+        // commit callbacks, so the sequential baseline is always in
+        // place before any speedup row uses it.
+        auto row = std::make_shared<std::vector<std::string>>();
+        auto seqTime = std::make_shared<Tick>(0);
+        sweep.add(name, DsmConfig::sequential(), p,
+                  [name, row, seqTime](const AppResult &seq) {
+                      *seqTime = seq.wallTime;
+                      *row = {name,
+                              report::fmtSeconds(seq.wallTime)};
+                  });
+        auto speedupRow = [row, seqTime](const AppResult &r) {
+            row->push_back(report::fmtDouble(
+                static_cast<double>(*seqTime) /
                 static_cast<double>(r.wallTime)));
-        }
+        };
+        for (int np : procs)
+            sweep.add(name, DsmConfig::base(np), p, speedupRow);
         for (int np : procs) {
             if (np == 1)
                 continue;
             const int c = np >= 4 ? 4 : 2;
-            const AppResult r = run(name, DsmConfig::smp(np, c), p);
-            row.push_back(report::fmtDouble(
-                static_cast<double>(seq.wallTime) /
-                static_cast<double>(r.wallTime)));
+            sweep.add(name, DsmConfig::smp(np, c), p, speedupRow);
         }
-        t.addRow(row);
-        std::fflush(stdout);
+        sweep.then([&t, row] {
+            t.addRow(*row);
+            std::fflush(stdout);
+        });
     }
+    sweep.finish();
     t.print();
 
     std::printf("\npaper: at 16 processors SMP-Shasta (clustering "

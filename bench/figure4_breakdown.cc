@@ -14,7 +14,7 @@ namespace
 {
 
 void
-breakdownFor(const std::string &name, int np)
+breakdownFor(SweepRunner &sweep, const std::string &name, int np)
 {
     const AppParams p = withStandardOptions(
         name, defaultParams(*createApp(name)));
@@ -31,16 +31,24 @@ breakdownFor(const std::string &name, int np)
         {"C4", DsmConfig::smp(np, 4)},
     };
 
-    std::printf("\n%s, %d processors (bars normalized to B):\n",
-                name.c_str(), np);
-    Tick norm = 0;
+    sweep.then([name, np] {
+        std::printf("\n%s, %d processors (bars normalized to B):\n",
+                    name.c_str(), np);
+    });
+    // The Base run's total is the normalization for the whole group;
+    // commits run in enqueue order, so it is set before any bar
+    // that needs it prints.
+    auto norm = std::make_shared<Tick>(0);
     for (const auto &c : cfgs) {
-        const AppResult r = run(name, c.cfg, p);
-        const TimeBreakdown bd = r.breakdown;
-        if (norm == 0)
-            norm = bd.total;
-        report::printBreakdownBar(c.label, bd, norm);
-        std::fflush(stdout);
+        const char *label = c.label;
+        sweep.add(name, c.cfg, p,
+                  [label, norm](const AppResult &r) {
+                      const TimeBreakdown bd = r.breakdown;
+                      if (*norm == 0)
+                          *norm = bd.total;
+                      report::printBreakdownBar(label, bd, *norm);
+                      std::fflush(stdout);
+                  });
     }
 }
 
@@ -54,14 +62,18 @@ main(int argc, char **argv)
            "Figure 4");
     report::printBarLegend();
 
+    SweepRunner sweep;
     for (int np : {8, 16}) {
-        std::printf("\n----- %d-processor runs -----\n", np);
+        sweep.then([np] {
+            std::printf("\n----- %d-processor runs -----\n", np);
+        });
         for (const auto &name : appNames()) {
             if (!appSelected(name))
                 continue;
-            breakdownFor(name, np);
+            breakdownFor(sweep, name, np);
         }
     }
+    sweep.finish();
 
     std::printf("\npaper: C1 is always worse than B (extra check "
                 "and locking overheads); read/write stalls shrink "

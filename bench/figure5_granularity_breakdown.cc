@@ -18,8 +18,11 @@ main(int argc, char **argv)
            "Figure 5");
     report::printBarLegend();
 
+    SweepRunner sweep;
     for (int np : {8, 16}) {
-        std::printf("\n----- %d-processor runs -----\n", np);
+        sweep.then([np] {
+            std::printf("\n----- %d-processor runs -----\n", np);
+        });
         for (const auto &name : table2Apps()) {
             if (!appSelected(name))
                 continue;
@@ -27,23 +30,29 @@ main(int argc, char **argv)
                 name, defaultParams(*createApp(name)));
             p.variableGranularity = true;
 
-            std::printf("\n%s, %d procs, specified granularity "
-                        "(bars normalized to B):\n",
-                        name.c_str(), np);
-            Tick norm = 0;
+            sweep.then([name, np] {
+                std::printf("\n%s, %d procs, specified granularity "
+                            "(bars normalized to B):\n",
+                            name.c_str(), np);
+            });
+            auto norm = std::make_shared<Tick>(0);
             const std::vector<std::pair<const char *, DsmConfig>>
                 cfgs{{"B", DsmConfig::base(np)},
                      {"C2", DsmConfig::smp(np, 2)},
                      {"C4", DsmConfig::smp(np, 4)}};
             for (const auto &[label, cfg] : cfgs) {
-                const AppResult r = run(name, cfg, p);
-                if (norm == 0)
-                    norm = r.breakdown.total;
-                report::printBreakdownBar(label, r.breakdown, norm);
-                std::fflush(stdout);
+                sweep.add(name, cfg, p,
+                          [label, norm](const AppResult &r) {
+                              if (*norm == 0)
+                                  *norm = r.breakdown.total;
+                              report::printBreakdownBar(
+                                  label, r.breakdown, *norm);
+                              std::fflush(stdout);
+                          });
             }
         }
     }
+    sweep.finish();
 
     std::printf("\npaper: granularity tuning shrinks SMP-Shasta's "
                 "edge for Barnes and LU-Contig, but FMM, LU, "

@@ -44,30 +44,42 @@ main(int argc, char **argv)
     std::printf("  legend: r/R read 2/3-hop, w/W write 2/3-hop, "
                 "u/U upgrade 2/3-hop\n");
 
+    SweepRunner sweep;
     for (int np : {8, 16}) {
-        std::printf("\n----- %d-processor runs (bars normalized to "
-                    "Base total) -----\n",
-                    np);
+        sweep.then([np] {
+            std::printf("\n----- %d-processor runs (bars "
+                        "normalized to Base total) -----\n",
+                        np);
+        });
         for (const auto &name : appNames()) {
             if (!appSelected(name))
                 continue;
             const AppParams p = withStandardOptions(
                 name, defaultParams(*createApp(name)));
-            std::printf("\n%s:\n", name.c_str());
-            const AppResult b = run(name, DsmConfig::base(np), p);
-            const double norm =
-                static_cast<double>(b.counters.totalMisses());
-            report::printSegmentBar("Base", segments(b.counters),
-                                    norm);
+            sweep.then([name] {
+                std::printf("\n%s:\n", name.c_str());
+            });
+            auto norm = std::make_shared<double>(0.0);
+            sweep.add(name, DsmConfig::base(np), p,
+                      [norm](const AppResult &b) {
+                          *norm = static_cast<double>(
+                              b.counters.totalMisses());
+                          report::printSegmentBar(
+                              "Base", segments(b.counters), *norm);
+                      });
             for (int c : {2, 4}) {
-                const AppResult s =
-                    run(name, DsmConfig::smp(np, c), p);
-                report::printSegmentBar("SMP C" + std::to_string(c),
-                                        segments(s.counters), norm);
-                std::fflush(stdout);
+                sweep.add(
+                    name, DsmConfig::smp(np, c), p,
+                    [c, norm](const AppResult &s) {
+                        report::printSegmentBar(
+                            "SMP C" + std::to_string(c),
+                            segments(s.counters), *norm);
+                        std::fflush(stdout);
+                    });
             }
         }
     }
+    sweep.finish();
 
     std::printf("\npaper: total misses drop dramatically with "
                 "clustering (most at C4); 3-hop requests always "

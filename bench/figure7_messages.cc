@@ -19,35 +19,48 @@ main(int argc, char **argv)
            "Figure 7");
     std::printf("  legend: x = remote, l = local, d = downgrade\n");
 
+    auto segs = [](const NetworkCounts &n) {
+        return std::vector<std::pair<double, char>>{
+            {static_cast<double>(n.remoteMsgs), 'x'},
+            {static_cast<double>(n.localMsgs), 'l'},
+            {static_cast<double>(n.downgradeMsgs), 'd'},
+        };
+    };
+    SweepRunner sweep;
     for (int np : {8, 16}) {
-        std::printf("\n----- %d-processor runs (bars normalized to "
-                    "Base total) -----\n",
-                    np);
+        sweep.then([np] {
+            std::printf("\n----- %d-processor runs (bars "
+                        "normalized to Base total) -----\n",
+                        np);
+        });
         for (const auto &name : appNames()) {
             if (!appSelected(name))
                 continue;
             const AppParams p = withStandardOptions(
                 name, defaultParams(*createApp(name)));
-            std::printf("\n%s:\n", name.c_str());
-            const AppResult b = run(name, DsmConfig::base(np), p);
-            const double norm = static_cast<double>(b.net.total());
-            auto segs = [](const NetworkCounts &n) {
-                return std::vector<std::pair<double, char>>{
-                    {static_cast<double>(n.remoteMsgs), 'x'},
-                    {static_cast<double>(n.localMsgs), 'l'},
-                    {static_cast<double>(n.downgradeMsgs), 'd'},
-                };
-            };
-            report::printSegmentBar("Base", segs(b.net), norm);
+            sweep.then([name] {
+                std::printf("\n%s:\n", name.c_str());
+            });
+            auto norm = std::make_shared<double>(0.0);
+            sweep.add(name, DsmConfig::base(np), p,
+                      [segs, norm](const AppResult &b) {
+                          *norm = static_cast<double>(
+                              b.net.total());
+                          report::printSegmentBar(
+                              "Base", segs(b.net), *norm);
+                      });
             for (int c : {2, 4}) {
-                const AppResult s =
-                    run(name, DsmConfig::smp(np, c), p);
-                report::printSegmentBar("SMP C" + std::to_string(c),
-                                        segs(s.net), norm);
-                std::fflush(stdout);
+                sweep.add(name, DsmConfig::smp(np, c), p,
+                          [segs, c, norm](const AppResult &s) {
+                              report::printSegmentBar(
+                                  "SMP C" + std::to_string(c),
+                                  segs(s.net), *norm);
+                              std::fflush(stdout);
+                          });
             }
         }
     }
+    sweep.finish();
 
     std::printf("\npaper: 40-60%% of Base-Shasta's messages at 8 "
                 "procs (20-40%% at 16) are local; with clustering "

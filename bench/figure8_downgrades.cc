@@ -21,36 +21,41 @@ main(int argc, char **argv)
 
     report::Table t({"app", "procs", "0 msgs", "1 msg", "2 msgs",
                      "3 msgs", "avg", "downgrades"});
+    SweepRunner sweep;
     for (const auto &name : appNames()) {
         if (!appSelected(name))
             continue;
         for (int np : {8, 16}) {
             const AppParams p = withStandardOptions(
                 name, defaultParams(*createApp(name)));
-            const AppResult r = run(name, DsmConfig::smp(np, 4), p);
-            const auto &d = r.counters.downgradeOps;
-            const double total = static_cast<double>(
-                r.counters.totalDowngradeOps());
-            if (total == 0) {
-                t.addRow({name, std::to_string(np), "-", "-", "-",
-                          "-", "-", "0"});
-                continue;
-            }
-            const double avg =
-                (0.0 * d[0] + 1.0 * d[1] + 2.0 * d[2] +
-                 3.0 * d[3]) /
-                total;
-            t.addRow({name, std::to_string(np),
-                      report::fmtPercent(d[0] / total),
-                      report::fmtPercent(d[1] / total),
-                      report::fmtPercent(d[2] / total),
-                      report::fmtPercent(d[3] / total),
-                      report::fmtDouble(avg),
-                      report::fmtCount(
-                          r.counters.totalDowngradeOps())});
-            std::fflush(stdout);
+            sweep.add(
+                name, DsmConfig::smp(np, 4), p,
+                [&t, name, np](const AppResult &r) {
+                    const auto &d = r.counters.downgradeOps;
+                    const double total = static_cast<double>(
+                        r.counters.totalDowngradeOps());
+                    if (total == 0) {
+                        t.addRow({name, std::to_string(np), "-",
+                                  "-", "-", "-", "-", "0"});
+                        return;
+                    }
+                    const double avg =
+                        (0.0 * d[0] + 1.0 * d[1] + 2.0 * d[2] +
+                         3.0 * d[3]) /
+                        total;
+                    t.addRow({name, std::to_string(np),
+                              report::fmtPercent(d[0] / total),
+                              report::fmtPercent(d[1] / total),
+                              report::fmtPercent(d[2] / total),
+                              report::fmtPercent(d[3] / total),
+                              report::fmtDouble(avg),
+                              report::fmtCount(
+                                  r.counters.totalDowngradeOps())});
+                    std::fflush(stdout);
+                });
         }
     }
+    sweep.finish();
     t.print();
 
     std::printf("\npaper: the large majority of downgrades need 0 "

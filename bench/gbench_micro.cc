@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "bench_common.hh"
 #include "check/check_model.hh"
 #include "dsm/runtime.hh"
 #include "mem/node_memory.hh"
@@ -38,6 +41,31 @@ BM_EventQueueScheduleStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueueScheduleStep);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    // Timing-wheel stress at a given horizon: schedule/fire cycles
+    // whose delays land on level 0 (short), a higher level that must
+    // cascade (long), or a same-tick FIFO burst (0).  Steady state is
+    // allocation-free: nodes recycle through the slab.
+    const Tick horizon = static_cast<Tick>(state.range(0));
+    EventQueue q;
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            q.scheduleAfter(horizon + static_cast<Tick>(i % 5),
+                            [&] { ++sink; });
+        q.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueChurn)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(70'000)
+    ->Arg(20'000'000);
 
 void
 BM_RngNextDouble(benchmark::State &state)
@@ -203,6 +231,39 @@ BM_ProtocolPingPong(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 50);
 }
 BENCHMARK(BM_ProtocolPingPong);
+
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    // Harness overhead and scaling of the parallel sweep runner: 16
+    // independent jobs, each a small event-queue workload, committed
+    // in order.  Arg = worker count (on a multi-core host, wall time
+    // should shrink roughly linearly until jobs run out).
+    const int jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        bench::SweepRunner sweep(jobs);
+        std::int64_t total = 0;
+        for (int j = 0; j < 16; ++j) {
+            auto sink = std::make_shared<std::int64_t>(0);
+            sweep.addWork(
+                [sink] {
+                    EventQueue q;
+                    for (int r = 0; r < 20; ++r) {
+                        for (int i = 0; i < 64; ++i)
+                            q.scheduleAfter(
+                                100 + static_cast<Tick>(i % 5),
+                                [&] { ++*sink; });
+                        q.run();
+                    }
+                },
+                [sink, &total] { total += *sink; });
+        }
+        sweep.finish();
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 } // namespace shasta

@@ -96,40 +96,61 @@ main(int argc, char **argv)
 
     report::Table t({"measurement", "measured", "paper"});
 
-    const Tick remote = fetchLatency(DsmConfig::base(8), 4);
-    t.addRow({"Base 64B fetch, remote 2-hop",
-              report::fmtDouble(ticksToUs(remote), 1) + " us",
-              "~20 us"});
+    SweepRunner sweep;
+    struct FetchRow
+    {
+        const char *label;
+        DsmConfig cfg;
+        ProcId reader;
+        const char *paper;
+    };
+    const std::vector<FetchRow> fetches{
+        {"Base 64B fetch, remote 2-hop", DsmConfig::base(8), 4,
+         "~20 us"},
+        {"Base 64B fetch, same SMP", DsmConfig::base(2), 1,
+         "~11 us"},
+        {"SMP 64B fetch, remote 2-hop", DsmConfig::smp(8, 4), 4,
+         "a few us above Base"},
+    };
+    for (const auto &f : fetches) {
+        auto lat = std::make_shared<Tick>(0);
+        sweep.addWork(
+            [f, lat] { *lat = fetchLatency(f.cfg, f.reader); },
+            [&t, f, lat] {
+                t.addRow({f.label,
+                          report::fmtDouble(ticksToUs(*lat), 1) +
+                              " us",
+                          f.paper});
+            },
+            f.label);
+    }
 
-    const Tick local = fetchLatency(DsmConfig::base(2), 1);
-    t.addRow({"Base 64B fetch, same SMP",
-              report::fmtDouble(ticksToUs(local), 1) + " us",
-              "~11 us"});
-
-    const Tick smp_remote = fetchLatency(DsmConfig::smp(8, 4), 4);
-    t.addRow({"SMP 64B fetch, remote 2-hop",
-              report::fmtDouble(ticksToUs(smp_remote), 1) + " us",
-              "a few us above Base"});
-
-    Tick base_dg = 0;
+    auto base_dg = std::make_shared<Tick>(0);
     for (int k = 0; k <= 3; ++k) {
         // k touchers on the owning node produce k-1 downgrade
         // messages (k=0: served by the home node path).
-        const Tick lat = downgradeLatency(k + 1);
+        auto lat = std::make_shared<Tick>(0);
         std::string label = "read with " + std::to_string(k) +
                             " downgrade msg(s)";
         std::string paper =
             k == 0 ? "baseline"
                    : (k == 1 ? "+~10 us vs 0" : "+~5 us per extra");
-        if (k == 0)
-            base_dg = lat;
-        t.addRow({label,
-                  report::fmtDouble(ticksToUs(lat), 1) + " us (+" +
-                      report::fmtDouble(ticksToUs(lat - base_dg),
-                                        1) +
-                      ")",
-                  paper});
+        sweep.addWork(
+            [k, lat] { *lat = downgradeLatency(k + 1); },
+            [&t, k, lat, base_dg, label, paper] {
+                if (k == 0)
+                    *base_dg = *lat;
+                t.addRow({label,
+                          report::fmtDouble(ticksToUs(*lat), 1) +
+                              " us (+" +
+                              report::fmtDouble(
+                                  ticksToUs(*lat - *base_dg), 1) +
+                              ")",
+                          paper});
+            },
+            label);
     }
+    sweep.finish();
     t.print();
     return 0;
 }

@@ -26,31 +26,45 @@ main(int argc, char **argv)
                      "Base ovh", "SMP checks", "SMP ovh"});
     double sum_base = 0, sum_smp = 0;
     int count = 0;
+    SweepRunner sweep;
     for (const auto &name : appNames()) {
         if (!appSelected(name))
             continue;
         const AppParams p = defaultParams(*createApp(name));
-        const AppResult seq = runSequential(name, p);
-        const AppResult base = run(name, DsmConfig::base(1), p);
-        const AppResult smp = run(name, DsmConfig::smp(1, 1), p);
+        // Commit order guarantees seq, then base, then smp: the
+        // shared snapshots are filled before the row is assembled.
+        auto seqT = std::make_shared<Tick>(0);
+        auto baseT = std::make_shared<Tick>(0);
+        sweep.add(name, DsmConfig::sequential(), p,
+                  [seqT](const AppResult &seq) {
+                      *seqT = seq.wallTime;
+                  });
+        sweep.add(name, DsmConfig::base(1), p,
+                  [baseT](const AppResult &base) {
+                      *baseT = base.wallTime;
+                  });
+        sweep.add(
+            name, DsmConfig::smp(1, 1), p,
+            [&, name, p, seqT, baseT](const AppResult &smp) {
+                const double base_ovh =
+                    static_cast<double>(*baseT - *seqT) /
+                    static_cast<double>(*seqT);
+                const double smp_ovh =
+                    static_cast<double>(smp.wallTime - *seqT) /
+                    static_cast<double>(*seqT);
+                sum_base += base_ovh;
+                sum_smp += smp_ovh;
+                ++count;
 
-        const double base_ovh =
-            static_cast<double>(base.wallTime - seq.wallTime) /
-            static_cast<double>(seq.wallTime);
-        const double smp_ovh =
-            static_cast<double>(smp.wallTime - seq.wallTime) /
-            static_cast<double>(seq.wallTime);
-        sum_base += base_ovh;
-        sum_smp += smp_ovh;
-        ++count;
-
-        t.addRow({name, "n=" + std::to_string(p.n),
-                  report::fmtSeconds(seq.wallTime),
-                  report::fmtSeconds(base.wallTime),
-                  report::fmtPercent(base_ovh),
-                  report::fmtSeconds(smp.wallTime),
-                  report::fmtPercent(smp_ovh)});
+                t.addRow({name, "n=" + std::to_string(p.n),
+                          report::fmtSeconds(*seqT),
+                          report::fmtSeconds(*baseT),
+                          report::fmtPercent(base_ovh),
+                          report::fmtSeconds(smp.wallTime),
+                          report::fmtPercent(smp_ovh)});
+            });
     }
+    sweep.finish();
     t.addRule();
     t.addRow({"average", "", "", "",
               report::fmtPercent(sum_base / count), "",

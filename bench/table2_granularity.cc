@@ -23,30 +23,42 @@ main(int argc, char **argv)
                      "speedup specified", "misses 64B",
                      "misses specified"});
 
+    SweepRunner sweep;
     for (const auto &name : table2Apps()) {
         if (!appSelected(name))
             continue;
         auto app = createApp(name);
         AppParams p = withStandardOptions(name, defaultParams(*app));
-        const AppResult seq = runSequential(name, p);
-
-        const AppResult def = run(name, DsmConfig::base(16), p);
         AppParams pv = p;
         pv.variableGranularity = true;
-        const AppResult var = run(name, DsmConfig::base(16), pv);
+        const int hint = app->granularityHint();
 
-        t.addRow({name,
-                  std::to_string(app->granularityHint()) + " B",
-                  report::fmtDouble(
-                      static_cast<double>(seq.wallTime) /
-                      static_cast<double>(def.wallTime)),
-                  report::fmtDouble(
-                      static_cast<double>(seq.wallTime) /
-                      static_cast<double>(var.wallTime)),
-                  report::fmtCount(def.counters.totalMisses()),
-                  report::fmtCount(var.counters.totalMisses())});
-        std::fflush(stdout);
+        auto seqT = std::make_shared<Tick>(0);
+        auto def = std::make_shared<AppResult>();
+        sweep.add(name, DsmConfig::sequential(), p,
+                  [seqT](const AppResult &seq) {
+                      *seqT = seq.wallTime;
+                  });
+        sweep.add(name, DsmConfig::base(16), p,
+                  [def](const AppResult &r) { *def = r; });
+        sweep.add(
+            name, DsmConfig::base(16), pv,
+            [&t, name, hint, seqT, def](const AppResult &var) {
+                t.addRow(
+                    {name, std::to_string(hint) + " B",
+                     report::fmtDouble(
+                         static_cast<double>(*seqT) /
+                         static_cast<double>(def->wallTime)),
+                     report::fmtDouble(
+                         static_cast<double>(*seqT) /
+                         static_cast<double>(var.wallTime)),
+                     report::fmtCount(def->counters.totalMisses()),
+                     report::fmtCount(
+                         var.counters.totalMisses())});
+                std::fflush(stdout);
+            });
     }
+    sweep.finish();
     t.print();
 
     std::printf("\npaper (16 procs, Base-Shasta): barnes 4.3->5.2, "

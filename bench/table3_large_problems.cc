@@ -19,6 +19,7 @@ main(int argc, char **argv)
     report::Table t({"app", "problem", "sequential", "Base ovh",
                      "SMP ovh", "Base speedup", "SMP speedup"});
 
+    SweepRunner sweep;
     for (const auto &name : table3Apps()) {
         if (!appSelected(name))
             continue;
@@ -28,28 +29,47 @@ main(int argc, char **argv)
             p = defaultParams(*app);
         p = withStandardOptions(name, p);
 
-        const AppResult seq = runSequential(name, p);
-        const AppResult base1 = run(name, DsmConfig::base(1), p);
-        const AppResult smp1 = run(name, DsmConfig::smp(1, 1), p);
-        const AppResult base16 = run(name, DsmConfig::base(16), p);
-        const AppResult smp16 = run(name, DsmConfig::smp(16, 4), p);
-
-        t.addRow(
-            {name, "n=" + std::to_string(p.n),
-             report::fmtSeconds(seq.wallTime),
-             report::fmtPercent(
-                 static_cast<double>(base1.wallTime -
-                                     seq.wallTime) /
-                 static_cast<double>(seq.wallTime)),
-             report::fmtPercent(
-                 static_cast<double>(smp1.wallTime - seq.wallTime) /
-                 static_cast<double>(seq.wallTime)),
-             report::fmtDouble(static_cast<double>(seq.wallTime) /
-                               static_cast<double>(base16.wallTime)),
-             report::fmtDouble(static_cast<double>(seq.wallTime) /
-                               static_cast<double>(smp16.wallTime))});
-        std::fflush(stdout);
+        auto seqT = std::make_shared<Tick>(0);
+        auto base1T = std::make_shared<Tick>(0);
+        auto smp1T = std::make_shared<Tick>(0);
+        auto base16T = std::make_shared<Tick>(0);
+        sweep.add(name, DsmConfig::sequential(), p,
+                  [seqT](const AppResult &r) { *seqT = r.wallTime; });
+        sweep.add(name, DsmConfig::base(1), p,
+                  [base1T](const AppResult &r) {
+                      *base1T = r.wallTime;
+                  });
+        sweep.add(name, DsmConfig::smp(1, 1), p,
+                  [smp1T](const AppResult &r) {
+                      *smp1T = r.wallTime;
+                  });
+        sweep.add(name, DsmConfig::base(16), p,
+                  [base16T](const AppResult &r) {
+                      *base16T = r.wallTime;
+                  });
+        sweep.add(
+            name, DsmConfig::smp(16, 4), p,
+            [&t, name, p, seqT, base1T, smp1T,
+             base16T](const AppResult &smp16) {
+                t.addRow(
+                    {name, "n=" + std::to_string(p.n),
+                     report::fmtSeconds(*seqT),
+                     report::fmtPercent(
+                         static_cast<double>(*base1T - *seqT) /
+                         static_cast<double>(*seqT)),
+                     report::fmtPercent(
+                         static_cast<double>(*smp1T - *seqT) /
+                         static_cast<double>(*seqT)),
+                     report::fmtDouble(
+                         static_cast<double>(*seqT) /
+                         static_cast<double>(*base16T)),
+                     report::fmtDouble(
+                         static_cast<double>(*seqT) /
+                         static_cast<double>(smp16.wallTime))});
+                std::fflush(stdout);
+            });
     }
+    sweep.finish();
     t.print();
 
     std::printf("\npaper (scaled inputs): speedups improve for "

@@ -21,6 +21,8 @@ Runtime::Runtime(const DsmConfig &cfg)
 {
     cfg_.validate();
     obs::initTraceJsonFromEnv();
+    if (obs::traceJsonEnabled())
+        obs::registerTraceRun(nullptr);
     procs_.resize(static_cast<std::size_t>(cfg_.numProcs));
     for (int i = 0; i < cfg_.numProcs; ++i) {
         Proc &p = procs_[static_cast<std::size_t>(i)];

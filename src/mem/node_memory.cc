@@ -12,15 +12,24 @@ constexpr std::uint64_t kNumPages =
     (kSharedLimit - kSharedBase) / kPageSize;
 } // namespace
 
-NodeMemory::NodeMemory()
-{
-    pages_.resize(kNumPages);
-}
+NodeMemory::NodeMemory() = default;
 
 std::uint8_t *
 NodeMemory::pagePtr(std::uint64_t page) const
 {
     assert(page < kNumPages);
+    // The page-pointer table itself grows lazily: sizing it for the
+    // full address space up front costs a 256 KB zero-fill per node
+    // at construction and a 256 KB walk at destruction, which
+    // dominates short runs (many Runtimes per process).  Grow
+    // geometrically so repeated ascending touches stay amortized.
+    if (page >= pages_.size()) {
+        std::size_t cap = pages_.capacity() ? pages_.capacity() : 64;
+        while (cap < page + 1)
+            cap *= 2;
+        pages_.reserve(std::min<std::size_t>(cap, kNumPages));
+        pages_.resize(static_cast<std::size_t>(page) + 1);
+    }
     auto &slot = pages_[page];
     if (!slot) {
         slot = std::make_unique<std::uint8_t[]>(kPageSize);

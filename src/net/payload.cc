@@ -9,9 +9,12 @@ namespace
 
 /**
  * Free lists of power-of-two chunks, 128 bytes .. 1 MB.  Class i
- * holds chunks of 128 << i bytes.  Process-wide: the simulator is
- * single-threaded and payloads outlive any one Network instance
- * (messages sit in event-queue closures and mailboxes).
+ * holds chunks of 128 << i bytes.  Thread-local: a Runtime and all
+ * its payloads live on one thread (messages sit in event-queue
+ * closures and mailboxes, never crossing Runtimes), and the sweep
+ * runner drives independent Runtimes on separate worker threads, so
+ * per-thread pools need no locking.  Chunks still cached when a
+ * worker thread exits are returned to the heap by the destructor.
  */
 constexpr std::uint32_t kMinChunk = 128;
 constexpr int kNumClasses = 14; // 128 << 13 = 1 MB
@@ -23,12 +26,24 @@ struct ChunkPool
     std::uint64_t heapAllocs = 0;
     std::uint64_t poolReuses = 0;
     std::uint64_t chunksFree = 0;
+
+    ~ChunkPool()
+    {
+        for (auto *&head : freeHead) {
+            while (head) {
+                std::uint8_t *next;
+                std::memcpy(&next, head, sizeof(std::uint8_t *));
+                delete[] head;
+                head = next;
+            }
+        }
+    }
 };
 
 ChunkPool &
 pool()
 {
-    static ChunkPool p;
+    thread_local ChunkPool p;
     return p;
 }
 

@@ -1,29 +1,44 @@
 #include "obs/trace_json.hh"
 
-#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_set>
 
 namespace shasta::obs
 {
 
 namespace detail
 {
-bool traceJsonOn = false;
+std::atomic<bool> traceJsonOn{false};
 } // namespace detail
 
 namespace
 {
 
+/** Guards the stream state (out, firstEvent, procSeen, pidCounter):
+ *  the sweep runner drives several Runtimes concurrently into one
+ *  trace file, so every emission serializes here.  Hot paths never
+ *  reach this when the exporter is off — traceJsonEnabled() is a
+ *  single relaxed load. */
+std::mutex mu;
+
 FILE *out = nullptr;
 bool firstEvent = true;
-bool envApplied = false;
+std::once_flag envOnce;
 bool atexitInstalled = false;
-std::uint32_t flowCounter = 0;
+std::atomic<std::uint32_t> flowCounter{0};
 
-/** Tracks which processors have had their track metadata emitted. */
-constexpr std::size_t kMaxProcs = 1024;
-std::array<bool, kMaxProcs> procSeen{};
+/** Trace-event "pid" per registered run: each Runtime registers
+ *  itself (registerTraceRun) and gets its own process group in the
+ *  viewer, so concurrent configurations stay attributable. */
+std::uint32_t pidCounter = 0;
+thread_local std::uint32_t currentPid = 0;
+thread_local std::string pendingLabel;
+
+/** (pid << 32 | proc) pairs whose track metadata has been emitted. */
+std::unordered_set<std::uint64_t> procSeen;
 
 void
 sep()
@@ -38,26 +53,42 @@ us(Tick t)
     return ticksToUs(t);
 }
 
-/** Lazily name each processor's track the first time it appears. */
+/** Lazily name each processor's track the first time it appears.
+ *  Caller holds mu. */
 void
 noteProc(int proc)
 {
-    if (proc < 0 || static_cast<std::size_t>(proc) >= kMaxProcs ||
-        procSeen[static_cast<std::size_t>(proc)])
+    if (proc < 0)
         return;
-    procSeen[static_cast<std::size_t>(proc)] = true;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(currentPid) << 32) |
+        static_cast<std::uint32_t>(proc);
+    if (!procSeen.insert(key).second)
+        return;
     sep();
     std::fprintf(out,
-                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                 "{\"ph\":\"M\",\"pid\":%u,\"tid\":%d,"
                  "\"name\":\"thread_name\","
                  "\"args\":{\"name\":\"P%d\"}}",
-                 proc, proc);
+                 currentPid, proc, proc);
     sep();
     std::fprintf(out,
-                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                 "{\"ph\":\"M\",\"pid\":%u,\"tid\":%d,"
                  "\"name\":\"thread_sort_index\","
                  "\"args\":{\"sort_index\":%d}}",
-                 proc, proc);
+                 currentPid, proc, proc);
+}
+
+/** Close the stream.  Caller holds mu. */
+void
+closeLocked()
+{
+    if (out == nullptr)
+        return;
+    std::fputs("\n]}\n", out);
+    std::fclose(out);
+    out = nullptr;
+    detail::traceJsonOn.store(false, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -65,151 +96,186 @@ noteProc(int proc)
 std::uint32_t
 nextFlowId()
 {
-    return ++flowCounter;
+    return flowCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void
+setTraceRunLabel(std::string_view label)
+{
+    pendingLabel = label;
+}
+
+std::uint32_t
+registerTraceRun(const char *label)
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    if (out == nullptr)
+        return 0;
+    const std::uint32_t pid = pidCounter++;
+    currentPid = pid;
+    const char *name = (label != nullptr && *label != '\0')
+                           ? label
+                           : (pendingLabel.empty()
+                                  ? "shasta-sim"
+                                  : pendingLabel.c_str());
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                 "\"args\":{\"name\":\"%s\"}}",
+                 pid, name);
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%u,"
+                 "\"name\":\"process_sort_index\","
+                 "\"args\":{\"sort_index\":%u}}",
+                 pid, pid);
+    return pid;
 }
 
 void
 initTraceJsonFromEnv()
 {
-    if (envApplied)
-        return;
-    envApplied = true;
-    const char *path = std::getenv("SHASTA_TRACE_JSON");
-    if (path == nullptr || *path == '\0')
-        return;
-    if (openTraceJson(path) && !atexitInstalled) {
-        atexitInstalled = true;
-        std::atexit(closeTraceJson);
-    }
+    std::call_once(envOnce, [] {
+        const char *path = std::getenv("SHASTA_TRACE_JSON");
+        if (path == nullptr || *path == '\0')
+            return;
+        if (openTraceJson(path) && !atexitInstalled) {
+            atexitInstalled = true;
+            std::atexit(closeTraceJson);
+        }
+    });
 }
 
 bool
 openTraceJson(const char *path)
 {
-    closeTraceJson();
+    const std::lock_guard<std::mutex> lock(mu);
+    closeLocked();
     out = std::fopen(path, "w");
     if (out == nullptr)
         return false;
     firstEvent = true;
-    flowCounter = 0;
-    procSeen.fill(false);
+    flowCounter.store(0, std::memory_order_relaxed);
+    pidCounter = 0;
+    currentPid = 0;
+    procSeen.clear();
     std::fputs("{\"traceEvents\":[", out);
-    sep();
-    std::fputs("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
-               "\"args\":{\"name\":\"shasta-sim\"}}",
-               out);
-    detail::traceJsonOn = true;
+    detail::traceJsonOn.store(true, std::memory_order_relaxed);
     return true;
 }
 
 void
 closeTraceJson()
 {
-    if (out == nullptr)
-        return;
-    std::fputs("\n]}\n", out);
-    std::fclose(out);
-    out = nullptr;
-    detail::traceJsonOn = false;
+    const std::lock_guard<std::mutex> lock(mu);
+    closeLocked();
 }
 
 void
 emitComplete(int proc, Tick start, Tick dur, const char *name,
              const char *cat)
 {
+    const std::lock_guard<std::mutex> lock(mu);
     if (out == nullptr)
         return;
     noteProc(proc);
     sep();
     std::fprintf(out,
-                 "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.4f,"
+                 "{\"ph\":\"X\",\"pid\":%u,\"tid\":%d,\"ts\":%.4f,"
                  "\"dur\":%.4f,\"name\":\"%s\",\"cat\":\"%s\"}",
-                 proc, us(start), us(dur), name, cat);
+                 currentPid, proc, us(start), us(dur), name, cat);
 }
 
 void
 emitAsyncBegin(std::uint64_t id, int proc, Tick ts, const char *name,
                const char *cat)
 {
+    const std::lock_guard<std::mutex> lock(mu);
     if (out == nullptr)
         return;
     noteProc(proc);
     sep();
     std::fprintf(out,
-                 "{\"ph\":\"b\",\"pid\":0,\"tid\":%d,"
+                 "{\"ph\":\"b\",\"pid\":%u,\"tid\":%d,"
                  "\"id\":\"0x%llx\",\"ts\":%.4f,"
                  "\"name\":\"%s\",\"cat\":\"%s\"}",
-                 proc, static_cast<unsigned long long>(id), us(ts),
-                 name, cat);
+                 currentPid, proc,
+                 static_cast<unsigned long long>(id), us(ts), name,
+                 cat);
 }
 
 void
 emitAsyncEnd(std::uint64_t id, int proc, Tick ts, const char *name,
              const char *cat)
 {
+    const std::lock_guard<std::mutex> lock(mu);
     if (out == nullptr)
         return;
     noteProc(proc);
     sep();
     std::fprintf(out,
-                 "{\"ph\":\"e\",\"pid\":0,\"tid\":%d,"
+                 "{\"ph\":\"e\",\"pid\":%u,\"tid\":%d,"
                  "\"id\":\"0x%llx\",\"ts\":%.4f,"
                  "\"name\":\"%s\",\"cat\":\"%s\"}",
-                 proc, static_cast<unsigned long long>(id), us(ts),
-                 name, cat);
+                 currentPid, proc,
+                 static_cast<unsigned long long>(id), us(ts), name,
+                 cat);
 }
 
 void
 emitFlowStart(std::uint64_t id, int proc, Tick ts, const char *name)
 {
+    const std::lock_guard<std::mutex> lock(mu);
     if (out == nullptr)
         return;
     noteProc(proc);
     sep();
     std::fprintf(out,
-                 "{\"ph\":\"s\",\"pid\":0,\"tid\":%d,"
+                 "{\"ph\":\"s\",\"pid\":%u,\"tid\":%d,"
                  "\"id\":\"0x%llx\",\"ts\":%.4f,"
                  "\"name\":\"%s\",\"cat\":\"net\"}",
-                 proc, static_cast<unsigned long long>(id), us(ts),
-                 name);
+                 currentPid, proc,
+                 static_cast<unsigned long long>(id), us(ts), name);
 }
 
 void
 emitFlowEnd(std::uint64_t id, int proc, Tick ts, const char *name)
 {
+    const std::lock_guard<std::mutex> lock(mu);
     if (out == nullptr)
         return;
     noteProc(proc);
     sep();
     std::fprintf(out,
-                 "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":%d,"
+                 "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":%u,\"tid\":%d,"
                  "\"id\":\"0x%llx\",\"ts\":%.4f,"
                  "\"name\":\"%s\",\"cat\":\"net\"}",
-                 proc, static_cast<unsigned long long>(id), us(ts),
-                 name);
+                 currentPid, proc,
+                 static_cast<unsigned long long>(id), us(ts), name);
 }
 
 void
 emitInstant(int proc, Tick ts, const char *name, const char *cat,
             std::int64_t arg)
 {
+    const std::lock_guard<std::mutex> lock(mu);
     if (out == nullptr)
         return;
     noteProc(proc);
     sep();
     if (arg >= 0) {
         std::fprintf(out,
-                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,"
                      "\"tid\":%d,\"ts\":%.4f,\"name\":\"%s\","
                      "\"cat\":\"%s\",\"args\":{\"n\":%lld}}",
-                     proc, us(ts), name, cat,
+                     currentPid, proc, us(ts), name, cat,
                      static_cast<long long>(arg));
     } else {
         std::fprintf(out,
-                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,"
                      "\"tid\":%d,\"ts\":%.4f,\"name\":\"%s\","
                      "\"cat\":\"%s\"}",
-                     proc, us(ts), name, cat);
+                     currentPid, proc, us(ts), name, cat);
     }
 }
 

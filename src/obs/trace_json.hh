@@ -27,7 +27,9 @@
 #ifndef SHASTA_OBS_TRACE_JSON_HH
 #define SHASTA_OBS_TRACE_JSON_HH
 
+#include <atomic>
 #include <cstdint>
+#include <string_view>
 
 #include "sim/ticks.hh"
 
@@ -36,14 +38,14 @@ namespace shasta::obs
 
 namespace detail
 {
-extern bool traceJsonOn;
+extern std::atomic<bool> traceJsonOn;
 } // namespace detail
 
 /** The single hot-path gate: false unless an output file is open. */
 inline bool
 traceJsonEnabled()
 {
-    return detail::traceJsonOn;
+    return detail::traceJsonOn.load(std::memory_order_relaxed);
 }
 
 /** Apply `SHASTA_TRACE_JSON=<file>` (idempotent; called by the
@@ -58,6 +60,24 @@ bool openTraceJson(const char *path);
 /** Finish the JSON envelope and close the file.  Safe to call when
  *  nothing is open; also installed via atexit on env activation. */
 void closeTraceJson();
+
+/**
+ * Register a run with the open trace: assigns the next trace-event
+ * "pid", emits its process_name/process_sort_index metadata, and
+ * makes subsequent emissions from the calling thread use that pid.
+ * The Runtime constructor calls this, so each Runtime instance gets
+ * its own process group in the viewer and concurrent sweep
+ * configurations stay attributable.  @p label names the process
+ * group; null or empty falls back to the thread's pending label
+ * (setTraceRunLabel) and then to "shasta-sim".  Returns the pid
+ * (0 when no trace is open).
+ */
+std::uint32_t registerTraceRun(const char *label);
+
+/** Set the calling thread's label for its next registered run (the
+ *  sweep runner stamps each worker with the configuration name
+ *  before constructing the Runtime).  Empty clears it. */
+void setTraceRunLabel(std::string_view label);
 
 /** Async-span id space: kind tag in the top bits keeps concurrent
  *  transactions on different lines/locks from colliding. */

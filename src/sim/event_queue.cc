@@ -1,12 +1,218 @@
 #include "sim/event_queue.hh"
 
+#include <bit>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace shasta
 {
+
+EventQueue::EventQueue()
+{
+    nodes_.reserve(64);
+}
+
+std::uint32_t
+EventQueue::allocNode(Tick when, Callback &&cb)
+{
+    if (freeHead_ != kNil) {
+        const std::uint32_t idx = freeHead_;
+        Node &n = nodes_[idx];
+        freeHead_ = n.next;
+        n.when = when;
+        n.next = kNil;
+        n.cb = std::move(cb);
+        return idx;
+    }
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{when, kNil, std::move(cb)});
+    return idx;
+}
+
+void
+EventQueue::freeNode(std::uint32_t idx)
+{
+    nodes_[idx].next = freeHead_;
+    freeHead_ = idx;
+}
+
+int
+EventQueue::levelFor(Tick when) const
+{
+    const std::uint64_t diff = static_cast<std::uint64_t>(when) ^
+                               static_cast<std::uint64_t>(cursor_);
+    if (diff == 0)
+        return 0;
+    const int high_bit = 63 - std::countl_zero(diff);
+    return high_bit / kLevelBits;
+}
+
+void
+EventQueue::place(std::uint32_t idx)
+{
+    const Tick when = nodes_[idx].when;
+    const int level = levelFor(when);
+    if (level >= kLevels) {
+        overflow_.push_back(idx);
+        return;
+    }
+    const int slot = static_cast<int>(
+        (static_cast<std::uint64_t>(when) >> (kLevelBits * level)) &
+        (kSlots - 1));
+    Slot &s = slots_[level][slot];
+    nodes_[idx].next = kNil;
+    if (s.tail == kNil) {
+        s.head = s.tail = idx;
+        bitmap_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    } else {
+        nodes_[s.tail].next = idx;
+        s.tail = idx;
+    }
+}
+
+std::uint32_t
+EventQueue::popSlotHead(int level, int slot)
+{
+    Slot &s = slots_[level][slot];
+    const std::uint32_t idx = s.head;
+    assert(idx != kNil);
+    s.head = nodes_[idx].next;
+    if (s.head == kNil) {
+        s.tail = kNil;
+        bitmap_[level][slot >> 6] &=
+            ~(std::uint64_t{1} << (slot & 63));
+    }
+    return idx;
+}
+
+void
+EventQueue::cascade(int level, int slot)
+{
+    Slot &s = slots_[level][slot];
+    std::uint32_t idx = s.head;
+    s.head = s.tail = kNil;
+    bitmap_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    // Re-place in list order: same-tick events keep their relative
+    // scheduling order (the FIFO-per-tick determinism contract).
+    while (idx != kNil) {
+        const std::uint32_t next = nodes_[idx].next;
+        place(idx);
+        idx = next;
+    }
+}
+
+void
+EventQueue::rehomeOverflow()
+{
+    // All wheel levels are empty: the earliest pending event lives in
+    // the overflow list.  Jump the cursor to that event's top-level
+    // block and re-place every overflow node in scheduling order
+    // (nodes still beyond the horizon just return to the list).
+    assert(!overflow_.empty());
+    Tick min_when = nodes_[overflow_.front()].when;
+    for (const std::uint32_t idx : overflow_)
+        min_when = std::min(min_when, nodes_[idx].when);
+    constexpr int top_shift = kLevelBits * kLevels;
+    cursor_ = static_cast<Tick>(
+        (static_cast<std::uint64_t>(min_when) >> top_shift)
+        << top_shift);
+    overflowScratch_.clear();
+    overflowScratch_.swap(overflow_);
+    for (const std::uint32_t idx : overflowScratch_)
+        place(idx);
+}
+
+int
+EventQueue::findSetFrom(const std::uint64_t *bm, int from)
+{
+    int word = from >> 6;
+    std::uint64_t w = bm[word] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+        if (w != 0)
+            return (word << 6) + std::countr_zero(w);
+        if (++word == kBitmapWords)
+            return -1;
+        w = bm[word];
+    }
+}
+
+Tick
+EventQueue::peekNext() const
+{
+    assert(size_ > 0);
+    const auto cursor = static_cast<std::uint64_t>(cursor_);
+    // Level 0 maps one tick per slot, so the first occupied slot at
+    // or after the cursor's position is the exact earliest tick.
+    int slot = findSetFrom(bitmap_[0],
+                           static_cast<int>(cursor & (kSlots - 1)));
+    if (slot >= 0) {
+        return static_cast<Tick>(
+            (cursor & ~static_cast<std::uint64_t>(kSlots - 1)) |
+            static_cast<std::uint64_t>(slot));
+    }
+    // Higher levels: the first occupied slot bounds the earliest
+    // event, but the slot spans many ticks — scan its list for the
+    // minimum.  Later levels cannot hold anything earlier.
+    for (int level = 1; level < kLevels; ++level) {
+        const int cur = static_cast<int>(
+            (cursor >> (kLevelBits * level)) & (kSlots - 1));
+        slot = findSetFrom(bitmap_[level], cur);
+        if (slot < 0)
+            continue;
+        std::uint32_t idx = slots_[level][slot].head;
+        Tick min_when = nodes_[idx].when;
+        for (idx = nodes_[idx].next; idx != kNil;
+             idx = nodes_[idx].next)
+            min_when = std::min(min_when, nodes_[idx].when);
+        return min_when;
+    }
+    Tick min_when = nodes_[overflow_.front()].when;
+    for (const std::uint32_t idx : overflow_)
+        min_when = std::min(min_when, nodes_[idx].when);
+    return min_when;
+}
+
+std::uint32_t
+EventQueue::popEarliest()
+{
+    for (;;) {
+        const auto cursor = static_cast<std::uint64_t>(cursor_);
+        const int slot0 = findSetFrom(
+            bitmap_[0], static_cast<int>(cursor & (kSlots - 1)));
+        if (slot0 >= 0) {
+            const std::uint32_t idx = popSlotHead(0, slot0);
+            cursor_ = nodes_[idx].when;
+            return idx;
+        }
+        bool cascaded = false;
+        for (int level = 1; level < kLevels; ++level) {
+            const int shift = kLevelBits * level;
+            const int cur = static_cast<int>(
+                (cursor >> shift) & (kSlots - 1));
+            const int slot = findSetFrom(bitmap_[level], cur);
+            if (slot < 0)
+                continue;
+            // Advance the cursor to the start of that slot's span
+            // and re-home its events one level down.  No pending
+            // event lies before the span (lower levels and earlier
+            // slots are empty), so the jump skips only dead time.
+            const std::uint64_t upper =
+                cursor >> (shift + kLevelBits);
+            cursor_ = static_cast<Tick>(
+                ((upper << kLevelBits) |
+                 static_cast<std::uint64_t>(slot))
+                << shift);
+            cascade(level, slot);
+            cascaded = true;
+            break;
+        }
+        if (!cascaded)
+            rehomeOverflow();
+    }
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb)
@@ -17,29 +223,39 @@ EventQueue::schedule(Tick when, Callback cb)
             std::to_string(when) + " is before now=" +
             std::to_string(now_));
     }
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    place(allocNode(when, std::move(cb)));
+    ++size_;
 }
 
 void
 EventQueue::scheduleAfter(Tick delay, Callback cb)
 {
     assert(delay >= 0);
+    if (delay > std::numeric_limits<Tick>::max() - now_) {
+        throw std::logic_error(
+            "EventQueue::scheduleAfter: delay " +
+            std::to_string(delay) + " from now=" +
+            std::to_string(now_) + " overflows Tick");
+    }
     schedule(now_ + delay, std::move(cb));
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (size_ == 0)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately and never compare the moved-from
-    // entry again.
-    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    now_ = entry.when;
+    const std::uint32_t idx = popEarliest();
+    Node &n = nodes_[idx];
+    now_ = n.when;
+    // Move the callback out and recycle the node before invoking:
+    // the callback may schedule new events, which can reuse the slot
+    // or grow the slab.
+    Callback cb = std::move(n.cb);
+    freeNode(idx);
+    --size_;
     ++processed_;
-    entry.cb();
+    cb();
     if (hook_ && ++sinceHook_ >= hookEvery_) {
         sinceHook_ = 0;
         hook_();
@@ -67,8 +283,8 @@ EventQueue::run()
 bool
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty()) {
-        if (heap_.top().when > limit)
+    while (size_ > 0) {
+        if (peekNext() > limit)
             return false;
         step();
     }

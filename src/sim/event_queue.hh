@@ -6,6 +6,24 @@
  * deliveries, processor resumptions after a quantum yield, timeouts in
  * tests — is an event.  Events at equal ticks fire in insertion order
  * so the simulation is deterministic.
+ *
+ * The queue is a hierarchical timing wheel rather than a comparison
+ * heap: the simulator's event delays cluster tightly in the near
+ * future (fixed network latencies of a few hundred to a few thousand
+ * ticks, ~1500-tick poll quanta), which a wheel turns into O(1)
+ * bucket appends and bitmap scans instead of O(log n) sift
+ * operations that shuffle whole callback objects around the heap.
+ * Callbacks are stored in a recycled node slab as InplaceFn objects,
+ * so the steady-state schedule -> fire -> recycle cycle performs no
+ * heap allocation (tests/alloc_test.cc holds this as an assertion).
+ *
+ * Determinism contract (relied on by tests/golden_test.cc): events
+ * fire in (tick, scheduling order) — FIFO per tick.  The wheel
+ * preserves this structurally: each slot is an append-only FIFO
+ * list, and cascading a higher-level slot re-distributes its nodes
+ * in list order, so two events for the same tick always end up in
+ * the same slot in their original scheduling order (see the design
+ * notes in DESIGN.md).
  */
 
 #ifndef SHASTA_SIM_EVENT_QUEUE_HH
@@ -13,27 +31,28 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inplace_fn.hh"
 #include "sim/ticks.hh"
 
 namespace shasta
 {
 
 /**
- * Deterministic priority queue of timed callbacks.
+ * Deterministic timing-wheel queue of timed callbacks.
  *
- * Equal-time events fire in the order they were scheduled (FIFO
- * tie-break via a monotonically increasing sequence number).
+ * Equal-time events fire in the order they were scheduled.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Non-allocating callable: every scheduling site's capture must
+     *  fit the inline buffer (enforced at compile time). */
+    using Callback = InplaceFn<void()>;
     using ProgressHook = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue();
 
     /** Current simulated time; advances as events are processed. */
     Tick now() const { return now_; }
@@ -48,14 +67,18 @@ class EventQueue
      */
     void schedule(Tick when, Callback cb);
 
-    /** Schedule @p cb to fire @p delay ticks from now. */
+    /**
+     * Schedule @p cb to fire @p delay ticks from now.  A delay large
+     * enough to wrap Tick arithmetic past the representable maximum
+     * throws the same std::logic_error the past-time check does.
+     */
     void scheduleAfter(Tick delay, Callback cb);
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Total number of events processed so far. */
     std::uint64_t processed() const { return processed_; }
@@ -85,27 +108,77 @@ class EventQueue
     void setProgressHook(std::uint64_t every_events, ProgressHook hook);
 
   private:
-    struct Entry
+    /** 256 slots per level; level L spans 256^(L+1) ticks. */
+    static constexpr int kLevelBits = 8;
+    static constexpr int kSlots = 1 << kLevelBits;
+    /** Four levels cover 2^32 ticks (~14 simulated seconds) beyond
+     *  the cursor; rarer, farther events overflow to a side list. */
+    static constexpr int kLevels = 4;
+    static constexpr int kBitmapWords = kSlots / 64;
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** One pending event, linked into a slot's FIFO list.  Nodes
+     *  live in a slab (nodes_) and are recycled through freeHead_;
+     *  links are indices so slab growth never invalidates them. */
+    struct Node
     {
         Tick when;
-        std::uint64_t seq;
+        std::uint32_t next;
         Callback cb;
     };
 
-    struct Later
+    struct Slot
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint32_t allocNode(Tick when, Callback &&cb);
+    void freeNode(std::uint32_t idx);
+
+    /** Level an event belongs to, relative to the cursor: the
+     *  highest kLevelBits-sized digit where when and cursor differ
+     *  (kLevels when the event is beyond the wheel horizon). */
+    int levelFor(Tick when) const;
+
+    /** Append node @p idx to its slot (or the overflow list). */
+    void place(std::uint32_t idx);
+
+    /** Pop the head of (level, slot); maintains the bitmap. */
+    std::uint32_t popSlotHead(int level, int slot);
+
+    /** Move every node of (level, slot), in list order, down to its
+     *  new level relative to the advanced cursor. */
+    void cascade(int level, int slot);
+
+    /** Refill the wheels from the overflow list once they drain. */
+    void rehomeOverflow();
+
+    /** Earliest pending tick (no structural changes; queue must be
+     *  non-empty). */
+    Tick peekNext() const;
+
+    /** Unlink and return the earliest node, advancing the cursor and
+     *  cascading as needed (queue must be non-empty). */
+    std::uint32_t popEarliest();
+
+    /** First set bit >= @p from in a level's bitmap, or -1. */
+    static int findSetFrom(const std::uint64_t *bm, int from);
+
+    std::vector<Node> nodes_;
+    std::uint32_t freeHead_ = kNil;
+    Slot slots_[kLevels][kSlots];
+    std::uint64_t bitmap_[kLevels][kBitmapWords] = {};
+    /** Events beyond the wheel horizon, in scheduling order. */
+    std::vector<std::uint32_t> overflow_;
+    std::vector<std::uint32_t> overflowScratch_;
+
+    /** Wheel anchor: placement levels are computed relative to this.
+     *  Invariant between step() calls: cursor_ <= now_, and every
+     *  queued node sits at levelFor(when) relative to cursor_. */
+    Tick cursor_ = 0;
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::size_t size_ = 0;
     std::uint64_t processed_ = 0;
 
     ProgressHook hook_;

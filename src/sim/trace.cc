@@ -1,7 +1,9 @@
 #include "sim/trace.hh"
 
 #include <array>
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <string>
 #include <cstdlib>
 #include <cstring>
@@ -12,9 +14,20 @@ namespace shasta::trace
 namespace
 {
 
-std::array<bool, static_cast<std::size_t>(Flag::NumFlags)> flags{};
-std::FILE *sink = nullptr;
-bool envApplied = false;
+// Flags and the sink are process-global but written only during
+// setup; relaxed atomics keep the hot enabled() check one load while
+// letting sweep-runner workers race with a late enable() safely.
+// Line emission itself serializes on a mutex so concurrent Runtimes
+// never interleave partial lines.
+std::array<std::atomic<bool>, static_cast<std::size_t>(Flag::NumFlags)>
+    flags{};
+std::atomic<std::FILE *> sink{nullptr};
+std::once_flag envOnce;
+std::mutex outMutex;
+
+/** Configuration label prepended to this thread's trace lines so a
+ *  parallel sweep's interleaved output stays attributable. */
+thread_local std::string threadLabel;
 
 constexpr std::array<std::string_view,
                      static_cast<std::size_t>(Flag::NumFlags)>
@@ -43,19 +56,22 @@ parseFlag(std::string_view name, Flag &out)
 void
 enable(Flag f)
 {
-    flags[static_cast<std::size_t>(f)] = true;
+    flags[static_cast<std::size_t>(f)].store(
+        true, std::memory_order_relaxed);
 }
 
 void
 disable(Flag f)
 {
-    flags[static_cast<std::size_t>(f)] = false;
+    flags[static_cast<std::size_t>(f)].store(
+        false, std::memory_order_relaxed);
 }
 
 void
 disableAll()
 {
-    flags.fill(false);
+    for (auto &f : flags)
+        f.store(false, std::memory_order_relaxed);
 }
 
 void
@@ -78,7 +94,8 @@ enableList(std::string_view list)
         if (name.empty()) {
             // Skip the empty segment.
         } else if (name == "all") {
-            flags.fill(true);
+            for (auto &f : flags)
+                f.store(true, std::memory_order_relaxed);
         } else {
             Flag f;
             if (parseFlag(name, f))
@@ -93,24 +110,30 @@ enableList(std::string_view list)
 void
 initFromEnv()
 {
-    if (envApplied)
-        return;
-    envApplied = true;
-    if (const char *env = std::getenv("SHASTA_TRACE"))
-        enableList(env);
+    std::call_once(envOnce, [] {
+        if (const char *env = std::getenv("SHASTA_TRACE"))
+            enableList(env);
+    });
 }
 
 bool
 enabled(Flag f)
 {
     initFromEnv();
-    return flags[static_cast<std::size_t>(f)];
+    return flags[static_cast<std::size_t>(f)].load(
+        std::memory_order_relaxed);
 }
 
 void
 setSink(std::FILE *s)
 {
-    sink = s;
+    sink.store(s, std::memory_order_release);
+}
+
+void
+setThreadLabel(std::string_view label)
+{
+    threadLabel = label;
 }
 
 void
@@ -122,7 +145,12 @@ out(Flag f, Tick when, int proc, const char *fmt, ...)
     // categories to the sink.
     if (!enabled(f))
         return;
-    std::FILE *dst = sink ? sink : stderr;
+    std::FILE *dst = sink.load(std::memory_order_acquire);
+    if (!dst)
+        dst = stderr;
+    const std::lock_guard<std::mutex> lock(outMutex);
+    if (!threadLabel.empty())
+        std::fprintf(dst, "{%s} ", threadLabel.c_str());
     std::fprintf(dst, "[%12lld] P%-2d %-9s: ",
                  static_cast<long long>(when), proc,
                  std::string(flagName(f)).c_str());

@@ -56,6 +56,12 @@ bool enabled(Flag f);
 /** Redirect output (tests use a tmpfile); null restores stderr. */
 void setSink(std::FILE *sink);
 
+/** Label prepended (as "{label} ") to trace lines emitted by the
+ *  calling thread — the sweep runner sets each worker's label to its
+ *  configuration name so interleaved output stays attributable.
+ *  Empty clears it. */
+void setThreadLabel(std::string_view label);
+
 /** Emit one trace line (printf-style). */
 void out(Flag f, Tick when, int proc, const char *fmt, ...)
     __attribute__((format(printf, 4, 5)));

@@ -18,11 +18,30 @@ namespace
 /** Recycled LatencyStats mappings.  Workloads that construct many
  *  Runtimes in sequence (benchmarks, sweeps) reuse the same pages,
  *  so the steady state pays neither mmap traffic nor fresh page
- *  faults.  The simulator is single-threaded by design, so a plain
- *  array suffices. */
+ *  faults.  The cache is thread-local: the sweep runner constructs
+ *  and destroys each Runtime entirely on one worker thread, so no
+ *  locking is needed; mappings still cached when a thread exits are
+ *  unmapped by the destructor. */
 constexpr int kMaxFreeBlocks = 8;
-void *freeBlocks[kMaxFreeBlocks];
-int numFreeBlocks = 0;
+
+struct BlockCache
+{
+    void *blocks[kMaxFreeBlocks];
+    int num = 0;
+
+    ~BlockCache()
+    {
+        while (num > 0)
+            ::munmap(blocks[--num], sizeof(LatencyStats));
+    }
+};
+
+BlockCache &
+cache()
+{
+    thread_local BlockCache c;
+    return c;
+}
 } // namespace
 #endif
 
@@ -30,8 +49,9 @@ void *
 LatencyStats::operator new(std::size_t n)
 {
 #ifdef SHASTA_LATENCY_STATS_MMAP
-    if (n == sizeof(LatencyStats) && numFreeBlocks > 0)
-        return freeBlocks[--numFreeBlocks];
+    BlockCache &c = cache();
+    if (n == sizeof(LatencyStats) && c.num > 0)
+        return c.blocks[--c.num];
     void *p = ::mmap(nullptr, n, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
     if (p == MAP_FAILED)
@@ -48,8 +68,9 @@ LatencyStats::operator delete(void *p, std::size_t n) noexcept
 #ifdef SHASTA_LATENCY_STATS_MMAP
     if (p == nullptr)
         return;
-    if (n == sizeof(LatencyStats) && numFreeBlocks < kMaxFreeBlocks) {
-        freeBlocks[numFreeBlocks++] = p;
+    BlockCache &c = cache();
+    if (n == sizeof(LatencyStats) && c.num < kMaxFreeBlocks) {
+        c.blocks[c.num++] = p;
         return;
     }
     ::munmap(p, n);

@@ -139,6 +139,58 @@ TEST(PayloadPool, MoveTransfersChunkWithoutCopy)
 }
 
 // --------------------------------------------------------------------
+// Event queue (timing wheel)
+// --------------------------------------------------------------------
+
+TEST(EventQueueAlloc, ScheduleFireSteadyStateIsAllocationFree)
+{
+    EventQueue q;
+    std::uint64_t fired = 0;
+    // Mixed-horizon churn: same-tick bursts (FIFO slot chains),
+    // short delays (level 0) and longer delays that land on higher
+    // wheel levels and cascade back down.
+    auto cycle = [&] {
+        for (int i = 0; i < 32; ++i) {
+            q.scheduleAfter(1 + (i % 7), [&] { ++fired; });
+            q.scheduleAfter(300 + i, [&] { ++fired; });
+            q.scheduleAfter(70'000 + i * 13, [&] { ++fired; });
+        }
+        q.run();
+    };
+
+    // Warm-up: the node slab and slot chains grow to peak once.
+    for (int r = 0; r < 4; ++r)
+        cycle();
+
+    const std::uint64_t before = g_allocs;
+    for (int r = 0; r < 64; ++r)
+        cycle();
+    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(fired, 68u * 96u);
+}
+
+TEST(EventQueueAlloc, CapturedStateUpToSboLimitStaysInline)
+{
+    // Callbacks up to the InplaceFn inline capacity must not touch
+    // the heap even on first use of a recycled slab node.
+    EventQueue q;
+    std::uint64_t sink = 0;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    q.scheduleAfter(1, [&sink] { ++sink; });
+    q.run();
+    const std::uint64_t before = g_allocs;
+    for (int r = 0; r < 100; ++r) {
+        // 4 x 8B captures + this pointer-sized ref: inside the SBO.
+        q.scheduleAfter(1, [&sink, a, b, c, d] {
+            sink += a + b + c + d;
+        });
+        q.run();
+    }
+    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(sink, 1u + 100u * 10u);
+}
+
+// --------------------------------------------------------------------
 // Network + mailbox cycle
 // --------------------------------------------------------------------
 

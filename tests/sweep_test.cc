@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cross-run isolation and the parallel sweep runner.
+ *
+ * The simulator promises that a Runtime is a pure function of its
+ * configuration: running the same application twice in one process —
+ * back to back or on two concurrent threads — must yield
+ * byte-identical statistics.  Historically this held only by luck
+ * (process-global pools and counters); these tests pin it down now
+ * that the bench harness runs independent configurations on worker
+ * threads.
+ *
+ * SweepRunner itself (bench/bench_common.hh) promises that results
+ * are *committed* strictly in enqueue order no matter how many
+ * workers execute them, so bench output and --stats-json files are
+ * byte-identical to a serial run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../bench/bench_common.hh"
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+namespace
+{
+
+Task
+tinyKernel(Context &c, Addr a, int lk)
+{
+    co_await c.lock(lk);
+    const double v = co_await c.loadFp(a);
+    co_await c.storeFp(a, v + 1.0);
+    co_await c.unlock(lk);
+    co_await c.barrier();
+}
+
+/** One deterministic 4-proc / 2-node run; returns the stats JSON. */
+std::string
+runTinyApp()
+{
+    DsmConfig cfg = DsmConfig::smp(4, 2);
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    const int lk = rt.allocLock();
+    rt.run([&](Context &c) { return tinyKernel(c, a, lk); });
+    return rt.statsJson();
+}
+
+// --------------------------------------------------------------------
+// Cross-run isolation
+// --------------------------------------------------------------------
+
+TEST(CrossRunIsolation, BackToBackRunsAreByteIdentical)
+{
+    const std::string first = runTinyApp();
+    const std::string second = runTinyApp();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(CrossRunIsolation, ConcurrentRunsAreByteIdentical)
+{
+    const std::string reference = runTinyApp();
+    std::string a, b;
+    std::thread ta([&a] { a = runTinyApp(); });
+    std::thread tb([&b] { b = runTinyApp(); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(a, reference);
+    EXPECT_EQ(b, reference);
+}
+
+TEST(CrossRunIsolation, ConcurrentDifferentConfigsDontInterfere)
+{
+    // Two different configurations racing must each match their own
+    // serial reference — shared pools or counters bleeding between
+    // threads would skew one of them.
+    auto runBase = [] {
+        DsmConfig cfg = DsmConfig::base(4);
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(64, 64, 0);
+        const int lk = rt.allocLock();
+        rt.run([&](Context &c) { return tinyKernel(c, a, lk); });
+        return rt.statsJson();
+    };
+    const std::string refSmp = runTinyApp();
+    const std::string refBase = runBase();
+    std::string smp, base;
+    std::thread ta([&] { smp = runTinyApp(); });
+    std::thread tb([&] { base = runBase(); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(smp, refSmp);
+    EXPECT_EQ(base, refBase);
+}
+
+// --------------------------------------------------------------------
+// SweepRunner ordering
+// --------------------------------------------------------------------
+
+TEST(SweepRunner, CommitsInEnqueueOrderWithParallelWorkers)
+{
+    bench::SweepRunner sweep(4);
+    std::vector<int> commits;
+    std::atomic<int> executed{0};
+    for (int i = 0; i < 8; ++i) {
+        sweep.addWork(
+            [i, &executed] {
+                // Later jobs finish *executing* earlier; commit
+                // order must not care.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(8 - i));
+                executed.fetch_add(1);
+            },
+            [i, &commits] { commits.push_back(i); });
+    }
+    sweep.finish();
+    EXPECT_EQ(executed.load(), 8);
+    EXPECT_EQ(commits, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(SweepRunner, ThenStepsInterleaveWithCommits)
+{
+    bench::SweepRunner sweep(3);
+    std::vector<std::string> log;
+    sweep.then([&log] { log.push_back("header"); });
+    sweep.addWork([] {}, [&log] { log.push_back("job0"); });
+    sweep.then([&log] { log.push_back("rule"); });
+    sweep.addWork([] {}, [&log] { log.push_back("job1"); });
+    sweep.finish();
+    EXPECT_EQ(log, (std::vector<std::string>{"header", "job0",
+                                             "rule", "job1"}));
+}
+
+TEST(SweepRunner, SerialModeRunsInline)
+{
+    // jobs=1 must execute and commit during addWork itself so serial
+    // bench output still streams incrementally.
+    bench::SweepRunner sweep(1);
+    std::vector<int> log;
+    sweep.addWork([&log] { log.push_back(1); },
+                  [&log] { log.push_back(2); });
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    sweep.finish();
+}
+
+TEST(SweepRunner, ExceptionSurfacesAtItsCommitSlot)
+{
+    bench::SweepRunner sweep(2);
+    std::vector<int> commits;
+    sweep.addWork([] {}, [&commits] { commits.push_back(0); });
+    sweep.addWork([] { throw std::runtime_error("job 1 failed"); },
+                  [&commits] { commits.push_back(1); });
+    sweep.addWork([] {}, [&commits] { commits.push_back(2); });
+    try {
+        sweep.finish();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 1 failed");
+    }
+    // Commits before the failing slot ran; the failing job's commit
+    // and everything after it did not.
+    EXPECT_EQ(commits, (std::vector<int>{0}));
+}
+
+} // namespace
+} // namespace shasta
