@@ -49,6 +49,10 @@ struct Options
     /** `--jobs=N` (or SHASTA_JOBS): worker threads for SweepRunner
      *  sweeps.  1 = serial (the default). */
     int jobs = 1;
+    /** `--fault=SPEC`: fault-injection spec applied to every run,
+     *  e.g. "drop:2,dup:1,reorder:1,jitter:20,seed:7" (see
+     *  FaultConfig::parse).  Empty = faults off. */
+    std::string faultSpec;
 };
 
 inline Options &
@@ -126,13 +130,28 @@ parseArgs(int argc, char **argv)
             o.jobs = std::atoi(a + 7);
         } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
             o.jobs = std::atoi(argv[++i]);
+        } else if (std::strncmp(a, "--fault=", 8) == 0) {
+            o.faultSpec = a + 8;
+        } else if (std::strcmp(a, "--fault") == 0 && i + 1 < argc) {
+            o.faultSpec = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--stats-json=FILE] "
-                         "[--app=NAME] [--jobs=N]\n",
+                         "[--app=NAME] [--jobs=N] "
+                         "[--fault=drop:P,dup:P,reorder:P,"
+                         "jitter:US,seed:S]\n",
                          argv[0]);
             std::exit(2);
         }
+    }
+    if (!o.faultSpec.empty()) {
+        FaultConfig f;
+        if (!FaultConfig::parse(o.faultSpec, f)) {
+            std::fprintf(stderr, "bench: bad --fault spec '%s'\n",
+                         o.faultSpec.c_str());
+            std::exit(2);
+        }
+        f.validate();
     }
     if (o.jobs < 1)
         o.jobs = 1;
@@ -153,6 +172,18 @@ appSelected(const std::string &name)
 {
     return options().appFilter.empty() ||
            options().appFilter == name;
+}
+
+/** Apply the --fault spec (already validated by parseArgs) to one
+ *  run's configuration.  No-op without --fault, so fault-free bench
+ *  output is untouched. */
+inline DsmConfig
+withFaultSpec(DsmConfig cfg)
+{
+    const Options &o = options();
+    if (!o.faultSpec.empty())
+        FaultConfig::parse(o.faultSpec, cfg.fault);
+    return cfg;
 }
 
 /** Short configuration label for run summaries, e.g. "smp-16x4". */
@@ -221,7 +252,7 @@ run(const std::string &name, const DsmConfig &cfg,
     const AppParams &p)
 {
     auto app = createApp(name);
-    AppResult r = runApp(*app, cfg, p);
+    AppResult r = runApp(*app, withFaultSpec(cfg), p);
     recordRun(name, cfg, r);
     return r;
 }
@@ -275,7 +306,7 @@ class SweepRunner
         addWork(
             [name, cfg, p, result] {
                 auto app = createApp(name);
-                *result = runApp(*app, cfg, p);
+                *result = runApp(*app, withFaultSpec(cfg), p);
             },
             [name, cfg, result, done = std::move(done)] {
                 recordRun(name, cfg, *result);

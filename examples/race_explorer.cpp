@@ -33,7 +33,10 @@ main()
                     static_cast<unsigned long long>(r.terminals),
                     static_cast<unsigned long long>(r.violations),
                     static_cast<unsigned long long>(r.deadlocks),
-                    sc.expectViolations ? "RACES" : "race-free");
+                    sc.expectDeadlocks
+                        ? "deadlocks"
+                        : sc.expectViolations ? "RACES"
+                                              : "race-free");
         if (!r.witness.empty()) {
             std::printf("  witness schedule:\n");
             for (const auto &step : r.witness)

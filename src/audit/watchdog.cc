@@ -4,13 +4,15 @@
 #include <limits>
 #include <utility>
 
+#include "net/network.hh"
+
 namespace shasta
 {
 
 Watchdog::Watchdog(const EventQueue &events, const Protocol &proto,
-                   Tick stall_limit, DumpFn dump)
+                   Tick stall_limit, DumpFn dump, const Network *net)
     : events_(events), proto_(proto), stallLimit_(stall_limit),
-      dump_(std::move(dump))
+      dump_(std::move(dump)), net_(net)
 {
 }
 
@@ -102,6 +104,19 @@ Watchdog::check()
     std::string what;
     if (oldestPending(oldest, what) && events_.now() > oldest &&
         events_.now() - oldest > stallLimit_) {
+        // Under fault injection a transaction can legitimately age
+        // past the limit while its messages are being retransmitted.
+        // As long as the reliability sublayer keeps doing *anything*
+        // (its counters are monotone), this is a retry storm, not a
+        // stall; only a frozen stamp across consecutive over-limit
+        // checks fails.
+        if (net_ != nullptr && net_->faultsActive()) {
+            const std::uint64_t stamp = net_->relProgress();
+            if (stamp != lastRelStamp_) {
+                lastRelStamp_ = stamp;
+                return;
+            }
+        }
         fail("no progress on " + what + " for " +
              std::to_string(events_.now() - oldest) +
              " ticks (limit " + std::to_string(stallLimit_) + ")");

@@ -33,6 +33,8 @@
 namespace shasta
 {
 
+class Network;
+
 /** Thrown when the watchdog detects a stall or livelock. */
 class WatchdogError : public std::runtime_error
 {
@@ -46,8 +48,13 @@ class Watchdog
     /** Produces the state dump attached to a failure. */
     using DumpFn = std::function<std::string()>;
 
+    /** @p net, when given and running with fault injection active,
+     *  lets the stall check tell a retry storm (reliability counters
+     *  still moving -- tolerated, the backoff will get there) from a
+     *  true stall (counters frozen -- fail as usual). */
     Watchdog(const EventQueue &events, const Protocol &proto,
-             Tick stall_limit, DumpFn dump);
+             Tick stall_limit, DumpFn dump,
+             const Network *net = nullptr);
 
     /**
      * One progress check (call from the event queue's progress hook).
@@ -69,10 +76,13 @@ class Watchdog
     const Protocol &proto_;
     Tick stallLimit_;
     DumpFn dump_;
+    const Network *net_;
 
     AuditCounters counters_;
     Tick lastNow_ = 0;
     int sameNowChecks_ = 0;
+    /** Reliability progress stamp at the last over-limit check. */
+    std::uint64_t lastRelStamp_ = 0;
 
     /** Consecutive same-tick checks (interval events apart each)
      *  before declaring a livelock. */

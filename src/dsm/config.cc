@@ -77,6 +77,7 @@ DsmConfig::validate() const
         fail("quantum too small");
     if (maxOutstandingWrites < 1)
         fail("maxOutstandingWrites must be >= 1");
+    fault.validate();
 }
 
 DsmConfig

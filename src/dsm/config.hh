@@ -162,6 +162,10 @@ struct DsmConfig
     CostParams costs{};
     /** Runtime self-checking (invariant sweeps + watchdog). */
     AuditConfig audit{};
+    /** Unreliable-transport fault injection (net/fault.hh).  All-off
+     *  by default; SHASTA_DROP_PCT etc. override per-process (the
+     *  Runtime constructor calls fault.applyEnv()). */
+    FaultConfig fault{};
 
     /** Checking scheme implied by the mode. */
     CheckMode

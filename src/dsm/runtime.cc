@@ -19,7 +19,9 @@ Runtime::Runtime(const DsmConfig &cfg)
       topo_(cfg.topology()),
       net_(events_, topo_, cfg.net)
 {
+    cfg_.fault.applyEnv();
     cfg_.validate();
+    net_.configureFaults(cfg_.fault);
     obs::initTraceJsonFromEnv();
     if (obs::traceJsonEnabled())
         obs::registerTraceRun(nullptr);
@@ -40,6 +42,7 @@ Runtime::Runtime(const DsmConfig &cfg)
     net_.setDeliver([this](Message &&m) {
         proto_->deliver(std::move(m));
     });
+    net_.setLatencySink(&proto_->latency());
     proto_->setSyncHandler([this](Proc &p, Message &&m) {
         switch (m.type) {
           case MsgType::LockReq:
@@ -64,7 +67,7 @@ Runtime::Runtime(const DsmConfig &cfg)
         if (cfg_.audit.watchdog) {
             watchdog_ = std::make_unique<Watchdog>(
                 events_, *proto_, cfg_.audit.stallLimit,
-                [this] { return dumpState(); });
+                [this] { return dumpState(); }, &net_);
         }
         // The progress hook fires at event-queue top level, where a
         // throw propagates straight out of run() without crossing a

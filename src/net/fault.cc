@@ -1,0 +1,153 @@
+#include "net/fault.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace shasta
+{
+
+namespace
+{
+
+bool
+readDoubleEnv(const char *name, double &out)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return false;
+    out = std::atof(env);
+    return true;
+}
+
+/** Map a hash word to a uniform double in [0, 1). */
+double
+u01(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+void
+FaultConfig::applyEnv()
+{
+    if (const char *env = std::getenv("SHASTA_FAULT");
+        env != nullptr &&
+        (std::string_view(env) == "off" ||
+         std::string_view(env) == "0")) {
+        *this = FaultConfig{};
+        return;
+    }
+    readDoubleEnv("SHASTA_DROP_PCT", dropPct);
+    readDoubleEnv("SHASTA_DUP_PCT", dupPct);
+    readDoubleEnv("SHASTA_REORDER_PCT", reorderPct);
+    readDoubleEnv("SHASTA_JITTER_US", jitterUs);
+    if (const char *env = std::getenv("SHASTA_FAULT_SEED");
+        env != nullptr && *env != '\0')
+        seed = std::strtoull(env, nullptr, 10);
+}
+
+void
+FaultConfig::validate() const
+{
+    auto fail = [](const char *msg) {
+        std::fprintf(stderr, "FaultConfig: %s\n", msg);
+        std::abort();
+    };
+    // Above 50% drop the retransmit backoff can no longer make
+    // forward progress plausible; treat it as a configuration error
+    // rather than letting every run die on the give-up limit.
+    if (dropPct < 0.0 || dropPct > 50.0)
+        fail("dropPct must be in [0, 50]");
+    if (dupPct < 0.0 || dupPct > 100.0)
+        fail("dupPct must be in [0, 100]");
+    if (reorderPct < 0.0 || reorderPct > 100.0)
+        fail("reorderPct must be in [0, 100]");
+    if (jitterUs < 0.0 || jitterUs > 1.0e6)
+        fail("jitterUs must be in [0, 1e6]");
+}
+
+bool
+FaultConfig::parse(std::string_view spec, FaultConfig &out)
+{
+    while (!spec.empty()) {
+        const std::size_t comma = spec.find(',');
+        std::string_view tok = spec.substr(0, comma);
+        spec = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : spec.substr(comma + 1);
+        const std::size_t colon = tok.find(':');
+        if (colon == std::string_view::npos)
+            return false;
+        const std::string_view key = tok.substr(0, colon);
+        const std::string val(tok.substr(colon + 1));
+        if (val.empty())
+            return false;
+        if (key == "drop") {
+            out.dropPct = std::atof(val.c_str());
+        } else if (key == "dup") {
+            out.dupPct = std::atof(val.c_str());
+        } else if (key == "reorder") {
+            out.reorderPct = std::atof(val.c_str());
+        } else if (key == "jitter") {
+            out.jitterUs = std::atof(val.c_str());
+        } else if (key == "seed") {
+            out.seed = std::strtoull(val.c_str(), nullptr, 10);
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+FaultModel::FaultModel(const FaultConfig &cfg) : cfg_(cfg)
+{
+    // With reordering requested but no jitter magnitude given, use
+    // 8 us: about twice the remote one-way latency, enough for a
+    // burst of same-pair messages to overtake the delayed one.
+    const double us = cfg_.jitterUs > 0.0 ? cfg_.jitterUs : 8.0;
+    jitterTicks_ = std::max<Tick>(Tick{1}, usToTicks(us));
+}
+
+FaultDecision
+FaultModel::decide(ProcId src, ProcId dst, std::uint64_t xmit,
+                   FaultSalt salt) const
+{
+    // One hash chain per transmission; sub-draws re-mix with a draw
+    // index so drop/dup/delay decisions are independent.
+    std::uint64_t h = splitMixHash(cfg_.seed);
+    h = hashCombine(h, (static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(src))
+                        << 32) |
+                           static_cast<std::uint32_t>(dst));
+    h = hashCombine(h, xmit);
+    h = hashCombine(h, static_cast<std::uint64_t>(salt));
+    auto draw = [h](std::uint64_t idx) {
+        return splitMixHash(h + idx * 0xD1B54A32D192ED03ULL);
+    };
+
+    FaultDecision d;
+    d.drop = u01(draw(1)) < cfg_.dropPct / 100.0;
+    if (d.drop)
+        return d;
+    d.duplicate = u01(draw(2)) < cfg_.dupPct / 100.0;
+    if (u01(draw(3)) < cfg_.reorderPct / 100.0) {
+        d.extraDelay =
+            1 + static_cast<Tick>(
+                    u01(draw(4)) *
+                    static_cast<double>(jitterTicks_));
+    }
+    if (d.duplicate) {
+        d.dupDelay =
+            1 + static_cast<Tick>(
+                    u01(draw(5)) *
+                    static_cast<double>(jitterTicks_));
+    }
+    return d;
+}
+
+} // namespace shasta

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic fault injection for the inter-machine transport.
+ *
+ * The paper's prototype rides on Memory Channel, whose hardware
+ * guarantees reliable in-order delivery (Section 4.1), so the
+ * simulator's Network historically never dropped, duplicated, or
+ * reordered a message.  Commodity fabrics make no such promise; this
+ * module models an adversarial fabric so the reliability sublayer
+ * (net/reliable.hh) and the protocol above it can be proven against
+ * it.
+ *
+ * Determinism contract: every injection decision is a pure function
+ * of (seed, src, dst, per-pair transmission index, packet class),
+ * hashed through splitMixHash.  No generator state is consumed, so
+ * two runs of the same configuration make byte-identical decisions
+ * regardless of event interleaving, host, or how many sweep worker
+ * threads run other configurations concurrently.
+ *
+ * Faults apply only to *remote* (inter-machine) traffic: the
+ * intra-machine shared-memory queues are cache-coherent loads and
+ * stores, which do not lose messages.
+ */
+
+#ifndef SHASTA_NET_FAULT_HH
+#define SHASTA_NET_FAULT_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/topology.hh"
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+/** Fault-injection knobs for one run (all probabilities percent per
+ *  physical transmission; 0 everywhere = faults off). */
+struct FaultConfig
+{
+    /** Probability a transmission is silently dropped. */
+    double dropPct = 0.0;
+    /** Probability the fabric delivers a second, duplicate copy. */
+    double dupPct = 0.0;
+    /** Probability a delivery is delayed by a jitter draw, letting
+     *  later same-pair messages overtake it (reordering). */
+    double reorderPct = 0.0;
+    /** Maximum extra delay of a jittered delivery, in microseconds
+     *  (0 picks a default large enough to actually reorder). */
+    double jitterUs = 0.0;
+    /** Root of the decision hash (SHASTA_FAULT_SEED). */
+    std::uint64_t seed = 1;
+
+    bool
+    enabled() const
+    {
+        return dropPct > 0.0 || dupPct > 0.0 || reorderPct > 0.0;
+    }
+
+    /**
+     * Apply the fault environment knobs, if set:
+     * SHASTA_DROP_PCT, SHASTA_DUP_PCT, SHASTA_REORDER_PCT,
+     * SHASTA_JITTER_US, SHASTA_FAULT_SEED, and the kill switch
+     * SHASTA_FAULT=off|0 (forces everything off, e.g. to shield a
+     * golden run inside a faulty sweep).
+     */
+    void applyEnv();
+
+    /** Abort with a message on out-of-range knobs (mirrors
+     *  DsmConfig::validate). */
+    void validate() const;
+
+    /**
+     * Parse a bench `--fault=` spec into @p out: comma-separated
+     * `key:value` tokens with keys drop, dup, reorder, jitter, seed,
+     * e.g. "drop:2,dup:1,reorder:1,jitter:20,seed:7".
+     * @return false on a malformed spec (out may be partly written).
+     */
+    static bool parse(std::string_view spec, FaultConfig &out);
+};
+
+/** What the fabric does to one physical transmission. */
+struct FaultDecision
+{
+    bool drop = false;
+    bool duplicate = false;
+    /** Extra delivery delay (0 = delivered at the modeled arrival). */
+    Tick extraDelay = 0;
+    /** Delay of the duplicate copy relative to the original. */
+    Tick dupDelay = 0;
+};
+
+/** Packet classes salted into the decision hash so data and ack
+ *  transmissions of the same index draw independently. */
+enum class FaultSalt : std::uint64_t
+{
+    Data = 0,
+    Ack = 1,
+};
+
+/**
+ * Stateless decision function over a FaultConfig.
+ *
+ * decide() may be called in any order and any number of times; the
+ * result for a given (src, dst, xmit, salt) never changes.
+ */
+class FaultModel
+{
+  public:
+    explicit FaultModel(const FaultConfig &cfg);
+
+    /** Fabric behavior for transmission number @p xmit (per directed
+     *  pair, counted by the caller) from @p src to @p dst. */
+    FaultDecision decide(ProcId src, ProcId dst, std::uint64_t xmit,
+                         FaultSalt salt) const;
+
+    const FaultConfig &config() const { return cfg_; }
+
+  private:
+    FaultConfig cfg_;
+    /** Jitter magnitude in ticks (defaulted when jitterUs is 0). */
+    Tick jitterTicks_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_FAULT_HH

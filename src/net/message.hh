@@ -199,6 +199,36 @@ constexpr std::uint32_t kMsgHeaderBytes = 32;
 struct Message
 {
     MsgType type = MsgType::ReadReq;
+
+    /** @{ Reliability-sublayer sequence number, 24 bits packed into
+     *  the padding bytes after `type` (the struct's last remaining
+     *  hole -- sizeof(Message) must stay 120, see the static_assert
+     *  below).  0 means unsequenced: local traffic, and all traffic
+     *  when fault injection is off, never carries a sequence number.
+     *  Sequenced remote messages count 1..2^24-1 per directed
+     *  processor pair, wrapping back to 1 (net/reliable.cc compares
+     *  with serial-number arithmetic). */
+    std::uint8_t relSeqLo = 0;
+    std::uint8_t relSeqMid = 0;
+    std::uint8_t relSeqHi = 0;
+
+    std::uint32_t
+    relSeq() const
+    {
+        return static_cast<std::uint32_t>(relSeqLo) |
+               (static_cast<std::uint32_t>(relSeqMid) << 8) |
+               (static_cast<std::uint32_t>(relSeqHi) << 16);
+    }
+
+    void
+    setRelSeq(std::uint32_t s)
+    {
+        relSeqLo = static_cast<std::uint8_t>(s);
+        relSeqMid = static_cast<std::uint8_t>(s >> 8);
+        relSeqHi = static_cast<std::uint8_t>(s >> 16);
+    }
+    /** @} */
+
     ProcId src = -1;
     ProcId dst = -1;
 
@@ -242,6 +272,12 @@ struct Message
         return kMsgHeaderBytes + data.size();
     }
 };
+
+/** Message is copied through mailboxes and the in-flight slot pool
+ *  on the simulator's hottest path: new fields must reuse padding
+ *  holes (as flowId and the relSeq bytes do), never grow the
+ *  struct. */
+static_assert(sizeof(Message) == 120);
 
 } // namespace shasta
 

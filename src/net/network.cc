@@ -58,7 +58,65 @@ Network::deliverSlot(std::uint32_t slot)
     Message m = std::move(pending_[slot]);
     freeSlots_.push_back(slot);
     assert(deliver_);
+    // Sequenced messages (remote traffic under fault injection) pass
+    // through the reliability receiver: dedup, resequencing, acks.
+    if (rel_ != nullptr && m.relSeq() != 0) {
+        rel_->onData(std::move(m));
+        return;
+    }
     deliver_(std::move(m));
+}
+
+void
+Network::configureFaults(const FaultConfig &cfg)
+{
+    if (!cfg.enabled()) {
+        rel_.reset();
+        return;
+    }
+    cfg.validate();
+    rel_ = std::make_unique<Reliability>(*this, cfg);
+}
+
+Tick
+Network::reserveChannel(const Message &msg, Tick send_time)
+{
+    const bool remote = !topo_.sameMachine(msg.src, msg.dst);
+    const LinkParams &link = remote ? params_.remote : params_.local;
+
+    // Serialize on the per-pair channel and, for remote traffic, on
+    // the machine's outbound Memory Channel link (processors on a
+    // machine share that link's bandwidth, Section 4.3).
+    Tick start = send_time + link.sendOverhead;
+    const std::size_t pair = pairIndex(msg.src, msg.dst);
+    start = std::max(start, pairFree_[pair]);
+    const auto src_machine =
+        static_cast<std::size_t>(topo_.machineOf(msg.src));
+    if (remote)
+        start = std::max(start, linkFree_[src_machine]);
+
+    const Tick transfer = link.transferTicks(msg.wireBytes());
+    pairFree_[pair] = start + transfer;
+    if (remote)
+        linkFree_[src_machine] = start + transfer;
+
+    return start + transfer + link.wireLatency;
+}
+
+void
+Network::scheduleArrival(Message &&msg, Tick send_time, Tick arrival)
+{
+    msg.sendTime = send_time;
+    msg.arriveTime = arrival;
+    if (obs::traceJsonEnabled()) {
+        msg.flowId = obs::nextFlowId();
+        obs::emitFlowStart(msg.flowId, msg.src, send_time,
+                           msgTypeName(msg.type).data());
+    }
+    // The closure is {this, slot}: small enough for std::function's
+    // inline buffer, so scheduling allocates nothing.
+    const std::uint32_t slot = parkMessage(std::move(msg));
+    events_.schedule(arrival, [this, slot] { deliverSlot(slot); });
 }
 
 Tick
@@ -70,10 +128,11 @@ Network::send(Message msg, Tick send_time)
     assert(send_time >= events_.now());
 
     const bool remote = !topo_.sameMachine(msg.src, msg.dst);
-    const LinkParams &link = remote ? params_.remote : params_.local;
     const std::uint32_t bytes = msg.wireBytes();
 
-    // Account the message.
+    // Account the (logical) message.  Retransmissions and fabric
+    // duplicates are not re-counted here; they show up in
+    // counts_.rel instead.
     ++counts_.byType[static_cast<std::size_t>(msg.type)];
     if (msg.type == MsgType::Downgrade) {
         assert(!remote && "downgrades never cross machines");
@@ -87,35 +146,14 @@ Network::send(Message msg, Tick send_time)
         counts_.localBytes += bytes;
     }
 
-    // Serialize on the per-pair channel and, for remote traffic, on
-    // the machine's outbound Memory Channel link (processors on a
-    // machine share that link's bandwidth, Section 4.3).
-    Tick start = send_time + link.sendOverhead;
-    const std::size_t pair = pairIndex(msg.src, msg.dst);
-    start = std::max(start, pairFree_[pair]);
-    const auto src_machine =
-        static_cast<std::size_t>(topo_.machineOf(msg.src));
-    if (remote)
-        start = std::max(start, linkFree_[src_machine]);
+    // Remote traffic under fault injection detours through the
+    // reliability sublayer; everything else keeps the direct
+    // (reliable, allocation-free) path.
+    if (rel_ != nullptr && remote)
+        return rel_->send(std::move(msg), send_time);
 
-    const Tick transfer = link.transferTicks(bytes);
-    pairFree_[pair] = start + transfer;
-    if (remote)
-        linkFree_[src_machine] = start + transfer;
-
-    const Tick arrival = start + transfer + link.wireLatency;
-
-    msg.sendTime = send_time;
-    msg.arriveTime = arrival;
-    if (obs::traceJsonEnabled()) {
-        msg.flowId = obs::nextFlowId();
-        obs::emitFlowStart(msg.flowId, msg.src, send_time,
-                           msgTypeName(msg.type).data());
-    }
-    // The closure is {this, slot}: small enough for std::function's
-    // inline buffer, so scheduling allocates nothing.
-    const std::uint32_t slot = parkMessage(std::move(msg));
-    events_.schedule(arrival, [this, slot] { deliverSlot(slot); });
+    const Tick arrival = reserveChannel(msg, send_time);
+    scheduleArrival(std::move(msg), send_time, arrival);
     return arrival;
 }
 

@@ -27,14 +27,19 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "net/fault.hh"
 #include "net/message.hh"
+#include "net/reliable.hh"
 #include "net/topology.hh"
 #include "sim/event_queue.hh"
 
 namespace shasta
 {
+
+struct LatencyStats;
 
 /** Timing parameters of one transport class. */
 struct LinkParams
@@ -78,6 +83,12 @@ struct NetworkCounts
                static_cast<std::size_t>(MsgType::NumTypes)>
         byType{};
 
+    /** Reliability-sublayer activity (all zero with faults off; the
+     *  message counters above stay *logical* — retransmits and
+     *  fabric duplicates are accounted here, not there, so fault
+     *  runs remain comparable to clean ones). */
+    RelCounts rel;
+
     std::uint64_t
     total() const
     {
@@ -120,6 +131,31 @@ class Network
 
     const Topology &topology() const { return topo_; }
 
+    /** @{ Fault injection + reliability sublayer (net/fault.hh,
+     *  net/reliable.hh).  Off by default; configure before traffic
+     *  flows.  While active, remote messages are sequenced, may be
+     *  dropped/duplicated/delayed by the fault model, and are
+     *  restored to exactly-once in-order delivery by ack/retransmit
+     *  and receiver-side resequencing. */
+    void configureFaults(const FaultConfig &cfg);
+
+    bool faultsActive() const { return rel_ != nullptr; }
+
+    const Reliability *reliability() const { return rel_.get(); }
+
+    /** Monotone reliability activity stamp (see
+     *  RelCounts::progressStamp; 0 with faults off). */
+    std::uint64_t
+    relProgress() const
+    {
+        return counts_.rel.progressStamp();
+    }
+
+    /** Histogram sink for LatencyClass::RetryDelay samples (owned by
+     *  the protocol core; may be null). */
+    void setLatencySink(LatencyStats *lat) { latSink_ = lat; }
+    /** @} */
+
   private:
     /** Index into the per-pair channel table. */
     std::size_t
@@ -134,8 +170,31 @@ class Network
     std::uint32_t parkMessage(Message &&msg);
 
     /** Run by the delivery event: free the slot, hand over the
-     *  message. */
+     *  message (sequenced messages detour through the reliability
+     *  sublayer's receiver first). */
     void deliverSlot(std::uint32_t slot);
+
+    /** @{ Transmission internals shared with the reliability
+     *  sublayer (which issues retransmissions and fabric duplicates
+     *  outside the logical send path). */
+    friend class Reliability;
+
+    /** Serialize on the pair channel (and machine link for remote
+     *  traffic) and return the modeled arrival tick. */
+    Tick reserveChannel(const Message &msg, Tick send_time);
+
+    /** Stamp times, emit the flow trace, park, and schedule the
+     *  delivery event. */
+    void scheduleArrival(Message &&msg, Tick send_time, Tick arrival);
+
+    /** Hand an in-order message to the deliver callback (used by the
+     *  reliability receiver, including for resequenced releases). */
+    void
+    deliverUp(Message &&m)
+    {
+        deliver_(std::move(m));
+    }
+    /** @} */
 
     EventQueue &events_;
     Topology topo_;
@@ -155,6 +214,10 @@ class Network
     std::vector<std::uint32_t> freeSlots_;
 
     NetworkCounts counts_;
+
+    /** Present only while fault injection is configured. */
+    std::unique_ptr<Reliability> rel_;
+    LatencyStats *latSink_ = nullptr;
 };
 
 } // namespace shasta

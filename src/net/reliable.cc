@@ -1,0 +1,246 @@
+#include "net/reliable.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "net/network.hh"
+#include "obs/trace_json.hh"
+#include "stats/histogram.hh"
+
+namespace shasta
+{
+
+Reliability::Reliability(Network &net, const FaultConfig &cfg)
+    : net_(net), model_(cfg)
+{
+    // Pre-size so PairState references stay stable across the
+    // reentrant deliveries below (a handler replying inline can
+    // reenter send() mid-onData).
+    const auto n =
+        static_cast<std::size_t>(net_.topology().numProcs());
+    pairs_.resize(n * n);
+}
+
+Reliability::PairState &
+Reliability::pair(ProcId src, ProcId dst)
+{
+    return pairs_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(
+                          net_.topology().numProcs()) +
+                  static_cast<std::size_t>(dst)];
+}
+
+Tick
+Reliability::initialRto(ProcId src, ProcId dst) const
+{
+    // ~2x the unloaded round trip (data out, ack back), floored so
+    // short local jitter settings cannot arm timers faster than the
+    // fabric can answer.
+    const Tick rtt =
+        net_.unloadedLatency(src, dst, kMsgHeaderBytes + 64) +
+        net_.unloadedLatency(dst, src, kMsgHeaderBytes);
+    return std::max(2 * rtt, usToTicks(10.0));
+}
+
+Tick
+Reliability::send(Message &&msg, Tick send_time)
+{
+    PairState &ps = pair(msg.src, msg.dst);
+    const std::uint32_t seq = ps.sndNext;
+    ps.sndNext = relSeqNext(ps.sndNext);
+    msg.setRelSeq(seq);
+    ++net_.counts_.rel.dataMsgs;
+
+    PairState::Pending &p = ps.pending[seq];
+    p.msg = msg;
+    p.firstSend = send_time;
+    p.rto = initialRto(msg.src, msg.dst);
+    p.attempts = 0;
+
+    return transmit(ps, std::move(msg), send_time);
+}
+
+Tick
+Reliability::transmit(PairState &ps, Message &&msg, Tick now)
+{
+    const ProcId src = msg.src;
+    const ProcId dst = msg.dst;
+    const std::uint32_t seq = msg.relSeq();
+
+    auto it = ps.pending.find(seq);
+    assert(it != ps.pending.end());
+    PairState::Pending &p = it->second;
+    ++p.attempts;
+
+    // The decision is keyed by the per-pair *transmission* counter,
+    // not the sequence number: a retransmit draws a fresh decision,
+    // so a lossy link is lossy, not a black hole.
+    const FaultDecision d =
+        model_.decide(src, dst, ps.xmit++, FaultSalt::Data);
+
+    // Arm the retransmit timer before anything else: it covers the
+    // dropped case too.
+    net_.events_.schedule(now + p.rto, [this, src, dst, seq] {
+        onRetxTimer(src, dst, seq);
+    });
+
+    // A dropped packet still occupied the wire up to the drop point;
+    // charge the channel either way.
+    const Tick arrival = net_.reserveChannel(msg, now);
+
+    if (d.drop) {
+        ++net_.counts_.rel.faultDrops;
+        if (obs::traceJsonEnabled())
+            obs::emitInstant(src, now, "fault-drop", "fault", seq);
+        return arrival;
+    }
+    if (d.duplicate) {
+        ++net_.counts_.rel.faultDups;
+        if (obs::traceJsonEnabled())
+            obs::emitInstant(src, now, "fault-dup", "fault", seq);
+        // The fabric conjures the copy; it does not re-serialize on
+        // the sender's channel.
+        Message copy = msg;
+        net_.scheduleArrival(std::move(copy), now,
+                             arrival + d.dupDelay);
+    }
+    if (d.extraDelay > 0) {
+        ++net_.counts_.rel.faultDelays;
+        if (obs::traceJsonEnabled())
+            obs::emitInstant(src, now, "fault-delay", "fault", seq);
+    }
+    net_.scheduleArrival(std::move(msg), now, arrival + d.extraDelay);
+    return arrival;
+}
+
+void
+Reliability::onRetxTimer(ProcId src, ProcId dst, std::uint32_t seq)
+{
+    PairState &ps = pair(src, dst);
+    auto it = ps.pending.find(seq);
+    if (it == ps.pending.end())
+        return; // acked in the meantime
+    PairState::Pending &p = it->second;
+    if (p.attempts >= kMaxAttempts) {
+        // At the supported drop rates (<= 50%) the chance of losing
+        // kMaxAttempts transmissions in a row is ~2^-30: this is a
+        // misconfigured (or adversarial) link, not bad luck.
+        throw std::runtime_error(
+            "Reliability: message exceeded retransmit limit");
+    }
+    const Tick now = net_.events_.now();
+    ++net_.counts_.rel.retransmits;
+    if (net_.latSink_ != nullptr)
+        net_.latSink_->record(LatencyClass::RetryDelay,
+                              now - p.firstSend);
+    if (obs::traceJsonEnabled())
+        obs::emitInstant(src, now, "retransmit", "fault", seq);
+    // Capped exponential backoff: doubling stops at 64x the initial
+    // timeout, enough to ride out congested channels without turning
+    // a single loss into a simulated-millisecond stall.
+    p.rto = std::min(p.rto * 2, initialRto(src, dst) * 64);
+    Message copy = p.msg;
+    transmit(ps, std::move(copy), now);
+}
+
+void
+Reliability::onData(Message &&msg)
+{
+    PairState &ps = pair(msg.src, msg.dst);
+    const ProcId src = msg.src;
+    const ProcId dst = msg.dst;
+    const std::uint32_t seq = msg.relSeq();
+    assert(seq != 0);
+
+    if (relSeqLt(seq, ps.rcvNext) || ps.buffer.count(seq) != 0) {
+        // Already delivered or already parked: a fabric duplicate or
+        // a retransmit that crossed the ack.  Re-ack so the sender
+        // learns its state even if the first ack was lost.
+        ++net_.counts_.rel.dupDrops;
+        if (obs::traceJsonEnabled())
+            obs::emitInstant(dst, net_.events_.now(), "dup-drop",
+                             "fault", seq);
+        sendAck(ps, src, dst);
+        return;
+    }
+
+    if (seq == ps.rcvNext) {
+        ps.rcvNext = relSeqNext(ps.rcvNext);
+        net_.deliverUp(std::move(msg));
+        // Release any buffered messages the gap was blocking.
+        // Re-find each iteration: delivery can reenter and mutate
+        // the buffer.
+        for (auto bit = ps.buffer.find(ps.rcvNext);
+             bit != ps.buffer.end();
+             bit = ps.buffer.find(ps.rcvNext)) {
+            Message next = std::move(bit->second);
+            ps.buffer.erase(bit);
+            ps.rcvNext = relSeqNext(ps.rcvNext);
+            // The message sat in the reorder buffer; it becomes
+            // visible now, not at its (stale) wire arrival time.
+            next.arriveTime = net_.events_.now();
+            net_.deliverUp(std::move(next));
+        }
+    } else {
+        ++net_.counts_.rel.reorderBuffered;
+        ps.buffer.emplace(seq, std::move(msg));
+    }
+    sendAck(ps, src, dst);
+}
+
+void
+Reliability::sendAck(PairState &ps, ProcId src, ProcId dst)
+{
+    ++net_.counts_.rel.acksSent;
+    // Acks ride the reverse direction but draw decisions from the
+    // forward pair's ack counter, salted so they are independent of
+    // the data stream.  Only the drop probability applies: acks are
+    // cumulative, so duplicating or delaying them is uninteresting.
+    const FaultDecision d =
+        model_.decide(src, dst, ps.ackXmit++, FaultSalt::Ack);
+    if (d.drop) {
+        ++net_.counts_.rel.ackDrops;
+        if (obs::traceJsonEnabled())
+            obs::emitInstant(dst, net_.events_.now(), "ack-drop",
+                             "fault", ps.rcvNext);
+        return;
+    }
+    // Cumulative ack: everything strictly before rcvNext has been
+    // delivered.  (The initial value 0 means "nothing yet"; serial
+    // arithmetic in onAck handles it uniformly.)
+    const std::uint32_t cum = (ps.rcvNext - 1) & kRelSeqMask;
+    // Acks are small control messages on a side channel: they do not
+    // enter mailboxes (no MsgType) and do not contend for pair/link
+    // bandwidth, they just take the unloaded reverse latency.
+    const Tick delay =
+        net_.unloadedLatency(dst, src, kMsgHeaderBytes);
+    net_.events_.schedule(net_.events_.now() + delay,
+                          [this, src, dst, cum] {
+                              onAck(src, dst, cum);
+                          });
+}
+
+void
+Reliability::onAck(ProcId src, ProcId dst, std::uint32_t cumSeq)
+{
+    ++net_.counts_.rel.acksReceived;
+    PairState &ps = pair(src, dst);
+    for (auto it = ps.pending.begin(); it != ps.pending.end();) {
+        if (!relSeqLt(cumSeq, it->first)) // it->first <= cumSeq
+            it = ps.pending.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::size_t
+Reliability::pendingUnacked() const
+{
+    std::size_t n = 0;
+    for (const PairState &ps : pairs_)
+        n += ps.pending.size() + ps.buffer.size();
+    return n;
+}
+
+} // namespace shasta

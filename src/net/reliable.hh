@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Reliability sublayer between Network::send and the mailboxes.
+ *
+ * When fault injection is configured (net/fault.hh), remote messages
+ * travel over an unreliable fabric that may drop, duplicate, or
+ * delay them.  This layer restores the delivery contract the
+ * protocol agents were written against — exactly-once, per-pair
+ * FIFO — using the classic machinery:
+ *
+ *  - every remote data message carries a 24-bit per-directed-pair
+ *    sequence number packed into Message padding (Message::relSeq);
+ *  - the receiver delivers strictly in sequence order: duplicates
+ *    (seq already delivered or already buffered) are dropped, gaps
+ *    cause out-of-order arrivals to park in a reorder buffer, and
+ *    every arrival triggers a cumulative ack back to the sender;
+ *  - the sender keeps a copy of each unacked message and retransmits
+ *    on a per-message timeout with capped exponential backoff,
+ *    scheduled on the timing-wheel EventQueue; it gives up (throws)
+ *    after kMaxAttempts, which at the supported drop rates means the
+ *    link is configured hostile rather than lossy.
+ *
+ * Acks are internal events, not Messages: they never enter mailboxes
+ * or the dispatch table, so no MsgType is added and the handler
+ * tables stay exhaustive.  Ack transmissions draw their own fault
+ * decisions (FaultSalt::Ack) and may be dropped; cumulative acking
+ * plus sender retransmission makes that safe.
+ *
+ * Everything here is driven by the deterministic event queue and the
+ * stateless FaultModel, so runs remain byte-reproducible.  This
+ * layer only exists while faults are enabled; with faults off the
+ * Network fast path is untouched and allocation-free as before
+ * (tests/alloc_test.cc), while the faulty path may allocate (reorder
+ * buffers, pending maps).
+ */
+
+#ifndef SHASTA_NET_RELIABLE_HH
+#define SHASTA_NET_RELIABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/fault.hh"
+#include "net/message.hh"
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+class Network;
+struct LatencyStats;
+
+/** Reliability/fault counters, nested in NetworkCounts so the usual
+ *  reset/snapshot plumbing covers them. */
+struct RelCounts
+{
+    /** Sequenced data messages handed to the sublayer. */
+    std::uint64_t dataMsgs = 0;
+    /** Retransmissions after an ack timeout. */
+    std::uint64_t retransmits = 0;
+    /** Transmissions the fabric dropped (data). */
+    std::uint64_t faultDrops = 0;
+    /** Duplicate copies the fabric injected. */
+    std::uint64_t faultDups = 0;
+    /** Deliveries the fabric jittered/delayed. */
+    std::uint64_t faultDelays = 0;
+    /** Receiver-side duplicate suppressions. */
+    std::uint64_t dupDrops = 0;
+    /** Out-of-order arrivals parked for resequencing. */
+    std::uint64_t reorderBuffered = 0;
+    /** Acks sent / lost to the fabric / processed by the sender. */
+    std::uint64_t acksSent = 0;
+    std::uint64_t ackDrops = 0;
+    std::uint64_t acksReceived = 0;
+
+    bool
+    any() const
+    {
+        return dataMsgs != 0 || retransmits != 0 || faultDrops != 0 ||
+               faultDups != 0 || faultDelays != 0 || dupDrops != 0 ||
+               reorderBuffered != 0 || acksSent != 0 ||
+               ackDrops != 0 || acksReceived != 0;
+    }
+
+    /** Monotone activity stamp: changes whenever the sublayer did
+     *  anything at all.  The watchdog compares stamps to tell a
+     *  retry storm (stamp moving) from a true stall (stamp frozen).
+     *  Monotone because every counter only increments. */
+    std::uint64_t
+    progressStamp() const
+    {
+        return dataMsgs + retransmits + faultDrops + faultDups +
+               faultDelays + dupDrops + reorderBuffered + acksSent +
+               ackDrops + acksReceived;
+    }
+};
+
+/** The sender/receiver state machines (one instance per Network,
+ *  created by Network::configureFaults). */
+class Reliability
+{
+  public:
+    Reliability(Network &net, const FaultConfig &cfg);
+
+    /** Sender entry: sequence, remember, and transmit a remote data
+     *  message.  Returns the optimistic (no-retransmit) arrival. */
+    Tick send(Message &&msg, Tick send_time);
+
+    /** Receiver entry: a sequenced message reached the destination.
+     *  Delivers in-order messages (and any unblocked buffered ones)
+     *  up through the Network's deliver callback; suppresses
+     *  duplicates; always acks cumulatively. */
+    void onData(Message &&msg);
+
+    const FaultModel &model() const { return model_; }
+
+    /** Messages currently awaiting ack or resequencing (tests). */
+    std::size_t pendingUnacked() const;
+
+    /** Retransmission cap per message; exceeding it throws. */
+    static constexpr int kMaxAttempts = 30;
+
+  private:
+    /** Per-directed-pair sender + receiver state.  The sender half
+     *  lives in the (src, dst) entry, the receiver half in the same
+     *  entry (indexed identically from both sides: the state for
+     *  traffic src->dst). */
+    struct PairState
+    {
+        /** @{ Sender side. */
+        /** Next sequence number to assign (1-based; wraps). */
+        std::uint32_t sndNext = 1;
+        /** Per-transmission fault-decision index (never reused, so
+         *  a retransmit draws a fresh decision). */
+        std::uint64_t xmit = 0;
+        /** Ack-transmission fault-decision index (receiver side of
+         *  the reverse pair uses the forward pair's entry). */
+        std::uint64_t ackXmit = 0;
+        struct Pending
+        {
+            Message msg;
+            Tick firstSend = 0;
+            Tick rto = 0;
+            int attempts = 0;
+        };
+        /** Unacked messages by sequence number. */
+        std::map<std::uint32_t, Pending> pending;
+        /** @} */
+
+        /** @{ Receiver side. */
+        /** Next sequence number to deliver. */
+        std::uint32_t rcvNext = 1;
+        /** Out-of-order arrivals awaiting the gap to fill. */
+        std::map<std::uint32_t, Message> buffer;
+        /** @} */
+    };
+
+    PairState &pair(ProcId src, ProcId dst);
+
+    /** One physical transmission of @p msg (original or retransmit):
+     *  draws a fault decision, charges the channel, schedules the
+     *  delivery/duplicate events, and arms the retransmit timer. */
+    Tick transmit(PairState &ps, Message &&msg, Tick now);
+
+    void onRetxTimer(ProcId src, ProcId dst, std::uint32_t seq);
+
+    /** Send a cumulative ack for pair (src -> dst) back to src. */
+    void sendAck(PairState &ps, ProcId src, ProcId dst);
+
+    void onAck(ProcId src, ProcId dst, std::uint32_t cumSeq);
+
+    /** Initial retransmission timeout for a pair (≈ 2x RTT). */
+    Tick initialRto(ProcId src, ProcId dst) const;
+
+    Network &net_;
+    FaultModel model_;
+    std::vector<PairState> pairs_;
+};
+
+/** @{ 24-bit serial-number arithmetic (sequence space 1..2^24-1;
+ *  0 is reserved for "unsequenced"). */
+constexpr std::uint32_t kRelSeqMask = 0xFFFFFFu;
+
+constexpr std::uint32_t
+relSeqNext(std::uint32_t s)
+{
+    const std::uint32_t n = (s + 1) & kRelSeqMask;
+    return n == 0 ? 1 : n;
+}
+
+/** True when @p a is strictly older than @p b in wrapping order. */
+constexpr bool
+relSeqLt(std::uint32_t a, std::uint32_t b)
+{
+    return a != b && ((b - a) & kRelSeqMask) < 0x800000u;
+}
+/** @} */
+
+} // namespace shasta
+
+#endif // SHASTA_NET_RELIABLE_HH

@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <vector>
 
 namespace shasta::obs
 {
@@ -179,6 +180,35 @@ toJson(const RunSummary &s, int indent)
     }
     o += "}\n" + in1 + "},\n";
 
+    // Reliability-sublayer activity: present only when something
+    // happened, so faults-off output stays byte-identical to builds
+    // that predate fault injection.
+    if (n.rel.any()) {
+        const RelCounts &r = n.rel;
+        o += in1 + "\"reliability\": {\n";
+        appendf(o, "%s\"dataMsgs\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.dataMsgs));
+        appendf(o, "%s\"retransmits\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.retransmits));
+        appendf(o, "%s\"faultDrops\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.faultDrops));
+        appendf(o, "%s\"faultDups\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.faultDups));
+        appendf(o, "%s\"faultDelays\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.faultDelays));
+        appendf(o, "%s\"dupDrops\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.dupDrops));
+        appendf(o, "%s\"reorderBuffered\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.reorderBuffered));
+        appendf(o, "%s\"acksSent\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.acksSent));
+        appendf(o, "%s\"ackDrops\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(r.ackDrops));
+        appendf(o, "%s\"acksReceived\": %llu\n", in2.c_str(),
+                static_cast<unsigned long long>(r.acksReceived));
+        o += in1 + "},\n";
+    }
+
     const CheckCounters &k = s.checks;
     o += in1 + "\"checks\": {\n";
     appendf(o, "%s\"loads\": %llu,\n", in2.c_str(),
@@ -196,10 +226,21 @@ toJson(const RunSummary &s, int indent)
     o += in1 + "},\n";
 
     o += in1 + "\"latency\": {\n";
-    const auto classes =
-        static_cast<std::size_t>(LatencyClass::NumClasses);
-    for (std::size_t i = 0; i < classes; ++i) {
+    // RetryDelay only exists under fault injection; omit it when
+    // empty so faults-off output matches the pre-fault format.
+    std::vector<LatencyClass> latClasses;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(LatencyClass::NumClasses);
+         ++i) {
         const auto cls = static_cast<LatencyClass>(i);
+        if (cls == LatencyClass::RetryDelay &&
+            s.lat.of(cls).count() == 0)
+            continue;
+        latClasses.push_back(cls);
+    }
+    const std::size_t classes = latClasses.size();
+    for (std::size_t i = 0; i < classes; ++i) {
+        const LatencyClass cls = latClasses[i];
         const Log2Histogram &h = s.lat.of(cls);
         appendf(o, "%s\"%s\": {\"count\": %llu, \"p50Us\": ",
                 in2.c_str(), latencyClassName(cls),

@@ -357,16 +357,332 @@ pollPlacement(bool poll_between)
     return sc;
 }
 
+// --------------------------------------------------------------------
+// Fault-schedule scenarios: what the reliability sublayer must
+// guarantee so the downgrade protocol above stays correct when the
+// fabric drops, duplicates, or reorders messages.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Flags reused by the fault-schedule family (these scenarios build
+ *  their own threads, so kAcked's slot is free). */
+constexpr int kAllHandled = 2; ///< P1 applied the final downgrade
+constexpr int kLateRead = 3;   ///< P2 performed its gated read
+
+/** Mailbox encoding for sequenced downgrades: seq * 4 + operand.
+ *  The operand is a line index (duplicate scenario) or a target
+ *  state (reorder scenario). */
+constexpr int
+seqMsg(int seq, int operand)
+{
+    return seq * 4 + operand;
+}
+
+Step
+pushMsg(const char *label, int msg)
+{
+    return Step{label, nullptr,
+                [msg](MiniState &s) {
+                    s.mailbox[0].push_back(msg);
+                },
+                nullptr};
+}
+
+/**
+ * P1's handler for the duplicate scenario.  Payload: seq * 4 + line
+ * (line 0 = the word P1 stores to, line 1 = an unrelated word); the
+ * downgrade target is always Invalid.  reg[0][1] is the highest
+ * sequence applied, reg[1][1] the naive anonymous ack counter, and
+ * reg[1][2] the highest sequence acknowledged.
+ */
+void
+handleDupMsg(MiniState &s, bool seq_dedup)
+{
+    if (s.mailbox[0].empty())
+        return;
+    const int m = s.mailbox[0].front();
+    s.mailbox[0].pop_front();
+    const std::uint32_t seq = static_cast<std::uint32_t>(m / 4);
+    const int line = m % 4;
+    if (seq_dedup && seq <= s.reg[0][1]) {
+        // Duplicate: drop it, but re-acknowledge the highest
+        // sequence applied so the sender can still make progress.
+        s.reg[1][2] = s.reg[0][1];
+        return;
+    }
+    s.reg[0][1] = seq;
+    s.privState[line] = 0;
+    if (line == 0)
+        s.flag[kAllHandled] = true;
+    ++s.reg[1][1];
+    s.reg[1][2] = seq;
+}
+
+/**
+ * P1's handler for the reorder scenario.  Payload: seq * 4 + target
+ * state, both downgrades for the line P1 loads from; invalidation
+ * stomps the line with the flag pattern (as the real handler does).
+ * reg[0][2] is the last sequence applied in order; reg[0][3] holds a
+ * buffered out-of-order message + 1 (0 = empty).
+ */
+void
+handleReorderMsg(MiniState &s, bool resequence)
+{
+    if (s.mailbox[0].empty())
+        return;
+    const auto apply = [](MiniState &st, int target) {
+        st.privState[0] = target;
+        if (target == 0)
+            st.memory = kFlagValue;
+    };
+    const int m = s.mailbox[0].front();
+    s.mailbox[0].pop_front();
+    if (!resequence) {
+        apply(s, m % 4);
+        ++s.reg[0][2]; // counts applied messages in this variant
+        if (s.reg[0][2] == 2)
+            s.flag[kAllHandled] = true;
+        return;
+    }
+    const std::uint32_t seq = static_cast<std::uint32_t>(m / 4);
+    if (seq != s.reg[0][2] + 1) {
+        s.reg[0][3] = static_cast<std::uint32_t>(m) + 1;
+        return;
+    }
+    apply(s, m % 4);
+    s.reg[0][2] = seq;
+    if (s.reg[0][3] != 0 &&
+        (s.reg[0][3] - 1) / 4 == s.reg[0][2] + 1) {
+        const int buffered = static_cast<int>(s.reg[0][3]) - 1;
+        s.reg[0][3] = 0;
+        apply(s, buffered % 4);
+        s.reg[0][2] = static_cast<std::uint32_t>(buffered / 4);
+    }
+    if (s.reg[0][2] == 2)
+        s.flag[kAllHandled] = true;
+}
+
+/** An unguarded poll point running @p handler once. */
+Step
+faultPoll(const char *label, void (*handler)(MiniState &, bool),
+          bool strict)
+{
+    return Step{label, nullptr,
+                [handler, strict](MiniState &s) {
+                    handler(s, strict);
+                },
+                nullptr};
+}
+
+/**
+ * P1's trailing drain loop: keep handling messages until the final
+ * downgrade has been applied, then fall through.  Enabled only when
+ * there is mail or nothing is left to do, which keeps the DFS
+ * finite.
+ */
+Step
+drainLoop(int own_pc, void (*handler)(MiniState &, bool),
+          bool strict)
+{
+    return Step{"drain", [](const MiniState &s) {
+                    return !s.mailbox[0].empty() ||
+                           s.flag[kAllHandled];
+                },
+                [handler, strict](MiniState &s) {
+                    handler(s, strict);
+                },
+                [own_pc](const MiniState &s) {
+                    return s.flag[kAllHandled] ? -1 : own_pc;
+                }};
+}
+
+} // namespace
+
+Scenario
+faultDropDowngrade(bool with_retransmit)
+{
+    Scenario sc;
+    sc.name = with_retransmit ? "fault-drop-retransmit"
+                              : "fault-drop-no-retransmit";
+    sc.description =
+        "network drops the downgrade message; retransmission timer "
+        "present or absent";
+    sc.init = initialState(2, 2);
+
+    Thread p2;
+    // The fabric eats the first copy: nothing reaches P1's mailbox.
+    p2.push_back(Step{"send-downgrade-DROPPED", nullptr,
+                      [](MiniState &) {}, nullptr});
+    if (with_retransmit) {
+        // The retry timer fires and the second copy gets through.
+        p2.push_back(Step{"retransmit-downgrade", nullptr,
+                          [](MiniState &s) {
+                              s.mailbox[0].push_back(0);
+                          },
+                          nullptr});
+    }
+    p2.push_back(Step{"wait-ack",
+                      [](const MiniState &s) {
+                          return s.flag[kAcked];
+                      },
+                      [](MiniState &) {}, nullptr});
+    p2.push_back(Step{"read-data", nullptr,
+                      [](MiniState &s) { s.reg[1][0] = s.memory; },
+                      nullptr});
+    p2.push_back(Step{"set-state", nullptr,
+                      [](MiniState &s) { s.sharedState = 0; },
+                      nullptr});
+    p2.push_back(Step{"write-flag", nullptr,
+                      [](MiniState &s) { s.memory = kFlagValue; },
+                      nullptr});
+
+    sc.threads = {checkedStore(true, true), std::move(p2)};
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[1][0] != kNewValue;
+    };
+    sc.expectViolations = false;
+    sc.expectDeadlocks = !with_retransmit;
+    return sc;
+}
+
+Scenario
+faultDuplicateDowngrade(bool seq_dedup)
+{
+    Scenario sc;
+    sc.name = seq_dedup ? "fault-dup-seq-dedup" : "fault-dup-naive";
+    sc.description =
+        "network duplicates a sequenced downgrade; receiver either "
+        "re-acks it blindly or dedups by sequence number";
+    sc.init = initialState(2, 2);
+    sc.init.memory2 = kOldValue;
+    sc.init.privState[1] = 2; // the unrelated line, also exclusive
+
+    Thread p1;
+    p1.push_back(faultPoll("poll-1", handleDupMsg, seq_dedup));
+    p1.push_back(faultPoll("poll-2", handleDupMsg, seq_dedup));
+    p1.push_back(Step{
+        "check-state", nullptr,
+        [](MiniState &s) {
+            s.reg[0][0] =
+                static_cast<std::uint32_t>(s.privState[0]);
+        },
+        [](const MiniState &s) {
+            return s.reg[0][0] == 2 ? 3 : 4;
+        }});
+    p1.push_back(Step{"store", nullptr,
+                      [](MiniState &s) {
+                          s.memory = kNewValue;
+                          s.flag[kStoreDone] = true;
+                      },
+                      nullptr});
+    p1.push_back(drainLoop(4, handleDupMsg, seq_dedup));
+
+    const auto ackAtLeast = [seq_dedup](std::uint32_t n) {
+        return [seq_dedup, n](const MiniState &s) {
+            return (seq_dedup ? s.reg[1][2] : s.reg[1][1]) >= n;
+        };
+    };
+    Thread p2;
+    p2.push_back(pushMsg("send-dgB-seq1", seqMsg(1, 1)));
+    p2.push_back(pushMsg("dup-dgB-seq1", seqMsg(1, 1)));
+    p2.push_back(Step{"wait-ack-1", ackAtLeast(1),
+                      [](MiniState &) {}, nullptr});
+    p2.push_back(Step{"read-B", nullptr,
+                      [](MiniState &s) { s.reg[1][3] = s.memory2; },
+                      nullptr});
+    p2.push_back(pushMsg("send-dgA-seq2", seqMsg(2, 0)));
+    p2.push_back(Step{"wait-ack-2", ackAtLeast(2),
+                      [](MiniState &) {}, nullptr});
+    p2.push_back(Step{"read-A", nullptr,
+                      [](MiniState &s) {
+                          s.reg[1][0] = s.memory;
+                          s.flag[kLateRead] = true;
+                      },
+                      nullptr});
+
+    sc.threads = {std::move(p1), std::move(p2)};
+    // P2's gated read of line A missed P1's store: the stale ack of
+    // the duplicated seq-1 message stood in for seq 2's ack.
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.flag[kLateRead] &&
+               s.reg[1][0] != kNewValue;
+    };
+    sc.expectViolations = !seq_dedup;
+    return sc;
+}
+
+Scenario
+faultReorderDowngrade(bool resequence)
+{
+    Scenario sc;
+    sc.name = resequence ? "fault-reorder-resequenced"
+                         : "fault-reorder-naive";
+    sc.description =
+        "network reorders exclusive-to-shared (seq 1) behind "
+        "shared-to-invalid (seq 2); receiver applies in arrival "
+        "order or resequences";
+    sc.init = initialState(2, 2);
+
+    Thread p1;
+    p1.push_back(faultPoll("poll-1", handleReorderMsg, resequence));
+    p1.push_back(faultPoll("poll-2", handleReorderMsg, resequence));
+    p1.push_back(Step{
+        "check-state", nullptr,
+        [](MiniState &s) {
+            s.reg[0][0] =
+                static_cast<std::uint32_t>(s.privState[0]);
+        },
+        [](const MiniState &s) {
+            return s.reg[0][0] >= 1 ? 3 : 4;
+        }});
+    p1.push_back(Step{"load", nullptr,
+                      [](MiniState &s) {
+                          s.reg[0][1] = s.memory;
+                          s.flag[kStoreDone] = true; // access done
+                      },
+                      nullptr});
+    p1.push_back(drainLoop(4, handleReorderMsg, resequence));
+
+    Thread p2;
+    p2.push_back(
+        pushMsg("send-dg2-seq2-first", seqMsg(2, /*invalid=*/0)));
+    p2.push_back(
+        pushMsg("send-dg1-seq1-late", seqMsg(1, /*shared=*/1)));
+
+    sc.threads = {std::move(p1), std::move(p2)};
+    // The state-checked load returned the invalid-flag pattern: the
+    // line read Shared in the table but had already been stomped by
+    // the out-of-order invalidation.
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[0][1] == kFlagValue;
+    };
+    sc.expectViolations = !resequence;
+    return sc;
+}
+
 std::vector<Scenario>
 allScenarios()
 {
     return {
-        figure2a(false),    figure2a(true),
-        figure2b(false),    figure2b(true),
-        figure2c(false),    figure2c(false, true),
-        figure2c(true),     fpFlagCheck(false),
-        fpFlagCheck(true),  pollPlacement(false),
+        figure2a(false),
+        figure2a(true),
+        figure2b(false),
+        figure2b(true),
+        figure2c(false),
+        figure2c(false, true),
+        figure2c(true),
+        fpFlagCheck(false),
+        fpFlagCheck(true),
+        pollPlacement(false),
         pollPlacement(true),
+        faultDropDowngrade(false),
+        faultDropDowngrade(true),
+        faultDuplicateDowngrade(false),
+        faultDuplicateDowngrade(true),
+        faultReorderDowngrade(false),
+        faultReorderDowngrade(true),
     };
 }
 

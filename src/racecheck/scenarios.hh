@@ -34,6 +34,11 @@ struct Scenario
     ModelChecker::Predicate violation;
     /** Whether the paper predicts violating interleavings. */
     bool expectViolations;
+    /** Whether every schedule is expected to wedge (used by the
+     *  fault-schedule scenarios: a dropped downgrade with no
+     *  retransmission deadlocks the protocol in all interleavings,
+     *  so there are no terminal states at all). */
+    bool expectDeadlocks = false;
 };
 
 /** Application data values used by the scenarios. */
@@ -77,6 +82,40 @@ Scenario fpFlagCheck(bool atomic_variant);
  * @param poll_between insert the illegal poll point.
  */
 Scenario pollPlacement(bool poll_between);
+
+/**
+ * Fault schedule: the network drops the downgrade message outright.
+ * Without a retransmission timer P2 waits for an acknowledgement
+ * that can never arrive and P1 waits for mail that was never
+ * delivered -- every schedule deadlocks.  With retransmission the
+ * scenario is exactly as safe as fig2a-smp.
+ * @param with_retransmit model the reliability sublayer's retry.
+ */
+Scenario faultDropDowngrade(bool with_retransmit);
+
+/**
+ * Fault schedule: the network duplicates an in-flight downgrade.
+ * P2 issues two sequenced downgrades (first for an unrelated line,
+ * then for the line P1 is about to store to) and counts
+ * acknowledgements.  A naive receiver re-applies and re-acks the
+ * duplicate, so the stale ack is mistaken for the ack of the second
+ * downgrade and P2 reads the line before P1's store lands.  With
+ * sequence-number dedup the duplicate is dropped and re-acked by
+ * sequence number, so P2 can never run ahead.
+ * @param seq_dedup suppress duplicates by sequence number.
+ */
+Scenario faultDuplicateDowngrade(bool seq_dedup);
+
+/**
+ * Fault schedule: the network reorders two sequenced downgrades for
+ * the same line (exclusive-to-shared seq 1, then shared-to-invalid
+ * seq 2, delivered 2 before 1).  A naive receiver applies them in
+ * arrival order and ends in Shared with the invalid-flag pattern in
+ * memory, so a state-checked load returns the flag as data.  A
+ * resequencing receiver buffers seq 2 until seq 1 has been applied.
+ * @param resequence buffer out-of-order deliveries.
+ */
+Scenario faultReorderDowngrade(bool resequence);
 
 /** Every scenario, for exhaustive sweeps and the demo binary. */
 std::vector<Scenario> allScenarios();

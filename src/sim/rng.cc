@@ -25,6 +25,17 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+splitMixHash(std::uint64_t x)
+{
+    // The SplitMix64 output function over x itself (not a stream
+    // position), giving a stateless avalanche with the same quality.
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;

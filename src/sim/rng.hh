@@ -17,6 +17,25 @@ namespace shasta
 {
 
 /**
+ * Stateless SplitMix64-style avalanche of @p x.
+ *
+ * Used wherever a deterministic hash of explicit inputs must replace
+ * stateful generator draws — e.g. the network fault model hashes
+ * (seed, src, dst, transmission index) so every injection decision
+ * is a pure function of the run configuration, independent of event
+ * ordering or sweep parallelism.
+ */
+std::uint64_t splitMixHash(std::uint64_t x);
+
+/** Order-sensitive combine of a hash state with one more word. */
+inline std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    return splitMixHash(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) +
+                             (h >> 2)));
+}
+
+/**
  * Deterministic xoshiro256** generator.
  *
  * Satisfies the UniformRandomBitGenerator requirements so it can be

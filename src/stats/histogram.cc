@@ -123,6 +123,8 @@ latencyClassName(LatencyClass c)
         return "lockWait";
       case LatencyClass::BarrierWait:
         return "barrierWait";
+      case LatencyClass::RetryDelay:
+        return "retryDelay";
       case LatencyClass::NumClasses:
         break;
     }

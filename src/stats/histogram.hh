@@ -104,6 +104,10 @@ enum class LatencyClass
     DowngradeService,
     LockWait,
     BarrierWait,
+    /** Sojourn of a retransmitted message (first send to the retry
+     *  that fired), recorded by the reliability sublayer; empty (and
+     *  omitted from reports) unless fault injection is active. */
+    RetryDelay,
     NumClasses
 };
 

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end correctness battery under unreliable transport.
+ *
+ * Every registered application runs under increasing drop rates (plus
+ * duplication and reordering) with the full audit suite enabled.  The
+ * reliability sublayer must make the unreliable fabric invisible:
+ * final shared-memory checksums match the fault-free run, the
+ * invariant auditor finds nothing, and the watchdog treats retry
+ * storms as progress rather than stalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "apps/app.hh"
+#include "dsm/runtime.hh"
+#include "obs/stats_json.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/** Small problem sizes for fast validation runs (mirrors
+ *  apps_test.cc so fault/fault-free runs stay comparable). */
+AppParams
+tinyParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (app.name() == "lu" || app.name() == "lu-contig")
+        p.n = 64;
+    else if (app.name() == "ocean")
+        p.n = 34;
+    else if (app.name() == "barnes" || app.name() == "fmm")
+        p.n = 128;
+    else if (app.name() == "raytrace")
+        p.n = 32;
+    else if (app.name() == "volrend")
+        p.n = 16;
+    else if (app.name() == "water-nsq" || app.name() == "water-sp")
+        p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+/** One audited run: like runApp, but through an explicit Runtime so
+ *  the audit totals are readable afterwards. */
+struct AuditedResult
+{
+    AppResult result;
+    AuditCounters audit;
+};
+
+Task
+auditedMain(Context &c, App &app, const AppParams &p)
+{
+    co_await c.barrier();
+    c.beginMeasure();
+    co_await app.body(c, p);
+    co_await c.barrier();
+}
+
+AuditedResult
+runAudited(const std::string &name, DsmConfig cfg)
+{
+    cfg.audit = AuditConfig::full();
+    auto app = createApp(name);
+    const AppParams p = tinyParams(*app);
+    Runtime rt(cfg);
+    app->setup(rt, p);
+    rt.run([&](Context &c) { return auditedMain(c, *app, p); });
+    AuditedResult r;
+    r.result.wallTime = rt.wallTime();
+    r.result.counters = rt.counters();
+    r.result.net = rt.netCounts();
+    r.result.lat = rt.latency();
+    r.result.checksum = app->checksum(rt);
+    r.audit = rt.auditTotals();
+    return r;
+}
+
+FaultConfig
+faultCfg(double drop, double dup, double reorder,
+         std::uint64_t seed = 1)
+{
+    FaultConfig f;
+    f.dropPct = drop;
+    f.dupPct = dup;
+    f.reorderPct = reorder;
+    f.seed = seed;
+    return f;
+}
+
+constexpr double kDropRates[] = {0.5, 2.0, 5.0};
+
+class FaultBattery : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FaultBattery, ChecksumSurvivesDropRates)
+{
+    const std::string name = GetParam();
+    const DsmConfig base = DsmConfig::smp(8, 4);
+
+    const AuditedResult clean = runAudited(name, base);
+    EXPECT_EQ(clean.audit.violations, 0u);
+    EXPECT_EQ(clean.result.net.rel.dataMsgs, 0u)
+        << "fault-free run must not engage the reliability sublayer";
+
+    auto app = createApp(name);
+    const double tol = app->tolerance() *
+                       std::max(1.0, std::abs(clean.result.checksum));
+
+    std::uint64_t totalDrops = 0;
+    std::uint64_t totalRetransmits = 0;
+    for (const double drop : kDropRates) {
+        DsmConfig cfg = base;
+        cfg.fault = faultCfg(drop, /*dup=*/1.0, /*reorder=*/1.0);
+        const AuditedResult faulty = runAudited(name, cfg);
+
+        EXPECT_NEAR(faulty.result.checksum, clean.result.checksum,
+                    tol)
+            << name << " diverged at drop=" << drop << "%";
+        EXPECT_EQ(faulty.audit.violations, 0u)
+            << name << " audit findings at drop=" << drop << "%";
+        EXPECT_EQ(faulty.audit.stallsDetected, 0u)
+            << name << " watchdog tripped at drop=" << drop << "%";
+        EXPECT_GT(faulty.result.net.rel.dataMsgs, 0u);
+        totalDrops += faulty.result.net.rel.faultDrops;
+        totalRetransmits += faulty.result.net.rel.retransmits;
+        // Faults slow runs down, never speed them up.
+        EXPECT_GE(faulty.result.wallTime, clean.result.wallTime);
+    }
+    // Across the sweep (a tiny run at 0.5% may see zero injections)
+    // the fault model and recovery machinery must both have fired.
+    EXPECT_GT(totalDrops, 0u)
+        << name << ": no drops across the sweep -- model inert?";
+    EXPECT_GT(totalRetransmits, 0u)
+        << name << ": no retransmissions across the drop sweep";
+}
+
+TEST_P(FaultBattery, BaseModeSurvivesFaultsToo)
+{
+    // Base-Shasta (clustering 1) sends far more remote traffic per
+    // node: a different exposure of the sublayer.  8 processors on
+    // 2 machines so inter-machine traffic actually exists.
+    const std::string name = GetParam();
+    const DsmConfig base = DsmConfig::base(8);
+
+    const AuditedResult clean = runAudited(name, base);
+    DsmConfig cfg = base;
+    cfg.fault = faultCfg(2.0, 1.0, 1.0, /*seed=*/7);
+    const AuditedResult faulty = runAudited(name, cfg);
+
+    auto app = createApp(name);
+    const double tol = app->tolerance() *
+                       std::max(1.0, std::abs(clean.result.checksum));
+    EXPECT_NEAR(faulty.result.checksum, clean.result.checksum, tol);
+    EXPECT_EQ(faulty.audit.violations, 0u);
+    EXPECT_EQ(faulty.audit.stallsDetected, 0u);
+    EXPECT_GT(faulty.result.net.rel.dataMsgs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, FaultBattery,
+                         ::testing::ValuesIn(appNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(FaultStats, ReliabilityBlockAppearsOnlyUnderFaults)
+{
+    auto app = createApp("lu");
+    const AppParams p = tinyParams(*app);
+
+    const AppResult clean =
+        runApp(*app, DsmConfig::smp(8, 4), p);
+    obs::RunSummary s;
+    s.net = clean.net;
+    s.lat = clean.lat;
+    const std::string cleanJson = obs::toJson(s, 0);
+    EXPECT_EQ(cleanJson.find("\"reliability\""), std::string::npos);
+    EXPECT_EQ(cleanJson.find("\"retryDelay\""), std::string::npos);
+
+    auto app2 = createApp("lu");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.fault = faultCfg(5.0, 1.0, 1.0);
+    const AppResult faulty = runApp(*app2, cfg, p);
+    obs::RunSummary sf;
+    sf.net = faulty.net;
+    sf.lat = faulty.lat;
+    const std::string faultyJson = obs::toJson(sf, 0);
+    EXPECT_NE(faultyJson.find("\"reliability\""), std::string::npos);
+    EXPECT_NE(faultyJson.find("\"retransmits\""), std::string::npos);
+}
+
+TEST(FaultStats, RetryDelayHistogramPopulatedUnderHeavyLoss)
+{
+    auto app = createApp("water-nsq");
+    const AppParams p = tinyParams(*app);
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.fault = faultCfg(5.0, 0.0, 0.0);
+    const AppResult r = runApp(*app, cfg, p);
+    ASSERT_GT(r.net.rel.retransmits, 0u);
+    EXPECT_EQ(r.lat.of(LatencyClass::RetryDelay).count(),
+              r.net.rel.retransmits)
+        << "every retransmit should record one RetryDelay sample";
+}
+
+} // namespace
+} // namespace shasta

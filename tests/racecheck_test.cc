@@ -132,6 +132,16 @@ TEST_P(ScenarioTest, MatchesPaperPrediction)
     const Scenario &sc = GetParam();
     ModelChecker mc;
     auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    if (sc.expectDeadlocks) {
+        // Fault scenarios without recovery wedge every schedule:
+        // nothing terminates, so there is nothing else to check.
+        EXPECT_GT(r.deadlocks, 0u)
+            << sc.name << " should deadlock without recovery";
+        EXPECT_EQ(r.terminals, 0u)
+            << sc.name << ": some schedule terminated despite the "
+            << "lost message";
+        return;
+    }
     EXPECT_EQ(r.deadlocks, 0u) << sc.name << " deadlocked";
     if (sc.expectViolations) {
         EXPECT_GT(r.violations, 0u)
@@ -198,6 +208,76 @@ TEST(Scenarios, TwoLoadFpCheckRaces)
     const Scenario sc = fpFlagCheck(false);
     auto r = mc.explore(sc.threads, sc.init, sc.violation);
     EXPECT_GT(r.violations, 0u);
+}
+
+// --------------------------------------------------------------------
+// Fault-schedule scenarios
+// --------------------------------------------------------------------
+
+TEST(FaultScenarios, DroppedDowngradeWedgesEverySchedule)
+{
+    // Without retransmission there is no schedule in which the
+    // protocol finishes: P2 waits for an ack of a message P1 never
+    // received.  This is the deadlock the reliability sublayer's
+    // retry timer exists to break.
+    ModelChecker mc;
+    const Scenario sc = faultDropDowngrade(false);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_EQ(r.terminals, 0u);
+    EXPECT_GT(r.deadlocks, 0u);
+    EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(FaultScenarios, RetransmissionRestoresLiveness)
+{
+    ModelChecker mc;
+    const Scenario sc = faultDropDowngrade(true);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_GT(r.terminals, 0u);
+    EXPECT_EQ(r.deadlocks, 0u);
+    EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(FaultScenarios, DuplicateAckConfusionIsARealRace)
+{
+    // The stale ack only fools P2 in some interleavings (P1 must
+    // handle both copies before P2's second send), so the naive
+    // variant races rather than failing deterministically.
+    ModelChecker mc;
+    const Scenario sc = faultDuplicateDowngrade(false);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_GT(r.violations, 0u);
+    EXPECT_LT(r.violations, r.terminals);
+    EXPECT_FALSE(r.witness.empty());
+}
+
+TEST(FaultScenarios, SequenceDedupPreventsAckConfusion)
+{
+    ModelChecker mc;
+    const Scenario sc = faultDuplicateDowngrade(true);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(r.deadlocks, 0u);
+    EXPECT_GT(r.terminals, 0u);
+}
+
+TEST(FaultScenarios, ReorderedDowngradesReturnFlagAsData)
+{
+    ModelChecker mc;
+    const Scenario sc = faultReorderDowngrade(false);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_GT(r.violations, 0u);
+    EXPECT_LT(r.violations, r.terminals);
+}
+
+TEST(FaultScenarios, ResequencingBufferRestoresOrder)
+{
+    ModelChecker mc;
+    const Scenario sc = faultReorderDowngrade(true);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(r.deadlocks, 0u);
+    EXPECT_GT(r.terminals, 0u);
 }
 
 } // namespace

@@ -20,6 +20,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -151,6 +153,126 @@ TEST(SweepRunner, SerialModeRunsInline)
                   [&log] { log.push_back(2); });
     EXPECT_EQ(log, (std::vector<int>{1, 2}));
     sweep.finish();
+}
+
+// --------------------------------------------------------------------
+// Fault-injection determinism
+// --------------------------------------------------------------------
+
+/** A kernel busy enough that a 10% drop rate reliably injects
+ *  faults on the tiny 4-proc topology. */
+Task
+faultKernel(Context &c, Addr a, Addr b, int lk)
+{
+    for (int i = 0; i < 6; ++i) {
+        co_await c.lock(lk);
+        const double v = co_await c.loadFp(a);
+        co_await c.storeFp(a, v + 1.0);
+        const double w = co_await c.loadFp(b);
+        co_await c.storeFp(b, w + 2.0);
+        co_await c.unlock(lk);
+        co_await c.barrier();
+    }
+}
+
+/** One faulty run; rates high enough that the sublayer engages.
+ *  8 procs on 2 physical machines -- unlike smp(4, 2), which fits on
+ *  one machine and would leave the fabric with nothing to break. */
+std::string
+runTinyFaultApp(std::uint64_t seed, bool programFaults = true)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    if (programFaults) {
+        cfg.fault.dropPct = 10.0;
+        cfg.fault.dupPct = 5.0;
+        cfg.fault.reorderPct = 5.0;
+        cfg.fault.seed = seed;
+    }
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    const Addr b = rt.allocHomed(64, 64, 1);
+    const int lk = rt.allocLock();
+    rt.run([&](Context &c) { return faultKernel(c, a, b, lk); });
+    return rt.statsJson();
+}
+
+TEST(FaultDeterminism, SameSeedRepeatRunsAreByteIdentical)
+{
+    const std::string first = runTinyFaultApp(42);
+    const std::string second = runTinyFaultApp(42);
+    // The run must actually have exercised the sublayer, or this
+    // test pins down nothing.
+    ASSERT_NE(first.find("\"reliability\""), std::string::npos);
+    EXPECT_EQ(first, second);
+}
+
+TEST(FaultDeterminism, SeedChangesTheInjectionSchedule)
+{
+    EXPECT_NE(runTinyFaultApp(1), runTinyFaultApp(2));
+}
+
+TEST(FaultDeterminism, ConcurrentFaultRunsAreByteIdentical)
+{
+    // Fault decisions are pure functions of (config, pair, xmit), so
+    // sweep workers running faulty configs concurrently must not
+    // perturb each other.
+    const std::string reference = runTinyFaultApp(42);
+    std::string x, y;
+    std::thread tx([&x] { x = runTinyFaultApp(42); });
+    std::thread ty([&y] { y = runTinyFaultApp(42); });
+    tx.join();
+    ty.join();
+    EXPECT_EQ(x, reference);
+    EXPECT_EQ(y, reference);
+}
+
+TEST(FaultDeterminism, EnvKnobsMatchProgrammaticConfig)
+{
+    const std::string programmatic = runTinyFaultApp(42);
+    ::setenv("SHASTA_DROP_PCT", "10", 1);
+    ::setenv("SHASTA_DUP_PCT", "5", 1);
+    ::setenv("SHASTA_REORDER_PCT", "5", 1);
+    ::setenv("SHASTA_FAULT_SEED", "42", 1);
+    const std::string fromEnv =
+        runTinyFaultApp(0, /*programFaults=*/false);
+    ::unsetenv("SHASTA_DROP_PCT");
+    ::unsetenv("SHASTA_DUP_PCT");
+    ::unsetenv("SHASTA_REORDER_PCT");
+    ::unsetenv("SHASTA_FAULT_SEED");
+    EXPECT_EQ(fromEnv, programmatic);
+    // And the kill switch really kills: same env, SHASTA_FAULT=off.
+    ::setenv("SHASTA_DROP_PCT", "10", 1);
+    ::setenv("SHASTA_FAULT", "off", 1);
+    const std::string killed =
+        runTinyFaultApp(0, /*programFaults=*/false);
+    ::unsetenv("SHASTA_FAULT");
+    ::unsetenv("SHASTA_DROP_PCT");
+    EXPECT_EQ(killed.find("\"reliability\""), std::string::npos);
+}
+
+TEST(FaultDeterminism, SweepRunnerParallelismDoesNotChangeResults)
+{
+    // The same three-seed sweep through 1 worker and through 4
+    // workers must commit byte-identical stats in the same order.
+    const std::uint64_t seeds[] = {7, 8, 9};
+    auto sweepWith = [&seeds](int jobs) {
+        bench::SweepRunner sweep(jobs);
+        std::vector<std::string> out(3);
+        for (int i = 0; i < 3; ++i) {
+            auto *slot = &out[static_cast<std::size_t>(i)];
+            const std::uint64_t seed =
+                seeds[static_cast<std::size_t>(i)];
+            sweep.addWork(
+                [seed, slot] { *slot = runTinyFaultApp(seed); },
+                [] {});
+        }
+        sweep.finish();
+        return out;
+    };
+    const auto serial = sweepWith(1);
+    const auto parallel = sweepWith(4);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial[0], serial[1]); // distinct seeds, distinct runs
 }
 
 TEST(SweepRunner, ExceptionSurfacesAtItsCommitSlot)
