@@ -241,6 +241,7 @@ recordRun(const std::string &name, const DsmConfig &cfg,
     s.lat = r.lat;
     s.net = r.net;
     s.checks = r.checks;
+    s.dir = r.dir;
     const std::lock_guard<std::mutex> lock(recordedRunsMutex());
     recordedRuns().push_back(std::move(s));
 }

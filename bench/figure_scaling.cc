@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Scaling sweep: how far past the paper's 16 processors does the
+ * simulator go?
+ *
+ * Not a figure from WRL RR 97/3 — the prototype tops out at 4x4
+ * AlphaServers — but the natural follow-on question: with sparse
+ * per-pair state (net/pair_map.hh) and sharded home directories
+ * (proto/directory.hh), the simulator sweeps P in {16, 64, 256,
+ * 1024} under fault rates {0, 1, 2, 5}%, reporting for each config
+ * the simulated wall time, message/retransmit load, the live-pair
+ * footprint (versus the P^2 a dense table would hold), directory
+ * occupancy, and peak shard pressure.
+ *
+ * The workload is a ring exchange: every processor stores its own
+ * 64-byte slot, reads its ring neighbor's, and one processor in 64
+ * also reads one of a handful of hot blocks homed at processor 0 —
+ * point-to-point traffic that keeps the active pair set O(P) while
+ * still concentrating load on a few directory entries.
+ *
+ * Output discipline: stdout and --stats-json carry only
+ * deterministic simulated statistics, so CI can diff --jobs=1
+ * against --jobs=4 byte for byte.  Host-side throughput (items/s,
+ * wall millis, peak RSS) is written separately to the JSON file
+ * named by SHASTA_BENCH_JSON, which is archived as an artifact, not
+ * diffed.
+ *
+ * Knobs: SHASTA_QUICK=1 caps the sweep at P=256 and fault rates
+ * {0, 2}%; SHASTA_BENCH_JSON=FILE writes the host-metrics JSON.
+ */
+
+#include <chrono>
+#include <memory>
+
+#include <sys/resource.h>
+
+#include "bench_common.hh"
+
+using namespace shasta;
+using namespace shasta::bench;
+
+namespace
+{
+
+struct ScaleConfig
+{
+    int procs;
+    double faultPct;
+};
+
+/** Deterministic simulated results of one config. */
+struct SimResult
+{
+    obs::RunSummary summary;
+    std::uint64_t livePairs = 0;
+    std::uint64_t items = 0;
+    /** Host-side, artifact-only (never printed to stdout). */
+    double hostMillis = 0.0;
+};
+
+constexpr int kIters = 4;
+
+Task
+ringKernel(Context &c, Addr slots, Addr hot, int procs, int iters)
+{
+    const ProcId me = c.id();
+    const Addr mine = slots + static_cast<Addr>(me) * 64;
+    const Addr next =
+        slots + static_cast<Addr>((me + 1) % procs) * 64;
+    for (int it = 0; it < iters; ++it) {
+        co_await c.storeFp(mine, static_cast<double>(me + it));
+        co_await c.barrier();
+        // Two processors on different machines rewrite the same hot
+        // block every iteration: each write misses (the other
+        // writer's previous ownership invalidated the copy), so two
+        // ownership requests race to the home and the loser queues
+        // behind the busy entry — exercising the directory's waiting
+        // queues and the per-shard queue-depth counters this bench
+        // reports.  One processor in 64 also reads the block,
+        // spreading its sharer set across nodes.
+        if (me == 0 || me == procs / 2)
+            co_await c.storeFp(hot, static_cast<double>(me + it));
+        if (me % 64 == 1)
+            (void)co_await c.loadFp(hot);
+        (void)co_await c.loadFp(next);
+        co_await c.barrier();
+    }
+}
+
+SimResult
+runConfig(const ScaleConfig &sc)
+{
+    DsmConfig cfg = DsmConfig::smp(sc.procs, 4);
+    if (sc.faultPct > 0.0) {
+        cfg.fault.dropPct = sc.faultPct;
+        cfg.fault.dupPct = sc.faultPct / 2.0;
+        cfg.fault.reorderPct = sc.faultPct / 2.0;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Runtime rt(cfg);
+    const Addr slots = rt.alloc(
+        static_cast<std::size_t>(sc.procs) * 64, 64);
+    const Addr hot = rt.allocHomed(8 * 64, 64, 0);
+    rt.run([&](Context &c) {
+        return ringKernel(c, slots, hot, sc.procs, kIters);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    SimResult r;
+    r.summary = rt.runSummary();
+    r.summary.app = "scaling-ring";
+    r.summary.config =
+        configLabel(cfg) + "-drop" +
+        std::to_string(static_cast<int>(sc.faultPct));
+    const Network &net = rt.network();
+    if (net.reliability() != nullptr)
+        r.livePairs = net.reliability()->livePairs();
+    r.items = static_cast<std::uint64_t>(sc.procs) * kIters;
+    r.hostMillis =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return r;
+}
+
+std::uint64_t
+peakShardEntries(const DirCounters &d)
+{
+    std::uint64_t peak = 0;
+    for (const std::uint64_t n : d.shardEntries)
+        peak = peak > n ? peak : n;
+    return peak;
+}
+
+long
+maxRssKb()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseArgs(argc, argv);
+    banner("Scaling sweep: 16 to 1024 simulated processors",
+           "no single figure; extends Section 4");
+
+    std::vector<int> procsList{16, 64, 256, 1024};
+    std::vector<double> faultList{0.0, 1.0, 2.0, 5.0};
+    if (quickMode()) {
+        procsList = {16, 64, 256};
+        faultList = {0.0, 2.0};
+    }
+
+    std::vector<ScaleConfig> configs;
+    for (const int p : procsList)
+        for (const double f : faultList)
+            configs.push_back(ScaleConfig{p, f});
+
+    report::Table t({"procs", "fault%", "simTicks", "remoteMsgs",
+                     "retransmits", "livePairs", "densePairs",
+                     "dirEntries", "peakShardEnt", "peakShardQ"});
+
+    // Collected at commit time (enqueue order), so the artifact JSON
+    // is ordered small-P first and peak-RSS readings are monotone.
+    std::vector<std::pair<ScaleConfig, SimResult>> done;
+
+    SweepRunner sweep;
+    for (const ScaleConfig &sc : configs) {
+        auto res = std::make_shared<SimResult>();
+        const std::string label =
+            "scaling/p" + std::to_string(sc.procs) + "-drop" +
+            std::to_string(static_cast<int>(sc.faultPct));
+        sweep.addWork([sc, res] { *res = runConfig(sc); },
+                      [&t, &done, sc, res] {
+                          const obs::RunSummary &s = res->summary;
+                          t.addRow(
+                              {std::to_string(sc.procs),
+                               std::to_string(static_cast<int>(
+                                   sc.faultPct)),
+                               std::to_string(s.wallTime),
+                               std::to_string(s.net.remoteMsgs),
+                               std::to_string(s.net.rel.retransmits),
+                               std::to_string(res->livePairs),
+                               std::to_string(
+                                   static_cast<std::uint64_t>(
+                                       sc.procs) *
+                                   static_cast<std::uint64_t>(
+                                       sc.procs)),
+                               std::to_string(s.dir.entries),
+                               std::to_string(
+                                   peakShardEntries(s.dir)),
+                               std::to_string(s.dir.peakQueued)});
+                          if (!options().statsJsonPath.empty()) {
+                              const std::lock_guard<std::mutex> lock(
+                                  recordedRunsMutex());
+                              recordedRuns().push_back(res->summary);
+                          }
+                          done.emplace_back(sc, *res);
+                      },
+                      label);
+    }
+    sweep.finish();
+    t.print();
+
+    // Host-metrics artifact (SHASTA_BENCH_JSON): throughput and
+    // memory are host-dependent, so they never touch stdout or
+    // --stats-json.  maxRssKb is the process-wide high-water mark
+    // after the whole sweep — dominated by the largest config.
+    if (const char *path = std::getenv("SHASTA_BENCH_JSON");
+        path != nullptr && *path != '\0') {
+        std::FILE *f = std::fopen(path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "figure_scaling: cannot write %s\n",
+                         path);
+            return 1;
+        }
+        const long rss = maxRssKb();
+        std::fputs("{\"bench\": \"figure_scaling\", \"runs\": [\n",
+                   f);
+        for (std::size_t i = 0; i < done.size(); ++i) {
+            const ScaleConfig &sc = done[i].first;
+            const SimResult &r = done[i].second;
+            const double secs = r.hostMillis / 1000.0;
+            const double ips =
+                secs > 0.0 ? static_cast<double>(r.items) / secs
+                           : 0.0;
+            std::fprintf(
+                f,
+                "  {\"procs\": %d, \"faultPct\": %.1f, "
+                "\"simTicks\": %lld, \"items\": %llu, "
+                "\"itemsPerSec\": %.1f, \"hostMillis\": %.2f, "
+                "\"maxRssKb\": %ld, \"livePairs\": %llu, "
+                "\"densePairs\": %llu, \"dirEntries\": %llu, "
+                "\"peakShardEntries\": %llu, "
+                "\"peakShardQueued\": %llu, "
+                "\"retransmits\": %llu}%s\n",
+                sc.procs, sc.faultPct,
+                static_cast<long long>(r.summary.wallTime),
+                static_cast<unsigned long long>(r.items), ips,
+                r.hostMillis, rss,
+                static_cast<unsigned long long>(r.livePairs),
+                static_cast<unsigned long long>(sc.procs) *
+                    static_cast<unsigned long long>(sc.procs),
+                static_cast<unsigned long long>(
+                    r.summary.dir.entries),
+                static_cast<unsigned long long>(
+                    peakShardEntries(r.summary.dir)),
+                static_cast<unsigned long long>(
+                    r.summary.dir.peakQueued),
+                static_cast<unsigned long long>(
+                    r.summary.net.rel.retransmits),
+                i + 1 < done.size() ? "," : "");
+        }
+        std::fputs("]}\n", f);
+        std::fclose(f);
+    }
+    return 0;
+}

@@ -47,6 +47,7 @@ struct AppResult
     LatencyStats lat;
     NetworkCounts net;
     CheckCounters checks;
+    DirCounters dir;
     double checksum = 0.0;
 };
 

@@ -72,6 +72,7 @@ runApp(App &app, const DsmConfig &cfg, const AppParams &p)
     r.lat = rt.latency();
     r.net = rt.netCounts();
     r.checks = rt.checkTotals();
+    r.dir = rt.dirCounters();
     r.checksum = app.checksum(rt);
     return r;
 }

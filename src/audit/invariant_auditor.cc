@@ -178,9 +178,7 @@ InvariantAuditor::checkBlock(LineIdx first, std::uint32_t num_lines,
     // the node states (eager release consistency).
     const ProcId home = proto_.homeProc(first);
     const HomeDirectory &dir = proto_.directory(home);
-    const auto &entries = dir.entriesMap();
-    const auto it = entries.find(first);
-    const DirEntry *de = it == entries.end() ? nullptr : &it->second;
+    const DirEntry *de = dir.find(first);
     if (de && (de->busy || !de->waiting.empty()))
         quiescent = false;
     if (!quiescent)

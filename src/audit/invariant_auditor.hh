@@ -54,8 +54,9 @@ struct AuditReport
 /**
  * Read-only sweeper over the protocol's state.
  *
- * Uses only non-growing accessors (peekShared/peekPriv/entriesMap),
- * so a sweep never mutates the structures it audits.
+ * Uses only non-growing accessors (peekShared/peekPriv and the
+ * directory's find/forEachEntry), so a sweep never mutates the
+ * structures it audits.
  */
 class InvariantAuditor
 {

@@ -58,13 +58,14 @@ Watchdog::oldestPending(Tick &out, std::string &what) const
         }
     }
     for (ProcId p = 0; p < topo.numProcs(); ++p) {
-        for (const auto &[first, de] :
-             proto_.directory(p).entriesMap()) {
-            for (const Message &m : de.waiting) {
-                consider(m.arriveTime, topo.nodeOf(p), first,
-                         "request queued at busy directory entry");
-            }
-        }
+        proto_.directory(p).forEachEntry(
+            [&](LineIdx first, const DirEntry &de) {
+                for (const Message &m : de.waiting) {
+                    consider(m.arriveTime, topo.nodeOf(p), first,
+                             "request queued at busy directory "
+                             "entry");
+                }
+            });
     }
 
     if (oldest == std::numeric_limits<Tick>::max())

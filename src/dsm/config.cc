@@ -77,6 +77,9 @@ DsmConfig::validate() const
         fail("quantum too small");
     if (maxOutstandingWrites < 1)
         fail("maxOutstandingWrites must be >= 1");
+    if (dirShards < 1 || dirShards > 1024 ||
+        (dirShards & (dirShards - 1)) != 0)
+        fail("dirShards must be a power of two in [1, 1024]");
     fault.validate();
 }
 

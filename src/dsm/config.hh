@@ -139,6 +139,10 @@ struct DsmConfig
     Tick quantum = 512;
     /** Non-blocking store limit before the processor stalls. */
     int maxOutstandingWrites = 16;
+    /** Independently-locked shards per home directory (power of two,
+     *  1..1024).  Pure bookkeeping: replay order is serialized per
+     *  block, so the shard count never changes schedules. */
+    int dirShards = 8;
     std::uint64_t seed = 1;
 
     /** @{ Extensions and ablations. */

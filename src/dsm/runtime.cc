@@ -240,6 +240,7 @@ Runtime::runSummary() const
     s.lat = latency();
     s.net = netCounts();
     s.checks = checkTotals();
+    s.dir = dirCounters();
     return s;
 }
 

@@ -91,6 +91,9 @@ class Runtime
     /** Sum of per-processor check counters. */
     CheckCounters checkTotals() const;
 
+    /** Aggregated directory occupancy / shard-pressure counters. */
+    DirCounters dirCounters() const { return proto_->dirCounters(); }
+
     /** All measured statistics of this run in one structure (the
      *  JSON run-summary schema; labels left empty). */
     obs::RunSummary runSummary() const;
@@ -107,6 +110,7 @@ class Runtime
     LockManager &lockMgr() { return *locks_; }
     BarrierManager &barrierMgr() { return *barrier_; }
     Network &network() { return net_; }
+    const Network &network() const { return net_; }
     Proc &proc(int i) { return procs_[static_cast<std::size_t>(i)]; }
     const std::vector<Proc> &procs() const { return procs_; }
     int numProcs() const { return cfg_.numProcs; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "obs/trace_json.hh"
 
@@ -29,8 +30,8 @@ Network::Network(EventQueue &events, const Topology &topo,
                  const NetworkParams &params)
     : events_(events), topo_(topo), params_(params)
 {
-    const auto n = static_cast<std::size_t>(topo_.numProcs());
-    pairFree_.assign(n * n, 0);
+    // Pair channels are sparse (PairMap, free since tick 0 on first
+    // touch); only the per-machine links are dense.
     linkFree_.assign(static_cast<std::size_t>(topo_.numMachines()), 0);
 }
 
@@ -88,15 +89,15 @@ Network::reserveChannel(const Message &msg, Tick send_time)
     // the machine's outbound Memory Channel link (processors on a
     // machine share that link's bandwidth, Section 4.3).
     Tick start = send_time + link.sendOverhead;
-    const std::size_t pair = pairIndex(msg.src, msg.dst);
-    start = std::max(start, pairFree_[pair]);
+    Tick &pair_free = pairFree_.get(msg.src, msg.dst);
+    start = std::max(start, pair_free);
     const auto src_machine =
         static_cast<std::size_t>(topo_.machineOf(msg.src));
     if (remote)
         start = std::max(start, linkFree_[src_machine]);
 
     const Tick transfer = link.transferTicks(msg.wireBytes());
-    pairFree_[pair] = start + transfer;
+    pair_free = start + transfer;
     if (remote)
         linkFree_[src_machine] = start + transfer;
 
@@ -122,10 +123,23 @@ Network::scheduleArrival(Message &&msg, Tick send_time, Tick arrival)
 Tick
 Network::send(Message msg, Tick send_time)
 {
-    assert(msg.src >= 0 && msg.src < topo_.numProcs());
-    assert(msg.dst >= 0 && msg.dst < topo_.numProcs());
-    assert(msg.src != msg.dst && "self-sends must be handled locally");
-    assert(send_time >= events_.now());
+    // Checked (not assert-only) validation: this is the one entry
+    // point every protocol layer funnels through, and large-P
+    // configurations are exactly where an index-arithmetic bug
+    // would corrupt state silently in Release builds.
+    if (msg.src < 0 || msg.src >= topo_.numProcs() || msg.dst < 0 ||
+        msg.dst >= topo_.numProcs()) {
+        throw std::logic_error(
+            "Network::send: processor id out of range");
+    }
+    if (msg.src == msg.dst) {
+        throw std::logic_error(
+            "Network::send: self-sends must be handled locally");
+    }
+    if (send_time < events_.now()) {
+        throw std::logic_error(
+            "Network::send: send time is in the simulated past");
+    }
 
     const bool remote = !topo_.sameMachine(msg.src, msg.dst);
     const std::uint32_t bytes = msg.wireBytes();

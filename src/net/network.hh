@@ -32,6 +32,7 @@
 
 #include "net/fault.hh"
 #include "net/message.hh"
+#include "net/pair_map.hh"
 #include "net/reliable.hh"
 #include "net/topology.hh"
 #include "sim/event_queue.hh"
@@ -143,6 +144,9 @@ class Network
 
     const Reliability *reliability() const { return rel_.get(); }
 
+    /** Mutable access for test hooks (sequence seeding). */
+    Reliability *reliability() { return rel_.get(); }
+
     /** Monotone reliability activity stamp (see
      *  RelCounts::progressStamp; 0 with faults off). */
     std::uint64_t
@@ -157,15 +161,6 @@ class Network
     /** @} */
 
   private:
-    /** Index into the per-pair channel table. */
-    std::size_t
-    pairIndex(ProcId src, ProcId dst) const
-    {
-        return static_cast<std::size_t>(src) *
-               static_cast<std::size_t>(topo_.numProcs()) +
-               static_cast<std::size_t>(dst);
-    }
-
     /** Park @p msg in a recycled slot until its delivery event. */
     std::uint32_t parkMessage(Message &&msg);
 
@@ -201,8 +196,11 @@ class Network
     NetworkParams params_;
     Deliver deliver_;
 
-    /** Earliest time each directed pair channel is free. */
-    std::vector<Tick> pairFree_;
+    /** Earliest time each directed pair channel is free.  Sparse:
+     *  a channel materializes (free since tick 0) on first use, so
+     *  the table scales with the pairs that actually talk, not with
+     *  P^2. */
+    PairMap<Tick> pairFree_;
     /** Earliest time each machine's outbound Memory Channel link is
      *  free (remote messages only). */
     std::vector<Tick> linkFree_;

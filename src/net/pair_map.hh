@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Sparse per-directed-pair state.
+ *
+ * Several layers keep state per (src, dst) processor pair: the
+ * network's channel-free times, the reliability sublayer's
+ * sender/receiver machines, the fault model's transmission counters.
+ * A dense P x P table is fine at the paper's 16 processors but is the
+ * first casualty of scaling the simulated cluster: at P = 1024 it is
+ * a million entries per table, almost all of them never touched
+ * (protocol traffic is home-centric, so a processor talks to a few
+ * dozen peers, not to everyone).
+ *
+ * PairMap stores pair state sparsely:
+ *
+ *  - an open-addressed index keyed by the packed 64-bit pair id
+ *    maps (src, dst) to a slot in a stable slab;
+ *  - the slab is a deque, so references handed out by get() stay
+ *    valid while *other* pairs materialize — protocol handlers reply
+ *    inline and reenter the sender mid-delivery, exactly the pattern
+ *    that invalidated references when this was a resizable vector;
+ *  - slab order is first-touch order, giving an intrusive live-pair
+ *    list: forEach() visits only pairs that ever saw traffic, in a
+ *    deterministic order that depends solely on the traffic itself.
+ *
+ * Determinism contract: materializing a pair must be invisible to
+ * the simulation.  get() value-initializes new entries, so a lazily
+ * created entry is indistinguishable from a dense-table entry that
+ * was never touched, and the simulated schedule is byte-identical to
+ * the dense implementation whenever the same pairs carry traffic.
+ *
+ * Steady-state allocation freedom: once a pair exists, get()/find()
+ * are pure probes.  Only first-touch inserts (slab growth, index
+ * rehash) allocate, mirroring the "warm up to peak once" rule the
+ * rest of the engine follows (tests/alloc_test.cc).
+ */
+
+#ifndef SHASTA_NET_PAIR_MAP_HH
+#define SHASTA_NET_PAIR_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/topology.hh"
+
+namespace shasta
+{
+
+template <typename T>
+class PairMap
+{
+  public:
+    /** State for pair (src -> dst), materialized (value-initialized)
+     *  on first use.  The reference stays valid for the lifetime of
+     *  the map, across later insertions. */
+    T &
+    get(ProcId src, ProcId dst)
+    {
+        const std::uint64_t key = pack(src, dst);
+        if (slots_.empty())
+            grow();
+        std::size_t i = probe(key);
+        if (slots_[i] == kEmpty) {
+            if ((slab_.size() + 1) * 4 > slots_.size() * 3) {
+                grow();
+                i = probe(key);
+            }
+            slots_[i] = static_cast<std::uint32_t>(slab_.size());
+            slab_.push_back(Entry{key, T{}});
+        }
+        return slab_[slots_[i]].value;
+    }
+
+    /** Lookup without materializing; nullptr when never touched. */
+    const T *
+    find(ProcId src, ProcId dst) const
+    {
+        if (slots_.empty())
+            return nullptr;
+        const std::size_t i = probe(pack(src, dst));
+        return slots_[i] == kEmpty ? nullptr
+                                   : &slab_[slots_[i]].value;
+    }
+
+    T *
+    find(ProcId src, ProcId dst)
+    {
+        return const_cast<T *>(
+            static_cast<const PairMap *>(this)->find(src, dst));
+    }
+
+    /** Number of pairs that ever saw traffic. */
+    std::size_t live() const { return slab_.size(); }
+
+    /** @{ Visit live pairs in first-touch order:
+     *  fn(src, dst, value). */
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        for (Entry &e : slab_)
+            fn(srcOf(e.key), dstOf(e.key), e.value);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const Entry &e : slab_)
+            fn(srcOf(e.key), dstOf(e.key), e.value);
+    }
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        T value;
+    };
+
+    static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+    static std::uint64_t
+    pack(ProcId src, ProcId dst)
+    {
+        // ProcIds are non-negative and < 2^31, so the packed key is
+        // collision-free without any P-dependent multiply (the old
+        // `src * numProcs + dst` int arithmetic this replaces).
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(src))
+                << 32) |
+               static_cast<std::uint32_t>(dst);
+    }
+
+    static ProcId
+    srcOf(std::uint64_t key)
+    {
+        return static_cast<ProcId>(key >> 32);
+    }
+
+    static ProcId
+    dstOf(std::uint64_t key)
+    {
+        return static_cast<ProcId>(key & 0xFFFFFFFFu);
+    }
+
+    /** SplitMix64 finalizer: full-avalanche, deterministic across
+     *  platforms. */
+    static std::uint64_t
+    mix(std::uint64_t k)
+    {
+        k ^= k >> 30;
+        k *= 0xBF58476D1CE4E5B9ull;
+        k ^= k >> 27;
+        k *= 0x94D049BB133111EBull;
+        k ^= k >> 31;
+        return k;
+    }
+
+    /** Linear probe to @p key's slot or the empty slot where it
+     *  would insert.  Capacity is a power of two and the table is
+     *  kept under 3/4 full, so the scan terminates. */
+    std::size_t
+    probe(std::uint64_t key) const
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+        while (slots_[i] != kEmpty && slab_[slots_[i]].key != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        const std::size_t cap =
+            slots_.empty() ? 64 : slots_.size() * 2;
+        slots_.assign(cap, kEmpty);
+        // Rehash moves only index slots; slab entries (and the
+        // references into them) never move.
+        for (std::size_t s = 0; s < slab_.size(); ++s)
+            slots_[probe(slab_[s].key)] =
+                static_cast<std::uint32_t>(s);
+    }
+
+    /** Stable storage in first-touch order (the live-pair list). */
+    std::deque<Entry> slab_;
+    /** Open-addressed index: slab position or kEmpty. */
+    std::vector<std::uint32_t> slots_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_PAIR_MAP_HH

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "dsm/config.hh"
 #include "net/network.hh"
 #include "obs/trace_json.hh"
 #include "stats/histogram.hh"
@@ -14,21 +15,32 @@ namespace shasta
 Reliability::Reliability(Network &net, const FaultConfig &cfg)
     : net_(net), model_(cfg)
 {
-    // Pre-size so PairState references stay stable across the
-    // reentrant deliveries below (a handler replying inline can
-    // reenter send() mid-onData).
-    const auto n =
-        static_cast<std::size_t>(net_.topology().numProcs());
-    pairs_.resize(n * n);
+    // Pair state materializes lazily (PairMap hands out slab-stable
+    // references, so entries created by reentrant deliveries — a
+    // handler replying inline reenters send() mid-onData — never
+    // move existing ones).  The audit knob also gates the
+    // pendingUnacked counter cross-check.
+    AuditConfig audit;
+    audit.applyEnv();
+    auditCounter_ = audit.enabled();
 }
 
 Reliability::PairState &
 Reliability::pair(ProcId src, ProcId dst)
 {
-    return pairs_[static_cast<std::size_t>(src) *
-                      static_cast<std::size_t>(
-                          net_.topology().numProcs()) +
-                  static_cast<std::size_t>(dst)];
+    return pairs_.get(src, dst);
+}
+
+Reliability::Pending *
+Reliability::findPending(PairState &ps, std::uint32_t seq)
+{
+    // Linear scan: the window holds the handful of messages in
+    // flight on one pair, not the whole sequence space.
+    for (Pending &p : ps.pending) {
+        if (p.seq == seq)
+            return &p;
+    }
+    return nullptr;
 }
 
 Tick
@@ -52,11 +64,16 @@ Reliability::send(Message &&msg, Tick send_time)
     msg.setRelSeq(seq);
     ++net_.counts_.rel.dataMsgs;
 
-    PairState::Pending &p = ps.pending[seq];
+    // Appending keeps the pending window serially sorted: sequence
+    // numbers are assigned in send order.
+    ps.pending.emplace_back();
+    Pending &p = ps.pending.back();
+    p.seq = seq;
     p.msg = msg;
     p.firstSend = send_time;
     p.rto = initialRto(msg.src, msg.dst);
     p.attempts = 0;
+    ++unackedAndBuffered_;
 
     return transmit(ps, std::move(msg), send_time);
 }
@@ -68,10 +85,9 @@ Reliability::transmit(PairState &ps, Message &&msg, Tick now)
     const ProcId dst = msg.dst;
     const std::uint32_t seq = msg.relSeq();
 
-    auto it = ps.pending.find(seq);
-    assert(it != ps.pending.end());
-    PairState::Pending &p = it->second;
-    ++p.attempts;
+    Pending *p = findPending(ps, seq);
+    assert(p != nullptr);
+    ++p->attempts;
 
     // The decision is keyed by the per-pair *transmission* counter,
     // not the sequence number: a retransmit draws a fresh decision,
@@ -81,7 +97,7 @@ Reliability::transmit(PairState &ps, Message &&msg, Tick now)
 
     // Arm the retransmit timer before anything else: it covers the
     // dropped case too.
-    net_.events_.schedule(now + p.rto, [this, src, dst, seq] {
+    net_.events_.schedule(now + p->rto, [this, src, dst, seq] {
         onRetxTimer(src, dst, seq);
     });
 
@@ -118,11 +134,10 @@ void
 Reliability::onRetxTimer(ProcId src, ProcId dst, std::uint32_t seq)
 {
     PairState &ps = pair(src, dst);
-    auto it = ps.pending.find(seq);
-    if (it == ps.pending.end())
+    Pending *p = findPending(ps, seq);
+    if (p == nullptr)
         return; // acked in the meantime
-    PairState::Pending &p = it->second;
-    if (p.attempts >= kMaxAttempts) {
+    if (p->attempts >= kMaxAttempts) {
         // At the supported drop rates (<= 50%) the chance of losing
         // kMaxAttempts transmissions in a row is ~2^-30: this is a
         // misconfigured (or adversarial) link, not bad luck.
@@ -133,14 +148,14 @@ Reliability::onRetxTimer(ProcId src, ProcId dst, std::uint32_t seq)
     ++net_.counts_.rel.retransmits;
     if (net_.latSink_ != nullptr)
         net_.latSink_->record(LatencyClass::RetryDelay,
-                              now - p.firstSend);
+                              now - p->firstSend);
     if (obs::traceJsonEnabled())
         obs::emitInstant(src, now, "retransmit", "fault", seq);
     // Capped exponential backoff: doubling stops at 64x the initial
     // timeout, enough to ride out congested channels without turning
     // a single loss into a simulated-millisecond stall.
-    p.rto = std::min(p.rto * 2, initialRto(src, dst) * 64);
-    Message copy = p.msg;
+    p->rto = std::min(p->rto * 2, initialRto(src, dst) * 64);
+    Message copy = p->msg;
     transmit(ps, std::move(copy), now);
 }
 
@@ -153,7 +168,10 @@ Reliability::onData(Message &&msg)
     const std::uint32_t seq = msg.relSeq();
     assert(seq != 0);
 
-    if (relSeqLt(seq, ps.rcvNext) || ps.buffer.count(seq) != 0) {
+    const bool parked =
+        std::any_of(ps.buffer.begin(), ps.buffer.end(),
+                    [seq](const Parked &b) { return b.seq == seq; });
+    if (relSeqLt(seq, ps.rcvNext) || parked) {
         // Already delivered or already parked: a fabric duplicate or
         // a retransmit that crossed the ack.  Re-ack so the sender
         // learns its state even if the first ack was lost.
@@ -166,16 +184,20 @@ Reliability::onData(Message &&msg)
     }
 
     if (seq == ps.rcvNext) {
+        ps.rcvLast = seq;
         ps.rcvNext = relSeqNext(ps.rcvNext);
         net_.deliverUp(std::move(msg));
-        // Release any buffered messages the gap was blocking.
-        // Re-find each iteration: delivery can reenter and mutate
-        // the buffer.
-        for (auto bit = ps.buffer.find(ps.rcvNext);
-             bit != ps.buffer.end();
-             bit = ps.buffer.find(ps.rcvNext)) {
-            Message next = std::move(bit->second);
-            ps.buffer.erase(bit);
+        // Release any buffered messages the gap was blocking.  The
+        // buffer is serially sorted, so the next deliverable message
+        // is always the front.  Pop before delivering: delivery can
+        // reenter and materialize other pairs, but only this loop
+        // mutates this pair's buffer.
+        while (!ps.buffer.empty() &&
+               ps.buffer.front().seq == ps.rcvNext) {
+            Message next = std::move(ps.buffer.front().msg);
+            ps.buffer.erase(ps.buffer.begin());
+            --unackedAndBuffered_;
+            ps.rcvLast = ps.rcvNext;
             ps.rcvNext = relSeqNext(ps.rcvNext);
             // The message sat in the reorder buffer; it becomes
             // visible now, not at its (stale) wire arrival time.
@@ -184,7 +206,18 @@ Reliability::onData(Message &&msg)
         }
     } else {
         ++net_.counts_.rel.reorderBuffered;
-        ps.buffer.emplace(seq, std::move(msg));
+        ++unackedAndBuffered_;
+        // Insert in serial order (from the back: arrivals are mostly
+        // in order, so the common case is an append).
+        std::size_t i = ps.buffer.size();
+        while (i > 0 && relSeqLt(seq, ps.buffer[i - 1].seq))
+            --i;
+        Parked b;
+        b.seq = seq;
+        b.msg = std::move(msg);
+        ps.buffer.insert(
+            ps.buffer.begin() + static_cast<std::ptrdiff_t>(i),
+            std::move(b));
     }
     sendAck(ps, src, dst);
 }
@@ -206,10 +239,14 @@ Reliability::sendAck(PairState &ps, ProcId src, ProcId dst)
                              "fault", ps.rcvNext);
         return;
     }
-    // Cumulative ack: everything strictly before rcvNext has been
-    // delivered.  (The initial value 0 means "nothing yet"; serial
-    // arithmetic in onAck handles it uniformly.)
-    const std::uint32_t cum = (ps.rcvNext - 1) & kRelSeqMask;
+    // Cumulative ack: everything up to and including the last
+    // delivered sequence number.  rcvLast is tracked explicitly
+    // rather than derived as (rcvNext - 1) & kRelSeqMask: right
+    // after the 24-bit space wraps (rcvNext back to 1) the numeric
+    // decrement yields 0, the reserved "nothing delivered" value,
+    // and the ack's meaning would silently lean on 0 aliasing the
+    // serial position between 2^24-1 and 1.
+    const std::uint32_t cum = ps.rcvLast;
     // Acks are small control messages on a side channel: they do not
     // enter mailboxes (no MsgType) and do not contend for pair/link
     // bandwidth, they just take the unloaded reverse latency.
@@ -226,21 +263,53 @@ Reliability::onAck(ProcId src, ProcId dst, std::uint32_t cumSeq)
 {
     ++net_.counts_.rel.acksReceived;
     PairState &ps = pair(src, dst);
-    for (auto it = ps.pending.begin(); it != ps.pending.end();) {
-        if (!relSeqLt(cumSeq, it->first)) // it->first <= cumSeq
-            it = ps.pending.erase(it);
-        else
-            ++it;
+    // The window is serially sorted, so everything acked (seq <=
+    // cumSeq in serial order) is a prefix.
+    std::size_t n = 0;
+    while (n < ps.pending.size() &&
+           !relSeqLt(cumSeq, ps.pending[n].seq))
+        ++n;
+    if (n > 0) {
+        ps.pending.erase(ps.pending.begin(),
+                         ps.pending.begin() +
+                             static_cast<std::ptrdiff_t>(n));
+        assert(unackedAndBuffered_ >= n);
+        unackedAndBuffered_ -= n;
     }
 }
 
 std::size_t
 Reliability::pendingUnacked() const
 {
-    std::size_t n = 0;
-    for (const PairState &ps : pairs_)
-        n += ps.pending.size() + ps.buffer.size();
-    return n;
+    if (auditCounter_) {
+        // Audit builds verify the running counter against the full
+        // per-pair scan it replaced.
+        std::size_t scan = 0;
+        pairs_.forEach([&scan](ProcId, ProcId, const PairState &ps) {
+            scan += ps.pending.size() + ps.buffer.size();
+        });
+        assert(scan == unackedAndBuffered_ &&
+               "pendingUnacked counter out of sync with pair scan");
+        if (scan != unackedAndBuffered_)
+            throw std::logic_error(
+                "Reliability: pendingUnacked counter out of sync");
+    }
+    return unackedAndBuffered_;
+}
+
+void
+Reliability::seedPairForTest(ProcId src, ProcId dst,
+                             std::uint32_t next)
+{
+    PairState &ps = pair(src, dst);
+    assert(ps.pending.empty() && ps.buffer.empty() &&
+           ps.sndNext == 1 && ps.rcvNext == 1);
+    assert(next != 0 && next <= kRelSeqMask);
+    ps.sndNext = next;
+    ps.rcvNext = next;
+    // The serial predecessor of `next` (0 for next == 1, matching
+    // the virgin "nothing delivered" state).
+    ps.rcvLast = (next - 1) & kRelSeqMask;
 }
 
 } // namespace shasta

@@ -26,23 +26,33 @@
  * decisions (FaultSalt::Ack) and may be dropped; cumulative acking
  * plus sender retransmission makes that safe.
  *
+ * Scaling: per-pair state is *sparse* (PairMap) — a pair's sender
+ * and receiver machines, including its fault-decision transmission
+ * counters, materialize on first traffic, so memory is proportional
+ * to the pairs an application actually exercises rather than P^2.
+ * The per-pair windows are serially-sorted flat vectors (send order
+ * *is* serial order), so the steady-state faulty path stops
+ * allocating once windows reach their peak, and the watchdog's
+ * pendingUnacked() poll reads a running counter instead of scanning
+ * every pair (O(1), cross-checked against a full live-pair scan
+ * under SHASTA_AUDIT=1).
+ *
  * Everything here is driven by the deterministic event queue and the
- * stateless FaultModel, so runs remain byte-reproducible.  This
- * layer only exists while faults are enabled; with faults off the
- * Network fast path is untouched and allocation-free as before
- * (tests/alloc_test.cc), while the faulty path may allocate (reorder
- * buffers, pending maps).
+ * stateless FaultModel, so runs remain byte-reproducible, and lazy
+ * materialization cannot perturb schedules: a fresh entry is
+ * value-initialized, indistinguishable from a dense entry that was
+ * never touched.
  */
 
 #ifndef SHASTA_NET_RELIABLE_HH
 #define SHASTA_NET_RELIABLE_HH
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "net/fault.hh"
 #include "net/message.hh"
+#include "net/pair_map.hh"
 #include "sim/ticks.hh"
 
 namespace shasta
@@ -115,17 +125,49 @@ class Reliability
 
     const FaultModel &model() const { return model_; }
 
-    /** Messages currently awaiting ack or resequencing (tests). */
+    /** Messages currently awaiting ack or resequencing.  O(1): a
+     *  running counter maintained at every window insert/erase, so
+     *  the watchdog can poll it without an O(P^2) sweep.  Under
+     *  SHASTA_AUDIT=1 every call cross-checks the counter against a
+     *  full scan of the live pairs. */
     std::size_t pendingUnacked() const;
+
+    /** Directed pairs that ever carried sequenced traffic (the
+     *  sparse-state footprint; dense would be P^2). */
+    std::size_t livePairs() const { return pairs_.live(); }
+
+    /** Test hook: start pair (src -> dst) at sequence @p next on
+     *  both ends, as if (next - 1) messages had already been
+     *  exchanged.  Lets unit tests cross the 24-bit wrap without
+     *  pushing 2^24 messages.  Only valid before the pair carries
+     *  traffic. */
+    void seedPairForTest(ProcId src, ProcId dst, std::uint32_t next);
 
     /** Retransmission cap per message; exceeding it throws. */
     static constexpr int kMaxAttempts = 30;
 
   private:
+    /** One unacked sender-side message. */
+    struct Pending
+    {
+        std::uint32_t seq = 0;
+        Message msg;
+        Tick firstSend = 0;
+        Tick rto = 0;
+        int attempts = 0;
+    };
+
+    /** One out-of-order arrival parked for resequencing. */
+    struct Parked
+    {
+        std::uint32_t seq = 0;
+        Message msg;
+    };
+
     /** Per-directed-pair sender + receiver state.  The sender half
      *  lives in the (src, dst) entry, the receiver half in the same
      *  entry (indexed identically from both sides: the state for
-     *  traffic src->dst). */
+     *  traffic src->dst).  Materialized lazily on first traffic. */
     struct PairState
     {
         /** @{ Sender side. */
@@ -137,26 +179,30 @@ class Reliability
         /** Ack-transmission fault-decision index (receiver side of
          *  the reverse pair uses the forward pair's entry). */
         std::uint64_t ackXmit = 0;
-        struct Pending
-        {
-            Message msg;
-            Tick firstSend = 0;
-            Tick rto = 0;
-            int attempts = 0;
-        };
-        /** Unacked messages by sequence number. */
-        std::map<std::uint32_t, Pending> pending;
+        /** Unacked messages in send order.  Send order is serial
+         *  order, so cumulative-ack pruning always removes a prefix
+         *  and the vector never reshuffles. */
+        std::vector<Pending> pending;
         /** @} */
 
         /** @{ Receiver side. */
         /** Next sequence number to deliver. */
         std::uint32_t rcvNext = 1;
-        /** Out-of-order arrivals awaiting the gap to fill. */
-        std::map<std::uint32_t, Message> buffer;
+        /** Last sequence number delivered (0 until the first
+         *  delivery).  This — not (rcvNext - 1) & mask — is the
+         *  cumulative-ack value: the numeric decrement aliases to 0
+         *  ("nothing delivered") for one window right after the
+         *  24-bit space wraps. */
+        std::uint32_t rcvLast = 0;
+        /** Out-of-order arrivals awaiting the gap to fill, in
+         *  serial order. */
+        std::vector<Parked> buffer;
         /** @} */
     };
 
     PairState &pair(ProcId src, ProcId dst);
+
+    Pending *findPending(PairState &ps, std::uint32_t seq);
 
     /** One physical transmission of @p msg (original or retransmit):
      *  draws a fault decision, charges the channel, schedules the
@@ -175,11 +221,18 @@ class Reliability
 
     Network &net_;
     FaultModel model_;
-    std::vector<PairState> pairs_;
+    /** Sparse per-pair state, keyed by packed (src, dst). */
+    PairMap<PairState> pairs_;
+    /** Running sum of every pair's pending.size() + buffer.size(),
+     *  maintained at the insert/erase sites (satellite of the
+     *  O(P^2)-per-poll pendingUnacked fix). */
+    std::size_t unackedAndBuffered_ = 0;
+    /** Cross-check the running counter on every read (SHASTA_AUDIT). */
+    bool auditCounter_ = false;
 };
 
 /** @{ 24-bit serial-number arithmetic (sequence space 1..2^24-1;
- *  0 is reserved for "unsequenced"). */
+ *  0 is reserved for "unsequenced"/"nothing delivered yet"). */
 constexpr std::uint32_t kRelSeqMask = 0xFFFFFFu;
 
 constexpr std::uint32_t
@@ -189,7 +242,9 @@ relSeqNext(std::uint32_t s)
     return n == 0 ? 1 : n;
 }
 
-/** True when @p a is strictly older than @p b in wrapping order. */
+/** True when @p a is strictly older than @p b in wrapping order.
+ *  Sound for any window narrower than 2^23 — both ends of every
+ *  comparison here sit within one in-flight window of each other. */
 constexpr bool
 relSeqLt(std::uint32_t a, std::uint32_t b)
 {

@@ -14,6 +14,8 @@
 #define SHASTA_NET_TOPOLOGY_HH
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace shasta
 {
@@ -42,12 +44,22 @@ class Topology
           clustering_(clustering),
           procsPerMachine_(procs_per_machine)
     {
-        assert(numProcs_ >= 1);
-        assert(clustering_ >= 1);
-        assert(procsPerMachine_ >= 1);
-        // A logical node must fit within one machine and tile it.
-        assert(clustering_ <= procsPerMachine_);
-        assert(procsPerMachine_ % clustering_ == 0);
+        // Checked in Release too: every index table downstream sizes
+        // itself from these, and large-P sweeps run Release builds
+        // where a bad config would otherwise turn into silent
+        // out-of-range arithmetic instead of a clean abort.
+        if (numProcs_ < 1 || clustering_ < 1 ||
+            procsPerMachine_ < 1 ||
+            // A logical node must fit within one machine and tile it.
+            clustering_ > procsPerMachine_ ||
+            procsPerMachine_ % clustering_ != 0) {
+            std::fprintf(stderr,
+                         "Topology: invalid configuration "
+                         "(procs=%d clustering=%d "
+                         "procsPerMachine=%d)\n",
+                         numProcs_, clustering_, procsPerMachine_);
+            std::abort();
+        }
     }
 
     int numProcs() const { return numProcs_; }

@@ -209,6 +209,43 @@ toJson(const RunSummary &s, int indent)
         o += in1 + "},\n";
     }
 
+    // Directory occupancy / shard pressure: present only for runs
+    // that exercised the software protocol, so hardware-mode output
+    // stays byte-identical to builds that predate sharding.
+    if (s.dir.any()) {
+        const DirCounters &d = s.dir;
+        o += in1 + "\"directory\": {\n";
+        appendf(o, "%s\"shardsPerHome\": %d,\n", in2.c_str(),
+                d.shardsPerHome);
+        appendf(o, "%s\"entries\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(d.entries));
+        appendf(o, "%s\"busy\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(d.busy));
+        appendf(o, "%s\"queued\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(d.queued));
+        appendf(o, "%s\"queuedTotal\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(d.queuedTotal));
+        appendf(o, "%s\"peakQueued\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(d.peakQueued));
+        appendf(o, "%s\"lookups\": %llu,\n", in2.c_str(),
+                static_cast<unsigned long long>(d.lookups));
+        o += in2 + "\"shardEntries\": [";
+        for (std::size_t i = 0; i < d.shardEntries.size(); ++i) {
+            appendf(o, "%s%llu", i == 0 ? "" : ", ",
+                    static_cast<unsigned long long>(
+                        d.shardEntries[i]));
+        }
+        o += "],\n";
+        o += in2 + "\"shardPeakQueued\": [";
+        for (std::size_t i = 0; i < d.shardPeakQueued.size(); ++i) {
+            appendf(o, "%s%llu", i == 0 ? "" : ", ",
+                    static_cast<unsigned long long>(
+                        d.shardPeakQueued[i]));
+        }
+        o += "]\n";
+        o += in1 + "},\n";
+    }
+
     const CheckCounters &k = s.checks;
     o += in1 + "\"checks\": {\n";
     appendf(o, "%s\"loads\": %llu,\n", in2.c_str(),

@@ -41,6 +41,9 @@ struct RunSummary
     LatencyStats lat;
     NetworkCounts net;
     CheckCounters checks;
+    /** Directory occupancy / shard pressure (all-zero when the run
+     *  had no software protocol; omitted from the JSON then). */
+    DirCounters dir;
 };
 
 /** RFC 8259 string escaping (quotes, backslash, control chars). */

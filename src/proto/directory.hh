@@ -4,23 +4,43 @@
  *
  * A home processor is associated with each virtual page of shared
  * data; the directory entry for a block records the current *owner*
- * (the last processor that held an exclusive copy) and a full bit
- * vector of sharers (Section 2.1).  The home is only aware of the one
- * processor per node that requested the data, which keeps protocol
- * requests for a block serialized at one processor per node
- * (Section 3.4.2).
+ * (the last processor that held an exclusive copy) and a sharer set
+ * (Section 2.1).  The home is only aware of the one processor per
+ * node that requested the data, which keeps protocol requests for a
+ * block serialized at one processor per node (Section 3.4.2).
  *
  * Transactions are serialized per block at the home: while a
  * transaction is in flight the entry is *busy* and later requests
  * queue behind it (see DESIGN.md for how this relates to the real
  * Shasta protocol).
+ *
+ * Scaling (PR 6):
+ *
+ *  - The sharer set is no longer a single 32-bit word (undefined
+ *    behavior the moment a processor id reached 32).  SharerSet keeps
+ *    one inline word for processors 0..63 — the paper-scale fast path
+ *    never allocates — and lazily grows a word vector for larger
+ *    clusters, up to the 1024-processor sweeps.
+ *  - Each home's directory is split into K independently-locked
+ *    shards selected by a hash of the block index.  Entry lookup
+ *    locks only one shard, and each shard tracks its own occupancy
+ *    and waiting-queue depth, exported through the stats JSON so a
+ *    scaling run can show where directory pressure concentrates.
+ *
+ * Determinism contract: sharding is pure bookkeeping.  Requests are
+ * still serialized per *block* by the busy flag and each entry's own
+ * waiting deque (never merged across blocks or shards), so replay
+ * order — and therefore every golden schedule — is independent of
+ * the shard count.
  */
 
 #ifndef SHASTA_PROTO_DIRECTORY_HH
 #define SHASTA_PROTO_DIRECTORY_HH
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,70 +51,192 @@
 namespace shasta
 {
 
+/**
+ * Set of sharer processors, one bit per ProcId.
+ *
+ * Word 0 (processors 0..63) is inline; higher words materialize on
+ * first use so small runs never touch the heap and large runs pay
+ * only for the ids they actually set.  clear() zeroes words without
+ * releasing them, keeping the steady state allocation-free.
+ */
+class SharerSet
+{
+  public:
+    bool
+    test(ProcId p) const
+    {
+        assert(p >= 0);
+        const std::size_t w = static_cast<std::size_t>(p) / 64;
+        const std::uint64_t bit = 1ull
+                                  << (static_cast<unsigned>(p) % 64);
+        if (w == 0)
+            return (low_ & bit) != 0;
+        return w - 1 < high_.size() && (high_[w - 1] & bit) != 0;
+    }
+
+    void
+    set(ProcId p)
+    {
+        assert(p >= 0);
+        const std::size_t w = static_cast<std::size_t>(p) / 64;
+        const std::uint64_t bit = 1ull
+                                  << (static_cast<unsigned>(p) % 64);
+        if (w == 0) {
+            low_ |= bit;
+            return;
+        }
+        if (high_.size() < w)
+            high_.resize(w, 0);
+        high_[w - 1] |= bit;
+    }
+
+    void
+    reset(ProcId p)
+    {
+        assert(p >= 0);
+        const std::size_t w = static_cast<std::size_t>(p) / 64;
+        const std::uint64_t bit = 1ull
+                                  << (static_cast<unsigned>(p) % 64);
+        if (w == 0)
+            low_ &= ~bit;
+        else if (w - 1 < high_.size())
+            high_[w - 1] &= ~bit;
+    }
+
+    void
+    clear()
+    {
+        low_ = 0;
+        for (std::uint64_t &w : high_)
+            w = 0;
+    }
+
+    int
+    count() const
+    {
+        int n = __builtin_popcountll(low_);
+        for (const std::uint64_t w : high_)
+            n += __builtin_popcountll(w);
+        return n;
+    }
+
+    /** Visit set bits in ascending ProcId order. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (std::uint64_t bits = low_; bits != 0;
+             bits &= bits - 1) {
+            fn(static_cast<ProcId>(__builtin_ctzll(bits)));
+        }
+        for (std::size_t w = 0; w < high_.size(); ++w) {
+            for (std::uint64_t bits = high_[w]; bits != 0;
+                 bits &= bits - 1) {
+                fn(static_cast<ProcId>((w + 1) * 64 +
+                                       static_cast<std::size_t>(
+                                           __builtin_ctzll(bits))));
+            }
+        }
+    }
+
+  private:
+    std::uint64_t low_ = 0;
+    /** Words for processors 64.., grown lazily. */
+    std::vector<std::uint64_t> high_;
+};
+
 /** Directory entry for one block. */
 struct DirEntry
 {
     /** Last processor to hold the block exclusively. */
     ProcId owner = -1;
-    /** Bit per processor: nodes holding a copy, via the one
-     *  representative processor per node known to the home. */
-    std::uint32_t sharers = 0;
+    /** Nodes holding a copy, via the one representative processor
+     *  per node known to the home. */
+    SharerSet sharers;
     /** A transaction is in flight; queue new requests. */
     bool busy = false;
     /** Requests waiting for the entry to become free. */
     std::deque<Message> waiting;
 
-    bool
-    isSharer(ProcId p) const
-    {
-        return (sharers >> p) & 1u;
-    }
+    bool isSharer(ProcId p) const { return sharers.test(p); }
 
-    void addSharer(ProcId p) { sharers |= (1u << p); }
+    void addSharer(ProcId p) { sharers.set(p); }
 
-    void removeSharer(ProcId p) { sharers &= ~(1u << p); }
+    void removeSharer(ProcId p) { sharers.reset(p); }
 
-    void clearSharers() { sharers = 0; }
+    void clearSharers() { sharers.clear(); }
 
     /** All sharers except @p except (pass -1 to keep everyone). */
     std::vector<ProcId>
     sharerList(ProcId except = -1) const
     {
         std::vector<ProcId> out;
-        for (int p = 0; p < 32; ++p) {
-            if (((sharers >> p) & 1u) && p != except)
+        sharers.forEach([&](ProcId p) {
+            if (p != except)
                 out.push_back(p);
-        }
+        });
         return out;
     }
 
-    int
-    sharerCount() const
-    {
-        return __builtin_popcount(sharers);
-    }
+    int sharerCount() const { return sharers.count(); }
 };
 
 /**
- * The directory fragment homed at one processor.
+ * The directory fragment homed at one processor, split into
+ * independently-locked shards.
  *
  * Entries are created lazily; a block's initial owner and sole sharer
  * is its home processor (the home node starts with an exclusive copy
  * of freshly allocated, zero-filled memory).
+ *
+ * Locking: each shard has its own mutex guarding its hash map;
+ * references returned by entry()/find() stay valid after the lock is
+ * released (unordered_map never relocates elements), and per-entry
+ * mutation is serialized by the simulation itself.  forEachEntry()
+ * locks one shard at a time — callbacks must not reenter the same
+ * directory's locking methods.
  */
 class HomeDirectory
 {
   public:
-    explicit HomeDirectory(ProcId home) : home_(home) {}
+    /** Occupancy and queue-depth counters, kept per shard. */
+    struct ShardStats
+    {
+        /** entry() calls routed to this shard. */
+        std::uint64_t lookups = 0;
+        /** Requests currently parked on this shard's entries. */
+        std::uint64_t queuedNow = 0;
+        /** High-water mark of queuedNow. */
+        std::uint64_t peakQueued = 0;
+        /** Total requests ever parked (throughput of the busy
+         *  serialization point). */
+        std::uint64_t queuedTotal = 0;
+    };
+
+    explicit HomeDirectory(ProcId home, int shards = 8)
+        : home_(home)
+    {
+        assert(shards >= 1 && (shards & (shards - 1)) == 0 &&
+               "shard count must be a power of two");
+        bits_ = 0;
+        while ((1 << bits_) < shards)
+            ++bits_;
+        for (int k = 0; k < shards; ++k)
+            shards_.emplace_back();
+    }
 
     ProcId home() const { return home_; }
 
     /** Entry for the block starting at @p block_first (created lazily
-     *  with the home as initial owner). */
+     *  with the home as initial owner).  The reference outlives the
+     *  internal shard lock. */
     DirEntry &
     entry(LineIdx block_first)
     {
-        auto [it, inserted] = entries_.try_emplace(block_first);
+        Shard &sh = shards_[shardOf(block_first)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        ++sh.stats.lookups;
+        auto [it, inserted] = sh.entries.try_emplace(block_first);
         if (inserted) {
             it->second.owner = home_;
             it->second.addSharer(home_);
@@ -105,21 +247,113 @@ class HomeDirectory
     bool
     known(LineIdx block_first) const
     {
-        return entries_.count(block_first) > 0;
+        const Shard &sh = shards_[shardOf(block_first)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        return sh.entries.count(block_first) > 0;
     }
 
-    std::size_t size() const { return entries_.size(); }
-
-    /** Iteration for diagnostics. */
-    const std::unordered_map<LineIdx, DirEntry> &
-    entriesMap() const
+    /** Lookup without materializing; nullptr when never touched. */
+    const DirEntry *
+    find(LineIdx block_first) const
     {
-        return entries_;
+        const Shard &sh = shards_[shardOf(block_first)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        const auto it = sh.entries.find(block_first);
+        return it == sh.entries.end() ? nullptr : &it->second;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const Shard &sh : shards_) {
+            const std::lock_guard<std::mutex> lock(sh.mu);
+            n += sh.entries.size();
+        }
+        return n;
+    }
+
+    /** Visit every entry (diagnostics; shard-at-a-time locking, so
+     *  @p fn must not call back into this directory). */
+    template <typename Fn>
+    void
+    forEachEntry(Fn fn) const
+    {
+        for (const Shard &sh : shards_) {
+            const std::lock_guard<std::mutex> lock(sh.mu);
+            for (const auto &[line, e] : sh.entries)
+                fn(line, e);
+        }
+    }
+
+    /** Record a request parking on @p block_first's waiting queue.
+     *  @return true when this push set a new shard high-water mark. */
+    bool
+    noteQueued(LineIdx block_first)
+    {
+        Shard &sh = shards_[shardOf(block_first)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        ++sh.stats.queuedNow;
+        ++sh.stats.queuedTotal;
+        if (sh.stats.queuedNow > sh.stats.peakQueued) {
+            sh.stats.peakQueued = sh.stats.queuedNow;
+            return true;
+        }
+        return false;
+    }
+
+    /** Record a parked request leaving @p block_first's queue. */
+    void
+    noteDequeued(LineIdx block_first)
+    {
+        Shard &sh = shards_[shardOf(block_first)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        assert(sh.stats.queuedNow > 0);
+        --sh.stats.queuedNow;
+    }
+
+    int shardCount() const { return 1 << bits_; }
+
+    std::size_t
+    shardSize(int k) const
+    {
+        const Shard &sh = shards_[static_cast<std::size_t>(k)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        return sh.entries.size();
+    }
+
+    ShardStats
+    shardStats(int k) const
+    {
+        const Shard &sh = shards_[static_cast<std::size_t>(k)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        return sh.stats;
     }
 
   private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<LineIdx, DirEntry> entries;
+        ShardStats stats;
+    };
+
+    /** Fibonacci-hash the block index into a shard.  Consecutive
+     *  blocks (the common allocation pattern) spread across shards
+     *  instead of marching through one. */
+    std::size_t
+    shardOf(LineIdx line) const
+    {
+        if (bits_ == 0)
+            return 0;
+        return (line * 0x9E3779B9u) >> (32 - bits_);
+    }
+
     ProcId home_;
-    std::unordered_map<LineIdx, DirEntry> entries_;
+    int bits_ = 0;
+    /** deque: Shard holds a mutex (immovable); emplace_back never
+     *  relocates earlier shards. */
+    std::deque<Shard> shards_;
 };
 
 } // namespace shasta

@@ -12,24 +12,54 @@ namespace
 {
 
 /**
- * Collect the set bits of a sharer vector that pass @p keep into
- * @p out (ascending processor order, matching the directory's
- * representative-per-node invariant).  Bounded by the 32-processor
- * sharer vector, so a fixed array replaces the per-request
- * std::vector the old engine allocated.
+ * Scratch list of invalidation targets.  One target per sharing
+ * node, so the inline capacity covers every paper-scale run (and
+ * most large ones) without allocating; a block shared by more than
+ * 64 nodes spills to the heap.
+ */
+class InvalList
+{
+  public:
+    void
+    push(ProcId q)
+    {
+        if (n_ < kInline)
+            inline_[n_] = q;
+        else
+            spill_.push_back(q);
+        ++n_;
+    }
+
+    int size() const { return n_; }
+
+    ProcId
+    operator[](int i) const
+    {
+        return i < kInline ? inline_[i]
+                           : spill_[static_cast<std::size_t>(
+                                 i - kInline)];
+    }
+
+  private:
+    static constexpr int kInline = 64;
+    ProcId inline_[kInline];
+    std::vector<ProcId> spill_;
+    int n_ = 0;
+};
+
+/**
+ * Collect the sharers that pass @p keep into @p out (ascending
+ * processor order, matching the directory's representative-per-node
+ * invariant).
  */
 template <typename Keep>
-int
-collectSharers(std::uint32_t sharers, Keep keep, ProcId *out)
+void
+collectSharers(const SharerSet &sharers, Keep keep, InvalList &out)
 {
-    int n = 0;
-    for (std::uint32_t bits = sharers; bits != 0; bits &= bits - 1) {
-        const ProcId q =
-            static_cast<ProcId>(__builtin_ctz(bits));
+    sharers.forEach([&](ProcId q) {
         if (keep(q))
-            out[n++] = q;
-    }
-    return n;
+            out.push(q);
+    });
 }
 
 } // namespace
@@ -37,11 +67,14 @@ collectSharers(std::uint32_t sharers, Keep keep, ProcId *out)
 ProcId
 HomeAgent::sharerRepOf(const DirEntry &e, NodeId node) const
 {
-    for (int q = 0; q < c_.topo.numProcs(); ++q) {
-        if (e.isSharer(q) && c_.topo.nodeOf(q) == node)
-            return q;
-    }
-    return -1;
+    // Walk the sharer set, not all P processors: entries hold one
+    // representative per sharing node, so this is O(sharers).
+    ProcId rep = -1;
+    e.sharers.forEach([&](ProcId q) {
+        if (rep == -1 && c_.topo.nodeOf(q) == node)
+            rep = q;
+    });
+    return rep;
 }
 
 void
@@ -49,15 +82,19 @@ HomeAgent::onReadReq(Proc &home, Message &&m)
 {
     const LineIdx first = c_.heap.lineOf(m.addr);
     c_.chargeHandler(home, m, first);
-    DirEntry &e =
-        c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
-            first);
+    HomeDirectory &dir =
+        *c_.dirs[static_cast<std::size_t>(c_.homeProc(first))];
+    DirEntry &e = dir.entry(first);
     if (e.busy) {
         if (obs::traceJsonEnabled()) {
             obs::emitInstant(home.id, home.now, "dir-busy-queued",
                              "proto", first);
         }
         e.waiting.push_back(std::move(m));
+        if (dir.noteQueued(first) && obs::traceJsonEnabled()) {
+            obs::emitInstant(home.id, home.now, "dir-shard-peak",
+                             "proto", first);
+        }
         return;
     }
     const BlockInfo b = c_.blockOf(first);
@@ -108,15 +145,19 @@ HomeAgent::onReadExReq(Proc &home, Message &&m)
 {
     const LineIdx first = c_.heap.lineOf(m.addr);
     c_.chargeHandler(home, m, first);
-    DirEntry &e =
-        c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
-            first);
+    HomeDirectory &dir =
+        *c_.dirs[static_cast<std::size_t>(c_.homeProc(first))];
+    DirEntry &e = dir.entry(first);
     if (e.busy) {
         if (obs::traceJsonEnabled()) {
             obs::emitInstant(home.id, home.now, "dir-busy-queued",
                              "proto", first);
         }
         e.waiting.push_back(std::move(m));
+        if (dir.noteQueued(first) && obs::traceJsonEnabled()) {
+            obs::emitInstant(home.id, home.now, "dir-shard-peak",
+                             "proto", first);
+        }
         return;
     }
     const NodeId hn = home.node;
@@ -131,11 +172,12 @@ HomeAgent::onReadExReq(Proc &home, Message &&m)
     if (readableState(s)) {
         // Home supplies the data.  Invalidate every other sharing
         // node; their acks go to the requester.
-        ProcId invals[32];
-        const int n_invals = collectSharers(
+        InvalList invals;
+        collectSharers(
             e.sharers,
             [&](ProcId q) { return c_.topo.nodeOf(q) != hn; },
             invals);
+        const int n_invals = invals.size();
         e.owner = req;
         e.clearSharers();
         e.addSharer(req);
@@ -152,14 +194,15 @@ HomeAgent::onReadExReq(Proc &home, Message &&m)
     // ownership.  (Invariant: home invalid implies sharers == {owner}
     // -- reads always leave a copy at the home.)
     assert(e.owner >= 0);
-    ProcId invals[32];
-    const int n_invals = collectSharers(
+    InvalList invals;
+    collectSharers(
         e.sharers,
         [&](ProcId q) {
             return c_.topo.nodeOf(q) != c_.topo.nodeOf(e.owner) &&
                    c_.topo.nodeOf(q) != req_node;
         },
         invals);
+    const int n_invals = invals.size();
     for (int i = 0; i < n_invals; ++i)
         c_.sendMsg(home, MsgType::InvalReq, invals[i], first, req);
     const ProcId owner = e.owner;
@@ -174,9 +217,9 @@ void
 HomeAgent::onUpgradeReq(Proc &home, Message &&m)
 {
     const LineIdx first = c_.heap.lineOf(m.addr);
-    DirEntry &e =
-        c_.dirs[static_cast<std::size_t>(c_.homeProc(first))]->entry(
-            first);
+    HomeDirectory &dir =
+        *c_.dirs[static_cast<std::size_t>(c_.homeProc(first))];
+    DirEntry &e = dir.entry(first);
     if (e.busy) {
         c_.chargeHandler(home, m, first);
         if (obs::traceJsonEnabled()) {
@@ -184,6 +227,10 @@ HomeAgent::onUpgradeReq(Proc &home, Message &&m)
                              "proto", first);
         }
         e.waiting.push_back(std::move(m));
+        if (dir.noteQueued(first) && obs::traceJsonEnabled()) {
+            obs::emitInstant(home.id, home.now, "dir-shard-peak",
+                             "proto", first);
+        }
         return;
     }
     const ProcId req = m.requester;
@@ -199,11 +246,12 @@ HomeAgent::onUpgradeReq(Proc &home, Message &&m)
         return;
     }
     c_.chargeHandler(home, m, first);
-    ProcId invals[32];
-    const int n_invals = collectSharers(
+    InvalList invals;
+    collectSharers(
         e.sharers,
         [&](ProcId q) { return c_.topo.nodeOf(q) != req_node; },
         invals);
+    const int n_invals = invals.size();
     e.busy = true;
     e.owner = req;
     e.clearSharers();
@@ -247,13 +295,14 @@ void
 HomeAgent::unbusyAndPump(Proc &p, LineIdx first)
 {
     const ProcId home = c_.homeProc(first);
-    DirEntry &e =
-        c_.dirs[static_cast<std::size_t>(home)]->entry(first);
+    HomeDirectory &dir = *c_.dirs[static_cast<std::size_t>(home)];
+    DirEntry &e = dir.entry(first);
     assert(e.busy);
     e.busy = false;
     if (!e.waiting.empty()) {
         Message next = std::move(e.waiting.front());
         e.waiting.pop_front();
+        dir.noteDequeued(first);
         if (home == p.id) {
             c_.handleMessage(p, std::move(next));
         } else {
@@ -267,13 +316,14 @@ HomeAgent::pumpQueued(Proc &home, LineIdx first)
 {
     assert(c_.topo.sameNode(home.id, c_.homeProc(first)));
     for (;;) {
-        DirEntry &e = c_.dirs[static_cast<std::size_t>(
-                                  c_.homeProc(first))]
-                          ->entry(first);
+        HomeDirectory &dir =
+            *c_.dirs[static_cast<std::size_t>(c_.homeProc(first))];
+        DirEntry &e = dir.entry(first);
         if (e.busy || e.waiting.empty())
             return;
         Message next = std::move(e.waiting.front());
         e.waiting.pop_front();
+        dir.noteDequeued(first);
         c_.handleMessage(home, std::move(next));
     }
 }

@@ -144,7 +144,8 @@ ProtocolCore::ProtocolCore(const DsmConfig &cfg_in,
     }
     dirs.reserve(static_cast<std::size_t>(topo.numProcs()));
     for (int p = 0; p < topo.numProcs(); ++p)
-        dirs.push_back(std::make_unique<HomeDirectory>(p));
+        dirs.push_back(
+            std::make_unique<HomeDirectory>(p, cfg.dirShards));
 }
 
 ProcId
@@ -460,6 +461,42 @@ ProtocolCore::pendingTransactions() const
     return n;
 }
 
+DirCounters
+ProtocolCore::dirCounters() const
+{
+    DirCounters d;
+    if (dirs.empty())
+        return d;
+    d.shardsPerHome = dirs[0]->shardCount();
+    d.shardEntries.assign(
+        static_cast<std::size_t>(d.shardsPerHome), 0);
+    d.shardPeakQueued.assign(
+        static_cast<std::size_t>(d.shardsPerHome), 0);
+    for (const auto &dir : dirs) {
+        for (int k = 0; k < dir->shardCount(); ++k) {
+            const auto st = dir->shardStats(k);
+            const auto ki = static_cast<std::size_t>(k);
+            d.lookups += st.lookups;
+            d.queuedTotal += st.queuedTotal;
+            if (st.peakQueued > d.peakQueued)
+                d.peakQueued = st.peakQueued;
+            d.shardEntries[ki] += dir->shardSize(k);
+            if (st.peakQueued > d.shardPeakQueued[ki])
+                d.shardPeakQueued[ki] = st.peakQueued;
+        }
+        // busy/queued come from walking the entries, not the queue
+        // hooks: tests poke entry state directly, and the walk is
+        // the ground truth either way.
+        dir->forEachEntry([&](LineIdx, const DirEntry &e) {
+            ++d.entries;
+            if (e.busy)
+                ++d.busy;
+            d.queued += e.waiting.size();
+        });
+    }
+    return d;
+}
+
 std::string
 ProtocolCore::dumpPending() const
 {
@@ -485,17 +522,17 @@ ProtocolCore::dumpPending() const
         }
     }
     for (std::size_t d = 0; d < dirs.size(); ++d) {
-        for (const auto &[line, e] : dirs[d]->entriesMap()) {
+        dirs[d]->forEachEntry([&](LineIdx line, const DirEntry &e) {
             if (!e.busy && e.waiting.empty())
-                continue;
+                return;
             out += "  dir@" + std::to_string(d) + " line " +
                    std::to_string(line) +
                    " busy=" + std::to_string(e.busy) +
                    " owner=" + std::to_string(e.owner) +
-                   " sharers=" + std::to_string(e.sharers) +
+                   " sharers=" + std::to_string(e.sharerCount()) +
                    " waiting=" + std::to_string(e.waiting.size()) +
                    "\n";
-        }
+        });
     }
     return out;
 }

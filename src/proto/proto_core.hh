@@ -155,6 +155,10 @@ struct ProtocolCore
     /** @{ Diagnostics. */
     std::size_t pendingTransactions() const;
     std::string dumpPending() const;
+
+    /** Aggregate every home's shard occupancy/queue counters (the
+     *  stats JSON "directory" block). */
+    DirCounters dirCounters() const;
     /** @} */
 
     /** Latency histograms (miss classes, downgrade service,

@@ -310,6 +310,9 @@ class Protocol
      *  directory entry (deadlock diagnostics). */
     std::string dumpPending() const { return core_.dumpPending(); }
 
+    /** Aggregated directory occupancy / shard-pressure counters. */
+    DirCounters dirCounters() const { return core_.dirCounters(); }
+
   private:
     ProtocolCore core_;
     HomeAgent home_;

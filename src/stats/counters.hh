@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "sim/ticks.hh"
 #include "stats/histogram.hh"
@@ -130,6 +131,39 @@ struct AuditCounters
     std::uint64_t watchdogChecks = 0;
     /** Stalls / livelocks detected (a clean run reports 0). */
     std::uint64_t stallsDetected = 0;
+};
+
+/**
+ * Directory occupancy and shard-pressure counters, aggregated over
+ * every home at export time (the sharded HomeDirectory keeps the
+ * per-shard numbers; see proto/directory.hh).
+ *
+ * shardEntries[k] / shardPeakQueued[k] aggregate shard k across all
+ * homes (sum and max respectively): a skewed distribution across k
+ * means the shard hash is failing to spread the hot blocks.
+ */
+struct DirCounters
+{
+    /** Shards per home directory (the configured dirShards). */
+    int shardsPerHome = 0;
+    /** Directory entries materialized across all homes. */
+    std::uint64_t entries = 0;
+    /** Entries busy (transaction in flight) at export time. */
+    std::uint64_t busy = 0;
+    /** Requests parked on busy entries at export time. */
+    std::uint64_t queued = 0;
+    /** Requests ever parked behind a busy entry. */
+    std::uint64_t queuedTotal = 0;
+    /** Max simultaneous parked requests on any one shard. */
+    std::uint64_t peakQueued = 0;
+    /** entry() lookups across all homes. */
+    std::uint64_t lookups = 0;
+    /** Entries per shard index, summed over homes. */
+    std::vector<std::uint64_t> shardEntries;
+    /** Peak queue depth per shard index, max over homes. */
+    std::vector<std::uint64_t> shardPeakQueued;
+
+    bool any() const { return entries != 0 || lookups != 0; }
 };
 
 /** Per-access counters from the checking layer. */

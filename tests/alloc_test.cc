@@ -25,9 +25,12 @@
 
 #include "dsm/config.hh"
 #include "dsm/proc.hh"
+#include "net/fault.hh"
 #include "net/mailbox.hh"
 #include "net/network.hh"
 #include "net/payload.hh"
+#include "net/reliable.hh"
+#include "proto/directory.hh"
 #include "proto/protocol.hh"
 #include "sim/event_queue.hh"
 
@@ -240,6 +243,109 @@ TEST(MessageHotPath, NetworkAndMailboxSteadyStateIsAllocationFree)
     }
     EXPECT_EQ(g_allocs, before);
     EXPECT_EQ(drained, 68u * 8u);
+}
+
+TEST(MessageHotPath, FaultySteadyStateIsAllocationFree)
+{
+    // With fault injection on, the reliability sublayer sits on the
+    // hot path: per-pair state materializes lazily (PairMap), unacked
+    // windows and reorder buffers are flat vectors that grow to their
+    // peak, retransmit timers ride the timing wheel.  After warm-up,
+    // the faulty cycle must allocate nothing.
+    EventQueue events;
+    Topology topo(16, 4, 4);
+    Network net(events, topo, NetworkParams::defaults());
+    FaultConfig fc;
+    fc.dropPct = 10;
+    fc.dupPct = 5;
+    fc.reorderPct = 5;
+    fc.seed = 7;
+    net.configureFaults(fc);
+    std::vector<Mailbox> boxes(16);
+    net.setDeliver(
+        [&](Message &&m) { boxes[m.dst].push(std::move(m)); });
+
+    std::uint64_t drained = 0;
+    auto cycle = [&](Tick t0) {
+        for (ProcId i = 0; i < 8; ++i) {
+            Message m;
+            m.type = MsgType::ReadReply;
+            m.src = i;
+            m.dst = static_cast<ProcId>(i + 8);
+            m.requester = i;
+            m.data.resize(i % 3 == 0 ? 0u
+                                     : (i % 3 == 1 ? 64u : 2048u));
+            net.send(std::move(m), t0);
+        }
+        events.run();
+        for (auto &b : boxes) {
+            while (b.hasMail()) {
+                Message m = b.pop();
+                ++drained;
+            }
+        }
+    };
+
+    // Warm-up: pair state materializes, windows/buffers reach peak
+    // capacity (fault decisions differ per cycle, so give the peaks
+    // several rounds to be reached).
+    Tick t = 1;
+    for (int r = 0; r < 16; ++r) {
+        cycle(t);
+        t = events.now() + 1;
+    }
+
+    const std::uint64_t before = g_allocs;
+    for (int r = 0; r < 64; ++r) {
+        cycle(t);
+        t = events.now() + 1;
+    }
+    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(drained, 80u * 8u);
+    // The cycle above used exactly the 8 directed pairs it touched.
+    EXPECT_EQ(net.reliability()->livePairs(), 8u);
+}
+
+// --------------------------------------------------------------------
+// Sharded home directory
+// --------------------------------------------------------------------
+
+TEST(DirectoryAlloc, ShardSteadyStateIsAllocationFree)
+{
+    // Directory entries allocate once on first touch; thereafter
+    // lookups, the queue-depth hooks, and the aggregation walk are
+    // allocation-free.
+    HomeDirectory dir(0, 8);
+    for (LineIdx l = 0; l < 64; ++l) {
+        DirEntry &e = dir.entry(l);
+        e.addSharer(static_cast<ProcId>(l % 16));
+    }
+
+    const std::uint64_t before = g_allocs;
+    std::uint64_t sharers = 0;
+    for (int r = 0; r < 64; ++r) {
+        for (LineIdx l = 0; l < 64; ++l) {
+            DirEntry &e = dir.entry(l);
+            sharers += static_cast<std::uint64_t>(e.sharerCount());
+            dir.noteQueued(l);
+            dir.noteDequeued(l);
+            const DirEntry *f = dir.find(l);
+            ASSERT_NE(f, nullptr);
+        }
+        dir.forEachEntry(
+            [&](LineIdx, const DirEntry &e) {
+                sharers += e.busy ? 1u : 0u;
+            });
+    }
+    EXPECT_EQ(g_allocs, before);
+    // Lazily created entries start with the home (proc 0) as owner
+    // and sole sharer, so the 60 entries whose warm-up sharer was
+    // not proc 0 count two sharers, the other 4 count one.
+    EXPECT_EQ(sharers, 64u * (4u * 1u + 60u * 2u));
+    for (int k = 0; k < dir.shardCount(); ++k) {
+        const auto st = dir.shardStats(k);
+        EXPECT_EQ(st.queuedNow, 0u);
+    }
 }
 
 // --------------------------------------------------------------------

@@ -275,6 +275,61 @@ TEST(FaultDeterminism, SweepRunnerParallelismDoesNotChangeResults)
     EXPECT_NE(serial[0], serial[1]); // distinct seeds, distinct runs
 }
 
+TEST(FaultDeterminism, LargeScaleFaultySweepIsJobCountInvariant)
+{
+    // The PR-6 scaling acceptance bar: a faulty P=256 run — sparse
+    // pair state, sharded directories, the reliability sublayer all
+    // engaged — produces byte-identical stats JSON whether the sweep
+    // executes on 1 worker or 4.
+    auto runRing = [](std::uint64_t seed) {
+        DsmConfig cfg = DsmConfig::smp(256, 4);
+        cfg.fault.dropPct = 2.0;
+        cfg.fault.dupPct = 1.0;
+        cfg.fault.reorderPct = 1.0;
+        cfg.fault.seed = seed;
+        Runtime rt(cfg);
+        const Addr slots = rt.alloc(256 * 64, 64);
+        rt.run([&](Context &c) -> Task {
+            const ProcId me = c.id();
+            const Addr mine = slots + static_cast<Addr>(me) * 64;
+            const Addr next =
+                slots + static_cast<Addr>((me + 1) % 256) * 64;
+            for (int it = 0; it < 2; ++it) {
+                co_await c.storeFp(mine,
+                                   static_cast<double>(me + it));
+                co_await c.barrier();
+                (void)co_await c.loadFp(next);
+                co_await c.barrier();
+            }
+        });
+        return rt.statsJson();
+    };
+    const std::uint64_t seeds[] = {11, 12};
+    auto sweepWith = [&](int jobs) {
+        bench::SweepRunner sweep(jobs);
+        std::vector<std::string> out(2);
+        for (int i = 0; i < 2; ++i) {
+            auto *slot = &out[static_cast<std::size_t>(i)];
+            const std::uint64_t seed =
+                seeds[static_cast<std::size_t>(i)];
+            sweep.addWork([seed, slot, &runRing] {
+                *slot = runRing(seed);
+            },
+                          [] {});
+        }
+        sweep.finish();
+        return out;
+    };
+    const auto serial = sweepWith(1);
+    const auto parallel = sweepWith(4);
+    EXPECT_EQ(serial, parallel);
+    // The runs really engaged the layers under test.
+    ASSERT_NE(serial[0].find("\"reliability\""), std::string::npos);
+    ASSERT_NE(serial[0].find("\"directory\""), std::string::npos);
+    ASSERT_NE(serial[0].find("\"shardEntries\""), std::string::npos);
+    EXPECT_NE(serial[0], serial[1]);
+}
+
 TEST(SweepRunner, ExceptionSurfacesAtItsCommitSlot)
 {
     bench::SweepRunner sweep(2);
