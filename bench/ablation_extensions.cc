@@ -151,7 +151,7 @@ lineSizeSweep(SweepRunner &sweep, const std::string &app)
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Ablations and extensions (beyond the paper's measured "
            "configurations)",
            "Sections 2.3, 3.1, 3.3 and 5");

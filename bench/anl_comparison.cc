@@ -17,7 +17,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("ANL comparison: hardware coherence vs SMP-Shasta on "
            "one 4-processor node",
            "Section 4.3");

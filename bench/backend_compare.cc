@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Head-to-head of the two execution backends.
+ *
+ * Every registered application runs twice under the same protocol
+ * configuration: once on the discrete-event simulator and once on
+ * the real-thread backend.  The run is valid only if both backends
+ * drive the shared heap to the same final checksum (the simulator is
+ * the oracle); the comparison itself is host wall-clock time, i.e.
+ * how much faster the protocol executes when nodes are real threads
+ * exchanging frames over SPSC rings instead of events in a heap.
+ *
+ * Host-dependent metrics go to the SHASTA_BENCH_JSON artifact (like
+ * figure_scaling), never to stdout tables or --stats-json, so the
+ * deterministic outputs stay machine-independent.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "bench_common.hh"
+
+using namespace shasta;
+using namespace shasta::bench;
+
+namespace
+{
+
+struct CompareRow
+{
+    std::string app;
+    double simHostMs = 0.0;
+    double thrHostMs = 0.0;
+    double simChecksum = 0.0;
+    double thrChecksum = 0.0;
+    bool match = false;
+    std::uint64_t simMsgs = 0;
+    std::uint64_t thrMsgs = 0;
+};
+
+double
+hostMs(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+CompareRow
+compareOne(const std::string &name)
+{
+    auto app = createApp(name);
+    AppParams p = withStandardOptions(name, defaultParams(*app));
+
+    CompareRow row;
+    row.app = name;
+
+    DsmConfig sim = DsmConfig::smp(16, 4);
+    sim.backend = BackendKind::Sim;
+    auto t0 = std::chrono::steady_clock::now();
+    const AppResult rs = runApp(*app, withFaultSpec(sim), p);
+    row.simHostMs = hostMs(t0);
+    row.simChecksum = rs.checksum;
+    row.simMsgs = rs.net.total();
+
+    DsmConfig thr = DsmConfig::smp(16, 4);
+    thr.backend = BackendKind::Thread;
+    t0 = std::chrono::steady_clock::now();
+    const AppResult rt = runApp(*app, withFaultSpec(thr), p);
+    row.thrHostMs = hostMs(t0);
+    row.thrChecksum = rt.checksum;
+    row.thrMsgs = rt.net.total();
+
+    const double tol = app->tolerance() *
+                       std::max(1.0, std::abs(rs.checksum));
+    row.match = std::abs(rs.checksum - rt.checksum) <= tol;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseCommonArgs(argc, argv);
+    // This binary always runs both backends per app; a --backend
+    // request must not leak into the per-leg configs through the
+    // environment.
+    unsetenv("SHASTA_BACKEND");
+    banner("Backend comparison: simulator vs real threads",
+           "no figure; cross-validates the execution layer");
+
+    report::Table t({"app", "match", "sim ms", "thread ms",
+                     "speedup", "sim msgs", "thread msgs"});
+
+    std::vector<CompareRow> rows;
+    bool allMatch = true;
+    for (const std::string &name : appNames()) {
+        if (!appSelected(name))
+            continue;
+        const CompareRow r = compareOne(name);
+        allMatch = allMatch && r.match;
+        char speedup[32], simMs[32], thrMs[32];
+        std::snprintf(simMs, sizeof simMs, "%.1f", r.simHostMs);
+        std::snprintf(thrMs, sizeof thrMs, "%.1f", r.thrHostMs);
+        std::snprintf(speedup, sizeof speedup, "%.2fx",
+                      r.thrHostMs > 0.0 ? r.simHostMs / r.thrHostMs
+                                        : 0.0);
+        t.addRow({r.app, r.match ? "yes" : "NO", simMs, thrMs,
+                  speedup, std::to_string(r.simMsgs),
+                  std::to_string(r.thrMsgs)});
+        rows.push_back(r);
+    }
+    t.print();
+    if (!allMatch)
+        std::printf("\nCHECKSUM MISMATCH: thread backend diverged "
+                    "from the simulator oracle\n");
+
+    if (const char *path = std::getenv("SHASTA_BENCH_JSON");
+        path != nullptr && *path != '\0') {
+        std::FILE *f = std::fopen(path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr,
+                         "backend_compare: cannot write %s\n", path);
+            return 1;
+        }
+        std::fputs(
+            "{\"bench\": \"backend_compare\", \"runs\": [\n", f);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const CompareRow &r = rows[i];
+            std::fprintf(
+                f,
+                "  {\"app\": \"%s\", \"checksumMatch\": %s, "
+                "\"simHostMillis\": %.2f, "
+                "\"threadHostMillis\": %.2f, "
+                "\"simMsgs\": %llu, \"threadMsgs\": %llu}%s\n",
+                r.app.c_str(), r.match ? "true" : "false",
+                r.simHostMs, r.thrHostMs,
+                static_cast<unsigned long long>(r.simMsgs),
+                static_cast<unsigned long long>(r.thrMsgs),
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fputs("]}\n", f);
+        std::fclose(f);
+    }
+    return allMatch ? 0 : 1;
+}

@@ -53,6 +53,9 @@ struct Options
      *  e.g. "drop:2,dup:1,reorder:1,jitter:20,seed:7" (see
      *  FaultConfig::parse).  Empty = faults off. */
     std::string faultSpec;
+    /** `--backend=sim|thread`: execution backend for every run.
+     *  Empty = whatever SHASTA_BACKEND says (default sim). */
+    std::string backend;
 };
 
 inline Options &
@@ -79,7 +82,7 @@ recordedRuns()
 }
 
 /** Write every recorded summary to the --stats-json file.  Installed
- *  via atexit by parseArgs; safe to call repeatedly. */
+ *  via atexit by parseCommonArgs; safe to call repeatedly. */
 inline void
 flushStatsJson()
 {
@@ -106,7 +109,7 @@ flushStatsJson()
 /** Parse the standard bench arguments; unknown arguments abort with
  *  a usage message.  Every bench main calls this first. */
 inline void
-parseArgs(int argc, char **argv)
+parseCommonArgs(int argc, char **argv)
 {
     Options &o = options();
     if (const char *env = std::getenv("SHASTA_STATS_JSON");
@@ -134,15 +137,36 @@ parseArgs(int argc, char **argv)
             o.faultSpec = a + 8;
         } else if (std::strcmp(a, "--fault") == 0 && i + 1 < argc) {
             o.faultSpec = argv[++i];
+        } else if (std::strncmp(a, "--backend=", 10) == 0) {
+            o.backend = a + 10;
+        } else if (std::strcmp(a, "--backend") == 0 &&
+                   i + 1 < argc) {
+            o.backend = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--stats-json=FILE] "
                          "[--app=NAME] [--jobs=N] "
+                         "[--backend=sim|thread] "
                          "[--fault=drop:P,dup:P,reorder:P,"
                          "jitter:US,seed:S]\n",
                          argv[0]);
             std::exit(2);
         }
+    }
+    if (!o.backend.empty()) {
+        if (o.backend != "sim" && o.backend != "thread") {
+            std::fprintf(stderr,
+                         "bench: bad --backend '%s' "
+                         "(want sim|thread)\n",
+                         o.backend.c_str());
+            std::exit(2);
+        }
+        // Every Runtime construction consults SHASTA_BACKEND
+        // (DsmConfig::applyBackendEnv), so routing the flag through
+        // the environment covers registered-app sweeps and
+        // hand-built kernels alike.  Sequential/hardware reference
+        // runs fall back to the simulator automatically.
+        setenv("SHASTA_BACKEND", o.backend.c_str(), 1);
     }
     if (!o.faultSpec.empty()) {
         FaultConfig f;
@@ -174,7 +198,7 @@ appSelected(const std::string &name)
            options().appFilter == name;
 }
 
-/** Apply the --fault spec (already validated by parseArgs) to one
+/** Apply the --fault spec (already validated by parseCommonArgs) to one
  *  run's configuration.  No-op without --fault, so fault-free bench
  *  output is untouched. */
 inline DsmConfig

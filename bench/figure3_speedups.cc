@@ -17,7 +17,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Figure 3: Base-Shasta and SMP-Shasta speedups",
            "Figure 3");
 

@@ -57,7 +57,7 @@ breakdownFor(SweepRunner &sweep, const std::string &name, int np)
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Figure 4: execution time breakdowns (8 and 16 procs)",
            "Figure 4");
     report::printBarLegend();

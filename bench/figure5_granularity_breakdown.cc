@@ -13,7 +13,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Figure 5: breakdowns with variable granularity",
            "Figure 5");
     report::printBarLegend();

@@ -38,7 +38,7 @@ segments(const ProtoCounters &c)
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Figure 6: misses by type and hops vs clustering",
            "Figure 6");
     std::printf("  legend: r/R read 2/3-hop, w/W write 2/3-hop, "

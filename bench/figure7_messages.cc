@@ -13,7 +13,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Figure 7: messages (remote / local / downgrade) vs "
            "clustering",
            "Figure 7");

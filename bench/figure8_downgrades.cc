@@ -14,7 +14,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Figure 8: downgrade messages per block downgrade "
            "(clustering 4)",
            "Figure 8");

@@ -144,7 +144,7 @@ maxRssKb()
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Scaling sweep: 16 to 1024 simulated processors",
            "no single figure; extends Section 4");
 

@@ -90,7 +90,7 @@ downgradeLatency(int touchers)
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Microbenchmarks: fetch and downgrade latencies",
            "Sections 4.1 and 4.4");
 

@@ -18,7 +18,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Table 1: sequential times and checking overheads",
            "Table 1");
 

@@ -15,7 +15,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Table 2: variable block size in Base-Shasta (16 procs)",
            "Table 2");
 

@@ -13,7 +13,7 @@ using namespace shasta::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv);
+    parseCommonArgs(argc, argv);
     banner("Table 3: larger problem sizes (16 procs)", "Table 3");
 
     report::Table t({"app", "problem", "sequential", "Base ovh",

@@ -80,7 +80,51 @@ DsmConfig::validate() const
     if (dirShards < 1 || dirShards > 1024 ||
         (dirShards & (dirShards - 1)) != 0)
         fail("dirShards must be a power of two in [1, 1024]");
+    if (ringCapacity < 2 ||
+        (ringCapacity & (ringCapacity - 1)) != 0)
+        fail("ringCapacity must be a power of two >= 2");
+    if (threadStallMs < 0)
+        fail("threadStallMs must be >= 0");
+    if (backend == BackendKind::Thread && !protocolActive())
+        fail("the thread backend requires a protocol mode "
+             "(Base or Smp)");
     fault.validate();
+    retx.validate();
+}
+
+void
+DsmConfig::applyBackendEnv()
+{
+    if (const char *e = std::getenv("SHASTA_BACKEND");
+        e != nullptr && *e != '\0') {
+        const std::string_view v(e);
+        if (v == "thread")
+            backend = BackendKind::Thread;
+        else if (v == "sim")
+            backend = BackendKind::Sim;
+        else {
+            std::fprintf(stderr,
+                         "DsmConfig: bad SHASTA_BACKEND '%s' "
+                         "(want sim|thread)\n",
+                         e);
+            std::abort();
+        }
+    }
+    if (const char *e = std::getenv("SHASTA_RING_CAP");
+        e != nullptr && *e != '\0')
+        ringCapacity = std::atoi(e);
+    if (const char *e = std::getenv("SHASTA_THREAD_STALL_MS");
+        e != nullptr && *e != '\0')
+        threadStallMs = std::atoi(e);
+    if (const char *e = std::getenv("SHASTA_THREAD_FUZZ");
+        e != nullptr && *e != '\0')
+        threadFuzzSeed = std::strtoull(e, nullptr, 0);
+    // Hardware/sequential runs are host-side cost models with no
+    // protocol messages to carry: they stay on the simulator even
+    // when the environment asks for the thread backend, so mixed
+    // sweeps (parallel runs + sequential references) keep working.
+    if (backend == BackendKind::Thread && !protocolActive())
+        backend = BackendKind::Sim;
 }
 
 DsmConfig

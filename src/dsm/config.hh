@@ -124,6 +124,20 @@ struct AuditConfig
     void applyEnv();
 };
 
+/** Which execution substrate runs the processors. */
+enum class BackendKind
+{
+    /** Single-threaded discrete-event simulation (EventQueue +
+     *  Network): ticks are 300 MHz cycles, runs are deterministic,
+     *  and golden statistics are byte-identical. */
+    Sim,
+    /** Real execution (src/exec/): one OS thread per node, messages
+     *  over lock-free SPSC rings, ticks are wall-clock nanoseconds.
+     *  Results are checksum-equivalent to the simulator, not
+     *  stat-identical. */
+    Thread,
+};
+
 /** Full configuration of a run. */
 struct DsmConfig
 {
@@ -170,6 +184,27 @@ struct DsmConfig
      *  by default; SHASTA_DROP_PCT etc. override per-process (the
      *  Runtime constructor calls fault.applyEnv()). */
     FaultConfig fault{};
+    /** Retransmission policy for the reliability sublayer, on either
+     *  backend (SHASTA_RETX_* override per-process). */
+    RetxParams retx{};
+
+    /** @{ Execution backend selection + thread-backend knobs. */
+    /** Which substrate runs the processors (SHASTA_BACKEND=sim|thread
+     *  overrides per-process via applyBackendEnv, which the Runtime
+     *  constructor calls). */
+    BackendKind backend = BackendKind::Sim;
+    /** Per-pair SPSC ring capacity in frames (power of two >= 2;
+     *  SHASTA_RING_CAP). */
+    int ringCapacity = 1024;
+    /** Thread-backend stall watchdog: throw if no node makes
+     *  progress for this many wall-clock milliseconds while work is
+     *  outstanding (0 disables; SHASTA_THREAD_STALL_MS). */
+    int threadStallMs = 10000;
+    /** Thread-backend schedule fuzzer: nonzero seeds randomized
+     *  yield/sleep injection before message handling, for shaking
+     *  out ordering assumptions (SHASTA_THREAD_FUZZ). */
+    std::uint64_t threadFuzzSeed = 0;
+    /** @} */
 
     /** Checking scheme implied by the mode. */
     CheckMode
@@ -197,6 +232,10 @@ struct DsmConfig
 
     /** Check invariants; aborts with a message on bad configs. */
     void validate() const;
+
+    /** Apply SHASTA_BACKEND / SHASTA_RING_CAP /
+     *  SHASTA_THREAD_STALL_MS / SHASTA_THREAD_FUZZ, if set. */
+    void applyBackendEnv();
 
     /** @{ Convenience factories for the paper's configurations. */
     static DsmConfig sequential();

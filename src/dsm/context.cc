@@ -35,7 +35,7 @@ void
 Context::PollAwait::await_suspend(std::coroutine_handle<> h)
 {
     Proc &p = c->proc_;
-    c->rt_.events().schedule(p.now, [this_c = c, h] {
+    c->rt_.transport().deferAt(p.now, [this_c = c, h] {
         Proc &pp = this_c->proc_;
         pp.lastYield = pp.now;
         this_c->proto_.drainMailbox(pp);
@@ -52,7 +52,7 @@ Context::ReleaseFence::await_suspend(std::coroutine_handle<> h)
     ctx->proto_.noteBlocked(p);
     ctx->proto_.releaseFence(p, [ctx, h, t0] {
         Proc &pp = ctx->proc_;
-        pp.now = std::max(pp.now, ctx->rt_.events().now());
+        pp.now = std::max(pp.now, ctx->rt_.transport().now());
         if (ctx->proto_.measuring())
             pp.bd.sync += pp.now - t0;
         pp.status = ProcStatus::Running;
@@ -77,7 +77,7 @@ Context::loadSlow(Addr a, bool flag_checked)
         // and simply returns (Section 2.3).
         p.now += cfg_.costs.falseMiss;
         if (proto_.measuring())
-            ++proto_.counters().falseMisses;
+            ++proto_.countersFor(p.node).falseMisses;
         co_return;
     }
 
@@ -369,7 +369,7 @@ Context::batchSlow(BatchRegion *r)
     Proc &p = proc_;
     p.now += cfg_.costs.protoEntry;
     if (proto_.measuring())
-        ++proto_.counters().batchMisses;
+        ++proto_.countersFor(p.node).batchMisses;
 
     proto_.batchMark(p.node, r->firstLine, r->numLines);
     r->marked = true;
@@ -382,7 +382,7 @@ Context::batchSetSlow(BatchSet *s)
     Proc &p = proc_;
     p.now += cfg_.costs.protoEntry;
     if (proto_.measuring())
-        ++proto_.counters().batchMisses;
+        ++proto_.countersFor(p.node).batchMisses;
 
     // Mark every range before the first wait so invalidations of any
     // of them defer their flag fills for the whole batch.
@@ -433,19 +433,19 @@ Context::syncSlow(int op, int id)
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                c->rt_.lockMgr().park(c->proc_, id, h);
+                c->rt_.lockApi().park(c->proc_, id, h);
             }
             void await_resume() {}
         };
 
-        if (!rt_.lockMgr().tryAcquire(p, id))
+        if (!rt_.lockApi().tryAcquire(p, id))
             co_await LockPark{this, id};
         co_return;
       }
 
       case 1: { // lock release
         co_await ReleaseFence{this};
-        rt_.lockMgr().release(p, id);
+        rt_.lockApi().release(p, id);
         co_return;
       }
 
@@ -459,12 +459,12 @@ Context::syncSlow(int op, int id)
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                c->rt_.barrierMgr().park(c->proc_, h);
+                c->rt_.barrierApi().park(c->proc_, h);
             }
             void await_resume() {}
         };
 
-        if (!rt_.barrierMgr().arrive(p))
+        if (!rt_.barrierApi().arrive(p))
             co_await BarrierPark{this};
 
         // Barrier exit is an acquire.

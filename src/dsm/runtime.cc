@@ -6,6 +6,8 @@
 
 #include "audit/invariant_auditor.hh"
 #include "audit/watchdog.hh"
+#include "exec/thread_backend.hh"
+#include "exec/thread_sync.hh"
 #include "obs/stats_json.hh"
 #include "obs/trace_json.hh"
 #include "stats/report.hh"
@@ -20,8 +22,9 @@ Runtime::Runtime(const DsmConfig &cfg)
       net_(events_, topo_, cfg.net)
 {
     cfg_.fault.applyEnv();
+    cfg_.retx.applyEnv();
+    cfg_.applyBackendEnv();
     cfg_.validate();
-    net_.configureFaults(cfg_.fault);
     obs::initTraceJsonFromEnv();
     if (obs::traceJsonEnabled())
         obs::registerTraceRun(nullptr);
@@ -33,16 +36,38 @@ Runtime::Runtime(const DsmConfig &cfg)
         p.local = i - topo_.firstProcOf(p.node);
         p.machine = topo_.machineOf(i);
     }
-    proto_ = std::make_unique<Protocol>(cfg_, events_, net_, heap_,
-                                        procs_);
+    const bool threaded = cfg_.backend == BackendKind::Thread;
+    if (threaded)
+        threadBackend_ =
+            std::make_unique<ThreadBackend>(cfg_, topo_, procs_);
+    tx_ = threaded ? static_cast<Transport *>(threadBackend_.get())
+                   : &net_;
+    if (!threaded)
+        net_.configureFaults(cfg_.fault, cfg_.retx);
+    proto_ = std::make_unique<Protocol>(cfg_, *tx_, heap_, procs_);
     locks_ = std::make_unique<LockManager>(cfg_, events_, *proto_,
                                            procs_);
     barrier_ = std::make_unique<BarrierManager>(cfg_, events_,
                                                 *proto_, procs_);
-    net_.setDeliver([this](Message &&m) {
+    lockApi_ = locks_.get();
+    barrierApi_ = barrier_.get();
+    if (threaded) {
+        threadLocks_ = std::make_unique<ThreadLockManager>(
+            cfg_, *threadBackend_, *proto_, procs_);
+        threadBarrier_ = std::make_unique<ThreadBarrierManager>(
+            cfg_, *threadBackend_, *proto_, procs_);
+        lockApi_ = threadLocks_.get();
+        barrierApi_ = threadBarrier_.get();
+        threadBackend_->attachProtocol(*proto_);
+    }
+    tx_->setDeliver([this](Message &&m) {
         proto_->deliver(std::move(m));
     });
-    net_.setLatencySink(&proto_->latency());
+    // RetryDelay samples are recorded by the (single-threaded)
+    // simulator only; shard 0 keeps the aggregate byte-identical to
+    // the pre-sharding single instance.
+    if (!threaded)
+        net_.setLatencySink(&proto_->latencyFor(0));
     proto_->setSyncHandler([this](Proc &p, Message &&m) {
         switch (m.type) {
           case MsgType::LockReq:
@@ -60,7 +85,9 @@ Runtime::Runtime(const DsmConfig &cfg)
     });
 
     cfg_.audit.applyEnv();
-    if (cfg_.protocolActive() && cfg_.audit.enabled()) {
+    // The audit sublayer walks cross-node protocol state from
+    // event-queue top level; it is simulator-only.
+    if (!threaded && cfg_.protocolActive() && cfg_.audit.enabled()) {
         if (cfg_.audit.invariants)
             auditor_ = std::make_unique<InvariantAuditor>(*proto_,
                                                           procs_);
@@ -124,7 +151,7 @@ Runtime::allocHomed(std::size_t bytes, std::size_t block_bytes,
 int
 Runtime::allocLock()
 {
-    return locks_->allocLock();
+    return lockApi_->allocLock();
 }
 
 Task
@@ -135,7 +162,7 @@ Runtime::procMain(Context &ctx, const ProcBody &body)
     Proc &p = ctx.proc();
     p.finishTime = p.now;
     p.status = ProcStatus::Done;
-    ++doneCount_;
+    doneCount_.fetch_add(1, std::memory_order_release);
 }
 
 void
@@ -151,13 +178,26 @@ Runtime::run(const ProcBody &body)
     for (auto &c : ctxs_)
         roots_.push_back(procMain(*c, body));
 
+    if (threadBackend_) {
+        // Pre-arm the measurement window before any worker starts so
+        // regionOpen_ is read-only while threads run; each Context's
+        // beginMeasure() still resets its own processor.
+        openRegion();
+        threadBackend_->run(roots_, *proto_, doneCount_,
+                            [this] { return dumpState(); });
+        for (auto &r : roots_)
+            r.rethrowIfFailed();
+        return;
+    }
+
     for (auto &r : roots_)
         r.start();
 
     // Drive the event queue until every processor's coroutine has
     // completed.  An empty queue with unfinished processors is a
     // deadlock (a protocol or synchronization bug).
-    while (doneCount_ < cfg_.numProcs) {
+    while (doneCount_.load(std::memory_order_relaxed) <
+           cfg_.numProcs) {
         if (!events_.step())
             throw std::runtime_error("simulation deadlock:\n" +
                                      dumpState());
@@ -316,7 +356,7 @@ void
 Runtime::resetMeasurement()
 {
     proto_->resetCounters();
-    net_.resetCounts();
+    tx_->resetCounts();
     proto_->setMeasuring(true);
     for (auto &p : procs_) {
         p.bd = Breakdown{};

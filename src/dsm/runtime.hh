@@ -15,6 +15,7 @@
 #ifndef SHASTA_DSM_RUNTIME_HH
 #define SHASTA_DSM_RUNTIME_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,6 +39,9 @@ namespace shasta
 
 class InvariantAuditor;
 class Watchdog;
+class ThreadBackend;
+class ThreadLockManager;
+class ThreadBarrierManager;
 
 /**
  * One simulated cluster run.
@@ -86,7 +90,7 @@ class Runtime
     /** Latency histograms recorded by the protocol and sync layers. */
     const LatencyStats &latency() const { return proto_->latency(); }
 
-    const NetworkCounts &netCounts() const { return net_.counts(); }
+    const NetworkCounts &netCounts() const { return tx_->counts(); }
 
     /** Sum of per-processor check counters. */
     CheckCounters checkTotals() const;
@@ -107,6 +111,15 @@ class Runtime
     EventQueue &events() { return events_; }
     SharedHeap &heap() { return heap_; }
     Protocol &protocol() { return *proto_; }
+    /** Active transport: the simulated Network, or the thread
+     *  backend's ring mesh when cfg.backend == BackendKind::Thread. */
+    Transport &transport() { return *tx_; }
+    const Transport &transport() const { return *tx_; }
+    /** Active lock/barrier implementations for the selected backend. */
+    LockApi &lockApi() { return *lockApi_; }
+    BarrierApi &barrierApi() { return *barrierApi_; }
+    /** Simulator-backed managers (valid in every mode; only active
+     *  when the sim backend is selected). */
     LockManager &lockMgr() { return *locks_; }
     BarrierManager &barrierMgr() { return *barrier_; }
     Network &network() { return net_; }
@@ -148,15 +161,23 @@ class Runtime
     SharedHeap heap_;
     Topology topo_;
     Network net_;
+    // Destroyed after proto_ (declared before it): proto_ holds a
+    // Transport& that may refer to the thread backend.
+    std::unique_ptr<ThreadBackend> threadBackend_;
     std::vector<Proc> procs_;
     std::unique_ptr<Protocol> proto_;
     std::unique_ptr<LockManager> locks_;
     std::unique_ptr<BarrierManager> barrier_;
+    std::unique_ptr<ThreadLockManager> threadLocks_;
+    std::unique_ptr<ThreadBarrierManager> threadBarrier_;
     std::unique_ptr<InvariantAuditor> auditor_;
     std::unique_ptr<Watchdog> watchdog_;
     std::vector<std::unique_ptr<Context>> ctxs_;
     std::vector<Task> roots_;
-    int doneCount_ = 0;
+    Transport *tx_ = nullptr;
+    LockApi *lockApi_ = nullptr;
+    BarrierApi *barrierApi_ = nullptr;
+    std::atomic<int> doneCount_{0};
     bool regionOpen_ = false;
     bool ran_ = false;
 };

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Single-level hashed timing wheel for wall-clock deadlines.
+ *
+ * The thread backend arms a deadline per unacked message
+ * (retransmit) and per fault-delayed frame.  Deadlines cluster
+ * within a few RTOs of now, which a hashed wheel turns into O(1)
+ * bucket appends; entries hashed into a bucket more than one lap
+ * ahead simply stay parked (the due-time check filters them) until
+ * the cursor comes around again.
+ *
+ * Single-threaded by design: each worker owns one wheel and both
+ * adds and advances it, so there is no locking.  advance() fires
+ * due entries through a caller-supplied visitor; the visitor may
+ * add() new entries (retransmit backoff re-arms itself), which land
+ * in the wheel without disturbing the in-progress sweep because due
+ * entries are staged out of the buckets before any visitor runs.
+ */
+
+#ifndef SHASTA_EXEC_DEADLINE_WHEEL_HH
+#define SHASTA_EXEC_DEADLINE_WHEEL_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+template <typename T>
+class DeadlineWheel
+{
+  public:
+    /** @p granularity is the bucket width in the caller's time unit
+     *  (the thread backend uses nanoseconds); @p buckets must be a
+     *  power of two. */
+    explicit DeadlineWheel(Tick granularity = 1'000'000,
+                           std::size_t buckets = 256)
+        : gran_(granularity), mask_(buckets - 1), slots_(buckets)
+    {
+        assert(granularity > 0 && buckets >= 2 &&
+               (buckets & (buckets - 1)) == 0);
+    }
+
+    /** Park @p v until @p when. */
+    void
+    add(Tick when, T v)
+    {
+        slots_[bucketOf(when) & mask_].push_back(
+            Entry{when, std::move(v)});
+        ++size_;
+    }
+
+    /**
+     * Fire every entry due at @p now (when <= now) via
+     * @p fire(T&&), in bucket order.  Returns the number fired.
+     */
+    template <typename F>
+    std::size_t
+    advance(Tick now, F &&fire)
+    {
+        const std::uint64_t nowB = bucketOf(now);
+        if (size_ == 0) {
+            cursor_ = nowB;
+            return 0;
+        }
+        std::uint64_t span = nowB - cursor_;
+        if (span > mask_)
+            span = mask_; // a full lap covers every bucket
+        for (std::uint64_t b = nowB - span; b <= nowB; ++b) {
+            auto &slot = slots_[b & mask_];
+            std::size_t keep = 0;
+            for (std::size_t i = 0; i < slot.size(); ++i) {
+                if (slot[i].when <= now)
+                    due_.push_back(std::move(slot[i]));
+                else
+                    slot[keep++] = std::move(slot[i]);
+            }
+            slot.resize(keep);
+        }
+        cursor_ = nowB;
+        const std::size_t fired = due_.size();
+        size_ -= fired;
+        // Staged before firing: visitors may add() re-arms freely.
+        for (auto &e : due_)
+            fire(std::move(e.v));
+        due_.clear();
+        return fired;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        T v;
+    };
+
+    std::uint64_t
+    bucketOf(Tick t) const
+    {
+        return static_cast<std::uint64_t>(t) /
+               static_cast<std::uint64_t>(gran_);
+    }
+
+    Tick gran_;
+    std::size_t mask_;
+    std::vector<std::vector<Entry>> slots_;
+    std::vector<Entry> due_;
+    std::uint64_t cursor_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_EXEC_DEADLINE_WHEEL_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring.
+ *
+ * The thread backend connects every directed node pair with one of
+ * these: the sending worker is the only producer, the receiving
+ * worker the only consumer, so the ring needs no CAS loops — one
+ * release store per side, one acquire load of the opposite index,
+ * and a cached copy of that index so the fast path does not even
+ * touch the other core's cache line (the cache is refreshed only
+ * when the ring looks full/empty).
+ *
+ * Head and tail live on separate cache lines (alignas) so producer
+ * and consumer never false-share.  Capacity is fixed at
+ * construction (a power of two) and the slot storage is allocated
+ * once: the steady-state push -> pop cycle performs no heap
+ * allocation (tests/spsc_ring_test.cc and the thread-backend
+ * alloc test hold this as assertions).
+ */
+
+#ifndef SHASTA_EXEC_SPSC_RING_HH
+#define SHASTA_EXEC_SPSC_RING_HH
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace shasta
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : mask_(capacity - 1), slots_(capacity)
+    {
+        assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+               "SpscRing capacity must be a power of two");
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Producer side.  Moves from @p v only on success. */
+    bool
+    tryPush(T &&v)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        if (t - cachedHead_ > mask_) {
+            cachedHead_ = head_.load(std::memory_order_acquire);
+            if (t - cachedHead_ > mask_)
+                return false; // full
+        }
+        slots_[t & mask_] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        if (h == cachedTail_) {
+            cachedTail_ = tail_.load(std::memory_order_acquire);
+            if (h == cachedTail_)
+                return false; // empty
+        }
+        out = std::move(slots_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Snapshot emptiness (either side; exact only when the opposite
+     *  side is quiescent, which is how the termination check uses
+     *  it). */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    const std::size_t mask_;
+    std::vector<T> slots_;
+
+    /** Consumer-owned index + the producer's cached copy of it. */
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::size_t cachedTail_ = 0;
+
+    /** Producer-owned index + the consumer's cached copy of it. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::size_t cachedHead_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_EXEC_SPSC_RING_HH

@@ -1,0 +1,667 @@
+#include "exec/thread_backend.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+#include "net/reliable.hh"
+#include "proto/protocol.hh"
+
+namespace shasta
+{
+
+thread_local ThreadBackend::Worker *ThreadBackend::tlsWorker_ =
+    nullptr;
+
+namespace
+{
+
+std::int64_t
+steadyNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** 300 MHz simulated ticks -> nanoseconds (1 tick = 10/3 ns). */
+Tick
+nsFromTicks(Tick t)
+{
+    return t * 10 / 3;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &s)
+{
+    std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+} // namespace
+
+ThreadBackend::ThreadBackend(const DsmConfig &cfg,
+                             const Topology &topo,
+                             std::vector<Proc> &procs)
+    : cfg_(cfg),
+      topo_(topo),
+      procs_(procs),
+      numNodes_(topo.numNodes()),
+      faults_(cfg.fault.enabled())
+{
+    if (faults_)
+        model_ = std::make_unique<FaultModel>(cfg_.fault);
+    epochNs_ = steadyNs();
+
+    const auto n = static_cast<std::size_t>(numNodes_);
+    workers_.reserve(n);
+    for (int i = 0; i < numNodes_; ++i) {
+        auto w = std::make_unique<Worker>();
+        w->node = i;
+        w->sendTo.resize(n);
+        w->recvFrom.resize(n);
+        if (cfg_.threadFuzzSeed != 0)
+            w->fuzz = cfg_.threadFuzzSeed ^
+                      (0x9E3779B97F4A7C15ull *
+                       static_cast<std::uint64_t>(i + 1));
+        workers_.push_back(std::move(w));
+    }
+    rings_.resize(n * n);
+    for (int s = 0; s < numNodes_; ++s) {
+        for (int d = 0; d < numNodes_; ++d) {
+            if (s != d)
+                rings_[static_cast<std::size_t>(s) * n +
+                       static_cast<std::size_t>(d)] =
+                    std::make_unique<SpscRing<Frame>>(
+                        static_cast<std::size_t>(cfg_.ringCapacity));
+        }
+    }
+}
+
+ThreadBackend::~ThreadBackend() = default;
+
+SpscRing<ThreadBackend::Frame> &
+ThreadBackend::ring(NodeId src, NodeId dst)
+{
+    return *rings_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(numNodes_) +
+                   static_cast<std::size_t>(dst)];
+}
+
+Tick
+ThreadBackend::now() const
+{
+    return static_cast<Tick>(steadyNs() - epochNs_);
+}
+
+void
+ThreadBackend::deferAt(Tick t, Callback cb)
+{
+    (void)t; // wall time advances by itself
+    Worker *w = tlsWorker_;
+    if (w == nullptr)
+        throw std::logic_error(
+            "ThreadBackend::deferAt called off-worker");
+    w->ready.push_back(std::move(cb));
+}
+
+void
+ThreadBackend::wake(ProcId p, std::coroutine_handle<> h,
+                    Tick stallStart, LatencyClass cls)
+{
+    Worker &w = workerOf(topo_.nodeOf(p));
+    inflight_.fetch_add(1, std::memory_order_seq_cst);
+    {
+        std::lock_guard<std::mutex> g(w.wakeM);
+        w.wakes.push_back(WakeEntry{p, h, stallStart, cls});
+    }
+    activity_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tick
+ThreadBackend::send(Message msg, Tick send_time)
+{
+    Worker *w = tlsWorker_;
+    if (w == nullptr)
+        throw std::logic_error(
+            "ThreadBackend::send called off-worker");
+    if (msg.src < 0 || msg.src >= topo_.numProcs() || msg.dst < 0 ||
+        msg.dst >= topo_.numProcs())
+        throw std::logic_error(
+            "ThreadBackend::send: processor id out of range");
+    if (msg.src == msg.dst)
+        throw std::logic_error(
+            "ThreadBackend::send: self-sends must be handled "
+            "locally");
+    assert(w->node == topo_.nodeOf(msg.src) &&
+           "messages are sent from their source's worker");
+
+    const bool remote = !topo_.sameMachine(msg.src, msg.dst);
+    const std::uint32_t bytes = msg.wireBytes();
+
+    // Logical accounting, same classification as Network::send;
+    // retransmissions and fabric duplicates land in counts.rel.
+    ++w->counts.byType[static_cast<std::size_t>(msg.type)];
+    if (msg.type == MsgType::Downgrade) {
+        assert(!remote && "downgrades never cross machines");
+        ++w->counts.downgradeMsgs;
+        w->counts.localBytes += bytes;
+    } else if (remote) {
+        ++w->counts.remoteMsgs;
+        w->counts.remoteBytes += bytes;
+    } else {
+        ++w->counts.localMsgs;
+        w->counts.localBytes += bytes;
+    }
+
+    const Tick t = now();
+    msg.sendTime = send_time;
+    msg.arriveTime = t;
+
+    const NodeId dstNode = topo_.nodeOf(msg.dst);
+    if (dstNode == w->node) {
+        w->loopback.push_back(Frame{std::move(msg), kData});
+        return t;
+    }
+    if (faults_ && remote)
+        return relSend(*w, std::move(msg), dstNode, t);
+
+    pushFrame(*w, dstNode, Frame{std::move(msg), kData});
+    return t;
+}
+
+void
+ThreadBackend::pushFrame(Worker &w, NodeId dstNode, Frame &&f,
+                         bool counted)
+{
+    if (!counted)
+        inflight_.fetch_add(1, std::memory_order_seq_cst);
+    SpscRing<Frame> &r = ring(w.node, dstNode);
+    if (r.tryPush(std::move(f)))
+        return;
+    // Backpressure.  Keep consuming our own inbound rings while we
+    // wait (reentrancy into the protocol is safe: mailbox draining
+    // is guarded per processor), but only at depth 1 — nested
+    // waits just spin and let the outer drain make progress.
+    ++w.pushDepth;
+    while (!r.tryPush(std::move(f))) {
+        if (stop_.load(std::memory_order_acquire)) {
+            inflight_.fetch_sub(1, std::memory_order_seq_cst);
+            --w.pushDepth;
+            throw std::runtime_error(
+                "thread backend stopping with a frame unsent");
+        }
+        if (w.pushDepth == 1) {
+            drainRings(w);
+            advanceWheel(w);
+        }
+        cpuRelax();
+    }
+    --w.pushDepth;
+}
+
+// ---------------------------------------------------------------------
+// Reliability (mirrors net/reliable.cc over wall-clock deadlines)
+// ---------------------------------------------------------------------
+
+Tick
+ThreadBackend::initialRtoNs() const
+{
+    if (cfg_.retx.rtoUs > 0.0)
+        return static_cast<Tick>(cfg_.retx.rtoUs * 1000.0);
+    return 500'000; // 500 us: generous vs. ring hop, small vs. run
+}
+
+Tick
+ThreadBackend::relSend(Worker &w, Message &&msg, NodeId dstNode,
+                       Tick t)
+{
+    SendState &ss = w.sendTo[static_cast<std::size_t>(dstNode)];
+    const std::uint32_t seq = ss.sndNext;
+    ss.sndNext = relSeqNext(ss.sndNext);
+    msg.setRelSeq(seq);
+
+    ++w.counts.rel.dataMsgs;
+    unacked_.fetch_add(1, std::memory_order_seq_cst);
+    const Tick rto0 = initialRtoNs();
+    ss.pending.push_back(PendingTx{seq, msg, t, rto0, 1});
+
+    // transmit() may block on a full ring and drain inbound traffic
+    // meanwhile, which can ack (and prune) the entry just pushed —
+    // so no references into ss.pending survive this call.
+    transmit(w, dstNode, std::move(msg));
+    w.wheel.add(t + rto0,
+                Deadline{Deadline::Retx, dstNode, seq, nullptr});
+    return t;
+}
+
+void
+ThreadBackend::transmit(Worker &w, NodeId dstNode, Message &&m)
+{
+    SendState &ss = w.sendTo[static_cast<std::size_t>(dstNode)];
+    const std::uint64_t x = ss.xmit++;
+    const FaultDecision d =
+        model_->decide(w.node, dstNode, x, FaultSalt::Data);
+    if (d.drop) {
+        ++w.counts.rel.faultDrops;
+        return;
+    }
+    if (d.duplicate) {
+        ++w.counts.rel.faultDups;
+        auto dup = std::make_unique<Frame>(Frame{m, kData});
+        inflight_.fetch_add(1, std::memory_order_seq_cst);
+        w.wheel.add(now() + std::max<Tick>(nsFromTicks(d.dupDelay), 1),
+                    Deadline{Deadline::DelayedFrame, dstNode, 0,
+                             std::move(dup)});
+    }
+    if (d.extraDelay > 0) {
+        ++w.counts.rel.faultDelays;
+        auto fr = std::make_unique<Frame>(Frame{std::move(m), kData});
+        inflight_.fetch_add(1, std::memory_order_seq_cst);
+        w.wheel.add(now() + nsFromTicks(d.extraDelay),
+                    Deadline{Deadline::DelayedFrame, dstNode, 0,
+                             std::move(fr)});
+        return;
+    }
+    pushFrame(w, dstNode, Frame{std::move(m), kData});
+}
+
+void
+ThreadBackend::onRetx(Worker &w, NodeId dstNode, std::uint32_t seq)
+{
+    SendState &ss = w.sendTo[static_cast<std::size_t>(dstNode)];
+    auto it = std::find_if(
+        ss.pending.begin(), ss.pending.end(),
+        [seq](const PendingTx &p) { return p.seq == seq; });
+    if (it == ss.pending.end())
+        return; // acked since the timer was armed
+    if (it->attempts >= cfg_.retx.maxAttempts) {
+        throw std::runtime_error(
+            "reliability: message unacked after " +
+            std::to_string(it->attempts) +
+            " transmissions (node " + std::to_string(w.node) +
+            " -> " + std::to_string(dstNode) + ", seq " +
+            std::to_string(seq) + ")");
+    }
+    ++it->attempts;
+    ++w.counts.rel.retransmits;
+    if (proto_ != nullptr && proto_->measuring())
+        proto_->recordLatency(w.node, LatencyClass::RetryDelay,
+                              now() - it->firstSend);
+    it->rto = std::min<Tick>(it->rto * 2, initialRtoNs() *
+                                              cfg_.retx.backoffCapMult);
+    transmit(w, dstNode, Message(it->msg));
+    w.wheel.add(now() + it->rto,
+                Deadline{Deadline::Retx, dstNode, seq, nullptr});
+}
+
+void
+ThreadBackend::onSeqData(Worker &w, NodeId srcNode, Message &&m)
+{
+    RecvState &rs = w.recvFrom[static_cast<std::size_t>(srcNode)];
+    const std::uint32_t seq = m.relSeq();
+
+    if (seq == rs.rcvNext) {
+        rs.rcvLast = seq;
+        rs.rcvNext = relSeqNext(seq);
+        deliver_(std::move(m));
+        // Release any buffered successors.
+        while (!rs.buffer.empty() &&
+               rs.buffer.front().seq == rs.rcvNext) {
+            Message next = std::move(rs.buffer.front().msg);
+            rs.buffer.erase(rs.buffer.begin());
+            rs.rcvLast = rs.rcvNext;
+            rs.rcvNext = relSeqNext(rs.rcvNext);
+            deliver_(std::move(next));
+        }
+    } else if (relSeqLt(seq, rs.rcvNext) ||
+               std::any_of(rs.buffer.begin(), rs.buffer.end(),
+                           [seq](const ParkedRx &p) {
+                               return p.seq == seq;
+                           })) {
+        ++w.counts.rel.dupDrops; // already delivered or buffered
+    } else {
+        ++w.counts.rel.reorderBuffered;
+        auto pos = std::find_if(rs.buffer.begin(), rs.buffer.end(),
+                                [seq](const ParkedRx &p) {
+                                    return relSeqLt(seq, p.seq);
+                                });
+        rs.buffer.insert(pos, ParkedRx{seq, std::move(m)});
+    }
+    sendAck(w, srcNode);
+}
+
+void
+ThreadBackend::sendAck(Worker &w, NodeId srcNode)
+{
+    RecvState &rs = w.recvFrom[static_cast<std::size_t>(srcNode)];
+    const std::uint64_t x = rs.ackXmit++;
+    ++w.counts.rel.acksSent;
+    const FaultDecision d =
+        model_->decide(srcNode, w.node, x, FaultSalt::Ack);
+    if (d.drop) {
+        ++w.counts.rel.ackDrops;
+        return;
+    }
+    Frame f;
+    f.kind = kAck;
+    f.msg.src = w.node;    // node ids; ack frames never reach
+    f.msg.dst = srcNode;   // the protocol
+    f.msg.setRelSeq(rs.rcvLast);
+    // Never block on an ack (blocking here could recurse through the
+    // backpressure drain): cumulative acks are lossy-safe, so a full
+    // reverse ring just counts as one more ack drop.
+    inflight_.fetch_add(1, std::memory_order_seq_cst);
+    if (!ring(w.node, srcNode).tryPush(std::move(f))) {
+        inflight_.fetch_sub(1, std::memory_order_seq_cst);
+        ++w.counts.rel.ackDrops;
+    }
+}
+
+void
+ThreadBackend::onAck(Worker &w, NodeId peerNode, std::uint32_t cum)
+{
+    ++w.counts.rel.acksReceived;
+    if (cum == 0)
+        return; // nothing delivered yet
+    SendState &ss = w.sendTo[static_cast<std::size_t>(peerNode)];
+    while (!ss.pending.empty() &&
+           !relSeqLt(cum, ss.pending.front().seq)) {
+        ss.pending.pop_front();
+        unacked_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------
+
+bool
+ThreadBackend::drainLoopback(Worker &w)
+{
+    bool did = false;
+    while (!w.loopback.empty()) {
+        Frame f = std::move(w.loopback.front());
+        w.loopback.pop_front();
+        deliver_(std::move(f.msg));
+        did = true;
+    }
+    return did;
+}
+
+void
+ThreadBackend::handleFrame(Worker &w, NodeId srcNode, Frame &&f)
+{
+    if (f.kind == kAck) {
+        // An ack on ring (srcNode -> us) acknowledges our stream
+        // (us -> srcNode).
+        onAck(w, srcNode, f.msg.relSeq());
+    } else if (faults_ && f.msg.relSeq() != 0) {
+        onSeqData(w, srcNode, std::move(f.msg));
+    } else {
+        deliver_(std::move(f.msg));
+    }
+    inflight_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+bool
+ThreadBackend::drainRings(Worker &w)
+{
+    bool did = false;
+    Frame f;
+    for (int s = 0; s < numNodes_; ++s) {
+        if (s == w.node)
+            continue;
+        SpscRing<Frame> &r = ring(s, w.node);
+        while (r.tryPop(f)) {
+            did = true;
+            maybeFuzzPause(w, /*atIdle=*/false);
+            handleFrame(w, s, std::move(f));
+        }
+    }
+    return did;
+}
+
+bool
+ThreadBackend::drainWakes(Worker &w)
+{
+    {
+        std::lock_guard<std::mutex> g(w.wakeM);
+        if (w.wakes.empty())
+            return false;
+        w.wakes.swap(w.wakeScratch);
+    }
+    for (WakeEntry &e : w.wakeScratch) {
+        Proc &p = procs_[static_cast<std::size_t>(e.pid)];
+        assert(topo_.nodeOf(e.pid) == w.node);
+        p.now = std::max(p.now, now());
+        if (proto_ != nullptr && proto_->measuring()) {
+            p.bd.sync += p.now - e.stallStart;
+            proto_->recordLatency(p.node, e.cls,
+                                  p.now - e.stallStart);
+        }
+        p.status = ProcStatus::Running;
+        e.h.resume();
+        inflight_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    w.wakeScratch.clear();
+    return true;
+}
+
+bool
+ThreadBackend::runReady(Worker &w)
+{
+    if (w.ready.empty())
+        return false;
+    w.ready.swap(w.readyScratch);
+    for (auto &cb : w.readyScratch)
+        cb();
+    w.readyScratch.clear();
+    return true;
+}
+
+std::size_t
+ThreadBackend::advanceWheel(Worker &w)
+{
+    if (w.wheel.size() == 0)
+        return 0;
+    return w.wheel.advance(now(), [this, &w](Deadline &&d) {
+        if (d.kind == Deadline::Retx)
+            onRetx(w, d.dstNode, d.seq);
+        else
+            pushFrame(w, d.dstNode, std::move(*d.frame),
+                      /*counted=*/true);
+    });
+}
+
+void
+ThreadBackend::maybeFuzzPause(Worker &w, bool atIdle)
+{
+    if (w.fuzz == 0)
+        return;
+    const std::uint64_t r = splitmix64(w.fuzz);
+    // Occasionally yield or oversleep to shake out interleavings
+    // (more aggressively at idle points, sparsely on the hot path).
+    const std::uint64_t gate = atIdle ? 8 : 64;
+    if ((r & (gate - 1)) != 0)
+        return;
+    if ((r >> 8) & 1)
+        std::this_thread::yield();
+    else
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((r >> 9) % 50));
+}
+
+void
+ThreadBackend::fail(std::exception_ptr e)
+{
+    {
+        std::lock_guard<std::mutex> g(errorM_);
+        if (!error_)
+            error_ = std::move(e);
+    }
+    stop_.store(true, std::memory_order_release);
+}
+
+void
+ThreadBackend::checkQuiescence(Worker &w)
+{
+    const Tick t = now();
+    const std::uint64_t a0 =
+        activity_.load(std::memory_order_seq_cst);
+    if (a0 != w.lastActivity) {
+        w.lastActivity = a0;
+        w.lastChangeNs = t;
+        w.quietSinceNs = -1;
+    } else if (cfg_.threadStallMs > 0 &&
+               t - w.lastChangeNs >
+                   static_cast<Tick>(cfg_.threadStallMs) *
+                       1'000'000 &&
+               done_->load(std::memory_order_acquire) <
+                   cfg_.numProcs) {
+        throw std::runtime_error(
+            "thread backend stall: no activity for " +
+            std::to_string(cfg_.threadStallMs) + " ms\n" +
+            (dump_ ? dump_() : std::string{}));
+    }
+
+    if (inflight_.load(std::memory_order_seq_cst) != 0 ||
+        unacked_.load(std::memory_order_seq_cst) != 0) {
+        w.quietSinceNs = -1;
+        return;
+    }
+    for (const auto &other : workers_) {
+        if (!other->idle.load(std::memory_order_acquire)) {
+            w.quietSinceNs = -1;
+            return;
+        }
+    }
+    if (activity_.load(std::memory_order_seq_cst) != a0) {
+        w.quietSinceNs = -1;
+        return; // something moved during the check
+    }
+    if (done_->load(std::memory_order_acquire) >= cfg_.numProcs) {
+        stop_.store(true, std::memory_order_release);
+        return;
+    }
+    // Quiet but unfinished.  Nothing can make progress (no frames,
+    // no unacked messages, no wakes, every worker idle), so this is
+    // a deadlock — but insist on 100 ms of sustained quiet to be
+    // robust against instruction-level interleavings the flags
+    // cannot see.
+    if (w.quietSinceNs < 0) {
+        w.quietSinceNs = t;
+        return;
+    }
+    if (t - w.quietSinceNs > 100'000'000) {
+        throw std::runtime_error(
+            "thread backend deadlock: all workers idle with "
+            "unfinished processors\n" +
+            (dump_ ? dump_() : std::string{}));
+    }
+}
+
+void
+ThreadBackend::workerMain(int node)
+{
+    Worker &w = workerOf(node);
+    tlsWorker_ = &w;
+    try {
+        if (w.fuzz != 0) {
+            // Stagger startup to vary the initial schedule.
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                splitmix64(w.fuzz) % 200));
+        }
+        const ProcId first = topo_.firstProcOf(node);
+        const int count = topo_.procsOn(node);
+        for (ProcId p = first; p < first + count; ++p) {
+            (*roots_)[static_cast<std::size_t>(p)].start();
+            activity_.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::uint64_t spins = 0;
+        while (!stop_.load(std::memory_order_acquire)) {
+            bool did = false;
+            did |= drainLoopback(w);
+            did |= drainRings(w);
+            did |= advanceWheel(w) > 0;
+            did |= drainWakes(w);
+            did |= runReady(w);
+            if (did) {
+                activity_.fetch_add(1, std::memory_order_seq_cst);
+                w.idle.store(false, std::memory_order_release);
+                spins = 0;
+                continue;
+            }
+            w.idle.store(true, std::memory_order_seq_cst);
+            if (node == 0)
+                checkQuiescence(w);
+            maybeFuzzPause(w, /*atIdle=*/true);
+            ++spins;
+            if (spins < 64)
+                cpuRelax();
+            else if (spins < 1024)
+                std::this_thread::yield();
+            else
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+        }
+    } catch (...) {
+        fail(std::current_exception());
+    }
+    tlsWorker_ = nullptr;
+}
+
+void
+ThreadBackend::run(std::vector<Task> &roots, Protocol &proto,
+                   std::atomic<int> &done,
+                   std::function<std::string()> dumpState)
+{
+    proto_ = &proto;
+    done_ = &done;
+    dump_ = std::move(dumpState);
+    roots_ = &roots;
+    assert(deliver_ && "setDeliver must precede run");
+
+    stop_.store(false, std::memory_order_release);
+    for (auto &w : workers_)
+        w->th = std::thread(&ThreadBackend::workerMain, this,
+                            w->node);
+    for (auto &w : workers_)
+        w->th.join();
+    roots_ = nullptr;
+
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+const NetworkCounts &
+ThreadBackend::counts() const
+{
+    aggCounts_ = NetworkCounts{};
+    for (const auto &w : workers_)
+        aggCounts_ += w->counts;
+    return aggCounts_;
+}
+
+void
+ThreadBackend::resetCounts()
+{
+    for (auto &w : workers_)
+        w->counts = NetworkCounts{};
+    aggCounts_ = NetworkCounts{};
+}
+
+} // namespace shasta

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Real-thread execution backend: the second Transport.
+ *
+ * One OS thread per logical node.  Each worker owns its node's
+ * processors, coroutines, protocol tables and statistics shards, so
+ * protocol code runs completely unsynchronized — exactly as in the
+ * simulator, where node state is partitioned by construction.  The
+ * only cross-thread edges are:
+ *
+ *  - per directed node pair, one SPSC ring of message frames
+ *    (exec/spsc_ring.hh): the sending worker produces, the
+ *    receiving worker consumes, acquire/release only;
+ *  - a small mutex-guarded wake inbox per worker, through which the
+ *    thread sync managers (exec/thread_sync.hh) queue coroutine
+ *    resumptions for the owning worker;
+ *  - a handful of global atomics for termination (in-flight frame
+ *    count, unacked count, activity stamp, stop flag).
+ *
+ * Time is the wall clock: now() returns nanoseconds since backend
+ * construction.  Processor-local clocks still advance by simulated
+ * handler costs (harmless — they act as logical clocks driving the
+ * quantum-yield heuristic) and are maxed with real arrival times,
+ * so wallTime() measures real elapsed time.
+ *
+ * Fault injection mirrors the simulator's contract: remote
+ * (inter-machine) frames are sequenced per directed node pair, the
+ * stateless FaultModel decides drops/dups/delays, receivers dedup
+ * and resequence, and senders retransmit from a wall-clock deadline
+ * wheel (exec/deadline_wheel.hh) with capped exponential backoff,
+ * giving up after RetxParams::maxAttempts.
+ *
+ * Termination is quiescence detection: every processor done, no
+ * frame in flight or awaiting ack, every worker idle, and the
+ * global activity stamp unchanged across the check (double read).
+ * The same machinery detects deadlock (quiescent but processors
+ * unfinished) and stalls (activity frozen for threadStallMs).
+ */
+
+#ifndef SHASTA_EXEC_THREAD_BACKEND_HH
+#define SHASTA_EXEC_THREAD_BACKEND_HH
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/proc.hh"
+#include "exec/deadline_wheel.hh"
+#include "exec/spsc_ring.hh"
+#include "exec/thread_sync.hh"
+#include "net/network.hh"
+#include "net/transport.hh"
+#include "sim/task.hh"
+
+namespace shasta
+{
+
+class Protocol;
+
+class ThreadBackend : public Transport, public WakeSink
+{
+  public:
+    ThreadBackend(const DsmConfig &cfg, const Topology &topo,
+                  std::vector<Proc> &procs);
+    ~ThreadBackend() override;
+
+    /** Wire the protocol (for measuring()/recordLatency on wakes
+     *  and retransmits).  Must precede run(). */
+    void attachProtocol(Protocol &proto) { proto_ = &proto; }
+
+    /** @{ Transport. */
+    Tick now() const override;
+    Tick send(Message msg, Tick send_time) override;
+    /** Runs @p cb at the calling worker's next loop iteration (the
+     *  thread-backend meaning of "defer to the owning thread at
+     *  time >= t": wall time needs no explicit advancing). */
+    void deferAt(Tick t, Callback cb) override;
+    void setDeliver(Deliver d) override { deliver_ = std::move(d); }
+    const NetworkCounts &counts() const override;
+    void resetCounts() override;
+    const Topology &topology() const override { return topo_; }
+    /** @} */
+
+    /** WakeSink: queue @p h onto the inbox of the worker owning
+     *  @p p; that worker settles the clock/stall accounting and
+     *  resumes. */
+    void wake(ProcId p, std::coroutine_handle<> h, Tick stallStart,
+              LatencyClass cls) override;
+
+    /**
+     * Execute the run: spawn one worker per node, start each root
+     * coroutine on its owning worker, and block until quiescent.
+     * Rethrows the first worker exception (protocol errors,
+     * retransmit give-up, deadlock, stall).
+     */
+    void run(std::vector<Task> &roots, Protocol &proto,
+             std::atomic<int> &done,
+             std::function<std::string()> dumpState);
+
+  private:
+    enum : std::uint8_t { kData = 0, kAck = 1 };
+
+    /** One ring slot.  Ack frames never reach the protocol: msg.src
+     *  and msg.dst hold *node* ids and msg.relSeq() the cumulative
+     *  ack. */
+    struct Frame
+    {
+        Message msg;
+        std::uint8_t kind = kData;
+    };
+
+    /** Sender-side reliability state for one directed node pair
+     *  (owned by the sending worker). */
+    struct PendingTx
+    {
+        std::uint32_t seq = 0;
+        Message msg;
+        Tick firstSend = 0;
+        Tick rto = 0;
+        int attempts = 0;
+    };
+
+    struct SendState
+    {
+        std::uint32_t sndNext = 1;
+        std::uint64_t xmit = 0;
+        /** Send order is serial order: cumulative acks prune a
+         *  prefix. */
+        std::deque<PendingTx> pending;
+    };
+
+    /** Receiver-side state for one incoming stream (owned by the
+     *  receiving worker). */
+    struct ParkedRx
+    {
+        std::uint32_t seq = 0;
+        Message msg;
+    };
+
+    struct RecvState
+    {
+        std::uint32_t rcvNext = 1;
+        std::uint32_t rcvLast = 0;
+        std::uint64_t ackXmit = 0;
+        std::vector<ParkedRx> buffer;
+    };
+
+    struct WakeEntry
+    {
+        ProcId pid = -1;
+        std::coroutine_handle<> h;
+        Tick stallStart = 0;
+        LatencyClass cls = LatencyClass::LockWait;
+    };
+
+    /** A parked wall-clock deadline. */
+    struct Deadline
+    {
+        enum Kind { Retx, DelayedFrame } kind = Retx;
+        int dstNode = -1;
+        std::uint32_t seq = 0;
+        /** DelayedFrame only (fault dup/jitter path; allocation here
+         *  is fine — the allocation-free guarantee covers the
+         *  fault-free steady state). */
+        std::unique_ptr<Frame> frame;
+    };
+
+    struct Worker
+    {
+        int node = 0;
+        std::thread th;
+        /** Same-node traffic (only this worker produces/consumes). */
+        std::deque<Frame> loopback;
+        /** deferAt continuations (ready queue). */
+        std::vector<EventQueue::Callback> ready, readyScratch;
+        /** Cross-thread wake inbox (thread sync managers). */
+        std::mutex wakeM;
+        std::vector<WakeEntry> wakes, wakeScratch;
+        DeadlineWheel<Deadline> wheel;
+        std::vector<SendState> sendTo;   ///< per destination node
+        std::vector<RecvState> recvFrom; ///< per source node
+        NetworkCounts counts;
+        std::uint64_t fuzz = 0; ///< splitmix state; 0 = fuzz off
+        std::atomic<bool> idle{false};
+        int pushDepth = 0;
+        /** Quiescence bookkeeping (worker 0 only). */
+        std::uint64_t lastActivity = ~0ull;
+        Tick lastChangeNs = 0;
+        Tick quietSinceNs = -1;
+    };
+
+    Worker &workerOf(NodeId n) { return *workers_[static_cast<std::size_t>(n)]; }
+    SpscRing<Frame> &ring(NodeId src, NodeId dst);
+
+    void workerMain(int node);
+    bool drainLoopback(Worker &w);
+    bool drainRings(Worker &w);
+    bool drainWakes(Worker &w);
+    bool runReady(Worker &w);
+    std::size_t advanceWheel(Worker &w);
+    void handleFrame(Worker &w, NodeId srcNode, Frame &&f);
+
+    /** Blocking ring push; keeps draining our own inbound while the
+     *  ring is full so opposed full rings cannot deadlock. */
+    void pushFrame(Worker &w, NodeId dstNode, Frame &&f,
+                   bool counted = false);
+
+    /** @{ Reliability (sequenced remote streams). */
+    Tick relSend(Worker &w, Message &&msg, NodeId dstNode, Tick t);
+    void transmit(Worker &w, NodeId dstNode, Message &&m);
+    void onRetx(Worker &w, NodeId dstNode, std::uint32_t seq);
+    void onSeqData(Worker &w, NodeId srcNode, Message &&m);
+    void sendAck(Worker &w, NodeId srcNode);
+    void onAck(Worker &w, NodeId peerNode, std::uint32_t cum);
+    Tick initialRtoNs() const;
+    /** @} */
+
+    void checkQuiescence(Worker &w);
+    void fail(std::exception_ptr e);
+    void maybeFuzzPause(Worker &w, bool atIdle);
+
+    const DsmConfig &cfg_;
+    Topology topo_;
+    std::vector<Proc> &procs_;
+    Protocol *proto_ = nullptr;
+    Deliver deliver_;
+    std::vector<Task> *roots_ = nullptr;
+    std::atomic<int> *done_ = nullptr;
+    std::function<std::string()> dump_;
+
+    int numNodes_ = 0;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    /** Dense mesh of SPSC rings, index src * numNodes_ + dst (null
+     *  on the diagonal). */
+    std::vector<std::unique_ptr<SpscRing<Frame>>> rings_;
+
+    /** Wall-clock epoch (steady_clock at construction). */
+    std::int64_t epochNs_ = 0;
+
+    const bool faults_;
+    std::unique_ptr<FaultModel> model_;
+
+    /** Frames in rings/loopback-free path + delayed frames + wake
+     *  inbox entries not yet fully handled. */
+    std::atomic<std::int64_t> inflight_{0};
+    /** Sequenced messages awaiting cumulative ack. */
+    std::atomic<std::int64_t> unacked_{0};
+    /** Bumped whenever any worker does work. */
+    std::atomic<std::uint64_t> activity_{0};
+    std::atomic<bool> stop_{false};
+
+    std::mutex errorM_;
+    std::exception_ptr error_;
+
+    mutable NetworkCounts aggCounts_;
+
+    /** The worker running on this thread (null off-worker). */
+    static thread_local Worker *tlsWorker_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_EXEC_THREAD_BACKEND_HH

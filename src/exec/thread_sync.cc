@@ -1,0 +1,170 @@
+#include "exec/thread_sync.hh"
+
+#include <cassert>
+
+#include "proto/protocol.hh"
+
+namespace shasta
+{
+
+ThreadLockManager::ThreadLockManager(const DsmConfig &cfg,
+                                     WakeSink &sink, Protocol &proto,
+                                     std::vector<Proc> &procs)
+    : cfg_(cfg), sink_(sink), proto_(proto)
+{
+    parked_.resize(procs.size());
+}
+
+int
+ThreadLockManager::allocLock()
+{
+    // Called before run() only (single-threaded setup), mirroring
+    // Runtime::allocLock's contract.
+    locks_.emplace_back();
+    return static_cast<int>(locks_.size()) - 1;
+}
+
+bool
+ThreadLockManager::tryAcquire(Proc &p, int id)
+{
+    assert(id >= 0 && id < numLocks());
+    acquires_.fetch_add(1, std::memory_order_relaxed);
+
+    LockState &l = locks_[static_cast<std::size_t>(id)];
+    std::lock_guard<std::mutex> g(l.m);
+    if (!l.held) {
+        l.held = true;
+        l.holder = p.id;
+        return true;
+    }
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    parked_[static_cast<std::size_t>(p.id)].grantPending = false;
+    l.queue.push_back(p.id);
+    return false;
+}
+
+void
+ThreadLockManager::park(Proc &p, int id, std::coroutine_handle<> h)
+{
+    LockState &l = locks_[static_cast<std::size_t>(id)];
+    bool granted = false;
+    {
+        std::lock_guard<std::mutex> g(l.m);
+        ParkedProc &pk = parked_[static_cast<std::size_t>(p.id)];
+        pk.stallStart = p.now;
+        if (pk.grantPending) {
+            // release() granted us between tryAcquire and park.
+            pk.grantPending = false;
+            granted = true;
+        } else {
+            pk.handle = h;
+        }
+    }
+    proto_.noteBlocked(p);
+    if (granted)
+        sink_.wake(p.id, h, p.now, LatencyClass::LockWait);
+}
+
+void
+ThreadLockManager::release(Proc &p, int id)
+{
+    assert(id >= 0 && id < numLocks());
+    LockState &l = locks_[static_cast<std::size_t>(id)];
+    ProcId next = -1;
+    std::coroutine_handle<> h{};
+    Tick stallStart = 0;
+    {
+        std::lock_guard<std::mutex> g(l.m);
+        assert(l.held && l.holder == p.id);
+        if (l.queue.empty()) {
+            l.held = false;
+            l.holder = -1;
+            return;
+        }
+        next = l.queue.front();
+        l.queue.pop_front();
+        l.holder = next;
+        ParkedProc &pk = parked_[static_cast<std::size_t>(next)];
+        if (pk.handle) {
+            h = pk.handle;
+            pk.handle = nullptr;
+            stallStart = pk.stallStart;
+        } else {
+            // Waiter has not parked yet; its park() self-wakes.
+            pk.grantPending = true;
+        }
+    }
+    if (h)
+        sink_.wake(next, h, stallStart, LatencyClass::LockWait);
+}
+
+ThreadBarrierManager::ThreadBarrierManager(const DsmConfig &cfg,
+                                           WakeSink &sink,
+                                           Protocol &proto,
+                                           std::vector<Proc> &procs)
+    : cfg_(cfg), sink_(sink), proto_(proto),
+      expected_(cfg.numProcs)
+{
+    w_.resize(procs.size());
+}
+
+bool
+ThreadBarrierManager::arrive(Proc &p)
+{
+    struct Wake
+    {
+        ProcId pid;
+        std::coroutine_handle<> h;
+        Tick stallStart;
+    };
+    // Worst case every other processor is parked; the vector is
+    // small and arrive() is not a steady-state path.
+    std::vector<Wake> wakes;
+    {
+        std::lock_guard<std::mutex> g(m_);
+        if (++arrived_ < expected_) {
+            Waiter &me = w_[static_cast<std::size_t>(p.id)];
+            me.waiting = true;
+            me.stallStart = p.now;
+            return false;
+        }
+        // Last arriver: release the episode.
+        arrived_ = 0;
+        episodes_.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t q = 0; q < w_.size(); ++q) {
+            Waiter &wq = w_[q];
+            if (!wq.waiting)
+                continue;
+            wq.waiting = false;
+            if (wq.handle) {
+                wakes.push_back({static_cast<ProcId>(q), wq.handle,
+                                 wq.stallStart});
+                wq.handle = nullptr;
+            }
+            // else: released before park(); park() self-wakes.
+        }
+    }
+    for (const Wake &wk : wakes)
+        sink_.wake(wk.pid, wk.h, wk.stallStart,
+                   LatencyClass::BarrierWait);
+    return true;
+}
+
+void
+ThreadBarrierManager::park(Proc &p, std::coroutine_handle<> h)
+{
+    bool released = false;
+    {
+        std::lock_guard<std::mutex> g(m_);
+        Waiter &me = w_[static_cast<std::size_t>(p.id)];
+        if (!me.waiting)
+            released = true; // episode completed before we parked
+        else
+            me.handle = h;
+    }
+    proto_.noteBlocked(p);
+    if (released)
+        sink_.wake(p.id, h, p.now, LatencyClass::BarrierWait);
+}
+
+} // namespace shasta

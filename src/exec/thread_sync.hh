@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Real-thread lock and barrier managers (the thread backend's
+ * LockApi/BarrierApi).
+ *
+ * The simulator's managers express locks and barriers as protocol
+ * messages to a home processor; on real threads that costume is
+ * unnecessary — a mutex-guarded queue per lock and a counting
+ * barrier are the honest primitives.  What must be preserved is the
+ * coroutine contract of sync/sync_api.hh: a parked continuation is
+ * resumed *on the worker thread owning its processor*, never on the
+ * releasing thread.  Both managers therefore hand wake-ups to a
+ * WakeSink (implemented by ThreadBackend as a per-worker inbox);
+ * the owning worker resumes the handle and settles the processor's
+ * clock and stall accounting.
+ *
+ * The tryAcquire/park race (another thread releases between
+ * tryAcquire returning false and park storing the handle) is closed
+ * with a grant-pending flag checked under the same lock mutex:
+ * park() observing a pending grant self-wakes through the sink,
+ * which is safe because the inbox is drained only at worker loop
+ * top level, strictly after the coroutine finished suspending.
+ */
+
+#ifndef SHASTA_EXEC_THREAD_SYNC_HH
+#define SHASTA_EXEC_THREAD_SYNC_HH
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/proc.hh"
+#include "stats/histogram.hh"
+#include "sync/sync_api.hh"
+
+namespace shasta
+{
+
+class Protocol;
+
+/**
+ * Cross-thread resumption service: queue @p h to be resumed on the
+ * worker that owns processor @p p, with sync-stall accounting from
+ * @p stallStart charged under latency class @p cls.  Implemented by
+ * ThreadBackend.
+ */
+class WakeSink
+{
+  public:
+    virtual ~WakeSink() = default;
+
+    virtual void wake(ProcId p, std::coroutine_handle<> h,
+                      Tick stallStart, LatencyClass cls) = 0;
+};
+
+/** Mutex-queue application locks over real threads. */
+class ThreadLockManager : public LockApi
+{
+  public:
+    ThreadLockManager(const DsmConfig &cfg, WakeSink &sink,
+                      Protocol &proto, std::vector<Proc> &procs);
+
+    int allocLock() override;
+    bool tryAcquire(Proc &p, int id) override;
+    void park(Proc &p, int id, std::coroutine_handle<> h) override;
+    void release(Proc &p, int id) override;
+
+    int numLocks() const { return static_cast<int>(locks_.size()); }
+    std::uint64_t acquires() const { return acquires_.load(); }
+    std::uint64_t contended() const { return contended_.load(); }
+
+  private:
+    /** Non-movable (owns a mutex); locks_ is a deque so allocLock
+     *  never relocates live elements. */
+    struct LockState
+    {
+        std::mutex m;
+        bool held = false;
+        ProcId holder = -1;
+        std::deque<ProcId> queue;
+    };
+
+    /** Guarded by the mutex of the lock the processor waits on (a
+     *  processor waits on at most one lock at a time). */
+    struct ParkedProc
+    {
+        std::coroutine_handle<> handle;
+        Tick stallStart = 0;
+        bool grantPending = false;
+    };
+
+    const DsmConfig &cfg_;
+    WakeSink &sink_;
+    Protocol &proto_;
+    std::deque<LockState> locks_;
+    std::vector<ParkedProc> parked_;
+    std::atomic<std::uint64_t> acquires_{0};
+    std::atomic<std::uint64_t> contended_{0};
+};
+
+/** Counting global barrier over real threads. */
+class ThreadBarrierManager : public BarrierApi
+{
+  public:
+    ThreadBarrierManager(const DsmConfig &cfg, WakeSink &sink,
+                         Protocol &proto, std::vector<Proc> &procs);
+
+    bool arrive(Proc &p) override;
+    void park(Proc &p, std::coroutine_handle<> h) override;
+
+    std::uint64_t episodes() const { return episodes_.load(); }
+
+  private:
+    /** Guarded by m_. */
+    struct Waiter
+    {
+        std::coroutine_handle<> handle;
+        Tick stallStart = 0;
+        /** True from arrive() (non-last) until released; park()
+         *  observing false self-wakes. */
+        bool waiting = false;
+    };
+
+    const DsmConfig &cfg_;
+    WakeSink &sink_;
+    Protocol &proto_;
+    std::mutex m_;
+    int expected_;
+    int arrived_ = 0;
+    std::atomic<std::uint64_t> episodes_{0};
+    std::vector<Waiter> w_;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_EXEC_THREAD_SYNC_HH

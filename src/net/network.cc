@@ -69,14 +69,15 @@ Network::deliverSlot(std::uint32_t slot)
 }
 
 void
-Network::configureFaults(const FaultConfig &cfg)
+Network::configureFaults(const FaultConfig &cfg,
+                         const RetxParams &retx)
 {
     if (!cfg.enabled()) {
         rel_.reset();
         return;
     }
     cfg.validate();
-    rel_ = std::make_unique<Reliability>(*this, cfg);
+    rel_ = std::make_unique<Reliability>(*this, cfg, retx);
 }
 
 Tick

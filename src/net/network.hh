@@ -24,6 +24,7 @@
 #ifndef SHASTA_NET_NETWORK_HH
 #define SHASTA_NET_NETWORK_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -35,6 +36,7 @@
 #include "net/pair_map.hh"
 #include "net/reliable.hh"
 #include "net/topology.hh"
+#include "net/transport.hh"
 #include "sim/event_queue.hh"
 
 namespace shasta
@@ -95,50 +97,77 @@ struct NetworkCounts
     {
         return remoteMsgs + localMsgs + downgradeMsgs;
     }
+
+    /** Shard merge (the thread backend keeps one shard per worker). */
+    NetworkCounts &
+    operator+=(const NetworkCounts &o)
+    {
+        remoteMsgs += o.remoteMsgs;
+        localMsgs += o.localMsgs;
+        downgradeMsgs += o.downgradeMsgs;
+        remoteBytes += o.remoteBytes;
+        localBytes += o.localBytes;
+        for (std::size_t i = 0; i < byType.size(); ++i)
+            byType[i] += o.byType[i];
+        rel += o.rel;
+        return *this;
+    }
 };
 
 /**
- * The cluster interconnect.
+ * The cluster interconnect (the simulator's Transport).
  *
  * send() computes the arrival time of a message and schedules a
  * delivery event that invokes the runtime-provided deliver callback.
  */
-class Network
+class Network : public Transport
 {
   public:
-    using Deliver = std::function<void(Message &&)>;
+    using Deliver = Transport::Deliver;
 
     Network(EventQueue &events, const Topology &topo,
             const NetworkParams &params);
 
     /** Install the delivery callback (runtime wires this to mailboxes). */
-    void setDeliver(Deliver d) { deliver_ = std::move(d); }
+    void setDeliver(Deliver d) override { deliver_ = std::move(d); }
+
+    /** The discrete-event clock. */
+    Tick now() const override { return events_.now(); }
+
+    /** Defer to simulated time max(@p t, now()) via the event queue. */
+    void
+    deferAt(Tick t, Callback cb) override
+    {
+        events_.schedule(std::max(t, events_.now()), std::move(cb));
+    }
 
     /**
      * Send @p msg at simulated time @p send_time (the sender's local
      * clock, which may be slightly ahead of the event queue).
      * @return the arrival tick at the destination.
      */
-    Tick send(Message msg, Tick send_time);
+    Tick send(Message msg, Tick send_time) override;
 
     /** Pure latency query: arrival time if sent now with no queuing. */
     Tick unloadedLatency(ProcId src, ProcId dst,
                          std::uint32_t bytes) const;
 
-    const NetworkCounts &counts() const { return counts_; }
+    const NetworkCounts &counts() const override { return counts_; }
 
     /** Reset counters (used between measurement phases). */
-    void resetCounts() { counts_ = NetworkCounts{}; }
+    void resetCounts() override { counts_ = NetworkCounts{}; }
 
-    const Topology &topology() const { return topo_; }
+    const Topology &topology() const override { return topo_; }
 
     /** @{ Fault injection + reliability sublayer (net/fault.hh,
      *  net/reliable.hh).  Off by default; configure before traffic
      *  flows.  While active, remote messages are sequenced, may be
      *  dropped/duplicated/delayed by the fault model, and are
      *  restored to exactly-once in-order delivery by ack/retransmit
-     *  and receiver-side resequencing. */
-    void configureFaults(const FaultConfig &cfg);
+     *  and receiver-side resequencing.  @p retx tunes the
+     *  retransmission policy (defaults reproduce PR 5 exactly). */
+    void configureFaults(const FaultConfig &cfg,
+                         const RetxParams &retx = {});
 
     bool faultsActive() const { return rel_ != nullptr; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "dsm/config.hh"
@@ -12,9 +13,39 @@
 namespace shasta
 {
 
-Reliability::Reliability(Network &net, const FaultConfig &cfg)
-    : net_(net), model_(cfg)
+void
+RetxParams::applyEnv()
 {
+    if (const char *e = std::getenv("SHASTA_RETX_MAX_ATTEMPTS");
+        e != nullptr && *e != '\0')
+        maxAttempts = std::atoi(e);
+    if (const char *e = std::getenv("SHASTA_RETX_BACKOFF_CAP");
+        e != nullptr && *e != '\0')
+        backoffCapMult = std::atoi(e);
+    if (const char *e = std::getenv("SHASTA_RETX_RTO_US");
+        e != nullptr && *e != '\0')
+        rtoUs = std::atof(e);
+}
+
+void
+RetxParams::validate() const
+{
+    if (maxAttempts < 1)
+        throw std::invalid_argument(
+            "RetxParams: maxAttempts must be >= 1");
+    if (backoffCapMult < 1)
+        throw std::invalid_argument(
+            "RetxParams: backoffCapMult must be >= 1");
+    if (rtoUs < 0.0)
+        throw std::invalid_argument(
+            "RetxParams: rtoUs must be >= 0");
+}
+
+Reliability::Reliability(Network &net, const FaultConfig &cfg,
+                         const RetxParams &retx)
+    : net_(net), model_(cfg), retx_(retx)
+{
+    retx_.validate();
     // Pair state materializes lazily (PairMap hands out slab-stable
     // references, so entries created by reentrant deliveries — a
     // handler replying inline reenters send() mid-onData — never
@@ -46,9 +77,11 @@ Reliability::findPending(PairState &ps, std::uint32_t seq)
 Tick
 Reliability::initialRto(ProcId src, ProcId dst) const
 {
-    // ~2x the unloaded round trip (data out, ack back), floored so
-    // short local jitter settings cannot arm timers faster than the
-    // fabric can answer.
+    if (retx_.rtoUs > 0.0)
+        return usToTicks(retx_.rtoUs);
+    // Auto: ~2x the unloaded round trip (data out, ack back),
+    // floored so short local jitter settings cannot arm timers
+    // faster than the fabric can answer.
     const Tick rtt =
         net_.unloadedLatency(src, dst, kMsgHeaderBytes + 64) +
         net_.unloadedLatency(dst, src, kMsgHeaderBytes);
@@ -137,9 +170,9 @@ Reliability::onRetxTimer(ProcId src, ProcId dst, std::uint32_t seq)
     Pending *p = findPending(ps, seq);
     if (p == nullptr)
         return; // acked in the meantime
-    if (p->attempts >= kMaxAttempts) {
+    if (p->attempts >= retx_.maxAttempts) {
         // At the supported drop rates (<= 50%) the chance of losing
-        // kMaxAttempts transmissions in a row is ~2^-30: this is a
+        // maxAttempts transmissions in a row is ~2^-30: this is a
         // misconfigured (or adversarial) link, not bad luck.
         throw std::runtime_error(
             "Reliability: message exceeded retransmit limit");
@@ -151,10 +184,12 @@ Reliability::onRetxTimer(ProcId src, ProcId dst, std::uint32_t seq)
                               now - p->firstSend);
     if (obs::traceJsonEnabled())
         obs::emitInstant(src, now, "retransmit", "fault", seq);
-    // Capped exponential backoff: doubling stops at 64x the initial
-    // timeout, enough to ride out congested channels without turning
-    // a single loss into a simulated-millisecond stall.
-    p->rto = std::min(p->rto * 2, initialRto(src, dst) * 64);
+    // Capped exponential backoff: doubling stops at backoffCapMult
+    // times the initial timeout, enough to ride out congested
+    // channels without turning a single loss into a
+    // simulated-millisecond stall.
+    p->rto = std::min(p->rto * 2,
+                      initialRto(src, dst) * retx_.backoffCapMult);
     Message copy = p->msg;
     transmit(ps, std::move(copy), now);
 }

@@ -17,8 +17,8 @@
  *  - the sender keeps a copy of each unacked message and retransmits
  *    on a per-message timeout with capped exponential backoff,
  *    scheduled on the timing-wheel EventQueue; it gives up (throws)
- *    after kMaxAttempts, which at the supported drop rates means the
- *    link is configured hostile rather than lossy.
+ *    after RetxParams::maxAttempts, which at the supported drop
+ *    rates means the link is configured hostile rather than lossy.
  *
  * Acks are internal events, not Messages: they never enter mailboxes
  * or the dispatch table, so no MsgType is added and the handler
@@ -61,6 +61,39 @@ namespace shasta
 class Network;
 struct LatencyStats;
 
+/**
+ * Retransmission-policy knobs, shared by both backends.
+ *
+ * The simulator interprets @ref rtoUs in simulated microseconds and
+ * the thread backend in wall-clock microseconds, so the same config
+ * tunes either.  Defaults reproduce the PR 5 behavior exactly
+ * (auto RTO ≈ 2x unloaded RTT, 64x backoff cap, give up after 30
+ * attempts).
+ */
+struct RetxParams
+{
+    /** Retransmission cap per message; exceeding it throws.  At the
+     *  supported drop rates (<= 50%) losing 30 transmissions in a
+     *  row is ~2^-30: a link that trips this is configured hostile
+     *  rather than lossy. */
+    int maxAttempts = 30;
+    /** Exponential backoff stops at this multiple of the initial
+     *  timeout. */
+    int backoffCapMult = 64;
+    /** Initial retransmission timeout in microseconds; 0 selects the
+     *  backend's automatic estimate (the simulator uses ~2x the
+     *  unloaded round trip, the thread backend a fixed wall-clock
+     *  default). */
+    double rtoUs = 0.0;
+
+    /** Apply SHASTA_RETX_MAX_ATTEMPTS / SHASTA_RETX_BACKOFF_CAP /
+     *  SHASTA_RETX_RTO_US, if set. */
+    void applyEnv();
+
+    /** Aborts with a message on bad values. */
+    void validate() const;
+};
+
 /** Reliability/fault counters, nested in NetworkCounts so the usual
  *  reset/snapshot plumbing covers them. */
 struct RelCounts
@@ -93,6 +126,22 @@ struct RelCounts
                ackDrops != 0 || acksReceived != 0;
     }
 
+    RelCounts &
+    operator+=(const RelCounts &o)
+    {
+        dataMsgs += o.dataMsgs;
+        retransmits += o.retransmits;
+        faultDrops += o.faultDrops;
+        faultDups += o.faultDups;
+        faultDelays += o.faultDelays;
+        dupDrops += o.dupDrops;
+        reorderBuffered += o.reorderBuffered;
+        acksSent += o.acksSent;
+        ackDrops += o.ackDrops;
+        acksReceived += o.acksReceived;
+        return *this;
+    }
+
     /** Monotone activity stamp: changes whenever the sublayer did
      *  anything at all.  The watchdog compares stamps to tell a
      *  retry storm (stamp moving) from a true stall (stamp frozen).
@@ -111,7 +160,8 @@ struct RelCounts
 class Reliability
 {
   public:
-    Reliability(Network &net, const FaultConfig &cfg);
+    Reliability(Network &net, const FaultConfig &cfg,
+                const RetxParams &retx = {});
 
     /** Sender entry: sequence, remember, and transmit a remote data
      *  message.  Returns the optimistic (no-retransmit) arrival. */
@@ -143,8 +193,8 @@ class Reliability
      *  traffic. */
     void seedPairForTest(ProcId src, ProcId dst, std::uint32_t next);
 
-    /** Retransmission cap per message; exceeding it throws. */
-    static constexpr int kMaxAttempts = 30;
+    /** The retransmission policy in effect. */
+    const RetxParams &retx() const { return retx_; }
 
   private:
     /** One unacked sender-side message. */
@@ -221,6 +271,7 @@ class Reliability
 
     Network &net_;
     FaultModel model_;
+    RetxParams retx_;
     /** Sparse per-pair state, keyed by packed (src, dst). */
     PairMap<PairState> pairs_;
     /** Running sum of every pair's pending.size() + buffer.size(),

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The transport seam between the protocol layer and an execution
+ * backend.
+ *
+ * The protocol engines (HomeAgent / RequesterAgent / DowngradeEngine
+ * over ProtocolCore) and the blocking awaitables in dsm/context
+ * compile against this interface only.  Two backends implement it:
+ *
+ *  - `Network` + `EventQueue` (the simulator): `now()` is the
+ *    discrete-event clock, `send()` models channel/link serialization
+ *    and schedules a delivery event, and ticks are 300 MHz cycles.
+ *    Golden statistics stay byte-identical run to run.
+ *  - `ThreadBackend` (src/exec/): `now()` is wall-clock nanoseconds,
+ *    `send()` pushes a frame onto a lock-free SPSC ring toward the
+ *    destination node's worker thread, and deferred callbacks run on
+ *    the calling worker's ready queue.
+ *
+ * Either way the contract the protocol relies on is the same:
+ * per-pair FIFO delivery, a monotone clock, and deferAt() callbacks
+ * that fire on the thread that owns the affected processor state.
+ */
+
+#ifndef SHASTA_NET_TRANSPORT_HH
+#define SHASTA_NET_TRANSPORT_HH
+
+#include <functional>
+
+#include "net/message.hh"
+#include "net/topology.hh"
+#include "sim/event_queue.hh"
+
+namespace shasta
+{
+
+struct NetworkCounts;
+
+class Transport
+{
+  public:
+    using Deliver = std::function<void(Message &&)>;
+    /** Non-allocating deferred callback (sim/inplace_fn.hh). */
+    using Callback = EventQueue::Callback;
+
+    virtual ~Transport() = default;
+
+    /** Current backend time (simulated ticks or wall-clock ns). */
+    virtual Tick now() const = 0;
+
+    /**
+     * Send @p msg at sender-local time @p send_time (which may run
+     * slightly ahead of now() under the quantum).  Delivery invokes
+     * the installed deliver callback on the thread owning the
+     * destination; per-pair order is FIFO.
+     * @return the (modeled or estimated) arrival time.
+     */
+    virtual Tick send(Message msg, Tick send_time) = 0;
+
+    /**
+     * Run @p cb once the backend reaches local time @p t, but never
+     * before the present: the effective time is max(t, now()).  Used
+     * by processors yielding the quantum and by blocked processors
+     * re-arming their mailbox drain; @p cb must touch only state
+     * owned by the calling processor's node.
+     */
+    virtual void deferAt(Tick t, Callback cb) = 0;
+
+    /** Install the delivery callback (runtime wires this to the
+     *  protocol's deliver entry point). */
+    virtual void setDeliver(Deliver d) = 0;
+
+    /** Logical message counters (Figure 7's categories). */
+    virtual const NetworkCounts &counts() const = 0;
+    virtual void resetCounts() = 0;
+
+    virtual const Topology &topology() const = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_NET_TRANSPORT_HH

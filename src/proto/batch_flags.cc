@@ -39,7 +39,7 @@ void
 DowngradeEngine::batchMark(NodeId node, LineIdx first,
                            std::uint32_t n)
 {
-    SHASTA_TRACE_EVENT(trace::Flag::Batch, c_.events.now(), -1,
+    SHASTA_TRACE_EVENT(trace::Flag::Batch, c_.tx.now(), -1,
                        "node %d marks lines %u+%u", node,
                        static_cast<unsigned>(first),
                        static_cast<unsigned>(n));

@@ -80,7 +80,7 @@ DowngradeEngine::downgradeNode(Proc &p, LineIdx first,
     if (c_.measuring) {
         const std::size_t bucket = std::min<std::size_t>(
             static_cast<std::size_t>(n_targets), 3);
-        ++c_.counters.downgradeOps[bucket];
+        ++c_.ctr(p.node).downgradeOps[bucket];
     }
 
     SHASTA_TRACE_EVENT(trace::Flag::Downgrade, p.now, p.id,
@@ -169,7 +169,7 @@ DowngradeEngine::completeDowngrade(Proc &p, LineIdx first,
             const ProcId dst = qm.dst;
             c_.reinject(dst, std::move(qm));
         }
-        c_.maybeErase(first);
+        c_.maybeErase(node, first);
     }
 }
 
@@ -247,8 +247,8 @@ DowngradeEngine::onDowngrade(Proc &q, Message &&m)
         // The last downgrader executes the saved protocol action
         // (Section 3.4.3).
         if (c_.measuring) {
-            c_.lat->record(LatencyClass::DowngradeService,
-                           q.now - e->downgradeStart);
+            c_.latOf(q.node).record(LatencyClass::DowngradeService,
+                                    q.now - e->downgradeStart);
         }
         if (obs::traceJsonEnabled()) {
             obs::emitAsyncEnd(
@@ -276,7 +276,7 @@ DowngradeEngine::queueIfTransient(Proc &p, LineIdx first, Message &m)
         return false;
     if (me->downgradeActive()) {
         if (c_.measuring)
-            ++c_.counters.queuedDuringDowngrade;
+            ++c_.ctr(p.node).queuedDuringDowngrade;
         me->queuedRemote.push_back(std::move(m));
         return true;
     }

@@ -113,20 +113,21 @@ static_assert(kDispatch.size() ==
 
 } // namespace
 
-ProtocolCore::ProtocolCore(const DsmConfig &cfg_in,
-                           EventQueue &events_in, Network &net_in,
+ProtocolCore::ProtocolCore(const DsmConfig &cfg_in, Transport &tx_in,
                            SharedHeap &heap_in,
                            std::vector<Proc> &procs_in)
     : cfg(cfg_in),
-      events(events_in),
-      net(net_in),
+      tx(tx_in),
       heap(heap_in),
       procs(procs_in),
       topo(cfg_in.topology()),
-      smp(cfg_in.mode == Mode::Smp),
-      lat(std::make_unique<LatencyStats>())
+      smp(cfg_in.mode == Mode::Smp)
 {
     const int nodes = topo.numNodes();
+    ctrShards.resize(static_cast<std::size_t>(nodes));
+    latShards.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n)
+        latShards.push_back(std::make_unique<LatencyStats>());
     memories.reserve(static_cast<std::size_t>(nodes));
     tables.reserve(static_cast<std::size_t>(nodes));
     missTables.reserve(static_cast<std::size_t>(nodes));
@@ -238,7 +239,7 @@ ProtocolCore::sendMsg(Proc &from, MsgType type, ProcId dst,
         handleMessage(from, std::move(m));
         return;
     }
-    net.send(std::move(m), from.now);
+    tx.send(std::move(m), from.now);
 }
 
 void
@@ -251,7 +252,7 @@ ProtocolCore::sendRaw(Proc &from, Message &&m)
         handleMessage(from, std::move(m));
         return;
     }
-    net.send(std::move(m), from.now);
+    tx.send(std::move(m), from.now);
 }
 
 void
@@ -259,7 +260,7 @@ ProtocolCore::reinject(ProcId dst, Message &&m)
 {
     Proc &d = procs[static_cast<std::size_t>(dst)];
     m.dst = dst;
-    m.arriveTime = std::max(events.now(), m.arriveTime);
+    m.arriveTime = std::max(tx.now(), m.arriveTime);
     d.mailbox.push(std::move(m));
     if (d.status != ProcStatus::Running)
         drainMailbox(d);
@@ -364,14 +365,13 @@ ProtocolCore::noteBlocked(Proc &p)
     if (p.mailbox.hasMail() && !p.draining) {
         // The processor polls while it waits; mail that arrived
         // before it blocked must still be serviced.  Handle it in a
-        // fresh event so the coroutine suspension completes first.
-        events.schedule(std::max(p.now, events.now()),
-                        [this, id = p.id] {
-                            Proc &pp =
-                                procs[static_cast<std::size_t>(id)];
-                            if (pp.status != ProcStatus::Running)
-                                drainMailbox(pp);
-                        });
+        // fresh deferred callback so the coroutine suspension
+        // completes first.
+        tx.deferAt(p.now, [this, id = p.id] {
+            Proc &pp = procs[static_cast<std::size_t>(id)];
+            if (pp.status != ProcStatus::Running)
+                drainMailbox(pp);
+        });
     }
 }
 
@@ -427,24 +427,24 @@ ProtocolCore::drainQueuedRemote(Proc &p, LineIdx first)
 }
 
 void
-ProtocolCore::maybeErase(LineIdx first)
+ProtocolCore::maybeErase(NodeId node, LineIdx first)
 {
-    // The entry lives on any node; scan is avoided because callers
-    // always operate on the node owning the entry.  Find it on every
-    // node that could hold it: entries are per-node, so search the
-    // node whose table points at a transient; cheaper: try all nodes.
-    for (auto &mt : missTables) {
-        MissEntry *e = mt->find(first);
-        if (!e)
-            continue;
-        const NodeId n = static_cast<NodeId>(&mt - &missTables[0]);
-        const LState s =
-            tables[static_cast<std::size_t>(n)]->shared(first);
-        if (isStable(s) && !e->wantWrite && !e->readIssued &&
-            !e->downgradeActive() && e->loadWaiters.empty() &&
-            e->retryWaiters.empty() && e->queuedRemote.empty()) {
-            mt->erase(first);
-        }
+    // Entries are per-node and callers always operate on the node
+    // owning the entry, so only that node's table is consulted (an
+    // idle entry on another node was already erased by that node's
+    // own last operation on it — and the thread backend requires the
+    // restriction: another node's miss table belongs to another
+    // worker thread).
+    MissTable &mt = *missTables[static_cast<std::size_t>(node)];
+    MissEntry *e = mt.find(first);
+    if (!e)
+        return;
+    const LState s =
+        tables[static_cast<std::size_t>(node)]->shared(first);
+    if (isStable(s) && !e->wantWrite && !e->readIssued &&
+        !e->downgradeActive() && e->loadWaiters.empty() &&
+        e->retryWaiters.empty() && e->queuedRemote.empty()) {
+        mt.erase(first);
     }
 }
 

@@ -30,7 +30,7 @@
 #include "dsm/proc.hh"
 #include "mem/node_memory.hh"
 #include "mem/shared_heap.hh"
-#include "net/network.hh"
+#include "net/transport.hh"
 #include "proto/directory.hh"
 #include "proto/epoch.hh"
 #include "proto/line_lock.hh"
@@ -47,14 +47,16 @@ class DowngradeEngine;
 
 struct ProtocolCore
 {
-    ProtocolCore(const DsmConfig &cfg, EventQueue &events,
-                 Network &net, SharedHeap &heap,
-                 std::vector<Proc> &procs);
+    ProtocolCore(const DsmConfig &cfg, Transport &tx,
+                 SharedHeap &heap, std::vector<Proc> &procs);
 
     /** @{ Shared infrastructure. */
     const DsmConfig &cfg;
-    EventQueue &events;
-    Network &net;
+    /** The execution backend's transport (the simulated Network or
+     *  the thread backend).  The protocol layer never touches the
+     *  EventQueue or OS threads directly — this seam is what lets
+     *  the same agents run on either substrate. */
+    Transport &tx;
     SharedHeap &heap;
     std::vector<Proc> &procs;
     Topology topo;
@@ -75,9 +77,21 @@ struct ProtocolCore
 
     using SyncHandler = std::function<void(Proc &, Message &&)>;
     SyncHandler syncHandler;
-    ProtoCounters counters;
+    /** Per-node protocol counter shards.  Handlers increment the
+     *  shard of the processor they run on, so with one thread per
+     *  node no counter is ever written from two threads.  All fields
+     *  are integer sums, so the aggregate (Protocol::counters()) is
+     *  exact and byte-identical to the former single instance. */
+    std::vector<ProtoCounters> ctrShards;
     bool measuring = true;
     /** @} */
+
+    /** The counter shard of node @p n. */
+    ProtoCounters &
+    ctr(NodeId n)
+    {
+        return ctrShards[static_cast<std::size_t>(n)];
+    }
 
     /** @{ Agents, wired by the Protocol facade (non-owning). */
     HomeAgent *home = nullptr;
@@ -148,8 +162,10 @@ struct ProtocolCore
     /** Replay requests that arrived before the data reply. */
     void drainQueuedRemote(Proc &p, LineIdx first);
 
-    /** Erase the entry if nothing references it anymore. */
-    void maybeErase(LineIdx first);
+    /** Erase node @p node's entry for @p first if nothing references
+     *  it anymore.  Restricted to one node (the caller's) so the
+     *  thread backend never touches another worker's miss table. */
+    void maybeErase(NodeId node, LineIdx first);
     /** @} */
 
     /** @{ Diagnostics. */
@@ -161,15 +177,24 @@ struct ProtocolCore
     DirCounters dirCounters() const;
     /** @} */
 
-    /** Latency histograms (miss classes, downgrade service,
-     *  lock/barrier wait).  Heap-indirect and declared last: the
-     *  histograms are several KB of cold bucket storage, and keeping
-     *  them out of ProtoCounters keeps the hot counters small and
-     *  cheap to snapshot and reset by value.  Allocated once in the
-     *  constructor (from dedicated pages -- see
+    /** Per-node latency histogram shards (miss classes, downgrade
+     *  service, lock/barrier wait).  Heap-indirect and declared
+     *  last: the histograms are several KB of cold bucket storage,
+     *  and keeping them out of ProtoCounters keeps the hot counters
+     *  small and cheap to snapshot and reset by value.  Allocated
+     *  once in the constructor (from dedicated pages -- see
      *  LatencyStats::operator new), so the steady-state hot path
-     *  stays allocation-free. */
-    std::unique_ptr<LatencyStats> lat;
+     *  stays allocation-free.  Sharded per node for the same reason
+     *  as ctrShards; histogram buckets are counts, so the merged
+     *  view is exact. */
+    std::vector<std::unique_ptr<LatencyStats>> latShards;
+
+    /** The latency shard of node @p n. */
+    LatencyStats &
+    latOf(NodeId n)
+    {
+        return *latShards[static_cast<std::size_t>(n)];
+    }
 };
 
 } // namespace shasta

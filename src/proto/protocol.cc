@@ -3,10 +3,9 @@
 namespace shasta
 {
 
-Protocol::Protocol(const DsmConfig &cfg, EventQueue &events,
-                   Network &net, SharedHeap &heap,
-                   std::vector<Proc> &procs)
-    : core_(cfg, events, net, heap, procs),
+Protocol::Protocol(const DsmConfig &cfg, Transport &tx,
+                   SharedHeap &heap, std::vector<Proc> &procs)
+    : core_(cfg, tx, heap, procs),
       home_(core_),
       requester_(core_),
       downgrade_(core_)

@@ -64,8 +64,8 @@ namespace shasta
 class Protocol
 {
   public:
-    Protocol(const DsmConfig &cfg, EventQueue &events, Network &net,
-             SharedHeap &heap, std::vector<Proc> &procs);
+    Protocol(const DsmConfig &cfg, Transport &tx, SharedHeap &heap,
+             std::vector<Proc> &procs);
 
     /** @{ Infrastructure accessors. */
     NodeMemory &memory(NodeId n) { return *core_.memories[n]; }
@@ -81,10 +81,47 @@ class Protocol
     {
         return *core_.epochs[n];
     }
-    ProtoCounters &counters() { return core_.counters; }
-    const ProtoCounters &counters() const { return core_.counters; }
-    LatencyStats &latency() { return *core_.lat; }
-    const LatencyStats &latency() const { return *core_.lat; }
+    /** Aggregate protocol counters across the per-node shards.  All
+     *  fields are integer sums, so the merged view is exact (and
+     *  byte-identical to the pre-shard single instance). */
+    const ProtoCounters &
+    counters() const
+    {
+        aggCounters_ = ProtoCounters{};
+        for (const ProtoCounters &s : core_.ctrShards)
+            aggCounters_ += s;
+        return aggCounters_;
+    }
+
+    /** Node @p n's counter shard (slow paths increment the shard of
+     *  the processor they run on, keeping the thread backend free of
+     *  cross-thread counter writes). */
+    ProtoCounters &
+    countersFor(NodeId n)
+    {
+        return core_.ctr(n);
+    }
+
+    /** Aggregate latency histograms across the per-node shards. */
+    const LatencyStats &
+    latency() const
+    {
+        *aggLat_ = LatencyStats{};
+        for (const auto &s : core_.latShards)
+            *aggLat_ += *s;
+        return *aggLat_;
+    }
+
+    /** Node @p n's latency shard. */
+    LatencyStats &latencyFor(NodeId n) { return core_.latOf(n); }
+
+    /** Record one latency sample on node @p n's shard. */
+    void
+    recordLatency(NodeId n, LatencyClass c, Tick v)
+    {
+        core_.latOf(n).record(c, v);
+    }
+
     const Topology &topology() const { return core_.topo; }
     const SharedHeap &heap() const { return core_.heap; }
     /** @} */
@@ -295,8 +332,10 @@ class Protocol
     void
     resetCounters()
     {
-        core_.counters = ProtoCounters{};
-        *core_.lat = LatencyStats{};
+        for (ProtoCounters &s : core_.ctrShards)
+            s = ProtoCounters{};
+        for (auto &s : core_.latShards)
+            *s = LatencyStats{};
     }
 
     /** Pending transactions across all nodes (for drain checks). */
@@ -318,6 +357,11 @@ class Protocol
     HomeAgent home_;
     RequesterAgent requester_;
     DowngradeEngine downgrade_;
+    /** Merge caches for the aggregate counters()/latency() views
+     *  (mutable: aggregation happens on const reads). */
+    mutable ProtoCounters aggCounters_;
+    mutable std::unique_ptr<LatencyStats> aggLat_ =
+        std::make_unique<LatencyStats>();
 };
 
 } // namespace shasta

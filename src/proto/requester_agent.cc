@@ -27,14 +27,14 @@ RequesterAgent::loadMiss(Proc &p, LineIdx line)
         tab.setPriv(first, b.numLines, p.local, PState::Shared);
         p.now += c_.cfg.costs.privUpgrade;
         if (c_.measuring) {
-            ++c_.counters.privateUpgrades;
+            ++c_.ctr(p.node).privateUpgrades;
             p.bd.other += c_.cfg.costs.privUpgrade;
         }
         return MissOutcome::Resolved;
 
       case LState::PendRead:
         if (c_.measuring)
-            ++c_.counters.mergedMisses;
+            ++c_.ctr(p.node).mergedMisses;
         p.now += c_.cfg.costs.missMerge;
         return MissOutcome::WaitData;
 
@@ -43,7 +43,7 @@ RequesterAgent::loadMiss(Proc &p, LineIdx line)
         assert(e && "PendEx without a miss entry");
         p.now += c_.cfg.costs.missMerge;
         if (c_.measuring)
-            ++c_.counters.mergedMisses;
+            ++c_.ctr(p.node).mergedMisses;
         if (e->prior == LState::Shared) {
             // The pre-miss Shared copy (plus any local pending
             // stores) is still valid for reading.
@@ -57,7 +57,7 @@ RequesterAgent::loadMiss(Proc &p, LineIdx line)
         // pre-downgrade state under the line lock (Section 3.4.3).
         p.now += c_.cfg.costs.missMerge;
         if (c_.measuring) {
-            ++c_.counters.pendDownServices;
+            ++c_.ctr(p.node).pendDownServices;
             p.bd.other += c_.cfg.costs.missMerge;
         }
         return MissOutcome::Resolved;
@@ -68,7 +68,7 @@ RequesterAgent::loadMiss(Proc &p, LineIdx line)
         p.now += c_.cfg.costs.missMerge;
         if (readableState(e->prior)) {
             if (c_.measuring) {
-                ++c_.counters.pendDownServices;
+                ++c_.ctr(p.node).pendDownServices;
                 p.bd.other += c_.cfg.costs.missMerge;
             }
             return MissOutcome::Resolved;
@@ -99,7 +99,7 @@ RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
         tab.setPriv(first, b.numLines, p.local, PState::Exclusive);
         p.now += c_.cfg.costs.privUpgrade;
         if (c_.measuring) {
-            ++c_.counters.privateUpgrades;
+            ++c_.ctr(p.node).privateUpgrades;
             p.bd.other += c_.cfg.costs.privUpgrade;
         }
         return MissOutcome::Resolved;
@@ -108,7 +108,7 @@ RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
       case LState::Invalid: {
         if (p.outstandingWrites >= c_.cfg.maxOutstandingWrites) {
             if (c_.measuring)
-                ++c_.counters.writeThrottles;
+                ++c_.ctr(p.node).writeThrottles;
             return MissOutcome::WaitThrottle;
         }
         startWrite(p, first, s == LState::Shared, addr, len);
@@ -120,7 +120,7 @@ RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
         assert(e && e->wantWrite);
         p.now += c_.cfg.costs.missMerge;
         if (c_.measuring)
-            ++c_.counters.mergedMisses;
+            ++c_.ctr(p.node).mergedMisses;
         e->markDirty(addr - c_.blockAddr(b),
                      static_cast<std::size_t>(len));
         return MissOutcome::ResolvedPending;
@@ -132,7 +132,7 @@ RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
         if (!e->wantWrite) {
             if (p.outstandingWrites >= c_.cfg.maxOutstandingWrites) {
                 if (c_.measuring)
-                    ++c_.counters.writeThrottles;
+                    ++c_.ctr(p.node).writeThrottles;
                 return MissOutcome::WaitThrottle;
             }
             // Record the write; the upgrade is issued once the
@@ -144,7 +144,7 @@ RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
         }
         p.now += c_.cfg.costs.missMerge;
         if (c_.measuring)
-            ++c_.counters.mergedMisses;
+            ++c_.ctr(p.node).mergedMisses;
         e->markDirty(addr - c_.blockAddr(b),
                      static_cast<std::size_t>(len));
         return MissOutcome::ResolvedPending;
@@ -156,7 +156,7 @@ RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
         // completion snapshot will include it.
         p.now += c_.cfg.costs.missMerge;
         if (c_.measuring) {
-            ++c_.counters.pendDownServices;
+            ++c_.ctr(p.node).pendDownServices;
             p.bd.other += c_.cfg.costs.missMerge;
         }
         return MissOutcome::Resolved;
@@ -167,7 +167,7 @@ RequesterAgent::storeMiss(Proc &p, LineIdx line, Addr addr, int len)
         p.now += c_.cfg.costs.missMerge;
         if (e->prior == LState::Exclusive) {
             if (c_.measuring) {
-                ++c_.counters.pendDownServices;
+                ++c_.ctr(p.node).pendDownServices;
                 p.bd.other += c_.cfg.costs.missMerge;
             }
             return MissOutcome::Resolved;
@@ -345,7 +345,7 @@ RequesterAgent::checkWriteComplete(Proc &p, LineIdx first)
         ini.status = ProcStatus::Running;
         h.resume();
     }
-    c_.maybeErase(first);
+    c_.maybeErase(p.node, first);
 }
 
 void
@@ -384,8 +384,8 @@ RequesterAgent::countMissReply(Proc &p, const Message &m,
     } else {
         cl = three_hop ? MissClass::Write3Hop : MissClass::Write2Hop;
     }
-    c_.counters.countMiss(cl);
-    c_.lat->record(ProtoCounters::latencyClassFor(cl), latency);
+    c_.ctr(p.node).countMiss(cl);
+    c_.latOf(p.node).record(ProtoCounters::latencyClassFor(cl), latency);
     (void)p;
 }
 
@@ -417,8 +417,8 @@ RequesterAgent::onReadReply(Proc &p, Message &&m)
                                PState::Shared);
     countMissReply(p, m, true, false, m.arriveTime - e->issueTime);
     if (c_.measuring) {
-        ++c_.counters.readMissSamples;
-        c_.counters.readMissLatency += m.arriveTime - e->issueTime;
+        ++c_.ctr(p.node).readMissSamples;
+        c_.ctr(p.node).readMissLatency += m.arriveTime - e->issueTime;
     }
     if (obs::traceJsonEnabled()) {
         obs::emitAsyncEnd(
@@ -439,7 +439,7 @@ RequesterAgent::onReadReply(Proc &p, Message &&m)
     }
     c_.resumeWaiters(*e, true, true, p.now);
     c_.drainQueuedRemote(p, first);
-    c_.maybeErase(first);
+    c_.maybeErase(p.node, first);
 }
 
 void

@@ -114,6 +114,27 @@ struct ProtoCounters
         return ticksToUs(readMissLatency) /
                static_cast<double>(readMissSamples);
     }
+
+    /** Merge another instance in (used to aggregate the per-node
+     *  shards; every field is a sum, so merging is exact). */
+    ProtoCounters &
+    operator+=(const ProtoCounters &o)
+    {
+        for (std::size_t i = 0; i < misses.size(); ++i)
+            misses[i] += o.misses[i];
+        for (std::size_t i = 0; i < downgradeOps.size(); ++i)
+            downgradeOps[i] += o.downgradeOps[i];
+        privateUpgrades += o.privateUpgrades;
+        mergedMisses += o.mergedMisses;
+        falseMisses += o.falseMisses;
+        batchMisses += o.batchMisses;
+        writeThrottles += o.writeThrottles;
+        pendDownServices += o.pendDownServices;
+        queuedDuringDowngrade += o.queuedDuringDowngrade;
+        readMissSamples += o.readMissSamples;
+        readMissLatency += o.readMissLatency;
+        return *this;
+    }
 };
 
 /** Counters from the runtime audit subsystem (src/audit/). */

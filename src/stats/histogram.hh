@@ -144,6 +144,16 @@ struct LatencyStats
     {
         return hist[static_cast<std::size_t>(c)];
     }
+
+    /** Merge another instance in (used to aggregate the per-node
+     *  shards; buckets are counts, so merging is exact). */
+    LatencyStats &
+    operator+=(const LatencyStats &o)
+    {
+        for (std::size_t i = 0; i < hist.size(); ++i)
+            hist[i] += o.hist[i];
+        return *this;
+    }
 };
 
 } // namespace shasta

@@ -89,8 +89,8 @@ BarrierManager::resumeParked(ProcId who, Tick when)
                          wp.now = std::max(wp.now, when);
                          if (proto_.measuring()) {
                              wp.bd.sync += wp.now - pk.stallStart;
-                             proto_.latency().record(
-                                 LatencyClass::BarrierWait,
+                             proto_.recordLatency(
+                                 wp.node, LatencyClass::BarrierWait,
                                  wp.now - pk.stallStart);
                          }
                          if (obs::traceJsonEnabled()) {
@@ -141,8 +141,8 @@ BarrierManager::handle(Proc &p, Message &&m)
         if (pk.handle) {
             if (proto_.measuring()) {
                 p.bd.sync += p.now - pk.stallStart;
-                proto_.latency().record(LatencyClass::BarrierWait,
-                                        p.now - pk.stallStart);
+                proto_.recordLatency(p.node, LatencyClass::BarrierWait,
+                                     p.now - pk.stallStart);
             }
             if (obs::traceJsonEnabled()) {
                 obs::emitAsyncEnd(

@@ -21,6 +21,7 @@
 #include "dsm/proc.hh"
 #include "net/message.hh"
 #include "sim/event_queue.hh"
+#include "sync/sync_api.hh"
 
 namespace shasta
 {
@@ -28,9 +29,10 @@ namespace shasta
 class Protocol;
 
 /**
- * Central manager for the global barrier.
+ * Central manager for the global barrier (the simulator's
+ * BarrierApi).
  */
-class BarrierManager
+class BarrierManager : public BarrierApi
 {
   public:
     BarrierManager(const DsmConfig &cfg, EventQueue &events,
@@ -40,10 +42,10 @@ class BarrierManager
      * Arrive at the barrier.
      * @return true if the processor may continue without parking.
      */
-    bool arrive(Proc &p);
+    bool arrive(Proc &p) override;
 
     /** Park until released. */
-    void park(Proc &p, std::coroutine_handle<> h);
+    void park(Proc &p, std::coroutine_handle<> h) override;
 
     /** Handle a barrier protocol message (wired via Protocol). */
     void handle(Proc &p, Message &&m);

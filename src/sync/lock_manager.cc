@@ -136,8 +136,8 @@ LockManager::resumeGranted(ProcId to, Tick when)
         wp.now = std::max(wp.now, when);
         if (proto_.measuring()) {
             wp.bd.sync += wp.now - pk.stallStart;
-            proto_.latency().record(LatencyClass::LockWait,
-                                    wp.now - pk.stallStart);
+            proto_.recordLatency(wp.node, LatencyClass::LockWait,
+                                 wp.now - pk.stallStart);
         }
         if (obs::traceJsonEnabled()) {
             obs::emitAsyncEnd(
@@ -187,8 +187,8 @@ LockManager::handle(Proc &p, Message &&m)
         if (pk.handle) {
             if (proto_.measuring()) {
                 p.bd.sync += p.now - pk.stallStart;
-                proto_.latency().record(LatencyClass::LockWait,
-                                        p.now - pk.stallStart);
+                proto_.recordLatency(p.node, LatencyClass::LockWait,
+                                     p.now - pk.stallStart);
             }
             if (obs::traceJsonEnabled()) {
                 obs::emitAsyncEnd(

@@ -22,6 +22,7 @@
 #include "dsm/proc.hh"
 #include "net/message.hh"
 #include "sim/event_queue.hh"
+#include "sync/sync_api.hh"
 
 namespace shasta
 {
@@ -29,16 +30,17 @@ namespace shasta
 class Protocol;
 
 /**
- * Central manager for all application locks in a run.
+ * Central manager for all application locks in a run (the
+ * simulator's LockApi).
  */
-class LockManager
+class LockManager : public LockApi
 {
   public:
     LockManager(const DsmConfig &cfg, EventQueue &events,
                 Protocol &proto, std::vector<Proc> &procs);
 
     /** Create a new lock; returns its id. */
-    int allocLock();
+    int allocLock() override;
 
     /** Number of locks allocated. */
     int numLocks() const { return static_cast<int>(locks_.size()); }
@@ -48,13 +50,13 @@ class LockManager
      * @return true if acquired synchronously; false if the caller
      *   must park via park().
      */
-    bool tryAcquire(Proc &p, int id);
+    bool tryAcquire(Proc &p, int id) override;
 
     /** Park @p h until the lock is granted. */
-    void park(Proc &p, int id, std::coroutine_handle<> h);
+    void park(Proc &p, int id, std::coroutine_handle<> h) override;
 
     /** Release @p id (release-consistency fence already done). */
-    void release(Proc &p, int id);
+    void release(Proc &p, int id) override;
 
     /** Handle a lock protocol message (wired via Protocol). */
     void handle(Proc &p, Message &&m);

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Backend-neutral synchronization interfaces.
+ *
+ * The blocking awaitables in dsm/context call locks and barriers
+ * through these two interfaces only, so the execution backend picks
+ * the implementation: the simulator uses the message-based
+ * LockManager/BarrierManager (sync/), the thread backend uses the
+ * std::atomic/mutex-based ThreadLockManager/ThreadBarrierManager
+ * (exec/thread_sync.hh).  The contract mirrors the coroutine shape
+ * of the call sites:
+ *
+ *  - tryAcquire()/arrive() return true when the caller may continue
+ *    synchronously; false means the caller suspends and then calls
+ *    park() with its continuation handle;
+ *  - park() stores the handle; the implementation resumes it on the
+ *    thread owning the parked processor, with the processor's clock
+ *    and stall accounting already settled.
+ */
+
+#ifndef SHASTA_SYNC_SYNC_API_HH
+#define SHASTA_SYNC_SYNC_API_HH
+
+#include <coroutine>
+
+#include "dsm/proc.hh"
+
+namespace shasta
+{
+
+class LockApi
+{
+  public:
+    virtual ~LockApi() = default;
+
+    /** Create a new lock; returns its id. */
+    virtual int allocLock() = 0;
+
+    /** Try to acquire @p id for @p p; false means park(). */
+    virtual bool tryAcquire(Proc &p, int id) = 0;
+
+    /** Park @p h until the lock is granted to @p p. */
+    virtual void park(Proc &p, int id, std::coroutine_handle<> h) = 0;
+
+    /** Release @p id (release-consistency fence already done). */
+    virtual void release(Proc &p, int id) = 0;
+};
+
+class BarrierApi
+{
+  public:
+    virtual ~BarrierApi() = default;
+
+    /** Arrive at the barrier; false means park(). */
+    virtual bool arrive(Proc &p) = 0;
+
+    /** Park @p h until the episode releases. */
+    virtual void park(Proc &p, std::coroutine_handle<> h) = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SYNC_SYNC_API_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Cross-validation of the two execution backends.
+ *
+ * The simulator (deterministic discrete-event, golden statistics) and
+ * the thread backend (one OS thread per node, SPSC rings, wall-clock
+ * time) implement the same Transport contract underneath the same
+ * protocol engines.  The simulator therefore acts as an oracle for
+ * the threaded runs: for every registered application, both backends
+ * must drive the shared heap to the same final contents.
+ *
+ * Statistics are NOT expected to match across backends (real-time
+ * scheduling changes batching and message counts); only the memory
+ * images are.  Within one backend, the simulator stays bit-exact run
+ * to run, and the thread backend must stay checksum-stable across
+ * schedule-fuzzed reruns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "apps/app.hh"
+#include "dsm/runtime.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/** Small problem sizes so the full apps x seeds x backends matrix
+ *  stays fast (mirrors fault_test.cc / apps_test.cc). */
+AppParams
+tinyParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (app.name() == "lu" || app.name() == "lu-contig")
+        p.n = 64;
+    else if (app.name() == "ocean")
+        p.n = 34;
+    else if (app.name() == "barnes" || app.name() == "fmm")
+        p.n = 128;
+    else if (app.name() == "raytrace")
+        p.n = 32;
+    else if (app.name() == "volrend")
+        p.n = 16;
+    else if (app.name() == "water-nsq" || app.name() == "water-sp")
+        p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+double
+runChecksum(const std::string &name, DsmConfig cfg)
+{
+    auto app = createApp(name);
+    const AppParams p = tinyParams(*app);
+    const AppResult r = runApp(*app, cfg, p);
+    return r.checksum;
+}
+
+class BackendEquiv : public ::testing::TestWithParam<std::string>
+{
+};
+
+/** The tentpole guarantee: same app, same inputs, same final memory
+ *  checksum on both backends, across several configurations. */
+TEST_P(BackendEquiv, ChecksumMatchesSimOracle)
+{
+    const std::string name = GetParam();
+    auto app = createApp(name);
+    const double tol = app->tolerance();
+
+    // Three "seeds": distinct topology/protocol configurations.  App
+    // kernels are deterministic given the config, so varying the
+    // machine shape is what actually varies arrival orders and the
+    // protocol decision points between the two backends.
+    const DsmConfig configs[] = {
+        DsmConfig::smp(8, 4),
+        DsmConfig::smp(8, 2),
+        DsmConfig::base(4),
+    };
+    for (const DsmConfig &base : configs) {
+        DsmConfig sim = base;
+        sim.backend = BackendKind::Sim;
+        const double oracle = runChecksum(name, sim);
+        const double ref = app->reference(tinyParams(*app));
+        ASSERT_NEAR(oracle, ref,
+                    tol * std::max(1.0, std::abs(ref)))
+            << name << ": simulator diverged from host reference";
+
+        DsmConfig thr = base;
+        thr.backend = BackendKind::Thread;
+        const double threaded = runChecksum(name, thr);
+        EXPECT_NEAR(threaded, oracle,
+                    tol * std::max(1.0, std::abs(oracle)))
+            << name << " (" << base.numProcs << " procs, "
+            << "clustering " << base.effectiveClustering()
+            << "): thread backend diverged from simulator oracle";
+    }
+}
+
+/** Schedule perturbation: the fuzzer staggers thread starts and
+ *  injects random pauses, so three fuzz seeds explore three genuinely
+ *  different interleavings.  The answer must not move. */
+TEST_P(BackendEquiv, ChecksumStableUnderScheduleFuzz)
+{
+    const std::string name = GetParam();
+    auto app = createApp(name);
+    const double tol = app->tolerance();
+
+    DsmConfig sim = DsmConfig::smp(8, 4);
+    const double oracle = runChecksum(name, sim);
+
+    for (const std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        DsmConfig cfg = DsmConfig::smp(8, 4);
+        cfg.backend = BackendKind::Thread;
+        cfg.threadFuzzSeed = seed;
+        const double fuzzed = runChecksum(name, cfg);
+        EXPECT_NEAR(fuzzed, oracle,
+                    tol * std::max(1.0, std::abs(oracle)))
+            << name << " diverged under fuzz seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, BackendEquiv, ::testing::ValuesIn(appNames()),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/** PR 5's fault battery, re-proven on real threads: drops, dups and
+ *  delay jitter on the inter-machine links, recovered by the
+ *  wall-clock retransmit wheel, under a fuzzed schedule. */
+class ThreadFaults : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ThreadFaults, ChecksumSurvivesFaultsOnRealThreads)
+{
+    const std::string name = GetParam();
+    auto app = createApp(name);
+    const double tol = app->tolerance();
+
+    DsmConfig sim = DsmConfig::smp(8, 4);
+    const double oracle = runChecksum(name, sim);
+
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.backend = BackendKind::Thread;
+    cfg.threadFuzzSeed = 99;
+    cfg.fault.dropPct = 2.0;
+    cfg.fault.dupPct = 1.0;
+    cfg.fault.jitterUs = 50.0;
+    cfg.fault.seed = 7;
+    const double faulty = runChecksum(name, cfg);
+    EXPECT_NEAR(faulty, oracle,
+                tol * std::max(1.0, std::abs(oracle)))
+        << name
+        << " diverged under faults on the thread backend";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, ThreadFaults, ::testing::ValuesIn(appNames()),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/** The retransmit machinery must be load-bearing: with retries capped
+ *  at one attempt, a lossy run has to fail instead of silently
+ *  wedging or corrupting memory. */
+TEST(ThreadFaultMechanism, RetransmitGiveUpThrows)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.backend = BackendKind::Thread;
+    cfg.fault.dropPct = 45.0;
+    cfg.fault.seed = 3;
+    cfg.retx.maxAttempts = 1;
+    auto app = createApp("lu");
+    const AppParams p = tinyParams(*app);
+    EXPECT_THROW(runApp(*app, cfg, p), std::runtime_error);
+}
+
+/** Sanity on the env-driven selection path: SHASTA_BACKEND=thread
+ *  falls back to the simulator when the protocol layer is off
+ *  (hardware-coherence baseline), rather than rejecting the run. */
+TEST(BackendSelection, ThreadFallsBackToSimWithoutProtocol)
+{
+    DsmConfig cfg = DsmConfig::hardware(4);
+    cfg.backend = BackendKind::Thread;
+    cfg.applyBackendEnv();
+    EXPECT_EQ(cfg.backend, BackendKind::Sim);
+}
+
+} // namespace
+} // namespace shasta

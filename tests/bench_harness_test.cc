@@ -45,14 +45,14 @@ TEST(BenchHarness, ExitTimeStatsFlushSeesRecordedRuns)
     const pid_t pid = fork();
     ASSERT_GE(pid, 0);
     if (pid == 0) {
-        // Child: the life of a bench main.  parseArgs registers the
+        // Child: the life of a bench main.  parseCommonArgs registers the
         // atexit flush; summaries are recorded afterwards, exactly as
         // run() does; exit(0) must write them all out intact.  Names
         // are longer than the small-string buffer so corruption of
         // freed heap chunks cannot go unnoticed.
         const std::string arg = "--stats-json=" + path;
         const char *argv[] = {"bench_harness_test", arg.c_str()};
-        bench::parseArgs(2, const_cast<char **>(argv));
+        bench::parseCommonArgs(2, const_cast<char **>(argv));
         for (int i = 0; i < 6; ++i) {
             obs::RunSummary s;
             s.app = "synthetic-application-number-" + std::to_string(i);
