@@ -25,6 +25,7 @@
 #include "apps/app.hh"
 #include "obs/stats_json.hh"
 #include "obs/trace_json.hh"
+#include "sim/env.hh"
 #include "sim/trace.hh"
 #include "stats/report.hh"
 
@@ -56,6 +57,11 @@ struct Options
     /** `--backend=sim|thread`: execution backend for every run.
      *  Empty = whatever SHASTA_BACKEND says (default sim). */
     std::string backend;
+    /** `--engine-threads=N`: worker threads for the intra-run
+     *  parallel simulation engine (sim backend; see
+     *  DsmConfig::engineThreads).  0 = whatever SHASTA_ENGINE_THREADS
+     *  says (default 1, the serial event loop). */
+    int engineThreads = 0;
 };
 
 inline Options &
@@ -106,8 +112,11 @@ flushStatsJson()
     std::fclose(f);
 }
 
-/** Parse the standard bench arguments; unknown arguments abort with
- *  a usage message.  Every bench main calls this first. */
+/** Parse the standard bench arguments.  Unknown arguments abort with
+ *  a usage message, and repeating a flag with a *different* value is
+ *  an error (silent last-one-wins hid typos in long sweep command
+ *  lines); repeating the same value is harmless.  Every bench main
+ *  calls this first. */
 inline void
 parseCommonArgs(int argc, char **argv)
 {
@@ -115,37 +124,65 @@ parseCommonArgs(int argc, char **argv)
     if (const char *env = std::getenv("SHASTA_STATS_JSON");
         env != nullptr && *env != '\0')
         o.statsJsonPath = env;
-    if (const char *env = std::getenv("SHASTA_JOBS");
-        env != nullptr && *env != '\0')
-        o.jobs = std::atoi(env);
+    o.jobs = static_cast<int>(
+        env::envInt("SHASTA_JOBS", 1, 4096, o.jobs));
+    // One slot per flag; a later occurrence must agree with the
+    // earlier one.  Command-line flags override the environment.
+    struct Seen
+    {
+        bool statsJson = false, app = false, jobs = false;
+        bool fault = false, backend = false, engineThreads = false;
+    } seen;
+    const auto setOnce = [argv](std::string &slot, bool &was_seen,
+                                const char *flag, const char *value) {
+        if (was_seen && slot != value) {
+            std::fprintf(stderr,
+                         "%s: conflicting %s values '%s' and '%s'\n",
+                         argv[0], flag, slot.c_str(), value);
+            std::exit(2);
+        }
+        was_seen = true;
+        slot = value;
+    };
+    std::string jobsStr, engineStr;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--stats-json=", 13) == 0) {
-            o.statsJsonPath = a + 13;
+            setOnce(o.statsJsonPath, seen.statsJson, "--stats-json",
+                    a + 13);
         } else if (std::strcmp(a, "--stats-json") == 0 &&
                    i + 1 < argc) {
-            o.statsJsonPath = argv[++i];
+            setOnce(o.statsJsonPath, seen.statsJson, "--stats-json",
+                    argv[++i]);
         } else if (std::strncmp(a, "--app=", 6) == 0) {
-            o.appFilter = a + 6;
+            setOnce(o.appFilter, seen.app, "--app", a + 6);
         } else if (std::strcmp(a, "--app") == 0 && i + 1 < argc) {
-            o.appFilter = argv[++i];
+            setOnce(o.appFilter, seen.app, "--app", argv[++i]);
         } else if (std::strncmp(a, "--jobs=", 7) == 0) {
-            o.jobs = std::atoi(a + 7);
+            setOnce(jobsStr, seen.jobs, "--jobs", a + 7);
         } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
-            o.jobs = std::atoi(argv[++i]);
+            setOnce(jobsStr, seen.jobs, "--jobs", argv[++i]);
         } else if (std::strncmp(a, "--fault=", 8) == 0) {
-            o.faultSpec = a + 8;
+            setOnce(o.faultSpec, seen.fault, "--fault", a + 8);
         } else if (std::strcmp(a, "--fault") == 0 && i + 1 < argc) {
-            o.faultSpec = argv[++i];
+            setOnce(o.faultSpec, seen.fault, "--fault", argv[++i]);
         } else if (std::strncmp(a, "--backend=", 10) == 0) {
-            o.backend = a + 10;
+            setOnce(o.backend, seen.backend, "--backend", a + 10);
         } else if (std::strcmp(a, "--backend") == 0 &&
                    i + 1 < argc) {
-            o.backend = argv[++i];
+            setOnce(o.backend, seen.backend, "--backend", argv[++i]);
+        } else if (std::strncmp(a, "--engine-threads=", 17) == 0) {
+            setOnce(engineStr, seen.engineThreads,
+                    "--engine-threads", a + 17);
+        } else if (std::strcmp(a, "--engine-threads") == 0 &&
+                   i + 1 < argc) {
+            setOnce(engineStr, seen.engineThreads,
+                    "--engine-threads", argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--stats-json=FILE] "
                          "[--app=NAME] [--jobs=N] "
+                         "[--engine-threads=N] "
                          "[--backend=sim|thread] "
                          "[--fault=drop:P,dup:P,reorder:P,"
                          "jitter:US,seed:S]\n",
@@ -153,6 +190,12 @@ parseCommonArgs(int argc, char **argv)
             std::exit(2);
         }
     }
+    if (seen.jobs)
+        o.jobs = static_cast<int>(
+            env::parseIntArg("--jobs", jobsStr.c_str(), 1, 4096));
+    if (seen.engineThreads)
+        o.engineThreads = static_cast<int>(env::parseIntArg(
+            "--engine-threads", engineStr.c_str(), 1, 4096));
     if (!o.backend.empty()) {
         if (o.backend != "sim" && o.backend != "thread") {
             std::fprintf(stderr,
@@ -168,6 +211,12 @@ parseCommonArgs(int argc, char **argv)
         // runs fall back to the simulator automatically.
         setenv("SHASTA_BACKEND", o.backend.c_str(), 1);
     }
+    if (o.engineThreads > 0) {
+        // Same routing as --backend: every Runtime construction
+        // consults SHASTA_ENGINE_THREADS via applyBackendEnv.
+        setenv("SHASTA_ENGINE_THREADS",
+               std::to_string(o.engineThreads).c_str(), 1);
+    }
     if (!o.faultSpec.empty()) {
         FaultConfig f;
         if (!FaultConfig::parse(o.faultSpec, f)) {
@@ -177,8 +226,6 @@ parseCommonArgs(int argc, char **argv)
         }
         f.validate();
     }
-    if (o.jobs < 1)
-        o.jobs = 1;
     if (!o.statsJsonPath.empty()) {
         // Construct the recording vector before registering the
         // flush handler: exit() unwinds local statics and atexit

@@ -27,14 +27,25 @@
  *
  * Knobs: SHASTA_QUICK=1 caps the sweep at P=256 and fault rates
  * {0, 2}%; SHASTA_BENCH_JSON=FILE writes the host-metrics JSON.
+ *
+ * A second section compares the serial event loop against the
+ * conservative-lookahead parallel engine (--engine-threads, PR 8) on
+ * a dense barrier-free kernel at P in {64, 256, 1024}: each pair of
+ * runs must produce byte-identical statistics JSON (the bench exits
+ * nonzero otherwise), and the host-side wall times land in the file
+ * named by SHASTA_PDES_JSON.  Speedup is host-dependent — a 1-core
+ * container shows none; CI's 4-core runners do — so like the sweep
+ * above, stdout carries only the deterministic simulated columns.
  */
 
 #include <chrono>
 #include <memory>
+#include <thread>
 
 #include <sys/resource.h>
 
 #include "bench_common.hh"
+#include "sim/pdes.hh"
 
 using namespace shasta;
 using namespace shasta::bench;
@@ -119,6 +130,82 @@ runConfig(const ScaleConfig &sc)
     r.items = static_cast<std::uint64_t>(sc.procs) * kIters;
     r.hostMillis =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return r;
+}
+
+// --------------------------------------------------------------------
+// Parallel-engine comparison (PR 8)
+// --------------------------------------------------------------------
+
+/** Dense kernel for the engine comparison: one barrier in, one out,
+ *  and in between every processor streams store-own / load-peer
+ *  misses against a partner one machine over — continuous
+ *  cross-machine protocol traffic with no global synchronization, the
+ *  shape where lookahead windows can actually run machines
+ *  concurrently.  beginMeasure flips the engine out of its serial
+ *  start-up phase. */
+Task
+pdesKernel(Context &c, Addr slots, int procs, int rounds)
+{
+    const ProcId me = c.id();
+    const Addr mine = slots + static_cast<Addr>(me) * 64;
+    const Addr peer =
+        slots + static_cast<Addr>((me + 4) % procs) * 64;
+    co_await c.barrier();
+    c.beginMeasure();
+    for (int r = 0; r < rounds; ++r) {
+        co_await c.storeFp(mine, static_cast<double>(me + r));
+        (void)co_await c.loadFp(peer);
+    }
+    co_await c.barrier();
+}
+
+struct PdesResult
+{
+    std::string json;
+    std::uint64_t simTicks = 0;
+    std::uint64_t remoteMsgs = 0;
+    std::uint64_t windows = 0;
+    /** Host-side, artifact-only. */
+    double hostMillis = 0.0;
+};
+
+constexpr int kPdesRounds = 12;
+
+PdesResult
+runPdesConfig(int procs, int threads)
+{
+    // Runtime re-reads SHASTA_ENGINE_THREADS in its constructor, so
+    // pin the env var for this run (a --engine-threads flag on the
+    // bench itself would otherwise override both sides of the
+    // comparison with the same value).
+    setenv("SHASTA_ENGINE_THREADS", std::to_string(threads).c_str(),
+           1);
+    DsmConfig cfg = DsmConfig::smp(procs, 4);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Runtime rt(cfg);
+    const Addr slots =
+        rt.alloc(static_cast<std::size_t>(procs) * 64, 64);
+    rt.run([&](Context &c) {
+        return pdesKernel(c, slots, procs, kPdesRounds);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    obs::RunSummary s = rt.runSummary();
+    s.app = "pdes-dense";
+    s.config = configLabel(cfg); // same label both runs: JSON must
+                                 // match byte for byte
+
+    PdesResult r;
+    r.json = obs::toJson(s);
+    r.simTicks = static_cast<std::uint64_t>(s.wallTime);
+    r.remoteMsgs = s.net.remoteMsgs;
+    if (rt.engine() != nullptr)
+        r.windows = rt.engine()->windows();
+    r.hostMillis =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    unsetenv("SHASTA_ENGINE_THREADS");
     return r;
 }
 
@@ -254,6 +341,85 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     r.summary.net.rel.retransmits),
                 i + 1 < done.size() ? "," : "");
+        }
+        std::fputs("]}\n", f);
+        std::fclose(f);
+    }
+
+    // ----------------------------------------------------------------
+    // Serial vs parallel engine on the dense kernel.  Runs
+    // sequentially (not through SweepRunner) so each wall-time
+    // reading owns the whole host.
+    // ----------------------------------------------------------------
+    banner("Parallel engine: serial vs --engine-threads=4",
+           "no single figure; byte-equal replay beyond Section 4");
+
+    std::vector<int> pdesProcs{64, 256, 1024};
+    if (quickMode())
+        pdesProcs = {64, 256};
+
+    report::Table pt({"procs", "simTicks", "remoteMsgs", "windows",
+                      "identical"});
+    struct PdesRow
+    {
+        int procs;
+        PdesResult serial;
+        PdesResult parallel;
+    };
+    std::vector<PdesRow> pdesRows;
+    for (const int procs : pdesProcs) {
+        const PdesResult serial = runPdesConfig(procs, 1);
+        const PdesResult par = runPdesConfig(procs, 4);
+        if (par.json != serial.json) {
+            std::fprintf(stderr,
+                         "figure_scaling: parallel engine diverged "
+                         "from serial at procs=%d\n",
+                         procs);
+            return 1;
+        }
+        pt.addRow({std::to_string(procs),
+                   std::to_string(serial.simTicks),
+                   std::to_string(serial.remoteMsgs),
+                   std::to_string(par.windows), "yes"});
+        pdesRows.push_back(PdesRow{procs, serial, par});
+    }
+    pt.print();
+
+    // Host-metrics artifact (SHASTA_PDES_JSON): wall times and the
+    // core count they were measured on.  Speedup below 1.0 on a
+    // single-core host is expected and honest.
+    if (const char *path = std::getenv("SHASTA_PDES_JSON");
+        path != nullptr && *path != '\0') {
+        std::FILE *f = std::fopen(path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "figure_scaling: cannot write %s\n",
+                         path);
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\"bench\": \"figure_scaling_pdes\", "
+                     "\"engineThreads\": 4, \"hostCores\": %u, "
+                     "\"rounds\": %d, \"runs\": [\n",
+                     std::thread::hardware_concurrency(),
+                     kPdesRounds);
+        for (std::size_t i = 0; i < pdesRows.size(); ++i) {
+            const PdesRow &row = pdesRows[i];
+            const double speedup =
+                row.parallel.hostMillis > 0.0
+                    ? row.serial.hostMillis / row.parallel.hostMillis
+                    : 0.0;
+            std::fprintf(
+                f,
+                "  {\"procs\": %d, \"simTicks\": %llu, "
+                "\"windows\": %llu, \"serialMillis\": %.2f, "
+                "\"parallelMillis\": %.2f, \"speedup\": %.3f, "
+                "\"identical\": true}%s\n",
+                row.procs,
+                static_cast<unsigned long long>(row.serial.simTicks),
+                static_cast<unsigned long long>(
+                    row.parallel.windows),
+                row.serial.hostMillis, row.parallel.hostMillis,
+                speedup, i + 1 < pdesRows.size() ? "," : "");
         }
         std::fputs("]}\n", f);
         std::fclose(f);

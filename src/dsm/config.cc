@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "sim/env.hh"
+
 namespace shasta
 {
 
@@ -85,6 +87,8 @@ DsmConfig::validate() const
         fail("ringCapacity must be a power of two >= 2");
     if (threadStallMs < 0)
         fail("threadStallMs must be >= 0");
+    if (engineThreads < 1)
+        fail("engineThreads must be >= 1");
     if (backend == BackendKind::Thread && !protocolActive())
         fail("the thread backend requires a protocol mode "
              "(Base or Smp)");
@@ -110,15 +114,16 @@ DsmConfig::applyBackendEnv()
             std::abort();
         }
     }
-    if (const char *e = std::getenv("SHASTA_RING_CAP");
-        e != nullptr && *e != '\0')
-        ringCapacity = std::atoi(e);
-    if (const char *e = std::getenv("SHASTA_THREAD_STALL_MS");
-        e != nullptr && *e != '\0')
-        threadStallMs = std::atoi(e);
-    if (const char *e = std::getenv("SHASTA_THREAD_FUZZ");
-        e != nullptr && *e != '\0')
-        threadFuzzSeed = std::strtoull(e, nullptr, 0);
+    // Strict parses (sim/env.hh): a set-but-garbage knob names the
+    // variable and value and exits instead of atoi-truncating.
+    ringCapacity = static_cast<int>(env::envInt(
+        "SHASTA_RING_CAP", 2, 1 << 30, ringCapacity));
+    threadStallMs = static_cast<int>(env::envInt(
+        "SHASTA_THREAD_STALL_MS", 0, 86400000, threadStallMs));
+    threadFuzzSeed =
+        env::envU64("SHASTA_THREAD_FUZZ", 0, threadFuzzSeed);
+    engineThreads = static_cast<int>(env::envInt(
+        "SHASTA_ENGINE_THREADS", 1, 4096, engineThreads));
     // Hardware/sequential runs are host-side cost models with no
     // protocol messages to carry: they stay on the simulator even
     // when the environment asks for the thread backend, so mixed

@@ -204,6 +204,13 @@ struct DsmConfig
      *  yield/sleep injection before message handling, for shaking
      *  out ordering assumptions (SHASTA_THREAD_FUZZ). */
     std::uint64_t threadFuzzSeed = 0;
+    /** Parallel simulation (sim backend only): worker threads for
+     *  the conservative-lookahead engine (sim/pdes.hh).  1 runs the
+     *  serial event loop unchanged; N > 1 partitions the timing
+     *  wheel per machine and executes lookahead windows on N
+     *  workers, with output byte-identical to the serial engine
+     *  (SHASTA_ENGINE_THREADS / --engine-threads). */
+    int engineThreads = 1;
     /** @} */
 
     /** Checking scheme implied by the mode. */
@@ -234,7 +241,8 @@ struct DsmConfig
     void validate() const;
 
     /** Apply SHASTA_BACKEND / SHASTA_RING_CAP /
-     *  SHASTA_THREAD_STALL_MS / SHASTA_THREAD_FUZZ, if set. */
+     *  SHASTA_THREAD_STALL_MS / SHASTA_THREAD_FUZZ /
+     *  SHASTA_ENGINE_THREADS, if set. */
     void applyBackendEnv();
 
     /** @{ Convenience factories for the paper's configurations. */

@@ -10,6 +10,8 @@
 #include "exec/thread_sync.hh"
 #include "obs/stats_json.hh"
 #include "obs/trace_json.hh"
+#include "sim/pdes.hh"
+#include "sim/trace.hh"
 #include "stats/report.hh"
 
 namespace shasta
@@ -115,6 +117,45 @@ Runtime::Runtime(const DsmConfig &cfg)
             }
         });
     }
+
+    // Parallel simulation engine (sim/pdes.hh), gated after every
+    // applyEnv above so SHASTA_ENGINE_THREADS, SHASTA_TRACE and
+    // SHASTA_AUDIT have all been seen.
+    const int workers = effectiveEngineThreads();
+    if (workers > 1) {
+        engine_ = std::make_unique<ParallelEngine>(
+            topo_.numMachines(), workers, net_.minRemoteLookahead());
+        net_.attachEngine(engine_.get());
+        // Per-machine RetryDelay sinks: a retransmit records into the
+        // shard of its source machine's first node.  Aggregated
+        // latency sums shards, so stats stay byte-identical to the
+        // serial single-sink arrangement.
+        std::vector<LatencyStats *> sinks(
+            static_cast<std::size_t>(topo_.numMachines()));
+        for (int m = 0; m < topo_.numMachines(); ++m) {
+            const ProcId first = m * topo_.procsPerMachine();
+            sinks[static_cast<std::size_t>(m)] =
+                &proto_->latencyFor(topo_.nodeOf(first));
+        }
+        net_.setLatencySinks(std::move(sinks));
+    }
+}
+
+int
+Runtime::effectiveEngineThreads() const
+{
+    if (cfg_.engineThreads <= 1 ||
+        cfg_.backend == BackendKind::Thread ||
+        !cfg_.protocolActive() || cfg_.audit.enabled() ||
+        obs::traceJsonEnabled() || topo_.numMachines() < 2)
+        return 1;
+    // Text tracing prints in execution order, which mid-window is
+    // per-machine, not global: keep such runs serial so trace output
+    // stays stable.
+    for (int f = 0; f < static_cast<int>(trace::Flag::NumFlags); ++f)
+        if (trace::enabled(static_cast<trace::Flag>(f)))
+            return 1;
+    return std::min(cfg_.engineThreads, topo_.numMachines());
 }
 
 Runtime::~Runtime() = default;
@@ -185,6 +226,33 @@ Runtime::run(const ProcBody &body)
         openRegion();
         threadBackend_->run(roots_, *proto_, doneCount_,
                             [this] { return dumpState(); });
+        for (auto &r : roots_)
+            r.rethrowIfFailed();
+        return;
+    }
+
+    if (engine_) {
+        // Root coroutines start outside any event; pin each start to
+        // its processor's machine so its schedule calls route to the
+        // right wheel.  Starts run in processor order on this thread,
+        // so gseq assignment matches the serial engine's.
+        for (std::size_t i = 0; i < roots_.size(); ++i) {
+            engine_->setActiveMachine(procs_[i].machine);
+            roots_[i].start();
+        }
+        engine_->clearActiveMachine();
+        // Serial-step the setup prologue (byte-identical by
+        // construction), switch to lookahead windows once the
+        // measured region opens, and serial-drain the tail.
+        while (doneCount_.load(std::memory_order_relaxed) <
+               cfg_.numProcs) {
+            const bool ok = regionOpen_ ? engine_->runWindow()
+                                        : engine_->stepSerial();
+            if (!ok)
+                throw std::runtime_error("simulation deadlock:\n" +
+                                         dumpState());
+        }
+        engine_->drain();
         for (auto &r : roots_)
             r.rethrowIfFailed();
         return;

@@ -39,6 +39,7 @@ namespace shasta
 
 class InvariantAuditor;
 class Watchdog;
+class ParallelEngine;
 class ThreadBackend;
 class ThreadLockManager;
 class ThreadBarrierManager;
@@ -124,6 +125,11 @@ class Runtime
     BarrierManager &barrierMgr() { return *barrier_; }
     Network &network() { return net_; }
     const Network &network() const { return net_; }
+    /** Parallel simulation engine, or null when the run executes on
+     *  the serial event loop (engineThreads == 1, or a feature that
+     *  forces serial execution is active — see
+     *  effectiveEngineThreads()). */
+    ParallelEngine *engine() { return engine_.get(); }
     Proc &proc(int i) { return procs_[static_cast<std::size_t>(i)]; }
     const std::vector<Proc> &procs() const { return procs_; }
     int numProcs() const { return cfg_.numProcs; }
@@ -152,6 +158,13 @@ class Runtime
   private:
     Task procMain(Context &ctx, const ProcBody &body);
 
+    /** Worker count for the parallel engine after feature gating: 1
+     *  (serial) unless the sim backend runs a multi-machine protocol
+     *  mode with tracing and auditing off — those features observe
+     *  mid-window execution order, which only the serial engine
+     *  defines. */
+    int effectiveEngineThreads() const;
+
     /** Run one invariant sweep; throws AuditError on violations.
      *  Only called from event-queue top level. */
     void runAuditSweep();
@@ -172,6 +185,10 @@ class Runtime
     std::unique_ptr<ThreadBarrierManager> threadBarrier_;
     std::unique_ptr<InvariantAuditor> auditor_;
     std::unique_ptr<Watchdog> watchdog_;
+    /** Present only when effectiveEngineThreads() > 1.  Declared
+     *  after net_ so it is destroyed first: the wheels may still hold
+     *  callbacks capturing the Network. */
+    std::unique_ptr<ParallelEngine> engine_;
     std::vector<std::unique_ptr<Context>> ctxs_;
     std::vector<Task> roots_;
     Transport *tx_ = nullptr;

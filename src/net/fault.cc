@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "sim/env.hh"
 #include "sim/rng.hh"
 
 namespace shasta
@@ -12,16 +13,6 @@ namespace shasta
 
 namespace
 {
-
-bool
-readDoubleEnv(const char *name, double &out)
-{
-    const char *env = std::getenv(name);
-    if (env == nullptr || *env == '\0')
-        return false;
-    out = std::atof(env);
-    return true;
-}
 
 /** Map a hash word to a uniform double in [0, 1). */
 double
@@ -42,13 +33,16 @@ FaultConfig::applyEnv()
         *this = FaultConfig{};
         return;
     }
-    readDoubleEnv("SHASTA_DROP_PCT", dropPct);
-    readDoubleEnv("SHASTA_DUP_PCT", dupPct);
-    readDoubleEnv("SHASTA_REORDER_PCT", reorderPct);
-    readDoubleEnv("SHASTA_JITTER_US", jitterUs);
-    if (const char *env = std::getenv("SHASTA_FAULT_SEED");
-        env != nullptr && *env != '\0')
-        seed = std::strtoull(env, nullptr, 10);
+    // Strict parses (sim/env.hh) with validate()'s ranges: garbage,
+    // trailing junk, negative, or overflowing values exit naming the
+    // variable instead of atof-ing to 0.
+    dropPct = env::envDouble("SHASTA_DROP_PCT", 0.0, 50.0, dropPct);
+    dupPct = env::envDouble("SHASTA_DUP_PCT", 0.0, 100.0, dupPct);
+    reorderPct =
+        env::envDouble("SHASTA_REORDER_PCT", 0.0, 100.0, reorderPct);
+    jitterUs =
+        env::envDouble("SHASTA_JITTER_US", 0.0, 1.0e6, jitterUs);
+    seed = env::envU64("SHASTA_FAULT_SEED", 10, seed);
 }
 
 void

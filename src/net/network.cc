@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/trace_json.hh"
+#include "sim/pdes.hh"
 
 namespace shasta
 {
@@ -33,31 +34,130 @@ Network::Network(EventQueue &events, const Topology &topo,
     // Pair channels are sparse (PairMap, free since tick 0 on first
     // touch); only the per-machine links are dense.
     linkFree_.assign(static_cast<std::size_t>(topo_.numMachines()), 0);
+    // Serial mode runs with single shards; attachEngine widens them
+    // to one per machine.
+    pairFreeShards_.resize(1);
+    slotPools_.push_back(std::make_unique<SlotPool>());
+    countShards_.resize(1);
+}
+
+void
+Network::attachEngine(ParallelEngine *engine)
+{
+    engine_ = engine;
+    const auto m = static_cast<std::size_t>(topo_.numMachines());
+    pairFreeShards_.resize(m);
+    while (slotPools_.size() < m)
+        slotPools_.push_back(std::make_unique<SlotPool>());
+    countShards_.resize(m);
+}
+
+Tick
+Network::now() const
+{
+    return engine_ != nullptr ? engine_->now() : events_.now();
+}
+
+void
+Network::deferAt(Tick t, Callback cb)
+{
+    scheduleAt(curMachine(), std::max(t, now()), std::move(cb));
+}
+
+int
+Network::curMachine() const
+{
+    return engine_ != nullptr ? engine_->activeMachine() : 0;
+}
+
+void
+Network::scheduleAt(int machine, Tick when, EventQueue::Callback cb)
+{
+    if (engine_ != nullptr) {
+        engine_->scheduleOn(machine, when, std::move(cb));
+        return;
+    }
+    events_.schedule(when, std::move(cb));
+}
+
+NetworkCounts &
+Network::shard()
+{
+    return countShards_[static_cast<std::size_t>(curMachine())];
+}
+
+LatencyStats *
+Network::latSinkShard()
+{
+    if (latSinks_.empty())
+        return nullptr;
+    const auto i = std::min(static_cast<std::size_t>(curMachine()),
+                            latSinks_.size() - 1);
+    return latSinks_[i];
+}
+
+const NetworkCounts &
+Network::counts() const
+{
+    agg_ = NetworkCounts{};
+    for (const NetworkCounts &s : countShards_)
+        agg_ += s;
+    return agg_;
+}
+
+void
+Network::resetCounts()
+{
+    for (NetworkCounts &s : countShards_)
+        s = NetworkCounts{};
+    agg_ = NetworkCounts{};
+}
+
+Tick
+Network::minRemoteLookahead() const
+{
+    return params_.remote.sendOverhead +
+           params_.remote.transferTicks(kMsgHeaderBytes) +
+           params_.remote.wireLatency;
 }
 
 std::uint32_t
-Network::parkMessage(Message &&msg)
+Network::parkMessage(int pool, Message &&msg)
 {
+    SlotPool &p = *slotPools_[static_cast<std::size_t>(pool)];
+    // Park runs on the sender's worker, delivery on the receiver's:
+    // the shard is cross-thread under the engine, single-threaded
+    // (and lock-free) otherwise.
+    std::unique_lock<std::mutex> lock(p.mu, std::defer_lock);
+    if (engine_ != nullptr)
+        lock.lock();
     std::uint32_t slot;
-    if (!freeSlots_.empty()) {
-        slot = freeSlots_.back();
-        freeSlots_.pop_back();
+    if (!p.freeSlots.empty()) {
+        slot = p.freeSlots.back();
+        p.freeSlots.pop_back();
     } else {
-        slot = static_cast<std::uint32_t>(pending_.size());
-        pending_.emplace_back();
+        slot = static_cast<std::uint32_t>(p.pending.size());
+        p.pending.emplace_back();
     }
-    pending_[slot] = std::move(msg);
+    p.pending[slot] = std::move(msg);
     return slot;
 }
 
 void
-Network::deliverSlot(std::uint32_t slot)
+Network::deliverSlot(int pool, std::uint32_t slot)
 {
     // Take the message and recycle the slot before invoking the
     // callback: delivery can reenter send() (a handler replying
     // inline), which may park new messages.
-    Message m = std::move(pending_[slot]);
-    freeSlots_.push_back(slot);
+    SlotPool &p = *slotPools_[static_cast<std::size_t>(pool)];
+    Message m;
+    {
+        std::unique_lock<std::mutex> lock(p.mu, std::defer_lock);
+        if (engine_ != nullptr)
+            lock.lock();
+        m = std::move(p.pending[slot]);
+        p.freeSlots.push_back(slot);
+    }
     assert(deliver_);
     // Sequenced messages (remote traffic under fault injection) pass
     // through the reliability receiver: dedup, resequencing, acks.
@@ -88,12 +188,16 @@ Network::reserveChannel(const Message &msg, Tick send_time)
 
     // Serialize on the per-pair channel and, for remote traffic, on
     // the machine's outbound Memory Channel link (processors on a
-    // machine share that link's bandwidth, Section 4.3).
-    Tick start = send_time + link.sendOverhead;
-    Tick &pair_free = pairFree_.get(msg.src, msg.dst);
-    start = std::max(start, pair_free);
+    // machine share that link's bandwidth, Section 4.3).  Channel
+    // state shards by source machine under the engine: every
+    // reservation for a pair (src, dst) runs on src's worker.
     const auto src_machine =
         static_cast<std::size_t>(topo_.machineOf(msg.src));
+    Tick start = send_time + link.sendOverhead;
+    Tick &pair_free =
+        pairFreeShards_[engine_ != nullptr ? src_machine : 0].get(
+            msg.src, msg.dst);
+    start = std::max(start, pair_free);
     if (remote)
         start = std::max(start, linkFree_[src_machine]);
 
@@ -115,10 +219,14 @@ Network::scheduleArrival(Message &&msg, Tick send_time, Tick arrival)
         obs::emitFlowStart(msg.flowId, msg.src, send_time,
                            msgTypeName(msg.type).data());
     }
-    // The closure is {this, slot}: small enough for std::function's
-    // inline buffer, so scheduling allocates nothing.
-    const std::uint32_t slot = parkMessage(std::move(msg));
-    events_.schedule(arrival, [this, slot] { deliverSlot(slot); });
+    // The closure is {this, pool, slot}: fits the inline callback
+    // buffer, so scheduling allocates nothing.  The delivery event
+    // always executes on the destination machine's wheel.
+    const int dst_machine = topo_.machineOf(msg.dst);
+    const int pool = engine_ != nullptr ? dst_machine : 0;
+    const std::uint32_t slot = parkMessage(pool, std::move(msg));
+    scheduleAt(dst_machine, arrival,
+               [this, pool, slot] { deliverSlot(pool, slot); });
 }
 
 Tick
@@ -137,7 +245,7 @@ Network::send(Message msg, Tick send_time)
         throw std::logic_error(
             "Network::send: self-sends must be handled locally");
     }
-    if (send_time < events_.now()) {
+    if (send_time < now()) {
         throw std::logic_error(
             "Network::send: send time is in the simulated past");
     }
@@ -145,20 +253,21 @@ Network::send(Message msg, Tick send_time)
     const bool remote = !topo_.sameMachine(msg.src, msg.dst);
     const std::uint32_t bytes = msg.wireBytes();
 
-    // Account the (logical) message.  Retransmissions and fabric
-    // duplicates are not re-counted here; they show up in
-    // counts_.rel instead.
-    ++counts_.byType[static_cast<std::size_t>(msg.type)];
+    // Account the (logical) message into the sender machine's shard.
+    // Retransmissions and fabric duplicates are not re-counted here;
+    // they show up in the rel counters instead.
+    NetworkCounts &c = shard();
+    ++c.byType[static_cast<std::size_t>(msg.type)];
     if (msg.type == MsgType::Downgrade) {
         assert(!remote && "downgrades never cross machines");
-        ++counts_.downgradeMsgs;
-        counts_.localBytes += bytes;
+        ++c.downgradeMsgs;
+        c.localBytes += bytes;
     } else if (remote) {
-        ++counts_.remoteMsgs;
-        counts_.remoteBytes += bytes;
+        ++c.remoteMsgs;
+        c.remoteBytes += bytes;
     } else {
-        ++counts_.localMsgs;
-        counts_.localBytes += bytes;
+        ++c.localMsgs;
+        c.localBytes += bytes;
     }
 
     // Remote traffic under fault injection detours through the

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "net/fault.hh"
@@ -43,6 +44,7 @@ namespace shasta
 {
 
 struct LatencyStats;
+class ParallelEngine;
 
 /** Timing parameters of one transport class. */
 struct LinkParams
@@ -131,15 +133,13 @@ class Network : public Transport
     /** Install the delivery callback (runtime wires this to mailboxes). */
     void setDeliver(Deliver d) override { deliver_ = std::move(d); }
 
-    /** The discrete-event clock. */
-    Tick now() const override { return events_.now(); }
+    /** The discrete-event clock: global in serial mode, the calling
+     *  worker's machine clock under the parallel engine. */
+    Tick now() const override;
 
-    /** Defer to simulated time max(@p t, now()) via the event queue. */
-    void
-    deferAt(Tick t, Callback cb) override
-    {
-        events_.schedule(std::max(t, events_.now()), std::move(cb));
-    }
+    /** Defer to simulated time max(@p t, now()) on the calling
+     *  context's machine. */
+    void deferAt(Tick t, Callback cb) override;
 
     /**
      * Send @p msg at simulated time @p send_time (the sender's local
@@ -152,10 +152,13 @@ class Network : public Transport
     Tick unloadedLatency(ProcId src, ProcId dst,
                          std::uint32_t bytes) const;
 
-    const NetworkCounts &counts() const override { return counts_; }
+    /** Aggregated counters (summed over per-machine shards; shard
+     *  sums are order-independent, so the result is byte-identical
+     *  to the serial engine's single counter). */
+    const NetworkCounts &counts() const override;
 
     /** Reset counters (used between measurement phases). */
-    void resetCounts() override { counts_ = NetworkCounts{}; }
+    void resetCounts() override;
 
     const Topology &topology() const override { return topo_; }
 
@@ -181,22 +184,63 @@ class Network : public Transport
     std::uint64_t
     relProgress() const
     {
-        return counts_.rel.progressStamp();
+        return counts().rel.progressStamp();
     }
 
     /** Histogram sink for LatencyClass::RetryDelay samples (owned by
      *  the protocol core; may be null). */
-    void setLatencySink(LatencyStats *lat) { latSink_ = lat; }
+    void
+    setLatencySink(LatencyStats *lat)
+    {
+        latSinks_.assign(1, lat);
+    }
+
+    /** Per-machine sinks for the parallel engine (index = machine;
+     *  a retransmit records into its source machine's shard). */
+    void
+    setLatencySinks(std::vector<LatencyStats *> sinks)
+    {
+        latSinks_ = std::move(sinks);
+    }
+    /** @} */
+
+    /** @{ Parallel simulation engine (sim/pdes.hh).  When attached,
+     *  every event this layer schedules is routed to the wheel of
+     *  the machine that must execute it, and per-machine state
+     *  (channel reservations, counters, in-flight slots) shards so
+     *  worker threads never race. */
+    void attachEngine(ParallelEngine *engine);
+
+    bool engineActive() const { return engine_ != nullptr; }
+
+    /** Minimum ticks any cross-machine effect needs: the remote-link
+     *  send overhead + header-only transfer + wire latency.  The
+     *  conservative window width. */
+    Tick minRemoteLookahead() const;
     /** @} */
 
   private:
-    /** Park @p msg in a recycled slot until its delivery event. */
-    std::uint32_t parkMessage(Message &&msg);
+    /** Park @p msg in a recycled slot of @p pool (the destination
+     *  machine's shard) until its delivery event. */
+    std::uint32_t parkMessage(int pool, Message &&msg);
 
     /** Run by the delivery event: free the slot, hand over the
      *  message (sequenced messages detour through the reliability
      *  sublayer's receiver first). */
-    void deliverSlot(std::uint32_t slot);
+    void deliverSlot(int pool, std::uint32_t slot);
+
+    /** Schedule @p cb at @p when on @p machine's wheel (the event
+     *  queue in serial mode, where machine is ignored). */
+    void scheduleAt(int machine, Tick when, EventQueue::Callback cb);
+
+    /** Machine of the calling execution context (0 in serial mode). */
+    int curMachine() const;
+
+    /** Counter shard of the calling context's machine. */
+    NetworkCounts &shard();
+
+    /** RetryDelay sink of the calling context's machine (or null). */
+    LatencyStats *latSinkShard();
 
     /** @{ Transmission internals shared with the reliability
      *  sublayer (which issues retransmissions and fabric duplicates
@@ -228,23 +272,39 @@ class Network : public Transport
     /** Earliest time each directed pair channel is free.  Sparse:
      *  a channel materializes (free since tick 0) on first use, so
      *  the table scales with the pairs that actually talk, not with
-     *  P^2. */
-    PairMap<Tick> pairFree_;
+     *  P^2.  Sharded by source machine under the parallel engine
+     *  (every reservation runs on the sender's worker); one shard in
+     *  serial mode. */
+    std::vector<PairMap<Tick>> pairFreeShards_;
     /** Earliest time each machine's outbound Memory Channel link is
-     *  free (remote messages only). */
+     *  free (remote messages only; only the owning machine's worker
+     *  touches its entry). */
     std::vector<Tick> linkFree_;
 
     /** In-flight messages, indexed by the slot captured in their
-     *  delivery closures.  Slots are recycled via freeSlots_; the
-     *  vectors grow to the peak in-flight count and stay there. */
-    std::vector<Message> pending_;
-    std::vector<std::uint32_t> freeSlots_;
+     *  delivery closures.  Slots are recycled via freeSlots; the
+     *  vectors grow to the peak in-flight count and stay there.
+     *  Sharded by destination machine under the parallel engine;
+     *  park runs on the sender's worker and delivery on the
+     *  receiver's, so shard access locks mu when the engine is
+     *  attached (never otherwise). */
+    struct SlotPool
+    {
+        std::vector<Message> pending;
+        std::vector<std::uint32_t> freeSlots;
+        std::mutex mu;
+    };
+    std::vector<std::unique_ptr<SlotPool>> slotPools_;
 
-    NetworkCounts counts_;
+    /** Per-machine counter shards (one shard in serial mode);
+     *  counts() sums them on demand into agg_. */
+    std::vector<NetworkCounts> countShards_;
+    mutable NetworkCounts agg_;
 
     /** Present only while fault injection is configured. */
     std::unique_ptr<Reliability> rel_;
-    LatencyStats *latSink_ = nullptr;
+    std::vector<LatencyStats *> latSinks_;
+    ParallelEngine *engine_ = nullptr;
 };
 
 } // namespace shasta

@@ -8,6 +8,7 @@
 #include "dsm/config.hh"
 #include "net/network.hh"
 #include "obs/trace_json.hh"
+#include "sim/env.hh"
 #include "stats/histogram.hh"
 
 namespace shasta
@@ -16,15 +17,14 @@ namespace shasta
 void
 RetxParams::applyEnv()
 {
-    if (const char *e = std::getenv("SHASTA_RETX_MAX_ATTEMPTS");
-        e != nullptr && *e != '\0')
-        maxAttempts = std::atoi(e);
-    if (const char *e = std::getenv("SHASTA_RETX_BACKOFF_CAP");
-        e != nullptr && *e != '\0')
-        backoffCapMult = std::atoi(e);
-    if (const char *e = std::getenv("SHASTA_RETX_RTO_US");
-        e != nullptr && *e != '\0')
-        rtoUs = std::atof(e);
+    // Strict parses (sim/env.hh): garbage, trailing junk, negative,
+    // or overflowing values name the variable and exit rather than
+    // silently truncating through atoi/atof.
+    maxAttempts = static_cast<int>(env::envInt(
+        "SHASTA_RETX_MAX_ATTEMPTS", 1, 1000000, maxAttempts));
+    backoffCapMult = static_cast<int>(env::envInt(
+        "SHASTA_RETX_BACKOFF_CAP", 1, 1000000, backoffCapMult));
+    rtoUs = env::envDouble("SHASTA_RETX_RTO_US", 0.0, 1.0e9, rtoUs);
 }
 
 void
@@ -59,6 +59,13 @@ Reliability::Reliability(Network &net, const FaultConfig &cfg,
 Reliability::PairState &
 Reliability::pair(ProcId src, ProcId dst)
 {
+    // Entries are slab-stable, so the reference stays valid after
+    // the lock drops; only the lookup/materialization races between
+    // the sender's and receiver's workers.
+    if (net_.engineActive()) {
+        const std::lock_guard<std::mutex> lock(pairsMu_);
+        return pairs_.get(src, dst);
+    }
     return pairs_.get(src, dst);
 }
 
@@ -95,7 +102,7 @@ Reliability::send(Message &&msg, Tick send_time)
     const std::uint32_t seq = ps.sndNext;
     ps.sndNext = relSeqNext(ps.sndNext);
     msg.setRelSeq(seq);
-    ++net_.counts_.rel.dataMsgs;
+    ++net_.shard().rel.dataMsgs;
 
     // Appending keeps the pending window serially sorted: sequence
     // numbers are assigned in send order.
@@ -129,23 +136,25 @@ Reliability::transmit(PairState &ps, Message &&msg, Tick now)
         model_.decide(src, dst, ps.xmit++, FaultSalt::Data);
 
     // Arm the retransmit timer before anything else: it covers the
-    // dropped case too.
-    net_.events_.schedule(now + p->rto, [this, src, dst, seq] {
-        onRetxTimer(src, dst, seq);
-    });
+    // dropped case too.  The timer is the sender's: it fires on the
+    // source machine's wheel.
+    net_.scheduleAt(net_.topology().machineOf(src), now + p->rto,
+                    [this, src, dst, seq] {
+                        onRetxTimer(src, dst, seq);
+                    });
 
     // A dropped packet still occupied the wire up to the drop point;
     // charge the channel either way.
     const Tick arrival = net_.reserveChannel(msg, now);
 
     if (d.drop) {
-        ++net_.counts_.rel.faultDrops;
+        ++net_.shard().rel.faultDrops;
         if (obs::traceJsonEnabled())
             obs::emitInstant(src, now, "fault-drop", "fault", seq);
         return arrival;
     }
     if (d.duplicate) {
-        ++net_.counts_.rel.faultDups;
+        ++net_.shard().rel.faultDups;
         if (obs::traceJsonEnabled())
             obs::emitInstant(src, now, "fault-dup", "fault", seq);
         // The fabric conjures the copy; it does not re-serialize on
@@ -155,7 +164,7 @@ Reliability::transmit(PairState &ps, Message &&msg, Tick now)
                              arrival + d.dupDelay);
     }
     if (d.extraDelay > 0) {
-        ++net_.counts_.rel.faultDelays;
+        ++net_.shard().rel.faultDelays;
         if (obs::traceJsonEnabled())
             obs::emitInstant(src, now, "fault-delay", "fault", seq);
     }
@@ -177,11 +186,10 @@ Reliability::onRetxTimer(ProcId src, ProcId dst, std::uint32_t seq)
         throw std::runtime_error(
             "Reliability: message exceeded retransmit limit");
     }
-    const Tick now = net_.events_.now();
-    ++net_.counts_.rel.retransmits;
-    if (net_.latSink_ != nullptr)
-        net_.latSink_->record(LatencyClass::RetryDelay,
-                              now - p->firstSend);
+    const Tick now = net_.now();
+    ++net_.shard().rel.retransmits;
+    if (LatencyStats *sink = net_.latSinkShard(); sink != nullptr)
+        sink->record(LatencyClass::RetryDelay, now - p->firstSend);
     if (obs::traceJsonEnabled())
         obs::emitInstant(src, now, "retransmit", "fault", seq);
     // Capped exponential backoff: doubling stops at backoffCapMult
@@ -210,9 +218,9 @@ Reliability::onData(Message &&msg)
         // Already delivered or already parked: a fabric duplicate or
         // a retransmit that crossed the ack.  Re-ack so the sender
         // learns its state even if the first ack was lost.
-        ++net_.counts_.rel.dupDrops;
+        ++net_.shard().rel.dupDrops;
         if (obs::traceJsonEnabled())
-            obs::emitInstant(dst, net_.events_.now(), "dup-drop",
+            obs::emitInstant(dst, net_.now(), "dup-drop",
                              "fault", seq);
         sendAck(ps, src, dst);
         return;
@@ -236,11 +244,11 @@ Reliability::onData(Message &&msg)
             ps.rcvNext = relSeqNext(ps.rcvNext);
             // The message sat in the reorder buffer; it becomes
             // visible now, not at its (stale) wire arrival time.
-            next.arriveTime = net_.events_.now();
+            next.arriveTime = net_.now();
             net_.deliverUp(std::move(next));
         }
     } else {
-        ++net_.counts_.rel.reorderBuffered;
+        ++net_.shard().rel.reorderBuffered;
         ++unackedAndBuffered_;
         // Insert in serial order (from the back: arrivals are mostly
         // in order, so the common case is an append).
@@ -260,7 +268,7 @@ Reliability::onData(Message &&msg)
 void
 Reliability::sendAck(PairState &ps, ProcId src, ProcId dst)
 {
-    ++net_.counts_.rel.acksSent;
+    ++net_.shard().rel.acksSent;
     // Acks ride the reverse direction but draw decisions from the
     // forward pair's ack counter, salted so they are independent of
     // the data stream.  Only the drop probability applies: acks are
@@ -268,9 +276,9 @@ Reliability::sendAck(PairState &ps, ProcId src, ProcId dst)
     const FaultDecision d =
         model_.decide(src, dst, ps.ackXmit++, FaultSalt::Ack);
     if (d.drop) {
-        ++net_.counts_.rel.ackDrops;
+        ++net_.shard().rel.ackDrops;
         if (obs::traceJsonEnabled())
-            obs::emitInstant(dst, net_.events_.now(), "ack-drop",
+            obs::emitInstant(dst, net_.now(), "ack-drop",
                              "fault", ps.rcvNext);
         return;
     }
@@ -287,16 +295,20 @@ Reliability::sendAck(PairState &ps, ProcId src, ProcId dst)
     // bandwidth, they just take the unloaded reverse latency.
     const Tick delay =
         net_.unloadedLatency(dst, src, kMsgHeaderBytes);
-    net_.events_.schedule(net_.events_.now() + delay,
-                          [this, src, dst, cum] {
-                              onAck(src, dst, cum);
-                          });
+    // The ack event executes at the sender: route it to the source
+    // machine's wheel.  Its delay is exactly the remote header
+    // latency, i.e. exactly the engine's lookahead, so it always
+    // lands at or past the current window's end.
+    net_.scheduleAt(net_.topology().machineOf(src),
+                    net_.now() + delay, [this, src, dst, cum] {
+                        onAck(src, dst, cum);
+                    });
 }
 
 void
 Reliability::onAck(ProcId src, ProcId dst, std::uint32_t cumSeq)
 {
-    ++net_.counts_.rel.acksReceived;
+    ++net_.shard().rel.acksReceived;
     PairState &ps = pair(src, dst);
     // The window is serially sorted, so everything acked (seq <=
     // cumSeq in serial order) is a prefix.

@@ -47,7 +47,9 @@
 #ifndef SHASTA_NET_RELIABLE_HH
 #define SHASTA_NET_RELIABLE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "net/fault.hh"
@@ -272,12 +274,18 @@ class Reliability
     Network &net_;
     FaultModel model_;
     RetxParams retx_;
-    /** Sparse per-pair state, keyed by packed (src, dst). */
+    /** Sparse per-pair state, keyed by packed (src, dst).  Under the
+     *  parallel engine a pair's sender fields run on the source
+     *  machine's worker and its receiver fields on the destination's
+     *  — disjoint members of a slab-stable entry, so only the map
+     *  lookup/materialization itself needs pairsMu_. */
     PairMap<PairState> pairs_;
+    std::mutex pairsMu_;
     /** Running sum of every pair's pending.size() + buffer.size(),
      *  maintained at the insert/erase sites (satellite of the
-     *  O(P^2)-per-poll pendingUnacked fix). */
-    std::size_t unackedAndBuffered_ = 0;
+     *  O(P^2)-per-poll pendingUnacked fix).  Atomic because inserts
+     *  happen on the sender's worker and erases on either side. */
+    std::atomic<std::size_t> unackedAndBuffered_{0};
     /** Cross-check the running counter on every read (SHASTA_AUDIT). */
     bool auditCounter_ = false;
 };

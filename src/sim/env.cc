@@ -1,0 +1,84 @@
+#include "sim/env.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace shasta::env
+{
+
+namespace
+{
+
+[[noreturn]] void
+die(const char *name, const char *value, const char *expected)
+{
+    std::fprintf(stderr, "shasta: invalid %s='%s' (expected %s)\n",
+                 name, value, expected);
+    std::exit(2);
+}
+
+} // namespace
+
+long long
+parseIntArg(const char *what, const char *value, long long lo,
+            long long hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE || v < lo ||
+        v > hi) {
+        char expected[96];
+        std::snprintf(expected, sizeof expected,
+                      "an integer in [%lld, %lld]", lo, hi);
+        die(what, value, expected);
+    }
+    return v;
+}
+
+long long
+envInt(const char *name, long long lo, long long hi, long long defv)
+{
+    const char *e = std::getenv(name);
+    if (e == nullptr || *e == '\0')
+        return defv;
+    return parseIntArg(name, e, lo, hi);
+}
+
+std::uint64_t
+envU64(const char *name, int base, std::uint64_t defv)
+{
+    const char *e = std::getenv(name);
+    if (e == nullptr || *e == '\0')
+        return defv;
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(e, &end, base);
+    // strtoull silently negates "-1"; a seed knob should reject it.
+    if (end == e || *end != '\0' || errno == ERANGE || *e == '-')
+        die(name, e, "an unsigned 64-bit integer");
+    return v;
+}
+
+double
+envDouble(const char *name, double lo, double hi, double defv)
+{
+    const char *e = std::getenv(name);
+    if (e == nullptr || *e == '\0')
+        return defv;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(e, &end);
+    if (end == e || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v) || v < lo || v > hi) {
+        char expected[96];
+        std::snprintf(expected, sizeof expected,
+                      "a number in [%g, %g]", lo, hi);
+        die(name, e, expected);
+    }
+    return v;
+}
+
+} // namespace shasta::env

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Strict environment-variable parsing for tuning knobs.
+ *
+ * Every SHASTA_* knob used to go through atoi/atof, which silently
+ * accepts trailing junk ("64x" -> 64), truncates overflow, and turns
+ * garbage into 0.  A knob that is set but unparseable is always a
+ * user error worth stopping for: these helpers consume the entire
+ * value, range-check it, and on any violation print a diagnostic
+ * naming the variable and the offending value, then exit(2).
+ *
+ * Unset (or empty) variables return the caller's default, so call
+ * sites read `knob = envInt("SHASTA_X", lo, hi, knob)`.
+ */
+
+#ifndef SHASTA_SIM_ENV_HH
+#define SHASTA_SIM_ENV_HH
+
+#include <cstdint>
+
+namespace shasta::env
+{
+
+/** Base-10 integer in [lo, hi]; @p defv when unset/empty. */
+long long envInt(const char *name, long long lo, long long hi,
+                 long long defv);
+
+/** Unsigned 64-bit integer, @p base as in strtoull (0 = auto
+ *  0x/0-prefix detection); @p defv when unset/empty. */
+std::uint64_t envU64(const char *name, int base, std::uint64_t defv);
+
+/** Finite double in [lo, hi]; @p defv when unset/empty. */
+double envDouble(const char *name, double lo, double hi, double defv);
+
+/**
+ * Strict parse of an explicit string (argv values reuse the same
+ * rules as env values).  @p what names the flag/variable for the
+ * diagnostic.  Exits(2) on garbage, trailing junk, or range error.
+ */
+long long parseIntArg(const char *what, const char *value,
+                      long long lo, long long hi);
+
+} // namespace shasta::env
+
+#endif // SHASTA_SIM_ENV_HH

@@ -16,7 +16,7 @@ EventQueue::EventQueue()
 }
 
 std::uint32_t
-EventQueue::allocNode(Tick when, Callback &&cb)
+EventQueue::allocNode(Tick when, std::uint64_t tag, Callback &&cb)
 {
     if (freeHead_ != kNil) {
         const std::uint32_t idx = freeHead_;
@@ -24,11 +24,12 @@ EventQueue::allocNode(Tick when, Callback &&cb)
         freeHead_ = n.next;
         n.when = when;
         n.next = kNil;
+        n.tag = tag;
         n.cb = std::move(cb);
         return idx;
     }
     const auto idx = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(Node{when, kNil, std::move(cb)});
+    nodes_.push_back(Node{when, kNil, tag, std::move(cb)});
     return idx;
 }
 
@@ -175,6 +176,48 @@ EventQueue::peekNext() const
     return min_when;
 }
 
+void
+EventQueue::headKey(Tick &when, std::uint64_t &tag) const
+{
+    assert(size_ > 0);
+    const auto cursor = static_cast<std::uint64_t>(cursor_);
+    // Mirrors peekNext(), but resolves down to a node.  At every
+    // tick the list order is insertion order, and insertions for one
+    // tick carry increasing tags (scheduleTagged's contract), so the
+    // first node found at the minimum tick holds the minimum tag.
+    int slot = findSetFrom(bitmap_[0],
+                           static_cast<int>(cursor & (kSlots - 1)));
+    if (slot >= 0) {
+        const Node &n = nodes_[slots_[0][slot].head];
+        when = n.when;
+        tag = n.tag;
+        return;
+    }
+    for (int level = 1; level < kLevels; ++level) {
+        const int cur = static_cast<int>(
+            (cursor >> (kLevelBits * level)) & (kSlots - 1));
+        slot = findSetFrom(bitmap_[level], cur);
+        if (slot < 0)
+            continue;
+        std::uint32_t best = slots_[level][slot].head;
+        for (std::uint32_t idx = nodes_[best].next; idx != kNil;
+             idx = nodes_[idx].next) {
+            if (nodes_[idx].when < nodes_[best].when)
+                best = idx;
+        }
+        when = nodes_[best].when;
+        tag = nodes_[best].tag;
+        return;
+    }
+    std::uint32_t best = overflow_.front();
+    for (const std::uint32_t idx : overflow_) {
+        if (nodes_[idx].when < nodes_[best].when)
+            best = idx;
+    }
+    when = nodes_[best].when;
+    tag = nodes_[best].tag;
+}
+
 std::uint32_t
 EventQueue::popEarliest()
 {
@@ -223,7 +266,20 @@ EventQueue::schedule(Tick when, Callback cb)
             std::to_string(when) + " is before now=" +
             std::to_string(now_));
     }
-    place(allocNode(when, std::move(cb)));
+    place(allocNode(when, 0, std::move(cb)));
+    ++size_;
+}
+
+void
+EventQueue::scheduleTagged(Tick when, std::uint64_t tag, Callback cb)
+{
+    if (when < now_) {
+        throw std::logic_error(
+            "EventQueue::scheduleTagged: event at tick " +
+            std::to_string(when) + " is before now=" +
+            std::to_string(now_));
+    }
+    place(allocNode(when, tag, std::move(cb)));
     ++size_;
 }
 
@@ -248,6 +304,7 @@ EventQueue::step()
     const std::uint32_t idx = popEarliest();
     Node &n = nodes_[idx];
     now_ = n.when;
+    runningTag_ = n.tag;
     // Move the callback out and recycle the node before invoking:
     // the callback may schedule new events, which can reuse the slot
     // or grow the slab.

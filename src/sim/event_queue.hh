@@ -74,6 +74,30 @@ class EventQueue
      */
     void scheduleAfter(Tick delay, Callback cb);
 
+    /**
+     * Schedule with an explicit FIFO tag (the parallel engine's
+     * global sequence number).  The caller must preserve the per-tick
+     * discipline the wheel's determinism rests on: successive
+     * insertions for the same tick carry increasing tags, so the
+     * slot lists stay sorted by tag without any pop-time comparison.
+     * schedule() is scheduleTagged() with tag 0 (the serial engine
+     * never reads tags).
+     */
+    void scheduleTagged(Tick when, std::uint64_t tag, Callback cb);
+
+    /** Tag of the event currently executing inside step(). */
+    std::uint64_t runningTag() const { return runningTag_; }
+
+    /** Earliest pending tick (queue must be non-empty). */
+    Tick headTick() const { return peekNext(); }
+
+    /**
+     * (tick, tag) of the event step() would pop next — the key the
+     * parallel engine's serial phase merges queues by.  Queue must be
+     * non-empty.
+     */
+    void headKey(Tick &when, std::uint64_t &tag) const;
+
     /** True when no events remain. */
     bool empty() const { return size_ == 0; }
 
@@ -124,6 +148,7 @@ class EventQueue
     {
         Tick when;
         std::uint32_t next;
+        std::uint64_t tag;
         Callback cb;
     };
 
@@ -133,7 +158,8 @@ class EventQueue
         std::uint32_t tail = kNil;
     };
 
-    std::uint32_t allocNode(Tick when, Callback &&cb);
+    std::uint32_t allocNode(Tick when, std::uint64_t tag,
+                            Callback &&cb);
     void freeNode(std::uint32_t idx);
 
     /** Level an event belongs to, relative to the cursor: the
@@ -180,6 +206,7 @@ class EventQueue
     Tick now_ = 0;
     std::size_t size_ = 0;
     std::uint64_t processed_ = 0;
+    std::uint64_t runningTag_ = 0;
 
     ProgressHook hook_;
     std::uint64_t hookEvery_ = 0;

@@ -1,0 +1,328 @@
+#include "sim/pdes.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace shasta
+{
+
+namespace
+{
+
+/** Machine context of the calling thread.  Workers pin it around
+ *  runUntil; the main thread pins it around serial steps and root
+ *  coroutine starts.  Keyed by engine so nested Runtimes (sweep
+ *  workers each own one) never cross wires. */
+struct TlsCtx
+{
+    ParallelEngine *eng = nullptr;
+    int machine = 0;
+    bool inWindow = false;
+};
+
+thread_local TlsCtx tlsCtx;
+
+} // namespace
+
+ParallelEngine::ParallelEngine(int machines, int threads,
+                               Tick lookahead)
+    : machines_(machines),
+      threads_(std::min(threads, machines)),
+      lookahead_(lookahead),
+      ms_(static_cast<std::size_t>(machines))
+{
+    assert(machines >= 1 && threads >= 1 && lookahead >= 1);
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    if (poolStarted_) {
+        stop_.store(true, std::memory_order_relaxed);
+        gen_.fetch_add(1, std::memory_order_release);
+        gen_.notify_all();
+        for (std::thread &t : pool_)
+            t.join();
+    }
+}
+
+void
+ParallelEngine::startPool()
+{
+    if (poolStarted_)
+        return;
+    poolStarted_ = true;
+    pool_.reserve(static_cast<std::size_t>(threads_));
+    for (int w = 0; w < threads_; ++w)
+        pool_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+ParallelEngine::scheduleOn(int machine, Tick when, Callback cb)
+{
+    assert(machine >= 0 && machine < machines_);
+    if (tlsCtx.eng == this && tlsCtx.inWindow) {
+        MachineState &src = ms_[tlsCtx.machine];
+        EventQueue &q = src.queue;
+        Record r;
+        r.parentTick = q.now();
+        r.parentRef = q.runningTag();
+        r.when = when;
+        r.dstMachine = machine;
+        if (machine == tlsCtx.machine && when < windowEnd_) {
+            // Same-machine, in-window: goes straight into our own
+            // wheel under a provisional tag so it executes this
+            // window; the barrier merge back-fills the final gseq.
+            const std::uint32_t w = src.winCount++;
+            r.winIdx = w;
+            q.scheduleTagged(when, kProvisional | w, std::move(cb));
+        } else {
+            if (machine != tlsCtx.machine && when < windowEnd_) {
+                throw std::logic_error(
+                    "ParallelEngine: cross-machine event at tick " +
+                    std::to_string(when) +
+                    " violates lookahead window ending at " +
+                    std::to_string(windowEnd_));
+            }
+            r.winIdx = kNoWinIdx;
+            r.cb = std::move(cb);
+        }
+        src.records.push_back(std::move(r));
+        return;
+    }
+    // Serial phase (or setup code): the caller IS the global order,
+    // so assign the final gseq immediately.
+    ms_[machine].queue.scheduleTagged(when, nextGseq_++,
+                                      std::move(cb));
+}
+
+Tick
+ParallelEngine::now() const
+{
+    if (tlsCtx.eng == this)
+        return ms_[tlsCtx.machine].queue.now();
+    return globalNow_;
+}
+
+int
+ParallelEngine::activeMachine() const
+{
+    return tlsCtx.eng == this ? tlsCtx.machine : 0;
+}
+
+void
+ParallelEngine::setActiveMachine(int m)
+{
+    assert(m >= 0 && m < machines_);
+    tlsCtx = TlsCtx{this, m, false};
+}
+
+void
+ParallelEngine::clearActiveMachine()
+{
+    tlsCtx = TlsCtx{};
+}
+
+bool
+ParallelEngine::empty() const
+{
+    for (const MachineState &s : ms_)
+        if (!s.queue.empty())
+            return false;
+    return true;
+}
+
+std::uint64_t
+ParallelEngine::processed() const
+{
+    std::uint64_t n = 0;
+    for (const MachineState &s : ms_)
+        n += s.queue.processed();
+    return n;
+}
+
+bool
+ParallelEngine::stepSerial()
+{
+    int best = -1;
+    Tick bestWhen = 0;
+    std::uint64_t bestTag = 0;
+    for (int m = 0; m < machines_; ++m) {
+        const EventQueue &q = ms_[m].queue;
+        if (q.empty())
+            continue;
+        Tick when = 0;
+        std::uint64_t tag = 0;
+        q.headKey(when, tag);
+        if (best < 0 || when < bestWhen ||
+            (when == bestWhen && tag < bestTag)) {
+            best = m;
+            bestWhen = when;
+            bestTag = tag;
+        }
+    }
+    if (best < 0)
+        return false;
+    tlsCtx = TlsCtx{this, best, false};
+    ms_[best].queue.step();
+    tlsCtx = TlsCtx{};
+    globalNow_ = bestWhen;
+    return true;
+}
+
+void
+ParallelEngine::drain()
+{
+    while (stepSerial()) {
+    }
+}
+
+bool
+ParallelEngine::runWindow()
+{
+    Tick base = 0;
+    bool any = false;
+    for (const MachineState &s : ms_) {
+        if (s.queue.empty())
+            continue;
+        const Tick h = s.queue.headTick();
+        if (!any || h < base) {
+            base = h;
+            any = true;
+        }
+    }
+    if (!any)
+        return false;
+    // Checked in Release, like EventQueue::scheduleAfter: a window
+    // base near the Tick ceiling must not wrap past the horizon.
+    if (lookahead_ > std::numeric_limits<Tick>::max() - base) {
+        throw std::logic_error(
+            "ParallelEngine: window base " + std::to_string(base) +
+            " + lookahead " + std::to_string(lookahead_) +
+            " overflows Tick");
+    }
+    windowEnd_ = base + lookahead_;
+
+    startPool();
+    pending_.store(threads_, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    for (;;) {
+        const int p = pending_.load(std::memory_order_acquire);
+        if (p == 0)
+            break;
+        pending_.wait(p, std::memory_order_acquire);
+    }
+    ++windows_;
+    globalNow_ = windowEnd_ - 1;
+
+    for (MachineState &s : ms_) {
+        if (s.error) {
+            std::exception_ptr e = s.error;
+            for (MachineState &t : ms_)
+                t.error = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+    mergeCommit();
+    return true;
+}
+
+void
+ParallelEngine::workerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        gen_.wait(seen, std::memory_order_acquire);
+        seen = gen_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        runMachinesOf(worker);
+        pending_.fetch_sub(1, std::memory_order_release);
+        pending_.notify_one();
+    }
+}
+
+void
+ParallelEngine::runMachinesOf(int worker)
+{
+    for (int m = worker; m < machines_; m += threads_) {
+        MachineState &s = ms_[m];
+        if (s.queue.empty() || s.queue.headTick() >= windowEnd_)
+            continue;
+        tlsCtx = TlsCtx{this, m, true};
+        try {
+            s.queue.runUntil(windowEnd_ - 1);
+        } catch (...) {
+            s.error = std::current_exception();
+        }
+        tlsCtx = TlsCtx{};
+    }
+}
+
+std::uint64_t
+ParallelEngine::resolveRef(int machine, std::uint64_t ref) const
+{
+    if ((ref & kProvisional) == 0)
+        return ref;
+    // The record that created this winIdx sits earlier in the same
+    // machine's list (the parent was scheduled before it executed),
+    // so by the time this record reaches the head its tag is final.
+    return ms_[machine].winTag[ref & ~kProvisional];
+}
+
+void
+ParallelEngine::mergeCommit()
+{
+    // Replay the serial engine's schedule interleaving: records are
+    // consumed per machine in order, globally sorted by the parent
+    // key (parentTick, parentGseq) — exactly the order the parents
+    // executed in the serial engine — and final gseqs are assigned
+    // from the same counter the serial phase uses.
+    const auto later = [](const HeapEntry &a, const HeapEntry &b) {
+        if (a.parentTick != b.parentTick)
+            return a.parentTick > b.parentTick;
+        if (a.parentGseq != b.parentGseq)
+            return a.parentGseq > b.parentGseq;
+        return a.machine > b.machine;
+    };
+    heap_.clear();
+    const auto pushHead = [this, &later](int m, std::size_t pos) {
+        MachineState &s = ms_[m];
+        if (pos >= s.records.size())
+            return;
+        const Record &r = s.records[pos];
+        heap_.push_back(HeapEntry{r.parentTick,
+                                  resolveRef(m, r.parentRef), m,
+                                  pos});
+        std::push_heap(heap_.begin(), heap_.end(), later);
+    };
+    for (int m = 0; m < machines_; ++m) {
+        ms_[m].winTag.resize(ms_[m].winCount);
+        pushHead(m, 0);
+    }
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        const HeapEntry e = heap_.back();
+        heap_.pop_back();
+        MachineState &s = ms_[e.machine];
+        Record &r = s.records[e.pos];
+        const std::uint64_t g = nextGseq_++;
+        if (r.winIdx != kNoWinIdx) {
+            s.winTag[r.winIdx] = g;
+        } else {
+            ms_[r.dstMachine].queue.scheduleTagged(r.when, g,
+                                                   std::move(r.cb));
+        }
+        pushHead(e.machine, e.pos + 1);
+    }
+    for (MachineState &s : ms_) {
+        s.records.clear();
+        s.winCount = 0;
+    }
+}
+
+} // namespace shasta

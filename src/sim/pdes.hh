@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Conservative-lookahead parallel discrete-event engine (PDES).
+ *
+ * The serial EventQueue executes the whole cluster's events in
+ * (tick, scheduling order).  This engine partitions the event stream
+ * into one timing wheel per physical machine and executes windows of
+ * width L — the minimum cross-machine network latency — on a pool of
+ * worker threads.  Within a window a machine only sees events it
+ * scheduled for itself (cross-machine effects always land >= L in
+ * the future), so workers run race-free between two barriers.
+ *
+ * Determinism contract: the committed execution order is byte-
+ * identical to the serial engine's.  Every event carries the global
+ * FIFO sequence number (gseq) the serial engine would have assigned
+ * at its schedule() call.  Serial-engine schedule order is fully
+ * determined by the executing parent: events are scheduled by the
+ * event running at (parentTick, parentGseq), in call order.  So
+ * workers record each schedule call with its parent key, and at the
+ * window barrier the main thread merges the per-machine record lists
+ * by (parentTick, parentGseq) — reproducing the serial interleaving
+ * exactly — and assigns final gseqs from one counter.  Same-machine
+ * events that fall inside the window are inserted immediately under
+ * a provisional tag (resolved at the barrier); everything else is
+ * deferred and inserted at merge time.  Per-tick wheel FIFO order
+ * then equals gseq order with no pop-time comparisons (DESIGN.md,
+ * "Parallel simulation engine", proves the insertion discipline).
+ *
+ * Outside the parallel phase (before the measured region opens and
+ * while draining at the end) the engine steps serially: it pops the
+ * globally minimum (tick, gseq) event across all machine wheels on
+ * the calling thread, assigning gseqs directly.  Both phases produce
+ * the same total order, so switching between them is free.
+ *
+ * Allocation discipline: record lists, merge heap, provisional-tag
+ * tables and the wheels themselves all recycle their storage, so the
+ * steady state allocates nothing per event (alloc_test holds this).
+ */
+
+#ifndef SHASTA_SIM_PDES_HH
+#define SHASTA_SIM_PDES_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace shasta
+{
+
+class ParallelEngine
+{
+  public:
+    using Callback = EventQueue::Callback;
+
+    /**
+     * @param machines  partition count (one wheel per machine)
+     * @param threads   worker threads (clamped to machines)
+     * @param lookahead minimum cross-machine latency in ticks; a
+     *                  schedule call from machine A targeting
+     *                  machine B != A must land >= lookahead after
+     *                  A's current tick.
+     */
+    ParallelEngine(int machines, int threads, Tick lookahead);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    int machines() const { return machines_; }
+    int threads() const { return threads_; }
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Schedule @p cb on @p machine at absolute tick @p when.  Called
+     * from inside an executing event this routes through the record
+     * protocol (parallel phase) or tags directly (serial phase);
+     * called from outside any event (setup code) it tags directly.
+     */
+    void scheduleOn(int machine, Tick when, Callback cb);
+
+    /**
+     * Current tick as seen by the calling thread: the active
+     * machine's wheel clock, or the global commit horizon when no
+     * machine context is active.
+     */
+    Tick now() const;
+
+    /** Machine whose event is executing on this thread (0 if none —
+     *  setup code before the run belongs to machine 0). */
+    int activeMachine() const;
+
+    /** Pin the calling thread's machine context (root coroutine
+     *  starts run outside any event but schedule on behalf of a
+     *  specific processor's machine). */
+    void setActiveMachine(int m);
+    void clearActiveMachine();
+
+    bool empty() const;
+
+    /**
+     * Execute the single globally earliest event (serial phase).
+     * @return false if no events remain.
+     */
+    bool stepSerial();
+
+    /**
+     * Execute one conservative window [T, T + lookahead) across all
+     * machines on the worker pool, then merge-commit the scheduled
+     * records.  @return false if no events remain.  Throws the
+     * lowest-machine worker exception, if any.
+     */
+    bool runWindow();
+
+    /** Serial-step until every wheel drains. */
+    void drain();
+
+    std::uint64_t processed() const;
+
+    /** Windows executed (observability / tests). */
+    std::uint64_t windows() const { return windows_; }
+
+  private:
+    /** One schedule call recorded during a window, keyed by the
+     *  scheduling parent so the barrier can replay serial order. */
+    struct Record
+    {
+        Tick parentTick;
+        /** Parent's gseq; provisional (kProvisional | winIdx) when
+         *  the parent itself was scheduled earlier in this window. */
+        std::uint64_t parentRef;
+        Tick when;
+        std::int32_t dstMachine;
+        /** Index into winTag_[m] when inserted in-window (callback
+         *  already lives in the wheel); kNoWinIdx when deferred. */
+        std::uint32_t winIdx;
+        Callback cb;
+    };
+
+    static constexpr std::uint64_t kProvisional = std::uint64_t{1}
+                                                  << 63;
+    static constexpr std::uint32_t kNoWinIdx = 0xffffffffu;
+
+    struct MachineState
+    {
+        EventQueue queue;
+        std::vector<Record> records;
+        /** winIdx -> final gseq, filled during the barrier merge. */
+        std::vector<std::uint64_t> winTag;
+        std::uint32_t winCount = 0;
+        std::exception_ptr error;
+    };
+
+    void workerLoop(int worker);
+    void runMachinesOf(int worker);
+    void mergeCommit();
+    std::uint64_t resolveRef(int machine, std::uint64_t ref) const;
+
+    const int machines_;
+    const int threads_;
+    const Tick lookahead_;
+
+    std::vector<MachineState> ms_;
+
+    /** Next final gseq; equals the count the serial engine would
+     *  have assigned.  Main thread only. */
+    std::uint64_t nextGseq_ = 1;
+
+    Tick windowEnd_ = 0;
+    std::uint64_t windows_ = 0;
+    /** Commit horizon: now() outside any machine context. */
+    Tick globalNow_ = 0;
+
+    /** Merge heap of (parentTick, parentGseq, machine), reused. */
+    struct HeapEntry
+    {
+        Tick parentTick;
+        std::uint64_t parentGseq;
+        int machine;
+        std::size_t pos;
+    };
+    std::vector<HeapEntry> heap_;
+
+    /** Worker synchronization: main bumps gen_ to release a window,
+     *  workers decrement pending_ when their machines finish.  Both
+     *  sides block in std::atomic wait (futex), never spin. */
+    std::vector<std::thread> pool_;
+    std::atomic<std::uint64_t> gen_{0};
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stop_{false};
+    bool poolStarted_ = false;
+
+    void startPool();
+};
+
+} // namespace shasta
+
+#endif // SHASTA_SIM_PDES_HH

@@ -13,6 +13,7 @@
 #ifndef SHASTA_SYNC_LOCK_MANAGER_HH
 #define SHASTA_SYNC_LOCK_MANAGER_HH
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -62,10 +63,18 @@ class LockManager : public LockApi
     void handle(Proc &p, Message &&m);
 
     /** Total acquires observed (statistic). */
-    std::uint64_t acquires() const { return acquires_; }
+    std::uint64_t
+    acquires() const
+    {
+        return acquires_.load(std::memory_order_relaxed);
+    }
 
     /** Acquires that found the lock contended. */
-    std::uint64_t contended() const { return contended_; }
+    std::uint64_t
+    contended() const
+    {
+        return contended_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct LockState
@@ -96,8 +105,12 @@ class LockManager : public LockApi
     std::vector<LockState> locks_;
     std::vector<ParkedProc> parked_;
 
-    std::uint64_t acquires_ = 0;
-    std::uint64_t contended_ = 0;
+    /** Atomic: under the parallel engine the client-side increment
+     *  (tryAcquire, requester's worker) and the contended count (home
+     *  handler, manager's worker) can land on different threads.
+     *  Sums are order-independent, so stats stay byte-identical. */
+    std::atomic<std::uint64_t> acquires_{0};
+    std::atomic<std::uint64_t> contended_{0};
 };
 
 } // namespace shasta

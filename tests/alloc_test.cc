@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -35,18 +36,28 @@
 #include "proto/directory.hh"
 #include "proto/protocol.hh"
 #include "sim/event_queue.hh"
+#include "sim/pdes.hh"
 
 namespace
 {
 
-std::uint64_t g_allocs = 0;
+/** Atomic: the parallel-engine test allocates from worker threads;
+ *  its window barrier orders their increments before the main
+ *  thread's reads. */
+std::atomic<std::uint64_t> g_allocCount{0};
+
+std::uint64_t
+allocCount()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
 
 } // namespace
 
 void *
 operator new(std::size_t n)
 {
-    ++g_allocs;
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(n ? n : 1))
         return p;
     throw std::bad_alloc{};
@@ -55,7 +66,7 @@ operator new(std::size_t n)
 void *
 operator new[](std::size_t n)
 {
-    ++g_allocs;
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(n ? n : 1))
         return p;
     throw std::bad_alloc{};
@@ -96,13 +107,13 @@ namespace
 
 TEST(PayloadPool, SmallPayloadsAreInline)
 {
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     for (int i = 0; i < 100; ++i) {
         Payload p;
         p.resize(Payload::kInlineCapacity);
         p.data()[0] = static_cast<std::uint8_t>(i);
     }
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
 }
 
 TEST(PayloadPool, LargeChunksRecycle)
@@ -118,7 +129,7 @@ TEST(PayloadPool, LargeChunksRecycle)
     EXPECT_EQ(s1.chunksFree, s0.chunksFree + 1);
 
     // Every further same-class payload is served from the free list.
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     for (int i = 0; i < 100; ++i) {
         Payload p;
         p.resize(2048);
@@ -127,7 +138,7 @@ TEST(PayloadPool, LargeChunksRecycle)
     const auto s2 = Payload::poolStats();
     EXPECT_EQ(s2.heapAllocs, s1.heapAllocs);
     EXPECT_EQ(s2.poolReuses, s1.poolReuses + 100);
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
 }
 
 TEST(PayloadPool, MoveTransfersChunkWithoutCopy)
@@ -135,12 +146,12 @@ TEST(PayloadPool, MoveTransfersChunkWithoutCopy)
     Payload a;
     a.resize(4096);
     a.data()[17] = 0x5a;
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     Payload b = std::move(a);
     EXPECT_EQ(b.size(), 4096u);
     EXPECT_EQ(b.data()[17], 0x5a);
     EXPECT_EQ(a.size(), 0u);
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
 }
 
 // --------------------------------------------------------------------
@@ -167,10 +178,10 @@ TEST(EventQueueAlloc, ScheduleFireSteadyStateIsAllocationFree)
     for (int r = 0; r < 4; ++r)
         cycle();
 
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     for (int r = 0; r < 64; ++r)
         cycle();
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
     EXPECT_EQ(fired, 68u * 96u);
 }
 
@@ -183,7 +194,7 @@ TEST(EventQueueAlloc, CapturedStateUpToSboLimitStaysInline)
     std::uint64_t a = 1, b = 2, c = 3, d = 4;
     q.scheduleAfter(1, [&sink] { ++sink; });
     q.run();
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     for (int r = 0; r < 100; ++r) {
         // 4 x 8B captures + this pointer-sized ref: inside the SBO.
         q.scheduleAfter(1, [&sink, a, b, c, d] {
@@ -191,7 +202,7 @@ TEST(EventQueueAlloc, CapturedStateUpToSboLimitStaysInline)
         });
         q.run();
     }
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
     EXPECT_EQ(sink, 1u + 100u * 10u);
 }
 
@@ -238,12 +249,12 @@ TEST(MessageHotPath, NetworkAndMailboxSteadyStateIsAllocationFree)
         t = events.now() + 1;
     }
 
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     for (int r = 0; r < 64; ++r) {
         cycle(t);
         t = events.now() + 1;
     }
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
     EXPECT_EQ(drained, 68u * 8u);
 }
 
@@ -297,12 +308,12 @@ TEST(MessageHotPath, FaultySteadyStateIsAllocationFree)
         t = events.now() + 1;
     }
 
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     for (int r = 0; r < 64; ++r) {
         cycle(t);
         t = events.now() + 1;
     }
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
     EXPECT_EQ(drained, 80u * 8u);
     // The cycle above used exactly the 8 directed pairs it touched.
     EXPECT_EQ(net.reliability()->livePairs(), 8u);
@@ -323,7 +334,7 @@ TEST(DirectoryAlloc, ShardSteadyStateIsAllocationFree)
         e.addSharer(static_cast<ProcId>(l % 16));
     }
 
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     std::uint64_t sharers = 0;
     for (int r = 0; r < 64; ++r) {
         for (LineIdx l = 0; l < 64; ++l) {
@@ -339,7 +350,7 @@ TEST(DirectoryAlloc, ShardSteadyStateIsAllocationFree)
                 sharers += e.busy ? 1u : 0u;
             });
     }
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
     // Lazily created entries start with the home (proc 0) as owner
     // and sole sharer, so the 60 entries whose warm-up sharer was
     // not proc 0 count two sharers, the other 4 count one.
@@ -398,12 +409,12 @@ TEST(MessageHotPath, DispatchThroughProtocolIsAllocationFree)
         t = events.now() + 1;
     }
 
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     for (int r = 0; r < 64; ++r) {
         cycle(t);
         t = events.now() + 1;
     }
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
     EXPECT_EQ(handled, 68u * 4u);
 }
 
@@ -445,9 +456,69 @@ TEST(ThreadBackendHotPath, RingTransferOfLineMessagesIsAllocationFree)
     };
     cycle(8);
 
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     cycle(64);
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
+}
+
+// --------------------------------------------------------------------
+// Parallel simulation engine (sim/pdes.hh)
+// --------------------------------------------------------------------
+
+/** Self-perpetuating churn event: hops within its machine (an
+ *  in-window provisional insert) `hops` times, then jumps to the next
+ *  machine exactly one lookahead out (a deferred record committed at
+ *  the window barrier).  One child per firing, so the event
+ *  population is constant and the steady state is pure recycling. */
+struct PdesChurn
+{
+    ParallelEngine *eng;
+    std::atomic<std::uint64_t> *fired;
+    int machine;
+    int hops;
+
+    void
+    operator()() const
+    {
+        fired->fetch_add(1, std::memory_order_relaxed);
+        const Tick now = eng->now();
+        if (hops > 0) {
+            PdesChurn next{eng, fired, machine, hops - 1};
+            eng->scheduleOn(machine, now + 100,
+                            EventQueue::Callback(next));
+        } else {
+            PdesChurn next{eng, fired,
+                           (machine + 1) % eng->machines(), 8};
+            eng->scheduleOn(next.machine, now + eng->lookahead(),
+                            EventQueue::Callback(next));
+        }
+    }
+};
+
+TEST(ParallelEngineAlloc, WindowSteadyStateIsAllocationFree)
+{
+    // 4 machines on 2 workers, lookahead 1000: every window runs
+    // in-window hops on the wheels, records them, and commits one
+    // cross-machine handoff per machine at the barrier — the full
+    // record/merge/provisional-tag machinery every window.
+    ParallelEngine eng(4, 2, 1000);
+    std::atomic<std::uint64_t> fired{0};
+    for (int m = 0; m < eng.machines(); ++m)
+        eng.scheduleOn(m, 1, EventQueue::Callback(
+                                 PdesChurn{&eng, &fired, m, 8}));
+
+    // Warm-up: worker pool starts, node slabs, record lists, merge
+    // heap and winTag tables grow to their steady-state peaks.
+    for (int w = 0; w < 50; ++w)
+        ASSERT_TRUE(eng.runWindow());
+
+    const std::uint64_t before = allocCount();
+    const std::uint64_t firedBefore =
+        fired.load(std::memory_order_relaxed);
+    for (int w = 0; w < 1000; ++w)
+        ASSERT_TRUE(eng.runWindow());
+    EXPECT_EQ(allocCount(), before);
+    EXPECT_GT(fired.load(std::memory_order_relaxed), firedBefore);
 }
 
 TEST(ThreadBackendHotPath, DeadlineWheelSteadyStateIsAllocationFree)
@@ -474,9 +545,9 @@ TEST(ThreadBackendHotPath, DeadlineWheelSteadyStateIsAllocationFree)
     };
     cycle(8);
 
-    const std::uint64_t before = g_allocs;
+    const std::uint64_t before = allocCount();
     cycle(64);
-    EXPECT_EQ(g_allocs, before);
+    EXPECT_EQ(allocCount(), before);
     EXPECT_EQ(wheel.size(), 0u);
 }
 

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Environment-knob validation tests (the env/argv hardening sweep).
+ *
+ * Every SHASTA_* tuning knob used to be parsed with atoi/atof/
+ * strtoull-with-no-end-check, which silently accepted trailing junk
+ * ("64x" -> 64), truncated overflow, and turned garbage into 0 — a
+ * mistyped knob produced a *plausible* run instead of an error.  The
+ * strict parsers (sim/env.hh) exit(2) with a diagnostic naming the
+ * variable and value.  Each knob gets a death-test case proving a
+ * garbage value is rejected by name, plus positive cases proving
+ * well-formed values still apply.
+ *
+ * Death tests use EXPECT_EXIT with a fork, so the setenv/unsetenv
+ * mutations in the parent are safe: each case scopes its variable
+ * with EnvGuard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "dsm/config.hh"
+#include "net/fault.hh"
+#include "net/reliable.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/** Scoped environment variable: set on construction, unset on
+ *  destruction (tests never leak knobs into each other). */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        setenv(name, value, 1);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+    EnvGuard(const EnvGuard &) = delete;
+    EnvGuard &operator=(const EnvGuard &) = delete;
+
+  private:
+    const char *name_;
+};
+
+using ConfigEnvDeath = ::testing::Test;
+
+// --------------------------------------------------------------------
+// Rejection: garbage, trailing junk, negatives, out-of-range values
+// exit(2) naming the variable.
+// --------------------------------------------------------------------
+
+TEST(ConfigEnvDeath, RetxMaxAttemptsRejectsTrailingJunk)
+{
+    EnvGuard g("SHASTA_RETX_MAX_ATTEMPTS", "30x");
+    RetxParams r;
+    EXPECT_EXIT(r.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_RETX_MAX_ATTEMPTS");
+}
+
+TEST(ConfigEnvDeath, RetxMaxAttemptsRejectsZero)
+{
+    EnvGuard g("SHASTA_RETX_MAX_ATTEMPTS", "0");
+    RetxParams r;
+    EXPECT_EXIT(r.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_RETX_MAX_ATTEMPTS");
+}
+
+TEST(ConfigEnvDeath, RetxBackoffCapRejectsGarbage)
+{
+    EnvGuard g("SHASTA_RETX_BACKOFF_CAP", "fast");
+    RetxParams r;
+    EXPECT_EXIT(r.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_RETX_BACKOFF_CAP");
+}
+
+TEST(ConfigEnvDeath, RetxRtoUsRejectsNegative)
+{
+    EnvGuard g("SHASTA_RETX_RTO_US", "-5");
+    RetxParams r;
+    EXPECT_EXIT(r.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_RETX_RTO_US");
+}
+
+TEST(ConfigEnvDeath, RingCapRejectsTrailingJunk)
+{
+    EnvGuard g("SHASTA_RING_CAP", "1024kb");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    EXPECT_EXIT(cfg.applyBackendEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_RING_CAP");
+}
+
+TEST(ConfigEnvDeath, ThreadStallMsRejectsNegative)
+{
+    EnvGuard g("SHASTA_THREAD_STALL_MS", "-1");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    EXPECT_EXIT(cfg.applyBackendEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_THREAD_STALL_MS");
+}
+
+TEST(ConfigEnvDeath, ThreadFuzzRejectsGarbage)
+{
+    EnvGuard g("SHASTA_THREAD_FUZZ", "0xzz");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    EXPECT_EXIT(cfg.applyBackendEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_THREAD_FUZZ");
+}
+
+TEST(ConfigEnvDeath, ThreadFuzzRejectsNegative)
+{
+    EnvGuard g("SHASTA_THREAD_FUZZ", "-7");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    EXPECT_EXIT(cfg.applyBackendEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_THREAD_FUZZ");
+}
+
+TEST(ConfigEnvDeath, EngineThreadsRejectsTrailingJunk)
+{
+    EnvGuard g("SHASTA_ENGINE_THREADS", "4.0");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    EXPECT_EXIT(cfg.applyBackendEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_ENGINE_THREADS");
+}
+
+TEST(ConfigEnvDeath, EngineThreadsRejectsZero)
+{
+    EnvGuard g("SHASTA_ENGINE_THREADS", "0");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    EXPECT_EXIT(cfg.applyBackendEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_ENGINE_THREADS");
+}
+
+TEST(ConfigEnvDeath, FaultSeedRejectsTrailingJunk)
+{
+    EnvGuard g("SHASTA_FAULT_SEED", "11seed");
+    FaultConfig f;
+    EXPECT_EXIT(f.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_FAULT_SEED");
+}
+
+TEST(ConfigEnvDeath, FaultSeedRejectsNegative)
+{
+    EnvGuard g("SHASTA_FAULT_SEED", "-1");
+    FaultConfig f;
+    EXPECT_EXIT(f.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_FAULT_SEED");
+}
+
+TEST(ConfigEnvDeath, DropPctRejectsGarbage)
+{
+    EnvGuard g("SHASTA_DROP_PCT", "two");
+    FaultConfig f;
+    EXPECT_EXIT(f.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_DROP_PCT");
+}
+
+TEST(ConfigEnvDeath, DropPctRejectsOutOfRange)
+{
+    // validate() caps drop at 50%; the env parse enforces the same
+    // range instead of aborting later with a less specific message.
+    EnvGuard g("SHASTA_DROP_PCT", "75");
+    FaultConfig f;
+    EXPECT_EXIT(f.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_DROP_PCT");
+}
+
+TEST(ConfigEnvDeath, JitterUsRejectsInfinity)
+{
+    EnvGuard g("SHASTA_JITTER_US", "inf");
+    FaultConfig f;
+    EXPECT_EXIT(f.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_JITTER_US");
+}
+
+// --------------------------------------------------------------------
+// Acceptance: well-formed values still apply.
+// --------------------------------------------------------------------
+
+TEST(ConfigEnv, WellFormedValuesApply)
+{
+    EnvGuard g1("SHASTA_ENGINE_THREADS", "4");
+    EnvGuard g2("SHASTA_RING_CAP", "2048");
+    EnvGuard g3("SHASTA_THREAD_FUZZ", "0x1f");
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.applyBackendEnv();
+    EXPECT_EQ(cfg.engineThreads, 4);
+    EXPECT_EQ(cfg.ringCapacity, 2048);
+    EXPECT_EQ(cfg.threadFuzzSeed, 0x1fu);
+}
+
+TEST(ConfigEnv, RetxAndFaultValuesApply)
+{
+    EnvGuard g1("SHASTA_RETX_MAX_ATTEMPTS", "12");
+    EnvGuard g2("SHASTA_RETX_RTO_US", "150.5");
+    RetxParams r;
+    r.applyEnv();
+    EXPECT_EQ(r.maxAttempts, 12);
+    EXPECT_DOUBLE_EQ(r.rtoUs, 150.5);
+
+    EnvGuard g3("SHASTA_DROP_PCT", "2.5");
+    EnvGuard g4("SHASTA_FAULT_SEED", "99");
+    FaultConfig f;
+    f.applyEnv();
+    EXPECT_DOUBLE_EQ(f.dropPct, 2.5);
+    EXPECT_EQ(f.seed, 99u);
+}
+
+TEST(ConfigEnv, UnsetKeepsDefaults)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    const int ring = cfg.ringCapacity;
+    cfg.applyBackendEnv();
+    EXPECT_EQ(cfg.engineThreads, 1);
+    EXPECT_EQ(cfg.ringCapacity, ring);
+}
+
+} // namespace
+} // namespace shasta

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Parallel-engine equivalence tests (ctest labels: thread).
+ *
+ * The conservative-lookahead parallel engine (sim/pdes.hh) promises
+ * more than statistical equivalence: its committed event order is the
+ * serial engine's, byte for byte.  These tests hold that promise at
+ * the highest level the repo has — full application runs — by
+ * rendering each run's statistics through the same JSON path
+ * --stats-json uses and comparing the strings exactly, across
+ * engine-thread counts, with and without fault injection.
+ *
+ * A golden pin rides along: the lu/Smp row from golden_test.cc must
+ * reproduce under --engine-threads=4, so a parallel-engine regression
+ * fails against checked-in constants even if both engines drift
+ * together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "apps/app.hh"
+#include "dsm/config.hh"
+#include "dsm/runtime.hh"
+#include "obs/stats_json.hh"
+#include "sim/pdes.hh"
+
+namespace shasta
+{
+namespace
+{
+
+/** Small problem sizes (match golden_test goldenParams scale). */
+AppParams
+tinyParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+FaultConfig
+seededFaults()
+{
+    FaultConfig f;
+    f.dropPct = 2.0;
+    f.dupPct = 1.0;
+    f.reorderPct = 1.0;
+    f.seed = 11;
+    return f;
+}
+
+struct RunOut
+{
+    std::string json;
+    double checksum = 0.0;
+};
+
+/** One full app run rendered through the --stats-json JSON path. */
+RunOut
+runWith(const std::string &name, DsmConfig cfg, int engine_threads,
+        bool faults)
+{
+    cfg.engineThreads = engine_threads;
+    if (faults)
+        cfg.fault = seededFaults();
+    auto app = createApp(name);
+    const AppParams p = tinyParams(*app);
+    const AppResult r = runApp(*app, cfg, p);
+
+    obs::RunSummary s;
+    s.app = name;
+    s.config = "pdes-equiv";
+    s.mode = "smp";
+    s.numProcs = cfg.numProcs;
+    s.clustering = cfg.clustering;
+    s.wallTime = r.wallTime;
+    s.breakdown = r.breakdown;
+    s.counters = r.counters;
+    s.lat = r.lat;
+    s.net = r.net;
+    s.checks = r.checks;
+    s.dir = r.dir;
+    return RunOut{obs::toJson(s), r.checksum};
+}
+
+class PdesEquivalence : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PdesEquivalence, StatsJsonByteIdenticalAcrossEngineThreads)
+{
+    const std::string app = GetParam();
+    const DsmConfig cfg = DsmConfig::smp(16, 4); // 4 machines
+    for (const bool faults : {false, true}) {
+        const RunOut serial = runWith(app, cfg, 1, faults);
+        for (const int threads : {2, 4}) {
+            const RunOut par = runWith(app, cfg, threads, faults);
+            EXPECT_EQ(par.json, serial.json)
+                << app << " engineThreads=" << threads
+                << " faults=" << faults;
+            EXPECT_EQ(par.checksum, serial.checksum);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PdesEquivalence,
+                         ::testing::Values("lu", "water-nsq"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &ch : n)
+                                 if (ch == '-')
+                                     ch = '_';
+                             return n;
+                         });
+
+/** The golden_test lu/Smp row must reproduce under the parallel
+ *  engine — pinned constants, not just self-consistency. */
+TEST(PdesGolden, LuSmpRowReproducesUnderFourThreads)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4); // 2 machines
+    cfg.engineThreads = 4;                // clamped to 2
+    auto app = createApp("lu");
+    const AppResult r = runApp(*app, cfg, tinyParams(*app));
+    EXPECT_EQ(static_cast<std::uint64_t>(r.wallTime), 3102358u);
+    EXPECT_EQ(r.net.total(), 2527u);
+    EXPECT_EQ(r.net.remoteMsgs, 2260u);
+    EXPECT_EQ(r.net.downgradeMsgs, 122u);
+    EXPECT_EQ(r.counters.totalMisses(), 776u);
+    EXPECT_EQ(r.counters.totalDowngradeOps(), 776u);
+}
+
+/** Same shape runApp() gives every run: the measured region is what
+ *  flips the engine from serial stepping into lookahead windows. */
+Task
+measuredBody(Context &c, App &app, const AppParams &p)
+{
+    co_await c.barrier();
+    c.beginMeasure();
+    co_await app.body(c, p);
+    co_await c.barrier();
+}
+
+/** The engine must actually engage (not silently fall back to the
+ *  serial path) and execute lookahead windows. */
+TEST(PdesEngine, EngagesAndExecutesWindows)
+{
+    DsmConfig cfg = DsmConfig::smp(16, 4);
+    cfg.engineThreads = 4;
+    Runtime rt(cfg);
+    auto app = createApp("lu");
+    const AppParams p = tinyParams(*app);
+    app->setup(rt, p);
+    ASSERT_NE(rt.engine(), nullptr);
+    rt.run([&](Context &c) { return measuredBody(c, *app, p); });
+    EXPECT_GT(rt.engine()->windows(), 0u);
+    EXPECT_GT(rt.engine()->processed(), 0u);
+}
+
+/** Features that observe mid-run execution order force the serial
+ *  engine regardless of engineThreads. */
+TEST(PdesEngine, ForcedSerialFallbacks)
+{
+    {
+        DsmConfig cfg = DsmConfig::smp(16, 4);
+        cfg.engineThreads = 4;
+        cfg.audit = AuditConfig::full();
+        Runtime rt(cfg);
+        EXPECT_EQ(rt.engine(), nullptr);
+    }
+    {
+        DsmConfig cfg = DsmConfig::hardware(4);
+        cfg.engineThreads = 4;
+        Runtime rt(cfg);
+        EXPECT_EQ(rt.engine(), nullptr);
+    }
+    {
+        // Single machine: nothing to partition.
+        DsmConfig cfg = DsmConfig::smp(4, 4);
+        cfg.engineThreads = 4;
+        Runtime rt(cfg);
+        EXPECT_EQ(rt.engine(), nullptr);
+    }
+}
+
+} // namespace
+} // namespace shasta
