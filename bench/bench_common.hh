@@ -62,6 +62,10 @@ struct Options
      *  DsmConfig::engineThreads).  0 = whatever SHASTA_ENGINE_THREADS
      *  says (default 1, the serial event loop). */
     int engineThreads = 0;
+    /** `--opt=SPEC`: protocol fast-path knobs for every run, e.g.
+     *  "migratory,adaptive" or "all" (see OptConfig::parseSpec).
+     *  Empty = whatever SHASTA_OPT says (default all-off). */
+    std::string optSpec;
 };
 
 inline Options &
@@ -132,6 +136,7 @@ parseCommonArgs(int argc, char **argv)
     {
         bool statsJson = false, app = false, jobs = false;
         bool fault = false, backend = false, engineThreads = false;
+        bool opt = false;
     } seen;
     const auto setOnce = [argv](std::string &slot, bool &was_seen,
                                 const char *flag, const char *value) {
@@ -178,12 +183,17 @@ parseCommonArgs(int argc, char **argv)
                    i + 1 < argc) {
             setOnce(engineStr, seen.engineThreads,
                     "--engine-threads", argv[++i]);
+        } else if (std::strncmp(a, "--opt=", 6) == 0) {
+            setOnce(o.optSpec, seen.opt, "--opt", a + 6);
+        } else if (std::strcmp(a, "--opt") == 0 && i + 1 < argc) {
+            setOnce(o.optSpec, seen.opt, "--opt", argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--stats-json=FILE] "
                          "[--app=NAME] [--jobs=N] "
                          "[--engine-threads=N] "
                          "[--backend=sim|thread] "
+                         "[--opt=migratory,elide,adaptive|all|none] "
                          "[--fault=drop:P,dup:P,reorder:P,"
                          "jitter:US,seed:S]\n",
                          argv[0]);
@@ -216,6 +226,14 @@ parseCommonArgs(int argc, char **argv)
         // consults SHASTA_ENGINE_THREADS via applyBackendEnv.
         setenv("SHASTA_ENGINE_THREADS",
                std::to_string(o.engineThreads).c_str(), 1);
+    }
+    if (!o.optSpec.empty()) {
+        // Validate eagerly (a bad spec exits 2 right here), then
+        // route through the environment like --backend: every
+        // Runtime construction applies SHASTA_OPT via
+        // OptConfig::applyEnv.
+        OptConfig::parseSpec("--opt", o.optSpec.c_str());
+        setenv("SHASTA_OPT", o.optSpec.c_str(), 1);
     }
     if (!o.faultSpec.empty()) {
         FaultConfig f;
@@ -313,6 +331,9 @@ recordRun(const std::string &name, const DsmConfig &cfg,
     s.net = r.net;
     s.checks = r.checks;
     s.dir = r.dir;
+    s.adaptiveRegions = r.adaptiveRegions;
+    s.adaptiveShrunk = r.adaptiveShrunk;
+    s.adaptiveGrown = r.adaptiveGrown;
     const std::lock_guard<std::mutex> lock(recordedRunsMutex());
     recordedRuns().push_back(std::move(s));
 }

@@ -35,6 +35,14 @@ struct AppParams
     /** Apply the home placement optimization (FMM, LU-Contig,
      *  Ocean; Section 4.3). */
     bool homePlacement = false;
+    /** Place the app's ownership annotations (RegionAnnot) on its
+     *  shared regions during setup.  Recording is inert unless
+     *  opt.elide acts on it or audit.invariants verifies it; apps
+     *  without a sound annotation ignore the flag. */
+    bool annotate = false;
+    /** Adaptive-granularity profiler/plan (opt.adaptive); attached
+     *  to the Runtime before setup() when non-null. */
+    GranularityAdvisor *advisor = nullptr;
     std::uint64_t seed = 12345;
 };
 
@@ -48,6 +56,12 @@ struct AppResult
     NetworkCounts net;
     CheckCounters checks;
     DirCounters dir;
+    /** @{ Adaptive-granularity plan summary (opt.adaptive with an
+     *  advisor in its apply phase; zero otherwise). */
+    int adaptiveRegions = 0;
+    int adaptiveShrunk = 0;
+    int adaptiveGrown = 0;
+    /** @} */
     double checksum = 0.0;
 };
 

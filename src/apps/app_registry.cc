@@ -62,6 +62,8 @@ AppResult
 runApp(App &app, const DsmConfig &cfg, const AppParams &p)
 {
     Runtime rt(cfg);
+    if (p.advisor)
+        rt.setGranularityAdvisor(p.advisor);
     app.setup(rt, p);
     rt.run([&](Context &c) { return appMain(c, app, p); });
 
@@ -73,6 +75,12 @@ runApp(App &app, const DsmConfig &cfg, const AppParams &p)
     r.net = rt.netCounts();
     r.checks = rt.checkTotals();
     r.dir = rt.dirCounters();
+    if (p.advisor && p.advisor->applying() &&
+        rt.config().opt.adaptive) {
+        r.adaptiveRegions = p.advisor->regions();
+        r.adaptiveShrunk = p.advisor->shrunk();
+        r.adaptiveGrown = p.advisor->grown();
+    }
     r.checksum = app.checksum(rt);
     return r;
 }

@@ -120,6 +120,13 @@ LuApp::setup(Runtime &rt, const AppParams &p)
                 } else {
                     blockAddrs_[idx] = rt.alloc(bytes, block_hint);
                 }
+                if (p.annotate) {
+                    // The 2-D scatter assigns each matrix block one
+                    // static writer; everyone else only reads it.
+                    rt.annotate(blockAddrs_[idx], bytes,
+                                RegionAnnot::SingleWriter,
+                                owner(bi, bj));
+                }
             }
         }
     }

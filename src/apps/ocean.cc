@@ -143,6 +143,7 @@ class OceanApp : public App
                     const Level &coarse);
 
     int iters_ = 0;
+    bool annotate_ = false;
     Level levels_[kLevels];
 };
 
@@ -194,6 +195,14 @@ OceanApp::buildLevel(Runtime &rt, Level &lv, int n,
             lv.baseB[static_cast<std::size_t>(q)] =
                 rt.alloc(bytes);
         }
+        if (annotate_) {
+            // The 4-D layout means subblock q is written only by
+            // processor q (neighbours read its halo rows/columns).
+            rt.annotate(lv.baseA[static_cast<std::size_t>(q)],
+                        bytes, RegionAnnot::SingleWriter, q);
+            rt.annotate(lv.baseB[static_cast<std::size_t>(q)],
+                        bytes, RegionAnnot::SingleWriter, q);
+        }
     }
 }
 
@@ -201,6 +210,7 @@ void
 OceanApp::setup(Runtime &rt, const AppParams &p)
 {
     iters_ = p.iters;
+    annotate_ = p.annotate;
     int n = p.n;
     for (int lv = 0; lv < kLevels; ++lv) {
         buildLevel(rt, levels_[lv], n, p.homePlacement);

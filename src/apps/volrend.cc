@@ -101,6 +101,19 @@ class VolrendApp : public App
                               opacity_ + static_cast<Addr>(d) * 8,
                               opacityOf(d));
 
+        if (p.annotate) {
+            // The volume and the opacity map are written only here,
+            // before the processors start: every in-run access is a
+            // read, so their checks are provably redundant.
+            rt.annotate(volume_,
+                        static_cast<std::size_t>(v_) *
+                            static_cast<std::size_t>(v_) *
+                            static_cast<std::size_t>(v_),
+                        RegionAnnot::ReadOnlyAfterBarrier);
+            rt.annotate(opacity_, 256 * 8,
+                        RegionAnnot::ReadOnlyAfterBarrier);
+        }
+
         const int tiles = (m_ + kTile - 1) / kTile;
         wq_ = makeWorkQueue(rt, tiles * tiles);
     }

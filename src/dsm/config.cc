@@ -37,6 +37,68 @@ AuditConfig::applyEnv()
     }
 }
 
+OptConfig
+OptConfig::parseSpec(const char *what, const char *value)
+{
+    auto bad = [&](std::string_view tok, const char *why) {
+        std::fprintf(stderr,
+                     "shasta: invalid %s='%s' (%s token '%.*s'; want "
+                     "a comma list of migratory|elide|adaptive, or "
+                     "all|none alone)\n",
+                     what, value, why,
+                     static_cast<int>(tok.size()), tok.data());
+        std::exit(2);
+    };
+    OptConfig out;
+    bool seen[3] = {false, false, false};
+    bool seen_alias = false;
+    int tokens = 0;
+    std::string_view rest(value);
+    for (;;) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view tok = rest.substr(0, comma);
+        ++tokens;
+        if (tok.empty()) {
+            bad(tok, "empty");
+        } else if (tok == "migratory") {
+            if (seen[0])
+                bad(tok, "duplicate");
+            seen[0] = out.migratory = true;
+        } else if (tok == "elide") {
+            if (seen[1])
+                bad(tok, "duplicate");
+            seen[1] = out.elide = true;
+        } else if (tok == "adaptive") {
+            if (seen[2])
+                bad(tok, "duplicate");
+            seen[2] = out.adaptive = true;
+        } else if (tok == "all") {
+            out.migratory = out.elide = out.adaptive = true;
+            seen_alias = true;
+        } else if (tok == "none") {
+            out = OptConfig{};
+            seen_alias = true;
+        } else {
+            bad(tok, "unknown");
+        }
+        if (comma == std::string_view::npos)
+            break;
+        rest = rest.substr(comma + 1);
+    }
+    if (seen_alias && tokens > 1)
+        bad(value, "all/none must stand alone in");
+    return out;
+}
+
+void
+OptConfig::applyEnv()
+{
+    const char *e = std::getenv("SHASTA_OPT");
+    if (!e || *e == '\0')
+        return;
+    *this = parseSpec("SHASTA_OPT", e);
+}
+
 int
 DsmConfig::effectiveClustering() const
 {

@@ -124,6 +124,50 @@ struct AuditConfig
     void applyEnv();
 };
 
+/**
+ * Protocol fast-path optimizations (the opt layer).
+ *
+ * Each technique is an independently-toggleable knob, all off by
+ * default so the baseline protocol (and its golden statistics) are
+ * untouched.  The SHASTA_OPT environment variable and the --opt=
+ * bench flag accept a comma list of "migratory", "elide",
+ * "adaptive", or the shorthands "all" / "none"; unknown, duplicate
+ * or empty tokens are hard errors (exit 2), matching the strict
+ * sim/env parsers.
+ */
+struct OptConfig
+{
+    /** Migratory-sharing detection: when a line's recent history is
+     *  read-miss-then-write-upgrade by successive distinct
+     *  processors, the home grants exclusive on the next read miss,
+     *  eliminating the upgrade round-trip and its invalidation
+     *  fan-out. */
+    bool migratory = false;
+    /** Ownership-driven check elision: region annotations
+     *  (private / single-writer / read-only-after-barrier) let the
+     *  check model charge zero cost for accesses the annotation
+     *  proves safe. */
+    bool elide = false;
+    /** Adaptive per-region block granularity: a profiling pass feeds
+     *  a GranularityAdvisor that picks per-region block sizes at
+     *  allocation time. */
+    bool adaptive = false;
+
+    bool any() const { return migratory || elide || adaptive; }
+
+    /** Apply the SHASTA_OPT environment variable, if set and
+     *  non-empty.  Malformed values exit(2) naming the variable. */
+    void applyEnv();
+
+    /**
+     * Strict parse of a comma token list ("migratory,elide", "all",
+     * "none", ...).  @p what names the flag/variable for the
+     * diagnostic; any unknown, duplicate, or empty token (or
+     * "all"/"none" combined with other tokens) exits(2).
+     */
+    static OptConfig parseSpec(const char *what, const char *value);
+};
+
 /** Which execution substrate runs the processors. */
 enum class BackendKind
 {
@@ -187,6 +231,10 @@ struct DsmConfig
     /** Retransmission policy for the reliability sublayer, on either
      *  backend (SHASTA_RETX_* override per-process). */
     RetxParams retx{};
+    /** Protocol fast-path optimizations (all off by default;
+     *  SHASTA_OPT overrides per-process via opt.applyEnv(), which
+     *  the Runtime constructor calls). */
+    OptConfig opt{};
 
     /** @{ Execution backend selection + thread-backend knobs. */
     /** Which substrate runs the processors (SHASTA_BACKEND=sim|thread

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
+#include "audit/invariant_auditor.hh"
 #include "dsm/runtime.hh"
 
 namespace shasta
@@ -21,8 +23,105 @@ Context::Context(Runtime &rt, Proc &proc)
       // Multi-processor runs must interleave at quantum boundaries
       // even without a protocol (hardware mode), or a work-queue
       // app would be drained by whichever processor runs first.
-      needYield_(rt.config().numProcs > 1)
+      needYield_(rt.config().numProcs > 1),
+      elide_(rt.config().opt.elide),
+      auditAnnots_(rt.config().audit.invariants)
 {
+}
+
+// ---------------------------------------------------------------------
+// Region annotations (opt.elide + audit verifier)
+// ---------------------------------------------------------------------
+
+Context::AnnotAction
+Context::annotAction(Addr a, bool store, Tick cost)
+{
+    // Both knobs default off and annotations are rare; one cached
+    // bool plus one heap flag keep the un-annotated hot path intact.
+    if (!(elide_ || auditAnnots_) || !heap_.hasAnnotations())
+        return AnnotAction::Charge;
+    const LineIdx line = heap_.lineOf(a);
+    const RegionAnnot k = heap_.annotationOf(line);
+    if (k == RegionAnnot::None)
+        return AnnotAction::Charge;
+    const bool is_owner = proc_.id == heap_.annotOwnerOf(line);
+    if (auditAnnots_) {
+        const bool bad =
+            (k == RegionAnnot::Private && !is_owner) ||
+            (k == RegionAnnot::SingleWriter && store && !is_owner) ||
+            (k == RegionAnnot::ReadOnlyAfterBarrier && store);
+        if (bad)
+            annotViolation(line, k, store);
+    }
+    if (!elide_)
+        return AnnotAction::Charge;
+    switch (k) {
+      case RegionAnnot::Private:
+        if (!is_owner)
+            return AnnotAction::Charge;
+        countElided(cost);
+        return AnnotAction::Bypass;
+      case RegionAnnot::SingleWriter:
+        // Only the owner's *stores* are provably safe; reads by
+        // other processors still need real coherence checks.
+        if (!store || !is_owner)
+            return AnnotAction::Charge;
+        countElided(cost);
+        return AnnotAction::Elide;
+      case RegionAnnot::ReadOnlyAfterBarrier:
+        if (store)
+            return AnnotAction::Charge;
+        countElided(cost);
+        return AnnotAction::Elide;
+      default:
+        return AnnotAction::Charge;
+    }
+}
+
+bool
+Context::batchElided(LineIdx first, std::uint32_t n, bool write)
+{
+    if (!(elide_ || auditAnnots_) || !heap_.hasAnnotations())
+        return false;
+    bool all = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const LineIdx line = first + i;
+        const RegionAnnot k = heap_.annotationOf(line);
+        if (k == RegionAnnot::None) {
+            all = false;
+            continue;
+        }
+        const bool is_owner = proc_.id == heap_.annotOwnerOf(line);
+        if (auditAnnots_) {
+            const bool bad =
+                (k == RegionAnnot::Private && !is_owner) ||
+                (k == RegionAnnot::SingleWriter && write &&
+                 !is_owner) ||
+                (k == RegionAnnot::ReadOnlyAfterBarrier && write);
+            if (bad)
+                annotViolation(line, k, write);
+        }
+        const bool ok =
+            (k == RegionAnnot::Private && is_owner) ||
+            (k == RegionAnnot::SingleWriter && write && is_owner) ||
+            (k == RegionAnnot::ReadOnlyAfterBarrier && !write);
+        all = all && ok;
+    }
+    return elide_ && all;
+}
+
+void
+Context::annotViolation(LineIdx line, RegionAnnot kind,
+                        bool store) const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "annotation violation: P%d %s line %llu annotated"
+                  " %s (owner P%d)",
+                  proc_.id, store ? "stores to" : "loads from",
+                  static_cast<unsigned long long>(line),
+                  regionAnnotName(kind), heap_.annotOwnerOf(line));
+    throw AuditError(buf);
 }
 
 int
@@ -82,7 +181,9 @@ Context::loadSlow(Addr a, bool flag_checked)
     }
 
     for (;;) {
-        switch (proto_.loadMiss(p, line)) {
+        // Scalar loads are migratory-grant candidates (batch reads
+        // resolve with the hint off; see resolveBatchRegion).
+        switch (proto_.loadMiss(p, line, true)) {
           case MissOutcome::Resolved:
             co_return;
           case MissOutcome::WaitData:
@@ -225,8 +326,13 @@ Context::BatchAwait::await_ready()
     ++p.checks.batchChecks;
     const Tick cost = ctx->check_.batchCheck(
         static_cast<int>(r.numLines), !r.write);
-    p.now += cost;
-    p.checks.checkCycles += cost;
+    if (ctx->batchElided(r.firstLine, r.numLines, r.write)) {
+        ++p.checks.elidedChecks;
+        p.checks.elidedCheckCycles += cost;
+    } else {
+        p.now += cost;
+        p.checks.checkCycles += cost;
+    }
     if (!ctx->check_.enabled())
         return true;
     return ctx->batchRegionReady(r);
@@ -245,8 +351,21 @@ Context::BatchSetAwait::await_ready()
         loads_only = loads_only && !s.r[i].write;
     }
     const Tick cost = ctx->check_.batchCheck(lines, loads_only);
-    p.now += cost;
-    p.checks.checkCycles += cost;
+    // Audit every range (no short-circuit); elide the combined cost
+    // only if every range is provably redundant.
+    bool all_elided = s.n > 0;
+    for (int i = 0; i < s.n; ++i) {
+        const bool e = ctx->batchElided(
+            s.r[i].firstLine, s.r[i].numLines, s.r[i].write);
+        all_elided = all_elided && e;
+    }
+    if (all_elided) {
+        ++p.checks.elidedChecks;
+        p.checks.elidedCheckCycles += cost;
+    } else {
+        p.now += cost;
+        p.checks.checkCycles += cost;
+    }
     if (!ctx->check_.enabled())
         return true;
     for (int i = 0; i < s.n; ++i) {

@@ -205,29 +205,40 @@ class Context
         {
             Proc &p = c->proc_;
             ++p.checks.loads;
+            Tick cost;
             if constexpr (sizeof(T) >= 4) {
                 // Invalid-flag check: load, compare, branch (state
                 // table when the flag optimization is disabled).
-                const Tick cost = c->check_.accessCheck(
+                cost = c->check_.accessCheck(
                     Fp ? AccessKind::LoadFp : AccessKind::LoadInt);
+            } else {
+                // Sub-longword loads cannot use the flag; they check
+                // the state table like stores.
+                cost = c->check_.enabled()
+                           ? c->check_.costs().stateTable
+                           : 0;
+            }
+            switch (c->annotAction(a, false, cost)) {
+              case AnnotAction::Bypass:
+                // Private region, owner access: the data can never
+                // be remotely invalid, so the check (and any false
+                // miss on the flag value) is skipped entirely.
+                return true;
+              case AnnotAction::Elide:
+                break; // charge nothing; keep the check's logic
+              case AnnotAction::Charge:
                 p.now += cost;
                 p.checks.checkCycles += cost;
-                if (!c->check_.enabled())
-                    return true;
+                break;
+            }
+            if (!c->check_.enabled())
+                return true;
+            if constexpr (sizeof(T) >= 4) {
                 if (!c->check_.loadsUseFlag())
                     return c->readableFast(a);
                 const T v = c->mem_->read<T>(a);
                 return !valueIsFlag(v);
             } else {
-                // Sub-longword loads cannot use the flag; they check
-                // the state table like stores.
-                const Tick cost = c->check_.enabled()
-                                      ? c->check_.costs().stateTable
-                                      : 0;
-                p.now += cost;
-                p.checks.checkCycles += cost;
-                if (!c->check_.enabled())
-                    return true;
                 return c->readableFast(a);
             }
         }
@@ -291,8 +302,21 @@ class Context
             Proc &p = c->proc_;
             ++p.checks.stores;
             const Tick cost = c->check_.accessCheck(AccessKind::Store);
-            p.now += cost;
-            p.checks.checkCycles += cost;
+            switch (c->annotAction(a, true, cost)) {
+              case AnnotAction::Bypass:
+                // Private region, owner store: the data lives in
+                // the owner node's memory (annotate() validated the
+                // home) and no other processor ever touches it, so
+                // the store needs no coherence work at all.
+                c->mem_->write<T>(a, v);
+                return true;
+              case AnnotAction::Elide:
+                break; // charge nothing; keep the store's logic
+              case AnnotAction::Charge:
+                p.now += cost;
+                p.checks.checkCycles += cost;
+                break;
+            }
             if (!c->check_.enabled() || c->writableFast(a)) {
                 c->mem_->write<T>(a, v);
                 return true;
@@ -518,6 +542,42 @@ class Context
         return proto_.privState(proc_, line) != PState::Invalid;
     }
 
+    // -----------------------------------------------------------------
+    // Region annotations (opt.elide + audit verifier)
+    // -----------------------------------------------------------------
+
+    /** What a region annotation lets this access skip. */
+    enum class AnnotAction : std::uint8_t
+    {
+        Charge, ///< no annotation applies: charge the check normally
+        Elide,  ///< check provably redundant: zero cost, keep logic
+        Bypass, ///< private region, owner access: skip the protocol
+    };
+
+    /**
+     * Classify one access against the line's annotation, counting
+     * elided checks and auditing for contradictions (a wrong
+     * annotation throws AuditError when audit.invariants is on, and
+     * is never silently acted upon).  Returns Charge in the common
+     * un-annotated case.
+     */
+    AnnotAction annotAction(Addr a, bool store, Tick cost);
+
+    /** Batch-check variant: true if every line of the region is
+     *  annotated such that this processor's batch check is provably
+     *  redundant.  Audits each line as a side effect. */
+    bool batchElided(LineIdx first, std::uint32_t n, bool write);
+
+    [[noreturn]] void annotViolation(LineIdx line, RegionAnnot kind,
+                                     bool store) const;
+
+    void
+    countElided(Tick cost)
+    {
+        ++proc_.checks.elidedChecks;
+        proc_.checks.elidedCheckCycles += cost;
+    }
+
     /** @{ Slow paths (detached coroutines). */
     SlowOp loadSlow(Addr a, bool flag_checked);
     SlowOp storeSlow(Addr a, int len, std::uint64_t packed);
@@ -617,6 +677,10 @@ class Context
     NodeMemory *mem_;
     CheckModel check_;
     bool needYield_;
+    /** opt.elide: annotations may zero check costs. */
+    bool elide_;
+    /** audit.invariants: verify accesses against annotations. */
+    bool auditAnnots_;
 };
 
 } // namespace shasta

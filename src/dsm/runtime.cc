@@ -26,6 +26,7 @@ Runtime::Runtime(const DsmConfig &cfg)
     cfg_.fault.applyEnv();
     cfg_.retx.applyEnv();
     cfg_.applyBackendEnv();
+    cfg_.opt.applyEnv();
     cfg_.validate();
     obs::initTraceJsonFromEnv();
     if (obs::traceJsonEnabled())
@@ -163,7 +164,17 @@ Runtime::~Runtime() = default;
 Addr
 Runtime::alloc(std::size_t bytes, std::size_t block_bytes)
 {
+    if (advisor_) {
+        block_bytes = advisor_->adviseBlock(cfg_.opt.adaptive, bytes,
+                                            block_bytes);
+    }
     const Addr a = heap_.alloc(bytes, block_bytes);
+    if (advisor_) {
+        advisor_->noteAlloc(
+            heap_.lineOf(a),
+            static_cast<std::uint32_t>(heap_.linesInUse() -
+                                       heap_.lineOf(a)));
+    }
     if (cfg_.protocolActive())
         proto_->onAlloc(a, bytes);
     return a;
@@ -173,6 +184,10 @@ Addr
 Runtime::allocHomed(std::size_t bytes, std::size_t block_bytes,
                     ProcId home)
 {
+    if (advisor_) {
+        block_bytes = advisor_->adviseBlock(cfg_.opt.adaptive, bytes,
+                                            block_bytes);
+    }
     // Pad the heap to a page boundary so the placement hint does not
     // capture earlier allocations sharing the page.
     const Addr brk = heap_.brk();
@@ -182,11 +197,58 @@ Runtime::allocHomed(std::size_t bytes, std::size_t block_bytes,
         heap_.alloc(static_cast<std::size_t>(next_page - brk));
 
     const Addr a = heap_.alloc(bytes, block_bytes);
+    if (advisor_) {
+        advisor_->noteAlloc(
+            heap_.lineOf(a),
+            static_cast<std::uint32_t>(heap_.linesInUse() -
+                                       heap_.lineOf(a)));
+    }
     if (cfg_.protocolActive()) {
         proto_->setPageHome(a, bytes, home);
         proto_->onAlloc(a, bytes);
     }
     return a;
+}
+
+void
+Runtime::annotate(Addr base, std::size_t bytes, RegionAnnot kind,
+                  ProcId owner)
+{
+    if (kind == RegionAnnot::Private) {
+        // A private region must live where its owner does: the home
+        // serves every miss locally and never sees remote requests,
+        // which is what licenses the full check bypass.  Catch a
+        // mismatch at annotation time — loudly, not as silent
+        // corruption later.
+        const NodeId want = topo_.nodeOf(owner);
+        const LineIdx first = heap_.lineOf(base);
+        const LineIdx last = heap_.lineOf(base + bytes - 1);
+        for (LineIdx l = first; l <= last;) {
+            const BlockInfo b = heap_.blockOf(l);
+            const NodeId hn =
+                topo_.nodeOf(proto_->homeProc(b.firstLine));
+            if (hn != want) {
+                throw std::runtime_error(
+                    "annotate(private): line " +
+                    std::to_string(b.firstLine) + " is homed on node " +
+                    std::to_string(hn) + " but owner P" +
+                    std::to_string(owner) + " lives on node " +
+                    std::to_string(want) +
+                    " (home-place the region at the owner)");
+            }
+            l = b.firstLine + b.numLines;
+        }
+    }
+    heap_.annotate(base, bytes, kind, owner);
+}
+
+void
+Runtime::setGranularityAdvisor(GranularityAdvisor *advisor)
+{
+    assert(heap_.linesInUse() == 0 &&
+           "attach the advisor before the first allocation");
+    advisor_ = advisor;
+    proto_->setGranularityAdvisor(advisor);
 }
 
 int
@@ -219,15 +281,28 @@ Runtime::run(const ProcBody &body)
     for (auto &c : ctxs_)
         roots_.push_back(procMain(*c, body));
 
+    // A kernel that throws (audit violations, assertion-style
+    // errors) strands its barrier peers, so the engine sees the
+    // stall before anyone rethrows; surface the root cause instead
+    // of a generic deadlock report.
+    auto rethrowKernelFailure = [this] {
+        for (auto &r : roots_)
+            r.rethrowIfFailed();
+    };
+
     if (threadBackend_) {
         // Pre-arm the measurement window before any worker starts so
         // regionOpen_ is read-only while threads run; each Context's
         // beginMeasure() still resets its own processor.
         openRegion();
-        threadBackend_->run(roots_, *proto_, doneCount_,
-                            [this] { return dumpState(); });
-        for (auto &r : roots_)
-            r.rethrowIfFailed();
+        try {
+            threadBackend_->run(roots_, *proto_, doneCount_,
+                                [this] { return dumpState(); });
+        } catch (...) {
+            rethrowKernelFailure();
+            throw;
+        }
+        rethrowKernelFailure();
         return;
     }
 
@@ -248,13 +323,14 @@ Runtime::run(const ProcBody &body)
                cfg_.numProcs) {
             const bool ok = regionOpen_ ? engine_->runWindow()
                                         : engine_->stepSerial();
-            if (!ok)
+            if (!ok) {
+                rethrowKernelFailure();
                 throw std::runtime_error("simulation deadlock:\n" +
                                          dumpState());
+            }
         }
         engine_->drain();
-        for (auto &r : roots_)
-            r.rethrowIfFailed();
+        rethrowKernelFailure();
         return;
     }
 
@@ -266,15 +342,16 @@ Runtime::run(const ProcBody &body)
     // deadlock (a protocol or synchronization bug).
     while (doneCount_.load(std::memory_order_relaxed) <
            cfg_.numProcs) {
-        if (!events_.step())
+        if (!events_.step()) {
+            rethrowKernelFailure();
             throw std::runtime_error("simulation deadlock:\n" +
                                      dumpState());
+        }
     }
     // Drain in-flight protocol traffic (ownership acks etc.).
     events_.run();
 
-    for (auto &r : roots_)
-        r.rethrowIfFailed();
+    rethrowKernelFailure();
 }
 
 Tick
@@ -321,6 +398,8 @@ Runtime::checkTotals() const
         out.batchChecks += p.checks.batchChecks;
         out.polls += p.checks.polls;
         out.checkCycles += p.checks.checkCycles;
+        out.elidedChecks += p.checks.elidedChecks;
+        out.elidedCheckCycles += p.checks.elidedCheckCycles;
     }
     return out;
 }
@@ -349,6 +428,11 @@ Runtime::runSummary() const
     s.net = netCounts();
     s.checks = checkTotals();
     s.dir = dirCounters();
+    if (advisor_ && advisor_->applying() && cfg_.opt.adaptive) {
+        s.adaptiveRegions = advisor_->regions();
+        s.adaptiveShrunk = advisor_->shrunk();
+        s.adaptiveGrown = advisor_->grown();
+    }
     return s;
 }
 

@@ -24,6 +24,7 @@
 #include "dsm/config.hh"
 #include "dsm/context.hh"
 #include "dsm/proc.hh"
+#include "mem/granularity_advisor.hh"
 #include "mem/shared_heap.hh"
 #include "net/network.hh"
 #include "obs/stats_json.hh"
@@ -67,6 +68,22 @@ class Runtime
 
     /** Create an application lock. */
     int allocLock();
+
+    /**
+     * Annotate an allocated shared region (the opt layer's elide
+     * knob; see RegionAnnot).  Recording is unconditional and inert;
+     * only opt.elide acts on it, and the audit verifier checks every
+     * access against it.  Private regions must be homed on the
+     * owner's node — a mismatch throws immediately.
+     */
+    void annotate(Addr base, std::size_t bytes, RegionAnnot kind,
+                  ProcId owner = -1);
+
+    /** Attach the adaptive-granularity profiler (opt.adaptive); the
+     *  advisor observes allocations and protocol misses (profile
+     *  pass) or overrides block sizes (apply pass).  Must be called
+     *  before the first alloc(). */
+    void setGranularityAdvisor(GranularityAdvisor *advisor);
     /** @} */
 
     /** Factory producing the application coroutine per processor. */
@@ -194,6 +211,7 @@ class Runtime
     Transport *tx_ = nullptr;
     LockApi *lockApi_ = nullptr;
     BarrierApi *barrierApi_ = nullptr;
+    GranularityAdvisor *advisor_ = nullptr;
     std::atomic<int> doneCount_{0};
     bool regionOpen_ = false;
     bool ran_ = false;

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Adaptive per-region block granularity (the opt layer's `adaptive`
+ * knob).
+ *
+ * The Table 2 experiments show the best coherence granularity is a
+ * per-data-structure property: migratory or falsely-shared regions
+ * want small blocks (less invalidation amplification), read-mostly
+ * regions want large ones (fewer misses per byte).  The advisor
+ * automates that choice with a two-pass protocol:
+ *
+ *  1. *Profile pass*: a default-constructed advisor is attached to a
+ *     Runtime (Runtime::setGranularityAdvisor).  Every shared
+ *     allocation registers its line extent, and the protocol's
+ *     existing miss/downgrade slow paths attribute read misses, write
+ *     misses, and downgrade operations to the covering region.
+ *  2. finalize() converts the per-region profile into a block-size
+ *     plan (see decide()).
+ *  3. *Apply pass*: the same advisor is attached to a fresh Runtime
+ *     running the same program.  Allocations replay in the same
+ *     order, and adviseBlock() substitutes the planned block size for
+ *     the application's hint.
+ *
+ * The advisor is always an explicit object threaded through AppParams
+ * — never process-global state — so concurrently sweeping runs
+ * (SweepRunner at --jobs=N) cannot observe each other and schedules
+ * stay byte-identical across job counts.  With no advisor attached
+ * (every normal run), the adaptive knob is a no-op.
+ */
+
+#ifndef SHASTA_MEM_GRANULARITY_ADVISOR_HH
+#define SHASTA_MEM_GRANULARITY_ADVISOR_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/shared_heap.hh"
+
+namespace shasta
+{
+
+class GranularityAdvisor
+{
+  public:
+    /** Planned block size for read-mostly regions.  Matches the
+     *  largest granularity the Table 2 sweep exercises. */
+    static constexpr std::size_t kLargeBlock = 2048;
+
+    bool applying() const { return applying_; }
+
+    /**
+     * Runtime::alloc consults the advisor before carving.  Profile
+     * pass: records the hint and returns it unchanged.  Apply pass:
+     * returns the planned size for this allocation index (the hint
+     * when the knob is off or the replay ran past the profile).
+     */
+    std::size_t
+    adviseBlock(bool adaptive_on, std::size_t bytes, std::size_t hint)
+    {
+        if (!applying_) {
+            regions_.push_back(Region{0, 0, bytes, hint, 0, 0, 0, 0});
+            return hint;
+        }
+        const std::size_t i = cursor_++;
+        if (!adaptive_on || i >= regions_.size())
+            return hint;
+        return regions_[i].planned;
+    }
+
+    /** Profile pass: record the just-carved extent of the most recent
+     *  adviseBlock() allocation.  Apply pass: no-op. */
+    void
+    noteAlloc(LineIdx first, std::uint32_t num_lines)
+    {
+        if (applying_ || regions_.empty())
+            return;
+        regions_.back().first = first;
+        regions_.back().lines = num_lines;
+    }
+
+    /** @{ Miss/downgrade attribution hooks, called from the protocol
+     *  slow paths of the profile run (noteDowngrade only for
+     *  *invalidating* downgrades — exclusive-to-shared transitions
+     *  are cold-read residue, not write sharing).  No-ops once
+     *  applying. */
+    void
+    noteReadMiss(LineIdx line)
+    {
+        if (Region *r = regionOf(line))
+            ++r->reads;
+    }
+
+    void
+    noteWriteMiss(LineIdx line)
+    {
+        if (Region *r = regionOf(line))
+            ++r->writes;
+    }
+
+    void
+    noteDowngrade(LineIdx line)
+    {
+        if (Region *r = regionOf(line))
+            ++r->downgrades;
+    }
+    /** @} */
+
+    /**
+     * Close the profile and compute the plan; subsequent runs with
+     * this advisor attached replay it.  @p line_size is the heap's
+     * line size (the "small" granularity).
+     */
+    void
+    finalize(int line_size)
+    {
+        for (Region &r : regions_) {
+            const Verdict v =
+                decide(r, static_cast<std::size_t>(line_size));
+            r.planned = v.block;
+            shrunk_ += v.kind == Verdict::Shrink;
+            grown_ += v.kind == Verdict::Grow;
+        }
+        applying_ = true;
+        cursor_ = 0;
+    }
+
+    /** Rewind the apply cursor so one finalized advisor can drive
+     *  several apply runs. */
+    void rewind() { cursor_ = 0; }
+
+    /** @{ Plan summary (reporting). */
+    int regions() const { return static_cast<int>(regions_.size()); }
+    int shrunk() const { return shrunk_; }
+    int grown() const { return grown_; }
+    /** @} */
+
+  private:
+    struct Region
+    {
+        LineIdx first;
+        std::uint32_t lines;
+        std::size_t bytes;
+        std::size_t hint;
+        std::uint64_t reads;
+        std::uint64_t writes;
+        std::uint64_t downgrades;
+        std::size_t planned;
+    };
+
+    struct Verdict
+    {
+        enum Kind
+        {
+            Keep,
+            Shrink,
+            Grow
+        };
+        std::size_t block;
+        Kind kind;
+    };
+
+    /**
+     * Policy: write-shared regions (write misses and downgrades rival
+     * the read misses) get single-line blocks, cutting false sharing
+     * and invalidation amplification; read-mostly regions (reads
+     * dwarf write activity) get large blocks, amortizing misses; the
+     * quiet middle keeps the application's hint.  Thresholds keep
+     * cold regions untouched.
+     */
+    static Verdict
+    decide(const Region &r, std::size_t line_size)
+    {
+        const std::uint64_t write_activity = r.writes + r.downgrades;
+        if (write_activity >= 16 && write_activity * 2 >= r.reads)
+            return Verdict{line_size, Verdict::Shrink};
+        if (r.reads >= 64 && write_activity * 8 <= r.reads) {
+            return Verdict{std::max(r.hint, kLargeBlock),
+                           Verdict::Grow};
+        }
+        return Verdict{r.hint, Verdict::Keep};
+    }
+
+    /** Region covering @p line (profile pass; nullptr once applying
+     *  or for lines outside any recorded region). */
+    Region *
+    regionOf(LineIdx line)
+    {
+        if (applying_ || regions_.empty())
+            return nullptr;
+        // Regions are ascending (bump allocator): find the last one
+        // starting at or before the line.
+        auto it = std::upper_bound(
+            regions_.begin(), regions_.end(), line,
+            [](LineIdx l, const Region &r) { return l < r.first; });
+        if (it == regions_.begin())
+            return nullptr;
+        --it;
+        if (line >= it->first + it->lines)
+            return nullptr;
+        return &*it;
+    }
+
+    std::vector<Region> regions_;
+    std::size_t cursor_ = 0;
+    int shrunk_ = 0;
+    int grown_ = 0;
+    bool applying_ = false;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_MEM_GRANULARITY_ADVISOR_HH

@@ -53,6 +53,29 @@ SharedHeap::alloc(std::size_t bytes, std::size_t block_bytes)
     return base;
 }
 
+void
+SharedHeap::annotate(Addr base, std::size_t bytes, RegionAnnot kind,
+                     int owner)
+{
+    assert(bytes > 0);
+    assert(kind != RegionAnnot::None);
+    assert((kind == RegionAnnot::ReadOnlyAfterBarrier ||
+            owner >= 0) &&
+           "private/single-writer annotations need an owner");
+    const LineIdx first = lineOf(base);
+    const LineIdx last = lineOf(base + static_cast<Addr>(bytes) - 1);
+    assert(last < nextLine_ && "annotating unallocated memory");
+    if (annots_.size() < nextLine_) {
+        annots_.resize(nextLine_, 0);
+        annotOwners_.resize(nextLine_, -1);
+    }
+    for (LineIdx l = first; l <= last; ++l) {
+        annots_[l] = static_cast<std::uint8_t>(kind);
+        annotOwners_[l] = owner;
+    }
+    hasAnnotations_ = true;
+}
+
 BlockInfo
 SharedHeap::blockOf(LineIdx line) const
 {

@@ -34,6 +34,46 @@ struct BlockInfo
 };
 
 /**
+ * Ownership annotation of a shared region (the opt layer's `elide`
+ * knob).  Annotations are declarations by the application about who
+ * touches a region; the check model uses them to charge zero cost
+ * for accesses the annotation proves safe, and the audit subsystem
+ * verifies every access against them so a wrong annotation is a loud
+ * error, never silent corruption.
+ */
+enum class RegionAnnot : std::uint8_t
+{
+    None = 0,
+    /** Touched (read or written) only by the owning processor.  The
+     *  region must be homed on the owner's node; the owner's
+     *  accesses then bypass the inline checks entirely. */
+    Private,
+    /** Written only by the owning processor; read by anyone.  The
+     *  owner's store checks charge zero cost (modeling a dedicated
+     *  always-cache-hit revocation flag); coherence traffic is
+     *  unchanged. */
+    SingleWriter,
+    /** Never written after the annotation point (typically the
+     *  post-initialization barrier).  Load checks charge zero cost
+     *  everywhere; any later store is an annotation violation. */
+    ReadOnlyAfterBarrier,
+};
+
+/** Human-readable annotation name (audit diagnostics and tests). */
+constexpr const char *
+regionAnnotName(RegionAnnot a)
+{
+    switch (a) {
+      case RegionAnnot::None: return "none";
+      case RegionAnnot::Private: return "private";
+      case RegionAnnot::SingleWriter: return "single-writer";
+      case RegionAnnot::ReadOnlyAfterBarrier:
+        return "read-only-after-barrier";
+    }
+    return "?";
+}
+
+/**
  * Bump allocator over the shared region that records, for every
  * allocated line, which block it belongs to.
  */
@@ -89,6 +129,35 @@ class SharedHeap
                static_cast<std::size_t>(lineSize_);
     }
 
+    /**
+     * Annotate the allocated region [base, base+bytes) (the opt
+     * layer's elide knob).  @p owner is required for Private and
+     * SingleWriter.  Annotations are recorded unconditionally (they
+     * are inert declarations); only the elide knob acts on them.
+     */
+    void annotate(Addr base, std::size_t bytes, RegionAnnot kind,
+                  int owner = -1);
+
+    /** Annotation covering @p line (None when unannotated). */
+    RegionAnnot
+    annotationOf(LineIdx line) const
+    {
+        return line < annots_.size()
+                   ? static_cast<RegionAnnot>(annots_[line])
+                   : RegionAnnot::None;
+    }
+
+    /** Owning processor of @p line's annotation (-1 if none). */
+    int
+    annotOwnerOf(LineIdx line) const
+    {
+        return line < annotOwners_.size() ? annotOwners_[line] : -1;
+    }
+
+    /** Whether any region has been annotated (fast gate for the
+     *  audit verifier and the elision fast paths). */
+    bool hasAnnotations() const { return hasAnnotations_; }
+
     /** Total lines spanned by allocations so far. */
     LineIdx linesInUse() const { return nextLine_; }
 
@@ -109,6 +178,13 @@ class SharedHeap
 
     /** For each allocated line: first line of its block and length. */
     std::vector<BlockInfo> lineBlocks_;
+
+    /** @{ Per-line ownership annotations (elide knob); sized lazily
+     *  on the first annotate() call. */
+    std::vector<std::uint8_t> annots_;
+    std::vector<int> annotOwners_;
+    bool hasAnnotations_ = false;
+    /** @} */
 };
 
 } // namespace shasta

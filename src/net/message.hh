@@ -41,6 +41,10 @@ enum class MsgType : std::uint8_t
     // Home-to-owner forwards.
     FwdReadReq,
     FwdReadExReq,
+    // Migratory fast path (opt.migratory): the home predicts the
+    // reader will write next and transfers ownership on the read
+    // miss, so the owner surrenders its copy entirely.
+    FwdReadMigReq,
 
     // Invalidations of sharers and their acknowledgements (acks are
     // collected by the requester under eager release consistency).
@@ -51,6 +55,10 @@ enum class MsgType : std::uint8_t
     ReadReply,
     ReadExReply,
     UpgradeReply,
+    // Data reply granting exclusive to a *read* miss (migratory fast
+    // path): carries the block like ReadExReply but closes at the
+    // directory with an OwnershipAck even when no write follows.
+    ReadMigReply,
 
     // Owner informs the home of an exclusive-to-shared transition so
     // the directory can be updated and the transaction closed.
@@ -120,6 +128,8 @@ msgTypeInfoFor(MsgType t)
         return {"FwdReadReq", MsgCostClass::Forward};
       case MsgType::FwdReadExReq:
         return {"FwdReadExReq", MsgCostClass::Forward};
+      case MsgType::FwdReadMigReq:
+        return {"FwdReadMigReq", MsgCostClass::Forward};
       case MsgType::InvalReq:
         return {"InvalReq", MsgCostClass::Invalidation};
       case MsgType::InvalAck:
@@ -130,6 +140,8 @@ msgTypeInfoFor(MsgType t)
         return {"ReadExReply", MsgCostClass::DataReply};
       case MsgType::UpgradeReply:
         return {"UpgradeReply", MsgCostClass::UpgradeReply};
+      case MsgType::ReadMigReply:
+        return {"ReadMigReply", MsgCostClass::DataReply};
       case MsgType::SharingWriteback:
         return {"SharingWriteback", MsgCostClass::HomeClose};
       case MsgType::OwnershipAck:

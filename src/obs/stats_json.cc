@@ -246,6 +246,50 @@ toJson(const RunSummary &s, int indent)
         o += in1 + "},\n";
     }
 
+    // Protocol fast paths (the opt layer): each knob's counters are
+    // present only when that knob actually fired, and the whole block
+    // only when at least one did — opts-off output stays
+    // byte-identical to builds that predate the opt layer.
+    {
+        const bool mig = c.migGrants != 0;
+        const bool elide = c.elideDowngradesSkipped != 0 ||
+                           s.checks.elidedChecks != 0;
+        const bool adaptive = s.adaptiveRegions != 0;
+        if (mig || elide || adaptive) {
+            std::vector<std::string> fields;
+            auto field = [&](const char *key, long long v) {
+                std::string f = in2 + "\"" + key + "\": ";
+                appendf(f, "%lld", v);
+                fields.push_back(std::move(f));
+            };
+            if (mig) {
+                field("migGrants",
+                      static_cast<long long>(c.migGrants));
+            }
+            if (elide) {
+                field("elideDowngradesSkipped",
+                      static_cast<long long>(
+                          c.elideDowngradesSkipped));
+                field("elidedChecks",
+                      static_cast<long long>(s.checks.elidedChecks));
+                field("elidedCheckCycles",
+                      static_cast<long long>(
+                          s.checks.elidedCheckCycles));
+            }
+            if (adaptive) {
+                field("adaptiveRegions", s.adaptiveRegions);
+                field("adaptiveShrunk", s.adaptiveShrunk);
+                field("adaptiveGrown", s.adaptiveGrown);
+            }
+            o += in1 + "\"opt\": {\n";
+            for (std::size_t i = 0; i < fields.size(); ++i) {
+                o += fields[i];
+                o += i + 1 < fields.size() ? ",\n" : "\n";
+            }
+            o += in1 + "},\n";
+        }
+    }
+
     const CheckCounters &k = s.checks;
     o += in1 + "\"checks\": {\n";
     appendf(o, "%s\"loads\": %llu,\n", in2.c_str(),

@@ -44,6 +44,12 @@ struct RunSummary
     /** Directory occupancy / shard pressure (all-zero when the run
      *  had no software protocol; omitted from the JSON then). */
     DirCounters dir;
+    /** @{ Adaptive-granularity plan summary (opt.adaptive with an
+     *  advisor attached; all-zero — and omitted — otherwise). */
+    int adaptiveRegions = 0;
+    int adaptiveShrunk = 0;
+    int adaptiveGrown = 0;
+    /** @} */
 };
 
 /** RFC 8259 string escaping (quotes, backslash, control chars). */

@@ -47,6 +47,7 @@
 #include "mem/shared_heap.hh"
 #include "net/message.hh"
 #include "net/topology.hh"
+#include "proto/migratory.hh"
 
 namespace shasta
 {
@@ -157,6 +158,10 @@ struct DirEntry
     bool busy = false;
     /** Requests waiting for the entry to become free. */
     std::deque<Message> waiting;
+    /** Migratory-sharing history (only updated when the opt layer's
+     *  `migratory` knob is on, so baseline schedules never touch
+     *  it). */
+    MigratoryDetector mig;
 
     bool isSharer(ProcId p) const { return sharers.test(p); }
 

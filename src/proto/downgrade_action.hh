@@ -42,6 +42,12 @@ struct DowngradeAction
         FwdReadExReply,
         /** Sharer invalidated: acknowledge to the requester. */
         InvalAck,
+        /** Migratory grant (opt.migratory): the node surrenders its
+         *  exclusive copy to a *read* miss, sending ReadMigReply
+         *  (data plus ownership, no acks).  Used both when the home
+         *  serves from its own copy and when the home forwarded a
+         *  FwdReadMigReq to the owner. */
+        ReadMigReply,
     };
 
     Kind kind = Kind::None;
@@ -64,7 +70,8 @@ struct DowngradeAction
         return kind == Kind::HomeReadServe ||
                kind == Kind::HomeReadExReply ||
                kind == Kind::FwdReadServe ||
-               kind == Kind::FwdReadExReply;
+               kind == Kind::FwdReadExReply ||
+               kind == Kind::ReadMigReply;
     }
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "mem/granularity_advisor.hh"
 #include "obs/trace_json.hh"
 #include "proto/home_agent.hh"
 #include "proto/requester_agent.hh"
@@ -76,7 +77,43 @@ DowngradeEngine::downgradeNode(Proc &p, LineIdx first,
         n_targets =
             tab.downgradeTargets(first, to_invalid, p.local, targets);
     }
+    if (n_targets > 0 && c_.cfg.opt.elide && c_.cfg.useInvalidFlag) {
+        // Elision (opt.elide): on a correctly-annotated private or
+        // read-only-after-barrier line, a mid-run downgrade can only
+        // be setup residue or the result of a violated annotation --
+        // in steady state nobody writes the line, so nobody needs to
+        // lose rights.  The colocated targets hold at most read
+        // rights (read-only lines have no in-run writer; private
+        // lines have no other toucher at all), and the invalid-flag
+        // fill below still lands in the shared node memory, so a
+        // flag-checked load by a *violating* reader false-misses and
+        // recovers rather than silently seeing stale data.
+        // Single-writer regions are deliberately NOT skipped: their
+        // readers are legitimate and rely on downgrade messages to
+        // drop stale private rights (the racecheck scenarios
+        // demonstrate the lost update when a naive skip is forced).
+        // A wrong annotation is caught by the audit verifier at
+        // access time, never silently.
+        const RegionAnnot k = c_.heap.annotationOf(first);
+        if (k == RegionAnnot::Private ||
+            k == RegionAnnot::ReadOnlyAfterBarrier) {
+            if (c_.measuring) {
+                c_.ctr(p.node).elideDowngradesSkipped +=
+                    static_cast<std::uint64_t>(n_targets);
+            }
+            n_targets = 0;
+        }
+    }
     tab.downgradePriv(first, b.numLines, p.local, to_invalid);
+    // Only invalidating downgrades are write activity for the
+    // adaptive profiler: an exclusive-to-shared transition is a
+    // *read* finding home-exclusive residue (every cold line starts
+    // that way), and the write that created the exclusive state was
+    // already attributed as the writer's own miss.  Counting these
+    // would make read-only regions look write-shared and block the
+    // grow verdict forever.
+    if (c_.advisor && to_invalid)
+        c_.advisor->noteDowngrade(first);
     if (c_.measuring) {
         const std::size_t bucket = std::min<std::size_t>(
             static_cast<std::size_t>(n_targets), 3);
@@ -211,6 +248,16 @@ DowngradeEngine::runAction(Proc &p, LineIdx first,
         }
         c_.sendMsg(p, MsgType::ReadExReply, req, first, req,
                    action.acks, std::move(snapshot));
+        return;
+
+      case DowngradeAction::Kind::ReadMigReply:
+        if (action.clearPrior) {
+            MissEntry *e = c_.missTables[p.node]->find(first);
+            assert(e);
+            e->prior = LState::Invalid;
+        }
+        c_.sendMsg(p, MsgType::ReadMigReply, req, first, req, 0,
+                   std::move(snapshot));
         return;
 
       case DowngradeAction::Kind::InvalAck:
@@ -364,6 +411,34 @@ DowngradeEngine::onFwdReadExReq(Proc &owner, Message &&m)
                   DowngradeAction{
                       DowngradeAction::Kind::FwdReadExReply,
                       racing_upgrade, req, acks});
+}
+
+void
+DowngradeEngine::onFwdReadMigReq(Proc &owner, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(owner, m, first);
+    const NodeId on = owner.node;
+    const ProcId req = m.requester;
+
+    if (queueIfTransient(owner, first, m))
+        return;
+
+    // The home predicted the reader will write next and granted it
+    // ownership while this node was the sole holder (opt.migratory).
+    // As with a forwarded read-exclusive, the copy here is current;
+    // surrender it entirely so the requester installs Exclusive
+    // without a later upgrade round-trip.
+    const LState s = c_.tables[on]->shared(first);
+    const MissEntry *me = c_.missTables[on]->find(first);
+    assert(s == LState::Exclusive || s == LState::Shared ||
+           (s == LState::PendEx && me &&
+            me->prior == LState::Shared));
+    (void)me;
+    const bool racing_upgrade = (s == LState::PendEx);
+    downgradeNode(owner, first, true,
+                  DowngradeAction{DowngradeAction::Kind::ReadMigReply,
+                                  racing_upgrade, req, 0});
 }
 
 void

@@ -51,6 +51,7 @@ class DowngradeEngine
     void onDowngrade(Proc &q, Message &&m);
     void onFwdReadReq(Proc &owner, Message &&m);
     void onFwdReadExReq(Proc &owner, Message &&m);
+    void onFwdReadMigReq(Proc &owner, Message &&m);
     void onInvalReq(Proc &p, Message &&m);
     /** @} */
 

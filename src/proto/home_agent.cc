@@ -101,8 +101,18 @@ HomeAgent::onReadReq(Proc &home, Message &&m)
     const NodeId hn = home.node;
     const LState s = c_.tables[hn]->shared(first);
     const ProcId req = m.requester;
+    // Migratory detection only observes *hinted* reads (scalar
+    // loads; the requester tags them in m.count).  Batch loads are
+    // prefetch-style read sharing: granting them exclusive would
+    // bounce ownership through a read-only fan-out.
+    const bool mig = c_.cfg.opt.migratory && m.count != 0;
 
     if (s == LState::Shared) {
+        if (mig) {
+            // The line is being read-shared: not migratory.
+            e.mig.noteReadMiss(req);
+            e.mig.noteSharedRead();
+        }
         // Home has a clean copy: serve directly (Section 3.1).
         Payload data;
         data.resizeForOverwrite(
@@ -120,6 +130,28 @@ HomeAgent::onReadReq(Proc &home, Message &&m)
     }
 
     if (s == LState::Exclusive) {
+        if (mig) {
+            e.mig.noteReadMiss(req);
+            if (e.mig.shouldGrant(req) && e.sharerCount() == 1) {
+                // Migratory grant served by the home: surrender the
+                // home node's exclusive copy to the reader instead
+                // of keeping a shared one, eliminating the upgrade
+                // round-trip that history says is coming.
+                e.busy = true;
+                e.owner = req;
+                e.clearSharers();
+                e.addSharer(req);
+                e.mig.noteGrant(req);
+                if (c_.measuring)
+                    ++c_.ctr(home.node).migGrants;
+                c_.downgrade->downgradeNode(
+                    home, first, true,
+                    DowngradeAction{
+                        DowngradeAction::Kind::ReadMigReply, false,
+                        req, 0});
+                return;
+            }
+        }
         // Home node owns the block exclusively: downgrade the node
         // (possibly via downgrade messages to colocated processors),
         // then serve.
@@ -136,6 +168,24 @@ HomeAgent::onReadReq(Proc &home, Message &&m)
     assert(e.owner >= 0);
     assert(c_.topo.nodeOf(e.owner) != c_.topo.nodeOf(req) &&
            "requester's node should have hit locally");
+    if (mig) {
+        e.mig.noteReadMiss(req);
+        if (e.mig.shouldGrant(req) && e.sharerCount() == 1) {
+            // Migratory grant via the owner: ownership (and the sole
+            // copy) moves straight to the reader.
+            const ProcId owner = e.owner;
+            e.busy = true;
+            e.owner = req;
+            e.clearSharers();
+            e.addSharer(req);
+            e.mig.noteGrant(req);
+            if (c_.measuring)
+                ++c_.ctr(home.node).migGrants;
+            c_.sendMsg(home, MsgType::FwdReadMigReq, owner, first,
+                       req);
+            return;
+        }
+    }
     e.busy = true;
     c_.sendMsg(home, MsgType::FwdReadReq, e.owner, first, req);
 }
@@ -165,6 +215,11 @@ HomeAgent::onReadExReq(Proc &home, Message &&m)
     const NodeId req_node = c_.topo.nodeOf(req);
     assert(sharerRepOf(e, req_node) == -1 &&
            "read-exclusive from a node that still has a copy");
+
+    // A direct read-exclusive (no preceding read) is not the
+    // migratory read-modify-write pattern.
+    if (c_.cfg.opt.migratory)
+        e.mig.noteWriteMiss(req);
 
     const LState s = c_.tables[hn]->shared(first);
     e.busy = true;
@@ -246,6 +301,9 @@ HomeAgent::onUpgradeReq(Proc &home, Message &&m)
         return;
     }
     c_.chargeHandler(home, m, first);
+    // The read-miss-then-upgrade evidence the detector feeds on.
+    if (c_.cfg.opt.migratory)
+        e.mig.noteUpgrade(req);
     InvalList invals;
     collectSharers(
         e.sharers,

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Migratory-sharing detector (the opt layer's `migratory` knob).
+ *
+ * A line is migratory when its access history is read-miss followed
+ * by write-upgrade, repeated by successive *distinct* processors —
+ * the classic lock-protected read-modify-write pattern (Water's
+ * force merge).  The detector lives in the home directory entry and
+ * observes the request stream the home already sees; when the score
+ * reaches the threshold, the home answers the next read miss with an
+ * exclusive grant (FwdReadMigReq/ReadMigReply), eliminating the
+ * upgrade round-trip and its invalidation fan-out.
+ *
+ * The state machine is deliberately tiny and deterministic:
+ *
+ *   - noteReadMiss(p) records p as the candidate reader.
+ *   - noteUpgrade(p) bumps the saturating score when the upgrading
+ *     processor is the recorded reader and differs from the previous
+ *     writer (the "successive distinct processors" requirement);
+ *     anything else decays the score by one.
+ *   - noteWriteMiss(p) (a direct read-exclusive, no preceding read)
+ *     and noteSharedRead() (the line is being read-shared) decay.
+ *   - noteGrant(p) records the new owner after a migratory grant so
+ *     a sustained migration chain keeps the score saturated without
+ *     ever seeing another upgrade.
+ *
+ * Decay (instead of reset) tolerates the occasional re-access by the
+ * current owner without abandoning the pattern; a genuinely
+ * read-shared phase drives the score to zero within two requests and
+ * the fall-back path re-enables normal sharing.
+ */
+
+#ifndef SHASTA_PROTO_MIGRATORY_HH
+#define SHASTA_PROTO_MIGRATORY_HH
+
+#include <cstdint>
+
+#include "net/topology.hh"
+
+namespace shasta
+{
+
+class MigratoryDetector
+{
+  public:
+    /** Distinct-successor upgrades needed before granting. */
+    static constexpr int kThreshold = 2;
+    /** Saturation cap: one stray access never unlearns the pattern. */
+    static constexpr int kMax = 3;
+
+    /** Should the read miss from @p p be granted exclusive?  The
+     *  caller additionally requires the directory state to allow it
+     *  (a single remote owner, entry not busy). */
+    bool
+    shouldGrant(ProcId p) const
+    {
+        return score_ >= kThreshold && p != lastOwner_;
+    }
+
+    void noteReadMiss(ProcId p) { lastReader_ = p; }
+
+    /** The line was served read-shared (multiple readers alive). */
+    void noteSharedRead() { decay(); }
+
+    void
+    noteUpgrade(ProcId p)
+    {
+        if (p == lastReader_ && lastOwner_ >= 0 && p != lastOwner_)
+            bump();
+        else
+            decay();
+        lastOwner_ = p;
+    }
+
+    /** Direct read-exclusive miss: a write with no preceding read
+     *  is not the migratory pattern. */
+    void
+    noteWriteMiss(ProcId p)
+    {
+        decay();
+        lastOwner_ = p;
+    }
+
+    /** A migratory grant moved ownership to @p p. */
+    void noteGrant(ProcId p) { lastOwner_ = p; }
+
+    int score() const { return score_; }
+    ProcId lastReader() const { return lastReader_; }
+    ProcId lastOwner() const { return lastOwner_; }
+
+  private:
+    void
+    bump()
+    {
+        if (score_ < kMax)
+            ++score_;
+    }
+    void
+    decay()
+    {
+        if (score_ > 0)
+            --score_;
+    }
+
+    ProcId lastReader_ = -1;
+    ProcId lastOwner_ = -1;
+    std::uint8_t score_ = 0;
+};
+
+} // namespace shasta
+
+#endif // SHASTA_PROTO_MIGRATORY_HH

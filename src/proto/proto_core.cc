@@ -50,6 +50,10 @@ handlerFor(MsgType t)
         return [](ProtocolCore &c, Proc &p, Message &&m) {
             c.downgrade->onFwdReadExReq(p, std::move(m));
         };
+      case MsgType::FwdReadMigReq:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.downgrade->onFwdReadMigReq(p, std::move(m));
+        };
       case MsgType::InvalReq:
         return [](ProtocolCore &c, Proc &p, Message &&m) {
             c.downgrade->onInvalReq(p, std::move(m));
@@ -69,6 +73,10 @@ handlerFor(MsgType t)
       case MsgType::UpgradeReply:
         return [](ProtocolCore &c, Proc &p, Message &&m) {
             c.requester->onUpgradeReply(p, std::move(m));
+        };
+      case MsgType::ReadMigReply:
+        return [](ProtocolCore &c, Proc &p, Message &&m) {
+            c.requester->onReadMigReply(p, std::move(m));
         };
       case MsgType::SharingWriteback:
         return [](ProtocolCore &c, Proc &p, Message &&m) {

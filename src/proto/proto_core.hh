@@ -44,6 +44,7 @@ namespace shasta
 class HomeAgent;
 class RequesterAgent;
 class DowngradeEngine;
+class GranularityAdvisor;
 
 struct ProtocolCore
 {
@@ -98,6 +99,12 @@ struct ProtocolCore
     RequesterAgent *requester = nullptr;
     DowngradeEngine *downgrade = nullptr;
     /** @} */
+
+    /** Granularity profiler (opt.adaptive), attached per Runtime via
+     *  Runtime::setGranularityAdvisor; null in every normal run, so
+     *  the attribution hooks in the slow paths cost one pointer test
+     *  and golden schedules never see it. */
+    GranularityAdvisor *advisor = nullptr;
 
     /** @{ Address and geometry helpers. */
     ProcId homeProc(LineIdx line) const;

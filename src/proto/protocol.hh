@@ -185,12 +185,14 @@ class Protocol
     /**
      * Slow path of a load whose inline check failed.  Charges
      * protocol costs on @p p's clock.  On WaitData/WaitRetry the
-     * caller parks via parkLoad()/parkRetry().
+     * caller parks via parkLoad()/parkRetry().  @p mig_hint marks a
+     * scalar load — a migratory-grant candidate when the migratory
+     * knob is on; batch resolution passes false.
      */
     MissOutcome
-    loadMiss(Proc &p, LineIdx line)
+    loadMiss(Proc &p, LineIdx line, bool mig_hint = false)
     {
-        return requester_.loadMiss(p, line);
+        return requester_.loadMiss(p, line, mig_hint);
     }
 
     /**
@@ -322,6 +324,15 @@ class Protocol
     sendRaw(Proc &from, Message &&m)
     {
         core_.sendRaw(from, std::move(m));
+    }
+
+    /** Attach (or detach with nullptr) the adaptive-granularity
+     *  profiler; the slow paths attribute misses/downgrades to its
+     *  regions while present. */
+    void
+    setGranularityAdvisor(GranularityAdvisor *a)
+    {
+        core_.advisor = a;
     }
 
     /** Whether stats are currently being accumulated. */

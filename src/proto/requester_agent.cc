@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mem/granularity_advisor.hh"
 #include "obs/trace_json.hh"
 #include "sim/trace.hh"
 
@@ -10,7 +11,7 @@ namespace shasta
 {
 
 MissOutcome
-RequesterAgent::loadMiss(Proc &p, LineIdx line)
+RequesterAgent::loadMiss(Proc &p, LineIdx line, bool mig_hint)
 {
     const BlockInfo b = c_.blockOf(line);
     const LineIdx first = b.firstLine;
@@ -77,7 +78,7 @@ RequesterAgent::loadMiss(Proc &p, LineIdx line)
       }
 
       case LState::Invalid:
-        startRead(p, first);
+        startRead(p, first, mig_hint);
         return MissOutcome::WaitData;
     }
     assert(false);
@@ -215,7 +216,7 @@ RequesterAgent::parkThrottle(Proc &p, std::coroutine_handle<> h)
 // ---------------------------------------------------------------------
 
 void
-RequesterAgent::startRead(Proc &p, LineIdx first)
+RequesterAgent::startRead(Proc &p, LineIdx first, bool mig_hint)
 {
     const BlockInfo b = c_.blockOf(first);
     MissEntry &e = c_.missTables[p.node]->ensure(first, b.numLines,
@@ -225,6 +226,8 @@ RequesterAgent::startRead(Proc &p, LineIdx first)
     e.readIssued = true;
     e.initiator = p.id;
     e.issueTime = p.now;
+    if (c_.advisor)
+        c_.advisor->noteReadMiss(first);
     if (obs::traceJsonEnabled()) {
         obs::emitAsyncBegin(
             obs::spanId(obs::SpanKind::ReadMiss,
@@ -236,7 +239,11 @@ RequesterAgent::startRead(Proc &p, LineIdx first)
                        "read miss line %u -> home P%d",
                        static_cast<unsigned>(first),
                        c_.homeProc(first));
-    c_.sendMsg(p, MsgType::ReadReq, c_.homeProc(first), first, p.id);
+    // count carries the migratory-candidate hint (1 = scalar load);
+    // it is only set when the knob is on so baseline message streams
+    // stay byte-identical.
+    c_.sendMsg(p, MsgType::ReadReq, c_.homeProc(first), first, p.id,
+               (mig_hint && c_.cfg.opt.migratory) ? 1 : 0);
 }
 
 void
@@ -255,6 +262,8 @@ RequesterAgent::startWrite(Proc &p, LineIdx first, bool had_shared,
     e.issueTime = p.now;
     e.epoch = c_.epochs[p.node]->startWrite();
     ++p.outstandingWrites;
+    if (c_.advisor)
+        c_.advisor->noteWriteMiss(first);
     if (obs::traceJsonEnabled()) {
         obs::emitAsyncBegin(
             obs::spanId(obs::SpanKind::WriteMiss,
@@ -286,6 +295,8 @@ RequesterAgent::issueDeferredWrite(Proc &p, MissEntry &e)
     e.writeIssued = true;
     e.prior = LState::Shared;
     e.issueTime = p.now;
+    if (c_.advisor)
+        c_.advisor->noteWriteMiss(e.firstLine);
     if (obs::traceJsonEnabled()) {
         obs::emitAsyncBegin(
             obs::spanId(obs::SpanKind::WriteMiss,
@@ -464,6 +475,69 @@ RequesterAgent::onReadExReply(Proc &p, Message &&m)
     c_.resumeWaiters(*e, true, true, p.now);
     checkWriteComplete(p, first);
     c_.drainQueuedRemote(p, first);
+}
+
+void
+RequesterAgent::onReadMigReply(Proc &p, Message &&m)
+{
+    const LineIdx first = c_.heap.lineOf(m.addr);
+    c_.chargeHandler(p, m, first);
+    MissEntry *e = c_.missTables[p.node]->find(first);
+    assert(e && e->readIssued);
+    const BlockInfo b = c_.blockOf(first);
+
+    // The home granted exclusive ownership to this *read* miss
+    // (opt.migratory): install Exclusive so the predicted upcoming
+    // store is a pure private-table upgrade, no second transaction.
+    finishReadData(p, *e, m);
+    c_.tables[p.node]->setShared(first, b.numLines,
+                                 LState::Exclusive);
+    const Proc &ini =
+        c_.procs[static_cast<std::size_t>(e->initiator)];
+    c_.tables[p.node]->setPriv(first, b.numLines, ini.local,
+                               PState::Exclusive);
+    countMissReply(p, m, true, false, m.arriveTime - e->issueTime);
+    if (c_.measuring) {
+        ++c_.ctr(p.node).readMissSamples;
+        c_.ctr(p.node).readMissLatency += m.arriveTime - e->issueTime;
+    }
+    if (obs::traceJsonEnabled()) {
+        obs::emitAsyncEnd(
+            obs::spanId(obs::SpanKind::ReadMiss,
+                        static_cast<std::uint64_t>(p.node), first),
+            p.id, p.now, "read-miss", "miss");
+    }
+    e->readIssued = false;
+    const ProcId initiator = e->initiator;
+
+    if (e->wantWrite && !e->writeIssued) {
+        // A store landed while the read was outstanding; the grant
+        // already carries ownership, so the deferred upgrade is
+        // satisfied without ever touching the wire.
+        if (obs::traceJsonEnabled()) {
+            obs::emitAsyncBegin(
+                obs::spanId(obs::SpanKind::WriteMiss,
+                            static_cast<std::uint64_t>(p.node),
+                            first),
+                p.id, p.now, "write-miss", "miss");
+        }
+        e->writeIssued = true;
+        e->dataArrived = true;
+        e->acksExpected = 0;
+        c_.resumeWaiters(*e, true, true, p.now);
+        checkWriteComplete(p, first); // sends the OwnershipAck
+    } else {
+        // No write yet: close the transaction at the directory (the
+        // grant left the entry busy until ownership settles).
+        // Resume load waiters *before* the ack — a colocated home
+        // can synchronously pump a queued invalidation, and parked
+        // loads must drain against valid data first.
+        c_.resumeWaiters(*e, true, true, p.now);
+        c_.sendMsg(p, MsgType::OwnershipAck, c_.homeProc(first),
+                   first, initiator);
+    }
+    c_.drainQueuedRemote(p, first);
+    c_.maybeErase(p.node, first);
 }
 
 void

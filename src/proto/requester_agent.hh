@@ -42,8 +42,11 @@ class RequesterAgent
   public:
     explicit RequesterAgent(ProtocolCore &core) : c_(core) {}
 
-    /** @{ Inline-check slow paths. */
-    MissOutcome loadMiss(Proc &p, LineIdx line);
+    /** @{ Inline-check slow paths.  @p mig_hint marks a scalar load
+     *  (a migratory-grant candidate); batch reads pass false so
+     *  prefetch-style read sharing never bounces ownership.  The hint
+     *  only reaches the wire when the migratory knob is on. */
+    MissOutcome loadMiss(Proc &p, LineIdx line, bool mig_hint = false);
     MissOutcome storeMiss(Proc &p, LineIdx line, Addr addr, int len);
     /** @} */
 
@@ -58,6 +61,7 @@ class RequesterAgent
     void onInvalAck(Proc &p, Message &&m);
     void onReadReply(Proc &p, Message &&m);
     void onReadExReply(Proc &p, Message &&m);
+    void onReadMigReply(Proc &p, Message &&m);
     void onUpgradeReply(Proc &p, Message &&m);
     /** @} */
 
@@ -72,7 +76,7 @@ class RequesterAgent
 
   private:
     /** Start a read transaction (node state must be Invalid). */
-    void startRead(Proc &p, LineIdx first);
+    void startRead(Proc &p, LineIdx first, bool mig_hint);
 
     /** Issue the deferred upgrade recorded in @p e (a store landed on
      *  a block whose read was still outstanding). */

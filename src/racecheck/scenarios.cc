@@ -662,6 +662,131 @@ faultReorderDowngrade(bool resequence)
     return sc;
 }
 
+// --------------------------------------------------------------------
+// Annotation-violation scenarios: the elide knob's audit contract.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Flag slot: the audit verifier refused an access (these scenarios
+ *  do not use the fault family's kLateRead slot). */
+constexpr int kAuditTrap = 3;
+
+} // namespace
+
+Scenario
+annotPrivateViolation(bool audited)
+{
+    Scenario sc;
+    sc.name = audited ? "annot-private-audited"
+                      : "annot-private-naive";
+    sc.description =
+        "wrong private(P1) annotation: a foreign processor accesses "
+        "the region while elision has bypassed P1's checks and "
+        "skipped its downgrade messages";
+    sc.init = initialState(2, 2);
+
+    // P1 owns the region.  Under elide the annotation removes the
+    // inline check entirely: the store is a direct memory write with
+    // no state consulted and no poll points needed.
+    Thread p1;
+    p1.push_back(Step{"bypass-store", nullptr,
+                      [](MiniState &s) {
+                          s.memory = kNewValue;
+                          s.flag[kStoreDone] = true;
+                      },
+                      nullptr});
+
+    // P2 services the foreign access.  The elision skip means no
+    // downgrade message ever reaches P1 — exactly the naive fig2a
+    // downgrader, minus even the possibility of P1 noticing.
+    Thread p2;
+    p2.push_back(Step{"read-data", nullptr,
+                      [](MiniState &s) { s.reg[1][0] = s.memory; },
+                      nullptr});
+    p2.push_back(Step{"set-state", nullptr,
+                      [](MiniState &s) { s.sharedState = 0; },
+                      nullptr});
+    p2.push_back(Step{"write-flag", nullptr,
+                      [](MiniState &s) { s.memory = kFlagValue; },
+                      nullptr});
+    if (audited) {
+        // The foreign processor's own access check validates against
+        // the annotation BEFORE performing the access
+        // (Context::annotAction throws AuditError), so the request
+        // that would have reached P2's service agent never executes.
+        const int end_pc = static_cast<int>(p2.size()) + 1;
+        p2.insert(p2.begin(),
+                  Step{"audit-trap", nullptr,
+                       [](MiniState &s) {
+                           s.flag[kAuditTrap] = true;
+                       },
+                       [end_pc](const MiniState &) {
+                           return end_pc;
+                       }});
+    }
+
+    sc.threads = {std::move(p1), std::move(p2)};
+    if (audited) {
+        // Caught in EVERY interleaving, and never silently corrupt:
+        // a terminal state is bad if the foreign access went through
+        // unflagged, or if the trap somehow failed to fire.
+        sc.violation = [](const MiniState &s) {
+            const bool lost =
+                s.flag[kStoreDone] && s.reg[1][0] != 0 &&
+                s.reg[1][0] != kNewValue;
+            return lost || !s.flag[kAuditTrap];
+        };
+        sc.expectViolations = false;
+    } else {
+        // Silent lost update: the foreign read shipped data without
+        // P1's store, and nobody will ever know.
+        sc.violation = [](const MiniState &s) {
+            return s.flag[kStoreDone] && s.reg[1][0] != kNewValue;
+        };
+        sc.expectViolations = true;
+    }
+    return sc;
+}
+
+Scenario
+annotSingleWriterSkip(bool keep_messages)
+{
+    Scenario sc;
+    sc.name = keep_messages ? "annot-sw-messaged"
+                            : "annot-sw-skip-naive";
+    sc.description =
+        "correct single-writer(P1) annotation; a legitimate reader "
+        "needs P1 downgraded to shared — skipping that downgrade "
+        "loses P1's update, so the elide knob only waives the "
+        "writer's check cost and keeps the messages";
+    sc.init = initialState(2, 2);
+
+    if (keep_messages) {
+        // The shipped protocol: the writer's store-check cost is
+        // elided (its *outcome* is unchanged — the private table is
+        // still consulted), and the exclusive-to-shared downgrade is
+        // a full fig2b-smp exchange.
+        sc.threads = {checkedStore(true, true),
+                      downgrader(1, true, false)};
+    } else {
+        // A naive elision treats the annotation as license to skip
+        // the downgrade: P1's private state stays Exclusive, its
+        // checked store sails through, and the reader's copy was
+        // read before the store in some interleavings.
+        sc.threads = {checkedStore(true, false),
+                      downgrader(1, false, false)};
+    }
+    // Incoherent copies: P1 stored under its single-writer right,
+    // yet the reader's data misses the store.
+    sc.violation = [](const MiniState &s) {
+        return s.flag[kStoreDone] && s.reg[1][0] != kNewValue;
+    };
+    sc.expectViolations = !keep_messages;
+    return sc;
+}
+
 std::vector<Scenario>
 allScenarios()
 {
@@ -683,6 +808,10 @@ allScenarios()
         faultDuplicateDowngrade(true),
         faultReorderDowngrade(false),
         faultReorderDowngrade(true),
+        annotPrivateViolation(false),
+        annotPrivateViolation(true),
+        annotSingleWriterSkip(false),
+        annotSingleWriterSkip(true),
     };
 }
 

@@ -117,6 +117,35 @@ Scenario faultDuplicateDowngrade(bool seq_dedup);
  */
 Scenario faultReorderDowngrade(bool resequence);
 
+/**
+ * The opt layer's check-elision contract (ownership annotations).
+ * A region annotated `private(P1)` lets the elide knob bypass P1's
+ * inline checks *and* skip incoming downgrade messages for the
+ * region — sound only while the annotation is true.  This pair
+ * models a WRONG annotation: a foreign processor accesses the line.
+ * @param audited false: the foreign access proceeds against the
+ *   skipped downgrade and silently loses P1's update in some
+ *   interleavings.  true: the access is validated against the
+ *   annotation before it executes (Context::annotAction) and trips
+ *   the auditor in EVERY interleaving — wrong annotation = loud
+ *   error, never silent corruption.
+ */
+Scenario annotPrivateViolation(bool audited);
+
+/**
+ * Why single-writer regions keep their downgrade messages.  The
+ * annotation here is CORRECT (only P1 ever writes), but readers are
+ * legitimate and rely on downgrade messages to drop stale private
+ * rights.
+ * @param keep_messages false: a naive elision also skips the
+ *   downgrade for single-writer regions, and the reader's copy
+ *   misses the writer's update in some interleavings.  true: the
+ *   shipped protocol — elision only waives the *writer's check
+ *   cost*, downgrade messaging stays — and no interleaving loses
+ *   the update.
+ */
+Scenario annotSingleWriterSkip(bool keep_messages);
+
 /** Every scenario, for exhaustive sweeps and the demo binary. */
 std::vector<Scenario> allScenarios();
 

@@ -69,6 +69,14 @@ struct ProtoCounters
     Tick readMissLatency = 0;
     /** @} */
 
+    /** @{ Protocol fast paths (the opt layer; zero and unreported
+     *  unless the corresponding knob is on). */
+    /** Read misses granted exclusive by the migratory detector. */
+    std::uint64_t migGrants = 0;
+    /** Downgrade messages suppressed on annotated regions. */
+    std::uint64_t elideDowngradesSkipped = 0;
+    /** @} */
+
     /** LatencyClass mirroring a completed miss's MissClass. */
     static LatencyClass
     latencyClassFor(MissClass c)
@@ -133,6 +141,8 @@ struct ProtoCounters
         queuedDuringDowngrade += o.queuedDuringDowngrade;
         readMissSamples += o.readMissSamples;
         readMissLatency += o.readMissLatency;
+        migGrants += o.migGrants;
+        elideDowngradesSkipped += o.elideDowngradesSkipped;
         return *this;
     }
 };
@@ -196,6 +206,12 @@ struct CheckCounters
     std::uint64_t batchChecks = 0;
     std::uint64_t polls = 0;
     Tick checkCycles = 0; ///< total cycles spent in inline checks
+    /** @{ Check elision (opt.elide): checks whose cost an ownership
+     *  annotation reduced to zero, and the cycles they would have
+     *  charged.  Zero unless the knob is on. */
+    std::uint64_t elidedChecks = 0;
+    Tick elidedCheckCycles = 0;
+    /** @} */
 };
 
 } // namespace shasta

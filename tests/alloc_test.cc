@@ -32,8 +32,11 @@
 #include "net/mailbox.hh"
 #include "net/network.hh"
 #include "net/payload.hh"
+#include "mem/granularity_advisor.hh"
+#include "mem/shared_heap.hh"
 #include "net/reliable.hh"
 #include "proto/directory.hh"
+#include "proto/migratory.hh"
 #include "proto/protocol.hh"
 #include "sim/event_queue.hh"
 #include "sim/pdes.hh"
@@ -519,6 +522,82 @@ TEST(ParallelEngineAlloc, WindowSteadyStateIsAllocationFree)
         ASSERT_TRUE(eng.runWindow());
     EXPECT_EQ(allocCount(), before);
     EXPECT_GT(fired.load(std::memory_order_relaxed), firedBefore);
+}
+
+// --------------------------------------------------------------------
+// Opt layer (SHASTA_OPT): detector, annotations and advisor all sit
+// on protocol hot paths and must not allocate in steady state.
+// --------------------------------------------------------------------
+
+TEST(OptAlloc, MigratoryDetectorIsAllocationFree)
+{
+    // The detector is embedded in every directory entry and updated
+    // on every request the home sees: it must be pure scalar state.
+    MigratoryDetector d;
+    const std::uint64_t before = allocCount();
+    for (int r = 0; r < 64; ++r) {
+        d.noteWriteMiss(0);
+        for (ProcId p = 1; p < 16; ++p) {
+            d.noteReadMiss(p);
+            d.noteUpgrade(p);
+            (void)d.shouldGrant(static_cast<ProcId>(p + 1));
+            d.noteGrant(p);
+        }
+        d.noteSharedRead();
+    }
+    EXPECT_EQ(allocCount(), before);
+}
+
+TEST(OptAlloc, AnnotationLookupsAreAllocationFree)
+{
+    // annotate() sizes the per-line tables once; the per-access
+    // lookups on the check fast path are plain indexed reads.
+    SharedHeap heap(64);
+    const Addr a = heap.alloc(64 * 64);
+    heap.annotate(a, 64 * 64, RegionAnnot::SingleWriter, 3);
+
+    const std::uint64_t before = allocCount();
+    std::uint64_t owners = 0;
+    for (int r = 0; r < 64; ++r) {
+        for (LineIdx l = 0; l < 64; ++l) {
+            if (heap.annotationOf(l) == RegionAnnot::SingleWriter)
+                owners +=
+                    static_cast<std::uint64_t>(heap.annotOwnerOf(l));
+        }
+    }
+    EXPECT_EQ(allocCount(), before);
+    EXPECT_EQ(owners, 64u * 64u * 3u);
+    EXPECT_TRUE(heap.hasAnnotations());
+}
+
+TEST(OptAlloc, AdvisorAttributionAndReplayAreAllocationFree)
+{
+    // The region table grows during setup (one entry per shared
+    // allocation); the per-miss attribution hooks of the profile run
+    // and the adviseBlock() replay of the apply run are the steady
+    // state and must stand still.
+    GranularityAdvisor adv;
+    for (int i = 0; i < 16; ++i) {
+        (void)adv.adviseBlock(true, 4096, 256);
+        adv.noteAlloc(static_cast<LineIdx>(i * 64), 64);
+    }
+
+    const std::uint64_t before = allocCount();
+    for (int r = 0; r < 64; ++r) {
+        for (LineIdx l = 0; l < 16 * 64; l += 7) {
+            adv.noteReadMiss(l);
+            adv.noteWriteMiss(l);
+            adv.noteDowngrade(l);
+        }
+    }
+    adv.finalize(64);
+    for (int r = 0; r < 64; ++r) {
+        adv.rewind();
+        for (int i = 0; i < 16; ++i)
+            (void)adv.adviseBlock(true, 4096, 256);
+    }
+    EXPECT_EQ(allocCount(), before);
+    EXPECT_EQ(adv.regions(), 16);
 }
 
 TEST(ThreadBackendHotPath, DeadlineWheelSteadyStateIsAllocationFree)

@@ -177,6 +177,54 @@ TEST(ConfigEnvDeath, JitterUsRejectsInfinity)
 }
 
 // --------------------------------------------------------------------
+// SHASTA_OPT: the protocol-optimization toggle list is parsed
+// strictly — a typo'd opt name must not silently run unoptimized
+// (the whole point of the knob is a measured comparison).
+// --------------------------------------------------------------------
+
+TEST(ConfigEnvDeath, OptRejectsGarbage)
+{
+    EnvGuard g("SHASTA_OPT", "fast");
+    OptConfig o;
+    EXPECT_EXIT(o.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_OPT");
+}
+
+TEST(ConfigEnvDeath, OptRejectsUnknownToken)
+{
+    EnvGuard g("SHASTA_OPT", "migratory,turbo");
+    OptConfig o;
+    EXPECT_EXIT(o.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_OPT");
+}
+
+TEST(ConfigEnvDeath, OptRejectsDuplicateToken)
+{
+    EnvGuard g("SHASTA_OPT", "elide,elide");
+    OptConfig o;
+    EXPECT_EXIT(o.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_OPT");
+}
+
+TEST(ConfigEnvDeath, OptRejectsEmptyToken)
+{
+    EnvGuard g("SHASTA_OPT", "migratory,,adaptive");
+    OptConfig o;
+    EXPECT_EXIT(o.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_OPT");
+}
+
+TEST(ConfigEnvDeath, OptRejectsAllCombinedWithToken)
+{
+    // "all" and "none" are aliases for a full assignment; mixing
+    // them with individual toggles is ambiguous and refused.
+    EnvGuard g("SHASTA_OPT", "all,elide");
+    OptConfig o;
+    EXPECT_EXIT(o.applyEnv(), ::testing::ExitedWithCode(2),
+                "SHASTA_OPT");
+}
+
+// --------------------------------------------------------------------
 // Acceptance: well-formed values still apply.
 // --------------------------------------------------------------------
 
@@ -216,6 +264,40 @@ TEST(ConfigEnv, UnsetKeepsDefaults)
     cfg.applyBackendEnv();
     EXPECT_EQ(cfg.engineThreads, 1);
     EXPECT_EQ(cfg.ringCapacity, ring);
+}
+
+TEST(ConfigEnv, OptListApplies)
+{
+    EnvGuard g("SHASTA_OPT", "migratory,adaptive");
+    OptConfig o;
+    o.applyEnv();
+    EXPECT_TRUE(o.migratory);
+    EXPECT_FALSE(o.elide);
+    EXPECT_TRUE(o.adaptive);
+    EXPECT_TRUE(o.any());
+}
+
+TEST(ConfigEnv, OptAllAndNoneAliases)
+{
+    {
+        EnvGuard g("SHASTA_OPT", "all");
+        OptConfig o;
+        o.applyEnv();
+        EXPECT_TRUE(o.migratory && o.elide && o.adaptive);
+    }
+    {
+        EnvGuard g("SHASTA_OPT", "none");
+        OptConfig o = OptConfig::parseSpec("x", "all");
+        o.applyEnv();
+        EXPECT_FALSE(o.any());
+    }
+}
+
+TEST(ConfigEnv, OptUnsetKeepsDefaults)
+{
+    OptConfig o;
+    o.applyEnv();
+    EXPECT_FALSE(o.any());
 }
 
 } // namespace

@@ -1,0 +1,661 @@
+/**
+ * @file
+ * Protocol fast-path tests (the opt layer: SHASTA_OPT).
+ *
+ * Three independently-toggleable optimizations ride the base
+ * protocol: migratory-sharing detection (exclusive grants on read
+ * misses to lines in a read-modify-write migration chain),
+ * ownership-driven check elision (annotated regions skip or bypass
+ * inline checks, with an audit verifier that makes a wrong
+ * annotation a loud error), and adaptive per-region block
+ * granularity (a profile/apply advisor picks block sizes from
+ * observed miss traffic).
+ *
+ * The correctness contract tested here: with every knob off the
+ * system is byte-identical to a build that predates the opt layer
+ * (same statistics JSON, no "opt" block); with any knob combination
+ * every application still produces its reference checksum, on both
+ * backends and under the seeded fault battery.  The optimizations
+ * may only move cycles, never answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "apps/app.hh"
+#include "apps/workload_common.hh"
+#include "audit/invariant_auditor.hh"
+#include "dsm/runtime.hh"
+#include "mem/granularity_advisor.hh"
+#include "proto/migratory.hh"
+
+namespace shasta
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// Migratory detector: the state machine in isolation.
+// --------------------------------------------------------------------
+
+TEST(MigratoryDetector, ClassicChainReachesThreshold)
+{
+    MigratoryDetector d;
+    // P0 takes the line with a direct write miss (no pattern yet).
+    d.noteWriteMiss(0);
+    EXPECT_FALSE(d.shouldGrant(1));
+
+    // P1 and P2 each read-miss then upgrade: two distinct
+    // successors, the classic lock-protected read-modify-write.
+    d.noteReadMiss(1);
+    d.noteUpgrade(1);
+    EXPECT_EQ(d.score(), 1);
+    d.noteReadMiss(2);
+    d.noteUpgrade(2);
+    EXPECT_EQ(d.score(), 2);
+
+    // The next reader gets exclusive — unless it is the current
+    // owner, whose re-read is not a migration.
+    EXPECT_TRUE(d.shouldGrant(3));
+    EXPECT_FALSE(d.shouldGrant(2));
+}
+
+TEST(MigratoryDetector, SameProcessorUpgradesNeverLearn)
+{
+    MigratoryDetector d;
+    d.noteWriteMiss(5);
+    for (int i = 0; i < 4; ++i) {
+        d.noteReadMiss(5);
+        d.noteUpgrade(5); // owner re-upgrading itself: decay
+    }
+    EXPECT_EQ(d.score(), 0);
+    EXPECT_FALSE(d.shouldGrant(6));
+}
+
+TEST(MigratoryDetector, SharedReadsDecayThePattern)
+{
+    MigratoryDetector d;
+    d.noteWriteMiss(0);
+    d.noteReadMiss(1);
+    d.noteUpgrade(1);
+    d.noteReadMiss(2);
+    d.noteUpgrade(2);
+    ASSERT_TRUE(d.shouldGrant(3));
+
+    // A genuinely read-shared phase kills the grant within two
+    // requests (the fall-back to normal sharing).
+    d.noteSharedRead();
+    d.noteSharedRead();
+    EXPECT_FALSE(d.shouldGrant(3));
+}
+
+TEST(MigratoryDetector, ScoreSaturatesAndToleratesOneStray)
+{
+    MigratoryDetector d;
+    d.noteWriteMiss(0);
+    for (ProcId p = 1; p <= 6; ++p) {
+        d.noteReadMiss(p);
+        d.noteUpgrade(p);
+    }
+    EXPECT_EQ(d.score(), MigratoryDetector::kMax);
+
+    // One stray shared read decays but does not unlearn.
+    d.noteSharedRead();
+    EXPECT_TRUE(d.shouldGrant(7));
+}
+
+TEST(MigratoryDetector, GrantSustainsChainWithoutUpgrades)
+{
+    MigratoryDetector d;
+    d.noteWriteMiss(0);
+    d.noteReadMiss(1);
+    d.noteUpgrade(1);
+    d.noteReadMiss(2);
+    d.noteUpgrade(2);
+    ASSERT_TRUE(d.shouldGrant(3));
+
+    // After a grant the new owner is recorded, so the chain keeps
+    // granting to each next distinct reader with no upgrade traffic
+    // at all.
+    d.noteGrant(3);
+    EXPECT_FALSE(d.shouldGrant(3));
+    EXPECT_TRUE(d.shouldGrant(0));
+    d.noteGrant(0);
+    EXPECT_TRUE(d.shouldGrant(1));
+}
+
+// --------------------------------------------------------------------
+// Migratory protocol path: a read-modify-write token ring.
+// --------------------------------------------------------------------
+
+/** Each processor in turn loads the counter and increments it —
+ *  Water's per-molecule force merge in miniature. */
+Task
+migRing(Context &c, Addr a, int rounds, double *out)
+{
+    const int np = c.numProcs();
+    for (int r = 0; r < rounds; ++r) {
+        for (int p = 0; p < np; ++p) {
+            if (c.id() == p) {
+                const double v = co_await c.loadFp(a);
+                co_await c.storeFp(a, v + 1.0);
+            }
+            co_await c.barrier();
+        }
+    }
+    if (c.id() == 0)
+        *out = co_await c.loadFp(a);
+    co_await c.barrier();
+}
+
+std::uint64_t
+upgradeMisses(const ProtoCounters &c)
+{
+    return c.misses[static_cast<std::size_t>(
+               MissClass::Upgrade2Hop)] +
+           c.misses[static_cast<std::size_t>(
+               MissClass::Upgrade3Hop)];
+}
+
+TEST(MigratoryProtocol, RingEliminatesUpgradesAndKeepsTheValue)
+{
+    constexpr int kRounds = 4;
+    double valOff = 0, valOn = 0;
+    std::uint64_t upOff = 0, upOn = 0, grants = 0;
+    for (bool mig : {false, true}) {
+        DsmConfig cfg = DsmConfig::base(4);
+        cfg.opt.migratory = mig;
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(64, 64, 0);
+        double out = 0;
+        rt.run([&](Context &c) {
+            return migRing(c, a, kRounds, &out);
+        });
+        if (mig) {
+            valOn = out;
+            upOn = upgradeMisses(rt.counters());
+            grants = rt.counters().migGrants;
+        } else {
+            valOff = out;
+            upOff = upgradeMisses(rt.counters());
+            EXPECT_EQ(rt.counters().migGrants, 0u);
+        }
+    }
+    EXPECT_DOUBLE_EQ(valOff, 4.0 * kRounds);
+    EXPECT_DOUBLE_EQ(valOn, valOff);
+    // The detector locks on within one lap; later laps trade an
+    // upgrade round-trip per hop for an exclusive grant.
+    EXPECT_GT(grants, 0u);
+    EXPECT_LT(upOn, upOff);
+}
+
+TEST(MigratoryProtocol, BatchReadersDoNotTriggerGrants)
+{
+    // Batch loads send no migratory hint: bulk readers must not
+    // bounce ownership around.  The ring with migratory on but all
+    // *other* processors also reading the line read-shared keeps
+    // the value right and grants nothing once sharing is real.
+    DsmConfig cfg = DsmConfig::base(4);
+    cfg.opt.migratory = true;
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    double sum = 0;
+    rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr aa, double *s) -> Task {
+            for (int r = 0; r < 3; ++r) {
+                if (cc.id() == r % cc.numProcs())
+                    co_await cc.storeFp(aa, r + 1.0);
+                co_await cc.barrier();
+                // Everyone reads: the line is read-shared, not
+                // migratory.
+                const double v = co_await cc.loadFp(aa);
+                if (cc.id() == 0)
+                    *s += v;
+                co_await cc.barrier();
+            }
+        }(c, a, &sum);
+    });
+    EXPECT_DOUBLE_EQ(sum, 1.0 + 2.0 + 3.0);
+}
+
+// --------------------------------------------------------------------
+// Check elision: annotated regions.
+// --------------------------------------------------------------------
+
+/** Proc 0 hammers its private scratch region; everyone else idles. */
+Task
+privateScratch(Context &c, Addr a, int slots, double *sum)
+{
+    if (c.id() == 0) {
+        for (int i = 0; i < slots; ++i)
+            co_await c.storeFp(a + static_cast<Addr>(8 * i),
+                               i * 1.5);
+        double s = 0;
+        for (int i = 0; i < slots; ++i)
+            s += co_await c.loadFp(a + static_cast<Addr>(8 * i));
+        *sum = s;
+    }
+    co_await c.barrier();
+}
+
+TEST(CheckElision, PrivateRegionBypassesChecksForItsOwner)
+{
+    constexpr int kSlots = 32;
+    const double expect = 1.5 * (kSlots * (kSlots - 1)) / 2;
+    Tick cyclesOff = 0, cyclesOn = 0;
+    std::uint64_t elided = 0;
+    for (bool on : {false, true}) {
+        DsmConfig cfg = DsmConfig::smp(8, 4);
+        cfg.opt.elide = on;
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(kSlots * 8, 64, 0);
+        rt.annotate(a, kSlots * 8, RegionAnnot::Private, 0);
+        double sum = 0;
+        rt.run([&](Context &c) {
+            return privateScratch(c, a, kSlots, &sum);
+        });
+        EXPECT_DOUBLE_EQ(sum, expect);
+        if (on) {
+            cyclesOn = rt.checkTotals().checkCycles;
+            elided = rt.checkTotals().elidedChecks;
+        } else {
+            cyclesOff = rt.checkTotals().checkCycles;
+            EXPECT_EQ(rt.checkTotals().elidedChecks, 0u);
+        }
+    }
+    EXPECT_GT(elided, 0u);
+    EXPECT_LT(cyclesOn, cyclesOff);
+}
+
+TEST(CheckElision, ReadOnlyAfterBarrierElidesEveryLoad)
+{
+    constexpr int kSlots = 64;
+    double expect = 0;
+    for (int i = 0; i < kSlots; ++i)
+        expect += 0.25 * i;
+
+    Tick cyclesOff = 0, cyclesOn = 0;
+    std::uint64_t elided = 0;
+    for (bool on : {false, true}) {
+        DsmConfig cfg = DsmConfig::smp(8, 4);
+        cfg.opt.elide = on;
+        Runtime rt(cfg);
+        const Addr a = rt.alloc(kSlots * 8);
+        for (int i = 0; i < kSlots; ++i)
+            initWrite<double>(rt, a + static_cast<Addr>(8 * i),
+                              0.25 * i);
+        rt.annotate(a, kSlots * 8,
+                    RegionAnnot::ReadOnlyAfterBarrier);
+        std::array<double, 8> sums{};
+        rt.run([&](Context &c) -> Task {
+            return [](Context &cc, Addr aa, double *s) -> Task {
+                double acc = 0;
+                for (int i = 0; i < kSlots; ++i)
+                    acc += co_await cc.loadFp(
+                        aa + static_cast<Addr>(8 * i));
+                *s = acc;
+                co_await cc.barrier();
+            }(c, a, &sums[static_cast<std::size_t>(c.id())]);
+        });
+        for (const double s : sums)
+            EXPECT_DOUBLE_EQ(s, expect);
+        if (on) {
+            cyclesOn = rt.checkTotals().checkCycles;
+            elided = rt.checkTotals().elidedChecks;
+        } else {
+            cyclesOff = rt.checkTotals().checkCycles;
+        }
+    }
+    // Every one of the 8 x 64 loads skips its check; the data still
+    // arrives through the normal first-touch coherence misses.
+    EXPECT_GT(elided, 0u);
+    EXPECT_LT(cyclesOn, cyclesOff);
+}
+
+TEST(CheckElision, PrivateAnnotationRequiresOwnersHome)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    Runtime rt(cfg);
+    // Homed on node 0; proc 4 lives on node 1 — the bypass would
+    // read the wrong node's memory image, so the annotation is
+    // rejected up front.
+    const Addr a = rt.allocHomed(64, 64, 0);
+    EXPECT_THROW(rt.annotate(a, 64, RegionAnnot::Private, 4),
+                 std::runtime_error);
+    EXPECT_NO_THROW(rt.annotate(a, 64, RegionAnnot::Private, 2));
+}
+
+// --------------------------------------------------------------------
+// The audit verifier: a wrong annotation is a loud error.
+// --------------------------------------------------------------------
+
+TEST(ElisionAudit, StoreIntoReadOnlyRegionThrows)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.audit.invariants = true; // elide itself stays OFF
+    Runtime rt(cfg);
+    const Addr a = rt.alloc(256);
+    rt.annotate(a, 256, RegionAnnot::ReadOnlyAfterBarrier);
+    EXPECT_THROW(rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr aa) -> Task {
+            if (cc.id() == 3)
+                co_await cc.storeFp(aa, 1.0);
+            co_await cc.barrier();
+        }(c, a);
+    }),
+                 AuditError);
+}
+
+TEST(ElisionAudit, ForeignAccessToPrivateRegionThrows)
+{
+    DsmConfig cfg = DsmConfig::smp(8, 4);
+    cfg.audit.invariants = true;
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    rt.annotate(a, 64, RegionAnnot::Private, 0);
+    EXPECT_THROW(rt.run([&](Context &c) -> Task {
+        return [](Context &cc, Addr aa) -> Task {
+            if (cc.id() == 5)
+                (void)co_await cc.loadFp(aa);
+            co_await cc.barrier();
+        }(c, a);
+    }),
+                 AuditError);
+}
+
+TEST(ElisionAudit, SingleWriterAllowsReadersRejectsForeignStores)
+{
+    for (bool violate : {false, true}) {
+        DsmConfig cfg = DsmConfig::smp(8, 4);
+        cfg.audit.invariants = true;
+        cfg.opt.elide = true; // audited AND elided together
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(64, 64, 2);
+        rt.annotate(a, 64, RegionAnnot::SingleWriter, 2);
+        auto body = [&](Context &c) -> Task {
+            return [](Context &cc, Addr aa, bool bad) -> Task {
+                if (cc.id() == 2)
+                    co_await cc.storeFp(aa, 7.0);
+                co_await cc.barrier();
+                // Readers are always legitimate...
+                (void)co_await cc.loadFp(aa);
+                co_await cc.barrier();
+                // ...a foreign store never is.
+                if (bad && cc.id() == 6)
+                    co_await cc.storeFp(aa, 8.0);
+                co_await cc.barrier();
+            }(c, a, violate);
+        };
+        if (violate)
+            EXPECT_THROW(rt.run(body), AuditError);
+        else
+            EXPECT_NO_THROW(rt.run(body));
+    }
+}
+
+// --------------------------------------------------------------------
+// Adaptive granularity: the advisor's policy and plumbing.
+// --------------------------------------------------------------------
+
+TEST(AdaptiveAdvisor, PolicyShrinksWriteSharedGrowsReadMostly)
+{
+    GranularityAdvisor adv;
+
+    // Region A: write-shared (shrink to a line).
+    const Addr a = 0; // indices are line numbers here
+    (void)a;
+    EXPECT_EQ(adv.adviseBlock(true, 4096, 512), 512u);
+    adv.noteAlloc(0, 64);
+    // Region B: read-mostly (grow to the large block).
+    EXPECT_EQ(adv.adviseBlock(true, 4096, 256), 256u);
+    adv.noteAlloc(64, 64);
+    // Region C: quiet (keep the hint).
+    EXPECT_EQ(adv.adviseBlock(true, 4096, 128), 128u);
+    adv.noteAlloc(128, 64);
+
+    for (int i = 0; i < 20; ++i) {
+        adv.noteWriteMiss(3);
+        adv.noteDowngrade(7);
+    }
+    for (int i = 0; i < 12; ++i)
+        adv.noteReadMiss(5);
+    for (int i = 0; i < 100; ++i)
+        adv.noteReadMiss(64 + (i % 64));
+    adv.noteWriteMiss(70);
+
+    adv.finalize(64);
+    EXPECT_EQ(adv.regions(), 3);
+    EXPECT_EQ(adv.shrunk(), 1);
+    EXPECT_EQ(adv.grown(), 1);
+
+    // Apply pass replays by allocation order.
+    EXPECT_EQ(adv.adviseBlock(true, 4096, 512), 64u);
+    EXPECT_EQ(adv.adviseBlock(true, 4096, 256),
+              GranularityAdvisor::kLargeBlock);
+    EXPECT_EQ(adv.adviseBlock(true, 4096, 128), 128u);
+
+    // With the knob off the apply pass is inert.
+    adv.rewind();
+    EXPECT_EQ(adv.adviseBlock(false, 4096, 512), 512u);
+}
+
+TEST(AdaptiveAdvisor, ProfileApplyKeepsTheAnswer)
+{
+    auto prof = createApp("lu-contig");
+    AppParams pp = prof->defaultParams();
+    pp.n = 64;
+    GranularityAdvisor adv;
+    pp.advisor = &adv;
+    const DsmConfig cfg = DsmConfig::smp(8, 4);
+    const AppResult profiled = runApp(*prof, cfg, pp);
+    adv.finalize(cfg.lineSize);
+    ASSERT_GT(adv.regions(), 0);
+
+    auto app = createApp("lu-contig");
+    AppParams p = app->defaultParams();
+    p.n = 64;
+    p.advisor = &adv;
+    DsmConfig on = cfg;
+    on.opt.adaptive = true;
+    const AppResult adaptive = runApp(*app, on, p);
+
+    EXPECT_EQ(adaptive.adaptiveRegions, adv.regions());
+    EXPECT_NEAR(adaptive.checksum, profiled.checksum,
+                1e-9 * std::max(1.0, std::abs(profiled.checksum)));
+}
+
+// --------------------------------------------------------------------
+// Statistics gating: the "opt" JSON block appears only when an
+// optimization actually engaged; opts-off output is byte-stable.
+// --------------------------------------------------------------------
+
+TEST(OptStats, BlockAbsentWhenOffAndByteStable)
+{
+    std::string first;
+    for (int r = 0; r < 2; ++r) {
+        DsmConfig cfg = DsmConfig::base(4);
+        Runtime rt(cfg);
+        const Addr a = rt.allocHomed(64, 64, 0);
+        double out = 0;
+        rt.run(
+            [&](Context &c) { return migRing(c, a, 2, &out); });
+        const std::string js = rt.statsJson();
+        EXPECT_EQ(js.find("\"opt\""), std::string::npos);
+        if (r == 0)
+            first = js;
+        else
+            EXPECT_EQ(js, first); // deterministic byte-for-byte
+    }
+}
+
+TEST(OptStats, BlockAbsentWhenEnabledButNeverEngaged)
+{
+    // elide is ON but nothing is annotated: the knob never fires,
+    // so the stats stay byte-identical to an opts-off run.
+    DsmConfig cfg = DsmConfig::base(4);
+    cfg.opt.elide = true;
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    double out = 0;
+    rt.run([&](Context &c) { return migRing(c, a, 2, &out); });
+    EXPECT_EQ(rt.statsJson().find("\"opt\""), std::string::npos);
+}
+
+TEST(OptStats, MigratoryCountersReportedWhenEngaged)
+{
+    DsmConfig cfg = DsmConfig::base(4);
+    cfg.opt.migratory = true;
+    Runtime rt(cfg);
+    const Addr a = rt.allocHomed(64, 64, 0);
+    double out = 0;
+    rt.run([&](Context &c) { return migRing(c, a, 4, &out); });
+    const std::string js = rt.statsJson();
+    EXPECT_NE(js.find("\"opt\""), std::string::npos);
+    EXPECT_NE(js.find("\"migGrants\""), std::string::npos);
+    EXPECT_EQ(js.find("\"elidedChecks\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// The checksum battery: every app x every knob x all-knobs, plus
+// the thread backend and the seeded fault battery with everything
+// on.  Optimizations move cycles, never answers.
+// --------------------------------------------------------------------
+
+/** Small problem sizes (mirrors apps_test.cc). */
+AppParams
+tinyParams(const App &app)
+{
+    AppParams p = app.defaultParams();
+    if (app.name() == "lu" || app.name() == "lu-contig")
+        p.n = 64;
+    else if (app.name() == "ocean")
+        p.n = 34;
+    else if (app.name() == "barnes" || app.name() == "fmm")
+        p.n = 128;
+    else if (app.name() == "raytrace")
+        p.n = 32;
+    else if (app.name() == "volrend")
+        p.n = 16;
+    else if (app.name() == "water-nsq" || app.name() == "water-sp")
+        p.n = 64;
+    p.iters = std::min(p.iters, 2);
+    return p;
+}
+
+/** One optimized run: annotations ride along for elide, the
+ *  profile/apply advisor for adaptive, and the audit verifier
+ *  checks every annotation the whole time. */
+double
+runWithOpts(const std::string &name, const OptConfig &o,
+            DsmConfig cfg)
+{
+    GranularityAdvisor adv;
+    if (o.adaptive) {
+        auto prof = createApp(name);
+        AppParams pp = tinyParams(*prof);
+        pp.advisor = &adv;
+        DsmConfig pcfg = cfg;
+        pcfg.opt = OptConfig{};
+        pcfg.backend = BackendKind::Sim;
+        pcfg.fault = FaultConfig{};
+        runApp(*prof, pcfg, pp);
+        adv.finalize(cfg.lineSize);
+    }
+    auto app = createApp(name);
+    AppParams p = tinyParams(*app);
+    p.annotate = o.elide;
+    if (o.adaptive)
+        p.advisor = &adv;
+    cfg.opt = o;
+    cfg.audit.invariants = o.elide;
+    return runApp(*app, cfg, p).checksum;
+}
+
+struct OptBatteryCase
+{
+    std::string app;
+    std::string spec;
+};
+
+class OptBattery : public ::testing::TestWithParam<OptBatteryCase>
+{
+};
+
+TEST_P(OptBattery, ChecksumUnchangedByOptimizations)
+{
+    const OptBatteryCase &tc = GetParam();
+    auto app = createApp(tc.app);
+    const AppParams p = tinyParams(*app);
+    const double ref = app->reference(p);
+    const double tol =
+        app->tolerance() * std::max(1.0, std::abs(ref));
+
+    const double oracle =
+        runApp(*app, DsmConfig::smp(8, 4), p).checksum;
+    ASSERT_NEAR(oracle, ref, tol);
+
+    const OptConfig o =
+        OptConfig::parseSpec("opt_test", tc.spec.c_str());
+    const double got =
+        runWithOpts(tc.app, o, DsmConfig::smp(8, 4));
+    EXPECT_NEAR(got, ref, tol)
+        << tc.app << " with --opt=" << tc.spec
+        << " changed the answer";
+}
+
+TEST_P(OptBattery, AllOptsHoldOnThreadBackendUnderFaults)
+{
+    const OptBatteryCase &tc = GetParam();
+    if (tc.spec != "all")
+        GTEST_SKIP() << "fault leg runs once per app";
+    auto app = createApp(tc.app);
+    const AppParams p = tinyParams(*app);
+    const double ref = app->reference(p);
+    const double tol =
+        app->tolerance() * std::max(1.0, std::abs(ref));
+
+    const OptConfig o = OptConfig::parseSpec("opt_test", "all");
+
+    // Real threads, fuzzed schedule.
+    DsmConfig thr = DsmConfig::smp(8, 4);
+    thr.backend = BackendKind::Thread;
+    thr.threadFuzzSeed = 42;
+    EXPECT_NEAR(runWithOpts(tc.app, o, thr), ref, tol)
+        << tc.app << ": opts broke the thread backend";
+
+    // Seeded fault battery on the simulator.
+    DsmConfig faulty = DsmConfig::smp(8, 4);
+    faulty.fault.dropPct = 2.0;
+    faulty.fault.dupPct = 1.0;
+    faulty.fault.seed = 7;
+    EXPECT_NEAR(runWithOpts(tc.app, o, faulty), ref, tol)
+        << tc.app << ": opts broke fault recovery";
+}
+
+std::vector<OptBatteryCase>
+batteryCases()
+{
+    std::vector<OptBatteryCase> out;
+    for (const auto &name : appNames())
+        for (const char *spec :
+             {"migratory", "elide", "adaptive", "all"})
+            out.push_back(OptBatteryCase{name, spec});
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, OptBattery, ::testing::ValuesIn(batteryCases()),
+    [](const ::testing::TestParamInfo<OptBatteryCase> &info) {
+        std::string n = info.param.app + "_" + info.param.spec;
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace shasta

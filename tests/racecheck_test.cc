@@ -261,6 +261,61 @@ TEST(FaultScenarios, SequenceDedupPreventsAckConfusion)
     EXPECT_GT(r.terminals, 0u);
 }
 
+// --------------------------------------------------------------------
+// Annotation-violation scenarios (the elide knob's audit contract)
+// --------------------------------------------------------------------
+
+TEST(AnnotScenarios, WrongPrivateAnnotationSilentlyLosesTheUpdate)
+{
+    // Unaudited, a wrong private annotation is the worst kind of
+    // bug: the skipped downgrade makes the foreign read race the
+    // bypassed store, and the lost update shows in some (not all)
+    // interleavings — a heisenbug, with no error anywhere.
+    ModelChecker mc;
+    const Scenario sc = annotPrivateViolation(false);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_GT(r.violations, 0u);
+    EXPECT_LT(r.violations, r.terminals);
+    EXPECT_FALSE(r.witness.empty());
+}
+
+TEST(AnnotScenarios, AuditCatchesWrongAnnotationInEveryInterleaving)
+{
+    // The audited variant's predicate flags any terminal state in
+    // which the auditor did NOT fire, so zero violations proves the
+    // trap happens on every schedule, before any data moves.
+    ModelChecker mc;
+    const Scenario sc = annotPrivateViolation(true);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(r.deadlocks, 0u);
+    EXPECT_GT(r.terminals, 0u);
+}
+
+TEST(AnnotScenarios, SkippingSingleWriterDowngradesLosesTheUpdate)
+{
+    // The annotation is CORRECT here — that is the point: even a
+    // true single-writer declaration does not license skipping
+    // downgrade messages, because readers hold real rights that
+    // must be revoked.  This is why DowngradeEngine only skips for
+    // private and read-only-after-barrier regions.
+    ModelChecker mc;
+    const Scenario sc = annotSingleWriterSkip(false);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_GT(r.violations, 0u);
+    EXPECT_LT(r.violations, r.terminals);
+}
+
+TEST(AnnotScenarios, MessagedSingleWriterElisionIsSafe)
+{
+    ModelChecker mc;
+    const Scenario sc = annotSingleWriterSkip(true);
+    auto r = mc.explore(sc.threads, sc.init, sc.violation);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(r.deadlocks, 0u);
+    EXPECT_GT(r.terminals, 0u);
+}
+
 TEST(FaultScenarios, ReorderedDowngradesReturnFlagAsData)
 {
     ModelChecker mc;
